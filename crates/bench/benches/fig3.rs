@@ -1,0 +1,65 @@
+//! Figure 3 — analytical IPC vs fault frequency for W = 20.
+//!
+//! Plots the normalized model of §4.3: `IPC₁ = B = 1`, so the error-free
+//! redundant IPCs are 1/2 (R=2) and 1/3 (R=3). Curves: R=2 rewind, R=3
+//! rewind, R=3 with 2-of-3 majority election.
+
+use ftsim_bench::{banner, measured};
+use ftsim_model::{crossover_frequency, figure3_curves, validity_bound};
+use ftsim_stats::{AsciiPlot, Series, Table};
+
+fn main() {
+    banner(
+        "Figure 3",
+        "IPC vs fault frequency for W = 20 (analytical model, normalized IPC1 = B = 1)",
+        "R=2 and R=3 IPC stay relatively constant until 1/f is within two orders of \
+         magnitude of W; the R=3 majority curve stays flat to much higher f",
+    );
+    let curves = figure3_curves();
+
+    let mut table = Table::new(["f (faults/inst)", "R=2 rewind", "R=3 rewind", "R=3 majority"]);
+    table.numeric();
+    for i in 0..curves[0].points.len() {
+        let f = curves[0].points[i].0;
+        table.row([
+            format!("{f:.2e}"),
+            format!("{:.4}", curves[0].points[i].1),
+            format!("{:.4}", curves[1].points[i].1),
+            format!("{:.4}", curves[2].points[i].1),
+        ]);
+    }
+    print!("{table}");
+
+    let mut plot = AsciiPlot::new("IPC vs fault frequency (W=20)", 64, 16);
+    for c in &curves {
+        plot = plot.series(Series::from_points(c.name.clone(), c.points.iter().copied()));
+    }
+    println!("{}", plot.render());
+
+    let crossover = crossover_frequency(0.5, 1.0 / 3.0, 20.0).expect("curves cross");
+    measured(&format!(
+        "R=2 falls below R=3-majority at f = {crossover:.2e} faults/inst \
+         ({:.0} faults per million instructions)",
+        crossover * 1e6
+    ));
+    measured(&format!(
+        "first-order model validity bound 1/W = {:.2e} faults/inst",
+        validity_bound(20.0)
+    ));
+    // Shape check mirroring the paper's reading of the figure.
+    let at = |ci: usize, f: f64| -> f64 {
+        curves[ci]
+            .points
+            .iter()
+            .min_by(|a, b| (a.0 - f).abs().total_cmp(&(b.0 - f).abs()))
+            .unwrap()
+            .1
+    };
+    let flat_r2 = at(0, 1e-5) / 0.5;
+    measured(&format!(
+        "R=2 retains {:.1}% of error-free IPC at f = 1e-5 (flat region)",
+        flat_r2 * 100.0
+    ));
+    assert!(flat_r2 > 0.95, "flat region should be flat");
+    assert!(at(2, 1e-3) > at(1, 1e-3), "majority outlasts rewind at R=3");
+}

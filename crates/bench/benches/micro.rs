@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the simulator substrates.
+//!
+//! These are engineering benchmarks (simulator speed), not paper
+//! reproductions — the paper's tables and figures live in the
+//! `table*`/`fig*`/`sensitivity` targets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ftsim_core::{MachineConfig, OracleMode, RunLimits, Simulator};
+use ftsim_isa::Emulator;
+use ftsim_mem::{AccessKind, Cache, CacheConfig, Hierarchy, HierarchyConfig};
+use ftsim_predict::{Bimodal, CombinedPredictor, DirectionPredictor, PredictorConfig};
+use ftsim_workloads::{pointer_chase, profile};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("dl1_access_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::new("dl1", 32 * 1024, 2, 32));
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                addr = addr.wrapping_add(40) & 0xf_ffff;
+                std::hint::black_box(cache.access(addr, addr % 3 == 0));
+            }
+        });
+    });
+    g.bench_function("hierarchy_access", |b| {
+        let mut h = Hierarchy::new(&HierarchyConfig::default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                addr = addr.wrapping_add(72) & 0xff_ffff;
+                std::hint::black_box(h.data_access(addr, AccessKind::Read));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("bimodal", |b| {
+        let mut p = Bimodal::new(2048);
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let pc = (i * 4) & 0xffff;
+                let taken = i % 3 == 0;
+                std::hint::black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        });
+    });
+    g.bench_function("combined_table1", |b| {
+        let mut p = CombinedPredictor::new(PredictorConfig::default());
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let pc = (i * 4) & 0xffff;
+                let taken = (i / 2) % 2 == 0;
+                std::hint::black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator");
+    let prog = pointer_chase(256, 5_000);
+    g.throughput(Throughput::Elements(15_000)); // ~3 inst per hop
+    g.bench_function("in_order_oracle", |b| {
+        b.iter_batched(
+            || Emulator::new(&prog),
+            |mut e| {
+                e.run(1_000_000).unwrap();
+                e.retired()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    let p = profile("ijpeg").expect("profile");
+    let prog = p.program_for_instructions(10_000);
+    for config in [MachineConfig::ss1(), MachineConfig::ss2()] {
+        let name = config.name.clone();
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_function(format!("{name}_10k_insts"), |b| {
+            b.iter_batched(
+                || Simulator::new(config.clone(), &prog).oracle(OracleMode::Off),
+                |sim| {
+                    sim.run_with_limits(RunLimits::instructions(10_000))
+                        .unwrap()
+                        .cycles
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cache, bench_predictor, bench_emulator, bench_pipeline
+}
+criterion_main!(benches);

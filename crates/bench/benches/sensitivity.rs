@@ -1,0 +1,104 @@
+//! §5.2 sensitivity study — functional-unit and RUU scaling.
+//!
+//! The paper explains Figure 5's per-benchmark penalties by testing each
+//! benchmark's "sensitivity to varying numbers of functional units (0.5x,
+//! 2x, infinite) and RUU sizes (0.5x, 2x, infinite)": benchmarks whose
+//! baseline IPC rises with more resources are *resource-limited* (high
+//! SS-2 penalty); benchmarks that are "almost insensitive to the amount of
+//! resources available" (go, vpr) are *ILP-limited* and lose little.
+//! swim is additionally RUU-limited.
+
+use ftsim_bench::{banner, budget, measured, run_workload};
+use ftsim_core::{MachineConfig, Scale};
+use ftsim_stats::{fmt_f, Table};
+use ftsim_workloads::spec_profiles;
+
+fn main() {
+    banner(
+        "Section 5.2 sensitivity study",
+        "baseline IPC under FU scaling and RUU scaling (0.5x / 1x / 2x / inf)",
+        "high-penalty benchmarks are functional-unit limited in the baseline \
+         configuration (swim also RUU-limited); go and vpr are almost insensitive \
+         to resources (ILP-limited), ammp is division-latency limited",
+    );
+    let n = budget();
+    let scales = [Scale::Half, Scale::One, Scale::Two, Scale::Infinite];
+
+    let mut t = Table::new([
+        "Benchmark", "FU 0.5x", "FU 1x", "FU 2x", "FU inf", "RUU 0.5x", "RUU 1x", "RUU 2x",
+        "RUU inf", "class",
+    ]);
+    t.numeric();
+    let mut findings = Vec::new();
+    for p in spec_profiles() {
+        let fu: Vec<f64> = scales
+            .iter()
+            .map(|&s| run_workload(&p, MachineConfig::ss1().with_fu_scale(s), n).ipc)
+            .collect();
+        let ruu: Vec<f64> = scales
+            .iter()
+            .map(|&s| run_workload(&p, MachineConfig::ss1().with_ruu_scale(s), n).ipc)
+            .collect();
+        // Sensitivity: how much IPC changes between 1x and the extremes.
+        let fu_sens = (fu[3] - fu[0]) / fu[1];
+        let ruu_sens = (ruu[3] - ruu[0]) / ruu[1];
+        let class = if fu_sens < 0.25 && ruu_sens < 0.25 {
+            "ILP-limited"
+        } else if ruu_sens > fu_sens {
+            "RUU-limited"
+        } else {
+            "FU/port-limited"
+        };
+        findings.push((p.name, fu_sens, ruu_sens, class));
+        t.row([
+            p.name.to_string(),
+            fmt_f(fu[0], 2),
+            fmt_f(fu[1], 2),
+            fmt_f(fu[2], 2),
+            fmt_f(fu[3], 2),
+            fmt_f(ruu[0], 2),
+            fmt_f(ruu[1], 2),
+            fmt_f(ruu[2], 2),
+            fmt_f(ruu[3], 2),
+            class.to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!();
+
+    for (name, fu_s, ruu_s, class) in &findings {
+        measured(&format!(
+            "{name}: FU sensitivity {}%, RUU sensitivity {}% -> {class}",
+            fmt_f(fu_s * 100.0, 0),
+            fmt_f(ruu_s * 100.0, 0)
+        ));
+    }
+
+    // The paper's specific calls.
+    let get = |n: &str| findings.iter().find(|(f, ..)| *f == n).unwrap();
+    for low in ["go", "vpr"] {
+        let (_, fu_s, ruu_s, _) = get(low);
+        assert!(
+            *fu_s < 0.3 && *ruu_s < 0.3,
+            "{low} should be nearly insensitive to resources (ILP-limited)"
+        );
+    }
+    let (_, swim_fu, swim_ruu, _) = get("swim");
+    measured(&format!(
+        "swim: RUU sensitivity {}% (paper: swim is also RUU-limited)",
+        fmt_f(swim_ruu * 100.0, 0)
+    ));
+    assert!(
+        *swim_ruu > 0.15 || *swim_fu > 0.15,
+        "swim should respond to resources"
+    );
+    let hi: Vec<&str> = findings
+        .iter()
+        .filter(|(_, fu_s, ruu_s, _)| *fu_s >= 0.3 || *ruu_s >= 0.3)
+        .map(|(n, ..)| *n)
+        .collect();
+    measured(&format!(
+        "resource-limited benchmarks (expect high SS-2 penalty): {}",
+        hi.join(", ")
+    ));
+}

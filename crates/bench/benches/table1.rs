@@ -1,0 +1,96 @@
+//! Table 1 — `sim-outorder` machine parameters for the baseline
+//! superscalar model.
+//!
+//! Regenerates the paper's Table 1 from the live `MachineConfig::ss1()`
+//! preset, so any drift between the documented and simulated machine is
+//! visible immediately.
+
+use ftsim_bench::banner;
+use ftsim_core::MachineConfig;
+use ftsim_stats::Table;
+
+fn main() {
+    banner(
+        "Table 1",
+        "sim-outorder machine parameters (baseline superscalar model)",
+        "8-wide, RUU 128 / LSQ 64, combined 2K-bimodal + 2-level predictor, \
+         64KB/2-way L1I, 32KB/2-way 2-port L1D, 512KB/4-way L2, \
+         FU mix 4 IntALU / 2 IntMult / 2 FPAdd / 1 FPMult-Div",
+    );
+    let m = MachineConfig::ss1();
+    m.validate();
+
+    let mut t = Table::new(["Parameter", "Value"]);
+    t.row([
+        "Fetch/Decode/Dispatch/Issue Width".to_string(),
+        format!("{}", m.fetch_width),
+    ]);
+    t.row([
+        "RUU/LSQ size".to_string(),
+        format!("{}/{}", m.ruu_size, m.lsq_size),
+    ]);
+    t.row([
+        "Branch Predictor".to_string(),
+        format!(
+            "combined: {}-entry bimodal + 2-level (L1 {} x {}-bit hist, L2 {}, xor {}); 1 pred/cycle",
+            m.predictor.bimodal_entries,
+            m.predictor.two_level.l1_entries,
+            m.predictor.two_level.hist_bits,
+            m.predictor.two_level.l2_entries,
+            u8::from(m.predictor.two_level.xor),
+        ),
+    ]);
+    t.row([
+        "Instruction L1 cache".to_string(),
+        format!(
+            "{} KBytes, {}-way associative",
+            m.hierarchy.il1.size_bytes / 1024,
+            m.hierarchy.il1.assoc
+        ),
+    ]);
+    t.row([
+        "Data L1 cache".to_string(),
+        format!(
+            "{} KBytes, {}-way associative, {} R/W ports",
+            m.hierarchy.dl1.size_bytes / 1024,
+            m.hierarchy.dl1.assoc,
+            m.hierarchy.dl1_ports
+        ),
+    ]);
+    t.row([
+        "Unified L2 cache".to_string(),
+        format!(
+            "{} KBytes, {}-way associative",
+            m.hierarchy.l2.size_bytes / 1024,
+            m.hierarchy.l2.assoc
+        ),
+    ]);
+    t.row([
+        "Functional Unit Mix".to_string(),
+        format!(
+            "{} Int ALU, {} Int Mult, {} FP Add, {} FP Mult/Div (pipelined except division)",
+            m.fu.int_alu, m.fu.int_mul, m.fu.fp_add, m.fu.fp_mul
+        ),
+    ]);
+    t.row([
+        "Operation latencies".to_string(),
+        format!(
+            "ialu {} / imul {} / idiv {} / fadd {} / fmul {} / fdiv {} / fsqrt {}",
+            m.lat.int_alu,
+            m.lat.int_mul,
+            m.lat.int_div,
+            m.lat.fp_add,
+            m.lat.fp_mul,
+            m.lat.fp_div,
+            m.lat.fp_sqrt
+        ),
+    ]);
+    print!("{t}");
+    println!();
+    println!("SS-2 = same hardware with R=2 dynamic redundancy;");
+    let s = MachineConfig::static2();
+    println!(
+        "Static-2 = one of two lock-step pipes: width {}, RUU/LSQ {}/{}, FU {}/{}/{}/{} (caches and branch predictor NOT halved).",
+        s.fetch_width, s.ruu_size, s.lsq_size, s.fu.int_alu, s.fu.int_mul, s.fu.fp_add, s.fu.fp_mul
+    );
+}

@@ -1,0 +1,74 @@
+//! Table 2 — summary of benchmark characteristics (dynamic instruction
+//! mix).
+//!
+//! Runs every synthetic workload on the baseline machine and reports the
+//! *committed* dynamic mix next to the paper's Table 2 targets. The
+//! match validates the workload generator's calibration.
+
+use ftsim_bench::{banner, budget, measured, run_workload};
+use ftsim_core::MachineConfig;
+use ftsim_isa::MixClass;
+use ftsim_stats::{fmt_f, Table};
+use ftsim_workloads::spec_profiles;
+
+fn main() {
+    banner(
+        "Table 2",
+        "summary of benchmark characteristics (dynamic instruction mix, %)",
+        "mixes as tabulated (gcc 74.55/25.45/0/0/0 ... art 35.29/43.50/11.07/8.39/1.36)",
+    );
+    let n = budget();
+    let mut t = Table::new([
+        "Benchmark",
+        "%Mem",
+        "(tgt)",
+        "%Int",
+        "(tgt)",
+        "%FPAdd",
+        "(tgt)",
+        "%FPMult",
+        "(tgt)",
+        "%FPDiv",
+        "(tgt)",
+    ]);
+    t.numeric();
+    let mut worst: f64 = 0.0;
+    for p in spec_profiles() {
+        let r = run_workload(&p, MachineConfig::ss1(), n);
+        let meas = [
+            r.stats.mix_fraction(MixClass::Mem),
+            r.stats.mix_fraction(MixClass::Int),
+            r.stats.mix_fraction(MixClass::FpAdd),
+            r.stats.mix_fraction(MixClass::FpMul),
+            r.stats.mix_fraction(MixClass::FpDiv),
+        ];
+        let tgt = [
+            p.mix.mem,
+            p.mix.int,
+            p.mix.fp_add,
+            p.mix.fp_mul,
+            p.mix.fp_div,
+        ];
+        for (m, g) in meas.iter().zip(tgt.iter()) {
+            worst = worst.max((m - g).abs());
+        }
+        t.row([
+            p.name.to_string(),
+            fmt_f(meas[0] * 100.0, 2),
+            fmt_f(tgt[0] * 100.0, 2),
+            fmt_f(meas[1] * 100.0, 2),
+            fmt_f(tgt[1] * 100.0, 2),
+            fmt_f(meas[2] * 100.0, 2),
+            fmt_f(tgt[2] * 100.0, 2),
+            fmt_f(meas[3] * 100.0, 2),
+            fmt_f(tgt[3] * 100.0, 2),
+            fmt_f(meas[4] * 100.0, 2),
+            fmt_f(tgt[4] * 100.0, 2),
+        ]);
+    }
+    print!("{t}");
+    measured(&format!(
+        "largest |measured - Table 2| deviation across all benchmarks and classes: {} percentage points",
+        fmt_f(worst * 100.0, 2)
+    ));
+}

@@ -1,0 +1,122 @@
+//! Shared harness for the paper-reproduction experiments.
+//!
+//! Every table and figure of the paper's evaluation has a `cargo bench`
+//! target in this crate (`table1`, `table2`, `fig3`, `fig4`, `fig5`,
+//! `fig6`, `sensitivity`); each prints the same rows or series the paper
+//! reports, plus the paper's headline claim next to the measured value.
+//! `micro` holds Criterion micro-benchmarks of the substrates.
+//!
+//! Instruction budgets are deliberately small (the paper simulates 1 B
+//! instructions per benchmark; we default to 60 k per run, overridable via
+//! the `FTSIM_BUDGET` environment variable) — the *shape* of every result
+//! is stable well below the paper's budget because the synthetic workloads
+//! are steady-state loops.
+
+use ftsim_core::{MachineConfig, OracleMode, RunLimits, SimResult, Simulator};
+use ftsim_faults::FaultInjector;
+use ftsim_workloads::WorkloadProfile;
+
+/// Default committed-instruction budget per simulation.
+pub const DEFAULT_BUDGET: u64 = 60_000;
+
+/// The per-run instruction budget (`FTSIM_BUDGET` env override).
+///
+/// # Examples
+///
+/// ```
+/// let b = ftsim_bench::budget();
+/// assert!(b >= 1_000);
+/// ```
+pub fn budget() -> u64 {
+    std::env::var("FTSIM_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_BUDGET)
+        .max(1_000)
+}
+
+/// Runs `profile` on `config` for the standard budget, without oracle
+/// verification (performance sweeps) and with deterministic fault
+/// injection disabled.
+///
+/// # Panics
+///
+/// Panics if the simulation errors (an experiment configuration bug).
+pub fn run_workload(profile: &WorkloadProfile, config: MachineConfig, n: u64) -> SimResult {
+    let program = profile.program_for_instructions(n);
+    Simulator::new(config, &program)
+        .oracle(OracleMode::Off)
+        .run_with_limits(RunLimits::instructions(n))
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", profile.name, e))
+}
+
+/// As [`run_workload`] with a fault injector.
+///
+/// Returns `Err` when the machine wedges or overruns its cycle budget —
+/// which legitimately happens at extreme fault rates when an *identical*
+/// corruption strikes every copy of a control instruction (the paper's
+/// §2.2 indiscernible-error case) and garbage control flow commits.
+pub fn run_workload_with_faults(
+    profile: &WorkloadProfile,
+    config: MachineConfig,
+    n: u64,
+    injector: FaultInjector,
+) -> Result<SimResult, ftsim_core::SimError> {
+    let program = profile.program_for_instructions(n);
+    Simulator::with_injector(config, &program, injector)
+        .oracle(OracleMode::Off)
+        .run_with_limits(RunLimits {
+            max_cycles: 100 * n.max(1_000),
+            ..RunLimits::instructions(n)
+        })
+}
+
+/// The three machine models of Figure 5, in the paper's order.
+pub fn figure5_models() -> [MachineConfig; 3] {
+    [
+        MachineConfig::ss1(),
+        MachineConfig::static2(),
+        MachineConfig::ss2(),
+    ]
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(id: &str, title: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Prints a `measured:` line used by the experiment summaries.
+pub fn measured(text: &str) {
+    println!("measured: {text}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_workloads::profile;
+
+    #[test]
+    fn budget_floor() {
+        assert!(budget() >= 1_000);
+    }
+
+    #[test]
+    fn run_workload_produces_ipc() {
+        let p = profile("ijpeg").unwrap();
+        let r = run_workload(&p, MachineConfig::ss1(), 5_000);
+        assert!(r.ipc > 0.5);
+        // The generated program halts within ~10% of the requested budget.
+        assert!(r.retired_instructions >= 4_000);
+    }
+
+    #[test]
+    fn figure5_models_are_distinct() {
+        let m = figure5_models();
+        assert_eq!(m[0].name, "SS-1");
+        assert_eq!(m[1].name, "Static-2");
+        assert_eq!(m[2].name, "SS-2");
+    }
+}

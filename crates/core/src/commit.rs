@@ -1,0 +1,212 @@
+//! Commit stage: in-order retirement with the redundant cross-check,
+//! majority election, the control-flow check, and rewind recovery.
+
+use crate::check::{check_group, GroupDecision};
+use crate::entry::{Entry, EntryState};
+use crate::pipeline::Processor;
+use crate::stats::RewindCause;
+use ftsim_faults::FaultFate;
+use ftsim_mem::AccessKind;
+use ftsim_predict::DirectionPredictor;
+
+impl Processor {
+    /// Retires as many whole replication groups as bandwidth and
+    /// correctness allow this cycle.
+    pub(crate) fn stage_commit(&mut self) {
+        let r = self.r() as usize;
+        let mut budget = self.config.commit_width as usize;
+        let mut committed_any = false;
+
+        while budget >= r {
+            // Snapshot the head group (cloning ≤ R small entries) so the
+            // decision logic does not hold a borrow on the RUU.
+            let group: Vec<Entry> = self
+                .ruu
+                .head_group()
+                .into_iter()
+                .cloned()
+                .collect();
+            if group.is_empty() {
+                break;
+            }
+            debug_assert_eq!(group.len(), r, "replication groups dispatch atomically");
+            if !group.iter().all(|e| e.state == EntryState::Done) {
+                break;
+            }
+
+            // Control-flow check against the ECC-protected committed
+            // next-PC register: "every retiring instruction's PC must be
+            // checked against the last committed next-PC" (§3.2).
+            if group[0].pc != self.committed_next_pc {
+                for e in &group {
+                    if let Some((id, _)) = e.fault {
+                        let fate = if e.fault_effective {
+                            FaultFate::Detected
+                        } else {
+                            FaultFate::Masked
+                        };
+                        self.fault_log.resolve(id, fate);
+                    }
+                }
+                self.full_rewind(RewindCause::ControlFlowCheck);
+                break;
+            }
+
+            let outcome = check_group(
+                &group.iter().collect::<Vec<_>>(),
+                self.config.redundancy.majority,
+                self.config.redundancy.threshold,
+            );
+
+            match outcome.decision {
+                GroupDecision::Rewind => {
+                    // Detection: attribute attached faults, then recover by
+                    // rewinding to the committed state (§3.2 Recovery).
+                    for e in &group {
+                        if let Some((id, _)) = e.fault {
+                            let fate = if e.fault_effective {
+                                FaultFate::Detected
+                            } else {
+                                FaultFate::Masked
+                            };
+                            self.fault_log.resolve(id, fate);
+                        }
+                    }
+                    self.full_rewind(RewindCause::FaultDetected);
+                    break;
+                }
+                GroupDecision::Commit { representative } => {
+                    let rep = &group[representative];
+
+                    // A corrupted copy of a control instruction may have
+                    // redirected the front end to a bogus target at
+                    // resolution time. Election commits the correct
+                    // outcome, but the fetch stream is still poisoned —
+                    // repair it like a commit-time mispredict: squash
+                    // everything younger and re-steer to the elected
+                    // next-PC. (Without this, a wrong-target redirect can
+                    // leave fetch outside the text segment forever.)
+                    if !outcome.unanimous && rep.inst.op.is_control() {
+                        let elected_next = rep.computed_next_pc();
+                        let steered = rep
+                            .resteer_next
+                            .or(rep.pred.map(|p| p.next_pc))
+                            .expect("control instruction carries a prediction");
+                        if steered != elected_next {
+                            let last_seq = rep.seq - u64::from(rep.copy) + self.r() - 1;
+                            self.branch_rewind(rep.group, last_seq, elected_next);
+                        }
+                    }
+
+                    // Stores write committed memory only now, after the
+                    // cross-check passed — and need an L1D port.
+                    if rep.inst.op.is_store() {
+                        if !self.hierarchy.try_data_port() {
+                            self.stats.store_port_stalls += 1;
+                            break;
+                        }
+                        let ea = rep.ea.expect("store has an address");
+                        let data = rep.store_data.expect("store has a datum");
+                        self.hierarchy.data_access(ea, AccessKind::Write);
+                        self.mem.write_sized(ea, data, rep.inst.op.mem_bytes());
+                    }
+
+                    if !outcome.unanimous {
+                        self.stats.majority_elections += 1;
+                    }
+                    for (idx, e) in group.iter().enumerate() {
+                        let Some((id, _)) = e.fault else { continue };
+                        let fate = if outcome.dissenters.contains(&idx) {
+                            FaultFate::Outvoted
+                        } else if e.fault_effective {
+                            // An architecturally-visible corruption sits on
+                            // the side whose values are committing: either
+                            // R = 1 (no protection), or every committing
+                            // copy was corrupted *identically* — the
+                            // indiscernible-error case of §2.2 that no
+                            // degree of replication can detect (it can even
+                            // win a majority election). Committed state is
+                            // now corrupt; account it honestly.
+                            FaultFate::Escaped
+                        } else {
+                            FaultFate::Masked
+                        };
+                        self.fault_log.resolve(id, fate);
+                    }
+
+                    self.retire_group(rep.clone(), representative == 0);
+                    budget -= r;
+                    committed_any = true;
+                    if self.halted {
+                        break;
+                    }
+                }
+            }
+        }
+
+        if committed_any {
+            self.stats.commit_active_cycles += 1;
+            self.last_commit_cycle = self.now;
+        }
+    }
+
+    /// Applies one group's architectural effects and frees its resources.
+    fn retire_group(&mut self, rep: Entry, _rep_is_copy0: bool) {
+        // First commit after a full rewind closes the recovery-penalty
+        // measurement (the W of §4.2/§5.3). This runs before the group is
+        // counted so same-cycle commits preceding a rewind can't zero it.
+        if let Some(start) = self.pending_rewind_start.take() {
+            let penalty = self.now - start;
+            self.stats.rewind_penalty_cycles += penalty;
+            self.stats.rewind_penalty_events += 1;
+            self.stats.rewind_penalty_max = self.stats.rewind_penalty_max.max(penalty);
+        }
+        let r = self.r() as usize;
+        let inst = rep.inst;
+        let copy0_seq = rep.seq - u64::from(rep.copy);
+
+        if let (Some(rd), Some(v)) = (inst.effective_rd(), rep.result) {
+            self.regs.write(rd, v);
+        }
+
+        if inst.op.is_cond_branch() {
+            let taken = rep.taken.expect("resolved branch");
+            self.stats.branches += 1;
+            let pred = rep.pred.expect("branch carries prediction");
+            if rep.computed_next_pc() != pred.next_pc {
+                self.stats.branch_mispredicts += 1;
+            }
+            self.fetch.predictor_mut().update(rep.pc, taken);
+            if taken {
+                self.fetch
+                    .btb_mut()
+                    .update(rep.pc, rep.target.expect("taken branch has target"));
+            }
+        } else if inst.op.is_indirect_jump() {
+            self.fetch
+                .btb_mut()
+                .update(rep.pc, rep.target.expect("jump has target"));
+        }
+
+        self.committed_next_pc = rep.computed_next_pc();
+
+        if let Some(rd) = inst.effective_rd() {
+            self.map.retire(rd, copy0_seq);
+        }
+        self.checkpoints.remove(&rep.group);
+        if inst.op.is_mem() {
+            self.lsq.remove_group(rep.group);
+        }
+
+        self.stats.retired_instructions += 1;
+        self.stats.retired_entries += r as u64;
+        self.stats.inflight_latency_sum += self.now.saturating_sub(rep.dispatched_at);
+        self.stats.count_mix(inst.op.mix_class());
+
+        self.ruu.pop_front(r);
+
+        if rep.halt {
+            self.halted = true;
+        }
+    }
+}

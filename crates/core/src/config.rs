@@ -1,0 +1,433 @@
+//! Machine configuration and the paper's evaluated machine models.
+
+use ftsim_mem::HierarchyConfig;
+use ftsim_predict::{BtbConfig, PredictorConfig};
+
+/// Functional-unit counts (paper Table 1: 4 / 2 / 2 / 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Integer ALUs (also resolve branches).
+    pub int_alu: u32,
+    /// Integer multiplier/divider units.
+    pub int_mul: u32,
+    /// FP adders.
+    pub fp_add: u32,
+    /// FP multiplier/divider units.
+    pub fp_mul: u32,
+}
+
+impl Default for FuConfig {
+    fn default() -> Self {
+        Self {
+            int_alu: 4,
+            int_mul: 2,
+            fp_add: 2,
+            fp_mul: 1,
+        }
+    }
+}
+
+/// Operation latencies in cycles (SimpleScalar defaults). "All FU
+/// operations are pipelined except for division" (Table 1) — divisions and
+/// square roots block their unit for the full latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpLatencies {
+    /// Integer ALU operations (and branch resolution).
+    pub int_alu: u64,
+    /// Integer multiply (pipelined).
+    pub int_mul: u64,
+    /// Integer divide/remainder (blocking).
+    pub int_div: u64,
+    /// FP add class (pipelined).
+    pub fp_add: u64,
+    /// FP multiply (pipelined).
+    pub fp_mul: u64,
+    /// FP divide (blocking).
+    pub fp_div: u64,
+    /// FP square root (blocking).
+    pub fp_sqrt: u64,
+    /// Store-to-load forwarding latency.
+    pub forward: u64,
+    /// Extra front-end refill cycles charged on a branch mispredict
+    /// redirect (on top of the natural refetch delay).
+    pub mispredict_extra: u64,
+}
+
+impl Default for OpLatencies {
+    fn default() -> Self {
+        Self {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 20,
+            fp_add: 2,
+            fp_mul: 4,
+            fp_div: 12,
+            fp_sqrt: 24,
+            forward: 1,
+            mispredict_extra: 2,
+        }
+    }
+}
+
+/// Redundant-execution configuration (the paper's `R`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundancyConfig {
+    /// Degree of redundancy: 1 = plain superscalar, 2–3 as studied.
+    pub r: u8,
+    /// With `r >= 3`, resolve commit-time disagreements by majority
+    /// election instead of always rewinding (§3.2 Recovery).
+    pub majority: bool,
+    /// Copies that must agree for a majority to be accepted (the paper's
+    /// "correctness acceptance threshold"). Ignored unless `majority`.
+    pub threshold: u8,
+}
+
+impl RedundancyConfig {
+    /// No redundancy.
+    pub fn none() -> Self {
+        Self {
+            r: 1,
+            majority: false,
+            threshold: 1,
+        }
+    }
+
+    /// `R`-way redundancy with rewind-only recovery.
+    pub fn rewind(r: u8) -> Self {
+        Self {
+            r,
+            majority: false,
+            threshold: r,
+        }
+    }
+
+    /// `R`-way redundancy with majority election (threshold ⌈(r+1)/2⌉).
+    pub fn majority(r: u8) -> Self {
+        Self {
+            r,
+            majority: true,
+            threshold: r / 2 + 1,
+        }
+    }
+}
+
+/// Resource scaling factors for the §5.2 sensitivity study
+/// (0.5×, 1×, 2×, ∞).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Half the baseline resources.
+    Half,
+    /// Baseline.
+    One,
+    /// Double.
+    Two,
+    /// Effectively unbounded.
+    Infinite,
+}
+
+impl Scale {
+    /// Applies the scale to a count, with `lo` as the floor and a large
+    /// constant for `Infinite`.
+    fn apply(self, base: u32, lo: u32, inf: u32) -> u32 {
+        match self {
+            Scale::Half => (base / 2).max(lo),
+            Scale::One => base,
+            Scale::Two => base * 2,
+            Scale::Infinite => inf,
+        }
+    }
+
+    /// Human-readable factor used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Half => "0.5x",
+            Scale::One => "1x",
+            Scale::Two => "2x",
+            Scale::Infinite => "inf",
+        }
+    }
+}
+
+/// Complete machine description for one simulation.
+///
+/// Construct via a preset ([`MachineConfig::ss1`], [`MachineConfig::ss2`],
+/// [`MachineConfig::ss3`], [`MachineConfig::static2`]) and refine with the
+/// `with_*` builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_core::{MachineConfig, Scale};
+///
+/// let m = MachineConfig::ss1().with_fu_scale(Scale::Two);
+/// assert_eq!(m.fu.int_alu, 8);
+/// let inf = MachineConfig::ss1().with_ruu_scale(Scale::Infinite);
+/// assert!(inf.ruu_size >= 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Display name ("SS-1", "SS-2", "Static-2", ...).
+    pub name: String,
+    /// Instructions fetched per cycle (Table 1: 8).
+    pub fetch_width: u32,
+    /// RUU entries dispatched per cycle (Table 1: 8; each redundant copy
+    /// consumes one slot, so effective architectural width is `width / R`).
+    pub dispatch_width: u32,
+    /// RUU entries issued to functional units per cycle (Table 1: 8).
+    pub issue_width: u32,
+    /// RUU entries retired per cycle (Table 1: 8; "R accesses to ROB are
+    /// needed to retire a single instruction").
+    pub commit_width: u32,
+    /// RUU (ROB + rename registers) capacity (Table 1: 128).
+    pub ruu_size: usize,
+    /// Load/store queue capacity (Table 1: 64).
+    pub lsq_size: usize,
+    /// Fetch queue capacity.
+    pub ifq_size: usize,
+    /// Functional-unit mix.
+    pub fu: FuConfig,
+    /// Operation latencies.
+    pub lat: OpLatencies,
+    /// Cache/TLB hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Direction predictor (Table 1 combined predictor).
+    pub predictor: PredictorConfig,
+    /// Branch target buffer.
+    pub btb: BtbConfig,
+    /// Return address stack depth.
+    pub ras_depth: usize,
+    /// Redundancy mode.
+    pub redundancy: RedundancyConfig,
+}
+
+impl MachineConfig {
+    /// The baseline superscalar of Table 1 (no redundancy) — the paper's
+    /// **SS-1** model.
+    pub fn ss1() -> Self {
+        Self {
+            name: "SS-1".to_string(),
+            fetch_width: 8,
+            dispatch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            ruu_size: 128,
+            lsq_size: 64,
+            ifq_size: 16,
+            fu: FuConfig::default(),
+            lat: OpLatencies::default(),
+            hierarchy: HierarchyConfig::default(),
+            predictor: PredictorConfig::default(),
+            btb: BtbConfig::default(),
+            ras_depth: 8,
+            redundancy: RedundancyConfig::none(),
+        }
+    }
+
+    /// The 2-way dynamically-redundant fault-tolerant superscalar —
+    /// the paper's **SS-2** model (same hardware as SS-1).
+    pub fn ss2() -> Self {
+        Self {
+            name: "SS-2".to_string(),
+            redundancy: RedundancyConfig::rewind(2),
+            ..Self::ss1()
+        }
+    }
+
+    /// 3-way redundancy with rewind-only recovery.
+    pub fn ss3() -> Self {
+        Self {
+            name: "SS-3".to_string(),
+            redundancy: RedundancyConfig::rewind(3),
+            ..Self::ss1()
+        }
+    }
+
+    /// 3-way redundancy with 2-of-3 majority election (the `R = 3` design
+    /// of Figures 3 and 6).
+    pub fn ss3_majority() -> Self {
+        Self {
+            name: "SS-3M".to_string(),
+            redundancy: RedundancyConfig::majority(3),
+            ..Self::ss1()
+        }
+    }
+
+    /// One pipe of the statically-redundant two-pipeline processor —
+    /// the paper's **Static-2** model: half of every SS-1 resource
+    /// *except* caches and branch prediction hardware, and each pipe keeps
+    /// one FP multiplier/divider (the paper notes Static-2 thereby "has
+    /// the advantage of an extra FP Mult/Div unit").
+    pub fn static2() -> Self {
+        Self {
+            name: "Static-2".to_string(),
+            fetch_width: 4,
+            dispatch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            ruu_size: 64,
+            lsq_size: 32,
+            ifq_size: 8,
+            fu: FuConfig {
+                int_alu: 2,
+                int_mul: 1,
+                fp_add: 1,
+                fp_mul: 1, // cannot halve a single unit
+            },
+            redundancy: RedundancyConfig::none(),
+            ..Self::ss1()
+        }
+    }
+
+    /// Overrides the redundancy mode, renaming the model accordingly.
+    pub fn with_redundancy(mut self, redundancy: RedundancyConfig) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// Scales every functional-unit count (sensitivity study §5.2).
+    ///
+    /// Memory ports scale too: in `sim-outorder` the L1D ports are
+    /// functional-unit resources (`res:memport`), so the paper's FU sweep
+    /// includes them.
+    pub fn with_fu_scale(mut self, scale: Scale) -> Self {
+        self.fu.int_alu = scale.apply(self.fu.int_alu, 1, 64);
+        self.fu.int_mul = scale.apply(self.fu.int_mul, 1, 64);
+        self.fu.fp_add = scale.apply(self.fu.fp_add, 1, 64);
+        self.fu.fp_mul = scale.apply(self.fu.fp_mul, 1, 64);
+        self.hierarchy.dl1_ports = scale.apply(self.hierarchy.dl1_ports, 1, 64);
+        self
+    }
+
+    /// Scales the RUU (and LSQ proportionally; sensitivity study §5.2).
+    pub fn with_ruu_scale(mut self, scale: Scale) -> Self {
+        self.ruu_size = scale.apply(self.ruu_size as u32, 8, 4096) as usize;
+        self.lsq_size = scale.apply(self.lsq_size as u32, 4, 2048) as usize;
+        self
+    }
+
+    /// Renames the model (for experiment tables).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot dispatch or retire a full
+    /// replication group atomically, or if sizes are zero.
+    pub fn validate(&self) {
+        let r = u32::from(self.redundancy.r);
+        assert!(r >= 1, "redundancy degree must be at least 1");
+        assert!(
+            self.dispatch_width >= r,
+            "dispatch width must fit one replication group"
+        );
+        assert!(
+            self.commit_width >= r,
+            "commit width must fit one replication group"
+        );
+        assert!(
+            self.ruu_size >= self.redundancy.r as usize,
+            "RUU must hold one replication group"
+        );
+        assert!(
+            self.lsq_size >= self.redundancy.r as usize,
+            "LSQ must hold one replication group"
+        );
+        assert!(self.fetch_width >= 1 && self.ifq_size >= 1, "front end too small");
+        assert!(
+            self.fu.int_alu >= 1,
+            "at least one integer ALU is required (branch resolution)"
+        );
+        if self.redundancy.majority {
+            assert!(
+                self.redundancy.r >= 3,
+                "majority election requires R >= 3"
+            );
+            assert!(
+                self.redundancy.threshold > self.redundancy.r / 2
+                    && self.redundancy.threshold <= self.redundancy.r,
+                "majority threshold must be a strict majority"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_baseline() {
+        let m = MachineConfig::ss1();
+        m.validate();
+        assert_eq!(m.fetch_width, 8);
+        assert_eq!(m.ruu_size, 128);
+        assert_eq!(m.lsq_size, 64);
+        assert_eq!(m.fu, FuConfig { int_alu: 4, int_mul: 2, fp_add: 2, fp_mul: 1 });
+        assert_eq!(m.redundancy.r, 1);
+    }
+
+    #[test]
+    fn ss2_shares_hardware_with_ss1() {
+        let a = MachineConfig::ss1();
+        let b = MachineConfig::ss2();
+        b.validate();
+        assert_eq!(b.redundancy.r, 2);
+        assert_eq!(a.fu, b.fu);
+        assert_eq!(a.ruu_size, b.ruu_size);
+        assert_eq!(a.hierarchy, b.hierarchy);
+    }
+
+    #[test]
+    fn static2_halves_core_keeps_caches_and_fpmul() {
+        let m = MachineConfig::static2();
+        m.validate();
+        assert_eq!(m.fetch_width, 4);
+        assert_eq!(m.ruu_size, 64);
+        assert_eq!(m.fu.int_alu, 2);
+        assert_eq!(m.fu.fp_mul, 1); // the "extra" FP Mult/Div per pipe
+        assert_eq!(m.hierarchy, MachineConfig::ss1().hierarchy);
+        assert_eq!(m.predictor, MachineConfig::ss1().predictor);
+    }
+
+    #[test]
+    fn majority_preset() {
+        let m = MachineConfig::ss3_majority();
+        m.validate();
+        assert!(m.redundancy.majority);
+        assert_eq!(m.redundancy.threshold, 2);
+    }
+
+    #[test]
+    fn scales() {
+        let m = MachineConfig::ss1().with_fu_scale(Scale::Half);
+        assert_eq!(m.fu.int_alu, 2);
+        assert_eq!(m.fu.fp_mul, 1); // floor at 1
+        let m = MachineConfig::ss1().with_ruu_scale(Scale::Two);
+        assert_eq!(m.ruu_size, 256);
+        assert_eq!(m.lsq_size, 128);
+        assert_eq!(Scale::Infinite.label(), "inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch width")]
+    fn group_must_fit_dispatch() {
+        let mut m = MachineConfig::ss2();
+        m.dispatch_width = 1;
+        m.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "majority election requires")]
+    fn majority_needs_three() {
+        let m = MachineConfig::ss2().with_redundancy(RedundancyConfig {
+            r: 2,
+            majority: true,
+            threshold: 2,
+        });
+        m.validate();
+    }
+}

@@ -1,0 +1,315 @@
+//! Issue stage: operand read, functional-unit allocation, execution, and
+//! memory scheduling — including the application of injected faults at
+//! their microarchitectural points.
+
+use crate::entry::EntryState;
+use crate::lsq::LoadSearch;
+use crate::pipeline::Processor;
+use ftsim_faults::InjectionPoint;
+use ftsim_isa::{direct_target, execute, ExecOutcome};
+use ftsim_mem::AccessKind;
+
+/// Compares the architecturally-checked fields of two outcomes; used to
+/// decide whether a corruption was *effective* (visible to the commit
+/// cross-check) or masked.
+fn outcomes_differ(a: &ExecOutcome, b: &ExecOutcome) -> bool {
+    a != b
+}
+
+impl Processor {
+    /// Runs the issue stage for one cycle.
+    pub(crate) fn stage_issue(&mut self) {
+        let mut budget = self.config.issue_width;
+        let ready: Vec<u64> = self
+            .ruu
+            .iter()
+            .filter(|e| e.state == EntryState::Ready)
+            .map(|e| e.seq)
+            .collect();
+        for seq in ready {
+            if budget == 0 {
+                break;
+            }
+            let is_mem = self
+                .ruu
+                .get(seq)
+                .map(|e| e.inst.op.is_mem())
+                .unwrap_or(false);
+            let consumed = if is_mem {
+                self.try_issue_mem(seq)
+            } else {
+                self.try_issue_fu(seq)
+            };
+            if consumed {
+                budget -= 1;
+            }
+        }
+        self.merge_store_data();
+    }
+
+    /// Issues a non-memory instruction to its functional unit.
+    fn try_issue_fu(&mut self, seq: u64) -> bool {
+        let (inst, pc, mut a, mut b, fault) = {
+            let e = self.ruu.get(seq).expect("ready entry exists");
+            (
+                e.inst,
+                e.pc,
+                e.ops[0].value(),
+                e.ops[1].value(),
+                e.fault,
+            )
+        };
+        let Some(latency) = self.fu.try_issue(inst.op, self.now) else {
+            return false; // structural hazard: retry next cycle
+        };
+
+        let mut effective = false;
+        if let Some((_, ev)) = fault {
+            match ev.point {
+                InjectionPoint::OperandA => {
+                    let clean = execute(&inst, pc, a, b);
+                    a = ev.corrupt(a);
+                    effective = outcomes_differ(&clean, &execute(&inst, pc, a, b));
+                }
+                InjectionPoint::OperandB => {
+                    let clean = execute(&inst, pc, a, b);
+                    b = ev.corrupt(b);
+                    effective = outcomes_differ(&clean, &execute(&inst, pc, a, b));
+                }
+                _ => {}
+            }
+        }
+        let mut out = execute(&inst, pc, a, b);
+        if let Some((_, ev)) = fault {
+            match ev.point {
+                InjectionPoint::Result => {
+                    if let Some(r) = out.result.as_mut() {
+                        *r = ev.corrupt(*r);
+                        effective = true;
+                    }
+                }
+                InjectionPoint::BranchDirection => {
+                    if let Some(t) = out.taken {
+                        let flipped = !t;
+                        out.taken = Some(flipped);
+                        out.target = flipped.then(|| direct_target(pc, inst.imm));
+                        effective = true;
+                    }
+                }
+                InjectionPoint::BranchTarget => {
+                    if let Some(t) = out.target.as_mut() {
+                        *t = ev.corrupt(*t);
+                        effective = true;
+                    }
+                    // Not-taken branch: the corrupted target is never
+                    // consumed — the fault is architecturally masked.
+                }
+                _ => {}
+            }
+        }
+
+        {
+            let e = self.ruu.get_mut(seq).expect("entry still live");
+            e.result = out.result;
+            e.taken = out.taken;
+            e.target = out.target;
+            e.fault_effective |= effective;
+        }
+        self.schedule_completion(seq, self.now + latency);
+        true
+    }
+
+    /// Issues a memory instruction: address generation, disambiguation,
+    /// forwarding, and (for copy 0) the single shared cache access.
+    fn try_issue_mem(&mut self, seq: u64) -> bool {
+        let (inst, pc, copy, base, fault, ea_known) = {
+            let e = self.ruu.get(seq).expect("ready entry exists");
+            (e.inst, e.pc, e.copy, e.ops[0].value(), e.fault, e.ea)
+        };
+
+        // Address generation (once).
+        let ea = match ea_known {
+            Some(ea) => ea,
+            None => {
+                let mut a = base;
+                let mut effective = false;
+                if let Some((_, ev)) = fault {
+                    if ev.point == InjectionPoint::OperandA {
+                        let clean = execute(&inst, pc, a, 0);
+                        a = ev.corrupt(a);
+                        effective = outcomes_differ(&clean, &execute(&inst, pc, a, 0));
+                    }
+                }
+                let mut ea = execute(&inst, pc, a, 0).ea.expect("mem op computes an address");
+                if let Some((_, ev)) = fault {
+                    if ev.point == InjectionPoint::EffAddr {
+                        ea = ev.corrupt(ea);
+                        effective = true;
+                    }
+                }
+                let e = self.ruu.get_mut(seq).expect("entry still live");
+                e.ea = Some(ea);
+                e.fault_effective |= effective;
+                self.lsq
+                    .get_mut(seq)
+                    .expect("mem entry has an LSQ slot")
+                    .addr = Some(ea);
+                ea
+            }
+        };
+
+        if inst.op.is_store() {
+            // The store's address phase occupies a memory port for its
+            // issue slot, like `sim-outorder`'s memport units. Every
+            // redundant copy pays this — the paper keeps the port count
+            // unchanged ("the overall processor design must remain
+            // balanced", §3.2), so redundant address computations compete
+            // for the same two ports.
+            if !self.hierarchy.try_data_port() {
+                return false;
+            }
+            // Address phase complete; the datum merges off the issue path.
+            let e = self.ruu.get_mut(seq).expect("entry still live");
+            e.state = EntryState::Issued;
+            return true;
+        }
+
+        // Loads: search older same-thread stores. Each copy occupies one
+        // memory port when it starts its access/forward (address
+        // calculation + data delivery), but only copy 0 actually touches
+        // the cache: "the memory addresses are computed redundantly, but
+        // only one memory access is performed" (§5.1.2).
+        let size = inst.op.mem_bytes();
+        match self.lsq.search_for_load(seq, copy, ea, size) {
+            LoadSearch::Forward(raw) => {
+                if !self.hierarchy.try_data_port() {
+                    return false;
+                }
+                self.lsq.get_mut(seq).expect("lsq slot").mem_value = Some(raw);
+                self.schedule_completion(seq, self.now + self.config.lat.forward);
+                self.stats.load_forwards += 1;
+                true
+            }
+            LoadSearch::WaitData | LoadSearch::Conflict => false,
+            LoadSearch::Memory => {
+                if copy == 0 {
+                    if !self.hierarchy.try_data_port() {
+                        return false;
+                    }
+                    let access = self.hierarchy.data_access(ea, AccessKind::Read);
+                    let raw = self.mem.read_sized(ea, size);
+                    self.lsq.get_mut(seq).expect("lsq slot").mem_value = Some(raw);
+                    self.schedule_completion(seq, self.now + access.latency);
+                    self.stats.load_accesses += 1;
+                    true
+                } else {
+                    // Redundant copies take the shared access's value.
+                    let copy0_seq = seq - u64::from(copy);
+                    match self.lsq.get(copy0_seq).and_then(|l| l.mem_value) {
+                        Some(raw) => {
+                            if !self.hierarchy.try_data_port() {
+                                return false;
+                            }
+                            self.lsq.get_mut(seq).expect("lsq slot").mem_value = Some(raw);
+                            self.schedule_completion(seq, self.now + 1);
+                            true
+                        }
+                        None => false, // copy 0 hasn't accessed yet
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges store data into the LSQ as it becomes available (does not
+    /// consume issue bandwidth) and schedules the store's completion.
+    fn merge_store_data(&mut self) {
+        let pending: Vec<u64> = self
+            .ruu
+            .iter()
+            .filter(|e| {
+                e.inst.op.is_store()
+                    && e.state == EntryState::Issued
+                    && e.store_data.is_none()
+                    && e.ops[1].ready()
+            })
+            .map(|e| e.seq)
+            .collect();
+        for seq in pending {
+            let (mut data, fault) = {
+                let e = self.ruu.get(seq).expect("entry live");
+                (e.ops[1].value(), e.fault)
+            };
+            let mut effective = false;
+            if let Some((_, ev)) = fault {
+                if matches!(
+                    ev.point,
+                    InjectionPoint::StoreData | InjectionPoint::OperandB
+                ) {
+                    data = ev.corrupt(data);
+                    effective = true;
+                }
+            }
+            {
+                let e = self.ruu.get_mut(seq).expect("entry live");
+                e.store_data = Some(data);
+                e.fault_effective |= effective;
+            }
+            self.lsq.get_mut(seq).expect("lsq slot").data = Some(data);
+            self.schedule_completion(seq, self.now + 1);
+        }
+    }
+}
+
+/// Applies a fault event to an instruction for unit tests (exposed via
+/// `pub(crate)` helpers above; this free function keeps the module's tests
+/// close to the logic they exercise).
+#[cfg(test)]
+fn corrupted(
+    inst: &ftsim_isa::Inst,
+    pc: u64,
+    a: u64,
+    b: u64,
+    ev: ftsim_faults::FaultEvent,
+) -> ExecOutcome {
+    let (mut a, mut b) = (a, b);
+    match ev.point {
+        InjectionPoint::OperandA => a = ev.corrupt(a),
+        InjectionPoint::OperandB => b = ev.corrupt(b),
+        _ => {}
+    }
+    execute(inst, pc, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_faults::FaultEvent;
+    use ftsim_isa::{Inst, Opcode};
+
+    #[test]
+    fn operand_fault_changes_alu_outcome() {
+        let inst = Inst::new(Opcode::Add, 1, 2, 3, 0);
+        let clean = execute(&inst, 0, 10, 20);
+        let ev = FaultEvent {
+            point: InjectionPoint::OperandA,
+            bit: 0,
+        };
+        let bad = corrupted(&inst, 0, 10, 20, ev);
+        assert!(outcomes_differ(&clean, &bad));
+        assert_eq!(bad.result, Some(31)); // (10^1) + 20
+    }
+
+    #[test]
+    fn operand_fault_can_be_masked() {
+        // AND with 0: corrupting the other operand cannot change the result.
+        let inst = Inst::new(Opcode::And, 1, 2, 3, 0);
+        let clean = execute(&inst, 0, 0xff, 0);
+        let ev = FaultEvent {
+            point: InjectionPoint::OperandA,
+            bit: 9, // bit outside the mask
+        };
+        let bad = corrupted(&inst, 0, 0xff, 0, ev);
+        assert!(!outcomes_differ(&clean, &bad));
+    }
+}

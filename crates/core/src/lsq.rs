@@ -1,0 +1,289 @@
+//! Load/store queue with thread-local forwarding and conservative
+//! disambiguation.
+
+use std::collections::VecDeque;
+
+/// One LSQ slot, paralleling an RUU entry (same sequence number).
+#[derive(Debug, Clone)]
+pub struct LsqEntry {
+    /// RUU sequence of the owning entry.
+    pub seq: u64,
+    /// Replication group (dispatch index).
+    pub group: u64,
+    /// Copy number; forwarding and disambiguation are *thread-local*
+    /// (copy *k* interacts only with stores of copy *k*), so a corrupted
+    /// store value or address stays confined to its thread and is exposed
+    /// by the commit-stage cross-check.
+    pub copy: u8,
+    /// Store (`true`) or load.
+    pub is_store: bool,
+    /// Access width in bytes.
+    pub size: u8,
+    /// Effective address once computed.
+    pub addr: Option<u64>,
+    /// Store datum once available.
+    pub data: Option<u64>,
+    /// For loads of copy 0: the raw value returned by the single shared
+    /// memory access, kept pristine so sibling copies can consume it even
+    /// if copy 0's own register result is later corrupted in the ROB.
+    pub mem_value: Option<u64>,
+}
+
+/// Outcome of a load's dependence search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSearch {
+    /// An older same-thread store to exactly this address/size has its
+    /// datum ready: forward this raw value.
+    Forward(u64),
+    /// The matching store exists but its datum is not yet available; retry
+    /// later (the producer's completion will unblock it).
+    WaitData,
+    /// An older same-thread store overlaps inexactly, or has an unresolved
+    /// address: conservatively stall until it leaves the queue.
+    Conflict,
+    /// No older dependence: safe to read memory.
+    Memory,
+}
+
+/// The load/store queue.
+///
+/// Entries are ordered by sequence number (program order × copies). All
+/// `R` copies of a memory instruction occupy slots, halving (for `R = 2`)
+/// the queue's effective capacity exactly as the paper describes for the
+/// ROB and rename registers.
+#[derive(Debug, Clone, Default)]
+pub struct Lsq {
+    entries: VecDeque<LsqEntry>,
+    capacity: usize,
+}
+
+impl Lsq {
+    /// Creates an empty queue.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow or non-monotonic sequence.
+    pub fn push(&mut self, entry: LsqEntry) {
+        assert!(self.entries.len() < self.capacity, "LSQ overflow");
+        if let Some(last) = self.entries.back() {
+            assert!(entry.seq > last.seq, "LSQ sequence must increase");
+        }
+        self.entries.push_back(entry);
+    }
+
+    fn position(&self, seq: u64) -> Option<usize> {
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
+    }
+
+    /// Lookup by sequence.
+    pub fn get(&self, seq: u64) -> Option<&LsqEntry> {
+        self.position(seq).map(|i| &self.entries[i])
+    }
+
+    /// Mutable lookup by sequence.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut LsqEntry> {
+        self.position(seq).map(|i| &mut self.entries[i])
+    }
+
+    /// Searches for the dependence governing a load (`seq`, copy `copy`)
+    /// at address `addr`/`size`.
+    ///
+    /// Scans older same-copy stores youngest-first: the first store with an
+    /// unknown address or an inexact overlap wins as [`LoadSearch::Conflict`];
+    /// an exact match forwards (or waits for) its datum; otherwise memory.
+    pub fn search_for_load(&self, seq: u64, copy: u8, addr: u64, size: u8) -> LoadSearch {
+        let end = addr.wrapping_add(u64::from(size));
+        for e in self.entries.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            if !e.is_store || e.copy != copy {
+                continue;
+            }
+            match e.addr {
+                None => return LoadSearch::Conflict,
+                Some(sa) => {
+                    let send = sa.wrapping_add(u64::from(e.size));
+                    let overlap = sa < end && addr < send;
+                    if !overlap {
+                        continue;
+                    }
+                    if sa == addr && e.size == size {
+                        return match e.data {
+                            Some(d) => LoadSearch::Forward(d),
+                            None => LoadSearch::WaitData,
+                        };
+                    }
+                    return LoadSearch::Conflict;
+                }
+            }
+        }
+        LoadSearch::Memory
+    }
+
+    /// Removes every entry belonging to `group` (called as the group
+    /// commits).
+    pub fn remove_group(&mut self, group: u64) {
+        self.entries.retain(|e| e.group != group);
+    }
+
+    /// Removes entries with `seq > cutoff` (branch rewind).
+    pub fn squash_after(&mut self, cutoff: u64) {
+        let keep = self.entries.partition_point(|e| e.seq <= cutoff);
+        self.entries.truncate(keep);
+    }
+
+    /// Removes everything (full rewind).
+    pub fn squash_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &LsqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(seq: u64, copy: u8, addr: Option<u64>, size: u8, data: Option<u64>) -> LsqEntry {
+        LsqEntry {
+            seq,
+            group: seq,
+            copy,
+            is_store: true,
+            size,
+            addr,
+            data,
+            mem_value: None,
+        }
+    }
+
+    fn load(seq: u64, copy: u8) -> LsqEntry {
+        LsqEntry {
+            seq,
+            group: seq,
+            copy,
+            is_store: false,
+            size: 8,
+            addr: None,
+            data: None,
+            mem_value: None,
+        }
+    }
+
+    #[test]
+    fn forward_exact_match() {
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, Some(0x100), 8, Some(42)));
+        q.push(load(2, 0));
+        assert_eq!(q.search_for_load(2, 0, 0x100, 8), LoadSearch::Forward(42));
+    }
+
+    #[test]
+    fn wait_for_store_data() {
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, Some(0x100), 8, None));
+        assert_eq!(q.search_for_load(2, 0, 0x100, 8), LoadSearch::WaitData);
+    }
+
+    #[test]
+    fn unknown_store_address_conflicts() {
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, None, 8, Some(1)));
+        assert_eq!(q.search_for_load(2, 0, 0x500, 8), LoadSearch::Conflict);
+    }
+
+    #[test]
+    fn partial_overlap_conflicts() {
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, Some(0x100), 4, Some(1)));
+        assert_eq!(q.search_for_load(2, 0, 0x100, 8), LoadSearch::Conflict);
+        // Overlap from below.
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, Some(0xfc), 8, Some(1)));
+        assert_eq!(q.search_for_load(2, 0, 0x100, 8), LoadSearch::Conflict);
+    }
+
+    #[test]
+    fn disjoint_store_goes_to_memory() {
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, Some(0x200), 8, Some(1)));
+        assert_eq!(q.search_for_load(2, 0, 0x100, 8), LoadSearch::Memory);
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, Some(0x100), 8, Some(1)));
+        q.push(store(2, 0, Some(0x100), 8, Some(2)));
+        assert_eq!(q.search_for_load(3, 0, 0x100, 8), LoadSearch::Forward(2));
+    }
+
+    #[test]
+    fn forwarding_is_thread_local() {
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, Some(0x100), 8, Some(10)));
+        q.push(store(2, 1, Some(0x100), 8, Some(20)));
+        assert_eq!(q.search_for_load(3, 0, 0x100, 8), LoadSearch::Forward(10));
+        assert_eq!(q.search_for_load(4, 1, 0x100, 8), LoadSearch::Forward(20));
+    }
+
+    #[test]
+    fn younger_stores_ignored() {
+        let mut q = Lsq::new(8);
+        q.push(load(1, 0));
+        q.push(store(2, 0, Some(0x100), 8, Some(9)));
+        assert_eq!(q.search_for_load(1, 0, 0x100, 8), LoadSearch::Memory);
+    }
+
+    #[test]
+    fn group_removal_and_squash() {
+        let mut q = Lsq::new(8);
+        q.push(store(1, 0, Some(0x100), 8, Some(1)));
+        q.push(load(5, 0));
+        q.push(load(6, 0));
+        q.remove_group(1);
+        assert_eq!(q.len(), 2);
+        q.squash_after(5);
+        assert_eq!(q.len(), 1);
+        assert!(q.get(5).is_some());
+        q.squash_all();
+        assert!(q.is_empty());
+        assert_eq!(q.free(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "LSQ overflow")]
+    fn overflow_panics() {
+        let mut q = Lsq::new(1);
+        q.push(load(1, 0));
+        q.push(load(2, 0));
+    }
+}

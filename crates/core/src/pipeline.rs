@@ -1,0 +1,372 @@
+//! The processor: pipeline state and the per-cycle stage driver.
+//!
+//! Stage methods live in sibling modules (`commit`, `writeback`, `issue`,
+//! `dispatch`) as `impl Processor` blocks; this module owns the shared
+//! state and the cross-cutting mechanics (branch rewind, full rewind,
+//! wakeup).
+
+use crate::config::MachineConfig;
+use crate::entry::{EntryState, Operand};
+use crate::fetch::FetchUnit;
+use crate::fu::FuPool;
+use crate::lsq::Lsq;
+use crate::rename::{MapCheckpoint, MapTable};
+use crate::ruu::Ruu;
+use crate::stats::SimStats;
+use ftsim_faults::{FaultFate, FaultInjector, FaultLog};
+use ftsim_isa::{ArchRegs, Program};
+use ftsim_mem::{Hierarchy, SparseMemory};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// The complete microarchitectural state of one simulated processor.
+///
+/// Prefer the [`Simulator`](crate::Simulator) facade for running programs;
+/// `Processor` is exposed for tests and tools that need to single-step
+/// cycles or inspect in-flight state.
+#[derive(Debug)]
+pub struct Processor {
+    pub(crate) config: MachineConfig,
+    pub(crate) program: Program,
+    pub(crate) now: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) next_group: u64,
+    pub(crate) ruu: Ruu,
+    pub(crate) lsq: Lsq,
+    pub(crate) map: MapTable,
+    pub(crate) checkpoints: HashMap<u64, MapCheckpoint>,
+    pub(crate) regs: ArchRegs,
+    pub(crate) mem: SparseMemory,
+    /// The ECC-protected committed next-PC register (§3.2): "an
+    /// ECC-protected register must hold the next-PC of the last committed
+    /// instruction as part of the committed program state."
+    pub(crate) committed_next_pc: u64,
+    pub(crate) fetch: FetchUnit,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) fu: FuPool,
+    pub(crate) events: BinaryHeap<Reverse<(u64, u64)>>,
+    pub(crate) injector: FaultInjector,
+    pub(crate) fault_log: FaultLog,
+    pub(crate) stats: SimStats,
+    pub(crate) halted: bool,
+    pub(crate) pending_rewind_start: Option<u64>,
+    pub(crate) last_commit_cycle: u64,
+}
+
+impl Processor {
+    /// Builds a processor over `program` with the given fault injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see
+    /// [`MachineConfig::validate`]).
+    pub fn new(config: MachineConfig, program: &Program, injector: FaultInjector) -> Self {
+        config.validate();
+        let mut mem = SparseMemory::new();
+        program.load_data(&mut mem);
+        Self {
+            now: 0,
+            next_seq: 0,
+            next_group: 0,
+            ruu: Ruu::new(config.ruu_size),
+            lsq: Lsq::new(config.lsq_size),
+            map: MapTable::new(),
+            checkpoints: HashMap::new(),
+            regs: ArchRegs::new(),
+            mem,
+            committed_next_pc: program.entry(),
+            fetch: FetchUnit::new(&config, program.entry()),
+            hierarchy: Hierarchy::new(&config.hierarchy),
+            fu: FuPool::new(&config.fu, config.lat),
+            events: BinaryHeap::new(),
+            injector,
+            fault_log: FaultLog::new(),
+            stats: SimStats::default(),
+            halted: false,
+            pending_rewind_start: None,
+            last_commit_cycle: 0,
+            program: program.clone(),
+            config,
+        }
+    }
+
+    /// Advances the machine one cycle.
+    ///
+    /// Stages run commit → writeback → issue → dispatch → fetch
+    /// (SimpleScalar's reverse traversal) so that values become visible
+    /// with correct single-cycle timing.
+    pub fn cycle(&mut self) {
+        self.hierarchy.begin_cycle();
+        self.stage_commit();
+        if !self.halted {
+            self.stage_writeback();
+            self.stage_issue();
+            self.stage_dispatch();
+            self.fetch.fetch_cycle(self.now, &self.program, &mut self.hierarchy);
+        }
+        self.stats.ruu_occupancy_sum += self.ruu.len() as u64;
+        self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
+        #[cfg(debug_assertions)]
+        self.assert_group_invariants();
+        self.stats.cycles += 1;
+        self.now += 1;
+    }
+
+    /// Whether `halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Committed architectural registers.
+    pub fn regs(&self) -> &ArchRegs {
+        &self.regs
+    }
+
+    /// Committed memory.
+    pub fn mem(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Statistics gathered so far. Cache/fetch counters are synchronized
+    /// on access.
+    pub fn stats(&mut self) -> &SimStats {
+        let (il1, dl1, l2) = self.hierarchy.cache_stats();
+        self.stats.il1 = il1;
+        self.stats.dl1 = dl1;
+        self.stats.l2 = l2;
+        let f = self.fetch.stats();
+        self.stats.fetched = f.fetched;
+        self.stats.fetch_stall_cycles = f.stall_cycles;
+        self.stats.icache_stall_cycles = f.icache_stall_cycles;
+        self.stats.faults = self.fault_log.counts();
+        &self.stats
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The fault ledger.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
+    /// In-flight RUU occupancy (tests/inspection).
+    pub fn ruu_len(&self) -> usize {
+        self.ruu.len()
+    }
+
+    /// Dumps the oldest `n` RUU entries and LSQ state (debugging aid).
+    pub fn debug_dump_head(&self, n: usize) {
+        eprintln!(
+            "ruu={} lsq={} events={} ifq={} next_pc={:#x} busy[alu={} mul={} fadd={} fmul={}]",
+            self.ruu.len(),
+            self.lsq.len(),
+            self.events.len(),
+            self.fetch.queued(),
+            self.committed_next_pc,
+            self.fu.busy(ftsim_isa::FuClass::IntAlu, self.now),
+            self.fu.busy(ftsim_isa::FuClass::IntMul, self.now),
+            self.fu.busy(ftsim_isa::FuClass::FpAdd, self.now),
+            self.fu.busy(ftsim_isa::FuClass::FpMul, self.now),
+        );
+        eprintln!(
+            "  ruu {}/{} oldest={:?} map-live={}",
+            self.ruu.len(),
+            self.ruu.capacity(),
+            self.ruu.head().map(|e| e.seq),
+            self.map.live_mappings()
+        );
+        for e in self.ruu.iter().take(n) {
+            eprintln!(
+                "  seq={} grp={} cp={} pc={:#x} {:?} {} ops={:?} ea={:?} res={:?}",
+                e.seq, e.group, e.copy, e.pc, e.state, e.inst, e.ops, e.ea, e.result
+            );
+        }
+        for l in self.lsq.iter().take(n) {
+            eprintln!(
+                "  lsq seq={} cp={} st={} addr={:?} data={:?} mv={:?}",
+                l.seq, l.copy, l.is_store, l.addr, l.data, l.mem_value
+            );
+        }
+    }
+
+    /// The degree of redundancy R.
+    pub(crate) fn r(&self) -> u64 {
+        u64::from(self.config.redundancy.r)
+    }
+
+    /// Broadcasts a completed producer's result to waiting consumers.
+    pub(crate) fn wakeup(&mut self, producer_seq: u64, value: u64) {
+        for e in self.ruu.iter_mut() {
+            let mut changed = false;
+            for op in &mut e.ops {
+                if *op == Operand::Wait(producer_seq) {
+                    *op = Operand::Value(value);
+                    changed = true;
+                }
+            }
+            if changed {
+                e.refresh_readiness();
+            }
+        }
+    }
+
+    /// Selective squash after a branch rewind: removes every entry younger
+    /// than `cutoff_seq`, restores the branch's map checkpoint, and marks
+    /// squashed faults as wrong-path.
+    pub(crate) fn branch_rewind(&mut self, branch_group: u64, cutoff_seq: u64, new_target: u64) {
+        let squashed = self.ruu.squash_after(cutoff_seq);
+        for e in &squashed {
+            if let Some((id, _)) = e.fault {
+                self.fault_log.resolve(id, FaultFate::SquashedWrongPath);
+            }
+            // Squashed younger branches' checkpoints are dead.
+            if e.inst.op.is_control() && e.copy == 0 {
+                self.checkpoints.remove(&e.group);
+            }
+        }
+        self.lsq.squash_after(cutoff_seq);
+        let cp = self
+            .checkpoints
+            .get(&branch_group)
+            .expect("branch group has a checkpoint")
+            .clone();
+        self.map.restore(&cp);
+        self.fetch.redirect(
+            new_target,
+            self.now + 1 + self.config.lat.mispredict_extra,
+        );
+        self.stats.branch_rewinds += 1;
+    }
+
+    /// Full rewind (§3.2 Recovery): "discard the entire ROB contents and
+    /// restart execution by refetching from the committed next-PC
+    /// register."
+    pub(crate) fn full_rewind(&mut self, cause: crate::stats::RewindCause) {
+        let squashed = self.ruu.squash_all();
+        for e in &squashed {
+            if let Some((id, _)) = e.fault {
+                self.fault_log.resolve(id, FaultFate::SquashedByRewind);
+            }
+        }
+        self.lsq.squash_all();
+        debug_assert!(self.lsq.is_empty() && self.ruu.is_empty());
+        self.checkpoints.clear();
+        self.map.clear();
+        self.events.clear();
+        self.fu.reset();
+        self.fetch.rewind(
+            self.committed_next_pc,
+            self.now + 1 + self.config.lat.mispredict_extra,
+        );
+        self.pending_rewind_start = Some(self.now);
+        match cause {
+            crate::stats::RewindCause::FaultDetected => self.stats.fault_rewinds += 1,
+            crate::stats::RewindCause::ControlFlowCheck => self.stats.pc_check_rewinds += 1,
+        }
+    }
+
+    /// Debug invariant: every replication group in the RUU is contiguous,
+    /// complete, and placed so copies have consecutive sequence numbers
+    /// (the paper's ⌊i/R⌋ placement rule).
+    #[cfg(debug_assertions)]
+    pub(crate) fn assert_group_invariants(&self) {
+        let r = self.r();
+        let mut iter = self.ruu.iter().peekable();
+        while let Some(first) = iter.next() {
+            assert_eq!(first.copy, 0, "group must start at copy 0");
+            for k in 1..r {
+                let e = iter.next().expect("incomplete replication group");
+                assert_eq!(e.group, first.group, "group interleaved");
+                assert_eq!(u64::from(e.copy), k, "copy order broken");
+                assert_eq!(e.seq, first.seq + k, "copies not consecutive");
+            }
+        }
+    }
+
+    /// No-op counterpart for builds without `debug_assertions` (the bench
+    /// profile compiles unit tests too, so the symbol must exist).
+    #[cfg(not(debug_assertions))]
+    #[allow(dead_code)]
+    pub(crate) fn assert_group_invariants(&self) {}
+
+}
+
+/// Schedules a completion event (free function to avoid borrow tangles).
+pub(crate) fn schedule(events: &mut BinaryHeap<Reverse<(u64, u64)>>, cycle: u64, seq: u64) {
+    events.push(Reverse((cycle, seq)));
+}
+
+impl Processor {
+    /// Marks `entry` issued and schedules its completion.
+    pub(crate) fn schedule_completion(&mut self, seq: u64, at: u64) {
+        schedule(&mut self.events, at, seq);
+        if let Some(e) = self.ruu.get_mut(seq) {
+            e.state = EntryState::Issued;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use ftsim_isa::{IntReg, ProgramBuilder};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.addi(IntReg::new(1), IntReg::ZERO, 7);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn runs_trivial_program_to_halt() {
+        let p = tiny_program();
+        let mut proc = Processor::new(MachineConfig::ss1(), &p, FaultInjector::none());
+        for _ in 0..200 {
+            proc.cycle();
+            if proc.halted() {
+                break;
+            }
+        }
+        assert!(proc.halted());
+        assert_eq!(proc.regs().read_int(IntReg::new(1)), 7);
+        assert_eq!(proc.stats().retired_instructions, 2);
+    }
+
+    #[test]
+    fn redundant_mode_retires_same_instructions() {
+        let p = tiny_program();
+        let mut proc = Processor::new(MachineConfig::ss2(), &p, FaultInjector::none());
+        for _ in 0..200 {
+            proc.cycle();
+            if proc.halted() {
+                break;
+            }
+        }
+        assert!(proc.halted());
+        let s = proc.stats();
+        assert_eq!(s.retired_instructions, 2);
+        assert_eq!(s.retired_entries, 4); // R = 2 entries per instruction
+    }
+
+    #[test]
+    fn committed_next_pc_tracks_entry() {
+        let p = tiny_program();
+        let mut proc = Processor::new(MachineConfig::ss1(), &p, FaultInjector::none());
+        assert_eq!(proc.committed_next_pc, p.entry());
+        while !proc.halted() {
+            proc.cycle();
+        }
+        // After halt commits, next-PC is one past the halt.
+        assert_eq!(proc.committed_next_pc, p.entry() + 8);
+    }
+}

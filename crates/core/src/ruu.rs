@@ -1,0 +1,214 @@
+//! The register update unit: a circular in-order buffer of [`Entry`]s.
+
+use crate::entry::Entry;
+use std::collections::VecDeque;
+
+/// The RUU (reorder buffer with integrated rename registers, after
+/// Sohi's RUU [17] as used by SimpleScalar).
+///
+/// Entries are kept in dispatch (sequence) order. Replication groups are
+/// dispatched and retired atomically, so the `R` copies of an instruction
+/// always occupy consecutive positions — the invariant the commit-stage
+/// cross-check indexes by.
+#[derive(Debug, Clone, Default)]
+pub struct Ruu {
+    entries: VecDeque<Entry>,
+    capacity: usize,
+}
+
+impl Ruu {
+    /// Creates an empty RUU with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Appends a freshly dispatched entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RUU is full or `entry.seq` is not monotonically
+    /// increasing.
+    pub fn push(&mut self, entry: Entry) {
+        assert!(self.entries.len() < self.capacity, "RUU overflow");
+        if let Some(last) = self.entries.back() {
+            assert!(entry.seq > last.seq, "RUU sequence must increase");
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Position of `seq` in the buffer, if present.
+    fn position(&self, seq: u64) -> Option<usize> {
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
+    }
+
+    /// Immutable entry lookup by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&Entry> {
+        self.position(seq).map(|i| &self.entries[i])
+    }
+
+    /// Mutable entry lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut Entry> {
+        self.position(seq).map(|i| &mut self.entries[i])
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&Entry> {
+        self.entries.front()
+    }
+
+    /// The oldest replication group: all leading entries sharing the head's
+    /// `group`. Returns an empty slice when the RUU is empty.
+    pub fn head_group(&self) -> Vec<&Entry> {
+        let Some(first) = self.entries.front() else {
+            return Vec::new();
+        };
+        self.entries
+            .iter()
+            .take_while(|e| e.group == first.group)
+            .collect()
+    }
+
+    /// Removes the oldest `n` entries (used by commit after a group
+    /// retires).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` entries are live.
+    pub fn pop_front(&mut self, n: usize) -> Vec<Entry> {
+        assert!(n <= self.entries.len(), "RUU underflow");
+        self.entries.drain(..n).collect()
+    }
+
+    /// Removes every entry with `seq > cutoff` (branch rewind), returning
+    /// the squashed entries youngest-last.
+    pub fn squash_after(&mut self, cutoff: u64) -> Vec<Entry> {
+        let keep = self.entries.partition_point(|e| e.seq <= cutoff);
+        self.entries.drain(keep..).collect()
+    }
+
+    /// Removes everything (full rewind), returning the squashed entries.
+    pub fn squash_all(&mut self) -> Vec<Entry> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Iterates over live entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably over live entries oldest-first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_isa::Inst;
+
+    fn entry(seq: u64, group: u64, copy: u8) -> Entry {
+        Entry::new(seq, group, copy, 0x1000 + 4 * group, Inst::nop(), 0)
+    }
+
+    #[test]
+    fn push_lookup_pop() {
+        let mut r = Ruu::new(8);
+        for s in 0..4 {
+            r.push(entry(s, s / 2, (s % 2) as u8));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.free(), 4);
+        assert_eq!(r.get(2).unwrap().seq, 2);
+        assert!(r.get(9).is_none());
+        let popped = r.pop_front(2);
+        assert_eq!(popped.len(), 2);
+        assert_eq!(r.head().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn head_group_takes_all_copies() {
+        let mut r = Ruu::new(8);
+        r.push(entry(0, 0, 0));
+        r.push(entry(1, 0, 1));
+        r.push(entry(2, 1, 0));
+        let g = r.head_group();
+        assert_eq!(g.len(), 2);
+        assert!(g.iter().all(|e| e.group == 0));
+    }
+
+    #[test]
+    fn squash_after_removes_younger_only() {
+        let mut r = Ruu::new(8);
+        for s in 0..6 {
+            r.push(entry(s, s, 0));
+        }
+        let squashed = r.squash_after(2);
+        assert_eq!(squashed.len(), 3);
+        assert_eq!(squashed[0].seq, 3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.entries.back().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn squash_with_sequence_gaps() {
+        let mut r = Ruu::new(8);
+        r.push(entry(0, 0, 0));
+        r.push(entry(5, 1, 0)); // gap after an earlier squash
+        r.push(entry(6, 2, 0));
+        assert_eq!(r.squash_after(4).len(), 2);
+        assert_eq!(r.len(), 1);
+        assert!(r.get(5).is_none());
+        assert!(r.get(0).is_some());
+    }
+
+    #[test]
+    fn squash_all_empties() {
+        let mut r = Ruu::new(4);
+        r.push(entry(0, 0, 0));
+        r.push(entry(1, 1, 0));
+        assert_eq!(r.squash_all().len(), 2);
+        assert!(r.is_empty());
+        assert!(r.head_group().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "RUU overflow")]
+    fn overflow_panics() {
+        let mut r = Ruu::new(1);
+        r.push(entry(0, 0, 0));
+        r.push(entry(1, 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence must increase")]
+    fn non_monotonic_rejected() {
+        let mut r = Ruu::new(4);
+        r.push(entry(5, 0, 0));
+        r.push(entry(3, 1, 0));
+    }
+}

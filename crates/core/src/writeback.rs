@@ -1,0 +1,114 @@
+//! Writeback stage: completion events, consumer wakeup, and branch
+//! resolution with immediate rewind on mispredicts.
+
+use crate::entry::EntryState;
+use crate::pipeline::Processor;
+use ftsim_faults::InjectionPoint;
+use ftsim_isa::load_extend;
+use std::cmp::Reverse;
+
+impl Processor {
+    /// Processes every completion event due this cycle.
+    pub(crate) fn stage_writeback(&mut self) {
+        while let Some(&Reverse((cycle, seq))) = self.events.peek() {
+            if cycle > self.now {
+                break;
+            }
+            self.events.pop();
+            self.complete(seq);
+        }
+    }
+
+    /// Finalizes one entry's execution.
+    fn complete(&mut self, seq: u64) {
+        let Some(e) = self.ruu.get(seq) else {
+            return; // squashed while in flight
+        };
+        if e.state != EntryState::Issued {
+            return; // stale event
+        }
+        let inst = e.inst;
+        let fault = e.fault;
+        let mut result = e.result;
+
+        // Loads: extend the raw (pristine, shared) memory value now.
+        if inst.op.is_load() {
+            let raw = self
+                .lsq
+                .get(seq)
+                .and_then(|l| l.mem_value)
+                .expect("completed load carries its raw value");
+            result = Some(load_extend(inst.op, raw));
+        }
+
+        // Late corruptions: load results, and values struck while sitting
+        // in the ROB awaiting commit ("a value becomes corrupted while
+        // waiting to commit", §3.2 — the reason copies are re-checked at
+        // commit time).
+        let mut effective = false;
+        if let Some((_, ev)) = fault {
+            match ev.point {
+                InjectionPoint::Result if inst.op.is_load() => {
+                    result = result.map(|r| ev.corrupt(r));
+                    effective = true;
+                }
+                InjectionPoint::RobWait => {
+                    if result.is_some() {
+                        result = result.map(|r| ev.corrupt(r));
+                        effective = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        {
+            let e = self.ruu.get_mut(seq).expect("entry live");
+            e.result = result;
+            e.state = EntryState::Done;
+            e.fault_effective |= effective;
+        }
+        if let Some(v) = result {
+            self.wakeup(seq, v);
+        }
+        if inst.op.is_control() {
+            self.resolve_control(seq);
+        }
+    }
+
+    /// Branch resolution: "as soon as one copy of a branch instruction
+    /// evaluates and disagrees with the predicted branch direction or
+    /// target, branch rewind is triggered immediately based on this
+    /// singular result" (§3.2).
+    fn resolve_control(&mut self, seq: u64) {
+        let (group, copy, actual_next, expected) = {
+            let e = self.ruu.get(seq).expect("entry live");
+            let pred_next = e
+                .pred
+                .expect("control instruction carries a prediction")
+                .next_pc;
+            (
+                e.group,
+                e.copy,
+                e.computed_next_pc(),
+                e.resteer_next.unwrap_or(pred_next),
+            )
+        };
+        if actual_next == expected {
+            return;
+        }
+        let r = self.r();
+        let copy0_seq = seq - u64::from(copy);
+        let cutoff = copy0_seq + r - 1;
+        self.branch_rewind(group, cutoff, actual_next);
+        // Record the applied redirect on every sibling copy: a copy that
+        // later resolves to the same next-PC must not re-trigger, while a
+        // disagreeing copy (corrupted branch) still will — and the
+        // disagreement is then caught by the commit-stage cross-check.
+        for k in 0..r {
+            if let Some(sib) = self.ruu.get_mut(copy0_seq + k) {
+                sib.resteer_next = Some(actual_next);
+            }
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Stress tests for the out-of-order pipeline: branchy control flow,
+//! memory dependences, fault injection, and recovery — all validated
+//! against the in-order oracle.
+
+use ftsim_core::{MachineConfig, OracleMode, RedundancyConfig, Simulator};
+use ftsim_faults::{FaultInjector, FaultPlan, InjectionPoint};
+use ftsim_isa::{asm, IntReg, Program, ProgramBuilder, DATA_BASE};
+
+/// A data-dependent-branch workload: computes a pseudo-random walk and
+/// histogram over memory. Exercises mispredicts, loads, stores,
+/// forwarding, and multiply/divide units.
+fn mixed_workload(iters: i32) -> Program {
+    asm::assemble(&format!(
+        r"
+            li   r10, {DATA_BASE}
+            addi r1, r0, {iters}    ; loop counter
+            addi r2, r0, 12345      ; lcg state
+            addi r3, r0, 0          ; checksum
+        loop:
+            ; lcg: state = state * 1103515245 + 12345 (mod 2^64)
+            li   r4, 1103515245
+            mul  r2, r2, r4
+            addi r2, r2, 12345
+            ; idx = (state >> 16) & 63
+            srli r5, r2, 16
+            andi r5, r5, 63
+            slli r6, r5, 3
+            add  r6, r6, r10
+            ; histogram[idx] += state (data-dependent address)
+            ld   r7, 0(r6)
+            add  r7, r7, r2
+            sd   r7, 0(r6)
+            ; data-dependent branch on a high-entropy bit (LCG bit 13;
+            ; the low bits of an LCG alternate trivially and a 2-level
+            ; predictor would learn them exactly)
+            srli r8, r2, 13
+            andi r8, r8, 1
+            beq  r8, r0, even
+            addi r3, r3, 1
+            j    next
+        even:
+            sub  r3, r3, r8
+            addi r3, r3, 2
+        next:
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            ; fold checksum into memory
+            sd   r3, 512(r10)
+            halt
+        "
+    ))
+    .unwrap()
+}
+
+/// FP + division workload: long dependence chains through the blocking
+/// FP divider, with calls and returns.
+fn fp_workload(iters: i32) -> Program {
+    asm::assemble(&format!(
+        r"
+            li   r10, {DATA_BASE}
+            addi r1, r0, {iters}
+            lfd  f1, 0(r10)         ; 3.0
+            lfd  f2, 8(r10)         ; 0.5
+            fmov f3, f1
+        loop:
+            jal  r31, body
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            sfd  f3, 16(r10)
+            cvtfi r2, f3
+            halt
+        body:
+            fmul f4, f3, f1
+            fdiv f5, f4, f1
+            fadd f3, f5, f2
+            fsub f3, f3, f2
+            jr   r31
+        .f64 {DATA_BASE} 3.0 0.5
+        "
+    ))
+    .unwrap()
+}
+
+fn run(config: MachineConfig, p: &Program) -> ftsim_core::SimResult {
+    Simulator::new(config, p)
+        .oracle(OracleMode::Final)
+        .run()
+        .expect("run must succeed and match the oracle")
+}
+
+#[test]
+fn mixed_workload_all_models_match_oracle() {
+    let p = mixed_workload(300);
+    for config in [
+        MachineConfig::ss1(),
+        MachineConfig::ss2(),
+        MachineConfig::ss3(),
+        MachineConfig::ss3_majority(),
+        MachineConfig::static2(),
+    ] {
+        let name = config.name.clone();
+        let r = run(config, &p);
+        assert!(r.halted, "{name} did not halt");
+        assert!(r.ipc > 0.05, "{name} IPC implausibly low: {}", r.ipc);
+    }
+}
+
+#[test]
+fn fp_workload_all_models_match_oracle() {
+    let p = fp_workload(100);
+    for config in [
+        MachineConfig::ss1(),
+        MachineConfig::ss2(),
+        MachineConfig::static2(),
+    ] {
+        let r = run(config, &p);
+        assert!(r.halted);
+    }
+}
+
+/// Eight independent integer chains: enough ILP to saturate the four
+/// integer ALUs, so redundant execution must pay close to the full 2x.
+fn saturated_workload(iters: i32) -> Program {
+    let mut body = String::new();
+    for c in 0..8 {
+        body.push_str(&format!("    addi r{0}, r{0}, {1}\n", c + 2, c + 1));
+        body.push_str(&format!("    xori r{0}, r{0}, 21\n", c + 2));
+        body.push_str(&format!("    slli r{0}, r{0}, 1\n", c + 2));
+        body.push_str(&format!("    srli r{0}, r{0}, 1\n", c + 2));
+    }
+    asm::assemble(&format!(
+        r"
+            addi r1, r0, {iters}
+        loop:
+{body}
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        "
+    ))
+    .unwrap()
+}
+
+#[test]
+fn redundancy_is_never_free_on_saturated_code() {
+    let p = saturated_workload(300);
+    let r1 = run(MachineConfig::ss1(), &p);
+    let r2 = run(MachineConfig::ss2(), &p);
+    assert_eq!(r1.retired_instructions, r2.retired_instructions);
+    assert!(
+        r2.cycles > r1.cycles,
+        "SS-2 ({}) should be slower than SS-1 ({})",
+        r2.cycles,
+        r1.cycles
+    );
+    // Paper: the IPC penalty for 2-way redundancy is at most ~50%+ε.
+    let penalty = 1.0 - r2.ipc / r1.ipc;
+    assert!(
+        penalty < 0.60,
+        "SS-2 penalty {penalty:.2} exceeds the paper's envelope"
+    );
+}
+
+#[test]
+fn planned_fault_on_alu_result_is_detected_and_recovered() {
+    let p = mixed_workload(50);
+    // OperandA applies to nearly every kind; plant faults on several
+    // groups so at least one lands on an applicable, committed-path copy.
+    let mut detected_runs = 0;
+    let mut injected_total = 0;
+    for group in [12u64, 14, 16, 18, 20, 22] {
+        let mut plan = FaultPlan::new();
+        plan.add(group, 1, InjectionPoint::OperandA, 13);
+        let r = Simulator::with_injector(
+            MachineConfig::ss2(),
+            &p,
+            FaultInjector::from_plan(plan),
+        )
+        .oracle(OracleMode::Final)
+        .run()
+        .expect("fault must be recovered, final state correct");
+        let f = r.faults;
+        injected_total += f.injected;
+        assert_eq!(f.escaped, 0, "group {group}: {f}");
+        assert_eq!(f.pending, 0, "group {group}: {f}");
+        if f.detected > 0 {
+            detected_runs += 1;
+            assert!(r.stats.fault_rewinds >= 1);
+            assert!(r.stats.rewind_penalty_events >= 1);
+            assert!(r.stats.mean_rewind_penalty() > 0.0);
+        }
+    }
+    assert!(injected_total > 0, "no planned fault ever applied");
+    assert!(detected_runs > 0, "no planned fault was detected at commit");
+}
+
+#[test]
+fn random_faults_r2_always_recover() {
+    let p = mixed_workload(200);
+    for seed in 0..5 {
+        let inj = FaultInjector::random(2e-3, seed);
+        let r = Simulator::with_injector(MachineConfig::ss2(), &p, inj)
+            .oracle(OracleMode::Final)
+            .run()
+            .expect("R=2 must recover from every injected fault");
+        let f = r.faults;
+        assert_eq!(f.escaped, 0, "escape at seed {seed}: {f}");
+        assert_eq!(f.pending, 0, "unresolved fault at seed {seed}: {f}");
+    }
+}
+
+#[test]
+fn random_faults_r3_majority_elects_without_rewind() {
+    let p = mixed_workload(200);
+    let inj = FaultInjector::random(2e-3, 7);
+    let r = Simulator::with_injector(MachineConfig::ss3_majority(), &p, inj)
+        .oracle(OracleMode::Final)
+        .run()
+        .expect("majority election must keep state correct");
+    let f = r.faults;
+    assert_eq!(f.escaped, 0);
+    assert!(f.outvoted > 0, "expected some out-voted faults: {f}");
+    // A corrupted value forwarded to in-flight consumers makes *their*
+    // groups dissent too (copy k inherited the bad operand), so elections
+    // can outnumber the originally injected, out-voted faults.
+    assert!(
+        r.stats.majority_elections >= f.outvoted,
+        "elections {} < outvoted {}",
+        r.stats.majority_elections,
+        f.outvoted
+    );
+}
+
+/// At extreme fault rates, two copies of one instruction can receive the
+/// *identical* corruption — the paper's §2.2 indiscernible-error case that
+/// no replication scheme detects (it can even win a majority election).
+/// These runs therefore demand: if the ledger reports zero escapes, the
+/// final state must match the oracle exactly; if it reports escapes, the
+/// oracle must disagree (or the machine may wedge on corrupted control
+/// flow). Anything else is a simulator bug.
+fn assert_escape_accounting(config: MachineConfig, rate: f64, seed: u64, p: &Program) {
+    // Pass 1: observe the ledger without verification.
+    let inj = FaultInjector::random(rate, seed);
+    let first = Simulator::with_injector(config.clone(), p, inj)
+        .oracle(OracleMode::Off)
+        .run();
+    // Pass 2 (same seed = identical run): verify against the oracle.
+    let inj = FaultInjector::random(rate, seed);
+    let second = Simulator::with_injector(config.clone(), p, inj)
+        .oracle(OracleMode::Final)
+        .run();
+    match first {
+        Ok(r) if r.faults.escaped == 0 => {
+            second.unwrap_or_else(|e| {
+                panic!("{} seed {seed}: clean ledger but oracle says {e}", config.name)
+            });
+        }
+        Ok(r) => {
+            assert!(
+                second.is_err(),
+                "{} seed {seed}: {} escapes but the oracle matched",
+                config.name,
+                r.faults.escaped
+            );
+        }
+        // Escaped control-flow corruption may wedge or overrun the machine
+        // — legitimate for committed garbage targets.
+        Err(
+            ftsim_core::SimError::Watchdog { .. } | ftsim_core::SimError::CycleLimit { .. },
+        ) => {}
+        Err(e) => panic!("{} seed {seed}: unexpected {e}", config.name),
+    }
+}
+
+#[test]
+fn majority_survives_corrupted_branch_redirects_at_high_rates() {
+    // Regression: a corrupted branch copy used to redirect fetch to a
+    // bogus target; majority election committed the correct outcome but
+    // never repaired the front end, wedging the machine with an empty
+    // pipeline. High fault rates make this near-certain to occur.
+    let p = mixed_workload(400);
+    for seed in [7u64, 42, 99, 123] {
+        assert_escape_accounting(MachineConfig::ss3_majority(), 0.03, seed, &p);
+    }
+}
+
+#[test]
+fn rewind_mode_survives_very_high_fault_rates() {
+    let p = mixed_workload(300);
+    for seed in [1u64, 5, 9] {
+        assert_escape_accounting(MachineConfig::ss2(), 0.05, seed, &p);
+    }
+}
+
+#[test]
+fn unprotected_r1_lets_faults_escape() {
+    let p = mixed_workload(300);
+    // High rate so at least one effective fault commits.
+    let inj = FaultInjector::random(5e-3, 11);
+    let result = Simulator::with_injector(MachineConfig::ss1(), &p, inj)
+        .oracle(OracleMode::Final)
+        .run();
+    match result {
+        // Corrupted committed state detected by the oracle...
+        Err(ftsim_core::SimError::OracleMismatch { .. }) => {}
+        // ...or corrupted control flow wedged/looped the machine — both
+        // are real failure modes of an unprotected core.
+        Err(ftsim_core::SimError::Watchdog { .. })
+        | Err(ftsim_core::SimError::CycleLimit { .. }) => {}
+        Ok(r) => {
+            // The run may survive if every fault was masked or squashed,
+            // but then the ledger must show no escapes.
+            assert_eq!(
+                r.faults.escaped, 0,
+                "escaped faults must imply oracle mismatch"
+            );
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn store_data_fault_never_corrupts_memory_r2() {
+    // A store datum is corrupted; the cross-check must catch it before the
+    // write reaches committed memory.
+    let r5 = IntReg::new(5);
+    let r1 = IntReg::new(1);
+    let mut b = ProgramBuilder::new();
+    b.li(r1, DATA_BASE as i64);
+    b.addi(r5, IntReg::ZERO, 77);
+    b.sd(r5, r1, 0);
+    b.ld(r5, r1, 0);
+    b.halt();
+    let p = b.build().unwrap();
+
+    // Dispatch indices: 0..n. The store is the group after li's expansion
+    // (li -> lui+ori = 2 groups, addi = 1) => store is group 3.
+    let mut plan = FaultPlan::new();
+    plan.add(3, 0, InjectionPoint::StoreData, 5);
+    let r = Simulator::with_injector(MachineConfig::ss2(), &p, FaultInjector::from_plan(plan))
+        .oracle(OracleMode::Final)
+        .run()
+        .expect("corrupted store must be caught before commit");
+    assert_eq!(r.faults.escaped, 0);
+}
+
+#[test]
+fn branch_direction_fault_recovers() {
+    let p = mixed_workload(60);
+    let mut hit_any = false;
+    for group in [15u64, 16, 17, 18, 19, 20] {
+        let mut plan = FaultPlan::new();
+        plan.add(group, 1, InjectionPoint::BranchDirection, 0);
+        let r = Simulator::with_injector(
+            MachineConfig::ss2(),
+            &p,
+            FaultInjector::from_plan(plan),
+        )
+        .oracle(OracleMode::Final)
+        .run()
+        .expect("branch-direction fault must be recovered");
+        hit_any |= r.faults.injected > 0;
+        assert_eq!(r.faults.escaped, 0);
+    }
+    assert!(hit_any, "no plan entry landed on a branch");
+}
+
+#[test]
+fn deterministic_same_seed_same_cycles() {
+    let p = mixed_workload(150);
+    let run_once = |seed| {
+        let inj = FaultInjector::random(1e-3, seed);
+        Simulator::with_injector(MachineConfig::ss2(), &p, inj)
+            .oracle(OracleMode::Off)
+            .run()
+            .unwrap()
+    };
+    let a = run_once(3);
+    let b = run_once(3);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.stats.fault_rewinds, b.stats.fault_rewinds);
+    assert_eq!(a.faults, b.faults);
+}
+
+#[test]
+fn rewind_based_recovery_throughput_unaffected_at_low_rates() {
+    // Paper abstract: "overall throughput remains unaffected by even a
+    // high frequency of faults because of the low cost of rewind-based
+    // recovery."
+    let p = mixed_workload(400);
+    let clean = run(MachineConfig::ss2(), &p);
+    let inj = FaultInjector::random(ftsim_faults::per_million(100.0), 1);
+    let faulty = Simulator::with_injector(MachineConfig::ss2(), &p, inj)
+        .oracle(OracleMode::Final)
+        .run()
+        .unwrap();
+    let slowdown = faulty.cycles as f64 / clean.cycles as f64;
+    assert!(
+        slowdown < 1.05,
+        "100 faults/M inst should cost <5% (got {slowdown:.3})"
+    );
+}
+
+#[test]
+fn static2_uses_half_width_but_full_caches() {
+    let p = mixed_workload(300);
+    let half = run(MachineConfig::static2(), &p);
+    let full = run(MachineConfig::ss1(), &p);
+    assert!(half.cycles >= full.cycles);
+}
+
+#[test]
+fn r4_rewind_configuration_works() {
+    let p = mixed_workload(50);
+    let cfg = MachineConfig::ss1().with_redundancy(RedundancyConfig::rewind(4));
+    let r = run(cfg, &p);
+    assert_eq!(r.stats.retired_entries, r.retired_instructions * 4);
+}

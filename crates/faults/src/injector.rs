@@ -1,0 +1,281 @@
+//! The fault injector: Bernoulli or plan-driven single-bit corruptions.
+
+use crate::plan::FaultPlan;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Where in an instruction copy's lifetime the upset strikes.
+///
+/// Each point corrupts a different speculative value, exercising a
+/// different detection path at the commit-stage cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionPoint {
+    /// First source operand as read at issue.
+    OperandA,
+    /// Second source operand as read at issue.
+    OperandB,
+    /// Computed result (ALU/FP value, load data, or link address).
+    Result,
+    /// Effective address of a load or store.
+    EffAddr,
+    /// Store datum.
+    StoreData,
+    /// Branch direction (the taken/not-taken decision flips).
+    BranchDirection,
+    /// Branch or jump target address.
+    BranchTarget,
+    /// Result corrupted *after* execution while waiting in the ROB —
+    /// the case that forces the paper to re-check copies at commit time
+    /// even if they were compared earlier (§3.2).
+    RobWait,
+}
+
+impl InjectionPoint {
+    /// All injection points.
+    pub const ALL: &'static [InjectionPoint] = &[
+        InjectionPoint::OperandA,
+        InjectionPoint::OperandB,
+        InjectionPoint::Result,
+        InjectionPoint::EffAddr,
+        InjectionPoint::StoreData,
+        InjectionPoint::BranchDirection,
+        InjectionPoint::BranchTarget,
+        InjectionPoint::RobWait,
+    ];
+}
+
+/// One concrete fault: a bit to flip at a given point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Which speculative value is corrupted.
+    pub point: InjectionPoint,
+    /// Which bit (0–63) flips. Ignored for [`InjectionPoint::BranchDirection`].
+    pub bit: u8,
+}
+
+impl FaultEvent {
+    /// Applies this event's bit flip to `value`.
+    pub fn corrupt(&self, value: u64) -> u64 {
+        value ^ (1u64 << (self.bit & 63))
+    }
+}
+
+enum Mode {
+    /// No faults at all (fast path for fault-free runs).
+    Disabled,
+    /// Bernoulli per-copy corruption with probability `rate`.
+    Random { rate: f64, rng: Box<SmallRng> },
+    /// Deterministic plan.
+    Planned(FaultPlan),
+}
+
+impl std::fmt::Debug for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Disabled => write!(f, "Disabled"),
+            Mode::Random { rate, .. } => write!(f, "Random(rate={rate})"),
+            Mode::Planned(p) => write!(f, "Planned({} events)", p.len()),
+        }
+    }
+}
+
+/// Draws fault events for dispatched instruction copies.
+///
+/// The pipeline calls [`FaultInjector::draw`] once per *copy* per dispatch
+/// (re-dispatches after a rewind draw again — transients are events in
+/// time, not properties of instructions, so a recovered instruction is
+/// re-executed fault-free with overwhelming probability).
+#[derive(Debug)]
+pub struct FaultInjector {
+    mode: Mode,
+    drawn: u64,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// An injector that never fires.
+    pub fn none() -> Self {
+        Self {
+            mode: Mode::Disabled,
+            drawn: 0,
+            injected: 0,
+        }
+    }
+
+    /// Bernoulli injection: each copy is corrupted with probability
+    /// `rate_per_inst` (the paper's fault frequency `f`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_inst` is not in `[0, 1]`.
+    pub fn random(rate_per_inst: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate_per_inst),
+            "fault rate must be a probability"
+        );
+        if rate_per_inst == 0.0 {
+            return Self::none();
+        }
+        Self {
+            mode: Mode::Random {
+                rate: rate_per_inst,
+                rng: Box::new(SmallRng::seed_from_u64(seed)),
+            },
+            drawn: 0,
+            injected: 0,
+        }
+    }
+
+    /// Deterministic injection from a [`FaultPlan`]; each planned event
+    /// fires exactly once.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        Self {
+            mode: Mode::Planned(plan),
+            drawn: 0,
+            injected: 0,
+        }
+    }
+
+    /// Decides whether the copy `copy` of the instruction dispatched with
+    /// dynamic index `dispatch_seq` suffers an upset, and if so where.
+    ///
+    /// `applicable` lists the injection points that make sense for this
+    /// instruction kind (e.g. a store has no result to corrupt); random
+    /// mode picks uniformly among them. Returns `None` when `applicable` is
+    /// empty even if the Bernoulli trial fired.
+    pub fn draw(
+        &mut self,
+        dispatch_seq: u64,
+        copy: u8,
+        applicable: &[InjectionPoint],
+    ) -> Option<FaultEvent> {
+        self.drawn += 1;
+        let event = match &mut self.mode {
+            Mode::Disabled => None,
+            Mode::Random { rate, rng } => {
+                if rng.gen::<f64>() < *rate && !applicable.is_empty() {
+                    let point = applicable[rng.gen_range(0..applicable.len())];
+                    Some(FaultEvent {
+                        point,
+                        bit: rng.gen_range(0..64),
+                    })
+                } else {
+                    None
+                }
+            }
+            Mode::Planned(plan) => plan
+                .take(dispatch_seq, copy)
+                .filter(|e| applicable.contains(&e.point)),
+        };
+        if event.is_some() {
+            self.injected += 1;
+        }
+        event
+    }
+
+    /// Number of `draw` calls so far.
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Number of faults produced so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    #[test]
+    fn disabled_never_fires() {
+        let mut inj = FaultInjector::none();
+        for s in 0..100 {
+            assert!(inj.draw(s, 0, InjectionPoint::ALL).is_none());
+        }
+        assert_eq!(inj.drawn(), 100);
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn zero_rate_is_disabled() {
+        let mut inj = FaultInjector::random(0.0, 1);
+        assert!(inj.draw(0, 0, InjectionPoint::ALL).is_none());
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let mut inj = FaultInjector::random(1.0, 7);
+        for s in 0..50 {
+            let e = inj.draw(s, 0, &[InjectionPoint::Result]).unwrap();
+            assert_eq!(e.point, InjectionPoint::Result);
+            assert!(e.bit < 64);
+        }
+        assert_eq!(inj.injected(), 50);
+    }
+
+    #[test]
+    fn empty_applicable_suppresses() {
+        let mut inj = FaultInjector::random(1.0, 7);
+        assert!(inj.draw(0, 0, &[]).is_none());
+    }
+
+    #[test]
+    fn rate_statistics_are_plausible() {
+        let mut inj = FaultInjector::random(0.1, 99);
+        let mut hits = 0;
+        for s in 0..10_000 {
+            if inj.draw(s, 0, InjectionPoint::ALL).is_some() {
+                hits += 1;
+            }
+        }
+        assert!((800..1200).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let collect = |seed| {
+            let mut inj = FaultInjector::random(0.05, seed);
+            (0..1000)
+                .filter_map(|s| inj.draw(s, 0, InjectionPoint::ALL).map(|e| (s, e)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let e = FaultEvent {
+            point: InjectionPoint::Result,
+            bit: 17,
+        };
+        let v = 0xdead_beef_0123_4567u64;
+        let c = e.corrupt(v);
+        assert_eq!((v ^ c).count_ones(), 1);
+        assert_eq!(v ^ c, 1 << 17);
+        assert_eq!(e.corrupt(c), v); // involution
+    }
+
+    #[test]
+    fn planned_fires_once_at_right_place() {
+        let mut plan = FaultPlan::new();
+        plan.add(3, 1, InjectionPoint::Result, 5);
+        let mut inj = FaultInjector::from_plan(plan);
+        assert!(inj.draw(3, 0, InjectionPoint::ALL).is_none()); // wrong copy
+        let e = inj.draw(3, 1, InjectionPoint::ALL).unwrap();
+        assert_eq!(e.bit, 5);
+        assert!(inj.draw(3, 1, InjectionPoint::ALL).is_none()); // consumed
+    }
+
+    #[test]
+    fn planned_respects_applicability() {
+        let mut plan = FaultPlan::new();
+        plan.add(0, 0, InjectionPoint::EffAddr, 2);
+        let mut inj = FaultInjector::from_plan(plan);
+        // Instruction kind without an effective address: event is dropped.
+        assert!(inj.draw(0, 0, &[InjectionPoint::Result]).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! Transient-fault (single-event-upset) injection for `ftsim`.
+//!
+//! Reproduces the paper's fault-injection methodology (§5.1.1):
+//!
+//! > *"We also introduced a 'fault injection' module that can randomly
+//! > corrupt some instructions based on a user-specified probability
+//! > distribution function. Because our fault injection module may decide
+//! > to corrupt some part of an instruction at any stage of the pipeline,
+//! > significant changes had to be made [...] to allow rewinds to be
+//! > decided later than the decode stage."*
+//!
+//! A fault is a **single-bit flip** applied to one *speculative* value of
+//! one instruction **copy**: an operand, a computed result, an effective
+//! address, store data, a branch direction or target, or a value sitting in
+//! the ROB awaiting commit. Committed state (architectural registers,
+//! caches, memory, TLBs, the rename map, the fetch queue) is ECC-protected
+//! by assumption (§3.1) and is never targeted.
+//!
+//! Two injector modes:
+//!
+//! * [`FaultInjector::random`] — Bernoulli process with a per-copy
+//!   corruption probability (the paper's fault frequency `f`, expressed in
+//!   faults per instruction); used for the Figure 6 sweeps.
+//! * [`FaultInjector::from_plan`] — a deterministic [`FaultPlan`] that
+//!   corrupts chosen `(dispatch index, copy)` pairs; used by unit and
+//!   property tests to pin down exact detection/recovery behaviour.
+//!
+//! Every injected fault is tracked in a [`FaultLog`] through its
+//! [`FaultFate`] — detected at commit, out-voted by majority election,
+//! squashed on the wrong path, flushed by an unrelated rewind, or (only
+//! possible without redundancy) silently committed.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftsim_faults::{FaultInjector, InjectionPoint};
+//!
+//! let mut inj = FaultInjector::random(0.5, 42);
+//! let points = [InjectionPoint::Result];
+//! let mut hits = 0;
+//! for seq in 0..1000 {
+//!     if inj.draw(seq, 0, &points).is_some() {
+//!         hits += 1;
+//!     }
+//! }
+//! assert!(hits > 400 && hits < 600); // ~Bernoulli(0.5)
+//! ```
+
+mod injector;
+mod log;
+mod plan;
+
+pub use injector::{FaultEvent, FaultInjector, InjectionPoint};
+pub use log::{FaultCounts, FaultFate, FaultId, FaultLog, FaultRecord};
+pub use plan::FaultPlan;
+
+/// Converts a rate in faults per million instructions (Figure 6's x-axis
+/// unit) to the per-instruction probability used by [`FaultInjector`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ftsim_faults::per_million(100.0), 1e-4);
+/// ```
+pub fn per_million(faults_per_million: f64) -> f64 {
+    faults_per_million / 1e6
+}

@@ -1,0 +1,245 @@
+//! Fault coverage ledger: what happened to every injected upset.
+
+use crate::injector::FaultEvent;
+use std::fmt;
+
+/// Identifier of an injected fault within a [`FaultLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultId(usize);
+
+/// The eventual fate of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultFate {
+    /// Injected but not yet resolved (instruction still in flight).
+    Pending,
+    /// The corrupted copy was on a mispredicted path and was squashed —
+    /// the fault never had an architecturally-visible effect.
+    SquashedWrongPath,
+    /// Flushed by a full rewind triggered by a *different* fault before
+    /// this one reached commit.
+    SquashedByRewind,
+    /// The commit-stage cross-check caught the disagreement and triggered
+    /// recovery (the paper's detection + rewind path).
+    Detected,
+    /// With `R ≥ 3` and majority election, the corrupted copy was
+    /// out-voted and the correct majority value committed (§3.2 Recovery).
+    Outvoted,
+    /// The corrupted value was architecturally masked — the cross-checked
+    /// fields of all copies still agreed (e.g. an operand flip that did not
+    /// change the result). No error, no recovery needed.
+    Masked,
+    /// The corruption reached committed state undetected. Possible only
+    /// without redundancy (`R = 1`); with `R ≥ 2` this indicates a bug in
+    /// the sphere of replication.
+    Escaped,
+}
+
+/// One injected fault and its tracking state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Dispatch index of the victim instruction.
+    pub dispatch_seq: u64,
+    /// Victim copy (0-based; `< R`).
+    pub copy: u8,
+    /// What was corrupted.
+    pub event: FaultEvent,
+    /// Resolution.
+    pub fate: FaultFate,
+}
+
+/// Aggregated fate counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Total injected.
+    pub injected: u64,
+    /// Still pending (should be 0 after a drained run).
+    pub pending: u64,
+    /// Squashed on the wrong path.
+    pub squashed_wrong_path: u64,
+    /// Flushed by an unrelated rewind.
+    pub squashed_by_rewind: u64,
+    /// Detected at commit (triggered recovery).
+    pub detected: u64,
+    /// Out-voted by majority election.
+    pub outvoted: u64,
+    /// Architecturally masked.
+    pub masked: u64,
+    /// Escaped to committed state.
+    pub escaped: u64,
+}
+
+impl FaultCounts {
+    /// Faults whose corruption reached a commit-time comparison (the
+    /// denominator for coverage: detected + outvoted + escaped).
+    pub fn effective(&self) -> u64 {
+        self.detected + self.outvoted + self.escaped
+    }
+
+    /// Detection coverage over effective faults: `1.0` when nothing
+    /// escaped; `1.0` (vacuously) when there were no effective faults.
+    pub fn coverage(&self) -> f64 {
+        let eff = self.effective();
+        if eff == 0 {
+            1.0
+        } else {
+            (self.detected + self.outvoted) as f64 / eff as f64
+        }
+    }
+}
+
+impl fmt::Display for FaultCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected={} detected={} outvoted={} masked={} wrong-path={} rewind-flushed={} escaped={} pending={}",
+            self.injected,
+            self.detected,
+            self.outvoted,
+            self.masked,
+            self.squashed_wrong_path,
+            self.squashed_by_rewind,
+            self.escaped,
+            self.pending
+        )
+    }
+}
+
+/// Records every injected fault and its eventual fate.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_faults::{FaultEvent, FaultFate, FaultLog, InjectionPoint};
+///
+/// let mut log = FaultLog::new();
+/// let id = log.record(7, 0, FaultEvent { point: InjectionPoint::Result, bit: 3 });
+/// log.resolve(id, FaultFate::Detected);
+/// assert_eq!(log.counts().detected, 1);
+/// assert_eq!(log.counts().coverage(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog {
+    records: Vec<FaultRecord>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new injected fault as [`FaultFate::Pending`].
+    pub fn record(&mut self, dispatch_seq: u64, copy: u8, event: FaultEvent) -> FaultId {
+        self.records.push(FaultRecord {
+            dispatch_seq,
+            copy,
+            event,
+            fate: FaultFate::Pending,
+        });
+        FaultId(self.records.len() - 1)
+    }
+
+    /// Sets the fate of fault `id`.
+    ///
+    /// A fault's fate may be refined once from `Pending`; later calls are
+    /// ignored unless they escalate `Masked`/`Pending` to a terminal fate —
+    /// simplest rule that is stable under out-of-order resolution is:
+    /// first non-`Pending` write wins.
+    pub fn resolve(&mut self, id: FaultId, fate: FaultFate) {
+        let r = &mut self.records[id.0];
+        if r.fate == FaultFate::Pending {
+            r.fate = fate;
+        }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Aggregate counts by fate.
+    pub fn counts(&self) -> FaultCounts {
+        let mut c = FaultCounts {
+            injected: self.records.len() as u64,
+            ..FaultCounts::default()
+        };
+        for r in &self.records {
+            match r.fate {
+                FaultFate::Pending => c.pending += 1,
+                FaultFate::SquashedWrongPath => c.squashed_wrong_path += 1,
+                FaultFate::SquashedByRewind => c.squashed_by_rewind += 1,
+                FaultFate::Detected => c.detected += 1,
+                FaultFate::Outvoted => c.outvoted += 1,
+                FaultFate::Masked => c.masked += 1,
+                FaultFate::Escaped => c.escaped += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::InjectionPoint;
+
+    fn ev() -> FaultEvent {
+        FaultEvent {
+            point: InjectionPoint::Result,
+            bit: 0,
+        }
+    }
+
+    #[test]
+    fn fates_accumulate() {
+        let mut log = FaultLog::new();
+        let a = log.record(0, 0, ev());
+        let b = log.record(1, 1, ev());
+        let c = log.record(2, 0, ev());
+        log.resolve(a, FaultFate::Detected);
+        log.resolve(b, FaultFate::SquashedWrongPath);
+        log.resolve(c, FaultFate::Outvoted);
+        let counts = log.counts();
+        assert_eq!(counts.injected, 3);
+        assert_eq!(counts.detected, 1);
+        assert_eq!(counts.squashed_wrong_path, 1);
+        assert_eq!(counts.outvoted, 1);
+        assert_eq!(counts.pending, 0);
+        assert_eq!(counts.effective(), 2);
+        assert_eq!(counts.coverage(), 1.0);
+    }
+
+    #[test]
+    fn first_resolution_wins() {
+        let mut log = FaultLog::new();
+        let a = log.record(0, 0, ev());
+        log.resolve(a, FaultFate::Detected);
+        log.resolve(a, FaultFate::Escaped);
+        assert_eq!(log.records()[0].fate, FaultFate::Detected);
+    }
+
+    #[test]
+    fn coverage_with_escape() {
+        let mut log = FaultLog::new();
+        let a = log.record(0, 0, ev());
+        let b = log.record(1, 0, ev());
+        log.resolve(a, FaultFate::Detected);
+        log.resolve(b, FaultFate::Escaped);
+        assert_eq!(log.counts().coverage(), 0.5);
+    }
+
+    #[test]
+    fn vacuous_coverage_is_one() {
+        assert_eq!(FaultLog::new().counts().coverage(), 1.0);
+    }
+
+    #[test]
+    fn display_lists_all_fates() {
+        let mut log = FaultLog::new();
+        let a = log.record(0, 0, ev());
+        log.resolve(a, FaultFate::Masked);
+        let s = log.counts().to_string();
+        assert!(s.contains("masked=1"));
+        assert!(s.contains("injected=1"));
+    }
+}

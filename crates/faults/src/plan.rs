@@ -1,0 +1,84 @@
+//! Deterministic fault plans for tests.
+
+use crate::injector::{FaultEvent, InjectionPoint};
+use std::collections::HashMap;
+
+/// A scripted set of fault events keyed by `(dispatch index, copy)`.
+///
+/// The dispatch index counts architectural instructions as they are
+/// dispatched (re-dispatches after a rewind keep counting), so a planned
+/// fault fires exactly once even if the victim instruction is later
+/// re-executed — matching the transient, non-recurring nature of SEUs.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_faults::{FaultInjector, FaultPlan, InjectionPoint};
+///
+/// let mut plan = FaultPlan::new();
+/// plan.add(10, 1, InjectionPoint::Result, 0); // copy 1 of the 10th dispatch
+/// let mut inj = FaultInjector::from_plan(plan);
+/// assert!(inj.draw(10, 1, InjectionPoint::ALL).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: HashMap<(u64, u8), FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a bit-`bit` flip at `point` on copy `copy` of the
+    /// instruction with dispatch index `dispatch_seq`. Replaces any event
+    /// already scheduled for that slot.
+    pub fn add(&mut self, dispatch_seq: u64, copy: u8, point: InjectionPoint, bit: u8) -> &mut Self {
+        self.events
+            .insert((dispatch_seq, copy), FaultEvent { point, bit });
+        self
+    }
+
+    /// Removes and returns the event for `(dispatch_seq, copy)`, if any.
+    pub(crate) fn take(&mut self, dispatch_seq: u64, copy: u8) -> Option<FaultEvent> {
+        self.events.remove(&(dispatch_seq, copy))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_take_consumes() {
+        let mut p = FaultPlan::new();
+        p.add(1, 0, InjectionPoint::Result, 3);
+        p.add(2, 1, InjectionPoint::EffAddr, 4);
+        assert_eq!(p.len(), 2);
+        let e = p.take(1, 0).unwrap();
+        assert_eq!(e.bit, 3);
+        assert!(p.take(1, 0).is_none());
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn add_replaces_slot() {
+        let mut p = FaultPlan::new();
+        p.add(1, 0, InjectionPoint::Result, 3);
+        p.add(1, 0, InjectionPoint::Result, 9);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.take(1, 0).unwrap().bit, 9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Binary instruction encoding.
+//!
+//! Instructions encode into a fixed 64-bit word:
+//!
+//! ```text
+//! bits  0..8   opcode
+//! bits  8..16  rd
+//! bits 16..24  rs1
+//! bits 24..32  rs2
+//! bits 32..64  imm (two's-complement)
+//! ```
+//!
+//! The architectural PC still advances by [`INST_BYTES`](crate::INST_BYTES)
+//! (4) per instruction — the simulator fetches decoded instructions from the
+//! [`Program`](crate::Program) image, and the binary form exists for storage
+//! and for the encode/decode round-trip property tests.
+
+use crate::inst::Inst;
+use crate::op::Opcode;
+use std::fmt;
+
+/// Error produced when decoding an invalid instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name a valid opcode.
+    BadOpcode(u8),
+    /// A register field used by this opcode is out of range.
+    BadRegister {
+        /// The offending opcode.
+        op: Opcode,
+        /// The raw register field value.
+        field: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::BadRegister { op, field } => {
+                write!(f, "register field {field} out of range for {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes an instruction into its 64-bit binary form.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_isa::{decode, encode, Inst, Opcode};
+///
+/// let i = Inst::new(Opcode::Addi, 1, 2, 0, -7);
+/// assert_eq!(decode(encode(&i)).unwrap(), i);
+/// ```
+pub fn encode(inst: &Inst) -> u64 {
+    (inst.op as u8 as u64)
+        | (u64::from(inst.rd) << 8)
+        | (u64::from(inst.rs1) << 16)
+        | (u64::from(inst.rs2) << 24)
+        | ((inst.imm as u32 as u64) << 32)
+}
+
+/// Decodes a 64-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BadOpcode`] for an unknown opcode byte and
+/// [`DecodeError::BadRegister`] when a register field *used by that opcode*
+/// is ≥ 32 (unused fields are ignored, matching [`Inst`]'s validation).
+pub fn decode(word: u64) -> Result<Inst, DecodeError> {
+    let op_byte = (word & 0xff) as u8;
+    let op = *Opcode::ALL
+        .get(op_byte as usize)
+        .ok_or(DecodeError::BadOpcode(op_byte))?;
+    let rd = ((word >> 8) & 0xff) as u8;
+    let rs1 = ((word >> 16) & 0xff) as u8;
+    let rs2 = ((word >> 24) & 0xff) as u8;
+    let imm = ((word >> 32) as u32) as i32;
+    for (class, field) in [
+        (op.rd_class(), rd),
+        (op.rs1_class(), rs1),
+        (op.rs2_class(), rs2),
+    ] {
+        if class.is_some() && field >= 32 {
+            return Err(DecodeError::BadRegister { op, field });
+        }
+    }
+    Ok(Inst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_opcode() {
+        for &op in Opcode::ALL {
+            let inst = Inst {
+                op,
+                rd: 3,
+                rs1: 7,
+                rs2: 11,
+                imm: -12345,
+            };
+            let back = decode(encode(&inst)).unwrap();
+            assert_eq!(back, inst, "{op}");
+        }
+    }
+
+    #[test]
+    fn imm_extremes_roundtrip() {
+        for imm in [i32::MIN, -1, 0, 1, i32::MAX] {
+            let inst = Inst::new(Opcode::Addi, 1, 2, 0, imm);
+            assert_eq!(decode(encode(&inst)).unwrap().imm, imm);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let word = 0xfeu64;
+        assert_eq!(decode(word), Err(DecodeError::BadOpcode(0xfe)));
+    }
+
+    #[test]
+    fn bad_register_rejected_only_when_used() {
+        // Add uses all three register fields.
+        let bad = (Opcode::Add as u8 as u64) | (40u64 << 8);
+        assert!(matches!(
+            decode(bad),
+            Err(DecodeError::BadRegister { op: Opcode::Add, field: 40 })
+        ));
+        // Nop ignores register fields entirely.
+        let ok = (Opcode::Nop as u8 as u64) | (40u64 << 8);
+        assert!(decode(ok).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeError::BadOpcode(200);
+        assert!(e.to_string().contains("0xc8"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Total functional semantics, shared by the in-order oracle emulator and
+//! the out-of-order pipeline's execute stage.
+//!
+//! Keeping semantics in exactly one place is what makes the simulator's
+//! central invariant checkable: the out-of-order core and the oracle cannot
+//! disagree about *what* an instruction computes, only about *when*.
+
+use crate::inst::Inst;
+use crate::op::Opcode;
+use crate::program::INST_BYTES;
+
+/// Everything an instruction's execution produces, before memory is
+/// consulted.
+///
+/// * ALU/FP operations fill `result`.
+/// * Loads fill `ea`; the caller reads memory and applies
+///   [`load_extend`].
+/// * Stores fill `ea` and `store_value`.
+/// * Control instructions fill `taken` and (when taken) `target`; calls
+///   also fill `result` with the return address.
+/// * `halt` marks the architectural stop condition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Value to write to `rd`, when computable without memory.
+    pub result: Option<u64>,
+    /// Effective address for memory operations.
+    pub ea: Option<u64>,
+    /// Datum for stores.
+    pub store_value: Option<u64>,
+    /// Branch/jump direction (`None` for non-control instructions).
+    pub taken: Option<bool>,
+    /// Control-flow target when `taken == Some(true)`.
+    pub target: Option<u64>,
+    /// `true` only for `halt`.
+    pub halt: bool,
+}
+
+#[inline]
+fn f(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+#[inline]
+fn b(v: f64) -> u64 {
+    v.to_bits()
+}
+
+/// RISC-V-style total signed division: x/0 = -1, overflow wraps.
+#[inline]
+fn div_total(a: i64, d: i64) -> i64 {
+    if d == 0 {
+        -1
+    } else {
+        a.wrapping_div(d)
+    }
+}
+
+/// RISC-V-style total signed remainder: x%0 = x, overflow yields 0.
+#[inline]
+fn rem_total(a: i64, d: i64) -> i64 {
+    if d == 0 {
+        a
+    } else {
+        a.wrapping_rem(d)
+    }
+}
+
+/// Saturating `f64`→`i64` conversion (Rust `as` semantics: NaN → 0).
+#[inline]
+fn cvt_f_to_i(v: f64) -> i64 {
+    v as i64
+}
+
+/// Computes the target of a PC-relative control transfer whose immediate is
+/// a displacement in *instructions* from the fall-through point.
+///
+/// Exposed so the pipeline can materialize a branch target when a fault
+/// flips a not-taken direction to taken.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ftsim_isa::direct_target(0x1000, 2), 0x100c);
+/// assert_eq!(ftsim_isa::direct_target(0x1000, -1), 0x1000);
+/// ```
+#[inline]
+pub fn direct_target(pc: u64, imm: i32) -> u64 {
+    pc.wrapping_add(INST_BYTES as u64)
+        .wrapping_add((imm as i64 as u64).wrapping_mul(INST_BYTES as u64))
+}
+
+pub(crate) use direct_target as rel_target;
+
+/// Executes `inst` at `pc` given its (already-read) source operand values.
+///
+/// `rs1` and `rs2` are raw 64-bit register values; unused operands are
+/// ignored. The function is *total*: it never panics on any input, which
+/// lets the out-of-order core execute wrong-path instructions with garbage
+/// operands safely.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_isa::{execute, Inst, Opcode};
+///
+/// let add = Inst::new(Opcode::Add, 3, 1, 2, 0);
+/// let out = execute(&add, 0x1000, 7, 5);
+/// assert_eq!(out.result, Some(12));
+///
+/// let div = Inst::new(Opcode::Div, 3, 1, 2, 0);
+/// let out = execute(&div, 0x1000, 7, 0); // division by zero is defined
+/// assert_eq!(out.result, Some(u64::MAX));
+/// ```
+pub fn execute(inst: &Inst, pc: u64, rs1: u64, rs2: u64) -> ExecOutcome {
+    use Opcode::*;
+    let imm64 = inst.imm as i64 as u64;
+    let mut out = ExecOutcome::default();
+    match inst.op {
+        Add => out.result = Some(rs1.wrapping_add(rs2)),
+        Sub => out.result = Some(rs1.wrapping_sub(rs2)),
+        And => out.result = Some(rs1 & rs2),
+        Or => out.result = Some(rs1 | rs2),
+        Xor => out.result = Some(rs1 ^ rs2),
+        Nor => out.result = Some(!(rs1 | rs2)),
+        Sll => out.result = Some(rs1.wrapping_shl(rs2 as u32 & 63)),
+        Srl => out.result = Some(rs1.wrapping_shr(rs2 as u32 & 63)),
+        Sra => out.result = Some(((rs1 as i64).wrapping_shr(rs2 as u32 & 63)) as u64),
+        Slt => out.result = Some(u64::from((rs1 as i64) < (rs2 as i64))),
+        Sltu => out.result = Some(u64::from(rs1 < rs2)),
+        Addi => out.result = Some(rs1.wrapping_add(imm64)),
+        Andi => out.result = Some(rs1 & imm64),
+        Ori => out.result = Some(rs1 | imm64),
+        Xori => out.result = Some(rs1 ^ imm64),
+        Slti => out.result = Some(u64::from((rs1 as i64) < (imm64 as i64))),
+        Slli => out.result = Some(rs1.wrapping_shl(inst.imm as u32 & 63)),
+        Srli => out.result = Some(rs1.wrapping_shr(inst.imm as u32 & 63)),
+        Srai => out.result = Some(((rs1 as i64).wrapping_shr(inst.imm as u32 & 63)) as u64),
+        Lui => out.result = Some(imm64.wrapping_shl(16)),
+        Mul => out.result = Some(rs1.wrapping_mul(rs2)),
+        Div => out.result = Some(div_total(rs1 as i64, rs2 as i64) as u64),
+        Rem => out.result = Some(rem_total(rs1 as i64, rs2 as i64) as u64),
+        Ld | Lw | Lb | Lfd => out.ea = Some(rs1.wrapping_add(imm64)),
+        Sd | Sw | Sb | Sfd => {
+            out.ea = Some(rs1.wrapping_add(imm64));
+            out.store_value = Some(rs2);
+        }
+        Beq => {
+            let taken = rs1 == rs2;
+            out.taken = Some(taken);
+            out.target = taken.then(|| rel_target(pc, inst.imm));
+        }
+        Bne => {
+            let taken = rs1 != rs2;
+            out.taken = Some(taken);
+            out.target = taken.then(|| rel_target(pc, inst.imm));
+        }
+        Blt => {
+            let taken = (rs1 as i64) < (rs2 as i64);
+            out.taken = Some(taken);
+            out.target = taken.then(|| rel_target(pc, inst.imm));
+        }
+        Bge => {
+            let taken = (rs1 as i64) >= (rs2 as i64);
+            out.taken = Some(taken);
+            out.target = taken.then(|| rel_target(pc, inst.imm));
+        }
+        J => {
+            out.taken = Some(true);
+            out.target = Some(rel_target(pc, inst.imm));
+        }
+        Jal => {
+            out.taken = Some(true);
+            out.target = Some(rel_target(pc, inst.imm));
+            out.result = Some(pc.wrapping_add(INST_BYTES as u64));
+        }
+        Jr => {
+            out.taken = Some(true);
+            out.target = Some(rs1);
+        }
+        Jalr => {
+            out.taken = Some(true);
+            out.target = Some(rs1);
+            out.result = Some(pc.wrapping_add(INST_BYTES as u64));
+        }
+        Fadd => out.result = Some(b(f(rs1) + f(rs2))),
+        Fsub => out.result = Some(b(f(rs1) - f(rs2))),
+        Fmul => out.result = Some(b(f(rs1) * f(rs2))),
+        Fdiv => out.result = Some(b(f(rs1) / f(rs2))),
+        Fsqrt => out.result = Some(b(f(rs1).sqrt())),
+        Fneg => out.result = Some(rs1 ^ (1u64 << 63)),
+        Fabs => out.result = Some(rs1 & !(1u64 << 63)),
+        Fmin => out.result = Some(b(f(rs1).min(f(rs2)))),
+        Fmax => out.result = Some(b(f(rs1).max(f(rs2)))),
+        Feq => out.result = Some(u64::from(f(rs1) == f(rs2))),
+        Flt => out.result = Some(u64::from(f(rs1) < f(rs2))),
+        Fle => out.result = Some(u64::from(f(rs1) <= f(rs2))),
+        Cvtif => out.result = Some(b(rs1 as i64 as f64)),
+        Cvtfi => out.result = Some(cvt_f_to_i(f(rs1)) as u64),
+        Fmov => out.result = Some(rs1),
+        Nop => {}
+        Halt => out.halt = true,
+    }
+    out
+}
+
+/// Extends a raw little-endian memory word to the architectural 64-bit
+/// register value for a given load opcode (`lw`/`lb` sign-extend).
+///
+/// # Panics
+///
+/// Panics if `op` is not a load.
+pub fn load_extend(op: Opcode, raw: u64) -> u64 {
+    match op {
+        Opcode::Ld | Opcode::Lfd => raw,
+        Opcode::Lw => raw as u32 as i32 as i64 as u64,
+        Opcode::Lb => raw as u8 as i8 as i64 as u64,
+        _ => panic!("{op} is not a load"),
+    }
+}
+
+/// The architectural next PC implied by an execution outcome.
+pub fn next_pc(pc: u64, outcome: &ExecOutcome) -> u64 {
+    match (outcome.taken, outcome.target) {
+        (Some(true), Some(t)) => t,
+        _ => pc.wrapping_add(INST_BYTES as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(op: Opcode, rs1: u64, rs2: u64) -> u64 {
+        execute(&Inst::new(op, 1, 2, 3, 0), 0, rs1, rs2)
+            .result
+            .expect("result")
+    }
+
+    fn run_imm(op: Opcode, rs1: u64, imm: i32) -> u64 {
+        execute(&Inst::new(op, 1, 2, 0, imm), 0, rs1, 0)
+            .result
+            .expect("result")
+    }
+
+    #[test]
+    fn integer_alu() {
+        assert_eq!(run(Opcode::Add, 5, 7), 12);
+        assert_eq!(run(Opcode::Add, u64::MAX, 1), 0); // wraps
+        assert_eq!(run(Opcode::Sub, 5, 7), (-2i64) as u64);
+        assert_eq!(run(Opcode::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(run(Opcode::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(run(Opcode::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(run(Opcode::Nor, 0, 0), u64::MAX);
+        assert_eq!(run(Opcode::Sll, 1, 8), 256);
+        assert_eq!(run(Opcode::Sll, 1, 64), 1); // shift amount masked
+        assert_eq!(run(Opcode::Srl, u64::MAX, 63), 1);
+        assert_eq!(run(Opcode::Sra, (-16i64) as u64, 2), (-4i64) as u64);
+        assert_eq!(run(Opcode::Slt, (-1i64) as u64, 0), 1);
+        assert_eq!(run(Opcode::Sltu, (-1i64) as u64, 0), 0);
+    }
+
+    #[test]
+    fn immediates() {
+        assert_eq!(run_imm(Opcode::Addi, 10, -3), 7);
+        assert_eq!(run_imm(Opcode::Andi, 0xff, 0x0f), 0x0f);
+        assert_eq!(run_imm(Opcode::Ori, 0xf0, 0x0f), 0xff);
+        assert_eq!(run_imm(Opcode::Xori, 0xff, 0x0f), 0xf0);
+        assert_eq!(run_imm(Opcode::Slti, 1, 2), 1);
+        assert_eq!(run_imm(Opcode::Slli, 3, 4), 48);
+        assert_eq!(run_imm(Opcode::Srli, 48, 4), 3);
+        assert_eq!(run_imm(Opcode::Srai, (-48i64) as u64, 4), (-3i64) as u64);
+        // Lui ignores rs1.
+        let lui = execute(&Inst::new(Opcode::Lui, 1, 0, 0, 0x1234), 0, 999, 0);
+        assert_eq!(lui.result, Some(0x1234 << 16));
+        // Negative immediate sign-extends through the shift.
+        let lui_neg = execute(&Inst::new(Opcode::Lui, 1, 0, 0, -1), 0, 0, 0);
+        assert_eq!(lui_neg.result, Some((-1i64 << 16) as u64));
+    }
+
+    #[test]
+    fn division_is_total() {
+        assert_eq!(run(Opcode::Div, 42, 0), u64::MAX); // -1
+        assert_eq!(run(Opcode::Rem, 42, 0), 42);
+        assert_eq!(
+            run(Opcode::Div, i64::MIN as u64, (-1i64) as u64),
+            i64::MIN as u64 // wraps
+        );
+        assert_eq!(run(Opcode::Rem, i64::MIN as u64, (-1i64) as u64), 0);
+        assert_eq!(run(Opcode::Div, (-7i64) as u64, 2), (-3i64) as u64);
+        assert_eq!(run(Opcode::Rem, (-7i64) as u64, 2), (-1i64) as u64);
+        assert_eq!(run(Opcode::Mul, u64::MAX, 2), u64::MAX - 1); // wraps
+    }
+
+    #[test]
+    fn memory_addressing() {
+        let ld = execute(&Inst::new(Opcode::Ld, 1, 2, 0, -8), 0, 0x1010, 0);
+        assert_eq!(ld.ea, Some(0x1008));
+        assert_eq!(ld.result, None);
+        let sd = execute(&Inst::new(Opcode::Sd, 0, 2, 3, 16), 0, 0x1000, 77);
+        assert_eq!(sd.ea, Some(0x1010));
+        assert_eq!(sd.store_value, Some(77));
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(load_extend(Opcode::Ld, 0xffff_ffff_ffff_ffff), u64::MAX);
+        assert_eq!(load_extend(Opcode::Lw, 0xffff_ffff), u64::MAX); // sign-extend
+        assert_eq!(load_extend(Opcode::Lw, 0x7fff_ffff), 0x7fff_ffff);
+        assert_eq!(load_extend(Opcode::Lb, 0x80), (-128i64) as u64);
+        assert_eq!(load_extend(Opcode::Lfd, 12345), 12345);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a load")]
+    fn load_extend_rejects_non_loads() {
+        let _ = load_extend(Opcode::Add, 0);
+    }
+
+    #[test]
+    fn branches() {
+        let beq = Inst::new(Opcode::Beq, 0, 1, 2, 4);
+        let t = execute(&beq, 0x1000, 5, 5);
+        assert_eq!(t.taken, Some(true));
+        assert_eq!(t.target, Some(0x1000 + 4 + 16));
+        let nt = execute(&beq, 0x1000, 5, 6);
+        assert_eq!(nt.taken, Some(false));
+        assert_eq!(nt.target, None);
+        assert_eq!(next_pc(0x1000, &nt), 0x1004);
+        assert_eq!(next_pc(0x1000, &t), 0x1014);
+
+        let blt = execute(&Inst::new(Opcode::Blt, 0, 1, 2, -2), 0x100, (-5i64) as u64, 0);
+        assert_eq!(blt.taken, Some(true));
+        assert_eq!(blt.target, Some(0x100 + 4 - 8));
+
+        let bge = execute(&Inst::new(Opcode::Bge, 0, 1, 2, 1), 0, 3, 3);
+        assert_eq!(bge.taken, Some(true));
+    }
+
+    #[test]
+    fn jumps_and_links() {
+        let jal = execute(&Inst::new(Opcode::Jal, 31, 0, 0, 10), 0x2000, 0, 0);
+        assert_eq!(jal.result, Some(0x2004)); // link
+        assert_eq!(jal.target, Some(0x2004 + 40));
+        let jr = execute(&Inst::new(Opcode::Jr, 0, 5, 0, 0), 0x2000, 0x3000, 0);
+        assert_eq!(jr.target, Some(0x3000));
+        assert_eq!(jr.result, None);
+        let jalr = execute(&Inst::new(Opcode::Jalr, 1, 5, 0, 0), 0x2000, 0x3000, 0);
+        assert_eq!(jalr.result, Some(0x2004));
+        assert_eq!(jalr.target, Some(0x3000));
+    }
+
+    #[test]
+    fn fp_arithmetic() {
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        assert_eq!(f64::from_bits(run(Opcode::Fadd, two, three)), 5.0);
+        assert_eq!(f64::from_bits(run(Opcode::Fsub, two, three)), -1.0);
+        assert_eq!(f64::from_bits(run(Opcode::Fmul, two, three)), 6.0);
+        assert_eq!(f64::from_bits(run(Opcode::Fdiv, three, two)), 1.5);
+        assert_eq!(f64::from_bits(run(Opcode::Fsqrt, 4.0f64.to_bits(), 0)), 2.0);
+        assert!(f64::from_bits(run(Opcode::Fdiv, two, 0.0f64.to_bits())).is_infinite());
+        assert!(f64::from_bits(run(Opcode::Fsqrt, (-1.0f64).to_bits(), 0)).is_nan());
+    }
+
+    #[test]
+    fn fp_sign_ops_are_bit_exact() {
+        let v = 1.5f64.to_bits();
+        assert_eq!(f64::from_bits(run(Opcode::Fneg, v, 0)), -1.5);
+        assert_eq!(f64::from_bits(run(Opcode::Fabs, (-1.5f64).to_bits(), 0)), 1.5);
+        // Fneg of NaN flips only the sign bit (deterministic).
+        let nan = f64::NAN.to_bits();
+        assert_eq!(run(Opcode::Fneg, nan, 0), nan ^ (1 << 63));
+    }
+
+    #[test]
+    fn fp_compares_and_minmax() {
+        let one = 1.0f64.to_bits();
+        let two = 2.0f64.to_bits();
+        let nan = f64::NAN.to_bits();
+        assert_eq!(run(Opcode::Feq, one, one), 1);
+        assert_eq!(run(Opcode::Flt, one, two), 1);
+        assert_eq!(run(Opcode::Fle, two, two), 1);
+        assert_eq!(run(Opcode::Feq, nan, nan), 0); // NaN compares false
+        assert_eq!(run(Opcode::Flt, nan, one), 0);
+        assert_eq!(f64::from_bits(run(Opcode::Fmin, one, two)), 1.0);
+        assert_eq!(f64::from_bits(run(Opcode::Fmax, one, two)), 2.0);
+    }
+
+    #[test]
+    fn conversions() {
+        let c = run(Opcode::Cvtif, (-3i64) as u64, 0);
+        assert_eq!(f64::from_bits(c), -3.0);
+        assert_eq!(run(Opcode::Cvtfi, (-3.7f64).to_bits(), 0), (-3i64) as u64);
+        assert_eq!(run(Opcode::Cvtfi, f64::NAN.to_bits(), 0), 0); // NaN -> 0
+        assert_eq!(
+            run(Opcode::Cvtfi, f64::INFINITY.to_bits(), 0),
+            i64::MAX as u64 // saturates
+        );
+        assert_eq!(run(Opcode::Fmov, 0xdead, 0), 0xdead);
+    }
+
+    #[test]
+    fn nop_and_halt() {
+        let n = execute(&Inst::nop(), 0, 0, 0);
+        assert_eq!(n, ExecOutcome::default());
+        let h = execute(&Inst::halt(), 0, 0, 0);
+        assert!(h.halt);
+        assert_eq!(next_pc(0, &h), 4);
+    }
+}

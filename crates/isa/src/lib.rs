@@ -1,0 +1,62 @@
+//! A PISA-like 64-bit RISC instruction set for the `ftsim` fault-tolerant
+//! superscalar simulator.
+//!
+//! The paper evaluates on SimpleScalar's PISA ISA (SPEC binaries compiled
+//! with `gcc -O2 -funroll-loops`). PISA toolchains are not redistributable,
+//! so this crate defines a compact MIPS/RISC-V-flavoured replacement with
+//! the properties the experiments rely on:
+//!
+//! * 32 integer + 32 floating-point registers (`r0` hardwired to zero) —
+//!   enough renaming pressure to exercise the map table;
+//! * distinct functional-unit classes matching Table 1's mix (integer ALU,
+//!   integer multiply/divide, FP add, FP multiply/divide, memory);
+//! * **total semantics**: no instruction traps, so wrong-path (speculative)
+//!   execution of arbitrary operands is always well-defined — division by
+//!   zero, overflow and NaN all produce deterministic values (RISC-V rules);
+//! * a binary encoding with an exact decode/encode round-trip, used by
+//!   property tests;
+//! * a label-resolving [`ProgramBuilder`] and a small text [`asm`]
+//!   assembler for writing kernels;
+//! * an in-order reference [`Emulator`] — the architectural oracle that the
+//!   paper runs alongside the out-of-order simulator as a sanity check
+//!   (§5.1.1: "the other set, concurrently maintained as a sanity check, is
+//!   updated by executing the program in an in-order, non-speculative
+//!   manner").
+//!
+//! # Examples
+//!
+//! Assemble and run a loop that sums 1..=10:
+//!
+//! ```
+//! use ftsim_isa::{asm, Emulator, IntReg};
+//!
+//! let program = asm::assemble(r"
+//!     addi r1, r0, 10      ; counter
+//!     addi r2, r0, 0       ; sum
+//! loop:
+//!     add  r2, r2, r1
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     halt
+//! ").unwrap();
+//! let mut emu = Emulator::new(&program);
+//! emu.run(1_000).unwrap();
+//! assert_eq!(emu.regs().read_int(IntReg::new(2)), 55);
+//! ```
+
+pub mod asm;
+mod emulator;
+mod encode;
+mod exec;
+mod inst;
+mod op;
+mod program;
+mod reg;
+
+pub use emulator::{EmuError, Emulator, StepInfo};
+pub use encode::{decode, encode, DecodeError};
+pub use exec::{direct_target, execute, load_extend, next_pc, ExecOutcome};
+pub use inst::Inst;
+pub use op::{FuClass, MixClass, Opcode};
+pub use program::{BuildError, Program, ProgramBuilder, DATA_BASE, INST_BYTES, TEXT_BASE};
+pub use reg::{ArchRegs, FpReg, IntReg, RegClass, RegRef};

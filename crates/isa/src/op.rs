@@ -1,0 +1,355 @@
+//! Opcodes and their static properties (register classes, functional-unit
+//! class, instruction-mix class).
+
+use crate::reg::RegClass;
+
+/// Functional-unit class an instruction executes on.
+///
+/// Mirrors the paper's Table 1 mix: 4 integer ALUs, 2 integer
+/// multiplier/dividers, 2 FP adders, 1 FP multiplier/divider; memory
+/// operations contend for L1D ports instead of an ALU. Conditional branches
+/// and jumps resolve on integer ALUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Integer ALU (1-cycle, pipelined). Also resolves control flow.
+    IntAlu,
+    /// Integer multiplier (pipelined) / divider (blocking) unit.
+    IntMul,
+    /// FP adder (pipelined); also conversions, compares, moves.
+    FpAdd,
+    /// FP multiplier (pipelined) / divider & sqrt (blocking) unit.
+    FpMul,
+    /// Memory port (L1D); address generation is folded into the access.
+    Mem,
+}
+
+/// Dynamic instruction-mix class used to reproduce the paper's Table 2
+/// (`% Mem Ops`, `% Int Ops`, `% FP Add`, `% FP Mult`, `% FP Div`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixClass {
+    /// Loads and stores (integer and FP).
+    Mem,
+    /// Everything integer, including branches, jumps, `nop` and `halt`.
+    Int,
+    /// FP add-class operations (add/sub/compare/convert/move/min/max).
+    FpAdd,
+    /// FP multiplies.
+    FpMul,
+    /// FP divides and square roots.
+    FpDiv,
+}
+
+macro_rules! opcodes {
+    ($($name:ident => $mnemonic:literal),+ $(,)?) => {
+        /// Instruction opcode.
+        ///
+        /// Semantics are *total*: every opcode produces a defined result for
+        /// every input (RISC-V division rules, saturating conversion,
+        /// IEEE-754 arithmetic), so speculative wrong-path execution can
+        /// never trap.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $(#[doc = $mnemonic] $name),+
+        }
+
+        impl Opcode {
+            /// Every opcode, in encoding order.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$name),+];
+
+            /// The assembler mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Opcode::$name => $mnemonic),+
+                }
+            }
+
+            /// Parses a mnemonic (lower-case).
+            pub fn from_mnemonic(s: &str) -> Option<Self> {
+                match s {
+                    $($mnemonic => Some(Opcode::$name),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // Integer ALU, register-register.
+    Add => "add", Sub => "sub", And => "and", Or => "or", Xor => "xor",
+    Nor => "nor", Sll => "sll", Srl => "srl", Sra => "sra",
+    Slt => "slt", Sltu => "sltu",
+    // Integer ALU, immediate.
+    Addi => "addi", Andi => "andi", Ori => "ori", Xori => "xori",
+    Slti => "slti", Slli => "slli", Srli => "srli", Srai => "srai",
+    Lui => "lui",
+    // Integer multiply / divide.
+    Mul => "mul", Div => "div", Rem => "rem",
+    // Memory.
+    Ld => "ld", Lw => "lw", Lb => "lb",
+    Sd => "sd", Sw => "sw", Sb => "sb",
+    Lfd => "lfd", Sfd => "sfd",
+    // Control.
+    Beq => "beq", Bne => "bne", Blt => "blt", Bge => "bge",
+    J => "j", Jal => "jal", Jr => "jr", Jalr => "jalr",
+    // Floating point.
+    Fadd => "fadd", Fsub => "fsub", Fmul => "fmul", Fdiv => "fdiv",
+    Fsqrt => "fsqrt", Fneg => "fneg", Fabs => "fabs",
+    Fmin => "fmin", Fmax => "fmax",
+    Feq => "feq", Flt => "flt", Fle => "fle",
+    Cvtif => "cvtif", Cvtfi => "cvtfi", Fmov => "fmov",
+    // Miscellaneous.
+    Nop => "nop", Halt => "halt",
+}
+
+impl Opcode {
+    /// Register class written by `rd`, if any.
+    pub fn rd_class(self) -> Option<RegClass> {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi
+            | Ori | Xori | Slti | Slli | Srli | Srai | Lui | Mul | Div | Rem | Ld | Lw | Lb
+            | Jal | Jalr | Feq | Flt | Fle | Cvtfi => Some(RegClass::Int),
+            Lfd | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs | Fmin | Fmax | Cvtif
+            | Fmov => Some(RegClass::Fp),
+            Sd | Sw | Sb | Sfd | Beq | Bne | Blt | Bge | J | Jr | Nop | Halt => None,
+        }
+    }
+
+    /// Register class read by `rs1`, if any.
+    pub fn rs1_class(self) -> Option<RegClass> {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi
+            | Ori | Xori | Slti | Slli | Srli | Srai | Mul | Div | Rem | Ld | Lw | Lb | Sd
+            | Sw | Sb | Lfd | Sfd | Beq | Bne | Blt | Bge | Jr | Jalr | Cvtif => {
+                Some(RegClass::Int)
+            }
+            Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs | Fmin | Fmax | Feq | Flt | Fle
+            | Cvtfi | Fmov => Some(RegClass::Fp),
+            Lui | J | Jal | Nop | Halt => None,
+        }
+    }
+
+    /// Register class read by `rs2`, if any.
+    pub fn rs2_class(self) -> Option<RegClass> {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Div
+            | Rem | Sd | Sw | Sb | Beq | Bne | Blt | Bge => Some(RegClass::Int),
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Feq | Flt | Fle | Sfd => {
+                Some(RegClass::Fp)
+            }
+            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai | Lui | Ld | Lw | Lb | Lfd
+            | J | Jal | Jr | Jalr | Fsqrt | Fneg | Fabs | Cvtif | Cvtfi | Fmov | Nop
+            | Halt => None,
+        }
+    }
+
+    /// Functional-unit class (Table 1 accounting).
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Mul | Div | Rem => FuClass::IntMul,
+            Ld | Lw | Lb | Sd | Sw | Sb | Lfd | Sfd => FuClass::Mem,
+            Fadd | Fsub | Fneg | Fabs | Fmin | Fmax | Feq | Flt | Fle | Cvtif | Cvtfi
+            | Fmov => FuClass::FpAdd,
+            Fmul | Fdiv | Fsqrt => FuClass::FpMul,
+            _ => FuClass::IntAlu,
+        }
+    }
+
+    /// Instruction-mix class (Table 2 accounting).
+    pub fn mix_class(self) -> MixClass {
+        use Opcode::*;
+        match self {
+            Ld | Lw | Lb | Sd | Sw | Sb | Lfd | Sfd => MixClass::Mem,
+            Fadd | Fsub | Fneg | Fabs | Fmin | Fmax | Feq | Flt | Fle | Cvtif | Cvtfi
+            | Fmov => MixClass::FpAdd,
+            Fmul => MixClass::FpMul,
+            Fdiv | Fsqrt => MixClass::FpDiv,
+            _ => MixClass::Int,
+        }
+    }
+
+    /// Conditional branch?
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// Unconditional jump (direct or indirect)?
+    pub fn is_jump(self) -> bool {
+        matches!(self, Opcode::J | Opcode::Jal | Opcode::Jr | Opcode::Jalr)
+    }
+
+    /// Indirect (register-target) jump?
+    pub fn is_indirect_jump(self) -> bool {
+        matches!(self, Opcode::Jr | Opcode::Jalr)
+    }
+
+    /// Call (writes a return address)?
+    pub fn is_call(self) -> bool {
+        matches!(self, Opcode::Jal | Opcode::Jalr)
+    }
+
+    /// Any control-transfer instruction?
+    pub fn is_control(self) -> bool {
+        self.is_cond_branch() || self.is_jump()
+    }
+
+    /// Memory load?
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ld | Opcode::Lw | Opcode::Lb | Opcode::Lfd)
+    }
+
+    /// Memory store?
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Sd | Opcode::Sw | Opcode::Sb | Opcode::Sfd)
+    }
+
+    /// Any memory operation?
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Access width in bytes for memory operations, otherwise 0.
+    pub fn mem_bytes(self) -> u8 {
+        use Opcode::*;
+        match self {
+            Ld | Sd | Lfd | Sfd => 8,
+            Lw | Sw => 4,
+            Lb | Sb => 1,
+            _ => 0,
+        }
+    }
+
+    /// Uses the immediate field?
+    pub fn uses_imm(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Addi | Andi
+                | Ori
+                | Xori
+                | Slti
+                | Slli
+                | Srli
+                | Srai
+                | Lui
+                | Ld
+                | Lw
+                | Lb
+                | Sd
+                | Sw
+                | Sb
+                | Lfd
+                | Sfd
+                | Beq
+                | Bne
+                | Blt
+                | Bge
+                | J
+                | Jal
+        )
+    }
+
+    /// Blocking (non-pipelined) on its functional unit? Matches Table 1:
+    /// "all FU operations are pipelined except for division".
+    pub fn is_blocking(self) -> bool {
+        matches!(self, Opcode::Div | Opcode::Rem | Opcode::Fdiv | Opcode::Fsqrt)
+    }
+}
+
+impl std::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn all_opcodes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate {op}");
+        }
+    }
+
+    #[test]
+    fn classification_consistency() {
+        for &op in Opcode::ALL {
+            // Memory ops agree across predicates.
+            assert_eq!(op.is_mem(), op.mix_class() == MixClass::Mem);
+            assert_eq!(op.is_mem(), op.fu_class() == FuClass::Mem);
+            assert_eq!(op.is_mem(), op.mem_bytes() > 0);
+            // Loads write a register; stores do not.
+            if op.is_load() {
+                assert!(op.rd_class().is_some(), "{op} must write rd");
+            }
+            if op.is_store() {
+                assert!(op.rd_class().is_none(), "{op} must not write rd");
+                assert!(op.rs2_class().is_some(), "{op} needs a data register");
+            }
+            // Control instructions never write FP registers.
+            if op.is_control() {
+                assert_ne!(op.rd_class(), Some(RegClass::Fp));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_and_jump_predicates() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(!Opcode::J.is_cond_branch());
+        assert!(Opcode::J.is_jump());
+        assert!(Opcode::Jr.is_indirect_jump());
+        assert!(Opcode::Jal.is_call());
+        assert!(Opcode::Jalr.is_call());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn fu_classes_match_table1_semantics() {
+        assert_eq!(Opcode::Add.fu_class(), FuClass::IntAlu);
+        assert_eq!(Opcode::Mul.fu_class(), FuClass::IntMul);
+        assert_eq!(Opcode::Div.fu_class(), FuClass::IntMul);
+        assert_eq!(Opcode::Fadd.fu_class(), FuClass::FpAdd);
+        assert_eq!(Opcode::Fmul.fu_class(), FuClass::FpMul);
+        assert_eq!(Opcode::Fdiv.fu_class(), FuClass::FpMul);
+        assert_eq!(Opcode::Ld.fu_class(), FuClass::Mem);
+        assert_eq!(Opcode::Beq.fu_class(), FuClass::IntAlu);
+    }
+
+    #[test]
+    fn only_divisions_block() {
+        for &op in Opcode::ALL {
+            if op.is_blocking() {
+                assert!(matches!(
+                    op,
+                    Opcode::Div | Opcode::Rem | Opcode::Fdiv | Opcode::Fsqrt
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(Opcode::Ld.mem_bytes(), 8);
+        assert_eq!(Opcode::Lw.mem_bytes(), 4);
+        assert_eq!(Opcode::Sb.mem_bytes(), 1);
+        assert_eq!(Opcode::Sfd.mem_bytes(), 8);
+        assert_eq!(Opcode::Add.mem_bytes(), 0);
+    }
+}

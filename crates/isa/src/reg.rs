@@ -1,0 +1,320 @@
+//! Architectural registers: 32 integer + 32 floating-point.
+
+use std::fmt;
+
+/// Number of integer (and separately, FP) architectural registers.
+pub const NUM_REGS: usize = 32;
+
+/// Register file class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer register file (`r0`..`r31`, `r0` reads as zero).
+    Int,
+    /// Floating-point register file (`f0`..`f31`).
+    Fp,
+}
+
+/// An integer register name (`r0`..`r31`).
+///
+/// `r0` is hardwired to zero: reads return 0 and writes are discarded, as in
+/// MIPS/PISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntReg(u8);
+
+/// A floating-point register name (`f0`..`f31`). Holds `f64` bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FpReg(u8);
+
+impl IntReg {
+    /// The zero register `r0`.
+    pub const ZERO: IntReg = IntReg(0);
+
+    /// Creates `r{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_REGS, "integer register out of range");
+        Self(index)
+    }
+
+    /// The register number.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl FpReg {
+    /// Creates `f{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_REGS, "fp register out of range");
+        Self(index)
+    }
+
+    /// The register number.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A class-tagged register reference, used wherever either file may appear
+/// (renaming, dependence tracking, fault reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegRef {
+    class: RegClass,
+    index: u8,
+}
+
+impl RegRef {
+    /// References integer register `r{index}`.
+    pub fn int(index: u8) -> Self {
+        Self {
+            class: RegClass::Int,
+            index: IntReg::new(index).index(),
+        }
+    }
+
+    /// References FP register `f{index}`.
+    pub fn fp(index: u8) -> Self {
+        Self {
+            class: RegClass::Fp,
+            index: FpReg::new(index).index(),
+        }
+    }
+
+    /// The register file this reference names.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register number within its file.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// A dense index in `0..64` (integer file first), convenient for map
+    /// tables.
+    pub fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_REGS + self.index as usize,
+        }
+    }
+
+    /// Whether this is the hardwired-zero integer register.
+    pub fn is_zero_reg(self) -> bool {
+        self.class == RegClass::Int && self.index == 0
+    }
+}
+
+impl From<IntReg> for RegRef {
+    fn from(r: IntReg) -> Self {
+        RegRef::int(r.index())
+    }
+}
+
+impl From<FpReg> for RegRef {
+    fn from(r: FpReg) -> Self {
+        RegRef::fp(r.index())
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+/// The committed architectural register state (both files).
+///
+/// In the paper's design this structure is ECC-protected committed state —
+/// the fault injector never corrupts it, and the commit-stage cross-check
+/// guarantees only agreed-upon values are written here.
+///
+/// All values are raw 64-bit words; FP registers hold `f64` bit patterns.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_isa::{ArchRegs, IntReg, RegRef};
+///
+/// let mut regs = ArchRegs::new();
+/// regs.write_int(IntReg::new(5), 42);
+/// assert_eq!(regs.read_int(IntReg::new(5)), 42);
+/// regs.write_int(IntReg::ZERO, 7);
+/// assert_eq!(regs.read_int(IntReg::ZERO), 0); // r0 stays zero
+/// assert_eq!(regs.read(RegRef::int(5)), 42);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchRegs {
+    int: [u64; NUM_REGS],
+    fp: [u64; NUM_REGS],
+}
+
+impl Default for ArchRegs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArchRegs {
+    /// All registers zeroed.
+    pub fn new() -> Self {
+        Self {
+            int: [0; NUM_REGS],
+            fp: [0; NUM_REGS],
+        }
+    }
+
+    /// Reads an integer register (`r0` reads zero).
+    pub fn read_int(&self, r: IntReg) -> u64 {
+        if r.index() == 0 {
+            0
+        } else {
+            self.int[r.index() as usize]
+        }
+    }
+
+    /// Writes an integer register (writes to `r0` are discarded).
+    pub fn write_int(&mut self, r: IntReg, value: u64) {
+        if r.index() != 0 {
+            self.int[r.index() as usize] = value;
+        }
+    }
+
+    /// Reads an FP register as raw bits.
+    pub fn read_fp(&self, r: FpReg) -> u64 {
+        self.fp[r.index() as usize]
+    }
+
+    /// Writes an FP register as raw bits.
+    pub fn write_fp(&mut self, r: FpReg, value: u64) {
+        self.fp[r.index() as usize] = value;
+    }
+
+    /// Reads through a class-tagged reference.
+    pub fn read(&self, r: RegRef) -> u64 {
+        match r.class() {
+            RegClass::Int => self.read_int(IntReg::new(r.index())),
+            RegClass::Fp => self.read_fp(FpReg::new(r.index())),
+        }
+    }
+
+    /// Writes through a class-tagged reference (`r0` writes discarded).
+    pub fn write(&mut self, r: RegRef, value: u64) {
+        match r.class() {
+            RegClass::Int => self.write_int(IntReg::new(r.index()), value),
+            RegClass::Fp => self.write_fp(FpReg::new(r.index()), value),
+        }
+    }
+
+    /// Iterates over all `(reference, value)` pairs, integer file first.
+    pub fn iter(&self) -> impl Iterator<Item = (RegRef, u64)> + '_ {
+        let ints = self
+            .int
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (RegRef::int(i as u8), if i == 0 { 0 } else { v }));
+        let fps = self
+            .fp
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (RegRef::fp(i as u8), v));
+        ints.chain(fps)
+    }
+
+    /// Returns the registers where `self` and `other` differ.
+    pub fn diff(&self, other: &ArchRegs) -> Vec<(RegRef, u64, u64)> {
+        self.iter()
+            .zip(other.iter())
+            .filter(|((_, a), (_, b))| a != b)
+            .map(|((r, a), (_, b))| (r, a, b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut regs = ArchRegs::new();
+        regs.write_int(IntReg::ZERO, 99);
+        assert_eq!(regs.read_int(IntReg::ZERO), 0);
+        regs.write(RegRef::int(0), 99);
+        assert_eq!(regs.read(RegRef::int(0)), 0);
+    }
+
+    #[test]
+    fn int_and_fp_files_are_separate() {
+        let mut regs = ArchRegs::new();
+        regs.write(RegRef::int(3), 1);
+        regs.write(RegRef::fp(3), 2);
+        assert_eq!(regs.read(RegRef::int(3)), 1);
+        assert_eq!(regs.read(RegRef::fp(3)), 2);
+    }
+
+    #[test]
+    fn f0_is_writable() {
+        let mut regs = ArchRegs::new();
+        regs.write_fp(FpReg::new(0), 7);
+        assert_eq!(regs.read_fp(FpReg::new(0)), 7);
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32 {
+            assert!(seen.insert(RegRef::int(i).flat_index()));
+            assert!(seen.insert(RegRef::fp(i).flat_index()));
+        }
+        assert_eq!(seen.len(), 64);
+        assert!(seen.iter().all(|&i| i < 64));
+    }
+
+    #[test]
+    fn diff_reports_changes() {
+        let mut a = ArchRegs::new();
+        let b = ArchRegs::new();
+        a.write(RegRef::int(4), 9);
+        a.write(RegRef::fp(1), 3);
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&(RegRef::int(4), 9, 0)));
+        assert!(d.contains(&(RegRef::fp(1), 3, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_index_bounds() {
+        let _ = IntReg::new(32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IntReg::new(7).to_string(), "r7");
+        assert_eq!(FpReg::new(31).to_string(), "f31");
+        assert_eq!(RegRef::fp(2).to_string(), "f2");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the ISA layer: encoding round-trips,
+//! assembler/disassembler agreement, and totality of the semantics.
+
+use ftsim_isa::{asm, decode, encode, execute, Inst, Opcode};
+use proptest::prelude::*;
+
+fn any_opcode() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(Opcode::ALL.to_vec())
+}
+
+fn valid_inst() -> impl Strategy<Value = Inst> {
+    (any_opcode(), 0u8..32, 0u8..32, 0u8..32, any::<i32>())
+        .prop_map(|(op, rd, rs1, rs2, imm)| Inst::new(op, rd, rs1, rs2, imm))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_roundtrip(inst in valid_inst()) {
+        let word = encode(&inst);
+        let back = decode(word).expect("valid instruction decodes");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        let _ = decode(word); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn execute_is_total(inst in valid_inst(), pc in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        // No instruction may trap on any operands (wrong-path safety).
+        let out = execute(&inst, pc & !3, a, b);
+        // Taken control transfers always produce a target.
+        if out.taken == Some(true) {
+            prop_assert!(out.target.is_some());
+        }
+        // Stores carry both address and datum.
+        if inst.op.is_store() {
+            prop_assert!(out.ea.is_some() && out.store_value.is_some());
+        }
+        // Loads produce an address but no early result.
+        if inst.op.is_load() {
+            prop_assert!(out.ea.is_some() && out.result.is_none());
+        }
+    }
+
+    #[test]
+    fn execute_is_deterministic(inst in valid_inst(), a in any::<u64>(), b in any::<u64>()) {
+        let x = execute(&inst, 0x1000, a, b);
+        let y = execute(&inst, 0x1000, a, b);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn display_of_noncontrol_reassembles(inst in valid_inst()) {
+        // Control instructions print numeric displacements while the
+        // assembler wants labels; everything else must round-trip through
+        // its textual form. Fields the opcode does not use are not
+        // printed, so compare against the canonical (unused-fields-zeroed)
+        // form.
+        prop_assume!(!inst.op.is_control());
+        let canonical = Inst::new(
+            inst.op,
+            if inst.op.rd_class().is_some() { inst.rd } else { 0 },
+            if inst.op.rs1_class().is_some() { inst.rs1 } else { 0 },
+            if inst.op.rs2_class().is_some() { inst.rs2 } else { 0 },
+            if inst.op.uses_imm() { inst.imm } else { 0 },
+        );
+        let text = format!("{inst}\nhalt\n");
+        let program = asm::assemble(&text)
+            .unwrap_or_else(|e| panic!("`{inst}` failed to reassemble: {e}"));
+        prop_assert_eq!(program.insts()[0], canonical);
+    }
+}

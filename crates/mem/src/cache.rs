@@ -1,0 +1,323 @@
+//! Set-associative write-back cache timing model.
+
+use std::fmt;
+
+/// Geometry of one cache (or TLB, which reuses the same structure with the
+/// line size set to the page size).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name used in statistics output (e.g. `"dl1"`).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Creates a config after validating the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, `line_bytes` is not a power of two,
+    /// or the capacity is not divisible into an integral number of sets.
+    pub fn new(name: &str, size_bytes: usize, assoc: usize, line_bytes: usize) -> Self {
+        assert!(size_bytes > 0 && assoc > 0 && line_bytes > 0, "zero cache parameter");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = size_bytes / line_bytes;
+        assert!(lines * line_bytes == size_bytes, "capacity not a multiple of line size");
+        assert!(lines % assoc == 0, "line count not divisible by associativity");
+        assert!((lines / assoc).is_power_of_two(), "set count must be a power of two");
+        Self {
+            name: name.to_string(),
+            size_bytes,
+            assoc,
+            line_bytes,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / self.line_bytes / self.assoc
+    }
+}
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether a dirty victim line was evicted (write-back traffic).
+    pub writeback: bool,
+}
+
+/// Hit/miss/writeback counts for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64, // higher = more recently used
+}
+
+/// A set-associative, write-back, write-allocate cache with true-LRU
+/// replacement.
+///
+/// The cache tracks tags only. Data always lives in
+/// [`SparseMemory`](crate::SparseMemory), so the model affects *when* an
+/// access completes, never *what* it returns — keeping functional behaviour
+/// independent of cache geometry.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_mem::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new("dl1", 32 * 1024, 2, 32));
+/// assert!(!c.access(0x1000, false).hit); // cold miss
+/// assert!(c.access(0x1000, false).hit);  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+    set_mask: u64,
+    offset_bits: u32,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Self {
+            sets: vec![vec![Line::default(); config.assoc]; sets],
+            set_mask: (sets - 1) as u64,
+            offset_bits: config.line_bytes.trailing_zeros(),
+            config,
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.offset_bits;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Performs one access; allocates on miss (write-allocate) and marks the
+    /// line dirty on writes (write-back).
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            if write {
+                line.dirty = true;
+            }
+            self.stats.hits += 1;
+            return CacheOutcome {
+                hit: true,
+                writeback: false,
+            };
+        }
+
+        // Miss: pick the LRU way (prefer invalid lines).
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("associativity >= 1");
+        let writeback = victim.valid && victim.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.tick,
+        };
+        CacheOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Returns whether `addr`'s line is currently resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates every line and clears statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}B {}-way {}B-line, miss rate {:.2}%",
+            self.config.name,
+            self.config.size_bytes,
+            self.config.assoc,
+            self.config.line_bytes,
+            self.stats.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16B lines = 128B.
+        Cache::new(CacheConfig::new("t", 128, 2, 16))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 4);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x40, false).hit);
+        assert!(c.access(0x40, false).hit);
+        assert!(c.access(0x4f, false).hit); // same line
+        assert!(!c.access(0x50, false).hit); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (stride = sets * line = 64).
+        c.access(0x000, false);
+        c.access(0x040, false);
+        c.access(0x000, false); // touch A again so B is LRU
+        c.access(0x080, false); // evicts B
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x040));
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty A
+        c.access(0x040, false);
+        let out = c.access(0x080, false); // evicts dirty A (LRU)
+        assert!(out.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x040, false);
+        let out = c.access(0x080, false);
+        assert!(!out.writeback);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // hit, now dirty
+        c.access(0x040, false);
+        let out = c.access(0x080, false); // evict A
+        assert!(out.writeback);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0x0, true);
+        c.reset();
+        assert!(!c.probe(0x0));
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        s.accesses = 10;
+        s.hits = 9;
+        assert_eq!(s.misses(), 1);
+        assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = CacheConfig::new("x", 128, 2, 24);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        for set in 0..4u64 {
+            c.access(set * 16, false);
+        }
+        for set in 0..4u64 {
+            assert!(c.probe(set * 16), "set {set} should be resident");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Sparse, paged, byte-addressable main memory.
+
+use std::collections::BTreeMap;
+
+/// Bytes per memory page.
+pub const PAGE_BYTES: usize = 4096;
+
+/// A lazily-allocated, byte-addressable memory.
+///
+/// Reads of unmapped locations return zero, which gives the simulator total
+/// semantics on wrong-path (speculative) accesses — a mispredicted load can
+/// touch any address without failing. Written pages are tracked so two
+/// memories can be compared cheaply ([`SparseMemory::diff`]), which is how
+/// the out-of-order simulator's committed memory is validated against the
+/// in-order oracle (the paper's dual committed-state sanity check, §5.1.1).
+///
+/// All multi-byte accesses are little-endian and may straddle page
+/// boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_mem::SparseMemory;
+///
+/// let mut m = SparseMemory::new();
+/// m.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(0x2000), 0); // unmapped reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: BTreeMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+/// One difference found by [`SparseMemory::diff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDiff {
+    /// Byte address of the first differing byte of an 8-byte-aligned word.
+    pub addr: u64,
+    /// Word value in `self`.
+    pub left: u64,
+    /// Word value in `other`.
+    pub right: u64,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_index(addr: u64) -> (u64, usize) {
+        (addr / PAGE_BYTES as u64, (addr % PAGE_BYTES as u64) as usize)
+    }
+
+    /// Reads one byte; unmapped locations read as zero.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let (p, off) = Self::page_index(addr);
+        self.pages.get(&p).map_or(0, |pg| pg[off])
+    }
+
+    /// Writes one byte, allocating the page on demand.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let (p, off) = Self::page_index(addr);
+        let page = self
+            .pages
+            .entry(p)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+        page[off] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut buf = [0u8; N];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        buf
+    }
+
+    /// Writes `N` little-endian bytes starting at `addr`.
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `size` bytes (1, 2, 4 or 8) zero-extended into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn read_sized(&self, addr: u64, size: u8) -> u64 {
+        match size {
+            1 => u64::from(self.read_u8(addr)),
+            2 => u64::from(self.read_u16(addr)),
+            4 => u64::from(self.read_u32(addr)),
+            8 => self.read_u64(addr),
+            _ => panic!("unsupported access size {size}"),
+        }
+    }
+
+    /// Writes the low `size` bytes (1, 2, 4 or 8) of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn write_sized(&mut self, addr: u64, value: u64, size: u8) {
+        match size {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16),
+            4 => self.write_u32(addr, value as u32),
+            8 => self.write_u64(addr, value),
+            _ => panic!("unsupported access size {size}"),
+        }
+    }
+
+    /// Number of allocated (ever-written) pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Compares the union of allocated pages of `self` and `other`,
+    /// returning up to `limit` differing 8-byte words.
+    ///
+    /// Unallocated pages compare equal to all-zero pages, matching the
+    /// read-as-zero semantics.
+    pub fn diff(&self, other: &SparseMemory, limit: usize) -> Vec<MemDiff> {
+        let mut out = Vec::new();
+        let zero = [0u8; PAGE_BYTES];
+        let pages: std::collections::BTreeSet<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
+        for p in pages {
+            let a = self.pages.get(&p).map_or(&zero, |b| &**b);
+            let b = other.pages.get(&p).map_or(&zero, |b| &**b);
+            if a == b {
+                continue;
+            }
+            for w in 0..(PAGE_BYTES / 8) {
+                let off = w * 8;
+                let wa = u64::from_le_bytes(a[off..off + 8].try_into().unwrap());
+                let wb = u64::from_le_bytes(b[off..off + 8].try_into().unwrap());
+                if wa != wb {
+                    out.push(MemDiff {
+                        addr: p * PAGE_BYTES as u64 + off as u64,
+                        left: wa,
+                        right: wb,
+                    });
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_unmapped_is_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u64(0xffff_ffff_ffff_fff0), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_all_sizes() {
+        let mut m = SparseMemory::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xbeef);
+        m.write_u32(30, 0xdead_beef);
+        m.write_u64(40, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xbeef);
+        assert_eq!(m.read_u32(30), 0xdead_beef);
+        assert_eq!(m.read_u64(40), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0, 0x0403_0201);
+        assert_eq!(m.read_u8(0), 1);
+        assert_eq!(m.read_u8(3), 4);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMemory::new();
+        let addr = PAGE_BYTES as u64 - 4;
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn sized_access_matches_fixed() {
+        let mut m = SparseMemory::new();
+        m.write_sized(100, 0xffee_ddcc_bbaa_9988, 4);
+        assert_eq!(m.read_sized(100, 4), 0xbbaa_9988);
+        assert_eq!(m.read_sized(100, 8), 0xbbaa_9988); // upper bytes untouched
+        m.write_sized(200, 0x7f, 1);
+        assert_eq!(m.read_sized(200, 1), 0x7f);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn bad_size_panics() {
+        let m = SparseMemory::new();
+        let _ = m.read_sized(0, 3);
+    }
+
+    #[test]
+    fn diff_detects_single_word() {
+        let mut a = SparseMemory::new();
+        let mut b = SparseMemory::new();
+        a.write_u64(0x1000, 1);
+        b.write_u64(0x1000, 2);
+        b.write_u64(0x9000, 0); // allocated but equal to zero page in `a`
+        let d = a.diff(&b, 16);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].addr, 0x1000);
+        assert_eq!((d[0].left, d[0].right), (1, 2));
+    }
+
+    #[test]
+    fn diff_equal_memories_is_empty() {
+        let mut a = SparseMemory::new();
+        a.write_u64(0, 7);
+        let b = a.clone();
+        assert!(a.diff(&b, 8).is_empty());
+    }
+
+    #[test]
+    fn diff_respects_limit() {
+        let mut a = SparseMemory::new();
+        let b = SparseMemory::new();
+        for i in 0..10 {
+            a.write_u64(i * 8, i + 1);
+        }
+        assert_eq!(a.diff(&b, 3).len(), 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-cycle port arbitration.
+
+/// A pool of identical ports that refills every cycle.
+///
+/// The baseline machine (Table 1) gives the L1 data cache two read/write
+/// ports; memory instructions that cannot acquire a port retry the next
+/// cycle. The paper notes the port count is *not* increased in redundant
+/// mode ("the number of register file and memory ports cannot be reduced
+/// since the overall processor design must remain balanced", §3.2), so
+/// redundant copies compete for the same two ports.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_mem::PortSet;
+///
+/// let mut p = PortSet::new(2);
+/// assert!(p.try_acquire());
+/// assert!(p.try_acquire());
+/// assert!(!p.try_acquire()); // both busy this cycle
+/// p.begin_cycle();
+/// assert!(p.try_acquire()); // refilled
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSet {
+    total: u32,
+    used: u32,
+}
+
+impl PortSet {
+    /// Creates a pool of `total` ports.
+    pub fn new(total: u32) -> Self {
+        Self { total, used: 0 }
+    }
+
+    /// Releases all ports for a new cycle.
+    pub fn begin_cycle(&mut self) {
+        self.used = 0;
+    }
+
+    /// Attempts to take one port for the current cycle.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.used < self.total {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ports still free this cycle.
+    pub fn available(&self) -> u32 {
+        self.total - self.used
+    }
+
+    /// Configured number of ports.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_until_exhausted() {
+        let mut p = PortSet::new(3);
+        assert_eq!(p.available(), 3);
+        for _ in 0..3 {
+            assert!(p.try_acquire());
+        }
+        assert!(!p.try_acquire());
+        assert_eq!(p.available(), 0);
+    }
+
+    #[test]
+    fn begin_cycle_refills() {
+        let mut p = PortSet::new(1);
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        p.begin_cycle();
+        assert!(p.try_acquire());
+    }
+
+    #[test]
+    fn zero_ports_always_fail() {
+        let mut p = PortSet::new(0);
+        assert!(!p.try_acquire());
+        assert_eq!(p.total(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Page-granularity translation lookaside buffers.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::memory::PAGE_BYTES;
+
+/// Geometry of a TLB.
+///
+/// Following the paper's assumptions (§3.1), TLBs hold *committed* program
+/// state and are ECC-protected, so the fault injector never targets them;
+/// they exist purely for timing fidelity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Display name, e.g. `"dtlb"`.
+    pub name: String,
+    /// Number of entries.
+    pub entries: usize,
+    /// Associativity.
+    pub assoc: usize,
+    /// Extra latency charged on a TLB miss (hardware walk), in cycles.
+    pub miss_penalty: u64,
+}
+
+impl TlbConfig {
+    /// Creates a TLB config.
+    pub fn new(name: &str, entries: usize, assoc: usize, miss_penalty: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            entries,
+            assoc,
+            miss_penalty,
+        }
+    }
+}
+
+/// A TLB modeled as a set-associative tag cache over page numbers.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_mem::{Tlb, TlbConfig};
+///
+/// let mut t = Tlb::new(TlbConfig::new("dtlb", 64, 4, 30));
+/// assert_eq!(t.access(0x1000), 30); // cold miss pays the walk
+/// assert_eq!(t.access(0x1008), 0);  // same page hits
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    inner: Cache,
+    miss_penalty: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(config: TlbConfig) -> Self {
+        let cache_cfg = CacheConfig::new(
+            &config.name,
+            config.entries * PAGE_BYTES,
+            config.assoc,
+            PAGE_BYTES,
+        );
+        Self {
+            inner: Cache::new(cache_cfg),
+            miss_penalty: config.miss_penalty,
+        }
+    }
+
+    /// Translates `addr`, returning the extra cycles charged (0 on hit).
+    pub fn access(&mut self, addr: u64) -> u64 {
+        if self.inner.access(addr, false).hit {
+            0
+        } else {
+            self.miss_penalty
+        }
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Invalidates all entries and clears statistics.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(TlbConfig::new("t", 16, 4, 25));
+        assert_eq!(t.access(0), 25);
+        assert_eq!(t.access(100), 0);
+        assert_eq!(t.access(4095), 0);
+        assert_eq!(t.access(4096), 25); // next page
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        // Fully-associative 2-entry TLB.
+        let mut t = Tlb::new(TlbConfig::new("t", 2, 2, 10));
+        t.access(0);
+        t.access(4096);
+        t.access(0); // keep page 0 warm
+        assert_eq!(t.access(8192), 10); // evicts page 1
+        assert_eq!(t.access(0), 0);
+        assert_eq!(t.access(4096), 10); // was evicted
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = Tlb::new(TlbConfig::new("t", 4, 4, 5));
+        t.access(0);
+        t.access(0);
+        assert_eq!(t.stats().accesses, 2);
+        assert_eq!(t.stats().hits, 1);
+        t.reset();
+        assert_eq!(t.stats().accesses, 0);
+    }
+}

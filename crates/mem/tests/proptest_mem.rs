@@ -1,0 +1,106 @@
+//! Property-based tests for the memory substrate: SparseMemory against a
+//! byte-map model, and cache sanity under arbitrary access streams.
+
+use ftsim_mem::{Cache, CacheConfig, SparseMemory};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Write { addr: u64, value: u64, size: u8 },
+    Read { addr: u64 },
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    let size = prop::sample::select(vec![1u8, 2, 4, 8]);
+    prop_oneof![
+        3 => (0u64..0x8000, any::<u64>(), size).prop_map(|(addr, value, size)| MemOp::Write {
+            addr,
+            value,
+            size
+        }),
+        1 => (0u64..0x8000).prop_map(|addr| MemOp::Read { addr }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sparse_memory_matches_byte_map(ops in prop::collection::vec(mem_op(), 1..200)) {
+        let mut mem = SparseMemory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in &ops {
+            match *op {
+                MemOp::Write { addr, value, size } => {
+                    mem.write_sized(addr, value, size);
+                    for i in 0..u64::from(size) {
+                        model.insert(addr + i, (value >> (8 * i)) as u8);
+                    }
+                }
+                MemOp::Read { addr } => {
+                    let expect = model.get(&addr).copied().unwrap_or(0);
+                    prop_assert_eq!(mem.read_u8(addr), expect);
+                }
+            }
+        }
+        // Full sweep at the end: every byte agrees with the model.
+        for (&addr, &byte) in &model {
+            prop_assert_eq!(mem.read_u8(addr), byte);
+        }
+    }
+
+    #[test]
+    fn memory_diff_is_reflexive_and_sound(ops in prop::collection::vec(mem_op(), 1..100)) {
+        let mut a = SparseMemory::new();
+        for op in &ops {
+            if let MemOp::Write { addr, value, size } = *op {
+                a.write_sized(addr, value, size);
+            }
+        }
+        let b = a.clone();
+        prop_assert!(a.diff(&b, 64).is_empty());
+        // A single-byte perturbation is always found.
+        let mut c = a.clone();
+        c.write_u8(0x123, c.read_u8(0x123).wrapping_add(1));
+        prop_assert_eq!(c.diff(&a, 64).len(), 1);
+    }
+
+    #[test]
+    fn cache_stats_are_consistent(addrs in prop::collection::vec(0u64..0x10000, 1..500)) {
+        let mut cache = Cache::new(CacheConfig::new("t", 4096, 2, 32));
+        for (i, &addr) in addrs.iter().enumerate() {
+            cache.access(addr, i % 4 == 0);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert!(s.writebacks <= s.misses());
+        prop_assert!((0.0..=1.0).contains(&s.miss_rate()));
+    }
+
+    #[test]
+    fn repeated_access_to_resident_line_always_hits(addr in 0u64..0x10000) {
+        let mut cache = Cache::new(CacheConfig::new("t", 4096, 2, 32));
+        cache.access(addr, false);
+        for _ in 0..10 {
+            prop_assert!(cache.access(addr, false).hit);
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_converges_to_hits(
+        base in 0u64..0x1000,
+        lines in 1usize..64, // 64 lines = half of a 128-line cache
+    ) {
+        let mut cache = Cache::new(CacheConfig::new("t", 4096, 2, 32));
+        // Two passes over a working set that fits: second pass all hits.
+        for _ in 0..2 {
+            for i in 0..lines {
+                cache.access(base + (i as u64) * 32, false);
+            }
+        }
+        let s = cache.stats();
+        prop_assert!(s.hits >= lines as u64, "hits {} < lines {lines}", s.hits);
+    }
+}

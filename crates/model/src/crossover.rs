@@ -1,0 +1,110 @@
+//! Crossover analysis between the `R = 2` rewind design and the `R = 3`
+//! majority design (§4.3, §5.3).
+//!
+//! The paper observes: "IPC of the more efficient 'R = 2' design
+//! eventually drops below the 'R = 3' design, but the cross-over occurs at
+//! a much higher fault frequency than what our design is intended for."
+
+use crate::recovery::{ipc_with_faults, ipc_with_faults_majority};
+
+/// Crossover-search failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossoverError {
+    /// The two designs do not cross within the searched frequency range.
+    NoCrossing,
+}
+
+impl std::fmt::Display for CrossoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrossoverError::NoCrossing => write!(f, "no crossover in the searched range"),
+        }
+    }
+}
+
+impl std::error::Error for CrossoverError {}
+
+/// Finds the fault frequency at which the `R = 2` rewind design's IPC
+/// falls below the `R = 3` majority design's, by bisection on `log f`.
+///
+/// `ipc_ff_r2` / `ipc_ff_r3` are the designs' error-free IPCs (for the
+/// normalized Figure 3 machine: `1/2` and `1/3`); `w` is the rewind
+/// penalty.
+///
+/// # Errors
+///
+/// [`CrossoverError::NoCrossing`] if the curves do not cross in
+/// `[10⁻⁹, 0.5]` — e.g. when `ipc_ff_r2 < ipc_ff_r3`.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_model::crossover_frequency;
+///
+/// let f = crossover_frequency(0.5, 1.0 / 3.0, 20.0).unwrap();
+/// // The crossover sits far beyond any realistic soft-error rate
+/// // (thousands of faults per million instructions).
+/// assert!(f > 1e-3);
+/// ```
+pub fn crossover_frequency(
+    ipc_ff_r2: f64,
+    ipc_ff_r3: f64,
+    w: f64,
+) -> Result<f64, CrossoverError> {
+    let gap = |f: f64| {
+        ipc_with_faults(ipc_ff_r2, 2, f, w) - ipc_with_faults_majority(ipc_ff_r3, 3, 2, f, w)
+    };
+    let (mut lo, mut hi) = (1e-9f64, 0.5f64);
+    if gap(lo) <= 0.0 || gap(hi) >= 0.0 {
+        return Err(CrossoverError::NoCrossing);
+    }
+    for _ in 0..200 {
+        let mid = (lo.ln() + hi.ln()) / 2.0;
+        let mid = mid.exp();
+        if gap(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok((lo * hi).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_exists_and_is_extreme() {
+        let f = crossover_frequency(0.5, 1.0 / 3.0, 20.0).unwrap();
+        // R=2 must be better below, worse above.
+        let below = f / 10.0;
+        let above = (f * 10.0).min(0.4);
+        assert!(
+            ipc_with_faults(0.5, 2, below, 20.0)
+                > ipc_with_faults_majority(1.0 / 3.0, 3, 2, below, 20.0)
+        );
+        assert!(
+            ipc_with_faults(0.5, 2, above, 20.0)
+                < ipc_with_faults_majority(1.0 / 3.0, 3, 2, above, 20.0)
+        );
+        // "Much higher than intended": over a thousand faults per million.
+        assert!(f > 1e-3, "crossover {f} too low");
+    }
+
+    #[test]
+    fn larger_w_moves_crossover_down() {
+        let f20 = crossover_frequency(0.5, 1.0 / 3.0, 20.0).unwrap();
+        let f2000 = crossover_frequency(0.5, 1.0 / 3.0, 2000.0).unwrap();
+        assert!(f2000 < f20);
+    }
+
+    #[test]
+    fn degenerate_inputs_report_no_crossing() {
+        // R=2 curve starting below R=3 never crosses downward.
+        assert_eq!(
+            crossover_frequency(0.2, 1.0 / 3.0, 20.0),
+            Err(CrossoverError::NoCrossing)
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Curve generation for Figures 3 and 4.
+
+use crate::recovery::{ipc_with_faults, ipc_with_faults_majority};
+
+/// Which recovery design a curve models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryDesign {
+    /// `R`-way redundancy, rewind on any disagreement.
+    Rewind {
+        /// Degree of redundancy.
+        r: u8,
+    },
+    /// `R`-way redundancy with majority election at the given threshold.
+    Majority {
+        /// Degree of redundancy.
+        r: u8,
+        /// Copies that must agree to elect.
+        threshold: u8,
+    },
+}
+
+impl RecoveryDesign {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> String {
+        match self {
+            RecoveryDesign::Rewind { r } => format!("R={r} (rewind)"),
+            RecoveryDesign::Majority { r, threshold } => {
+                format!("R={r} ({threshold}-of-{r} majority)")
+            }
+        }
+    }
+
+    /// Error-free IPC on the normalized machine of §4.3 (`IPC₁ = B = 1`,
+    /// fully saturated, so `IPC_ff = 1 / R`).
+    pub fn normalized_ipc_ff(self) -> f64 {
+        match self {
+            RecoveryDesign::Rewind { r } | RecoveryDesign::Majority { r, .. } => {
+                1.0 / f64::from(r)
+            }
+        }
+    }
+
+    /// IPC at fault frequency `f` with rewind penalty `w`, from the given
+    /// error-free IPC.
+    pub fn ipc(self, ipc_ff: f64, f: f64, w: f64) -> f64 {
+        match self {
+            RecoveryDesign::Rewind { r } => ipc_with_faults(ipc_ff, r, f, w),
+            RecoveryDesign::Majority { r, threshold } => {
+                ipc_with_faults_majority(ipc_ff, r, threshold, f, w)
+            }
+        }
+    }
+}
+
+/// One named model curve: `(fault frequency, IPC)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Curve {
+    /// Legend label.
+    pub name: String,
+    /// `(f, IPC)` samples, log-spaced in `f`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Generates the three curves of the paper's Figure 3 / Figure 4 for a
+/// given rewind penalty `w`, over `f ∈ [lo, hi]` (log-spaced, `n` points),
+/// on the normalized machine (`IPC₁ = B = 1`):
+/// `R = 2` rewind, `R = 3` rewind, and `R = 3` 2-of-3 majority.
+///
+/// # Examples
+///
+/// ```
+/// let curves = ftsim_model::recovery_curves(20.0, 1e-7, 1e-1, 25);
+/// assert_eq!(curves.len(), 3);
+/// assert_eq!(curves[0].points.len(), 25);
+/// ```
+pub fn recovery_curves(w: f64, lo: f64, hi: f64, n: usize) -> Vec<Curve> {
+    assert!(lo > 0.0 && hi > lo, "bad frequency range");
+    assert!(n >= 2, "need at least two samples");
+    let designs = [
+        RecoveryDesign::Rewind { r: 2 },
+        RecoveryDesign::Rewind { r: 3 },
+        RecoveryDesign::Majority { r: 3, threshold: 2 },
+    ];
+    let (l0, l1) = (lo.log10(), hi.log10());
+    designs
+        .iter()
+        .map(|d| Curve {
+            name: d.label(),
+            points: (0..n)
+                .map(|i| {
+                    let f = 10f64.powf(l0 + (l1 - l0) * i as f64 / (n - 1) as f64);
+                    (f, d.ipc(d.normalized_ipc_ff(), f, w))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 3: `W = 20` cycles (fine-grain rewind recovery).
+pub fn figure3_curves() -> Vec<Curve> {
+    recovery_curves(20.0, 1e-7, 1e-1, 25)
+}
+
+/// Figure 4: `W = 2000` cycles (coarse-grain checkpoint recovery).
+pub fn figure4_curves() -> Vec<Curve> {
+    recovery_curves(2000.0, 1e-7, 1e-1, 25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape() {
+        let curves = figure3_curves();
+        let r2 = &curves[0];
+        let r3 = &curves[1];
+        let r3m = &curves[2];
+        // Flat at the left edge, at the error-free values 1/2 and 1/3.
+        assert!((r2.points[0].1 - 0.5).abs() < 1e-3);
+        assert!((r3.points[0].1 - 1.0 / 3.0).abs() < 1e-3);
+        assert!((r3m.points[0].1 - 1.0 / 3.0).abs() < 1e-3);
+        // Paper: "IPC of R=2 and R=3 stays relatively constant until 1/f
+        // is within two orders of magnitude of W".
+        let at = |c: &Curve, f: f64| {
+            c.points
+                .iter()
+                .min_by(|a, b| (a.0 - f).abs().total_cmp(&(b.0 - f).abs()))
+                .unwrap()
+                .1
+        };
+        assert!(at(r2, 1e-5) > 0.49); // 1/f = 1e5 >> W·100
+        assert!(at(r2, 1e-1) < 0.2); // deep in the degraded region
+        // Majority curve stays flat where the rewind curves have dropped.
+        assert!(at(r3m, 1e-3) > at(r3, 1e-3));
+    }
+
+    #[test]
+    fn figure4_knee_is_two_orders_earlier() {
+        let f3 = figure3_curves();
+        let f4 = figure4_curves();
+        let drop_point = |c: &Curve| {
+            c.points
+                .iter()
+                .find(|(_, ipc)| *ipc < 0.45)
+                .map(|(f, _)| *f)
+                .unwrap()
+        };
+        let ratio = drop_point(&f3[0]) / drop_point(&f4[0]);
+        assert!(ratio > 10.0, "W=2000 knee only {ratio}x earlier");
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(RecoveryDesign::Rewind { r: 2 }.label(), "R=2 (rewind)");
+        assert_eq!(
+            RecoveryDesign::Majority { r: 3, threshold: 2 }.label(),
+            "R=3 (2-of-3 majority)"
+        );
+    }
+
+    #[test]
+    fn normalized_ipc_ff() {
+        assert_eq!(RecoveryDesign::Rewind { r: 2 }.normalized_ipc_ff(), 0.5);
+        assert!(
+            (RecoveryDesign::Majority { r: 3, threshold: 2 }.normalized_ipc_ff() - 1.0 / 3.0)
+                .abs()
+                < 1e-15
+        );
+    }
+}

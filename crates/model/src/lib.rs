@@ -1,0 +1,50 @@
+//! Analytical performance model for a fault-tolerant superscalar
+//! (Section 4 of Ray, Hoe & Falsafi, MICRO 2001).
+//!
+//! The model has two parts:
+//!
+//! * **Steady-state penalty** (§4.1): replicating every instruction `R`
+//!   times divides the machine's peak throughput by `R`, but only costs an
+//!   application its ILP surplus:
+//!   `IPC_R = min(IPC_1, B / R)` where `B` is the first resource
+//!   bottleneck the application exercises (typically the count of one
+//!   functional-unit type).
+//! * **Recovery penalty** (§4.2): with fault frequency `f` (faults per
+//!   instruction per copy) and a rewind penalty of `W` cycles, a rewind
+//!   design pays `W` extra cycles every `1/(R·f)` instructions:
+//!   `IPC_R(f) = IPC_ff / (1 + R·f·W·IPC_ff)`.
+//!   A majority-election design (`R ≥ 3`) rewinds only when fewer than the
+//!   acceptance threshold of copies remain clean, replacing `R·f` with a
+//!   binomial tail probability.
+//!
+//! The model is deliberately first-order; the paper notes it is inaccurate
+//! once `1/f` approaches `W` (rapid fault successions share one rewind).
+//! [`validity_bound`] exposes that limit.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftsim_model::{steady_state_ipc, ipc_with_faults};
+//!
+//! // An application with ILP surplus loses nothing at R = 2...
+//! assert_eq!(steady_state_ipc(1.5, 4.0, 2), 1.5);
+//! // ...a saturated one halves.
+//! assert_eq!(steady_state_ipc(4.0, 4.0, 2), 2.0);
+//!
+//! // Figure 3's flat region: W = 20, f = 1e-6 barely dents IPC.
+//! let ipc = ipc_with_faults(0.5, 2, 1e-6, 20.0);
+//! assert!((ipc - 0.5).abs() < 1e-4);
+//! ```
+
+mod crossover;
+mod figures;
+mod recovery;
+mod steady;
+
+pub use crossover::{crossover_frequency, CrossoverError};
+pub use figures::{figure3_curves, figure4_curves, recovery_curves, Curve, RecoveryDesign};
+pub use recovery::{
+    binomial_tail, ipc_with_faults, ipc_with_faults_majority, rewind_probability_majority,
+    validity_bound,
+};
+pub use steady::{redundant_throughput_factor, steady_state_ipc};

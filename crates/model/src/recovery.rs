@@ -1,0 +1,210 @@
+//! Fault-frequency recovery model, §4.2.
+
+/// IPC of an `r`-way *rewind-recovery* design at fault frequency `f`
+/// (faults per instruction per copy) and rewind penalty `w` cycles.
+///
+/// Derivation (paper §4.2): one of the `r` copies of an instruction is
+/// corrupted with frequency `r·f`, each costing `w` cycles, so
+/// `CPI_r(f) = CPI_ff + r·f·w`, i.e.
+/// `IPC_r(f) = IPC_ff / (1 + r·f·w·IPC_ff)`.
+///
+/// # Panics
+///
+/// Panics if `f` is not in `[0, 1]`, or `ipc_ff` or `w` is negative/NaN.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_model::ipc_with_faults;
+///
+/// let ff = 0.5; // error-free IPC of the R=2 design (B normalized to 1)
+/// assert_eq!(ipc_with_faults(ff, 2, 0.0, 20.0), ff);
+/// // At f = 1/(2·w·IPC_ff), throughput halves... check the knee scaling:
+/// let knee = 1.0 / (2.0 * 20.0 * ff);
+/// let ipc = ipc_with_faults(ff, 2, knee, 20.0);
+/// assert!((ipc - ff / 2.0).abs() < 1e-12);
+/// ```
+pub fn ipc_with_faults(ipc_ff: f64, r: u8, f: f64, w: f64) -> f64 {
+    validate(ipc_ff, f, w);
+    assert!(r >= 1, "redundancy degree must be at least 1");
+    ipc_ff / (1.0 + f64::from(r) * f * w * ipc_ff)
+}
+
+/// Probability that a binomial(`n`, `p`) variable is at least `k`.
+///
+/// # Examples
+///
+/// ```
+/// let p = ftsim_model::binomial_tail(3, 0.5, 2);
+/// assert!((p - 0.5).abs() < 1e-12); // P(X>=2) for 3 fair coins
+/// ```
+pub fn binomial_tail(n: u8, p: f64, k: u8) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let n = u32::from(n);
+    let k = u32::from(k);
+    (k..=n)
+        .map(|i| {
+            let choose = (0..i).fold(1.0, |acc, j| acc * (n - j) as f64 / (j + 1) as f64);
+            choose * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32)
+        })
+        .sum()
+}
+
+/// Per-instruction rewind probability of a majority-election design:
+/// rewind is needed only when fewer than `threshold` copies remain clean,
+/// i.e. when more than `r - threshold` copies are corrupted.
+///
+/// For the paper's `R = 3`, 2-of-3 design this is
+/// `3f²(1-f) + f³` — quadratic in `f`, which is why the `R = 3` curve in
+/// Figures 3 and 6 stays flat "until much higher frequencies".
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_model::rewind_probability_majority;
+///
+/// let f = 1e-3;
+/// let p = rewind_probability_majority(3, 2, f);
+/// let expect = 3.0 * f * f * (1.0 - f) + f * f * f;
+/// assert!((p - expect).abs() < 1e-15);
+/// ```
+pub fn rewind_probability_majority(r: u8, threshold: u8, f: f64) -> f64 {
+    assert!(threshold <= r, "threshold cannot exceed R");
+    binomial_tail(r, f, r - threshold + 1)
+}
+
+/// IPC of an `r`-way *majority-election* design at fault frequency `f`.
+///
+/// Out-voted faults cost nothing; only an unelectable disagreement (no
+/// `threshold` clean copies) pays the rewind `w`.
+///
+/// # Panics
+///
+/// As [`ipc_with_faults`], plus `threshold` must be a strict majority.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_model::{ipc_with_faults, ipc_with_faults_majority};
+///
+/// // At moderate f, the R=3 majority design holds its error-free IPC
+/// // while the R=2 rewind design has already begun to fall.
+/// let f = 1e-3;
+/// let r2 = ipc_with_faults(0.5, 2, f, 20.0);
+/// let r3 = ipc_with_faults_majority(1.0 / 3.0, 3, 2, f, 20.0);
+/// assert!(r2 < 0.5 * 0.999);
+/// assert!(r3 > (1.0 / 3.0) * 0.9999);
+/// ```
+pub fn ipc_with_faults_majority(ipc_ff: f64, r: u8, threshold: u8, f: f64, w: f64) -> f64 {
+    validate(ipc_ff, f, w);
+    assert!(
+        threshold > r / 2 && threshold <= r,
+        "threshold must be a strict majority"
+    );
+    let p_rewind = rewind_probability_majority(r, threshold, f);
+    ipc_ff / (1.0 + p_rewind * w * ipc_ff)
+}
+
+/// The fault frequency above which the first-order model stops being
+/// trustworthy: the paper notes the equations "are not accurate for very
+/// high error frequency (i.e. 1/f ≈ W) because rapid successions of
+/// faults may only incur one rewind penalty". Returns that `f = 1 / w`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ftsim_model::validity_bound(20.0), 0.05);
+/// ```
+pub fn validity_bound(w: f64) -> f64 {
+    assert!(w > 0.0, "rewind penalty must be positive");
+    1.0 / w
+}
+
+fn validate(ipc_ff: f64, f: f64, w: f64) {
+    assert!(
+        ipc_ff >= 0.0 && ipc_ff.is_finite(),
+        "error-free IPC must be non-negative"
+    );
+    assert!((0.0..=1.0).contains(&f), "fault frequency is per instruction");
+    assert!(w >= 0.0 && w.is_finite(), "rewind penalty must be non-negative");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fault_rate_is_error_free() {
+        assert_eq!(ipc_with_faults(0.5, 2, 0.0, 2000.0), 0.5);
+        assert_eq!(ipc_with_faults_majority(0.33, 3, 2, 0.0, 2000.0), 0.33);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_f_and_w() {
+        let mut last = f64::INFINITY;
+        for exp in -7..=-1 {
+            let f = 10f64.powi(exp);
+            let ipc = ipc_with_faults(0.5, 2, f, 20.0);
+            assert!(ipc < last);
+            last = ipc;
+        }
+        assert!(ipc_with_faults(0.5, 2, 1e-3, 2000.0) < ipc_with_faults(0.5, 2, 1e-3, 20.0));
+    }
+
+    #[test]
+    fn knee_location_scales_with_w() {
+        // Figure 3 vs Figure 4: with W=2000 the knee sits ~100x earlier
+        // than with W=20.
+        let drop = |w: f64| {
+            // Find the f where IPC falls to 90% of error-free.
+            let mut f = 1e-9;
+            while ipc_with_faults(0.5, 2, f, w) > 0.45 {
+                f *= 1.1;
+            }
+            f
+        };
+        let ratio = drop(20.0) / drop(2000.0);
+        assert!((90.0..110.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn binomial_tail_edges() {
+        assert_eq!(binomial_tail(3, 0.0, 1), 0.0);
+        assert_eq!(binomial_tail(3, 1.0, 3), 1.0);
+        assert!((binomial_tail(3, 0.5, 0) - 1.0).abs() < 1e-12);
+        // P(X >= 1) = 1 - (1-p)^3.
+        let p = 0.01;
+        let expect = 1.0 - (1.0 - p) * (1.0 - p) * (1.0 - p);
+        assert!((binomial_tail(3, p, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_rewind_probability_is_quadratic() {
+        // Halving f should quarter the rewind probability (leading term).
+        let p1 = rewind_probability_majority(3, 2, 1e-4);
+        let p2 = rewind_probability_majority(3, 2, 5e-5);
+        let ratio = p1 / p2;
+        assert!((3.9..4.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn r3_rewind_only_design_is_linear_and_worse_than_r2_at_low_f() {
+        // Figure 3's middle curve: R=3 with rewind recovery has lower
+        // error-free IPC and the same linear degradation shape.
+        let f = 1e-4;
+        let r2 = ipc_with_faults(0.5, 2, f, 20.0);
+        let r3 = ipc_with_faults(1.0 / 3.0, 3, f, 20.0);
+        assert!(r3 < r2);
+    }
+
+    #[test]
+    fn validity_bound_matches_paper_note() {
+        assert_eq!(validity_bound(2000.0), 5e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strict majority")]
+    fn non_majority_threshold_rejected() {
+        let _ = ipc_with_faults_majority(0.33, 3, 1, 0.0, 20.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Steady-state (fault-free) throughput model, §4.1.
+
+/// First-order IPC of an `r`-way redundant machine.
+///
+/// `ipc1` is the application's IPC on the unmodified datapath and
+/// `bottleneck` is the paper's `B` — the throughput of the first resource
+/// the application saturates (e.g. 4 integer ALUs). The redundant copies
+/// consume idle capacity first; only demand beyond `B / r` is lost:
+///
+/// > "Ideally, until the processor resources become saturated, the extra
+/// > data independent operations consume the previously unused capacities
+/// > and incur little cost." (§4.1)
+///
+/// # Panics
+///
+/// Panics if `r == 0`, or if `ipc1` or `bottleneck` is negative or NaN.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_model::steady_state_ipc;
+///
+/// // go/vpr-like: ILP-limited, IPC1 ≪ B/R — redundancy is nearly free.
+/// assert_eq!(steady_state_ipc(1.0, 4.0, 2), 1.0);
+/// // gcc-like: saturated, pays the full factor of R.
+/// assert_eq!(steady_state_ipc(6.0, 4.0, 2), 2.0);
+/// // Boundary case.
+/// assert_eq!(steady_state_ipc(2.0, 4.0, 2), 2.0);
+/// ```
+pub fn steady_state_ipc(ipc1: f64, bottleneck: f64, r: u8) -> f64 {
+    assert!(r >= 1, "redundancy degree must be at least 1");
+    assert!(
+        ipc1 >= 0.0 && bottleneck >= 0.0,
+        "IPC and bottleneck must be non-negative"
+    );
+    ipc1.min(bottleneck / f64::from(r))
+}
+
+/// The fraction of baseline throughput retained at redundancy `r`,
+/// `IPC_r / IPC_1` (1.0 when redundancy is free, `1/r` when saturated).
+///
+/// # Panics
+///
+/// Panics on invalid inputs (see [`steady_state_ipc`]) or `ipc1 == 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ftsim_model::redundant_throughput_factor(4.0, 4.0, 2), 0.5);
+/// assert_eq!(ftsim_model::redundant_throughput_factor(1.0, 4.0, 2), 1.0);
+/// ```
+pub fn redundant_throughput_factor(ipc1: f64, bottleneck: f64, r: u8) -> f64 {
+    assert!(ipc1 > 0.0, "baseline IPC must be positive");
+    steady_state_ipc(ipc1, bottleneck, r) / ipc1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r1_is_identity() {
+        for ipc in [0.0, 0.5, 3.7, 8.0] {
+            assert_eq!(steady_state_ipc(ipc, 4.0, 1), ipc.min(4.0));
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_r() {
+        let mut last = f64::INFINITY;
+        for r in 1..=4 {
+            let ipc = steady_state_ipc(3.0, 4.0, r);
+            assert!(ipc <= last);
+            last = ipc;
+        }
+        assert_eq!(steady_state_ipc(3.0, 4.0, 4), 1.0);
+    }
+
+    #[test]
+    fn penalty_regimes_match_paper() {
+        // §5.2: ammp/go/vpr have ILP-limited IPC1 — small penalty.
+        let free = redundant_throughput_factor(1.2, 4.0, 2);
+        assert!(free > 0.99);
+        // Resource-limited benchmarks approach the full 50%.
+        let paid = redundant_throughput_factor(4.0, 4.0, 2);
+        assert_eq!(paid, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_r_rejected() {
+        let _ = steady_state_ipc(1.0, 4.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ipc_rejected() {
+        let _ = steady_state_ipc(-1.0, 4.0, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Bimodal (per-PC 2-bit counter) direction predictor.
+
+use crate::{Counter2, DirectionPredictor};
+
+/// The classic bimodal predictor: a table of 2-bit saturating counters
+/// indexed by instruction address.
+///
+/// Table 1's combined predictor uses a 2K-entry bimodal component.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_predict::{Bimodal, DirectionPredictor};
+///
+/// let mut p = Bimodal::new(2048);
+/// p.update(0x40, false);
+/// p.update(0x40, false);
+/// assert!(!p.predict(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "bimodal table size must be a power of two"
+        );
+        Self {
+            table: vec![Counter2::default(); entries],
+            mask: (entries - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // Drop the instruction-alignment bits like SimpleScalar does.
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Number of counters.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].train(taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_strong_bias() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..3 {
+            p.update(0x100, true);
+        }
+        assert!(p.predict(0x100));
+        for _ in 0..4 {
+            p.update(0x100, false);
+        }
+        assert!(!p.predict(0x100));
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..4 {
+            p.update(0x100, true);
+            p.update(0x104, false);
+        }
+        assert!(p.predict(0x100));
+        assert!(!p.predict(0x104));
+    }
+
+    #[test]
+    fn aliasing_wraps_modulo_table() {
+        let mut p = Bimodal::new(16);
+        // 16 entries * 4-byte stride = 64-byte wrap.
+        for _ in 0..4 {
+            p.update(0x0, false);
+        }
+        assert!(!p.predict(64)); // aliases to the same counter
+    }
+
+    #[test]
+    fn initial_prediction_is_weak_taken() {
+        let p = Bimodal::new(8);
+        assert!(p.predict(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Bimodal::new(100);
+    }
+}

@@ -1,0 +1,172 @@
+//! Branch target buffer.
+
+use std::fmt;
+
+/// BTB geometry (sets × associativity), SimpleScalar default 512×4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub assoc: usize,
+}
+
+impl Default for BtbConfig {
+    fn default() -> Self {
+        Self { sets: 512, assoc: 4 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    tag: u64,
+    target: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// A set-associative branch target buffer mapping branch PCs to their last
+/// observed taken targets.
+///
+/// Per the paper (§3.4), the BTB needs no ECC protection: a corrupted
+/// target only causes a misfetch that the commit-time next-PC check (or
+/// ordinary branch resolution) repairs.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_predict::{Btb, BtbConfig};
+///
+/// let mut btb = Btb::new(BtbConfig::default());
+/// assert_eq!(btb.lookup(0x1000), None);
+/// btb.update(0x1000, 0x2000);
+/// assert_eq!(btb.lookup(0x1000), Some(0x2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<Entry>>,
+    mask: u64,
+    tick: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a nonzero power of two or `assoc` is zero.
+    pub fn new(config: BtbConfig) -> Self {
+        assert!(
+            config.sets.is_power_of_two() && config.sets > 0,
+            "BTB sets must be a power of two"
+        );
+        assert!(config.assoc > 0, "BTB associativity must be nonzero");
+        Self {
+            sets: vec![vec![Entry::default(); config.assoc]; config.sets],
+            mask: (config.sets - 1) as u64,
+            tick: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    fn set_and_tag(&self, pc: u64) -> (usize, u64) {
+        let line = pc >> 2;
+        ((line & self.mask) as usize, line >> self.mask.count_ones())
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.lookups += 1;
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(pc);
+        let tick = self.tick;
+        if let Some(e) = self.sets[set]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)
+        {
+            e.lru = tick;
+            self.hits += 1;
+            Some(e.target)
+        } else {
+            None
+        }
+    }
+
+    /// Records (or refreshes) the taken target of the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(pc);
+        let tick = self.tick;
+        let set = &mut self.sets[set];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.target = target;
+            e.lru = tick;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru + 1 } else { 0 })
+            .expect("assoc >= 1");
+        *victim = Entry {
+            tag,
+            target,
+            valid: true,
+            lru: tick,
+        };
+    }
+
+    /// `(hits, lookups)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.lookups)
+    }
+}
+
+impl fmt::Display for Btb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (h, n) = self.stats();
+        write!(f, "btb: {h}/{n} hits")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = Btb::new(BtbConfig { sets: 4, assoc: 2 });
+        assert_eq!(b.lookup(0x100), None);
+        b.update(0x100, 0x900);
+        assert_eq!(b.lookup(0x100), Some(0x900));
+        assert_eq!(b.stats(), (1, 2));
+    }
+
+    #[test]
+    fn update_refreshes_target() {
+        let mut b = Btb::new(BtbConfig { sets: 4, assoc: 2 });
+        b.update(0x100, 0x900);
+        b.update(0x100, 0xa00);
+        assert_eq!(b.lookup(0x100), Some(0xa00));
+    }
+
+    #[test]
+    fn lru_eviction_in_set() {
+        let mut b = Btb::new(BtbConfig { sets: 1, assoc: 2 });
+        b.update(0x0, 1);
+        b.update(0x4, 2);
+        b.lookup(0x0); // refresh A
+        b.update(0x8, 3); // evicts B
+        assert_eq!(b.lookup(0x0), Some(1));
+        assert_eq!(b.lookup(0x4), None);
+        assert_eq!(b.lookup(0x8), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_validated() {
+        let _ = Btb::new(BtbConfig { sets: 3, assoc: 2 });
+    }
+}

@@ -1,0 +1,160 @@
+//! Combined (tournament) predictor with a chooser table.
+
+use crate::bimodal::Bimodal;
+use crate::twolevel::{TwoLevel, TwoLevelConfig};
+use crate::{Counter2, DirectionPredictor};
+
+/// Configuration of the Table 1 combined predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Bimodal component entries (Table 1: 2K).
+    pub bimodal_entries: usize,
+    /// Two-level component geometry.
+    pub two_level: TwoLevelConfig,
+    /// Chooser (meta) table entries.
+    pub meta_entries: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            bimodal_entries: 2048,
+            two_level: TwoLevelConfig::default(),
+            meta_entries: 2048,
+        }
+    }
+}
+
+/// A McFarling-style combined predictor: bimodal + two-level components and
+/// a per-PC chooser of 2-bit counters trained toward whichever component
+/// predicted correctly (only when they disagree), as in SimpleScalar's
+/// `comb` predictor.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_predict::{CombinedPredictor, DirectionPredictor, PredictorConfig};
+///
+/// let mut p = CombinedPredictor::new(PredictorConfig::default());
+/// for i in 0..200 {
+///     p.update(0x10, i % 2 == 0); // alternating: two-level wins
+/// }
+/// // The chooser has learned to trust the two-level component.
+/// assert!(p.chooser_prefers_two_level(0x10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CombinedPredictor {
+    bimodal: Bimodal,
+    two_level: TwoLevel,
+    meta: Vec<Counter2>,
+    meta_mask: u64,
+}
+
+impl CombinedPredictor {
+    /// Creates a combined predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component table size is invalid (see [`Bimodal::new`],
+    /// [`TwoLevel::new`]).
+    pub fn new(config: PredictorConfig) -> Self {
+        assert!(
+            config.meta_entries.is_power_of_two() && config.meta_entries > 0,
+            "meta table size must be a power of two"
+        );
+        Self {
+            bimodal: Bimodal::new(config.bimodal_entries),
+            two_level: TwoLevel::new(config.two_level),
+            meta: vec![Counter2::default(); config.meta_entries],
+            meta_mask: (config.meta_entries - 1) as u64,
+        }
+    }
+
+    fn meta_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.meta_mask) as usize
+    }
+
+    /// Whether the chooser currently selects the two-level component for
+    /// the branch at `pc`. (Meta counter ≥ 2 means "trust two-level".)
+    pub fn chooser_prefers_two_level(&self, pc: u64) -> bool {
+        self.meta[self.meta_index(pc)].taken()
+    }
+}
+
+impl DirectionPredictor for CombinedPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        if self.chooser_prefers_two_level(pc) {
+            self.two_level.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let bim = self.bimodal.predict(pc);
+        let two = self.two_level.predict(pc);
+        // Train the chooser only on disagreement, toward the correct one.
+        if bim != two {
+            let i = self.meta_index(pc);
+            self.meta[i].train(two == taken);
+        }
+        self.bimodal.update(pc, taken);
+        self.two_level.update(pc, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_branch_high_accuracy() {
+        let mut p = CombinedPredictor::new(PredictorConfig::default());
+        for _ in 0..8 {
+            p.update(0x20, true);
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            if p.predict(0x20) {
+                correct += 1;
+            }
+            p.update(0x20, true);
+        }
+        assert_eq!(correct, 100);
+    }
+
+    #[test]
+    fn alternating_branch_converges_to_two_level() {
+        let mut p = CombinedPredictor::new(PredictorConfig::default());
+        for i in 0..300 {
+            p.update(0x30, i % 2 == 0);
+        }
+        assert!(p.chooser_prefers_two_level(0x30));
+        let mut correct = 0;
+        for i in 300..400 {
+            let expect = i % 2 == 0;
+            if p.predict(0x30) == expect {
+                correct += 1;
+            }
+            p.update(0x30, expect);
+        }
+        assert!(correct >= 95, "only {correct}/100 after convergence");
+    }
+
+    #[test]
+    fn chooser_stays_put_when_components_agree() {
+        let mut p = CombinedPredictor::new(PredictorConfig::default());
+        let before = p.chooser_prefers_two_level(0x40);
+        // Both components start weak-taken and agree on `taken`.
+        p.update(0x40, true);
+        assert_eq!(p.chooser_prefers_two_level(0x40), before);
+    }
+
+    #[test]
+    fn default_matches_table1() {
+        let c = PredictorConfig::default();
+        assert_eq!(c.bimodal_entries, 2048);
+        assert_eq!(c.two_level.l2_entries, 1024);
+        assert_eq!(c.two_level.hist_bits, 10);
+    }
+}

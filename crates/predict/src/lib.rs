@@ -1,0 +1,130 @@
+//! Branch prediction substrate for `ftsim`.
+//!
+//! Implements the predictor described in the paper's Table 1:
+//!
+//! > *Combined predictor that selects between a 2K bimodal and a 2-level
+//! > predictor. The 2-level predictor consists of a 2-entry L1 (10-bit
+//! > history), an 1024-entry L2, and 1-bit xor. One prediction per cycle.*
+//!
+//! plus the supporting structures a superscalar front end needs: a branch
+//! target buffer ([`Btb`]) and a return-address stack ([`Ras`]).
+//!
+//! Direction predictors implement [`DirectionPredictor`]; the composite
+//! [`CombinedPredictor`] follows SimpleScalar's chooser design (a table of
+//! 2-bit meta counters trained toward whichever component was right).
+//!
+//! The paper notes BTB arrays need *not* be ECC-protected (§3.4): a
+//! corrupted prediction is performance-harmful but never correctness-
+//! harmful, because every retiring instruction's PC is checked against the
+//! committed next-PC chain. The same is true of every structure in this
+//! crate — which is why the fault injector treats them as out of scope.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftsim_predict::{Bimodal, DirectionPredictor};
+//!
+//! let mut p = Bimodal::new(2048);
+//! for _ in 0..4 {
+//!     p.update(0x1000, true);
+//! }
+//! assert!(p.predict(0x1000)); // learned taken
+//! ```
+
+mod bimodal;
+mod btb;
+mod combined;
+mod ras;
+mod twolevel;
+
+pub use bimodal::Bimodal;
+pub use btb::{Btb, BtbConfig};
+pub use combined::{CombinedPredictor, PredictorConfig};
+pub use ras::Ras;
+pub use twolevel::{TwoLevel, TwoLevelConfig};
+
+/// A conditional-branch direction predictor.
+///
+/// `predict` must not mutate predictor state (prediction happens at fetch);
+/// `update` trains the predictor with the resolved outcome (the simulator
+/// calls it at commit, matching `sim-outorder`).
+pub trait DirectionPredictor {
+    /// Predicts the direction of the branch at `pc`.
+    fn predict(&self, pc: u64) -> bool;
+
+    /// Trains the predictor with the actual outcome of the branch at `pc`.
+    fn update(&mut self, pc: u64, taken: bool);
+}
+
+/// A saturating 2-bit counter, the building block of every table in this
+/// crate (strongly/weakly not-taken = 0/1, weakly/strongly taken = 2/3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Weakly-taken initial state (SimpleScalar initializes to 2).
+    pub const WEAK_TAKEN: Counter2 = Counter2(2);
+
+    /// Weakly-not-taken state.
+    pub const WEAK_NOT_TAKEN: Counter2 = Counter2(1);
+
+    /// Predicted direction.
+    pub fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains toward `taken`, saturating at 0 and 3.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// Raw state in `0..=3`.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Counter2 {
+    fn default() -> Self {
+        Self::WEAK_TAKEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_both_ends() {
+        let mut c = Counter2::WEAK_TAKEN;
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.raw(), 3);
+        assert!(c.taken());
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert_eq!(c.raw(), 0);
+        assert!(!c.taken());
+    }
+
+    #[test]
+    fn hysteresis_needs_two_flips() {
+        let mut c = Counter2::WEAK_TAKEN;
+        c.train(true); // strong taken
+        c.train(false); // weak taken — still predicts taken
+        assert!(c.taken());
+        c.train(false);
+        assert!(!c.taken());
+    }
+
+    #[test]
+    fn default_is_weak_taken() {
+        assert_eq!(Counter2::default(), Counter2::WEAK_TAKEN);
+    }
+}

@@ -1,0 +1,140 @@
+//! Return address stack.
+
+/// A fixed-depth circular return-address stack.
+///
+/// Calls (`jal`/`jalr`) push their return address at fetch; returns (`jr`)
+/// pop a predicted target. Overflow silently wraps (overwriting the oldest
+/// entry) and underflow returns `None`, both standard hardware behaviours —
+/// wrong predictions are repaired by normal branch resolution.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_predict::Ras;
+///
+/// let mut ras = Ras::new(8);
+/// ras.push(0x1004);
+/// ras.push(0x2008);
+/// assert_eq!(ras.pop(), Some(0x2008));
+/// assert_eq!(ras.pop(), Some(0x1004));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl Ras {
+    /// Creates an empty stack with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be nonzero");
+        Self {
+            stack: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address (wraps over the oldest entry when full).
+    pub fn push(&mut self, addr: u64) {
+        self.stack[self.top] = addr;
+        self.top = (self.top + 1) % self.stack.len();
+        self.depth = (self.depth + 1).min(self.stack.len());
+    }
+
+    /// Pops the most recent return address.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + self.stack.len() - 1) % self.stack.len();
+        self.depth -= 1;
+        Some(self.stack[self.top])
+    }
+
+    /// The address `pop` would return, without popping.
+    pub fn peek(&self) -> Option<u64> {
+        if self.depth == 0 {
+            None
+        } else {
+            let i = (self.top + self.stack.len() - 1) % self.stack.len();
+            Some(self.stack[i])
+        }
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.depth
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.depth == 0
+    }
+
+    /// Clears all entries (used on full pipeline rewind).
+    pub fn clear(&mut self) {
+        self.top = 0;
+        self.depth = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(4);
+        for a in [1u64, 2, 3] {
+            r.push(a);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overflow_wraps_over_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None); // 1 was lost
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut r = Ras::new(4);
+        r.push(42);
+        assert_eq!(r.peek(), Some(42));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.pop(), Some(42));
+        assert_eq!(r.peek(), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = Ras::new(4);
+        r.push(1);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = Ras::new(0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Two-level adaptive direction predictor (SimpleScalar `2lev` style).
+
+use crate::{Counter2, DirectionPredictor};
+
+/// Geometry of a [`TwoLevel`] predictor, mirroring SimpleScalar's
+/// `-bpred:2lev <l1size> <l2size> <hist_size> <xor>` parameters.
+///
+/// Table 1's configuration is `l1 = 2`, `hist = 10`, `l2 = 1024`, `xor = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoLevelConfig {
+    /// Entries in the first-level history table.
+    pub l1_entries: usize,
+    /// History bits per first-level entry.
+    pub hist_bits: u32,
+    /// Entries (2-bit counters) in the second-level pattern table.
+    pub l2_entries: usize,
+    /// Whether the history is XORed with the branch address to index L2
+    /// (gshare-style) rather than concatenated.
+    pub xor: bool,
+}
+
+impl Default for TwoLevelConfig {
+    /// The paper's Table 1 configuration.
+    fn default() -> Self {
+        Self {
+            l1_entries: 2,
+            hist_bits: 10,
+            l2_entries: 1024,
+            xor: true,
+        }
+    }
+}
+
+/// Two-level adaptive predictor: per-set branch history registers indexing
+/// a shared pattern table of 2-bit counters.
+///
+/// History is updated at [`DirectionPredictor::update`] time (i.e. commit),
+/// matching `sim-outorder`'s behaviour — lookups between a branch's fetch
+/// and its commit see slightly stale history, which is part of the modeled
+/// performance.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_predict::{DirectionPredictor, TwoLevel, TwoLevelConfig};
+///
+/// let mut p = TwoLevel::new(TwoLevelConfig::default());
+/// // Train an alternating pattern; a 2-level predictor learns it exactly.
+/// for i in 0..64 {
+///     p.update(0x40, i % 2 == 0);
+/// }
+/// assert_eq!(p.predict(0x40), true);  // history says "last was odd"
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    config: TwoLevelConfig,
+    histories: Vec<u64>,
+    pattern: Vec<Counter2>,
+    l1_mask: u64,
+    l2_mask: u64,
+    hist_mask: u64,
+}
+
+impl TwoLevel {
+    /// Creates a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either table size is zero or not a power of two, or if
+    /// `hist_bits` is 0 or > 30.
+    pub fn new(config: TwoLevelConfig) -> Self {
+        assert!(
+            config.l1_entries.is_power_of_two() && config.l1_entries > 0,
+            "L1 size must be a power of two"
+        );
+        assert!(
+            config.l2_entries.is_power_of_two() && config.l2_entries > 0,
+            "L2 size must be a power of two"
+        );
+        assert!(
+            (1..=30).contains(&config.hist_bits),
+            "history bits must be in 1..=30"
+        );
+        Self {
+            histories: vec![0; config.l1_entries],
+            pattern: vec![Counter2::default(); config.l2_entries],
+            l1_mask: (config.l1_entries - 1) as u64,
+            l2_mask: (config.l2_entries - 1) as u64,
+            hist_mask: (1u64 << config.hist_bits) - 1,
+            config,
+        }
+    }
+
+    /// The predictor's geometry.
+    pub fn config(&self) -> TwoLevelConfig {
+        self.config
+    }
+
+    fn l1_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.l1_mask) as usize
+    }
+
+    fn l2_index(&self, pc: u64) -> usize {
+        let hist = self.histories[self.l1_index(pc)];
+        let idx = if self.config.xor {
+            hist ^ (pc >> 2)
+        } else {
+            hist | ((pc >> 2) << self.config.hist_bits)
+        };
+        (idx & self.l2_mask) as usize
+    }
+}
+
+impl DirectionPredictor for TwoLevel {
+    fn predict(&self, pc: u64) -> bool {
+        self.pattern[self.l2_index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let l2 = self.l2_index(pc);
+        self.pattern[l2].train(taken);
+        let l1 = self.l1_index(pc);
+        self.histories[l1] = ((self.histories[l1] << 1) | u64::from(taken)) & self.hist_mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained(pattern: &[bool], rounds: usize) -> TwoLevel {
+        let mut p = TwoLevel::new(TwoLevelConfig::default());
+        for _ in 0..rounds {
+            for &t in pattern {
+                p.update(0x80, t);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn learns_alternating_pattern_perfectly() {
+        let mut p = trained(&[true, false], 32);
+        // After training, prediction must match the pattern exactly.
+        let mut correct = 0;
+        for i in 0..20 {
+            let expect = i % 2 == 0;
+            if p.predict(0x80) == expect {
+                correct += 1;
+            }
+            p.update(0x80, expect);
+        }
+        assert_eq!(correct, 20);
+    }
+
+    #[test]
+    fn learns_period_four_pattern() {
+        let pat = [true, true, false, false];
+        let mut p = trained(&pat, 64);
+        let mut correct = 0;
+        for i in 0..40 {
+            let expect = pat[i % 4];
+            if p.predict(0x80) == expect {
+                correct += 1;
+            }
+            p.update(0x80, expect);
+        }
+        assert!(correct >= 38, "only {correct}/40 correct");
+    }
+
+    #[test]
+    fn history_length_bounds_learnable_period() {
+        // A 10-bit history cannot distinguish patterns longer than 2^10, but
+        // must handle period 8 easily.
+        let pat: Vec<bool> = (0..8).map(|i| i < 3).collect();
+        let mut p = trained(&pat, 128);
+        let mut correct = 0;
+        for i in 0..80 {
+            let expect = pat[i % 8];
+            if p.predict(0x80) == expect {
+                correct += 1;
+            }
+            p.update(0x80, expect);
+        }
+        assert!(correct >= 76, "only {correct}/80 correct");
+    }
+
+    #[test]
+    fn xor_and_concat_modes_differ() {
+        let xor = TwoLevel::new(TwoLevelConfig {
+            xor: true,
+            ..TwoLevelConfig::default()
+        });
+        let cat = TwoLevel::new(TwoLevelConfig {
+            xor: false,
+            ..TwoLevelConfig::default()
+        });
+        // Same state, different indexing function.
+        assert_ne!(
+            xor.l2_index(0xfff0),
+            cat.l2_index(0xfff0),
+            "indexing modes should disagree for high PCs"
+        );
+    }
+
+    #[test]
+    fn table1_default_geometry() {
+        let c = TwoLevelConfig::default();
+        assert_eq!((c.l1_entries, c.hist_bits, c.l2_entries, c.xor), (2, 10, 1024, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "history bits")]
+    fn history_bits_validated() {
+        let _ = TwoLevel::new(TwoLevelConfig {
+            hist_bits: 0,
+            ..TwoLevelConfig::default()
+        });
+    }
+}

@@ -1,0 +1,172 @@
+//! Event counters and derived ratios.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// Thin wrapper over `u64` that makes simulator statistics self-describing
+/// and prevents accidental arithmetic between unrelated quantities.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_stats::Counter;
+///
+/// let mut retired = Counter::new();
+/// retired.add(8);
+/// retired.inc();
+/// assert_eq!(retired.get(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Returns this count divided by `denom` (0 if the denominator is zero).
+    pub fn per(self, denom: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+/// A numerator/denominator pair reported as a rate.
+///
+/// Used for hit rates, prediction accuracy, and similar quantities where the
+/// report must show both the fraction and the raw event counts.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_stats::Ratio;
+///
+/// let mut hits = Ratio::new();
+/// hits.record(true);
+/// hits.record(false);
+/// hits.record(true);
+/// assert!((hits.rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio (rate reported as 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event; `success` increments the numerator.
+    pub fn record(&mut self, success: bool) {
+        self.den += 1;
+        if success {
+            self.num += 1;
+        }
+    }
+
+    /// Numerator (successes).
+    pub fn numerator(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator (total events).
+    pub fn denominator(self) -> u64 {
+        self.den
+    }
+
+    /// Success rate in `[0, 1]`; zero when no events were recorded.
+    pub fn rate(self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.num, self.den, self.rate() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.per(10), 0.5);
+        assert_eq!(c.per(0), 0.0);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_display_and_from() {
+        let c = Counter::from(42);
+        assert_eq!(c.to_string(), "42");
+    }
+
+    #[test]
+    fn ratio_empty_is_zero() {
+        assert_eq!(Ratio::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn ratio_counts() {
+        let mut r = Ratio::new();
+        for i in 0..10 {
+            r.record(i % 2 == 0);
+        }
+        assert_eq!(r.numerator(), 5);
+        assert_eq!(r.denominator(), 10);
+        assert_eq!(r.rate(), 0.5);
+        assert!(r.to_string().contains("5/10"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Bucketed histograms for distributions such as rewind penalties.
+
+use std::fmt;
+
+/// A histogram over `u64` samples with fixed-width buckets plus an overflow
+/// bucket.
+///
+/// The simulator uses this to report distributions the paper discusses in
+/// prose, e.g. "typical recovery costs observed in fpppp simulations are
+/// around 30 cycles" (Section 5.3) is checked against the rewind-penalty
+/// histogram's mean and median.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_stats::Histogram;
+///
+/// let mut h = Histogram::new(10, 8); // 8 buckets of width 10, then overflow
+/// h.record(3);
+/// h.record(35);
+/// h.record(1000);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(3), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "bucket count must be positive");
+        Self {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Number of samples that fell in the bucket containing `value`.
+    pub fn bucket_count(&self, value: u64) -> u64 {
+        let idx = (value / self.bucket_width) as usize;
+        self.buckets.get(idx).copied().unwrap_or(self.overflow)
+    }
+
+    /// Number of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate p-th percentile (0-100) computed from bucket midpoints.
+    ///
+    /// Good enough for reporting medians of cycle-count distributions; exact
+    /// values are not retained.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (i as u64 * self.bucket_width) as f64 + self.bucket_width as f64 / 2.0;
+            }
+        }
+        // Fell into overflow: report the max as a conservative answer.
+        self.max as f64
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs, ending with the
+    /// overflow bucket if nonempty.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let w = self.bucket_width;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &n)| (i as u64 * w, n))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "n={} mean={:.1} min={:?} max={:?}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max()
+        )?;
+        for (lo, n) in self.iter() {
+            if n > 0 {
+                writeln!(f, "  [{lo:>6}..): {n}")?;
+            }
+        }
+        if self.overflow > 0 {
+            writeln!(f, "  overflow: {}", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_buckets() {
+        let mut h = Histogram::new(10, 4);
+        for v in [0, 9, 10, 39, 40, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(10), 1);
+        assert_eq!(h.bucket_count(30), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+    }
+
+    #[test]
+    fn mean_and_percentile() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+        let p50 = h.percentile(50.0);
+        assert!((p50 - 49.5).abs() <= 1.0, "median {p50}");
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(5, 3);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_panics() {
+        let _ = Histogram::new(0, 3);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut h = Histogram::new(10, 2);
+        h.record(5);
+        let s = h.to_string();
+        assert!(s.contains("n=1"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Statistics and reporting utilities for the `ftsim` workspace.
+//!
+//! This crate is the reporting substrate shared by the simulator and the
+//! experiment harness. It provides:
+//!
+//! * [`Counter`] and [`Ratio`] — simple event accounting used throughout the
+//!   pipeline model;
+//! * [`Histogram`] — bucketed distributions (e.g. rewind penalties, RUU
+//!   occupancy);
+//! * [`Table`] — aligned text / CSV / Markdown table rendering, used to print
+//!   the paper's tables exactly as rows;
+//! * [`Series`] and [`AsciiPlot`] — (x, y) series with a logarithmic-x ASCII
+//!   plot, used to print the paper's figures as curves in a terminal.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftsim_stats::Table;
+//!
+//! let mut t = Table::new(["bench", "IPC"]);
+//! t.row(["gcc", "2.41"]);
+//! let text = t.render();
+//! assert!(text.contains("gcc"));
+//! ```
+
+mod counter;
+mod histogram;
+mod plot;
+mod series;
+mod table;
+
+pub use counter::{Counter, Ratio};
+pub use histogram::Histogram;
+pub use plot::AsciiPlot;
+pub use series::{log_space, Series};
+pub use table::{Align, Table};
+
+/// Format a float with a fixed number of decimals, trimming `-0.00` to `0.00`.
+///
+/// This is the single float formatter used by the experiment harness so that
+/// every table in `EXPERIMENTS.md` renders consistently.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ftsim_stats::fmt_f(1.23456, 2), "1.23");
+/// assert_eq!(ftsim_stats::fmt_f(-0.0001, 2), "0.00");
+/// ```
+pub fn fmt_f(x: f64, decimals: usize) -> String {
+    let s = format!("{x:.decimals$}");
+    if s.starts_with('-') && s[1..].chars().all(|c| c == '0' || c == '.') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// Format a value as a percentage with two decimals (e.g. `32.00%`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ftsim_stats::fmt_pct(0.3201), "32.01%");
+/// ```
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{}%", fmt_f(frac * 100.0, 2))
+}

@@ -1,0 +1,179 @@
+//! Logarithmic-x ASCII line plots for terminal figure output.
+
+use crate::Series;
+
+/// An ASCII plot with a logarithmic x axis and linear y axis.
+///
+/// The experiment harness uses this to render the paper's IPC-vs-fault-
+/// frequency figures directly in the terminal; the same series are also
+/// emitted as CSV for external plotting.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_stats::{AsciiPlot, Series};
+///
+/// let s = Series::from_points("R=2", [(1e-6, 0.5), (1e-4, 0.49), (1e-2, 0.2)]);
+/// let plot = AsciiPlot::new("IPC vs fault rate", 40, 10).series(s).render();
+/// assert!(plot.contains("R=2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
+
+impl AsciiPlot {
+    /// Creates a plot canvas of `width` columns by `height` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 10` or `height < 4`.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 10, "plot width too small");
+        assert!(height >= 4, "plot height too small");
+        Self {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a curve (consuming builder).
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the plot to a string.
+    ///
+    /// Points with non-positive x are skipped (log axis). An empty plot
+    /// renders the title and an empty frame.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points().iter().copied())
+            .filter(|(x, _)| *x > 0.0)
+            .collect();
+        let (x0, x1) = pts
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (x, _)| {
+                (lo.min(*x), hi.max(*x))
+            });
+        let (y0, y1) = pts
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, y)| {
+                (lo.min(*y), hi.max(*y))
+            });
+        let have_data = !pts.is_empty() && x1 > 0.0;
+        let (lx0, lx1) = if have_data {
+            (x0.log10(), x1.log10())
+        } else {
+            (0.0, 1.0)
+        };
+        let (y0, y1) = if have_data && (y1 - y0).abs() > f64::EPSILON {
+            (y0, y1)
+        } else if have_data {
+            (y0 - 0.5, y1 + 0.5)
+        } else {
+            (0.0, 1.0)
+        };
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            for &(x, y) in s.points() {
+                if x <= 0.0 {
+                    continue;
+                }
+                let tx = if lx1 > lx0 {
+                    (x.log10() - lx0) / (lx1 - lx0)
+                } else {
+                    0.5
+                };
+                let ty = (y - y0) / (y1 - y0);
+                let col = ((tx * (self.width - 1) as f64).round() as usize).min(self.width - 1);
+                let row = self.height
+                    - 1
+                    - ((ty * (self.height - 1) as f64).round() as usize).min(self.height - 1);
+                grid[row][col] = mark;
+            }
+        }
+
+        let mut out = format!("{}\n", self.title);
+        for (i, row) in grid.iter().enumerate() {
+            let y_label = y1 - (y1 - y0) * i as f64 / (self.height - 1) as f64;
+            out.push_str(&format!("{y_label:>8.3} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>8} +{}\n",
+            "",
+            "-".repeat(self.width)
+        ));
+        out.push_str(&format!(
+            "{:>10}1e{:<8.1}{}1e{:.1}\n",
+            "",
+            lx0,
+            " ".repeat(self.width.saturating_sub(18)),
+            lx1
+        ));
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "  {} {}\n",
+                MARKS[si % MARKS.len()],
+                s.name()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let s = Series::from_points("curve-a", [(1e-6, 1.0), (1e-3, 0.8), (1e-1, 0.1)]);
+        let p = AsciiPlot::new("t", 40, 8).series(s).render();
+        assert!(p.contains('*'));
+        assert!(p.contains("curve-a"));
+        assert!(p.lines().count() >= 10);
+    }
+
+    #[test]
+    fn two_series_use_distinct_marks() {
+        let a = Series::from_points("a", [(1e-3, 0.0)]);
+        let b = Series::from_points("b", [(1e-2, 1.0)]);
+        let p = AsciiPlot::new("t", 30, 6).series(a).series(b).render();
+        assert!(p.contains('*'));
+        assert!(p.contains('+'));
+    }
+
+    #[test]
+    fn empty_plot_does_not_panic() {
+        let p = AsciiPlot::new("empty", 20, 5).render();
+        assert!(p.contains("empty"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let s = Series::from_points("flat", [(1e-3, 0.5), (1e-2, 0.5)]);
+        let p = AsciiPlot::new("t", 20, 5).series(s).render();
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn tiny_canvas_panics() {
+        let _ = AsciiPlot::new("t", 2, 5);
+    }
+}

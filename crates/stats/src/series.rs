@@ -1,0 +1,138 @@
+//! Named (x, y) series used to carry figure data from experiments to output.
+
+/// A named sequence of `(x, y)` points, e.g. one curve of Figure 3.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_stats::Series;
+///
+/// let s = Series::from_points("R=2", [(1e-6, 0.5), (1e-3, 0.45)]);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.name(), "R=2");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Creates a series from an iterator of points.
+    pub fn from_points<I>(name: impl Into<String>, points: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        Self {
+            name: name.into(),
+            points: points.into_iter().collect(),
+        }
+    }
+
+    /// The curve's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The recorded points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the y value at the largest x ≤ `x`, by linear search.
+    ///
+    /// Returns `None` for an empty series or when `x` precedes every point.
+    pub fn y_at_or_before(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|(px, _)| *px <= x)
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|&(_, y)| y)
+    }
+}
+
+/// Generates `n` log-spaced values from `lo` to `hi` inclusive.
+///
+/// Used for fault-frequency sweeps (the paper plots IPC against fault rate on
+/// a logarithmic axis in Figures 3, 4 and 6).
+///
+/// # Panics
+///
+/// Panics if `lo` or `hi` is not strictly positive, or `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let xs = ftsim_stats::log_space(1e-6, 1e-2, 5);
+/// assert_eq!(xs.len(), 5);
+/// assert!((xs[0] - 1e-6).abs() < 1e-15);
+/// assert!((xs[4] - 1e-2).abs() < 1e-8);
+/// ```
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > 0.0, "log_space bounds must be positive");
+    assert!(n >= 2, "log_space needs at least two points");
+    let (l0, l1) = (lo.log10(), hi.log10());
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            10f64.powf(l0 + t * (l1 - l0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = Series::new("c");
+        assert!(s.is_empty());
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y_at_or_before(1.5), Some(10.0));
+        assert_eq!(s.y_at_or_before(2.0), Some(20.0));
+        assert_eq!(s.y_at_or_before(0.5), None);
+    }
+
+    #[test]
+    fn log_space_is_monotone_and_bounded() {
+        let xs = log_space(1e-7, 1e-1, 13);
+        assert_eq!(xs.len(), 13);
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!((xs[0] - 1e-7).abs() / 1e-7 < 1e-9);
+        assert!((xs[12] - 1e-1).abs() / 1e-1 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_space_rejects_zero() {
+        let _ = log_space(0.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! Aligned text, CSV and Markdown table rendering.
+
+use std::fmt;
+
+/// Column alignment for [`Table`] rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (default; used for names).
+    #[default]
+    Left,
+    /// Right-aligned (used for numbers).
+    Right,
+}
+
+/// A simple row/column table that renders as aligned text, CSV, or Markdown.
+///
+/// The experiment harness prints every reproduced paper table through this
+/// type so that terminal output, `EXPERIMENTS.md`, and CSV exports agree.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_stats::{Align, Table};
+///
+/// let mut t = Table::new(["bench", "SS-1", "SS-2"]);
+/// t.align(1, Align::Right).align(2, Align::Right);
+/// t.row(["gcc", "3.12", "1.98"]);
+/// let txt = t.render();
+/// assert!(txt.lines().count() >= 3); // header, rule, row
+/// assert!(t.to_csv().starts_with("bench,SS-1,SS-2"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Self {
+            headers,
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Sets the alignment of column `col`. Returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Marks every column except the first as right-aligned — the common
+    /// layout for "name + numbers" tables.
+    pub fn numeric(&mut self) -> &mut Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let fill = " ".repeat(width.saturating_sub(len));
+        match align {
+            Align::Left => format!("{cell}{fill}"),
+            Align::Right => format!("{fill}{cell}"),
+        }
+    }
+
+    /// Renders the table as aligned plain text with a header rule.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| Self::pad(h, w[i], self.aligns[i]))
+            .collect();
+        out.push_str(&hdr.join("  "));
+        out.push('\n');
+        let rule: Vec<String> = w.iter().map(|&n| "-".repeat(n)).collect();
+        out.push_str(&rule.join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Self::pad(c, w[i], self.aligns[i]))
+                .collect();
+            out.push_str(cells.join("  ").trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("| {} |\n", self.headers.join(" | "));
+        let marks: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => "---",
+                Align::Right => "---:",
+            })
+            .collect();
+        out.push_str(&format!("| {} |\n", marks.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["name", "ipc"]);
+        t.numeric();
+        t.row(["gcc", "2.5"]).row(["fpppp", "1.25"]);
+        t
+    }
+
+    #[test]
+    fn alignment_pads_columns() {
+        let t = sample();
+        let txt = t.render();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        // numeric column right-aligned: "2.5" ends the row.
+        assert!(lines[2].ends_with("2.5"));
+        assert!(lines[3].ends_with("1.25"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let t = sample();
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "name,ipc");
+    }
+
+    #[test]
+    fn markdown_has_alignment_row() {
+        let t = sample();
+        let md = t.to_markdown();
+        assert!(md.contains("| --- | ---: |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.render());
+    }
+}

@@ -1,0 +1,208 @@
+//! Hand-written kernels used by examples and tests.
+
+use ftsim_isa::{FpReg, IntReg, Program, ProgramBuilder, DATA_BASE};
+
+/// Dot product of two `f64` vectors of length `n`, result stored at
+/// `DATA_BASE + 16·n` and truncated into `r2`.
+///
+/// A compact FP workload: two streaming loads, one multiply and one add
+/// per element — the classic FP-adder/multiplier pipeline exerciser.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_isa::{Emulator, IntReg};
+///
+/// let p = ftsim_workloads::dot_product(8);
+/// let mut e = Emulator::new(&p);
+/// e.run(10_000).unwrap();
+/// // a[i] = i+1, b[i] = 2 ⇒ dot = 2·Σ(i+1) = n(n+1)
+/// assert_eq!(e.regs().read_int(IntReg::new(2)), 8 * 9);
+/// ```
+pub fn dot_product(n: u32) -> Program {
+    assert!(n > 0, "vector length must be positive");
+    let r1 = IntReg::new(1);
+    let r2 = IntReg::new(2);
+    let ra = IntReg::new(10);
+    let rb = IntReg::new(11);
+    let (fa, fb, facc, fprod) = (FpReg::new(1), FpReg::new(2), FpReg::new(3), FpReg::new(4));
+
+    let mut b = ProgramBuilder::new();
+    let a_base = DATA_BASE;
+    let b_base = DATA_BASE + 8 * u64::from(n);
+    let a: Vec<f64> = (0..n).map(|i| f64::from(i + 1)).collect();
+    let bv: Vec<f64> = (0..n).map(|_| 2.0).collect();
+    b.data_f64(a_base, &a);
+    b.data_f64(b_base, &bv);
+
+    b.li(ra, a_base as i64);
+    b.li(rb, b_base as i64);
+    b.li(r1, i64::from(n));
+    b.fsub(facc, facc, facc); // acc = 0 (registers start at +0.0 bits)
+    b.label("loop");
+    b.lfd(fa, ra, 0);
+    b.lfd(fb, rb, 0);
+    b.fmul(fprod, fa, fb);
+    b.fadd(facc, facc, fprod);
+    b.addi(ra, ra, 8);
+    b.addi(rb, rb, 8);
+    b.addi(r1, r1, -1);
+    b.bne(r1, IntReg::ZERO, "loop");
+    b.sfd(facc, rb, 0); // one past b[] = DATA_BASE + 16n
+    b.cvtfi(r2, facc);
+    b.halt();
+    b.build().expect("static labels")
+}
+
+/// Iterative Fibonacci: computes `fib(n) mod 2^64` into `r2` and stores the
+/// full sequence to memory (a store-to-load forwarding exerciser).
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_isa::{Emulator, IntReg};
+///
+/// let p = ftsim_workloads::fibonacci(10);
+/// let mut e = Emulator::new(&p);
+/// e.run(10_000).unwrap();
+/// assert_eq!(e.regs().read_int(IntReg::new(2)), 55);
+/// ```
+pub fn fibonacci(n: u32) -> Program {
+    let (r1, r2, r3, r4, rp) = (
+        IntReg::new(1),
+        IntReg::new(2),
+        IntReg::new(3),
+        IntReg::new(4),
+        IntReg::new(10),
+    );
+    let mut b = ProgramBuilder::new();
+    b.li(rp, DATA_BASE as i64);
+    b.addi(r2, IntReg::ZERO, 0); // fib(0)
+    b.addi(r3, IntReg::ZERO, 1); // fib(1)
+    b.li(r1, i64::from(n));
+    b.beq(r1, IntReg::ZERO, "done");
+    b.label("loop");
+    b.add(r4, r2, r3); // next
+    b.add(r2, r3, IntReg::ZERO);
+    b.add(r3, r4, IntReg::ZERO);
+    b.sd(r2, rp, 0);
+    b.ld(r4, rp, 0); // immediately reload (forwarding path)
+    b.addi(rp, rp, 8);
+    b.addi(r1, r1, -1);
+    b.bne(r1, IntReg::ZERO, "loop");
+    b.label("done");
+    b.halt();
+    b.build().expect("static labels")
+}
+
+/// Pointer chase through a pseudo-randomly permuted ring of `nodes`
+/// 64-byte-spaced cells, for `steps` hops — the classic cache/latency
+/// micro-benchmark (every load depends on the previous one).
+///
+/// Final node index lands in `r2`.
+///
+/// # Panics
+///
+/// Panics if `nodes < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_isa::Emulator;
+///
+/// let p = ftsim_workloads::pointer_chase(64, 100);
+/// let mut e = Emulator::new(&p);
+/// assert!(e.run(100_000).is_ok());
+/// ```
+pub fn pointer_chase(nodes: u32, steps: u32) -> Program {
+    assert!(nodes >= 2, "need at least two nodes");
+    let (r1, r2, rp) = (IntReg::new(1), IntReg::new(2), IntReg::new(10));
+    let stride = 64u64;
+
+    // Build a single-cycle permutation (ring) with an LCG-ish shuffle.
+    let mut order: Vec<u32> = (0..nodes).collect();
+    let mut state = 0x9e37_79b9u64;
+    for i in (1..nodes as usize).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    // next[order[k]] = order[k+1]; closes into a ring.
+    let mut next = vec![0u64; nodes as usize];
+    for k in 0..nodes as usize {
+        let cur = order[k] as usize;
+        let nxt = order[(k + 1) % nodes as usize];
+        next[cur] = DATA_BASE + u64::from(nxt) * stride;
+    }
+
+    let mut b = ProgramBuilder::new();
+    for (i, &n) in next.iter().enumerate() {
+        b.data_u64(DATA_BASE + i as u64 * stride, &[n]);
+    }
+    b.li(rp, DATA_BASE as i64);
+    b.li(r1, i64::from(steps));
+    b.label("chase");
+    b.ld(rp, rp, 0); // p = *p — serial dependence
+    b.addi(r1, r1, -1);
+    b.bne(r1, IntReg::ZERO, "chase");
+    // Recover the node index: (p - DATA_BASE) / 64.
+    b.li(r2, DATA_BASE as i64);
+    b.sub(r2, rp, r2);
+    b.srli(r2, r2, 6);
+    b.halt();
+    b.build().expect("static labels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_isa::Emulator;
+
+    #[test]
+    fn dot_product_is_exact() {
+        for n in [1u32, 3, 17, 64] {
+            let p = dot_product(n);
+            let mut e = Emulator::new(&p);
+            e.run(1_000_000).unwrap();
+            let expect = u64::from(n) * u64::from(n + 1);
+            assert_eq!(e.regs().read_int(IntReg::new(2)), expect, "n={n}");
+            let stored = f64::from_bits(e.mem().read_u64(DATA_BASE + 16 * u64::from(n)));
+            assert_eq!(stored, expect as f64);
+        }
+    }
+
+    #[test]
+    fn fibonacci_values() {
+        for (n, fib) in [(1u32, 1u64), (2, 1), (10, 55), (20, 6765), (0, 0)] {
+            let p = fibonacci(n);
+            let mut e = Emulator::new(&p);
+            e.run(1_000_000).unwrap();
+            assert_eq!(e.regs().read_int(IntReg::new(2)), fib, "fib({n})");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_visits_ring() {
+        // After exactly `nodes` steps the chase returns to node 0's
+        // successor chain start — verify it lands somewhere valid, and
+        // that full cycles return to the start node.
+        let nodes = 16u32;
+        let p = pointer_chase(nodes, nodes);
+        let mut e = Emulator::new(&p);
+        e.run(1_000_000).unwrap();
+        let end = e.regs().read_int(IntReg::new(2));
+        assert_eq!(end, 0, "a full cycle returns to node 0");
+    }
+
+    #[test]
+    fn pointer_chase_partial_is_on_ring() {
+        let p = pointer_chase(8, 3);
+        let mut e = Emulator::new(&p);
+        e.run(1_000_000).unwrap();
+        assert!(e.regs().read_int(IntReg::new(2)) < 8);
+    }
+}

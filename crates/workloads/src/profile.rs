@@ -1,0 +1,361 @@
+//! The 11 benchmark profiles: Table 2 mixes plus behavioural knobs.
+
+use ftsim_isa::Program;
+
+/// Target dynamic instruction-mix fractions (the paper's Table 2 columns,
+/// as fractions summing to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixTargets {
+    /// Loads and stores.
+    pub mem: f64,
+    /// Integer operations (including branches).
+    pub int: f64,
+    /// FP add-class operations.
+    pub fp_add: f64,
+    /// FP multiplies.
+    pub fp_mul: f64,
+    /// FP divides.
+    pub fp_div: f64,
+}
+
+impl MixTargets {
+    /// Creates targets from Table 2 percentages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the percentages sum to ≈100.
+    pub fn from_percent(mem: f64, int: f64, fp_add: f64, fp_mul: f64, fp_div: f64) -> Self {
+        let sum = mem + int + fp_add + fp_mul + fp_div;
+        assert!(
+            (sum - 100.0).abs() < 0.5,
+            "mix percentages must sum to 100 (got {sum})"
+        );
+        Self {
+            mem: mem / 100.0,
+            int: int / 100.0,
+            fp_add: fp_add / 100.0,
+            fp_mul: fp_mul / 100.0,
+            fp_div: fp_div / 100.0,
+        }
+    }
+
+    /// Fraction of FP work of any kind.
+    pub fn fp_total(&self) -> f64 {
+        self.fp_add + self.fp_mul + self.fp_div
+    }
+}
+
+/// A synthetic benchmark: Table 2 mix plus the knobs that shape its ILP,
+/// branch behaviour, and memory locality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (paper Table 2).
+    pub name: &'static str,
+    /// Originating suite, for reporting.
+    pub suite: &'static str,
+    /// Dynamic mix targets.
+    pub mix: MixTargets,
+    /// Independent integer dependence chains (more chains = more ILP).
+    pub chains: usize,
+    /// Independent FP dependence chains (0 for integer codes).
+    pub fp_chains: usize,
+    /// Fraction of dynamic instructions that are conditional branches.
+    pub branch_frac: f64,
+    /// Branch-condition bias: the branch tests `(value & mask) == 0` on a
+    /// pseudo-random loaded value, so `mask = 1` gives 50/50 (hard to
+    /// predict) and larger masks give biased, predictable branches.
+    pub branch_bias_mask: u32,
+    /// Working-set size in bytes (power of two); drives cache behaviour.
+    pub working_set: usize,
+    /// Bytes the access window advances per address update.
+    pub stride: usize,
+    /// Bytes of the window that are cycled over before repeating (power of
+    /// two ≤ 2048); smaller spans mean more L1 reuse.
+    pub reuse_span: usize,
+    /// Memory operations between window advances; larger values mean more
+    /// reuse per window.
+    pub ops_per_window: usize,
+    /// Fraction of instructions that are *serially dependent* integer
+    /// divisions (the ammp critical-path knob, §5.2).
+    pub serial_div_frac: f64,
+    /// Whether loads feed the compute chains (memory-to-use dependences).
+    pub load_consume: bool,
+    /// Generation seed (fixed per profile for reproducibility).
+    pub seed: u64,
+}
+
+impl WorkloadProfile {
+    /// Generates the benchmark program with `iterations` passes over the
+    /// main loop body (~300 dynamic instructions per iteration).
+    ///
+    /// Delegates to the [generator](crate::GeneratorReport); see
+    /// [`WorkloadProfile::program_with_report`] for emission statistics.
+    pub fn program(&self, iterations: u32) -> Program {
+        self.program_with_report(iterations).0
+    }
+
+    /// As [`WorkloadProfile::program`], also returning the generator's
+    /// emission report (expected dynamic mix).
+    pub fn program_with_report(&self, iterations: u32) -> (Program, crate::GeneratorReport) {
+        crate::generator::generate(self, iterations)
+    }
+
+    /// Generates a program sized to commit roughly `n` dynamic
+    /// instructions before halting.
+    pub fn program_for_instructions(&self, n: u64) -> Program {
+        let per_iter = 300u64; // generator body target
+        let iters = (n / per_iter).clamp(2, u32::MAX as u64) as u32;
+        self.program(iters)
+    }
+}
+
+/// The 11 benchmarks of the paper's Table 2, in the paper's order.
+///
+/// Mix percentages are Table 2 verbatim; the behavioural knobs encode the
+/// paper's §5.2 characterization of each benchmark (see crate docs).
+pub fn spec_profiles() -> Vec<WorkloadProfile> {
+    vec![
+        WorkloadProfile {
+            name: "gcc",
+            suite: "SPEC95 INT",
+            mix: MixTargets::from_percent(74.55, 25.45, 0.0, 0.0, 0.0),
+            chains: 4,
+            fp_chains: 0,
+            branch_frac: 0.035,
+            branch_bias_mask: 15,
+            working_set: 512 * 1024,
+            stride: 8,
+            reuse_span: 128,
+            ops_per_window: 64,
+            serial_div_frac: 0.0,
+            load_consume: false,
+            seed: 0x6763_6301,
+        },
+        WorkloadProfile {
+            name: "vortex",
+            suite: "SPEC95 INT",
+            mix: MixTargets::from_percent(54.56, 45.44, 0.0, 0.0, 0.0),
+            chains: 6,
+            fp_chains: 0,
+            branch_frac: 0.05,
+            branch_bias_mask: 15,
+            working_set: 256 * 1024,
+            stride: 8,
+            reuse_span: 128,
+            ops_per_window: 96,
+            serial_div_frac: 0.0,
+            load_consume: false,
+            seed: 0x766f_7201,
+        },
+        WorkloadProfile {
+            name: "go",
+            suite: "SPEC95 INT",
+            mix: MixTargets::from_percent(29.49, 70.50, 0.0, 0.0, 0.0),
+            chains: 2,
+            fp_chains: 0,
+            branch_frac: 0.16,
+            branch_bias_mask: 1,
+            working_set: 64 * 1024,
+            stride: 8,
+            reuse_span: 64,
+            ops_per_window: 80,
+            serial_div_frac: 0.0,
+            load_consume: true,
+            seed: 0x676f_0001,
+        },
+        WorkloadProfile {
+            name: "bzip",
+            suite: "SPEC2000 INT",
+            mix: MixTargets::from_percent(29.84, 70.16, 0.0, 0.0, 0.0),
+            chains: 8,
+            fp_chains: 0,
+            branch_frac: 0.04,
+            branch_bias_mask: 31,
+            working_set: 64 * 1024,
+            stride: 8,
+            reuse_span: 64,
+            ops_per_window: 64,
+            serial_div_frac: 0.0,
+            load_consume: false,
+            seed: 0x627a_6901,
+        },
+        WorkloadProfile {
+            name: "ijpeg",
+            suite: "SPEC95 INT",
+            mix: MixTargets::from_percent(26.06, 73.94, 0.0, 0.0, 0.0),
+            chains: 8,
+            fp_chains: 0,
+            branch_frac: 0.03,
+            branch_bias_mask: 31,
+            working_set: 32 * 1024,
+            stride: 8,
+            reuse_span: 256,
+            ops_per_window: 32,
+            serial_div_frac: 0.0,
+            load_consume: false,
+            seed: 0x696a_7001,
+        },
+        WorkloadProfile {
+            name: "vpr",
+            suite: "SPEC2000 INT",
+            mix: MixTargets::from_percent(31.30, 63.61, 3.57, 1.38, 0.15),
+            chains: 2,
+            fp_chains: 1,
+            branch_frac: 0.14,
+            branch_bias_mask: 1,
+            working_set: 128 * 1024,
+            stride: 8,
+            reuse_span: 128,
+            ops_per_window: 64,
+            serial_div_frac: 0.0,
+            load_consume: true,
+            seed: 0x7670_7201,
+        },
+        WorkloadProfile {
+            name: "equake",
+            suite: "SPEC2000 FP",
+            mix: MixTargets::from_percent(34.55, 52.82, 6.06, 6.41, 0.16),
+            chains: 6,
+            fp_chains: 3,
+            branch_frac: 0.04,
+            branch_bias_mask: 15,
+            working_set: 128 * 1024,
+            stride: 8,
+            reuse_span: 128,
+            ops_per_window: 80,
+            serial_div_frac: 0.0,
+            load_consume: false,
+            seed: 0x6571_7501,
+        },
+        WorkloadProfile {
+            name: "ammp",
+            suite: "SPEC2000 FP",
+            mix: MixTargets::from_percent(41.35, 56.64, 1.49, 0.50, 0.02),
+            chains: 3,
+            fp_chains: 1,
+            branch_frac: 0.06,
+            branch_bias_mask: 63,
+            working_set: 128 * 1024,
+            stride: 8,
+            reuse_span: 128,
+            ops_per_window: 64,
+            serial_div_frac: 0.035,
+            load_consume: true,
+            seed: 0x616d_6d01,
+        },
+        WorkloadProfile {
+            name: "fpppp",
+            suite: "SPEC95 FP",
+            mix: MixTargets::from_percent(52.43, 15.03, 15.53, 16.84, 0.16),
+            chains: 2,
+            fp_chains: 5,
+            branch_frac: 0.012,
+            branch_bias_mask: 63,
+            working_set: 64 * 1024,
+            stride: 8,
+            reuse_span: 256,
+            ops_per_window: 128,
+            serial_div_frac: 0.0,
+            load_consume: false,
+            seed: 0x6670_7001,
+        },
+        WorkloadProfile {
+            name: "swim",
+            suite: "SPEC95 FP",
+            mix: MixTargets::from_percent(32.71, 37.41, 19.31, 10.12, 0.47),
+            chains: 4,
+            fp_chains: 6,
+            branch_frac: 0.025,
+            branch_bias_mask: 63,
+            working_set: 4 * 1024 * 1024,
+            stride: 8,
+            reuse_span: 256,
+            ops_per_window: 96,
+            serial_div_frac: 0.0,
+            load_consume: false,
+            seed: 0x7377_6901,
+        },
+        WorkloadProfile {
+            name: "art",
+            suite: "SPEC2000 FP",
+            mix: MixTargets::from_percent(35.29, 43.50, 11.07, 8.39, 1.36),
+            chains: 4,
+            fp_chains: 4,
+            branch_frac: 0.04,
+            branch_bias_mask: 31,
+            working_set: 2 * 1024 * 1024,
+            stride: 8,
+            reuse_span: 256,
+            ops_per_window: 64,
+            serial_div_frac: 0.0,
+            load_consume: false,
+            seed: 0x6172_7401,
+        },
+    ]
+}
+
+/// Looks up one profile by benchmark name.
+///
+/// # Examples
+///
+/// ```
+/// assert!(ftsim_workloads::profile("fpppp").is_some());
+/// assert!(ftsim_workloads::profile("doom").is_none());
+/// ```
+pub fn profile(name: &str) -> Option<WorkloadProfile> {
+    spec_profiles().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_profiles_in_paper_order() {
+        let names: Vec<&str> = spec_profiles().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "gcc", "vortex", "go", "bzip", "ijpeg", "vpr", "equake", "ammp", "fpppp",
+                "swim", "art"
+            ]
+        );
+    }
+
+    #[test]
+    fn mixes_match_table2() {
+        let gcc = profile("gcc").unwrap();
+        assert!((gcc.mix.mem - 0.7455).abs() < 1e-9);
+        let fpppp = profile("fpppp").unwrap();
+        assert!((fpppp.mix.fp_mul - 0.1684).abs() < 1e-9);
+        let art = profile("art").unwrap();
+        assert!((art.mix.fp_div - 0.0136).abs() < 1e-9);
+        for p in spec_profiles() {
+            let sum = p.mix.mem + p.mix.int + p.mix.fp_total();
+            // Table 2's own rounding leaves go at 99.99%.
+            assert!((sum - 1.0).abs() < 5e-3, "{} mix sums to {sum}", p.name);
+        }
+    }
+
+    #[test]
+    fn working_sets_are_powers_of_two() {
+        for p in spec_profiles() {
+            assert!(p.working_set.is_power_of_two(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_percentages_rejected() {
+        let _ = MixTargets::from_percent(50.0, 20.0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn int_benchmarks_have_no_fp_chains() {
+        for name in ["gcc", "vortex", "go", "bzip", "ijpeg"] {
+            let p = profile(name).unwrap();
+            assert_eq!(p.fp_chains, 0, "{name}");
+            assert_eq!(p.mix.fp_total(), 0.0, "{name}");
+        }
+    }
+}

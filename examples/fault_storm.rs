@@ -1,0 +1,62 @@
+//! Fault storm: bombard the fault-tolerant superscalar with transient
+//! faults and watch detection, recovery and (at R = 3) majority election
+//! keep the architectural state exact.
+//!
+//! ```bash
+//! cargo run --release --example fault_storm [faults_per_million]
+//! ```
+
+use ftsim::core::{MachineConfig, OracleMode, Simulator};
+use ftsim::faults::{per_million, FaultInjector};
+use ftsim::workloads::profile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rate: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000.0); // 2000 faults per million instructions
+    let bench = profile("equake").expect("profile exists");
+    let program = bench.program(120);
+
+    println!(
+        "workload: synthetic {}, fault rate {rate} faults per million instructions\n",
+        bench.name
+    );
+
+    for config in [
+        MachineConfig::ss2(),
+        MachineConfig::ss3(),
+        MachineConfig::ss3_majority(),
+    ] {
+        let name = config.name.clone();
+        let injector = FaultInjector::random(per_million(rate), 0xf00d);
+        let result = Simulator::with_injector(config, &program, injector)
+            .oracle(OracleMode::Final)
+            .run()?;
+        let f = result.faults;
+        println!("== {name} ==");
+        println!("  IPC {:.3} over {} cycles", result.ipc, result.cycles);
+        println!("  faults injected:          {}", f.injected);
+        println!("  detected at commit:       {} (full rewind each)", f.detected);
+        println!("  out-voted by majority:    {}", f.outvoted);
+        println!("  squashed on wrong path:   {}", f.squashed_wrong_path);
+        println!("  flushed by other rewinds: {}", f.squashed_by_rewind);
+        println!("  architecturally masked:   {}", f.masked);
+        println!("  escaped to committed:     {}", f.escaped);
+        println!(
+            "  recoveries: {} fault rewinds, mean penalty {:.1} cycles (max {})",
+            result.stats.fault_rewinds,
+            result.stats.mean_rewind_penalty(),
+            result.stats.rewind_penalty_max
+        );
+        println!("  final state == in-order oracle \u{2713}\n");
+        assert_eq!(f.escaped, 0, "no fault may escape the sphere of replication");
+    }
+
+    println!(
+        "Every effective fault was either caught by the commit-stage cross-check \
+         (triggering a rewind to the committed next-PC) or out-voted by the \
+         2-of-3 majority — committed state stayed bit-exact throughout."
+    );
+    Ok(())
+}

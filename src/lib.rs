@@ -1,0 +1,55 @@
+//! # ftsim — dual use of the superscalar datapath for transient-fault
+//! detection and recovery
+//!
+//! A from-scratch, cycle-level reproduction of Ray, Hoe & Falsafi's
+//! MICRO 2001 fault-tolerant superscalar: instructions are dynamically
+//! replicated into `R` data-independent threads at decode, cross-checked
+//! at commit, and recovered by the pre-existing instruction-rewind
+//! mechanism when a transient fault makes the copies disagree — with
+//! optional majority election at `R ≥ 3`.
+//!
+//! This crate is the umbrella: it re-exports every subsystem and hosts the
+//! runnable examples and the cross-crate integration tests. The pieces:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`isa`] | `ftsim-isa` | PISA-like ISA, assembler, in-order oracle emulator |
+//! | [`mem`] | `ftsim-mem` | sparse memory, caches, TLBs, port arbitration |
+//! | [`predict`] | `ftsim-predict` | bimodal/2-level/combined predictors, BTB, RAS |
+//! | [`faults`] | `ftsim-faults` | single-event-upset injection and the coverage ledger |
+//! | [`core`] | `ftsim-core` | the out-of-order pipeline with replication/check/rewind |
+//! | [`model`] | `ftsim-model` | the paper's analytical performance model (§4) |
+//! | [`workloads`] | `ftsim-workloads` | the 11 Table 2-calibrated synthetic benchmarks |
+//! | [`stats`] | `ftsim-stats` | counters, tables, ASCII plots for the harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ftsim::core::{MachineConfig, Simulator};
+//! use ftsim::isa::asm;
+//!
+//! let program = asm::assemble(r"
+//!     addi r1, r0, 40
+//!     addi r2, r0, 2
+//!     add  r3, r1, r2
+//!     halt
+//! ").unwrap();
+//!
+//! // The same datapath, with and without 2-way redundant execution.
+//! let plain = Simulator::new(MachineConfig::ss1(), &program).run().unwrap();
+//! let dual  = Simulator::new(MachineConfig::ss2(), &program).run().unwrap();
+//! assert_eq!(plain.retired_instructions, dual.retired_instructions);
+//! ```
+//!
+//! See `examples/` for fault-injection demos and design-space sweeps, and
+//! the `ftsim-bench` crate for the experiments regenerating every table
+//! and figure of the paper.
+
+pub use ftsim_core as core;
+pub use ftsim_faults as faults;
+pub use ftsim_isa as isa;
+pub use ftsim_mem as mem;
+pub use ftsim_model as model;
+pub use ftsim_predict as predict;
+pub use ftsim_stats as stats;
+pub use ftsim_workloads as workloads;

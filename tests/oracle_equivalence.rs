@@ -1,0 +1,104 @@
+//! The central invariant: the out-of-order simulator's committed
+//! architectural state is bit-exact against the in-order oracle — on every
+//! machine model, for every synthetic benchmark and kernel.
+
+use ftsim::core::{MachineConfig, OracleMode, Simulator};
+use ftsim::workloads::{dot_product, fibonacci, pointer_chase, spec_profiles};
+
+#[test]
+fn all_benchmarks_match_oracle_on_all_models() {
+    for p in spec_profiles() {
+        let program = p.program(4); // ~1200 dynamic instructions, halts
+        for config in [
+            MachineConfig::ss1(),
+            MachineConfig::ss2(),
+            MachineConfig::static2(),
+        ] {
+            let name = format!("{} on {}", p.name, config.name);
+            let r = Simulator::new(config, &program)
+                .oracle(OracleMode::Final)
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(r.halted, "{name} did not halt");
+        }
+    }
+}
+
+#[test]
+fn r3_models_match_oracle() {
+    for p in spec_profiles().into_iter().take(4) {
+        let program = p.program(3);
+        for config in [MachineConfig::ss3(), MachineConfig::ss3_majority()] {
+            let name = format!("{} on {}", p.name, config.name);
+            Simulator::new(config, &program)
+                .oracle(OracleMode::Final)
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn kernels_match_oracle_on_every_model() {
+    let kernels = [
+        ("dot_product", dot_product(48)),
+        ("fibonacci", fibonacci(60)),
+        ("pointer_chase", pointer_chase(64, 500)),
+    ];
+    for (kname, program) in &kernels {
+        for config in [
+            MachineConfig::ss1(),
+            MachineConfig::ss2(),
+            MachineConfig::ss3_majority(),
+            MachineConfig::static2(),
+        ] {
+            let name = format!("{kname} on {}", config.name);
+            Simulator::new(config, program)
+                .oracle(OracleMode::Final)
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_under_resource_scaling() {
+    use ftsim::core::Scale;
+    let p = &spec_profiles()[4]; // ijpeg
+    let program = p.program(3);
+    for scale in [Scale::Half, Scale::Two, Scale::Infinite] {
+        for config in [
+            MachineConfig::ss1().with_fu_scale(scale),
+            MachineConfig::ss1().with_ruu_scale(scale),
+            MachineConfig::ss2().with_ruu_scale(scale),
+        ] {
+            Simulator::new(config, &program)
+                .oracle(OracleMode::Final)
+                .run()
+                .unwrap_or_else(|e| panic!("scale {scale:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn retired_counts_are_model_independent() {
+    let p = &spec_profiles()[2]; // go
+    let program = p.program(3);
+    let mut counts = Vec::new();
+    for config in [
+        MachineConfig::ss1(),
+        MachineConfig::ss2(),
+        MachineConfig::ss3(),
+        MachineConfig::static2(),
+    ] {
+        let r = Simulator::new(config, &program)
+            .oracle(OracleMode::Final)
+            .run()
+            .unwrap();
+        counts.push(r.retired_instructions);
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "architectural instruction counts diverged: {counts:?}"
+    );
+}

@@ -1,0 +1,118 @@
+//! Fast versions of the paper's quantitative claims — the same checks the
+//! full benches make, on reduced budgets, so `cargo test` guards the
+//! reproduction's shape.
+
+use ftsim::core::{MachineConfig, OracleMode, RunLimits, Simulator};
+use ftsim::model::{
+    crossover_frequency, ipc_with_faults, ipc_with_faults_majority, steady_state_ipc,
+};
+use ftsim::workloads::{profile, spec_profiles};
+
+const BUDGET: u64 = 15_000;
+
+fn ipc(p: &ftsim::workloads::WorkloadProfile, config: MachineConfig) -> f64 {
+    let program = p.program_for_instructions(BUDGET);
+    Simulator::new(config, &program)
+        .oracle(OracleMode::Off)
+        .run_with_limits(RunLimits::instructions(BUDGET))
+        .unwrap()
+        .ipc
+}
+
+#[test]
+fn figure5_penalty_envelope() {
+    let mut penalties = Vec::new();
+    for p in spec_profiles() {
+        let r1 = ipc(&p, MachineConfig::ss1());
+        let r2 = ipc(&p, MachineConfig::ss2());
+        penalties.push((p.name, 1.0 - r2 / r1));
+    }
+    let avg = penalties.iter().map(|(_, x)| x).sum::<f64>() / penalties.len() as f64;
+    // Paper: 2%..45% penalty, ~30-32% average.
+    assert!(
+        (0.15..=0.45).contains(&avg),
+        "average penalty {avg:.3}: {penalties:?}"
+    );
+    for (name, pen) in &penalties {
+        assert!(
+            (-0.05..=0.55).contains(pen),
+            "{name} penalty {pen:.3} outside the paper envelope"
+        );
+    }
+    // ammp/go/vpr suffer least (paper §5.2).
+    let of = |n: &str| penalties.iter().find(|(m, _)| *m == n).unwrap().1;
+    let low = (of("ammp") + of("go") + of("vpr")) / 3.0;
+    assert!(low < avg / 2.0, "low trio {low:.3} vs avg {avg:.3}");
+}
+
+#[test]
+fn figure5_static2_wins_on_fp_benchmarks() {
+    for name in ["fpppp", "art"] {
+        let p = profile(name).unwrap();
+        let st = ipc(&p, MachineConfig::static2());
+        let ss2 = ipc(&p, MachineConfig::ss2());
+        assert!(
+            st > ss2 * 1.05,
+            "{name}: Static-2 {st:.3} should clearly beat SS-2 {ss2:.3}"
+        );
+    }
+}
+
+#[test]
+fn ss2_comparable_to_static2_overall() {
+    // Paper: "Overall, the 2-way dynamic redundant superscalar performs
+    // comparably to the static two-pipeline processor."
+    let mut ratio_sum = 0.0;
+    let n = spec_profiles().len() as f64;
+    for p in spec_profiles() {
+        ratio_sum += ipc(&p, MachineConfig::ss2()) / ipc(&p, MachineConfig::static2());
+    }
+    let mean_ratio = ratio_sum / n;
+    assert!(
+        (0.7..=1.25).contains(&mean_ratio),
+        "SS-2/Static-2 mean IPC ratio {mean_ratio:.3} not comparable"
+    );
+}
+
+#[test]
+fn analytical_model_brackets_simulation_for_saturated_code() {
+    // For a resource-limited benchmark the steady-state model min(IPC1, B/R)
+    // should predict the R=2 IPC within a modest error once B is taken as
+    // the measured saturation point.
+    let p = profile("ijpeg").unwrap();
+    let r1 = ipc(&p, MachineConfig::ss1());
+    let r2 = ipc(&p, MachineConfig::ss2());
+    let b = r1; // saturated: IPC1 == B
+    let predicted = steady_state_ipc(r1, b, 2);
+    let err = (predicted - r2).abs() / r2;
+    assert!(
+        err < 0.25,
+        "model {predicted:.3} vs simulated {r2:.3} ({err:.2} rel err)"
+    );
+}
+
+#[test]
+fn figure3_figure4_claims() {
+    // Flat until 1/f within two orders of W.
+    let flat = ipc_with_faults(0.5, 2, 1e-5, 20.0);
+    assert!(flat > 0.495);
+    // Figure 4: W=2000 at f=1e-6 still flat.
+    let flat2000 = ipc_with_faults(0.5, 2, 1e-6, 2000.0);
+    assert!(flat2000 > 0.49);
+    // Majority outlasts rewind at R=3.
+    assert!(
+        ipc_with_faults_majority(1.0 / 3.0, 3, 2, 1e-3, 20.0)
+            > ipc_with_faults(1.0 / 3.0, 3, 1e-3, 20.0)
+    );
+    // Crossover far beyond intended rates.
+    let x = crossover_frequency(0.5, 1.0 / 3.0, 20.0).unwrap();
+    assert!(x > 1e-3, "crossover {x:.2e} too low");
+}
+
+#[test]
+fn deterministic_across_repeated_runs() {
+    let p = profile("vortex").unwrap();
+    let a = ipc(&p, MachineConfig::ss2());
+    let b = ipc(&p, MachineConfig::ss2());
+    assert_eq!(a, b);
+}

@@ -1,0 +1,211 @@
+//! Property-based tests: for *arbitrary* generated programs, the
+//! out-of-order pipeline's committed state equals the in-order oracle's —
+//! with and without redundancy, and under fault injection at R = 2.
+
+use ftsim::core::{MachineConfig, OracleMode, RunLimits, Simulator};
+use ftsim::faults::FaultInjector;
+use ftsim::isa::{Inst, IntReg, Opcode, Program, ProgramBuilder, DATA_BASE};
+use proptest::prelude::*;
+
+/// One template step of a random (but always-terminating) program.
+/// Register fields are drawn from a small window so dependences are dense;
+/// branches only skip forward a bounded distance, so control flow cannot
+/// loop. Memory stays inside a 4 KB scratch region.
+#[derive(Debug, Clone)]
+enum Step {
+    Alu(Opcode, u8, u8, u8),
+    AluImm(Opcode, u8, u8, i32),
+    Load(Opcode, u8, u16),
+    Store(Opcode, u8, u16),
+    FpOp(Opcode, u8, u8, u8),
+    BranchSkip(Opcode, u8, u8, u8),
+    Cvt(bool, u8, u8),
+}
+
+fn alu_ops() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Nor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+    ])
+}
+
+fn alu_imm_ops() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slti,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+    ])
+}
+
+fn fp_ops() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Fadd,
+        Opcode::Fsub,
+        Opcode::Fmul,
+        Opcode::Fdiv,
+        Opcode::Fmin,
+        Opcode::Fmax,
+    ])
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (alu_ops(), 1u8..10, 1u8..10, 1u8..10).prop_map(|(o, d, a, b)| Step::Alu(o, d, a, b)),
+        3 => (alu_imm_ops(), 1u8..10, 1u8..10, -64i32..64).prop_map(|(o, d, a, i)| Step::AluImm(o, d, a, i)),
+        2 => (prop::sample::select(vec![Opcode::Ld, Opcode::Lw, Opcode::Lb]), 1u8..10, 0u16..512)
+            .prop_map(|(o, d, off)| Step::Load(o, d, off)),
+        2 => (prop::sample::select(vec![Opcode::Sd, Opcode::Sw, Opcode::Sb]), 1u8..10, 0u16..512)
+            .prop_map(|(o, s, off)| Step::Store(o, s, off)),
+        2 => (fp_ops(), 1u8..6, 1u8..6, 1u8..6).prop_map(|(o, d, a, b)| Step::FpOp(o, d, a, b)),
+        2 => (prop::sample::select(vec![Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge]),
+              1u8..10, 1u8..10, 1u8..4)
+            .prop_map(|(o, a, b, skip)| Step::BranchSkip(o, a, b, skip)),
+        1 => (any::<bool>(), 1u8..6, 1u8..6).prop_map(|(to_fp, d, a)| Step::Cvt(to_fp, d, a)),
+    ]
+}
+
+/// Builds a runnable program from templates: a seeded prologue, the steps
+/// (with forward-only branches), and a store-everything epilogue.
+fn build_program(steps: &[Step]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let base = IntReg::new(20);
+    b.li(base, DATA_BASE as i64);
+    for r in 1u8..10 {
+        b.li(IntReg::new(r), (r as i64) * 0x1234_5 + 7);
+    }
+    // Seed FP registers from deterministic data.
+    b.data_f64(DATA_BASE + 3072, &[1.5, -2.25, 3.75, 0.5, 123.0, -0.125]);
+    for f in 0u8..6 {
+        b.lfd(ftsim::isa::FpReg::new(f), base, 3072 + i32::from(f) * 8);
+    }
+
+    let mut label = 0usize;
+    let mut pending: Vec<(usize, String)> = Vec::new(); // (end index, label)
+    for (i, s) in steps.iter().enumerate() {
+        // Close any branch scopes that end here.
+        pending.retain(|(end, name)| {
+            if *end <= i {
+                b.label(name);
+                false
+            } else {
+                true
+            }
+        });
+        match s {
+            Step::Alu(o, d, a, c) => {
+                b.inst(Inst::new(*o, *d, *a, *c, 0));
+            }
+            Step::AluImm(o, d, a, imm) => {
+                b.inst(Inst::new(*o, *d, *a, 0, *imm));
+            }
+            Step::Load(o, d, off) => {
+                b.inst(Inst::new(*o, *d, 20, 0, i32::from(*off)));
+            }
+            Step::Store(o, s, off) => {
+                b.inst(Inst::new(*o, 0, 20, *s, i32::from(*off)));
+            }
+            Step::FpOp(o, d, a, c) => {
+                b.inst(Inst::new(*o, *d, *a, *c, 0));
+            }
+            Step::BranchSkip(o, a, c, skip) => {
+                let name = format!("skip{label}");
+                label += 1;
+                match o {
+                    Opcode::Beq => b.beq(IntReg::new(*a), IntReg::new(*c), &name),
+                    Opcode::Bne => b.bne(IntReg::new(*a), IntReg::new(*c), &name),
+                    Opcode::Blt => b.blt(IntReg::new(*a), IntReg::new(*c), &name),
+                    _ => b.bge(IntReg::new(*a), IntReg::new(*c), &name),
+                };
+                pending.push((i + 1 + *skip as usize, name));
+            }
+            Step::Cvt(to_fp, d, a) => {
+                if *to_fp {
+                    b.cvtif(ftsim::isa::FpReg::new(*d), IntReg::new(*a));
+                } else {
+                    b.cvtfi(IntReg::new(*d), ftsim::isa::FpReg::new(*a));
+                }
+            }
+        }
+    }
+    // Close remaining scopes past the last instruction.
+    for (_, name) in pending {
+        b.label(&name);
+    }
+    // Epilogue: spill every live register so the oracle compares them all.
+    for r in 1u8..10 {
+        b.sd(IntReg::new(r), base, 1024 + i32::from(r) * 8);
+    }
+    for f in 0u8..6 {
+        b.sfd(ftsim::isa::FpReg::new(f), base, 2048 + i32::from(f) * 8);
+    }
+    b.halt();
+    b.build().expect("generated labels are unique and defined")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_match_oracle_on_every_model(steps in prop::collection::vec(step(), 1..120)) {
+        let program = build_program(&steps);
+        for config in [MachineConfig::ss1(), MachineConfig::ss2(), MachineConfig::ss3_majority()] {
+            let name = config.name.clone();
+            let r = Simulator::new(config, &program)
+                .oracle(OracleMode::Final)
+                .run_with_limits(RunLimits {
+                    max_cycles: 2_000_000,
+                    ..RunLimits::default()
+                });
+            prop_assert!(r.is_ok(), "{}: {:?}", name, r.err());
+        }
+    }
+
+    #[test]
+    fn random_programs_survive_fault_storms_at_r2(
+        steps in prop::collection::vec(step(), 1..100),
+        seed in 0u64..1_000,
+    ) {
+        let program = build_program(&steps);
+        let injector = FaultInjector::random(1e-3, seed);
+        let r = Simulator::with_injector(MachineConfig::ss2(), &program, injector)
+            .oracle(OracleMode::Final)
+            .run_with_limits(RunLimits {
+                max_cycles: 2_000_000,
+                ..RunLimits::default()
+            });
+        prop_assert!(r.is_ok(), "{:?}", r.err());
+        let r = r.unwrap();
+        prop_assert_eq!(r.faults.escaped, 0);
+    }
+
+    #[test]
+    fn random_programs_deterministic(steps in prop::collection::vec(step(), 1..60)) {
+        let program = build_program(&steps);
+        let run = || {
+            Simulator::new(MachineConfig::ss2(), &program)
+                .oracle(OracleMode::Off)
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.retired_instructions, b.retired_instructions);
+    }
+}
