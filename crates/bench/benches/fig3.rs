@@ -17,7 +17,12 @@ fn main() {
     );
     let curves = figure3_curves();
 
-    let mut table = Table::new(["f (faults/inst)", "R=2 rewind", "R=3 rewind", "R=3 majority"]);
+    let mut table = Table::new([
+        "f (faults/inst)",
+        "R=2 rewind",
+        "R=3 rewind",
+        "R=3 majority",
+    ]);
     table.numeric();
     for i in 0..curves[0].points.len() {
         let f = curves[0].points[i].0;
@@ -32,7 +37,10 @@ fn main() {
 
     let mut plot = AsciiPlot::new("IPC vs fault frequency (W=20)", 64, 16);
     for c in &curves {
-        plot = plot.series(Series::from_points(c.name.clone(), c.points.iter().copied()));
+        plot = plot.series(Series::from_points(
+            c.name.clone(),
+            c.points.iter().copied(),
+        ));
     }
     println!("{}", plot.render());
 

@@ -20,7 +20,12 @@ fn main() {
     let w2000 = figure4_curves();
     let w20 = figure3_curves();
 
-    let mut table = Table::new(["f (faults/inst)", "R=2 rewind", "R=3 rewind", "R=3 majority"]);
+    let mut table = Table::new([
+        "f (faults/inst)",
+        "R=2 rewind",
+        "R=3 rewind",
+        "R=3 majority",
+    ]);
     table.numeric();
     for i in 0..w2000[0].points.len() {
         let f = w2000[0].points[i].0;
@@ -35,7 +40,10 @@ fn main() {
 
     let mut plot = AsciiPlot::new("IPC vs fault frequency (W=2000)", 64, 16);
     for c in &w2000 {
-        plot = plot.series(Series::from_points(c.name.clone(), c.points.iter().copied()));
+        plot = plot.series(Series::from_points(
+            c.name.clone(),
+            c.points.iter().copied(),
+        ));
     }
     println!("{}", plot.render());
 

@@ -6,8 +6,13 @@
 //! (Static-2), and the 2-way dynamically redundant design (SS-2), on
 //! synthetic stand-ins calibrated to each benchmark's Table 2 mix and
 //! §5.2 bottleneck structure.
+//!
+//! The whole sweep is one [`Experiment::grid`]: 11 workloads × 3 machine
+//! models, run in parallel across the host's cores, exported as CSV and
+//! JSON under `target/experiments/`, and rendered from the records.
 
-use ftsim_bench::{banner, budget, figure5_models, measured, run_workload};
+use ftsim::harness::Experiment;
+use ftsim_bench::{banner, budget, expect_record, export_records, figure5_models, measured};
 use ftsim_stats::{fmt_f, Table};
 use ftsim_workloads::spec_profiles;
 
@@ -19,25 +24,30 @@ fn main() {
          overall SS-2 comparable to Static-2, but Static-2 significantly outperforms \
          SS-2 on fpppp, swim and art (extra FP Mult/Div per pipe)",
     );
-    let n = budget();
-    let [ss1, static2, ss2] = figure5_models();
+
+    let records = Experiment::grid()
+        .workloads(spec_profiles())
+        .models(figure5_models())
+        .budget(budget())
+        .run()
+        .expect("figure 5 grid is well-formed");
+    export_records("fig5", &records).expect("exporting figure 5 records");
 
     let mut t = Table::new(["Benchmark", "SS-1", "Static-2", "SS-2", "SS-2 penalty"]);
     t.numeric();
     let mut penalties = Vec::new();
     let mut rows = Vec::new();
     for p in spec_profiles() {
-        let r1 = run_workload(&p, ss1.clone(), n);
-        let rs = run_workload(&p, static2.clone(), n);
-        let r2 = run_workload(&p, ss2.clone(), n);
-        let pen = 1.0 - r2.ipc / r1.ipc;
+        let ipc_of = |model: &str| expect_record(&records, p.name, model).ipc;
+        let (r1, rs, r2) = (ipc_of("SS-1"), ipc_of("Static-2"), ipc_of("SS-2"));
+        let pen = 1.0 - r2 / r1;
         penalties.push((p.name, pen));
-        rows.push((p.name, r1.ipc, rs.ipc, r2.ipc));
+        rows.push((p.name, r1, rs, r2));
         t.row([
             p.name.to_string(),
-            fmt_f(r1.ipc, 3),
-            fmt_f(rs.ipc, 3),
-            fmt_f(r2.ipc, 3),
+            fmt_f(r1, 3),
+            fmt_f(rs, 3),
+            fmt_f(r2, 3),
             format!("{}%", fmt_f(pen * 100.0, 1)),
         ]);
     }
@@ -45,14 +55,8 @@ fn main() {
     println!();
 
     let avg = penalties.iter().map(|(_, p)| p).sum::<f64>() / penalties.len() as f64;
-    let min = penalties
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap();
-    let max = penalties
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap();
+    let min = penalties.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    let max = penalties.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     measured(&format!(
         "SS-2 penalty range {}% ({}) .. {}% ({}), average {}%",
         fmt_f(min.1 * 100.0, 1),

@@ -91,12 +91,16 @@ fn bench_pipeline(c: &mut Criterion) {
         g.throughput(Throughput::Elements(10_000));
         g.bench_function(format!("{name}_10k_insts"), |b| {
             b.iter_batched(
-                || Simulator::new(config.clone(), &prog).oracle(OracleMode::Off),
-                |sim| {
-                    sim.run_with_limits(RunLimits::instructions(10_000))
-                        .unwrap()
-                        .cycles
+                || {
+                    Simulator::builder()
+                        .config(config.clone())
+                        .program(&prog)
+                        .oracle(OracleMode::Off)
+                        .limits(RunLimits::instructions(10_000))
+                        .build()
+                        .expect("benchmark machine is valid")
                 },
+                |sim| sim.run().unwrap().cycles,
                 BatchSize::SmallInput,
             );
         });

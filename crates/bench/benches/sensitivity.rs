@@ -7,8 +7,13 @@
 //! SS-2 penalty); benchmarks that are "almost insensitive to the amount of
 //! resources available" (go, vpr) are *ILP-limited* and lose little.
 //! swim is additionally RUU-limited.
+//!
+//! One [`Experiment::grid`]: 11 workloads × 8 scaled machine models
+//! (FU 0.5x/1x/2x/inf crossed with RUU 0.5x/1x/2x/inf along each axis
+//! separately), run in parallel and exported as CSV/JSON.
 
-use ftsim_bench::{banner, budget, measured, run_workload};
+use ftsim::harness::Experiment;
+use ftsim_bench::{banner, budget, expect_record, export_records, measured};
 use ftsim_core::{MachineConfig, Scale};
 use ftsim_stats::{fmt_f, Table};
 use ftsim_workloads::spec_profiles;
@@ -21,23 +26,55 @@ fn main() {
          configuration (swim also RUU-limited); go and vpr are almost insensitive \
          to resources (ILP-limited), ammp is division-latency limited",
     );
-    let n = budget();
     let scales = [Scale::Half, Scale::One, Scale::Two, Scale::Infinite];
 
+    let mut models = Vec::new();
+    for s in scales {
+        models.push(
+            MachineConfig::ss1()
+                .with_fu_scale(s)
+                .named(&format!("FU-{}", s.label())),
+        );
+    }
+    for s in scales {
+        models.push(
+            MachineConfig::ss1()
+                .with_ruu_scale(s)
+                .named(&format!("RUU-{}", s.label())),
+        );
+    }
+
+    let records = Experiment::grid()
+        .workloads(spec_profiles())
+        .models(models)
+        .budget(budget())
+        .run()
+        .expect("sensitivity grid is well-formed");
+    export_records("sensitivity", &records).expect("exporting sensitivity records");
+
     let mut t = Table::new([
-        "Benchmark", "FU 0.5x", "FU 1x", "FU 2x", "FU inf", "RUU 0.5x", "RUU 1x", "RUU 2x",
-        "RUU inf", "class",
+        "Benchmark",
+        "FU 0.5x",
+        "FU 1x",
+        "FU 2x",
+        "FU inf",
+        "RUU 0.5x",
+        "RUU 1x",
+        "RUU 2x",
+        "RUU inf",
+        "class",
     ]);
     t.numeric();
     let mut findings = Vec::new();
     for p in spec_profiles() {
+        let ipc_of = |model: String| expect_record(&records, p.name, &model).ipc;
         let fu: Vec<f64> = scales
             .iter()
-            .map(|&s| run_workload(&p, MachineConfig::ss1().with_fu_scale(s), n).ipc)
+            .map(|s| ipc_of(format!("FU-{}", s.label())))
             .collect();
         let ruu: Vec<f64> = scales
             .iter()
-            .map(|&s| run_workload(&p, MachineConfig::ss1().with_ruu_scale(s), n).ipc)
+            .map(|s| ipc_of(format!("RUU-{}", s.label())))
             .collect();
         // Sensitivity: how much IPC changes between 1x and the extremes.
         let fu_sens = (fu[3] - fu[0]) / fu[1];

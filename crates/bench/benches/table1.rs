@@ -18,7 +18,7 @@ fn main() {
          FU mix 4 IntALU / 2 IntMult / 2 FPAdd / 1 FPMult-Div",
     );
     let m = MachineConfig::ss1();
-    m.validate();
+    m.validate().expect("Table 1 baseline is self-consistent");
 
     let mut t = Table::new(["Parameter", "Value"]);
     t.row([

@@ -1,13 +1,15 @@
 //! Table 2 — summary of benchmark characteristics (dynamic instruction
 //! mix).
 //!
-//! Runs every synthetic workload on the baseline machine and reports the
-//! *committed* dynamic mix next to the paper's Table 2 targets. The
-//! match validates the workload generator's calibration.
+//! Runs every synthetic workload on the baseline machine — one
+//! [`Experiment::grid`] over the 11 profiles — and reports the
+//! *committed* dynamic mix (carried in each [`RunRecord`]) next to the
+//! paper's Table 2 targets. The match validates the workload generator's
+//! calibration.
 
-use ftsim_bench::{banner, budget, measured, run_workload};
+use ftsim::harness::Experiment;
+use ftsim_bench::{banner, budget, expect_record, export_records, measured};
 use ftsim_core::MachineConfig;
-use ftsim_isa::MixClass;
 use ftsim_stats::{fmt_f, Table};
 use ftsim_workloads::spec_profiles;
 
@@ -17,7 +19,14 @@ fn main() {
         "summary of benchmark characteristics (dynamic instruction mix, %)",
         "mixes as tabulated (gcc 74.55/25.45/0/0/0 ... art 35.29/43.50/11.07/8.39/1.36)",
     );
-    let n = budget();
+    let records = Experiment::grid()
+        .workloads(spec_profiles())
+        .models([MachineConfig::ss1()])
+        .budget(budget())
+        .run()
+        .expect("table 2 grid is well-formed");
+    export_records("table2", &records).expect("exporting table 2 records");
+
     let mut t = Table::new([
         "Benchmark",
         "%Mem",
@@ -34,13 +43,13 @@ fn main() {
     t.numeric();
     let mut worst: f64 = 0.0;
     for p in spec_profiles() {
-        let r = run_workload(&p, MachineConfig::ss1(), n);
+        let r = expect_record(&records, p.name, "SS-1");
         let meas = [
-            r.stats.mix_fraction(MixClass::Mem),
-            r.stats.mix_fraction(MixClass::Int),
-            r.stats.mix_fraction(MixClass::FpAdd),
-            r.stats.mix_fraction(MixClass::FpMul),
-            r.stats.mix_fraction(MixClass::FpDiv),
+            r.mix_mem,
+            r.mix_int,
+            r.mix_fp_add,
+            r.mix_fp_mul,
+            r.mix_fp_div,
         ];
         let tgt = [
             p.mix.mem,

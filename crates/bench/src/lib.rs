@@ -4,7 +4,14 @@
 //! target in this crate (`table1`, `table2`, `fig3`, `fig4`, `fig5`,
 //! `fig6`, `sensitivity`); each prints the same rows or series the paper
 //! reports, plus the paper's headline claim next to the measured value.
-//! `micro` holds Criterion micro-benchmarks of the substrates.
+//! `micro` holds micro-benchmarks of the substrates.
+//!
+//! The sweep targets are built on [`ftsim::harness::Experiment`]: each
+//! declares its grid (workloads × machine models × fault rates ×
+//! budgets), lets the harness fan the cells out across worker threads,
+//! and renders its tables from the returned [`RunRecord`]s — which are
+//! also exported as CSV and JSON under `target/experiments/` (see
+//! [`export_records`]).
 //!
 //! Instruction budgets are deliberately small (the paper simulates 1 B
 //! instructions per benchmark; we default to 60 k per run, overridable via
@@ -12,12 +19,13 @@
 //! is stable well below the paper's budget because the synthetic workloads
 //! are steady-state loops.
 
-use ftsim_core::{MachineConfig, OracleMode, RunLimits, SimResult, Simulator};
+use ftsim::harness::{to_csv, to_json, RunRecord};
+use ftsim_core::{MachineConfig, OracleMode, SimError, SimResult, Simulator};
 use ftsim_faults::FaultInjector;
 use ftsim_workloads::WorkloadProfile;
+use std::path::PathBuf;
 
-/// Default committed-instruction budget per simulation.
-pub const DEFAULT_BUDGET: u64 = 60_000;
+pub use ftsim::harness::DEFAULT_BUDGET;
 
 /// The per-run instruction budget (`FTSIM_BUDGET` env override).
 ///
@@ -35,40 +43,69 @@ pub fn budget() -> u64 {
         .max(1_000)
 }
 
-/// Runs `profile` on `config` for the standard budget, without oracle
-/// verification (performance sweeps) and with deterministic fault
-/// injection disabled.
+/// Runs `profile` on `config` for `n` committed instructions, without
+/// oracle verification (performance sweeps) and without fault injection.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation errors (an experiment configuration bug).
-pub fn run_workload(profile: &WorkloadProfile, config: MachineConfig, n: u64) -> SimResult {
+/// The run's [`SimError`] — e.g. the watchdog or cycle ceiling on a
+/// misconfigured experiment.
+pub fn try_run_workload(
+    profile: &WorkloadProfile,
+    config: MachineConfig,
+    n: u64,
+) -> Result<SimResult, SimError> {
     let program = profile.program_for_instructions(n);
-    Simulator::new(config, &program)
+    Simulator::builder()
+        .config(config)
+        .program(&program)
         .oracle(OracleMode::Off)
-        .run_with_limits(RunLimits::instructions(n))
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", profile.name, e))
+        .budget(n)
+        .run()
 }
 
-/// As [`run_workload`] with a fault injector.
+/// As [`try_run_workload`] with a fault injector.
 ///
 /// Returns `Err` when the machine wedges or overruns its cycle budget —
 /// which legitimately happens at extreme fault rates when an *identical*
 /// corruption strikes every copy of a control instruction (the paper's
 /// §2.2 indiscernible-error case) and garbage control flow commits.
+pub fn try_run_workload_with_faults(
+    profile: &WorkloadProfile,
+    config: MachineConfig,
+    n: u64,
+    injector: FaultInjector,
+) -> Result<SimResult, SimError> {
+    let program = profile.program_for_instructions(n);
+    Simulator::builder()
+        .config(config)
+        .program(&program)
+        .injector(injector)
+        .oracle(OracleMode::Off)
+        .budget(n)
+        .run()
+}
+
+/// Runs `profile` on `config` for the standard budget.
+///
+/// # Panics
+///
+/// Panics if the simulation errors.
+#[deprecated(since = "0.2.0", note = "use `try_run_workload`")]
+pub fn run_workload(profile: &WorkloadProfile, config: MachineConfig, n: u64) -> SimResult {
+    try_run_workload(profile, config, n)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", profile.name, e))
+}
+
+/// As the deprecated `run_workload` with a fault injector.
+#[deprecated(since = "0.2.0", note = "use `try_run_workload_with_faults`")]
 pub fn run_workload_with_faults(
     profile: &WorkloadProfile,
     config: MachineConfig,
     n: u64,
     injector: FaultInjector,
-) -> Result<SimResult, ftsim_core::SimError> {
-    let program = profile.program_for_instructions(n);
-    Simulator::with_injector(config, &program, injector)
-        .oracle(OracleMode::Off)
-        .run_with_limits(RunLimits {
-            max_cycles: 100 * n.max(1_000),
-            ..RunLimits::instructions(n)
-        })
+) -> Result<SimResult, SimError> {
+    try_run_workload_with_faults(profile, config, n, injector)
 }
 
 /// The three machine models of Figure 5, in the paper's order.
@@ -79,6 +116,45 @@ pub fn figure5_models() -> [MachineConfig; 3] {
         MachineConfig::ss2(),
     ]
 }
+
+/// Writes `records` as `<name>.csv` and `<name>.json` under
+/// `target/experiments/` (or `$FTSIM_OUT` when set), printing and
+/// returning the two paths.
+///
+/// # Errors
+///
+/// Any I/O error creating the directory or writing the files.
+pub fn export_records(name: &str, records: &[RunRecord]) -> std::io::Result<(PathBuf, PathBuf)> {
+    // Anchor at the workspace root (this crate lives two levels below it)
+    // so `cargo bench`'s package-relative cwd doesn't scatter outputs
+    // across member directories. The anchor is a compile-time path, so a
+    // binary relocated off its build machine falls back to the cwd.
+    let dir = std::env::var_os("FTSIM_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            let anchored =
+                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+            if std::fs::create_dir_all(&anchored).is_ok() {
+                anchored
+            } else {
+                PathBuf::from("target/experiments")
+            }
+        });
+    std::fs::create_dir_all(&dir)?;
+    let csv_path = dir.join(format!("{name}.csv"));
+    let json_path = dir.join(format!("{name}.json"));
+    std::fs::write(&csv_path, to_csv(records))?;
+    std::fs::write(&json_path, to_json(records))?;
+    println!(
+        "exported {} records to {} and {}",
+        records.len(),
+        csv_path.display(),
+        json_path.display()
+    );
+    Ok((csv_path, json_path))
+}
+
+pub use ftsim::harness::{expect_record, record_for};
 
 /// Prints a standard experiment banner.
 pub fn banner(id: &str, title: &str, paper_claim: &str) {
@@ -104,12 +180,23 @@ mod tests {
     }
 
     #[test]
-    fn run_workload_produces_ipc() {
+    fn try_run_workload_produces_ipc() {
         let p = profile("ijpeg").unwrap();
-        let r = run_workload(&p, MachineConfig::ss1(), 5_000);
+        let r = try_run_workload(&p, MachineConfig::ss1(), 5_000).unwrap();
         assert!(r.ipc > 0.5);
         // The generated program halts within ~10% of the requested budget.
         assert!(r.retired_instructions >= 4_000);
+    }
+
+    #[test]
+    fn try_run_workload_reports_errors_instead_of_panicking() {
+        // An impossible machine: validation fails in the builder, and the
+        // Result surfaces it instead of a panic mid-sweep.
+        let mut bad = MachineConfig::ss2();
+        bad.dispatch_width = 1;
+        let p = profile("gcc").unwrap();
+        let err = try_run_workload(&p, bad, 2_000).unwrap_err();
+        assert!(matches!(err, SimError::Invalid(_)), "{err}");
     }
 
     #[test]
@@ -118,5 +205,18 @@ mod tests {
         assert_eq!(m[0].name, "SS-1");
         assert_eq!(m[1].name, "Static-2");
         assert_eq!(m[2].name, "SS-2");
+    }
+
+    #[test]
+    fn record_lookup_finds_ok_cells() {
+        use ftsim::harness::Experiment;
+        let records = Experiment::grid()
+            .workloads([profile("gcc").unwrap()])
+            .models(figure5_models())
+            .budget(1_500)
+            .run()
+            .unwrap();
+        assert!(record_for(&records, "gcc", "SS-2").is_some());
+        assert!(record_for(&records, "gcc", "SS-9").is_none());
     }
 }

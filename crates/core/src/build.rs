@@ -1,0 +1,233 @@
+//! The fluent simulator builder: config, program, injector, oracle mode
+//! and run limits in one place, validated before a single cycle runs.
+
+use crate::config::{ConfigError, MachineConfig};
+use crate::sim::{OracleMode, RunLimits, SimError, SimResult, Simulator};
+use ftsim_faults::FaultInjector;
+use ftsim_isa::Program;
+use std::fmt;
+
+/// Builder misuse detected by [`SimBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No machine configuration was supplied.
+    MissingConfig,
+    /// No program was supplied.
+    MissingProgram,
+    /// The supplied configuration violates a structural invariant.
+    Config(ConfigError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingConfig => write!(f, "no machine configuration supplied"),
+            BuildError::MissingProgram => write!(f, "no program supplied"),
+            BuildError::Config(e) => write!(f, "invalid machine configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+/// Fluent construction of a [`Simulator`].
+///
+/// Every run parameter — machine configuration, program, fault injector,
+/// oracle mode, run limits — is set in one place, and [`SimBuilder::build`]
+/// rejects inconsistent configurations (zero functional units, acceptance
+/// threshold above `R`, ...) with a typed [`BuildError`] instead of
+/// panicking mid-experiment.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_core::{MachineConfig, OracleMode, Simulator};
+/// use ftsim_isa::asm;
+///
+/// let program = asm::assemble("addi r1, r0, 3\nmul r1, r1, r1\nhalt\n").unwrap();
+/// let result = Simulator::builder()
+///     .config(MachineConfig::ss2())
+///     .program(&program)
+///     .oracle(OracleMode::Final)
+///     .run()
+///     .unwrap();
+/// assert_eq!(result.retired_instructions, 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimBuilder {
+    config: Option<MachineConfig>,
+    program: Option<Program>,
+    injector: Option<FaultInjector>,
+    oracle: OracleMode,
+    limits: RunLimits,
+}
+
+impl SimBuilder {
+    /// An empty builder; prefer [`Simulator::builder`].
+    pub fn new() -> Self {
+        Self {
+            config: None,
+            program: None,
+            injector: None,
+            oracle: OracleMode::default(),
+            limits: RunLimits::default(),
+        }
+    }
+
+    /// Sets the machine configuration (required).
+    #[must_use]
+    pub fn config(mut self, config: MachineConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the program to run (required).
+    #[must_use]
+    pub fn program(mut self, program: &Program) -> Self {
+        self.program = Some(program.clone());
+        self
+    }
+
+    /// Sets the fault injector (default: no injection).
+    #[must_use]
+    pub fn injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Sets the oracle mode (default: [`OracleMode::Final`]).
+    #[must_use]
+    pub fn oracle(mut self, oracle: OracleMode) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Sets the run limits (default: [`RunLimits::default`]).
+    #[must_use]
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Convenience: stop (successfully) after `n` committed instructions,
+    /// with a proportionate cycle ceiling — the standard shape of every
+    /// budgeted experiment run.
+    #[must_use]
+    pub fn budget(mut self, n: u64) -> Self {
+        self.limits = RunLimits {
+            max_cycles: 100 * n.max(1_000),
+            ..RunLimits::instructions(n)
+        };
+        self
+    }
+
+    /// Validates the configuration and constructs the simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MissingConfig`] / [`BuildError::MissingProgram`] on
+    /// incomplete builders, [`BuildError::Config`] when the machine
+    /// description violates an invariant.
+    pub fn build(self) -> Result<Simulator, BuildError> {
+        let config = self.config.ok_or(BuildError::MissingConfig)?;
+        let program = self.program.ok_or(BuildError::MissingProgram)?;
+        config.validate()?;
+        let injector = self.injector.unwrap_or_else(FaultInjector::none);
+        Ok(Simulator::from_parts(
+            config,
+            &program,
+            injector,
+            self.oracle,
+            self.limits,
+        ))
+    }
+
+    /// Builds and runs in one step.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invalid`] for builder misuse, otherwise the run's own
+    /// [`SimError`].
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.build().map_err(SimError::Invalid)?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_isa::asm;
+
+    fn tiny() -> Program {
+        asm::assemble("addi r1, r0, 1\nhalt\n").unwrap()
+    }
+
+    #[test]
+    fn missing_pieces_are_reported() {
+        assert_eq!(
+            SimBuilder::new().build().unwrap_err(),
+            BuildError::MissingConfig
+        );
+        assert_eq!(
+            SimBuilder::new()
+                .config(MachineConfig::ss1())
+                .build()
+                .unwrap_err(),
+            BuildError::MissingProgram
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_reported_not_panicked() {
+        let mut bad = MachineConfig::ss2();
+        bad.dispatch_width = 1;
+        let err = SimBuilder::new()
+            .config(bad)
+            .program(&tiny())
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::Config(ConfigError::GroupExceedsDispatch { width: 1, r: 2 })
+        );
+        assert!(err.to_string().contains("dispatch width"));
+    }
+
+    #[test]
+    fn run_surfaces_build_errors_as_sim_errors() {
+        let err = SimBuilder::new().run().unwrap_err();
+        assert_eq!(err, SimError::Invalid(BuildError::MissingConfig));
+    }
+
+    #[test]
+    fn full_builder_runs() {
+        let r = Simulator::builder()
+            .config(MachineConfig::ss2())
+            .program(&tiny())
+            .oracle(OracleMode::Final)
+            .run()
+            .unwrap();
+        assert!(r.halted);
+        assert_eq!(r.retired_instructions, 2);
+    }
+
+    #[test]
+    fn budget_sets_instruction_limit_and_cycle_ceiling() {
+        let b = SimBuilder::new().budget(5_000);
+        assert_eq!(b.limits.max_instructions, 5_000);
+        assert_eq!(b.limits.max_cycles, 500_000);
+    }
+}

@@ -291,14 +291,7 @@ mod tests {
         // corrupted, every copy holds the same wrong value and only the
         // address fields dissent. Election must refuse and rewind.
         let mk = |seq, copy, ea: u64| {
-            let mut e = Entry::new(
-                seq,
-                0,
-                copy,
-                0x1000,
-                Inst::new(Opcode::Ld, 1, 2, 0, 0),
-                0,
-            );
+            let mut e = Entry::new(seq, 0, copy, 0x1000, Inst::new(Opcode::Ld, 1, 2, 0, 0), 0);
             e.state = EntryState::Done;
             e.result = Some(0xbad); // identical (poisoned) loaded value
             e.ea = Some(ea);
@@ -316,14 +309,7 @@ mod tests {
         // Address agrees; one copy's value was struck post-load (RobWait):
         // the two pristine copies out-vote it safely.
         let mk = |seq, copy, v: u64| {
-            let mut e = Entry::new(
-                seq,
-                0,
-                copy,
-                0x1000,
-                Inst::new(Opcode::Ld, 1, 2, 0, 0),
-                0,
-            );
+            let mut e = Entry::new(seq, 0, copy, 0x1000, Inst::new(Opcode::Ld, 1, 2, 0, 0), 0);
             e.state = EntryState::Done;
             e.result = Some(v);
             e.ea = Some(0x1000);

@@ -20,12 +20,7 @@ impl Processor {
         while budget >= r {
             // Snapshot the head group (cloning ≤ R small entries) so the
             // decision logic does not hold a borrow on the RUU.
-            let group: Vec<Entry> = self
-                .ruu
-                .head_group()
-                .into_iter()
-                .cloned()
-                .collect();
+            let group: Vec<Entry> = self.ruu.head_group().into_iter().cloned().collect();
             if group.is_empty() {
                 break;
             }

@@ -2,6 +2,117 @@
 
 use ftsim_mem::HierarchyConfig;
 use ftsim_predict::{BtbConfig, PredictorConfig};
+use std::fmt;
+
+/// A structurally invalid machine description, reported by
+/// [`MachineConfig::validate`] / [`RedundancyConfig::validate`] and
+/// surfaced through the simulator builder before any cycle is simulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `r = 0`: there must be at least one copy of every instruction.
+    ZeroRedundancy,
+    /// `threshold = 0`: at least one copy must be required to agree.
+    ZeroThreshold,
+    /// The acceptance threshold exceeds the number of copies.
+    ThresholdExceedsR {
+        /// Configured acceptance threshold.
+        threshold: u8,
+        /// Configured redundancy degree.
+        r: u8,
+    },
+    /// Majority election demands `r >= 3` (with 2 copies a disagreement
+    /// has no majority to elect).
+    MajorityNeedsThree {
+        /// Configured redundancy degree.
+        r: u8,
+    },
+    /// A majority threshold must be a strict majority of the copies.
+    WeakMajorityThreshold {
+        /// Configured acceptance threshold.
+        threshold: u8,
+        /// Configured redundancy degree.
+        r: u8,
+    },
+    /// Dispatch must be able to move one replication group per cycle.
+    GroupExceedsDispatch {
+        /// Configured dispatch width.
+        width: u32,
+        /// Configured redundancy degree.
+        r: u8,
+    },
+    /// Commit must be able to retire one replication group per cycle.
+    GroupExceedsCommit {
+        /// Configured commit width.
+        width: u32,
+        /// Configured redundancy degree.
+        r: u8,
+    },
+    /// The RUU cannot hold even one replication group.
+    RuuTooSmall {
+        /// Configured RUU capacity.
+        size: usize,
+        /// Configured redundancy degree.
+        r: u8,
+    },
+    /// The LSQ cannot hold even one replication group.
+    LsqTooSmall {
+        /// Configured LSQ capacity.
+        size: usize,
+        /// Configured redundancy degree.
+        r: u8,
+    },
+    /// Fetch width or fetch queue capacity is zero.
+    FrontEndTooSmall,
+    /// A functional-unit class has no units (every class is required:
+    /// integer ALUs resolve branches, and the workloads exercise the
+    /// multiplier and both FP classes).
+    ZeroFuCount {
+        /// Which unit class is missing (e.g. `"int_alu"`).
+        unit: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroRedundancy => write!(f, "redundancy degree must be at least 1"),
+            ConfigError::ZeroThreshold => write!(f, "acceptance threshold must be at least 1"),
+            ConfigError::ThresholdExceedsR { threshold, r } => write!(
+                f,
+                "acceptance threshold {threshold} exceeds redundancy degree {r}"
+            ),
+            ConfigError::MajorityNeedsThree { r } => {
+                write!(f, "majority election requires R >= 3 (got R = {r})")
+            }
+            ConfigError::WeakMajorityThreshold { threshold, r } => write!(
+                f,
+                "majority threshold {threshold} is not a strict majority of {r} copies"
+            ),
+            ConfigError::GroupExceedsDispatch { width, r } => write!(
+                f,
+                "dispatch width {width} cannot move one replication group of {r}"
+            ),
+            ConfigError::GroupExceedsCommit { width, r } => write!(
+                f,
+                "commit width {width} cannot retire one replication group of {r}"
+            ),
+            ConfigError::RuuTooSmall { size, r } => {
+                write!(f, "RUU of {size} cannot hold one replication group of {r}")
+            }
+            ConfigError::LsqTooSmall { size, r } => {
+                write!(f, "LSQ of {size} cannot hold one replication group of {r}")
+            }
+            ConfigError::FrontEndTooSmall => {
+                write!(f, "fetch width and fetch queue capacity must be nonzero")
+            }
+            ConfigError::ZeroFuCount { unit } => {
+                write!(f, "functional-unit class {unit} has zero units")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Functional-unit counts (paper Table 1: 4 / 2 / 2 / 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +219,50 @@ impl RedundancyConfig {
             majority: true,
             threshold: r / 2 + 1,
         }
+    }
+
+    /// Checks the redundancy invariants in isolation: `r >= 1`,
+    /// `1 <= threshold <= r`, and majority election only with `r >= 3`
+    /// and a strict-majority threshold.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant as a [`ConfigError`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ftsim_core::{ConfigError, RedundancyConfig};
+    ///
+    /// assert!(RedundancyConfig::rewind(2).validate().is_ok());
+    /// let bad = RedundancyConfig { r: 2, majority: true, threshold: 2 };
+    /// assert_eq!(bad.validate(), Err(ConfigError::MajorityNeedsThree { r: 2 }));
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.r == 0 {
+            return Err(ConfigError::ZeroRedundancy);
+        }
+        if self.threshold == 0 {
+            return Err(ConfigError::ZeroThreshold);
+        }
+        if self.threshold > self.r {
+            return Err(ConfigError::ThresholdExceedsR {
+                threshold: self.threshold,
+                r: self.r,
+            });
+        }
+        if self.majority {
+            if self.r < 3 {
+                return Err(ConfigError::MajorityNeedsThree { r: self.r });
+            }
+            if self.threshold <= self.r / 2 {
+                return Err(ConfigError::WeakMajorityThreshold {
+                    threshold: self.threshold,
+                    r: self.r,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -311,47 +466,72 @@ impl MachineConfig {
         self
     }
 
-    /// Validates internal consistency.
+    /// Validates internal consistency: the redundancy invariants plus
+    /// the structural requirements that every replication group can be
+    /// dispatched, held and retired atomically and that every
+    /// functional-unit class exists.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration cannot dispatch or retire a full
-    /// replication group atomically, or if sizes are zero.
-    pub fn validate(&self) {
+    /// The first violated invariant as a [`ConfigError`]. The simulator
+    /// builder calls this before constructing a pipeline, so a
+    /// misconfigured experiment fails fast instead of wedging mid-run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ftsim_core::{ConfigError, MachineConfig};
+    ///
+    /// assert!(MachineConfig::ss2().validate().is_ok());
+    ///
+    /// let mut narrow = MachineConfig::ss2();
+    /// narrow.dispatch_width = 1;
+    /// assert_eq!(
+    ///     narrow.validate(),
+    ///     Err(ConfigError::GroupExceedsDispatch { width: 1, r: 2 })
+    /// );
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.redundancy.validate()?;
         let r = u32::from(self.redundancy.r);
-        assert!(r >= 1, "redundancy degree must be at least 1");
-        assert!(
-            self.dispatch_width >= r,
-            "dispatch width must fit one replication group"
-        );
-        assert!(
-            self.commit_width >= r,
-            "commit width must fit one replication group"
-        );
-        assert!(
-            self.ruu_size >= self.redundancy.r as usize,
-            "RUU must hold one replication group"
-        );
-        assert!(
-            self.lsq_size >= self.redundancy.r as usize,
-            "LSQ must hold one replication group"
-        );
-        assert!(self.fetch_width >= 1 && self.ifq_size >= 1, "front end too small");
-        assert!(
-            self.fu.int_alu >= 1,
-            "at least one integer ALU is required (branch resolution)"
-        );
-        if self.redundancy.majority {
-            assert!(
-                self.redundancy.r >= 3,
-                "majority election requires R >= 3"
-            );
-            assert!(
-                self.redundancy.threshold > self.redundancy.r / 2
-                    && self.redundancy.threshold <= self.redundancy.r,
-                "majority threshold must be a strict majority"
-            );
+        if self.dispatch_width < r {
+            return Err(ConfigError::GroupExceedsDispatch {
+                width: self.dispatch_width,
+                r: self.redundancy.r,
+            });
         }
+        if self.commit_width < r {
+            return Err(ConfigError::GroupExceedsCommit {
+                width: self.commit_width,
+                r: self.redundancy.r,
+            });
+        }
+        if self.ruu_size < self.redundancy.r as usize {
+            return Err(ConfigError::RuuTooSmall {
+                size: self.ruu_size,
+                r: self.redundancy.r,
+            });
+        }
+        if self.lsq_size < self.redundancy.r as usize {
+            return Err(ConfigError::LsqTooSmall {
+                size: self.lsq_size,
+                r: self.redundancy.r,
+            });
+        }
+        if self.fetch_width == 0 || self.ifq_size == 0 {
+            return Err(ConfigError::FrontEndTooSmall);
+        }
+        for (count, unit) in [
+            (self.fu.int_alu, "int_alu"),
+            (self.fu.int_mul, "int_mul"),
+            (self.fu.fp_add, "fp_add"),
+            (self.fu.fp_mul, "fp_mul"),
+        ] {
+            if count == 0 {
+                return Err(ConfigError::ZeroFuCount { unit });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -362,11 +542,19 @@ mod tests {
     #[test]
     fn table1_baseline() {
         let m = MachineConfig::ss1();
-        m.validate();
+        m.validate().unwrap();
         assert_eq!(m.fetch_width, 8);
         assert_eq!(m.ruu_size, 128);
         assert_eq!(m.lsq_size, 64);
-        assert_eq!(m.fu, FuConfig { int_alu: 4, int_mul: 2, fp_add: 2, fp_mul: 1 });
+        assert_eq!(
+            m.fu,
+            FuConfig {
+                int_alu: 4,
+                int_mul: 2,
+                fp_add: 2,
+                fp_mul: 1
+            }
+        );
         assert_eq!(m.redundancy.r, 1);
     }
 
@@ -374,7 +562,7 @@ mod tests {
     fn ss2_shares_hardware_with_ss1() {
         let a = MachineConfig::ss1();
         let b = MachineConfig::ss2();
-        b.validate();
+        b.validate().unwrap();
         assert_eq!(b.redundancy.r, 2);
         assert_eq!(a.fu, b.fu);
         assert_eq!(a.ruu_size, b.ruu_size);
@@ -384,7 +572,7 @@ mod tests {
     #[test]
     fn static2_halves_core_keeps_caches_and_fpmul() {
         let m = MachineConfig::static2();
-        m.validate();
+        m.validate().unwrap();
         assert_eq!(m.fetch_width, 4);
         assert_eq!(m.ruu_size, 64);
         assert_eq!(m.fu.int_alu, 2);
@@ -396,7 +584,7 @@ mod tests {
     #[test]
     fn majority_preset() {
         let m = MachineConfig::ss3_majority();
-        m.validate();
+        m.validate().unwrap();
         assert!(m.redundancy.majority);
         assert_eq!(m.redundancy.threshold, 2);
     }
@@ -413,21 +601,113 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dispatch width")]
     fn group_must_fit_dispatch() {
         let mut m = MachineConfig::ss2();
         m.dispatch_width = 1;
-        m.validate();
+        assert_eq!(
+            m.validate(),
+            Err(ConfigError::GroupExceedsDispatch { width: 1, r: 2 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "majority election requires")]
+    fn group_must_fit_commit() {
+        let mut m = MachineConfig::ss3();
+        m.commit_width = 2;
+        assert_eq!(
+            m.validate(),
+            Err(ConfigError::GroupExceedsCommit { width: 2, r: 3 })
+        );
+    }
+
+    #[test]
     fn majority_needs_three() {
         let m = MachineConfig::ss2().with_redundancy(RedundancyConfig {
             r: 2,
             majority: true,
             threshold: 2,
         });
-        m.validate();
+        assert_eq!(m.validate(), Err(ConfigError::MajorityNeedsThree { r: 2 }));
+    }
+
+    #[test]
+    fn zero_redundancy_rejected() {
+        let m = MachineConfig::ss1().with_redundancy(RedundancyConfig {
+            r: 0,
+            majority: false,
+            threshold: 1,
+        });
+        assert_eq!(m.validate(), Err(ConfigError::ZeroRedundancy));
+    }
+
+    #[test]
+    fn threshold_invariants() {
+        let zero = RedundancyConfig {
+            r: 2,
+            majority: false,
+            threshold: 0,
+        };
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroThreshold));
+        let high = RedundancyConfig {
+            r: 2,
+            majority: false,
+            threshold: 3,
+        };
+        assert_eq!(
+            high.validate(),
+            Err(ConfigError::ThresholdExceedsR { threshold: 3, r: 2 })
+        );
+        let weak = RedundancyConfig {
+            r: 3,
+            majority: true,
+            threshold: 1,
+        };
+        assert_eq!(
+            weak.validate(),
+            Err(ConfigError::WeakMajorityThreshold { threshold: 1, r: 3 })
+        );
+    }
+
+    #[test]
+    fn zero_fu_counts_rejected() {
+        let mut m = MachineConfig::ss1();
+        m.fu.int_alu = 0;
+        assert_eq!(
+            m.validate(),
+            Err(ConfigError::ZeroFuCount { unit: "int_alu" })
+        );
+        let mut m = MachineConfig::ss1();
+        m.fu.fp_mul = 0;
+        assert_eq!(
+            m.validate(),
+            Err(ConfigError::ZeroFuCount { unit: "fp_mul" })
+        );
+    }
+
+    #[test]
+    fn small_queues_rejected() {
+        let mut m = MachineConfig::ss3();
+        m.ruu_size = 2;
+        assert_eq!(
+            m.validate(),
+            Err(ConfigError::RuuTooSmall { size: 2, r: 3 })
+        );
+        let mut m = MachineConfig::ss3();
+        m.lsq_size = 2;
+        assert_eq!(
+            m.validate(),
+            Err(ConfigError::LsqTooSmall { size: 2, r: 3 })
+        );
+        let mut m = MachineConfig::ss1();
+        m.ifq_size = 0;
+        assert_eq!(m.validate(), Err(ConfigError::FrontEndTooSmall));
+    }
+
+    #[test]
+    fn config_error_display_is_descriptive() {
+        let e = ConfigError::GroupExceedsDispatch { width: 1, r: 2 };
+        assert!(e.to_string().contains("dispatch width 1"));
+        let e = ConfigError::ZeroFuCount { unit: "fp_add" };
+        assert!(e.to_string().contains("fp_add"));
     }
 }

@@ -51,13 +51,7 @@ impl Processor {
     fn try_issue_fu(&mut self, seq: u64) -> bool {
         let (inst, pc, mut a, mut b, fault) = {
             let e = self.ruu.get(seq).expect("ready entry exists");
-            (
-                e.inst,
-                e.pc,
-                e.ops[0].value(),
-                e.ops[1].value(),
-                e.fault,
-            )
+            (e.inst, e.pc, e.ops[0].value(), e.ops[1].value(), e.fault)
         };
         let Some(latency) = self.fu.try_issue(inst.op, self.now) else {
             return false; // structural hazard: retry next cycle
@@ -140,7 +134,9 @@ impl Processor {
                         effective = outcomes_differ(&clean, &execute(&inst, pc, a, 0));
                     }
                 }
-                let mut ea = execute(&inst, pc, a, 0).ea.expect("mem op computes an address");
+                let mut ea = execute(&inst, pc, a, 0)
+                    .ea
+                    .expect("mem op computes an address");
                 if let Some((_, ev)) = fault {
                     if ev.point == InjectionPoint::EffAddr {
                         ea = ev.corrupt(ea);

@@ -48,12 +48,21 @@
 //! ").unwrap();
 //!
 //! // Run once on the plain superscalar, once with 2-way redundancy.
-//! let base = Simulator::new(MachineConfig::ss1(), &program).run().unwrap();
-//! let dual = Simulator::new(MachineConfig::ss2(), &program).run().unwrap();
+//! let base = Simulator::builder()
+//!     .config(MachineConfig::ss1())
+//!     .program(&program)
+//!     .run()
+//!     .unwrap();
+//! let dual = Simulator::builder()
+//!     .config(MachineConfig::ss2())
+//!     .program(&program)
+//!     .run()
+//!     .unwrap();
 //! assert_eq!(base.retired_instructions, dual.retired_instructions);
 //! assert!(dual.cycles >= base.cycles); // redundancy costs throughput
 //! ```
 
+mod build;
 mod check;
 mod commit;
 mod config;
@@ -70,10 +79,9 @@ mod sim;
 mod stats;
 mod writeback;
 
+pub use build::{BuildError, SimBuilder};
 pub use check::{majority_vote, CheckOutcome, GroupDecision};
-pub use config::{
-    FuConfig, MachineConfig, OpLatencies, RedundancyConfig, Scale,
-};
+pub use config::{ConfigError, FuConfig, MachineConfig, OpLatencies, RedundancyConfig, Scale};
 pub use entry::{EntryState, Prediction};
 pub use pipeline::Processor;
 pub use sim::{OracleMode, RunLimits, SimError, SimResult, Simulator};

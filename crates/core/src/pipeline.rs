@@ -61,7 +61,9 @@ impl Processor {
     /// Panics if `config` is inconsistent (see
     /// [`MachineConfig::validate`]).
     pub fn new(config: MachineConfig, program: &Program, injector: FaultInjector) -> Self {
-        config.validate();
+        config
+            .validate()
+            .expect("invalid machine configuration (use SimBuilder to surface this as an error)");
         let mut mem = SparseMemory::new();
         program.load_data(&mut mem);
         Self {
@@ -102,7 +104,8 @@ impl Processor {
             self.stage_writeback();
             self.stage_issue();
             self.stage_dispatch();
-            self.fetch.fetch_cycle(self.now, &self.program, &mut self.hierarchy);
+            self.fetch
+                .fetch_cycle(self.now, &self.program, &mut self.hierarchy);
         }
         self.stats.ruu_occupancy_sum += self.ruu.len() as u64;
         self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
@@ -239,10 +242,8 @@ impl Processor {
             .expect("branch group has a checkpoint")
             .clone();
         self.map.restore(&cp);
-        self.fetch.redirect(
-            new_target,
-            self.now + 1 + self.config.lat.mispredict_extra,
-        );
+        self.fetch
+            .redirect(new_target, self.now + 1 + self.config.lat.mispredict_extra);
         self.stats.branch_rewinds += 1;
     }
 
@@ -296,7 +297,6 @@ impl Processor {
     #[cfg(not(debug_assertions))]
     #[allow(dead_code)]
     pub(crate) fn assert_group_invariants(&self) {}
-
 }
 
 /// Schedules a completion event (free function to avoid borrow tangles).

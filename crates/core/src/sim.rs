@@ -1,6 +1,7 @@
 //! The `Simulator` facade: run a program, gather results, verify against
 //! the in-order oracle.
 
+use crate::build::{BuildError, SimBuilder};
 use crate::config::MachineConfig;
 use crate::pipeline::Processor;
 use crate::stats::SimStats;
@@ -58,6 +59,8 @@ impl RunLimits {
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
+    /// The builder was misused ([`SimBuilder::run`] only).
+    Invalid(BuildError),
     /// The cycle ceiling was reached before `halt` committed.
     CycleLimit {
         /// Cycles executed.
@@ -85,8 +88,12 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::Invalid(e) => write!(f, "invalid simulator construction: {e}"),
             SimError::CycleLimit { cycles, retired } => {
-                write!(f, "cycle limit reached ({cycles} cycles, {retired} retired)")
+                write!(
+                    f,
+                    "cycle limit reached ({cycles} cycles, {retired} retired)"
+                )
             }
             SimError::Watchdog { cycle } => write!(f, "commit watchdog fired at cycle {cycle}"),
             SimError::OracleMismatch { details } => write!(f, "oracle mismatch: {details}"),
@@ -118,6 +125,10 @@ pub struct SimResult {
 
 /// Runs a [`Program`] on a configured machine.
 ///
+/// Construct via [`Simulator::builder`], which gathers the configuration,
+/// program, fault injector, oracle mode and run limits in one validated
+/// place.
+///
 /// # Examples
 ///
 /// ```
@@ -125,7 +136,11 @@ pub struct SimResult {
 /// use ftsim_isa::asm;
 ///
 /// let p = asm::assemble("addi r1, r0, 3\nmul r1, r1, r1\nhalt\n").unwrap();
-/// let result = Simulator::new(MachineConfig::ss2(), &p).run().unwrap();
+/// let result = Simulator::builder()
+///     .config(MachineConfig::ss2())
+///     .program(&p)
+///     .run()
+///     .unwrap();
 /// assert_eq!(result.retired_instructions, 3);
 /// assert!(result.halted);
 /// ```
@@ -134,29 +149,76 @@ pub struct Simulator {
     proc: Processor,
     program: Program,
     oracle: OracleMode,
+    limits: RunLimits,
 }
 
 impl Simulator {
+    /// Starts a fluent [`SimBuilder`] — the only supported way to
+    /// construct a simulator.
+    pub fn builder() -> SimBuilder {
+        SimBuilder::new()
+    }
+
+    /// Assembles a simulator from already-validated parts.
+    ///
+    /// Called by [`SimBuilder::build`] after validation; not public so
+    /// that every construction path goes through the builder's checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (the builder validates first).
+    pub(crate) fn from_parts(
+        config: MachineConfig,
+        program: &Program,
+        injector: FaultInjector,
+        oracle: OracleMode,
+        limits: RunLimits,
+    ) -> Self {
+        Self {
+            proc: Processor::new(config, program, injector),
+            program: program.clone(),
+            oracle,
+            limits,
+        }
+    }
+
     /// Creates a simulator with no fault injection and final oracle
     /// verification.
+    #[deprecated(since = "0.2.0", note = "use `Simulator::builder()`")]
     pub fn new(config: MachineConfig, program: &Program) -> Self {
-        Self::with_injector(config, program, FaultInjector::none())
+        Self::from_parts(
+            config,
+            program,
+            FaultInjector::none(),
+            OracleMode::default(),
+            RunLimits::default(),
+        )
     }
 
     /// Creates a simulator with a fault injector.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Simulator::builder()` with `.injector(..)`"
+    )]
     pub fn with_injector(
         config: MachineConfig,
         program: &Program,
         injector: FaultInjector,
     ) -> Self {
-        Self {
-            proc: Processor::new(config, program, injector),
-            program: program.clone(),
-            oracle: OracleMode::default(),
-        }
+        Self::from_parts(
+            config,
+            program,
+            injector,
+            OracleMode::default(),
+            RunLimits::default(),
+        )
     }
 
     /// Sets the oracle mode (consuming builder).
+    #[deprecated(
+        since = "0.2.0",
+        note = "set the oracle mode on `Simulator::builder()` instead"
+    )]
     pub fn oracle(mut self, mode: OracleMode) -> Self {
         self.oracle = mode;
         self
@@ -167,13 +229,14 @@ impl Simulator {
         &mut self.proc
     }
 
-    /// Runs to `halt` with default limits.
+    /// Runs to `halt` under the limits configured at build time.
     ///
     /// # Errors
     ///
     /// See [`SimError`].
     pub fn run(self) -> Result<SimResult, SimError> {
-        self.run_with_limits(RunLimits::default())
+        let limits = self.limits;
+        self.run_with_limits(limits)
     }
 
     /// Runs until `halt`, the instruction quota, or a limit error.
@@ -284,10 +347,14 @@ mod tests {
         .unwrap()
     }
 
+    fn sim(config: MachineConfig, p: &Program) -> crate::build::SimBuilder {
+        Simulator::builder().config(config).program(p)
+    }
+
     #[test]
     fn ss1_matches_oracle() {
         let p = sum_loop(50);
-        let r = Simulator::new(MachineConfig::ss1(), &p).run().unwrap();
+        let r = sim(MachineConfig::ss1(), &p).run().unwrap();
         assert!(r.halted);
         assert_eq!(r.retired_instructions, 3 + 50 * 3);
         assert!(r.ipc > 0.0);
@@ -296,8 +363,8 @@ mod tests {
     #[test]
     fn ss2_matches_oracle_and_is_slower() {
         let p = sum_loop(200);
-        let r1 = Simulator::new(MachineConfig::ss1(), &p).run().unwrap();
-        let r2 = Simulator::new(MachineConfig::ss2(), &p).run().unwrap();
+        let r1 = sim(MachineConfig::ss1(), &p).run().unwrap();
+        let r2 = sim(MachineConfig::ss2(), &p).run().unwrap();
         assert_eq!(r1.retired_instructions, r2.retired_instructions);
         assert!(r2.cycles >= r1.cycles, "redundancy cannot be free");
     }
@@ -305,8 +372,9 @@ mod tests {
     #[test]
     fn instruction_limit_stops_cleanly() {
         let p = sum_loop(10_000);
-        let r = Simulator::new(MachineConfig::ss1(), &p)
-            .run_with_limits(RunLimits::instructions(100))
+        let r = sim(MachineConfig::ss1(), &p)
+            .limits(RunLimits::instructions(100))
+            .run()
             .unwrap();
         assert!(!r.halted);
         assert!(r.retired_instructions >= 100);
@@ -316,11 +384,12 @@ mod tests {
     #[test]
     fn cycle_limit_errors() {
         let p = sum_loop(100_000);
-        let err = Simulator::new(MachineConfig::ss1(), &p)
-            .run_with_limits(RunLimits {
+        let err = sim(MachineConfig::ss1(), &p)
+            .limits(RunLimits {
                 max_cycles: 50,
                 ..RunLimits::default()
             })
+            .run()
             .unwrap_err();
         assert!(matches!(err, SimError::CycleLimit { .. }));
     }
@@ -328,7 +397,7 @@ mod tests {
     #[test]
     fn oracle_off_skips_verification() {
         let p = sum_loop(10);
-        let r = Simulator::new(MachineConfig::ss1(), &p)
+        let r = sim(MachineConfig::ss1(), &p)
             .oracle(OracleMode::Off)
             .run()
             .unwrap();

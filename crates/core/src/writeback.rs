@@ -52,11 +52,9 @@ impl Processor {
                     result = result.map(|r| ev.corrupt(r));
                     effective = true;
                 }
-                InjectionPoint::RobWait => {
-                    if result.is_some() {
-                        result = result.map(|r| ev.corrupt(r));
-                        effective = true;
-                    }
+                InjectionPoint::RobWait if result.is_some() => {
+                    result = result.map(|r| ev.corrupt(r));
+                    effective = true;
                 }
                 _ => {}
             }

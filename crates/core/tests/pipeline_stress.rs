@@ -82,10 +82,27 @@ fn fp_workload(iters: i32) -> Program {
 }
 
 fn run(config: MachineConfig, p: &Program) -> ftsim_core::SimResult {
-    Simulator::new(config, p)
+    Simulator::builder()
+        .config(config)
+        .program(p)
         .oracle(OracleMode::Final)
         .run()
         .expect("run must succeed and match the oracle")
+}
+
+/// Builder-based run with fault injection.
+fn run_injected(
+    config: MachineConfig,
+    p: &Program,
+    injector: FaultInjector,
+    oracle: OracleMode,
+) -> Result<ftsim_core::SimResult, ftsim_core::SimError> {
+    Simulator::builder()
+        .config(config)
+        .program(p)
+        .injector(injector)
+        .oracle(oracle)
+        .run()
 }
 
 #[test]
@@ -171,13 +188,12 @@ fn planned_fault_on_alu_result_is_detected_and_recovered() {
     for group in [12u64, 14, 16, 18, 20, 22] {
         let mut plan = FaultPlan::new();
         plan.add(group, 1, InjectionPoint::OperandA, 13);
-        let r = Simulator::with_injector(
+        let r = run_injected(
             MachineConfig::ss2(),
             &p,
             FaultInjector::from_plan(plan),
+            OracleMode::Final,
         )
-        .oracle(OracleMode::Final)
-        .run()
         .expect("fault must be recovered, final state correct");
         let f = r.faults;
         injected_total += f.injected;
@@ -199,9 +215,7 @@ fn random_faults_r2_always_recover() {
     let p = mixed_workload(200);
     for seed in 0..5 {
         let inj = FaultInjector::random(2e-3, seed);
-        let r = Simulator::with_injector(MachineConfig::ss2(), &p, inj)
-            .oracle(OracleMode::Final)
-            .run()
+        let r = run_injected(MachineConfig::ss2(), &p, inj, OracleMode::Final)
             .expect("R=2 must recover from every injected fault");
         let f = r.faults;
         assert_eq!(f.escaped, 0, "escape at seed {seed}: {f}");
@@ -213,9 +227,7 @@ fn random_faults_r2_always_recover() {
 fn random_faults_r3_majority_elects_without_rewind() {
     let p = mixed_workload(200);
     let inj = FaultInjector::random(2e-3, 7);
-    let r = Simulator::with_injector(MachineConfig::ss3_majority(), &p, inj)
-        .oracle(OracleMode::Final)
-        .run()
+    let r = run_injected(MachineConfig::ss3_majority(), &p, inj, OracleMode::Final)
         .expect("majority election must keep state correct");
     let f = r.faults;
     assert_eq!(f.escaped, 0);
@@ -241,18 +253,17 @@ fn random_faults_r3_majority_elects_without_rewind() {
 fn assert_escape_accounting(config: MachineConfig, rate: f64, seed: u64, p: &Program) {
     // Pass 1: observe the ledger without verification.
     let inj = FaultInjector::random(rate, seed);
-    let first = Simulator::with_injector(config.clone(), p, inj)
-        .oracle(OracleMode::Off)
-        .run();
+    let first = run_injected(config.clone(), p, inj, OracleMode::Off);
     // Pass 2 (same seed = identical run): verify against the oracle.
     let inj = FaultInjector::random(rate, seed);
-    let second = Simulator::with_injector(config.clone(), p, inj)
-        .oracle(OracleMode::Final)
-        .run();
+    let second = run_injected(config.clone(), p, inj, OracleMode::Final);
     match first {
         Ok(r) if r.faults.escaped == 0 => {
             second.unwrap_or_else(|e| {
-                panic!("{} seed {seed}: clean ledger but oracle says {e}", config.name)
+                panic!(
+                    "{} seed {seed}: clean ledger but oracle says {e}",
+                    config.name
+                )
             });
         }
         Ok(r) => {
@@ -265,9 +276,7 @@ fn assert_escape_accounting(config: MachineConfig, rate: f64, seed: u64, p: &Pro
         }
         // Escaped control-flow corruption may wedge or overrun the machine
         // — legitimate for committed garbage targets.
-        Err(
-            ftsim_core::SimError::Watchdog { .. } | ftsim_core::SimError::CycleLimit { .. },
-        ) => {}
+        Err(ftsim_core::SimError::Watchdog { .. } | ftsim_core::SimError::CycleLimit { .. }) => {}
         Err(e) => panic!("{} seed {seed}: unexpected {e}", config.name),
     }
 }
@@ -297,9 +306,7 @@ fn unprotected_r1_lets_faults_escape() {
     let p = mixed_workload(300);
     // High rate so at least one effective fault commits.
     let inj = FaultInjector::random(5e-3, 11);
-    let result = Simulator::with_injector(MachineConfig::ss1(), &p, inj)
-        .oracle(OracleMode::Final)
-        .run();
+    let result = run_injected(MachineConfig::ss1(), &p, inj, OracleMode::Final);
     match result {
         // Corrupted committed state detected by the oracle...
         Err(ftsim_core::SimError::OracleMismatch { .. }) => {}
@@ -337,10 +344,13 @@ fn store_data_fault_never_corrupts_memory_r2() {
     // (li -> lui+ori = 2 groups, addi = 1) => store is group 3.
     let mut plan = FaultPlan::new();
     plan.add(3, 0, InjectionPoint::StoreData, 5);
-    let r = Simulator::with_injector(MachineConfig::ss2(), &p, FaultInjector::from_plan(plan))
-        .oracle(OracleMode::Final)
-        .run()
-        .expect("corrupted store must be caught before commit");
+    let r = run_injected(
+        MachineConfig::ss2(),
+        &p,
+        FaultInjector::from_plan(plan),
+        OracleMode::Final,
+    )
+    .expect("corrupted store must be caught before commit");
     assert_eq!(r.faults.escaped, 0);
 }
 
@@ -351,13 +361,12 @@ fn branch_direction_fault_recovers() {
     for group in [15u64, 16, 17, 18, 19, 20] {
         let mut plan = FaultPlan::new();
         plan.add(group, 1, InjectionPoint::BranchDirection, 0);
-        let r = Simulator::with_injector(
+        let r = run_injected(
             MachineConfig::ss2(),
             &p,
             FaultInjector::from_plan(plan),
+            OracleMode::Final,
         )
-        .oracle(OracleMode::Final)
-        .run()
         .expect("branch-direction fault must be recovered");
         hit_any |= r.faults.injected > 0;
         assert_eq!(r.faults.escaped, 0);
@@ -370,10 +379,7 @@ fn deterministic_same_seed_same_cycles() {
     let p = mixed_workload(150);
     let run_once = |seed| {
         let inj = FaultInjector::random(1e-3, seed);
-        Simulator::with_injector(MachineConfig::ss2(), &p, inj)
-            .oracle(OracleMode::Off)
-            .run()
-            .unwrap()
+        run_injected(MachineConfig::ss2(), &p, inj, OracleMode::Off).unwrap()
     };
     let a = run_once(3);
     let b = run_once(3);
@@ -390,10 +396,7 @@ fn rewind_based_recovery_throughput_unaffected_at_low_rates() {
     let p = mixed_workload(400);
     let clean = run(MachineConfig::ss2(), &p);
     let inj = FaultInjector::random(ftsim_faults::per_million(100.0), 1);
-    let faulty = Simulator::with_injector(MachineConfig::ss2(), &p, inj)
-        .oracle(OracleMode::Final)
-        .run()
-        .unwrap();
+    let faulty = run_injected(MachineConfig::ss2(), &p, inj, OracleMode::Final).unwrap();
     let slowdown = faulty.cycles as f64 / clean.cycles as f64;
     assert!(
         slowdown < 1.05,

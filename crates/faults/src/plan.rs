@@ -34,7 +34,13 @@ impl FaultPlan {
     /// Schedules a bit-`bit` flip at `point` on copy `copy` of the
     /// instruction with dispatch index `dispatch_seq`. Replaces any event
     /// already scheduled for that slot.
-    pub fn add(&mut self, dispatch_seq: u64, copy: u8, point: InjectionPoint, bit: u8) -> &mut Self {
+    pub fn add(
+        &mut self,
+        dispatch_seq: u64,
+        copy: u8,
+        point: InjectionPoint,
+        bit: u8,
+    ) -> &mut Self {
         self.events
             .insert((dispatch_seq, copy), FaultEvent { point, bit });
         self

@@ -102,7 +102,10 @@ fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, u8), AsmError> {
         .find('(')
         .ok_or_else(|| AsmError::new(line, format!("expected offset(base), got `{t}`")))?;
     if !t.ends_with(')') {
-        return Err(AsmError::new(line, format!("unclosed memory operand `{t}`")));
+        return Err(AsmError::new(
+            line,
+            format!("unclosed memory operand `{t}`"),
+        ));
     }
     let off_str = &t[..open];
     let base_str = &t[open + 1..t.len() - 1];
@@ -144,11 +147,7 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     let mut b = ProgramBuilder::new();
     for (i, raw_line) in src.lines().enumerate() {
         let line_no = i + 1;
-        let line = raw_line
-            .split(|c| c == ';' || c == '#')
-            .next()
-            .unwrap_or("")
-            .trim();
+        let line = raw_line.split([';', '#']).next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
@@ -194,8 +193,10 @@ fn parse_directive(b: &mut ProgramBuilder, directive: &str, line: usize) -> Resu
                 return Err(AsmError::new(line, ".u64 needs an address"));
             }
             let addr = parse_int(rest[0], line)? as u64;
-            let words: Result<Vec<u64>, _> =
-                rest[1..].iter().map(|t| parse_int(t, line).map(|v| v as u64)).collect();
+            let words: Result<Vec<u64>, _> = rest[1..]
+                .iter()
+                .map(|t| parse_int(t, line).map(|v| v as u64))
+                .collect();
             b.data_u64(addr, &words?);
             Ok(())
         }

@@ -137,7 +137,10 @@ mod tests {
         let bad = (Opcode::Add as u8 as u64) | (40u64 << 8);
         assert!(matches!(
             decode(bad),
-            Err(DecodeError::BadRegister { op: Opcode::Add, field: 40 })
+            Err(DecodeError::BadRegister {
+                op: Opcode::Add,
+                field: 40
+            })
         ));
         // Nop ignores register fields entirely.
         let ok = (Opcode::Nop as u8 as u64) | (40u64 << 8);

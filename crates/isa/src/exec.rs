@@ -328,7 +328,12 @@ mod tests {
         assert_eq!(next_pc(0x1000, &nt), 0x1004);
         assert_eq!(next_pc(0x1000, &t), 0x1014);
 
-        let blt = execute(&Inst::new(Opcode::Blt, 0, 1, 2, -2), 0x100, (-5i64) as u64, 0);
+        let blt = execute(
+            &Inst::new(Opcode::Blt, 0, 1, 2, -2),
+            0x100,
+            (-5i64) as u64,
+            0,
+        );
         assert_eq!(blt.taken, Some(true));
         assert_eq!(blt.target, Some(0x100 + 4 - 8));
 
@@ -366,7 +371,10 @@ mod tests {
     fn fp_sign_ops_are_bit_exact() {
         let v = 1.5f64.to_bits();
         assert_eq!(f64::from_bits(run(Opcode::Fneg, v, 0)), -1.5);
-        assert_eq!(f64::from_bits(run(Opcode::Fabs, (-1.5f64).to_bits(), 0)), 1.5);
+        assert_eq!(
+            f64::from_bits(run(Opcode::Fabs, (-1.5f64).to_bits(), 0)),
+            1.5
+        );
         // Fneg of NaN flips only the sign bit (deterministic).
         let nan = f64::NAN.to_bits();
         assert_eq!(run(Opcode::Fneg, nan, 0), nan ^ (1 << 63));

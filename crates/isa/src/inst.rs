@@ -177,13 +177,28 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Inst::new(Opcode::Addi, 1, 0, 0, -5).to_string(), "addi r1, r0, -5");
-        assert_eq!(Inst::new(Opcode::Ld, 2, 3, 0, 8).to_string(), "ld r2, 8(r3)");
-        assert_eq!(Inst::new(Opcode::Sfd, 0, 3, 7, 8).to_string(), "sfd f7, 8(r3)");
-        assert_eq!(Inst::new(Opcode::Beq, 0, 1, 2, -3).to_string(), "beq r1, r2, -3");
+        assert_eq!(
+            Inst::new(Opcode::Addi, 1, 0, 0, -5).to_string(),
+            "addi r1, r0, -5"
+        );
+        assert_eq!(
+            Inst::new(Opcode::Ld, 2, 3, 0, 8).to_string(),
+            "ld r2, 8(r3)"
+        );
+        assert_eq!(
+            Inst::new(Opcode::Sfd, 0, 3, 7, 8).to_string(),
+            "sfd f7, 8(r3)"
+        );
+        assert_eq!(
+            Inst::new(Opcode::Beq, 0, 1, 2, -3).to_string(),
+            "beq r1, r2, -3"
+        );
         assert_eq!(Inst::new(Opcode::Jal, 31, 0, 0, 10).to_string(), "jal 10");
         assert_eq!(Inst::nop().to_string(), "nop");
         assert_eq!(Inst::halt().to_string(), "halt");
-        assert_eq!(Inst::new(Opcode::Fsqrt, 1, 2, 0, 0).to_string(), "fsqrt f1, f2");
+        assert_eq!(
+            Inst::new(Opcode::Fsqrt, 1, 2, 0, 0).to_string(),
+            "fsqrt f1, f2"
+        );
     }
 }

@@ -108,11 +108,12 @@ impl Opcode {
     pub fn rd_class(self) -> Option<RegClass> {
         use Opcode::*;
         match self {
-            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi
-            | Ori | Xori | Slti | Slli | Srli | Srai | Lui | Mul | Div | Rem | Ld | Lw | Lb
-            | Jal | Jalr | Feq | Flt | Fle | Cvtfi => Some(RegClass::Int),
-            Lfd | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs | Fmin | Fmax | Cvtif
-            | Fmov => Some(RegClass::Fp),
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slti | Slli | Srli | Srai | Lui | Mul | Div | Rem | Ld | Lw | Lb | Jal
+            | Jalr | Feq | Flt | Fle | Cvtfi => Some(RegClass::Int),
+            Lfd | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs | Fmin | Fmax | Cvtif | Fmov => {
+                Some(RegClass::Fp)
+            }
             Sd | Sw | Sb | Sfd | Beq | Bne | Blt | Bge | J | Jr | Nop | Halt => None,
         }
     }
@@ -121,11 +122,9 @@ impl Opcode {
     pub fn rs1_class(self) -> Option<RegClass> {
         use Opcode::*;
         match self {
-            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi
-            | Ori | Xori | Slti | Slli | Srli | Srai | Mul | Div | Rem | Ld | Lw | Lb | Sd
-            | Sw | Sb | Lfd | Sfd | Beq | Bne | Blt | Bge | Jr | Jalr | Cvtif => {
-                Some(RegClass::Int)
-            }
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slti | Slli | Srli | Srai | Mul | Div | Rem | Ld | Lw | Lb | Sd | Sw | Sb
+            | Lfd | Sfd | Beq | Bne | Blt | Bge | Jr | Jalr | Cvtif => Some(RegClass::Int),
             Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fneg | Fabs | Fmin | Fmax | Feq | Flt | Fle
             | Cvtfi | Fmov => Some(RegClass::Fp),
             Lui | J | Jal | Nop | Halt => None,
@@ -136,14 +135,11 @@ impl Opcode {
     pub fn rs2_class(self) -> Option<RegClass> {
         use Opcode::*;
         match self {
-            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Div
-            | Rem | Sd | Sw | Sb | Beq | Bne | Blt | Bge => Some(RegClass::Int),
-            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Feq | Flt | Fle | Sfd => {
-                Some(RegClass::Fp)
-            }
-            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai | Lui | Ld | Lw | Lb | Lfd
-            | J | Jal | Jr | Jalr | Fsqrt | Fneg | Fabs | Cvtif | Cvtfi | Fmov | Nop
-            | Halt => None,
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Rem
+            | Sd | Sw | Sb | Beq | Bne | Blt | Bge => Some(RegClass::Int),
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Feq | Flt | Fle | Sfd => Some(RegClass::Fp),
+            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai | Lui | Ld | Lw | Lb | Lfd | J
+            | Jal | Jr | Jalr | Fsqrt | Fneg | Fabs | Cvtif | Cvtfi | Fmov | Nop | Halt => None,
         }
     }
 
@@ -153,8 +149,9 @@ impl Opcode {
         match self {
             Mul | Div | Rem => FuClass::IntMul,
             Ld | Lw | Lb | Sd | Sw | Sb | Lfd | Sfd => FuClass::Mem,
-            Fadd | Fsub | Fneg | Fabs | Fmin | Fmax | Feq | Flt | Fle | Cvtif | Cvtfi
-            | Fmov => FuClass::FpAdd,
+            Fadd | Fsub | Fneg | Fabs | Fmin | Fmax | Feq | Flt | Fle | Cvtif | Cvtfi | Fmov => {
+                FuClass::FpAdd
+            }
             Fmul | Fdiv | Fsqrt => FuClass::FpMul,
             _ => FuClass::IntAlu,
         }
@@ -165,8 +162,9 @@ impl Opcode {
         use Opcode::*;
         match self {
             Ld | Lw | Lb | Sd | Sw | Sb | Lfd | Sfd => MixClass::Mem,
-            Fadd | Fsub | Fneg | Fabs | Fmin | Fmax | Feq | Flt | Fle | Cvtif | Cvtfi
-            | Fmov => MixClass::FpAdd,
+            Fadd | Fsub | Fneg | Fabs | Fmin | Fmax | Feq | Flt | Fle | Cvtif | Cvtfi | Fmov => {
+                MixClass::FpAdd
+            }
             Fmul => MixClass::FpMul,
             Fdiv | Fsqrt => MixClass::FpDiv,
             _ => MixClass::Int,
@@ -257,7 +255,10 @@ impl Opcode {
     /// Blocking (non-pipelined) on its functional unit? Matches Table 1:
     /// "all FU operations are pipelined except for division".
     pub fn is_blocking(self) -> bool {
-        matches!(self, Opcode::Div | Opcode::Rem | Opcode::Fdiv | Opcode::Fsqrt)
+        matches!(
+            self,
+            Opcode::Div | Opcode::Rem | Opcode::Fdiv | Opcode::Fsqrt
+        )
     }
 }
 

@@ -74,7 +74,8 @@ impl Program {
         if pc < TEXT_BASE || (pc - TEXT_BASE) % INST_BYTES as u64 != 0 {
             return None;
         }
-        self.insts.get(((pc - TEXT_BASE) / INST_BYTES as u64) as usize)
+        self.insts
+            .get(((pc - TEXT_BASE) / INST_BYTES as u64) as usize)
     }
 
     /// The PC of the instruction at static index `index`.
@@ -351,7 +352,13 @@ impl ProgramBuilder {
 
     /// Emits `sfd fsrc, offset(base)` (FP store).
     pub fn sfd(&mut self, fsrc: FpReg, base: IntReg, offset: i32) -> &mut Self {
-        self.inst(Inst::new(Opcode::Sfd, 0, base.index(), fsrc.index(), offset))
+        self.inst(Inst::new(
+            Opcode::Sfd,
+            0,
+            base.index(),
+            fsrc.index(),
+            offset,
+        ))
     }
 
     branches! { beq => Beq, bne => Bne, blt => Blt, bge => Bge }
@@ -389,17 +396,35 @@ impl ProgramBuilder {
 
     /// Emits `feq rd, fs1, fs2` (int result).
     pub fn feq(&mut self, rd: IntReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
-        self.inst(Inst::new(Opcode::Feq, rd.index(), fs1.index(), fs2.index(), 0))
+        self.inst(Inst::new(
+            Opcode::Feq,
+            rd.index(),
+            fs1.index(),
+            fs2.index(),
+            0,
+        ))
     }
 
     /// Emits `flt rd, fs1, fs2` (int result).
     pub fn flt(&mut self, rd: IntReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
-        self.inst(Inst::new(Opcode::Flt, rd.index(), fs1.index(), fs2.index(), 0))
+        self.inst(Inst::new(
+            Opcode::Flt,
+            rd.index(),
+            fs1.index(),
+            fs2.index(),
+            0,
+        ))
     }
 
     /// Emits `fle rd, fs1, fs2` (int result).
     pub fn fle(&mut self, rd: IntReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
-        self.inst(Inst::new(Opcode::Fle, rd.index(), fs1.index(), fs2.index(), 0))
+        self.inst(Inst::new(
+            Opcode::Fle,
+            rd.index(),
+            fs1.index(),
+            fs2.index(),
+            0,
+        ))
     }
 
     /// Emits `cvtif fd, rs` (integer to FP).
@@ -513,7 +538,10 @@ mod tests {
         b.label("x");
         b.nop();
         b.label("x");
-        assert_eq!(b.build().unwrap_err(), BuildError::DuplicateLabel("x".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

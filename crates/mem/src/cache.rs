@@ -24,12 +24,27 @@ impl CacheConfig {
     /// Panics if any parameter is zero, `line_bytes` is not a power of two,
     /// or the capacity is not divisible into an integral number of sets.
     pub fn new(name: &str, size_bytes: usize, assoc: usize, line_bytes: usize) -> Self {
-        assert!(size_bytes > 0 && assoc > 0 && line_bytes > 0, "zero cache parameter");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes > 0 && assoc > 0 && line_bytes > 0,
+            "zero cache parameter"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = size_bytes / line_bytes;
-        assert!(lines * line_bytes == size_bytes, "capacity not a multiple of line size");
-        assert!(lines % assoc == 0, "line count not divisible by associativity");
-        assert!((lines / assoc).is_power_of_two(), "set count must be a power of two");
+        assert!(
+            lines * line_bytes == size_bytes,
+            "capacity not a multiple of line size"
+        );
+        assert!(
+            lines % assoc == 0,
+            "line count not divisible by associativity"
+        );
+        assert!(
+            (lines / assoc).is_power_of_two(),
+            "set count must be a power of two"
+        );
         Self {
             name: name.to_string(),
             size_bytes,
@@ -141,7 +156,10 @@ impl Cache {
 
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.offset_bits;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Performs one access; allocates on miss (write-allocate) and marks the

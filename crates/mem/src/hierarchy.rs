@@ -172,7 +172,10 @@ impl Hierarchy {
             }
         } else {
             AccessResult {
-                latency: self.latency.l1_hit + self.latency.l2_hit + self.latency.memory + tlb_extra,
+                latency: self.latency.l1_hit
+                    + self.latency.l2_hit
+                    + self.latency.memory
+                    + tlb_extra,
                 l1_hit: false,
                 l2_hit: false,
             }

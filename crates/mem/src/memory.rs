@@ -50,7 +50,10 @@ impl SparseMemory {
     }
 
     fn page_index(addr: u64) -> (u64, usize) {
-        (addr / PAGE_BYTES as u64, (addr % PAGE_BYTES as u64) as usize)
+        (
+            addr / PAGE_BYTES as u64,
+            (addr % PAGE_BYTES as u64) as usize,
+        )
     }
 
     /// Reads one byte; unmapped locations read as zero.

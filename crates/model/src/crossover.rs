@@ -46,11 +46,7 @@ impl std::error::Error for CrossoverError {}
 /// // (thousands of faults per million instructions).
 /// assert!(f > 1e-3);
 /// ```
-pub fn crossover_frequency(
-    ipc_ff_r2: f64,
-    ipc_ff_r3: f64,
-    w: f64,
-) -> Result<f64, CrossoverError> {
+pub fn crossover_frequency(ipc_ff_r2: f64, ipc_ff_r3: f64, w: f64) -> Result<f64, CrossoverError> {
     let gap = |f: f64| {
         ipc_with_faults(ipc_ff_r2, 2, f, w) - ipc_with_faults_majority(ipc_ff_r3, 3, 2, f, w)
     };

@@ -34,9 +34,7 @@ impl RecoveryDesign {
     /// fully saturated, so `IPC_ff = 1 / R`).
     pub fn normalized_ipc_ff(self) -> f64 {
         match self {
-            RecoveryDesign::Rewind { r } | RecoveryDesign::Majority { r, .. } => {
-                1.0 / f64::from(r)
-            }
+            RecoveryDesign::Rewind { r } | RecoveryDesign::Majority { r, .. } => 1.0 / f64::from(r),
         }
     }
 
@@ -131,7 +129,7 @@ mod tests {
         };
         assert!(at(r2, 1e-5) > 0.49); // 1/f = 1e5 >> W·100
         assert!(at(r2, 1e-1) < 0.2); // deep in the degraded region
-        // Majority curve stays flat where the rewind curves have dropped.
+                                     // Majority curve stays flat where the rewind curves have dropped.
         assert!(at(r3m, 1e-3) > at(r3, 1e-3));
     }
 
@@ -163,8 +161,7 @@ mod tests {
     fn normalized_ipc_ff() {
         assert_eq!(RecoveryDesign::Rewind { r: 2 }.normalized_ipc_ff(), 0.5);
         assert!(
-            (RecoveryDesign::Majority { r: 3, threshold: 2 }.normalized_ipc_ff() - 1.0 / 3.0)
-                .abs()
+            (RecoveryDesign::Majority { r: 3, threshold: 2 }.normalized_ipc_ff() - 1.0 / 3.0).abs()
                 < 1e-15
         );
     }

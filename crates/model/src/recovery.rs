@@ -125,8 +125,14 @@ fn validate(ipc_ff: f64, f: f64, w: f64) {
         ipc_ff >= 0.0 && ipc_ff.is_finite(),
         "error-free IPC must be non-negative"
     );
-    assert!((0.0..=1.0).contains(&f), "fault frequency is per instruction");
-    assert!(w >= 0.0 && w.is_finite(), "rewind penalty must be non-negative");
+    assert!(
+        (0.0..=1.0).contains(&f),
+        "fault frequency is per instruction"
+    );
+    assert!(
+        w >= 0.0 && w.is_finite(),
+        "rewind penalty must be non-negative"
+    );
 }
 
 #[cfg(test)]

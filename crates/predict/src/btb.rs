@@ -13,7 +13,10 @@ pub struct BtbConfig {
 
 impl Default for BtbConfig {
     fn default() -> Self {
-        Self { sets: 512, assoc: 4 }
+        Self {
+            sets: 512,
+            assoc: 4,
+        }
     }
 }
 
@@ -83,10 +86,7 @@ impl Btb {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(pc);
         let tick = self.tick;
-        if let Some(e) = self.sets[set]
-            .iter_mut()
-            .find(|e| e.valid && e.tag == tag)
-        {
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.valid && e.tag == tag) {
             e.lru = tick;
             self.hits += 1;
             Some(e.target)

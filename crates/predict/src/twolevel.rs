@@ -206,7 +206,10 @@ mod tests {
     #[test]
     fn table1_default_geometry() {
         let c = TwoLevelConfig::default();
-        assert_eq!((c.l1_entries, c.hist_bits, c.l2_entries, c.xor), (2, 10, 1024, true));
+        assert_eq!(
+            (c.l1_entries, c.hist_bits, c.l2_entries, c.xor),
+            (2, 10, 1024, true)
+        );
     }
 
     #[test]

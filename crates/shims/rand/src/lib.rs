@@ -1,0 +1,225 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no registry access, so this crate provides —
+//! under the upstream module paths (`rand::rngs::SmallRng`, `rand::Rng`,
+//! `rand::SeedableRng`) — exactly the API surface the `ftsim` workspace
+//! uses:
+//!
+//! * [`rngs::SmallRng`] seeded via [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen`] for `u64`, `u32`, `f64` and `bool`;
+//! * [`Rng::gen_range`] over half-open integer ranges.
+//!
+//! The generator is xoshiro256++ with SplitMix64 seed expansion (the same
+//! family upstream `SmallRng` uses on 64-bit targets). Streams are
+//! deterministic per seed, which is all the simulator requires; this is
+//! **not** a cryptographic generator.
+
+/// Seeding interface: the subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface: the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The generator's native 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of `T` from the "standard" distribution:
+    /// full-range integers, `f64` uniform in `[0, 1)`, fair `bool`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: UniformInt>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types samplable by [`Rng::gen_range`].
+pub trait UniformInt: Sized {
+    /// Draws uniformly from `range`.
+    fn sample_range<R: Rng>(rng: &mut R, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: core::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: core::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                (range.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Small, fast generators (upstream: `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — the small-footprint generator family upstream
+    /// `SmallRng` uses on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let stream = |seed| {
+            let mut r = SmallRng::seed_from_u64(seed);
+            (0..32).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(stream(7), stream(7));
+        assert_ne!(stream(7), stream(8));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(0..4u32);
+            assert!(x < 4);
+            let y = r.gen_range(-64i32..64);
+            assert!((-64..64).contains(&y));
+            let z = r.gen_range(5usize..6);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let _ = r.gen_range(3..3u32);
+    }
+}

@@ -1,0 +1,214 @@
+//! RFC-4180-style CSV writing and parsing.
+//!
+//! The experiment harness exports run records as CSV without external
+//! dependencies; this module provides quoting-aware escaping, row
+//! joining, and a parser that inverts them exactly (so record → CSV →
+//! record round trips are testable).
+
+/// Quotes a single cell when it contains a comma, quote or newline.
+pub fn escape(cell: &str) -> String {
+    if cell.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Joins cells into one CSV row (no trailing newline).
+pub fn join_row<I, S>(cells: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    cells
+        .into_iter()
+        .map(|c| escape(c.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// CSV parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses a CSV document into rows of cells, honouring quoted cells
+/// (including embedded newlines, commas and doubled quotes).
+///
+/// # Errors
+///
+/// [`CsvError`] on an unterminated quoted cell or a stray quote.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    // Whether the current (possibly empty) cell has been started; used to
+    // avoid emitting a phantom row for a trailing newline.
+    let mut in_row = false;
+
+    while let Some(c) = chars.next() {
+        match c {
+            // A quote starts a quoted cell only at the very beginning of
+            // the cell.
+            '"' if cell.is_empty() => {
+                // Quoted cell: consume until the closing quote.
+                in_row = true;
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(CsvError {
+                                line,
+                                message: "unterminated quoted cell".to_string(),
+                            })
+                        }
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                cell.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            cell.push(c);
+                        }
+                    }
+                }
+                // RFC 4180: a closing quote must be followed by a
+                // delimiter or end the document; silently merging
+                // trailing characters would hide corruption.
+                if !matches!(chars.peek(), None | Some(',' | '\n' | '\r')) {
+                    return Err(CsvError {
+                        line,
+                        message: "unexpected character after closing quote".to_string(),
+                    });
+                }
+            }
+            '"' => {
+                return Err(CsvError {
+                    line,
+                    message: "quote inside unquoted cell".to_string(),
+                })
+            }
+            ',' => {
+                in_row = true;
+                row.push(std::mem::take(&mut cell));
+            }
+            '\r' => {
+                // Swallow the CR of a CRLF; a bare CR ends the row too.
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                line += 1;
+                row.push(std::mem::take(&mut cell));
+                rows.push(std::mem::take(&mut row));
+                in_row = false;
+            }
+            '\n' => {
+                line += 1;
+                row.push(std::mem::take(&mut cell));
+                rows.push(std::mem::take(&mut row));
+                in_row = false;
+            }
+            c => {
+                in_row = true;
+                cell.push(c);
+            }
+        }
+    }
+    if in_row || !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_cells_untouched() {
+        assert_eq!(escape("gcc"), "gcc");
+        assert_eq!(join_row(["a", "b", "c"]), "a,b,c");
+    }
+
+    #[test]
+    fn special_cells_quoted() {
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn parse_inverts_join() {
+        let cells = vec![
+            "plain".to_string(),
+            "with,comma".to_string(),
+            "with \"quotes\"".to_string(),
+            "multi\nline".to_string(),
+            String::new(),
+        ];
+        let row = join_row(&cells);
+        let parsed = parse(&row).unwrap();
+        assert_eq!(parsed, vec![cells]);
+    }
+
+    #[test]
+    fn multiple_rows_and_trailing_newline() {
+        let text = "a,b\nc,d\n";
+        assert_eq!(
+            parse(text).unwrap(),
+            vec![
+                vec!["a".to_string(), "b".to_string()],
+                vec!["c".to_string(), "d".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn crlf_rows() {
+        let text = "a,b\r\nc,d\r\n";
+        assert_eq!(parse(text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_cells_preserved() {
+        assert_eq!(
+            parse("a,,c\n").unwrap(),
+            vec![vec!["a".to_string(), String::new(), "c".to_string()]]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("\"unterminated").is_err());
+        let err = parse("bad\"quote\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        // Trailing characters after a closing quote are corruption, not
+        // cell content.
+        assert!(parse("\"SS-2\"x,1\n").is_err());
+    }
+
+    #[test]
+    fn empty_document() {
+        assert_eq!(parse("").unwrap(), Vec::<Vec<String>>::new());
+    }
+}

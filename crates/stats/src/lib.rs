@@ -10,7 +10,9 @@
 //! * [`Table`] — aligned text / CSV / Markdown table rendering, used to print
 //!   the paper's tables exactly as rows;
 //! * [`Series`] and [`AsciiPlot`] — (x, y) series with a logarithmic-x ASCII
-//!   plot, used to print the paper's figures as curves in a terminal.
+//!   plot, used to print the paper's figures as curves in a terminal;
+//! * [`json`] and [`csv`] — dependency-free writers *and* parsers used by
+//!   the experiment harness to serialize run records round-trippably.
 //!
 //! # Examples
 //!
@@ -24,13 +26,16 @@
 //! ```
 
 mod counter;
+pub mod csv;
 mod histogram;
+pub mod json;
 mod plot;
 mod series;
 mod table;
 
 pub use counter::{Counter, Ratio};
 pub use histogram::Histogram;
+pub use json::{JsonError, JsonValue};
 pub use plot::AsciiPlot;
 pub use series::{log_space, Series};
 pub use table::{Align, Table};

@@ -113,11 +113,7 @@ impl AsciiPlot {
             out.extend(row.iter());
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{:>8} +{}\n",
-            "",
-            "-".repeat(self.width)
-        ));
+        out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(self.width)));
         out.push_str(&format!(
             "{:>10}1e{:<8.1}{}1e{:.1}\n",
             "",
@@ -126,11 +122,7 @@ impl AsciiPlot {
             lx1
         ));
         for (si, s) in self.series.iter().enumerate() {
-            out.push_str(&format!(
-                "  {} {}\n",
-                MARKS[si % MARKS.len()],
-                s.name()
-            ));
+            out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], s.name()));
         }
         out
     }

@@ -149,12 +149,13 @@ impl Table {
         out
     }
 
-    /// Renders the table as CSV (no quoting; cells must not contain commas).
+    /// Renders the table as CSV, quoting cells that need it (commas,
+    /// quotes, newlines) per RFC 4180.
     pub fn to_csv(&self) -> String {
-        let mut out = self.headers.join(",");
+        let mut out = crate::csv::join_row(&self.headers);
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&crate::csv::join_row(row));
             out.push('\n');
         }
         out

@@ -334,7 +334,11 @@ pub(crate) fn generate(profile: &WorkloadProfile, iterations: u32) -> (Program, 
     b.lfd(FP_ADD_CONST, scratch, 0);
     b.lfd(FP_MUL_CONST, scratch, 8);
     for i in 0..profile.fp_chains.max(1) {
-        b.lfd(FpReg::new(FIRST_FP_CHAIN + i as u8), scratch, 16 + i as i32 * 8);
+        b.lfd(
+            FpReg::new(FIRST_FP_CHAIN + i as u8),
+            scratch,
+            16 + i as i32 * 8,
+        );
     }
     for i in 0..4 {
         b.lfd(FpReg::new(FIRST_FP_TMP + i), scratch, 16 + i as i32 * 8);
@@ -411,7 +415,13 @@ mod tests {
         for p in spec_profiles() {
             let (_, report) = p.program_with_report(2);
             let names = ["mem", "int", "fp_add", "fp_mul", "fp_div"];
-            let targets = [p.mix.mem, p.mix.int, p.mix.fp_add, p.mix.fp_mul, p.mix.fp_div];
+            let targets = [
+                p.mix.mem,
+                p.mix.int,
+                p.mix.fp_add,
+                p.mix.fp_mul,
+                p.mix.fp_div,
+            ];
             for i in 0..5 {
                 let got = report.fraction(i);
                 assert!(

@@ -127,7 +127,9 @@ pub fn pointer_chase(nodes: u32, steps: u32) -> Program {
     let mut order: Vec<u32> = (0..nodes).collect();
     let mut state = 0x9e37_79b9u64;
     for i in (1..nodes as usize).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         order.swap(i, j);
     }

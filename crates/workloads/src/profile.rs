@@ -316,8 +316,8 @@ mod tests {
         assert_eq!(
             names,
             [
-                "gcc", "vortex", "go", "bzip", "ijpeg", "vpr", "equake", "ammp", "fpppp",
-                "swim", "art"
+                "gcc", "vortex", "go", "bzip", "ijpeg", "vpr", "equake", "ammp", "fpppp", "swim",
+                "art"
             ]
         );
     }

@@ -1,12 +1,14 @@
-//! Design space: sweep the degree of redundancy R and compare the
-//! simulated throughput cost of reliability against the paper's
-//! analytical model (§4).
+//! Design space: sweep the degree of redundancy R with one declarative
+//! [`Experiment::grid`] — 11 workloads × 4 machine models, run across all
+//! cores — and compare the simulated throughput cost of reliability
+//! against the paper's analytical model (§4).
 //!
 //! ```bash
 //! cargo run --release --example design_space
 //! ```
 
-use ftsim::core::{MachineConfig, OracleMode, RedundancyConfig, RunLimits, Simulator};
+use ftsim::core::{MachineConfig, RedundancyConfig};
+use ftsim::harness::{expect_record, Experiment};
 use ftsim::model::steady_state_ipc;
 use ftsim::stats::{fmt_f, Table};
 use ftsim::workloads::spec_profiles;
@@ -15,27 +17,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = 30_000u64;
     println!("throughput cost of redundancy, simulated vs first-order model\n");
 
-    let mut table = Table::new([
-        "bench", "IPC R=1", "R=2", "R=3", "R=4", "model R=2", "model R=3", "model R=4",
-    ]);
-    table.numeric();
-
-    for p in spec_profiles() {
-        let program = p.program_for_instructions(budget);
-        let mut ipcs = Vec::new();
-        for r in 1..=4u8 {
-            let config = MachineConfig::ss1()
+    let models: Vec<MachineConfig> = (1..=4u8)
+        .map(|r| {
+            MachineConfig::ss1()
                 .with_redundancy(if r == 1 {
                     RedundancyConfig::none()
                 } else {
                     RedundancyConfig::rewind(r)
                 })
-                .named(&format!("SS-{r}"));
-            let result = Simulator::new(config, &program)
-                .oracle(OracleMode::Off)
-                .run_with_limits(RunLimits::instructions(budget))?;
-            ipcs.push(result.ipc);
-        }
+                .named(&format!("SS-{r}"))
+        })
+        .collect();
+
+    let records = Experiment::grid()
+        .workloads(spec_profiles())
+        .models(models)
+        .budget(budget)
+        .run()?;
+
+    let mut table = Table::new([
+        "bench",
+        "IPC R=1",
+        "R=2",
+        "R=3",
+        "R=4",
+        "model R=2",
+        "model R=3",
+        "model R=4",
+    ]);
+    table.numeric();
+
+    for p in spec_profiles() {
+        let ipcs: Vec<f64> = (1..=4u8)
+            .map(|r| expect_record(&records, p.name, &format!("SS-{r}")).ipc)
+            .collect();
         // First-order model: B is the effective bottleneck revealed by the
         // R=2 measurement (the paper estimates it from FU counts; here we
         // back-solve so the comparison shows the min(IPC1, B/R) *shape*).

@@ -1,6 +1,7 @@
 //! Fault storm: bombard the fault-tolerant superscalar with transient
-//! faults and watch detection, recovery and (at R = 3) majority election
-//! keep the architectural state exact.
+//! faults — injector, oracle mode and machine model all declared on the
+//! simulator builder — and watch detection, recovery and (at R = 3)
+//! majority election keep the architectural state exact.
 //!
 //! ```bash
 //! cargo run --release --example fault_storm [faults_per_million]
@@ -29,15 +30,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MachineConfig::ss3_majority(),
     ] {
         let name = config.name.clone();
-        let injector = FaultInjector::random(per_million(rate), 0xf00d);
-        let result = Simulator::with_injector(config, &program, injector)
+        let result = Simulator::builder()
+            .config(config)
+            .program(&program)
+            .injector(FaultInjector::random(per_million(rate), 0xf00d))
             .oracle(OracleMode::Final)
             .run()?;
         let f = result.faults;
         println!("== {name} ==");
         println!("  IPC {:.3} over {} cycles", result.ipc, result.cycles);
         println!("  faults injected:          {}", f.injected);
-        println!("  detected at commit:       {} (full rewind each)", f.detected);
+        println!(
+            "  detected at commit:       {} (full rewind each)",
+            f.detected
+        );
         println!("  out-voted by majority:    {}", f.outvoted);
         println!("  squashed on wrong path:   {}", f.squashed_wrong_path);
         println!("  flushed by other rewinds: {}", f.squashed_by_rewind);
@@ -50,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             result.stats.rewind_penalty_max
         );
         println!("  final state == in-order oracle \u{2713}\n");
-        assert_eq!(f.escaped, 0, "no fault may escape the sphere of replication");
+        assert_eq!(
+            f.escaped, 0,
+            "no fault may escape the sphere of replication"
+        );
     }
 
     println!(

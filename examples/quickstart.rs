@@ -1,6 +1,6 @@
-//! Quickstart: assemble a small program, run it on the plain superscalar
-//! (SS-1) and on the fault-tolerant 2-way redundant configuration (SS-2),
-//! and compare.
+//! Quickstart: assemble a small program, run it through the simulator
+//! builder on the plain superscalar (SS-1) and on the fault-tolerant
+//! 2-way redundant configuration (SS-2), and compare.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for config in [MachineConfig::ss1(), MachineConfig::ss2()] {
         let name = config.name.clone();
         let r = config.redundancy.r;
-        let result = Simulator::new(config, &program).run()?;
+        let result = Simulator::builder()
+            .config(config)
+            .program(&program)
+            .run()?;
         println!("== {name} (R = {r}) ==");
         println!(
             "  {} instructions in {} cycles -> IPC {:.3}",

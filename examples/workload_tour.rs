@@ -1,6 +1,6 @@
 //! Workload tour: print the 11 synthetic SPEC stand-ins with their
 //! Table 2 mixes and behavioural knobs, then run the three hand-written
-//! kernels on the fault-tolerant machine.
+//! kernels on the fault-tolerant machine via the simulator builder.
 //!
 //! ```bash
 //! cargo run --release --example workload_tour
@@ -13,7 +13,15 @@ use ftsim::workloads::{dot_product, fibonacci, pointer_chase, spec_profiles};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("The 11 benchmarks of the paper's Table 2, as synthetic profiles:\n");
     let mut t = Table::new([
-        "bench", "suite", "mem", "int", "fpadd", "fpmul", "fpdiv", "ILP chains", "branches",
+        "bench",
+        "suite",
+        "mem",
+        "int",
+        "fpadd",
+        "fpmul",
+        "fpdiv",
+        "ILP chains",
+        "branches",
         "working set",
     ]);
     t.numeric();
@@ -51,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "dependent loads (memory latency exposed)",
         ),
     ] {
-        let result = Simulator::new(MachineConfig::ss2(), &program).run()?;
+        let result = Simulator::builder()
+            .config(MachineConfig::ss2())
+            .program(&program)
+            .run()?;
         println!(
             "  {name:<26} {what:<48} IPC {:.3} ({} insts, {} cycles)",
             result.ipc, result.retired_instructions, result.cycles

@@ -1,0 +1,591 @@
+//! Declarative sweep grids and the parallel cell runner.
+
+use crate::harness::record::RunRecord;
+use ftsim_core::{ConfigError, MachineConfig, OracleMode, RunLimits, Simulator};
+use ftsim_faults::{per_million, FaultInjector};
+use ftsim_isa::Program;
+use ftsim_workloads::WorkloadProfile;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default committed-instruction budget per cell (the experiments'
+/// standard sample size; the paper simulates 1 B instructions, whose
+/// steady-state shape is stable well below that).
+pub const DEFAULT_BUDGET: u64 = 60_000;
+
+/// One workload axis entry: a calibrated benchmark profile or an ad-hoc
+/// named program.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// A Table 2-calibrated synthetic benchmark.
+    Profile(WorkloadProfile),
+    /// A fixed program under a display name (budget still limits the run,
+    /// but the program is used as-is).
+    Program {
+        /// Display name for records.
+        name: String,
+        /// The program to run.
+        program: Program,
+    },
+}
+
+impl Workload {
+    /// Display name for records.
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Profile(p) => p.name,
+            Workload::Program { name, .. } => name,
+        }
+    }
+
+    /// Suite label for records (empty for ad-hoc programs).
+    pub fn suite(&self) -> &str {
+        match self {
+            Workload::Profile(p) => p.suite,
+            Workload::Program { .. } => "",
+        }
+    }
+
+    /// The program to simulate for a given instruction budget.
+    fn program_for(&self, budget: u64) -> Program {
+        match self {
+            Workload::Profile(p) => p.program_for_instructions(budget),
+            Workload::Program { program, .. } => program.clone(),
+        }
+    }
+}
+
+impl From<WorkloadProfile> for Workload {
+    fn from(p: WorkloadProfile) -> Self {
+        Workload::Profile(p)
+    }
+}
+
+impl From<(&str, Program)> for Workload {
+    fn from((name, program): (&str, Program)) -> Self {
+        Workload::Program {
+            name: name.to_string(),
+            program,
+        }
+    }
+}
+
+/// Grid misconfiguration, reported by [`Experiment::run`] before any cell
+/// simulates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// The workload axis is empty.
+    NoWorkloads,
+    /// The model axis is empty.
+    NoModels,
+    /// An axis that must be non-empty was set to nothing.
+    EmptyAxis {
+        /// Which axis (`"budgets"`, `"seeds"`, `"fault_rates"`).
+        axis: &'static str,
+    },
+    /// A machine model fails validation.
+    InvalidModel {
+        /// The model's display name.
+        model: String,
+        /// The violated invariant.
+        source: ConfigError,
+    },
+    /// A fault rate outside `[0, 1e6]` faults per million instructions.
+    InvalidFaultRate(f64),
+    /// A zero instruction budget.
+    ZeroBudget,
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::NoWorkloads => write!(f, "experiment has no workloads"),
+            ExperimentError::NoModels => write!(f, "experiment has no machine models"),
+            ExperimentError::EmptyAxis { axis } => {
+                write!(f, "experiment axis `{axis}` was set to an empty list")
+            }
+            ExperimentError::InvalidModel { model, source } => {
+                write!(f, "invalid machine model `{model}`: {source}")
+            }
+            ExperimentError::InvalidFaultRate(rate) => write!(
+                f,
+                "fault rate {rate} per million instructions is not in [0, 1e6]"
+            ),
+            ExperimentError::ZeroBudget => write!(f, "instruction budget must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::InvalidModel { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A declarative experiment grid: workloads × models × fault rates ×
+/// budgets × seeds, executed cell-by-cell on a thread pool.
+///
+/// Cells are enumerated with the workload as the outermost axis and the
+/// seed as the innermost, and the result vector always comes back in that
+/// order regardless of how many worker threads ran it — the records of a
+/// parallel run are byte-identical to a sequential one.
+///
+/// # Examples
+///
+/// A miniature of the paper's Figure 5 sweep (three machine models over
+/// benchmarks, fault-free):
+///
+/// ```
+/// use ftsim::harness::Experiment;
+/// use ftsim_core::MachineConfig;
+/// use ftsim_workloads::profile;
+///
+/// let records = Experiment::grid()
+///     .workloads([profile("go").unwrap()])
+///     .models([MachineConfig::ss1(), MachineConfig::static2(), MachineConfig::ss2()])
+///     .budget(2_000)
+///     .run()
+///     .unwrap();
+/// let names: Vec<&str> = records.iter().map(|r| r.model.as_str()).collect();
+/// assert_eq!(names, ["SS-1", "Static-2", "SS-2"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    workloads: Vec<Workload>,
+    models: Vec<MachineConfig>,
+    fault_rates_pm: Vec<f64>,
+    budgets: Vec<u64>,
+    seeds: Vec<u64>,
+    oracle: OracleMode,
+    threads: usize,
+    limits: Option<RunLimits>,
+}
+
+impl Experiment {
+    /// Starts an empty grid: no workloads or models yet, fault-free,
+    /// [`DEFAULT_BUDGET`], seed 0, oracle off, one worker per core.
+    pub fn grid() -> Self {
+        Self {
+            workloads: Vec::new(),
+            models: Vec::new(),
+            fault_rates_pm: vec![0.0],
+            budgets: vec![DEFAULT_BUDGET],
+            seeds: vec![0],
+            oracle: OracleMode::Off,
+            threads: 0,
+            limits: None,
+        }
+    }
+
+    /// Sets the workload axis (benchmark profiles and/or named programs).
+    #[must_use]
+    pub fn workloads<I, W>(mut self, workloads: I) -> Self
+    where
+        I: IntoIterator<Item = W>,
+        W: Into<Workload>,
+    {
+        self.workloads = workloads.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the machine-model axis.
+    #[must_use]
+    pub fn models<I: IntoIterator<Item = MachineConfig>>(mut self, models: I) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Sets the fault-frequency axis, in faults per million instructions
+    /// (Figure 6's x-axis unit). Default: fault-free.
+    #[must_use]
+    pub fn fault_rates<I: IntoIterator<Item = f64>>(mut self, rates_pm: I) -> Self {
+        self.fault_rates_pm = rates_pm.into_iter().collect();
+        self
+    }
+
+    /// Sets the committed-instruction budget axis. Default:
+    /// [`DEFAULT_BUDGET`].
+    #[must_use]
+    pub fn budgets<I: IntoIterator<Item = u64>>(mut self, budgets: I) -> Self {
+        self.budgets = budgets.into_iter().collect();
+        self
+    }
+
+    /// Convenience: a single-budget axis.
+    #[must_use]
+    pub fn budget(self, budget: u64) -> Self {
+        self.budgets(Some(budget))
+    }
+
+    /// Sets the fault-injector seed axis (one cell per seed — used to
+    /// retry stochastic sweeps with fresh seeds). Default: `[0]`.
+    #[must_use]
+    pub fn seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the oracle mode for every cell. Default: [`OracleMode::Off`]
+    /// (performance sweeps).
+    #[must_use]
+    pub fn oracle(mut self, oracle: OracleMode) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Caps the worker-thread count; `0` (default) uses one worker per
+    /// available core.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the per-cell cycle/watchdog limits (default: derived
+    /// from each cell's budget, with a proportionate cycle ceiling).
+    /// The instruction limit is still capped at each cell's budget, so
+    /// the budgets axis keeps meaning what the records say.
+    #[must_use]
+    pub fn limits(mut self, limits: RunLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Number of grid cells this experiment will run.
+    pub fn cells(&self) -> usize {
+        self.workloads.len()
+            * self.models.len()
+            * self.fault_rates_pm.len()
+            * self.budgets.len()
+            * self.seeds.len()
+    }
+
+    fn validate(&self) -> Result<(), ExperimentError> {
+        if self.workloads.is_empty() {
+            return Err(ExperimentError::NoWorkloads);
+        }
+        if self.models.is_empty() {
+            return Err(ExperimentError::NoModels);
+        }
+        for (axis, empty) in [
+            ("fault_rates", self.fault_rates_pm.is_empty()),
+            ("budgets", self.budgets.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+        ] {
+            if empty {
+                return Err(ExperimentError::EmptyAxis { axis });
+            }
+        }
+        for model in &self.models {
+            model
+                .validate()
+                .map_err(|source| ExperimentError::InvalidModel {
+                    model: model.name.clone(),
+                    source,
+                })?;
+        }
+        for &rate in &self.fault_rates_pm {
+            if !(0.0..=1e6).contains(&rate) || rate.is_nan() {
+                return Err(ExperimentError::InvalidFaultRate(rate));
+            }
+        }
+        if self.budgets.contains(&0) {
+            return Err(ExperimentError::ZeroBudget);
+        }
+        Ok(())
+    }
+
+    /// Validates the grid and runs every cell, fanning out across worker
+    /// threads; records come back in grid order (workload-major,
+    /// seed-minor), identical for any worker count.
+    ///
+    /// A cell whose *simulation* fails (wedged machine, cycle-budget
+    /// overrun — possible at extreme fault rates) produces a record with
+    /// [`RunRecord::ok`]` == false` rather than aborting the sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError`] when the grid itself is misconfigured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a simulator bug, not an
+    /// experiment failure).
+    pub fn run(self) -> Result<Vec<RunRecord>, ExperimentError> {
+        self.validate()?;
+
+        // Generate each distinct (workload, budget) program once, up
+        // front: cells only read them.
+        let programs: Vec<Vec<Program>> = self
+            .workloads
+            .iter()
+            .map(|w| self.budgets.iter().map(|&b| w.program_for(b)).collect())
+            .collect();
+
+        // The flattened cell list, in deterministic grid order.
+        struct Cell {
+            workload: usize,
+            budget_idx: usize,
+            model: usize,
+            rate_pm: f64,
+            budget: u64,
+            seed: u64,
+        }
+        let mut cells = Vec::with_capacity(self.cells());
+        for (wi, _) in self.workloads.iter().enumerate() {
+            for (mi, _) in self.models.iter().enumerate() {
+                for &rate_pm in &self.fault_rates_pm {
+                    for (bi, &budget) in self.budgets.iter().enumerate() {
+                        for &seed in &self.seeds {
+                            cells.push(Cell {
+                                workload: wi,
+                                budget_idx: bi,
+                                model: mi,
+                                rate_pm,
+                                budget,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(cells.len())
+        .max(1);
+
+        let run_cell = |cell: &Cell| -> RunRecord {
+            let workload = &self.workloads[cell.workload];
+            let config = self.models[cell.model].clone();
+            let record = RunRecord::identity(
+                workload.name(),
+                workload.suite(),
+                &config,
+                cell.rate_pm,
+                cell.seed,
+                cell.budget,
+            );
+            let mut builder = Simulator::builder()
+                .config(config)
+                .program(&programs[cell.workload][cell.budget_idx])
+                .oracle(self.oracle)
+                .budget(cell.budget);
+            if cell.rate_pm > 0.0 {
+                builder =
+                    builder.injector(FaultInjector::random(per_million(cell.rate_pm), cell.seed));
+            }
+            if let Some(limits) = self.limits {
+                // The override adjusts ceilings (cycles, watchdog) but must
+                // not repeal the budgets axis: each cell still stops at its
+                // budget, and its record still describes the run.
+                builder = builder.limits(RunLimits {
+                    max_instructions: limits.max_instructions.min(cell.budget),
+                    ..limits
+                });
+            }
+            match builder.run() {
+                Ok(result) => record.fill_outcome(&result),
+                Err(e) => record.fill_error(e.to_string()),
+            }
+        };
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunRecord>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(idx) else { break };
+                    let record = run_cell(cell);
+                    *slots[idx].lock().expect("slot lock") = Some(record);
+                });
+            }
+        });
+
+        Ok(slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every cell ran")
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_isa::asm;
+    use ftsim_workloads::{profile, spec_profiles};
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        assert_eq!(
+            Experiment::grid().run().unwrap_err(),
+            ExperimentError::NoWorkloads
+        );
+        assert_eq!(
+            Experiment::grid()
+                .workloads([profile("gcc").unwrap()])
+                .run()
+                .unwrap_err(),
+            ExperimentError::NoModels
+        );
+        let base = || {
+            Experiment::grid()
+                .workloads([profile("gcc").unwrap()])
+                .models([MachineConfig::ss1()])
+        };
+        assert_eq!(
+            base().budgets([]).run().unwrap_err(),
+            ExperimentError::EmptyAxis { axis: "budgets" }
+        );
+        assert_eq!(
+            base().seeds([]).run().unwrap_err(),
+            ExperimentError::EmptyAxis { axis: "seeds" }
+        );
+        assert_eq!(
+            base().fault_rates([]).run().unwrap_err(),
+            ExperimentError::EmptyAxis {
+                axis: "fault_rates"
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_models_and_rates_are_rejected() {
+        let mut bad = MachineConfig::ss2().named("bad");
+        bad.commit_width = 1;
+        let err = Experiment::grid()
+            .workloads([profile("gcc").unwrap()])
+            .models([bad])
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, ExperimentError::InvalidModel { ref model, .. } if model == "bad"),
+            "{err}"
+        );
+
+        let err = Experiment::grid()
+            .workloads([profile("gcc").unwrap()])
+            .models([MachineConfig::ss1()])
+            .fault_rates([-1.0])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::InvalidFaultRate(-1.0));
+
+        let err = Experiment::grid()
+            .workloads([profile("gcc").unwrap()])
+            .models([MachineConfig::ss1()])
+            .budget(0)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::ZeroBudget);
+    }
+
+    #[test]
+    fn grid_order_is_workload_major() {
+        let records = Experiment::grid()
+            .workloads([profile("gcc").unwrap(), profile("go").unwrap()])
+            .models([MachineConfig::ss1(), MachineConfig::ss2()])
+            .budget(1_500)
+            .run()
+            .unwrap();
+        let keys: Vec<(&str, &str)> = records
+            .iter()
+            .map(|r| (r.workload.as_str(), r.model.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                ("gcc", "SS-1"),
+                ("gcc", "SS-2"),
+                ("go", "SS-1"),
+                ("go", "SS-2"),
+            ]
+        );
+    }
+
+    #[test]
+    fn cells_counts_the_product() {
+        let e = Experiment::grid()
+            .workloads(spec_profiles())
+            .models([MachineConfig::ss1(), MachineConfig::ss2()])
+            .fault_rates([0.0, 100.0, 1_000.0])
+            .budgets([1_000, 2_000])
+            .seeds([1, 2, 3]);
+        assert_eq!(e.cells(), 11 * 2 * 3 * 2 * 3);
+    }
+
+    #[test]
+    fn ad_hoc_programs_run_as_workloads() {
+        let p = asm::assemble("addi r1, r0, 7\nmul r2, r1, r1\nhalt\n").unwrap();
+        let records = Experiment::grid()
+            .workloads([("tiny", p)])
+            .models([MachineConfig::ss2()])
+            .oracle(OracleMode::Final)
+            .run()
+            .unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].ok(), "{}", records[0].error);
+        assert_eq!(records[0].workload, "tiny");
+        assert_eq!(records[0].suite, "");
+        assert!(records[0].halted);
+        assert_eq!(records[0].retired_instructions, 3);
+    }
+
+    #[test]
+    fn limits_override_keeps_the_budget_axis_meaningful() {
+        // A blanket limits() override must not repeal per-cell budgets:
+        // the cell still stops near its budget, as its record claims. The
+        // program runs ~9000 instructions to halt, far past the budget.
+        let long_loop = asm::assemble(
+            "addi r1, r0, 3000\nloop:\naddi r2, r2, 1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+        )
+        .unwrap();
+        let records = Experiment::grid()
+            .workloads([("long_loop", long_loop)])
+            .models([MachineConfig::ss1()])
+            .budget(1_000)
+            .limits(RunLimits::default())
+            .run()
+            .unwrap();
+        let r = &records[0];
+        assert!(r.ok(), "{}", r.error);
+        assert_eq!(r.budget, 1_000);
+        assert!(!r.halted, "budget should stop the run before halt");
+        assert!(
+            r.retired_instructions >= 1_000 && r.retired_instructions < 2_000,
+            "budget ignored: retired {}",
+            r.retired_instructions
+        );
+    }
+
+    #[test]
+    fn fault_cells_record_fates() {
+        let records = Experiment::grid()
+            .workloads([profile("equake").unwrap()])
+            .models([MachineConfig::ss2()])
+            .fault_rates([5_000.0])
+            .budget(2_000)
+            .seeds([7])
+            .oracle(OracleMode::Final)
+            .run()
+            .unwrap();
+        let r = &records[0];
+        assert!(r.ok(), "{}", r.error);
+        assert!(r.faults_injected > 0);
+        assert_eq!(r.faults_escaped, 0);
+        assert_eq!(r.fault_rate_pm, 5_000.0);
+        assert_eq!(r.seed, 7);
+    }
+}

@@ -1,0 +1,606 @@
+//! The flat, serializable result of one experiment cell.
+
+use ftsim_core::{MachineConfig, SimResult};
+use ftsim_isa::MixClass;
+use ftsim_stats::{csv, JsonValue};
+use std::fmt;
+
+/// Record (de)serialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordError {
+    /// The CSV header row does not match [`RunRecord::csv_header`].
+    HeaderMismatch {
+        /// The offending header row.
+        found: String,
+    },
+    /// A row has the wrong number of cells.
+    WrongWidth {
+        /// Cells found.
+        found: usize,
+        /// Cells expected.
+        expected: usize,
+    },
+    /// A cell or JSON field failed to convert.
+    BadField {
+        /// Field name.
+        field: &'static str,
+        /// Conversion failure message.
+        message: String,
+    },
+    /// The JSON document has the wrong shape.
+    BadDocument(String),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::HeaderMismatch { found } => {
+                write!(f, "CSV header mismatch: got `{found}`")
+            }
+            RecordError::WrongWidth { found, expected } => {
+                write!(f, "row has {found} cells, expected {expected}")
+            }
+            RecordError::BadField { field, message } => {
+                write!(f, "field `{field}`: {message}")
+            }
+            RecordError::BadDocument(msg) => write!(f, "bad document: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// A field that can cross the CSV/JSON boundary losslessly.
+trait Field: Sized {
+    fn to_cell(&self) -> String;
+    fn from_cell(cell: &str) -> Result<Self, String>;
+    fn to_json(&self) -> JsonValue;
+    fn from_json(v: &JsonValue) -> Result<Self, String>;
+}
+
+impl Field for String {
+    fn to_cell(&self) -> String {
+        self.clone()
+    }
+    fn from_cell(cell: &str) -> Result<Self, String> {
+        Ok(cell.to_string())
+    }
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v}"))
+    }
+}
+
+impl Field for bool {
+    fn to_cell(&self) -> String {
+        self.to_string()
+    }
+    fn from_cell(cell: &str) -> Result<Self, String> {
+        cell.parse().map_err(|_| format!("bad bool `{cell}`"))
+    }
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, got {v}"))
+    }
+}
+
+impl Field for u8 {
+    fn to_cell(&self) -> String {
+        self.to_string()
+    }
+    fn from_cell(cell: &str) -> Result<Self, String> {
+        cell.parse().map_err(|_| format!("bad u8 `{cell}`"))
+    }
+    fn to_json(&self) -> JsonValue {
+        JsonValue::U64(u64::from(*self))
+    }
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        v.as_u64()
+            .and_then(|x| u8::try_from(x).ok())
+            .ok_or_else(|| format!("expected u8, got {v}"))
+    }
+}
+
+impl Field for u64 {
+    fn to_cell(&self) -> String {
+        self.to_string()
+    }
+    fn from_cell(cell: &str) -> Result<Self, String> {
+        cell.parse().map_err(|_| format!("bad u64 `{cell}`"))
+    }
+    fn to_json(&self) -> JsonValue {
+        JsonValue::U64(*self)
+    }
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        v.as_u64().ok_or_else(|| format!("expected u64, got {v}"))
+    }
+}
+
+impl Field for f64 {
+    fn to_cell(&self) -> String {
+        // Shortest representation that parses back to identical bits.
+        format!("{self}")
+    }
+    fn from_cell(cell: &str) -> Result<Self, String> {
+        cell.parse().map_err(|_| format!("bad f64 `{cell}`"))
+    }
+    fn to_json(&self) -> JsonValue {
+        JsonValue::F64(*self)
+    }
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        // The writer renders non-finite floats as `null` (JSON has no
+        // NaN/inf literal); accept it back so round trips never fail.
+        if matches!(v, JsonValue::Null) {
+            return Ok(f64::NAN);
+        }
+        v.as_f64()
+            .ok_or_else(|| format!("expected number, got {v}"))
+    }
+}
+
+/// One experiment cell's complete result as a flat row.
+///
+/// Every field is a scalar so records export losslessly to CSV and JSON
+/// and parse back; [`PartialEq`] compares bit-exactly (floats are
+/// serialized with shortest-round-trip formatting).
+///
+/// A failed cell (machine wedged, cycle budget overrun — legitimately
+/// possible at extreme fault rates, §2.2) is still a record: [`RunRecord::ok`]
+/// is `false`, [`RunRecord::error`] carries the message, and the
+/// performance fields are zero.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunRecord {
+    /// Workload (benchmark) name.
+    pub workload: String,
+    /// Workload suite (e.g. `SPEC95 INT`), empty for ad-hoc programs.
+    pub suite: String,
+    /// Machine model name (e.g. `SS-2`).
+    pub model: String,
+    /// Redundancy degree `R`.
+    pub r: u8,
+    /// Whether commit-time disagreements are resolved by majority election.
+    pub majority: bool,
+    /// Copies that must agree for acceptance.
+    pub threshold: u8,
+    /// Injected fault rate in faults per million instructions.
+    pub fault_rate_pm: f64,
+    /// Fault-injector seed for this cell.
+    pub seed: u64,
+    /// Committed-instruction budget for this cell.
+    pub budget: u64,
+    /// Error message for a failed cell; empty on success.
+    pub error: String,
+    /// Whether `halt` committed (false when the budget stopped the run).
+    pub halted: bool,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Committed architectural instructions.
+    pub retired_instructions: u64,
+    /// Committed architectural instructions per cycle.
+    pub ipc: f64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub branch_mispredicts: u64,
+    /// Branch-rewind (selective squash) events.
+    pub branch_rewinds: u64,
+    /// Full rewinds triggered by commit-stage fault detection.
+    pub fault_rewinds: u64,
+    /// Full rewinds triggered by the committed-PC control-flow check.
+    pub pc_check_rewinds: u64,
+    /// Majority elections that out-voted a corrupted copy.
+    pub majority_elections: u64,
+    /// Mean observed full-rewind penalty in cycles (the paper's `W`).
+    pub mean_rewind_penalty: f64,
+    /// Maximum observed single-rewind penalty in cycles.
+    pub rewind_penalty_max: u64,
+    /// Faults injected.
+    pub faults_injected: u64,
+    /// Faults detected at commit.
+    pub faults_detected: u64,
+    /// Faults out-voted by majority election.
+    pub faults_outvoted: u64,
+    /// Faults architecturally masked.
+    pub faults_masked: u64,
+    /// Faults squashed on the wrong path.
+    pub faults_squashed_wrong_path: u64,
+    /// Faults flushed by an unrelated rewind.
+    pub faults_squashed_by_rewind: u64,
+    /// Faults that escaped to committed state.
+    pub faults_escaped: u64,
+    /// Faults still unresolved at run end (0 for a drained run).
+    pub faults_pending: u64,
+    /// Dispatched RUU entries (including squashed ones).
+    pub dispatched_entries: u64,
+    /// Committed RUU entries (= instructions × R).
+    pub retired_entries: u64,
+    /// Dispatch stall cycles with a full RUU.
+    pub dispatch_stalls_ruu: u64,
+    /// Dispatch stall cycles with a full LSQ.
+    pub dispatch_stalls_lsq: u64,
+    /// Mean RUU occupancy per cycle.
+    pub mean_ruu_occupancy: f64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub load_forwards: u64,
+    /// L1 instruction cache miss rate.
+    pub il1_miss_rate: f64,
+    /// L1 data cache miss rate.
+    pub dl1_miss_rate: f64,
+    /// Unified L2 miss rate.
+    pub l2_miss_rate: f64,
+    /// Committed dynamic-mix fraction: loads and stores.
+    pub mix_mem: f64,
+    /// Committed dynamic-mix fraction: integer (incl. branches).
+    pub mix_int: f64,
+    /// Committed dynamic-mix fraction: FP add class.
+    pub mix_fp_add: f64,
+    /// Committed dynamic-mix fraction: FP multiplies.
+    pub mix_fp_mul: f64,
+    /// Committed dynamic-mix fraction: FP divides.
+    pub mix_fp_div: f64,
+}
+
+/// Applies a macro to every `RunRecord` field, in serialization order.
+macro_rules! with_fields {
+    ($m:ident) => {
+        $m! {
+            workload, suite, model, r, majority, threshold, fault_rate_pm,
+            seed, budget, error, halted, cycles, retired_instructions, ipc,
+            branches, branch_mispredicts, branch_rewinds, fault_rewinds,
+            pc_check_rewinds, majority_elections, mean_rewind_penalty,
+            rewind_penalty_max, faults_injected, faults_detected,
+            faults_outvoted, faults_masked, faults_squashed_wrong_path,
+            faults_squashed_by_rewind, faults_escaped, faults_pending,
+            dispatched_entries, retired_entries, dispatch_stalls_ruu,
+            dispatch_stalls_lsq, mean_ruu_occupancy, load_forwards,
+            il1_miss_rate, dl1_miss_rate, l2_miss_rate, mix_mem, mix_int,
+            mix_fp_add, mix_fp_mul, mix_fp_div
+        }
+    };
+}
+
+macro_rules! impl_record_serde {
+    ($($field:ident),+ $(,)?) => {
+        impl RunRecord {
+            /// Number of columns in the flat representation.
+            pub const WIDTH: usize = [$(stringify!($field)),+].len();
+
+            /// Column names, in serialization order.
+            pub const FIELDS: [&'static str; Self::WIDTH] = [$(stringify!($field)),+];
+
+            /// The CSV header row matching [`RunRecord::to_csv_row`].
+            pub fn csv_header() -> String {
+                csv::join_row(Self::FIELDS)
+            }
+
+            /// This record as one CSV row (no trailing newline).
+            pub fn to_csv_row(&self) -> String {
+                csv::join_row(vec![$(Field::to_cell(&self.$field)),+])
+            }
+
+            /// Parses one parsed-CSV row (cells in header order).
+            ///
+            /// # Errors
+            ///
+            /// [`RecordError::WrongWidth`] or [`RecordError::BadField`].
+            pub fn from_cells(cells: &[String]) -> Result<Self, RecordError> {
+                if cells.len() != Self::WIDTH {
+                    return Err(RecordError::WrongWidth {
+                        found: cells.len(),
+                        expected: Self::WIDTH,
+                    });
+                }
+                let mut iter = cells.iter();
+                Ok(Self {
+                    $($field: Field::from_cell(iter.next().expect("width checked"))
+                        .map_err(|message| RecordError::BadField {
+                            field: stringify!($field),
+                            message,
+                        })?,)+
+                })
+            }
+
+            /// This record as a JSON object.
+            pub fn to_json_value(&self) -> JsonValue {
+                JsonValue::obj(vec![
+                    $((stringify!($field).to_string(), Field::to_json(&self.$field)),)+
+                ])
+            }
+
+            /// Parses a JSON object produced by [`RunRecord::to_json_value`].
+            ///
+            /// # Errors
+            ///
+            /// [`RecordError::BadField`] for a missing or mistyped field.
+            pub fn from_json_value(v: &JsonValue) -> Result<Self, RecordError> {
+                Ok(Self {
+                    $($field: Field::from_json(v.get(stringify!($field)).ok_or(
+                        RecordError::BadField {
+                            field: stringify!($field),
+                            message: "missing".to_string(),
+                        },
+                    )?)
+                    .map_err(|message| RecordError::BadField {
+                        field: stringify!($field),
+                        message,
+                    })?,)+
+                })
+            }
+        }
+    };
+}
+
+with_fields!(impl_record_serde);
+
+impl RunRecord {
+    /// Whether the cell simulated successfully.
+    pub fn ok(&self) -> bool {
+        self.error.is_empty()
+    }
+
+    /// Builds the identity (configuration) part of a record; outcome
+    /// fields start zeroed.
+    pub(crate) fn identity(
+        workload: &str,
+        suite: &str,
+        config: &MachineConfig,
+        fault_rate_pm: f64,
+        seed: u64,
+        budget: u64,
+    ) -> Self {
+        Self {
+            workload: workload.to_string(),
+            suite: suite.to_string(),
+            model: config.name.clone(),
+            r: config.redundancy.r,
+            majority: config.redundancy.majority,
+            threshold: config.redundancy.threshold,
+            fault_rate_pm,
+            seed,
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// Fills the outcome fields from a completed simulation.
+    pub(crate) fn fill_outcome(mut self, result: &SimResult) -> Self {
+        let s = &result.stats;
+        self.error = String::new();
+        self.halted = result.halted;
+        self.cycles = result.cycles;
+        self.retired_instructions = result.retired_instructions;
+        self.ipc = result.ipc;
+        self.branches = s.branches;
+        self.branch_mispredicts = s.branch_mispredicts;
+        self.branch_rewinds = s.branch_rewinds;
+        self.fault_rewinds = s.fault_rewinds;
+        self.pc_check_rewinds = s.pc_check_rewinds;
+        self.majority_elections = s.majority_elections;
+        self.mean_rewind_penalty = s.mean_rewind_penalty();
+        self.rewind_penalty_max = s.rewind_penalty_max;
+        self.faults_injected = s.faults.injected;
+        self.faults_detected = s.faults.detected;
+        self.faults_outvoted = s.faults.outvoted;
+        self.faults_masked = s.faults.masked;
+        self.faults_squashed_wrong_path = s.faults.squashed_wrong_path;
+        self.faults_squashed_by_rewind = s.faults.squashed_by_rewind;
+        self.faults_escaped = s.faults.escaped;
+        self.faults_pending = s.faults.pending;
+        self.dispatched_entries = s.dispatched_entries;
+        self.retired_entries = s.retired_entries;
+        self.dispatch_stalls_ruu = s.dispatch_stalls[0];
+        self.dispatch_stalls_lsq = s.dispatch_stalls[1];
+        self.mean_ruu_occupancy = s.mean_ruu_occupancy();
+        self.load_forwards = s.load_forwards;
+        self.il1_miss_rate = s.il1.miss_rate();
+        self.dl1_miss_rate = s.dl1.miss_rate();
+        self.l2_miss_rate = s.l2.miss_rate();
+        self.mix_mem = s.mix_fraction(MixClass::Mem);
+        self.mix_int = s.mix_fraction(MixClass::Int);
+        self.mix_fp_add = s.mix_fraction(MixClass::FpAdd);
+        self.mix_fp_mul = s.mix_fraction(MixClass::FpMul);
+        self.mix_fp_div = s.mix_fraction(MixClass::FpDiv);
+        self
+    }
+
+    /// Marks the record failed with `message`.
+    pub(crate) fn fill_error(mut self, message: String) -> Self {
+        self.error = message;
+        self
+    }
+}
+
+/// Looks the first *successful* record for `(workload, model)` up in grid
+/// output; failed cells are skipped (use [`expect_record`] when a missing
+/// or failed cell is an experiment bug worth aborting on).
+pub fn record_for<'a>(
+    records: &'a [RunRecord],
+    workload: &str,
+    model: &str,
+) -> Option<&'a RunRecord> {
+    records
+        .iter()
+        .find(|r| r.workload == workload && r.model == model && r.ok())
+}
+
+/// The successful record for `(workload, model)` in grid output.
+///
+/// # Panics
+///
+/// Panics when the cell is absent from the grid *or* present but failed —
+/// in the latter case the panic carries the cell's own error message
+/// rather than a misleading "missing" claim.
+pub fn expect_record<'a>(records: &'a [RunRecord], workload: &str, model: &str) -> &'a RunRecord {
+    let cell = records
+        .iter()
+        .find(|r| r.workload == workload && r.model == model)
+        .unwrap_or_else(|| panic!("{workload} on {model} missing from grid output"));
+    assert!(cell.ok(), "{workload} on {model} failed: {}", cell.error);
+    cell
+}
+
+/// Serializes records to a CSV document (header + one row per record).
+pub fn to_csv(records: &[RunRecord]) -> String {
+    let mut out = RunRecord::csv_header();
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.to_csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a CSV document produced by [`to_csv`].
+///
+/// # Errors
+///
+/// [`RecordError`] for a wrong header, row width, or unparsable cell.
+pub fn from_csv(text: &str) -> Result<Vec<RunRecord>, RecordError> {
+    let rows = csv::parse(text).map_err(|e| RecordError::BadDocument(e.to_string()))?;
+    let Some((header, body)) = rows.split_first() else {
+        return Err(RecordError::BadDocument("empty CSV document".to_string()));
+    };
+    if header != &RunRecord::FIELDS[..] {
+        return Err(RecordError::HeaderMismatch {
+            found: header.join(","),
+        });
+    }
+    body.iter().map(|row| RunRecord::from_cells(row)).collect()
+}
+
+/// Serializes records to a pretty-printed JSON array.
+pub fn to_json(records: &[RunRecord]) -> String {
+    JsonValue::Arr(records.iter().map(RunRecord::to_json_value).collect()).render_pretty(2)
+}
+
+/// Parses a JSON document produced by [`to_json`].
+///
+/// # Errors
+///
+/// [`RecordError`] when the document is not an array of record objects.
+pub fn from_json(text: &str) -> Result<Vec<RunRecord>, RecordError> {
+    let doc = JsonValue::parse(text).map_err(|e| RecordError::BadDocument(e.to_string()))?;
+    let items = doc
+        .as_arr()
+        .ok_or_else(|| RecordError::BadDocument("expected a JSON array".to_string()))?;
+    items.iter().map(RunRecord::from_json_value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> RunRecord {
+        RunRecord {
+            workload: "fpppp".to_string(),
+            suite: "SPEC95 FP".to_string(),
+            model: "SS-2".to_string(),
+            r: 2,
+            majority: false,
+            threshold: 2,
+            fault_rate_pm: 3000.0,
+            seed: 42,
+            budget: 60_000,
+            error: String::new(),
+            halted: false,
+            cycles: 123_456,
+            retired_instructions: 60_010,
+            ipc: 0.486_115_240_115,
+            branches: 720,
+            faults_injected: 17,
+            faults_detected: 11,
+            faults_masked: 6,
+            mean_rewind_penalty: 29.636363636363637,
+            mix_mem: 0.5243,
+            mix_int: 0.1503,
+            mix_fp_add: 0.1553,
+            mix_fp_mul: 0.1684,
+            mix_fp_div: 0.0016,
+            ..RunRecord::default()
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_is_exact() {
+        let records = vec![sample(), RunRecord::default()];
+        let text = to_csv(&records);
+        assert_eq!(from_csv(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let records = vec![sample(), RunRecord::default()];
+        let text = to_json(&records);
+        assert_eq!(from_json(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn csv_quotes_error_messages() {
+        let mut r = sample();
+        r.error = "wedged, after \"garbage\" control flow\nat cycle 9".to_string();
+        let text = to_csv(&[r.clone()]);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back[0].error, r.error);
+        assert!(!back[0].ok());
+    }
+
+    #[test]
+    fn header_and_width_agree() {
+        assert_eq!(RunRecord::FIELDS.len(), RunRecord::WIDTH);
+        assert!(RunRecord::csv_header().starts_with("workload,suite,model,r,"));
+        let err = from_csv("nope,header\n1,2\n").unwrap_err();
+        assert!(matches!(err, RecordError::HeaderMismatch { .. }));
+    }
+
+    #[test]
+    fn wrong_width_reported() {
+        let err = RunRecord::from_cells(&["only".to_string()]).unwrap_err();
+        assert_eq!(
+            err,
+            RecordError::WrongWidth {
+                found: 1,
+                expected: RunRecord::WIDTH
+            }
+        );
+    }
+
+    #[test]
+    fn bad_fields_reported_by_name() {
+        let mut cells: Vec<String> = to_csv(&[sample()])
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .map(str::to_string)
+            .collect();
+        cells[3] = "not-a-number".to_string(); // the `r` column
+        let err = RunRecord::from_cells(&cells).unwrap_err();
+        assert!(
+            matches!(err, RecordError::BadField { field: "r", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_survive_json_round_trip() {
+        // JSON has no NaN literal; the writer emits null and the parser
+        // must take it back instead of failing the whole document.
+        let mut r = sample();
+        r.mean_rewind_penalty = f64::NAN;
+        let back = from_json(&to_json(&[r])).unwrap();
+        assert!(back[0].mean_rewind_penalty.is_nan());
+    }
+
+    #[test]
+    fn json_missing_field_reported() {
+        let err = from_json("[{\"workload\": \"gcc\"}]").unwrap_err();
+        assert!(matches!(err, RecordError::BadField { .. }));
+        assert!(err.to_string().contains("missing"));
+    }
+}

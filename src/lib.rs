@@ -8,8 +8,10 @@
 //! mechanism when a transient fault makes the copies disagree — with
 //! optional majority election at `R ≥ 3`.
 //!
-//! This crate is the umbrella: it re-exports every subsystem and hosts the
-//! runnable examples and the cross-crate integration tests. The pieces:
+//! This crate is the umbrella: it re-exports every subsystem, hosts the
+//! [`harness`] (experiment grids, the parallel runner, serializable run
+//! records), and carries the runnable examples and the cross-crate
+//! integration tests. The pieces:
 //!
 //! | module | crate | contents |
 //! |---|---|---|
@@ -20,9 +22,14 @@
 //! | [`core`] | `ftsim-core` | the out-of-order pipeline with replication/check/rewind |
 //! | [`model`] | `ftsim-model` | the paper's analytical performance model (§4) |
 //! | [`workloads`] | `ftsim-workloads` | the 11 Table 2-calibrated synthetic benchmarks |
-//! | [`stats`] | `ftsim-stats` | counters, tables, ASCII plots for the harness |
+//! | [`stats`] | `ftsim-stats` | counters, tables, plots, CSV/JSON for the harness |
+//! | [`harness`] | (this crate) | `Experiment` sweep grids, `SimBuilder` runs, `RunRecord` |
 //!
 //! # Quickstart
+//!
+//! Single runs go through the fluent simulator builder — configuration,
+//! program, fault injection, oracle mode and limits in one validated
+//! place:
 //!
 //! ```
 //! use ftsim::core::{MachineConfig, Simulator};
@@ -36,14 +43,45 @@
 //! ").unwrap();
 //!
 //! // The same datapath, with and without 2-way redundant execution.
-//! let plain = Simulator::new(MachineConfig::ss1(), &program).run().unwrap();
-//! let dual  = Simulator::new(MachineConfig::ss2(), &program).run().unwrap();
+//! let plain = Simulator::builder()
+//!     .config(MachineConfig::ss1())
+//!     .program(&program)
+//!     .run()
+//!     .unwrap();
+//! let dual = Simulator::builder()
+//!     .config(MachineConfig::ss2())
+//!     .program(&program)
+//!     .run()
+//!     .unwrap();
 //! assert_eq!(plain.retired_instructions, dual.retired_instructions);
+//! ```
+//!
+//! Sweeps — the paper's workload × machine-model × fault-rate
+//! cross-products — are declarative [`harness::Experiment`] grids, fanned
+//! out across worker threads and returned as flat, CSV/JSON-serializable
+//! [`harness::RunRecord`]s:
+//!
+//! ```
+//! use ftsim::core::MachineConfig;
+//! use ftsim::harness::{to_csv, Experiment};
+//! use ftsim::workloads::profile;
+//!
+//! let records = Experiment::grid()
+//!     .workloads([profile("gcc").unwrap()])
+//!     .models([MachineConfig::ss1(), MachineConfig::ss2()])
+//!     .budget(2_000)
+//!     .run()
+//!     .unwrap();
+//! let penalty = 1.0 - records[1].ipc / records[0].ipc;
+//! assert!(penalty > -0.05 && penalty < 0.6);
+//! assert!(to_csv(&records).lines().count() == 3); // header + 2 cells
 //! ```
 //!
 //! See `examples/` for fault-injection demos and design-space sweeps, and
 //! the `ftsim-bench` crate for the experiments regenerating every table
 //! and figure of the paper.
+
+pub mod harness;
 
 pub use ftsim_core as core;
 pub use ftsim_faults as faults;

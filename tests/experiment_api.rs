@@ -1,0 +1,193 @@
+//! The redesigned experiment surface: builder misuse is reported (not
+//! panicked), run records round-trip through CSV and JSON, and a parallel
+//! [`Experiment::grid`] run is byte-identical to a sequential one.
+
+use ftsim::core::{BuildError, ConfigError, MachineConfig, OracleMode, SimError, Simulator};
+use ftsim::harness::{from_csv, from_json, to_csv, to_json, Experiment, ExperimentError};
+use ftsim::isa::asm;
+use ftsim::workloads::{profile, spec_profiles};
+
+#[test]
+fn builder_reports_missing_pieces() {
+    assert_eq!(
+        Simulator::builder().build().unwrap_err(),
+        BuildError::MissingConfig
+    );
+    assert_eq!(
+        Simulator::builder()
+            .config(MachineConfig::ss1())
+            .build()
+            .unwrap_err(),
+        BuildError::MissingProgram
+    );
+    // The one-step run() surfaces the same misuse as a SimError.
+    assert_eq!(
+        Simulator::builder().run().unwrap_err(),
+        SimError::Invalid(BuildError::MissingConfig)
+    );
+}
+
+#[test]
+fn builder_rejects_invalid_machines() {
+    let program = asm::assemble("addi r1, r0, 1\nhalt\n").unwrap();
+
+    let mut narrow = MachineConfig::ss3();
+    narrow.commit_width = 2;
+    let err = Simulator::builder()
+        .config(narrow)
+        .program(&program)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::Config(ConfigError::GroupExceedsCommit { width: 2, r: 3 })
+    );
+
+    let mut no_alu = MachineConfig::ss1();
+    no_alu.fu.int_alu = 0;
+    let err = Simulator::builder()
+        .config(no_alu)
+        .program(&program)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::Config(ConfigError::ZeroFuCount { unit: "int_alu" })
+    );
+}
+
+#[test]
+fn experiment_rejects_nonsense_grids() {
+    // threshold > r is caught before any cell simulates.
+    let bad = MachineConfig::ss2().with_redundancy(ftsim::core::RedundancyConfig {
+        r: 2,
+        majority: false,
+        threshold: 3,
+    });
+    let err = Experiment::grid()
+        .workloads([profile("gcc").unwrap()])
+        .models([bad])
+        .run()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExperimentError::InvalidModel {
+            model: "SS-2".to_string(),
+            source: ConfigError::ThresholdExceedsR { threshold: 3, r: 2 },
+        }
+    );
+    assert!(err.to_string().contains("threshold 3"));
+}
+
+#[test]
+fn figure5_grid_runs_through_the_new_api() {
+    // The Figure 5 shape — all 11 workloads x the paper's three machine
+    // models — through Experiment::grid() on multiple threads, with both
+    // exports exercised (budget kept small: this is an API test, the
+    // full-budget run lives in the fig5 bench target).
+    let grid = || {
+        Experiment::grid()
+            .workloads(spec_profiles())
+            .models([
+                MachineConfig::ss1(),
+                MachineConfig::static2(),
+                MachineConfig::ss2(),
+            ])
+            .budget(2_000)
+    };
+    assert_eq!(grid().cells(), 33);
+    let records = grid().threads(4).run().unwrap();
+    assert_eq!(records.len(), 33);
+    assert!(records.iter().all(|r| r.ok() && r.ipc > 0.0));
+    // Every (workload, model) pair appears exactly once.
+    for p in spec_profiles() {
+        for model in ["SS-1", "Static-2", "SS-2"] {
+            assert_eq!(
+                records
+                    .iter()
+                    .filter(|r| r.workload == p.name && r.model == model)
+                    .count(),
+                1,
+                "{} on {model}",
+                p.name
+            );
+        }
+    }
+    // Both serializations invert exactly.
+    assert_eq!(from_csv(&to_csv(&records)).unwrap(), records);
+    assert_eq!(from_json(&to_json(&records)).unwrap(), records);
+}
+
+#[test]
+fn parallel_grid_is_byte_identical_to_sequential() {
+    let grid = |threads: usize| {
+        Experiment::grid()
+            .workloads([profile("gcc").unwrap(), profile("equake").unwrap()])
+            .models([MachineConfig::ss1(), MachineConfig::ss2()])
+            .fault_rates([0.0, 2_000.0])
+            .budget(2_000)
+            .seeds([1, 2])
+            .threads(threads)
+            .run()
+            .unwrap()
+    };
+    let sequential = grid(1);
+    let parallel = grid(8);
+    assert_eq!(sequential.len(), 16);
+    assert_eq!(sequential, parallel);
+    // Byte-identical, not merely equal: the serialized forms match too.
+    assert_eq!(to_csv(&sequential), to_csv(&parallel));
+    assert_eq!(to_json(&sequential), to_json(&parallel));
+}
+
+#[test]
+fn record_round_trip_preserves_fault_outcomes() {
+    // A fault-injecting cell produces nontrivial fate counts and float
+    // statistics; they must survive CSV and JSON round trips exactly.
+    let records = Experiment::grid()
+        .workloads([profile("fpppp").unwrap()])
+        .models([MachineConfig::ss2(), MachineConfig::ss3_majority()])
+        .fault_rates([5_000.0])
+        .budget(3_000)
+        .seeds([9])
+        .oracle(OracleMode::Final)
+        .run()
+        .unwrap();
+    assert!(records.iter().any(|r| r.faults_injected > 0));
+    assert!(records.iter().all(|r| r.faults_escaped == 0));
+    let via_csv = from_csv(&to_csv(&records)).unwrap();
+    let via_json = from_json(&to_json(&records)).unwrap();
+    assert_eq!(via_csv, records);
+    assert_eq!(via_json, records);
+    // Spot-check a float field's bit-exactness through both paths.
+    for (orig, (a, b)) in records.iter().zip(via_csv.iter().zip(via_json.iter())) {
+        assert_eq!(orig.ipc.to_bits(), a.ipc.to_bits());
+        assert_eq!(
+            orig.mean_rewind_penalty.to_bits(),
+            b.mean_rewind_penalty.to_bits()
+        );
+    }
+}
+
+#[test]
+fn failed_cells_become_error_records_not_aborts() {
+    // An R=1 machine at an absurd fault rate with a tight cycle ceiling:
+    // whether each seed survives is up to the dice, but the sweep itself
+    // must always complete and account for every cell.
+    let records = Experiment::grid()
+        .workloads([profile("go").unwrap()])
+        .models([MachineConfig::ss1()])
+        .fault_rates([50_000.0])
+        .budget(2_000)
+        .seeds([1, 2, 3, 4])
+        .oracle(OracleMode::Final)
+        .run()
+        .unwrap();
+    assert_eq!(records.len(), 4);
+    for r in &records {
+        assert_eq!(r.ok(), r.error.is_empty());
+    }
+    // Error records still round-trip.
+    assert_eq!(from_csv(&to_csv(&records)).unwrap(), records);
+    assert_eq!(from_json(&to_json(&records)).unwrap(), records);
+}

@@ -11,8 +11,10 @@ use ftsim::workloads::{fibonacci, spec_profiles};
 fn every_benchmark_recovers_from_faults_r2() {
     for (i, p) in spec_profiles().into_iter().enumerate() {
         let program = p.program(4);
-        let injector = FaultInjector::random(per_million(3_000.0), 1000 + i as u64);
-        let r = Simulator::with_injector(MachineConfig::ss2(), &program, injector)
+        let r = Simulator::builder()
+            .config(MachineConfig::ss2())
+            .program(&program)
+            .injector(FaultInjector::random(per_million(3_000.0), 1000 + i as u64))
             .oracle(OracleMode::Final)
             .run()
             .unwrap_or_else(|e| panic!("{}: {e}", p.name));
@@ -25,8 +27,10 @@ fn every_benchmark_recovers_from_faults_r2() {
 fn majority_election_preserves_state_across_benchmarks() {
     for (i, p) in spec_profiles().into_iter().step_by(3).enumerate() {
         let program = p.program(4);
-        let injector = FaultInjector::random(per_million(3_000.0), 2000 + i as u64);
-        let r = Simulator::with_injector(MachineConfig::ss3_majority(), &program, injector)
+        let r = Simulator::builder()
+            .config(MachineConfig::ss3_majority())
+            .program(&program)
+            .injector(FaultInjector::random(per_million(3_000.0), 2000 + i as u64))
             .oracle(OracleMode::Final)
             .run()
             .unwrap_or_else(|e| panic!("{}: {e}", p.name));
@@ -38,8 +42,10 @@ fn majority_election_preserves_state_across_benchmarks() {
 fn detection_triggers_rewind_and_is_fully_accounted() {
     let p = &spec_profiles()[6]; // equake
     let program = p.program(6);
-    let injector = FaultInjector::random(per_million(5_000.0), 77);
-    let r = Simulator::with_injector(MachineConfig::ss2(), &program, injector)
+    let r = Simulator::builder()
+        .config(MachineConfig::ss2())
+        .program(&program)
+        .injector(FaultInjector::random(per_million(5_000.0), 77))
         .oracle(OracleMode::Final)
         .run()
         .unwrap();
@@ -50,7 +56,10 @@ fn detection_triggers_rewind_and_is_fully_accounted() {
         f.detected + f.outvoted + f.masked + f.squashed_wrong_path + f.squashed_by_rewind,
         "ledger must account every fault: {f}"
     );
-    assert_eq!(r.stats.fault_rewinds, f.detected, "one rewind per detection");
+    assert_eq!(
+        r.stats.fault_rewinds, f.detected,
+        "one rewind per detection"
+    );
     assert!(f.coverage() >= 1.0 - 1e-12);
 }
 
@@ -74,14 +83,13 @@ fn planned_faults_on_every_injection_point_recover() {
         for g in 5..30 {
             plan.add(g, 1, point, (g % 60) as u8);
         }
-        let r = Simulator::with_injector(
-            MachineConfig::ss2(),
-            &program,
-            FaultInjector::from_plan(plan),
-        )
-        .oracle(OracleMode::Final)
-        .run()
-        .unwrap_or_else(|e| panic!("{point:?}: {e}"));
+        let r = Simulator::builder()
+            .config(MachineConfig::ss2())
+            .program(&program)
+            .injector(FaultInjector::from_plan(plan))
+            .oracle(OracleMode::Final)
+            .run()
+            .unwrap_or_else(|e| panic!("{point:?}: {e}"));
         assert_eq!(r.faults.escaped, 0, "{point:?}: {}", r.faults);
     }
 }
@@ -90,7 +98,9 @@ fn planned_faults_on_every_injection_point_recover() {
 fn fault_free_redundant_run_detects_nothing() {
     let p = &spec_profiles()[0];
     let program = p.program(3);
-    let r = Simulator::new(MachineConfig::ss2(), &program)
+    let r = Simulator::builder()
+        .config(MachineConfig::ss2())
+        .program(&program)
         .oracle(OracleMode::Final)
         .run()
         .unwrap();
@@ -107,18 +117,19 @@ fn throughput_immune_to_realistic_fault_rates() {
     // 100 faults per million instructions the slowdown must be tiny.
     let p = &spec_profiles()[8]; // fpppp
     let program = p.program(8);
-    let clean = Simulator::new(MachineConfig::ss2(), &program)
+    let clean = Simulator::builder()
+        .config(MachineConfig::ss2())
+        .program(&program)
         .oracle(OracleMode::Off)
         .run()
         .unwrap();
-    let noisy = Simulator::with_injector(
-        MachineConfig::ss2(),
-        &program,
-        FaultInjector::random(per_million(100.0), 3),
-    )
-    .oracle(OracleMode::Final)
-    .run()
-    .unwrap();
+    let noisy = Simulator::builder()
+        .config(MachineConfig::ss2())
+        .program(&program)
+        .injector(FaultInjector::random(per_million(100.0), 3))
+        .oracle(OracleMode::Final)
+        .run()
+        .unwrap();
     let slowdown = noisy.cycles as f64 / clean.cycles as f64;
     assert!(slowdown < 1.03, "slowdown {slowdown:.4} at 100 faults/M");
 }

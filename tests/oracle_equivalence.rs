@@ -2,8 +2,18 @@
 //! architectural state is bit-exact against the in-order oracle — on every
 //! machine model, for every synthetic benchmark and kernel.
 
-use ftsim::core::{MachineConfig, OracleMode, Simulator};
+use ftsim::core::{MachineConfig, OracleMode, SimResult, Simulator};
+use ftsim::isa::Program;
 use ftsim::workloads::{dot_product, fibonacci, pointer_chase, spec_profiles};
+
+fn run_checked(config: MachineConfig, program: &Program, name: &str) -> SimResult {
+    Simulator::builder()
+        .config(config)
+        .program(program)
+        .oracle(OracleMode::Final)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
 
 #[test]
 fn all_benchmarks_match_oracle_on_all_models() {
@@ -15,10 +25,7 @@ fn all_benchmarks_match_oracle_on_all_models() {
             MachineConfig::static2(),
         ] {
             let name = format!("{} on {}", p.name, config.name);
-            let r = Simulator::new(config, &program)
-                .oracle(OracleMode::Final)
-                .run()
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let r = run_checked(config, &program, &name);
             assert!(r.halted, "{name} did not halt");
         }
     }
@@ -30,10 +37,7 @@ fn r3_models_match_oracle() {
         let program = p.program(3);
         for config in [MachineConfig::ss3(), MachineConfig::ss3_majority()] {
             let name = format!("{} on {}", p.name, config.name);
-            Simulator::new(config, &program)
-                .oracle(OracleMode::Final)
-                .run()
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            run_checked(config, &program, &name);
         }
     }
 }
@@ -53,10 +57,7 @@ fn kernels_match_oracle_on_every_model() {
             MachineConfig::static2(),
         ] {
             let name = format!("{kname} on {}", config.name);
-            Simulator::new(config, program)
-                .oracle(OracleMode::Final)
-                .run()
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            run_checked(config, program, &name);
         }
     }
 }
@@ -72,10 +73,7 @@ fn equivalence_holds_under_resource_scaling() {
             MachineConfig::ss1().with_ruu_scale(scale),
             MachineConfig::ss2().with_ruu_scale(scale),
         ] {
-            Simulator::new(config, &program)
-                .oracle(OracleMode::Final)
-                .run()
-                .unwrap_or_else(|e| panic!("scale {scale:?}: {e}"));
+            run_checked(config, &program, &format!("scale {scale:?}"));
         }
     }
 }
@@ -91,10 +89,8 @@ fn retired_counts_are_model_independent() {
         MachineConfig::ss3(),
         MachineConfig::static2(),
     ] {
-        let r = Simulator::new(config, &program)
-            .oracle(OracleMode::Final)
-            .run()
-            .unwrap();
+        let name = config.name.clone();
+        let r = run_checked(config, &program, &name);
         counts.push(r.retired_instructions);
     }
     assert!(

@@ -2,7 +2,7 @@
 //! full benches make, on reduced budgets, so `cargo test` guards the
 //! reproduction's shape.
 
-use ftsim::core::{MachineConfig, OracleMode, RunLimits, Simulator};
+use ftsim::core::{MachineConfig, OracleMode, Simulator};
 use ftsim::model::{
     crossover_frequency, ipc_with_faults, ipc_with_faults_majority, steady_state_ipc,
 };
@@ -12,9 +12,12 @@ const BUDGET: u64 = 15_000;
 
 fn ipc(p: &ftsim::workloads::WorkloadProfile, config: MachineConfig) -> f64 {
     let program = p.program_for_instructions(BUDGET);
-    Simulator::new(config, &program)
+    Simulator::builder()
+        .config(config)
+        .program(&program)
         .oracle(OracleMode::Off)
-        .run_with_limits(RunLimits::instructions(BUDGET))
+        .budget(BUDGET)
+        .run()
         .unwrap()
         .ipc
 }

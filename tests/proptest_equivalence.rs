@@ -88,7 +88,7 @@ fn build_program(steps: &[Step]) -> Program {
     let base = IntReg::new(20);
     b.li(base, DATA_BASE as i64);
     for r in 1u8..10 {
-        b.li(IntReg::new(r), (r as i64) * 0x1234_5 + 7);
+        b.li(IntReg::new(r), (r as i64) * 0x12345 + 7);
     }
     // Seed FP registers from deterministic data.
     b.data_f64(DATA_BASE + 3072, &[1.5, -2.25, 3.75, 0.5, 123.0, -0.125]);
@@ -167,12 +167,15 @@ proptest! {
         let program = build_program(&steps);
         for config in [MachineConfig::ss1(), MachineConfig::ss2(), MachineConfig::ss3_majority()] {
             let name = config.name.clone();
-            let r = Simulator::new(config, &program)
+            let r = Simulator::builder()
+                .config(config)
+                .program(&program)
                 .oracle(OracleMode::Final)
-                .run_with_limits(RunLimits {
+                .limits(RunLimits {
                     max_cycles: 2_000_000,
                     ..RunLimits::default()
-                });
+                })
+                .run();
             prop_assert!(r.is_ok(), "{}: {:?}", name, r.err());
         }
     }
@@ -183,13 +186,16 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let program = build_program(&steps);
-        let injector = FaultInjector::random(1e-3, seed);
-        let r = Simulator::with_injector(MachineConfig::ss2(), &program, injector)
+        let r = Simulator::builder()
+            .config(MachineConfig::ss2())
+            .program(&program)
+            .injector(FaultInjector::random(1e-3, seed))
             .oracle(OracleMode::Final)
-            .run_with_limits(RunLimits {
+            .limits(RunLimits {
                 max_cycles: 2_000_000,
                 ..RunLimits::default()
-            });
+            })
+            .run();
         prop_assert!(r.is_ok(), "{:?}", r.err());
         let r = r.unwrap();
         prop_assert_eq!(r.faults.escaped, 0);
@@ -199,7 +205,9 @@ proptest! {
     fn random_programs_deterministic(steps in prop::collection::vec(step(), 1..60)) {
         let program = build_program(&steps);
         let run = || {
-            Simulator::new(MachineConfig::ss2(), &program)
+            Simulator::builder()
+                .config(MachineConfig::ss2())
+                .program(&program)
                 .oracle(OracleMode::Off)
                 .run()
                 .unwrap()
