@@ -24,6 +24,7 @@ use ftsim_core::{MachineConfig, OracleMode, SimError, SimResult, Simulator};
 use ftsim_faults::FaultInjector;
 use ftsim_workloads::WorkloadProfile;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 pub use ftsim::harness::DEFAULT_BUDGET;
 
@@ -58,7 +59,7 @@ pub fn try_run_workload(
     let program = profile.program_for_instructions(n);
     Simulator::builder()
         .config(config)
-        .program(&program)
+        .program_shared(Arc::new(program))
         .oracle(OracleMode::Off)
         .budget(n)
         .run()
@@ -79,7 +80,7 @@ pub fn try_run_workload_with_faults(
     let program = profile.program_for_instructions(n);
     Simulator::builder()
         .config(config)
-        .program(&program)
+        .program_shared(Arc::new(program))
         .injector(injector)
         .oracle(OracleMode::Off)
         .budget(n)

@@ -6,6 +6,7 @@ use crate::sim::{OracleMode, RunLimits, SimError, SimResult, Simulator};
 use ftsim_faults::FaultInjector;
 use ftsim_isa::Program;
 use std::fmt;
+use std::sync::Arc;
 
 /// Builder misuse detected by [`SimBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,7 +70,7 @@ impl From<ConfigError> for BuildError {
 #[derive(Debug, Default)]
 pub struct SimBuilder {
     config: Option<MachineConfig>,
-    program: Option<Program>,
+    program: Option<Arc<Program>>,
     injector: Option<FaultInjector>,
     oracle: OracleMode,
     limits: RunLimits,
@@ -94,10 +95,22 @@ impl SimBuilder {
         self
     }
 
-    /// Sets the program to run (required).
+    /// Sets the program to run (required), deep-copying it into the
+    /// builder. Prefer [`SimBuilder::program_shared`] when the same
+    /// program backs many simulators (every grid cell of a sweep): the
+    /// copy is made once and shared by reference count.
     #[must_use]
     pub fn program(mut self, program: &Program) -> Self {
-        self.program = Some(program.clone());
+        self.program = Some(Arc::new(program.clone()));
+        self
+    }
+
+    /// Sets an already-shared program image to run (required, alternative
+    /// to [`SimBuilder::program`]). No instruction or data bytes are
+    /// copied.
+    #[must_use]
+    pub fn program_shared(mut self, program: Arc<Program>) -> Self {
+        self.program = Some(program);
         self
     }
 
@@ -148,7 +161,7 @@ impl SimBuilder {
         let injector = self.injector.unwrap_or_else(FaultInjector::none);
         Ok(Simulator::from_parts(
             config,
-            &program,
+            program,
             injector,
             self.oracle,
             self.limits,

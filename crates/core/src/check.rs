@@ -87,9 +87,9 @@ pub struct CheckOutcome {
 /// // See `majority_vote` for the election primitive.
 /// assert_eq!(majority_vote(&[5, 5, 6], 2), Some(0));
 /// ```
-pub fn check_group(group: &[&Entry], majority: bool, threshold: u8) -> CheckOutcome {
+pub fn check_group(group: &[Entry], majority: bool, threshold: u8) -> CheckOutcome {
     assert!(!group.is_empty(), "cannot check an empty group");
-    let sigs: Vec<Signature> = group.iter().map(|e| Signature::of(e)).collect();
+    let sigs: Vec<Signature> = group.iter().map(Signature::of).collect();
     let first = sigs[0];
     if sigs.iter().all(|s| *s == first) {
         return CheckOutcome {
@@ -188,7 +188,7 @@ mod tests {
     fn unanimous_commits_copy_zero() {
         let a = done_entry(0, 0, 42);
         let b = done_entry(1, 1, 42);
-        let out = check_group(&[&a, &b], false, 2);
+        let out = check_group(&[a, b], false, 2);
         assert_eq!(out.decision, GroupDecision::Commit { representative: 0 });
         assert!(out.unanimous);
         assert!(out.dissenters.is_empty());
@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn single_copy_trivially_commits() {
         let a = done_entry(0, 0, 1);
-        let out = check_group(&[&a], false, 1);
+        let out = check_group(&[a], false, 1);
         assert_eq!(out.decision, GroupDecision::Commit { representative: 0 });
     }
 
@@ -205,7 +205,7 @@ mod tests {
     fn disagreement_without_majority_rewinds() {
         let a = done_entry(0, 0, 42);
         let b = done_entry(1, 1, 43);
-        let out = check_group(&[&a, &b], false, 2);
+        let out = check_group(&[a, b], false, 2);
         assert_eq!(out.decision, GroupDecision::Rewind);
         assert_eq!(out.dissenters, vec![0, 1]);
     }
@@ -215,7 +215,7 @@ mod tests {
         let a = done_entry(0, 0, 42);
         let b = done_entry(1, 1, 99); // corrupted copy
         let c = done_entry(2, 2, 42);
-        let out = check_group(&[&a, &b, &c], true, 2);
+        let out = check_group(&[a, b, c], true, 2);
         assert_eq!(out.decision, GroupDecision::Commit { representative: 0 });
         assert!(!out.unanimous);
         assert_eq!(out.dissenters, vec![1]);
@@ -226,7 +226,7 @@ mod tests {
         let a = done_entry(0, 0, 99); // corrupted copy 0
         let b = done_entry(1, 1, 42);
         let c = done_entry(2, 2, 42);
-        let out = check_group(&[&a, &b, &c], true, 2);
+        let out = check_group(&[a, b, c], true, 2);
         assert_eq!(out.decision, GroupDecision::Commit { representative: 1 });
         assert_eq!(out.dissenters, vec![0]);
     }
@@ -236,7 +236,7 @@ mod tests {
         let a = done_entry(0, 0, 1);
         let b = done_entry(1, 1, 2);
         let c = done_entry(2, 2, 3);
-        let out = check_group(&[&a, &b, &c], true, 2);
+        let out = check_group(&[a, b, c], true, 2);
         assert_eq!(out.decision, GroupDecision::Rewind);
         assert_eq!(out.dissenters.len(), 3);
     }
@@ -246,7 +246,7 @@ mod tests {
         let a = done_entry(0, 0, 42);
         let b = done_entry(1, 1, 42);
         let c = done_entry(2, 2, 7);
-        let out = check_group(&[&a, &b, &c], true, 3);
+        let out = check_group(&[a, b, c], true, 3);
         assert_eq!(out.decision, GroupDecision::Rewind);
     }
 
@@ -256,7 +256,7 @@ mod tests {
         let mut b = done_entry(1, 1, 0);
         a.ea = Some(0x100);
         b.ea = Some(0x108); // corrupted address
-        let out = check_group(&[&a, &b], false, 2);
+        let out = check_group(&[a, b], false, 2);
         assert_eq!(out.decision, GroupDecision::Rewind);
     }
 
@@ -267,7 +267,7 @@ mod tests {
         a.taken = Some(true);
         a.target = Some(0x2000);
         b.taken = Some(false);
-        let out = check_group(&[&a, &b], false, 2);
+        let out = check_group(&[a, b], false, 2);
         assert_eq!(out.decision, GroupDecision::Rewind);
     }
 
@@ -281,7 +281,7 @@ mod tests {
         b.ea = Some(0x100);
         a.store_data = Some(5);
         b.store_data = Some(6);
-        let out = check_group(&[&a, &b], false, 2);
+        let out = check_group(&[a, b], false, 2);
         assert_eq!(out.decision, GroupDecision::Rewind);
     }
 
@@ -300,7 +300,7 @@ mod tests {
         let a = mk(0, 0, 0x9000); // corrupted address performed the access
         let b = mk(1, 1, 0x1000);
         let c = mk(2, 2, 0x1000);
-        let out = check_group(&[&a, &b, &c], true, 2);
+        let out = check_group(&[a, b, c], true, 2);
         assert_eq!(out.decision, GroupDecision::Rewind);
     }
 
@@ -318,7 +318,7 @@ mod tests {
         let a = mk(0, 0, 42);
         let b = mk(1, 1, 42);
         let c = mk(2, 2, 43);
-        let out = check_group(&[&a, &b, &c], true, 2);
+        let out = check_group(&[a, b, c], true, 2);
         assert_eq!(out.decision, GroupDecision::Commit { representative: 0 });
         assert_eq!(out.dissenters, vec![2]);
     }

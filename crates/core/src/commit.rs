@@ -16,11 +16,15 @@ impl Processor {
         let r = self.r() as usize;
         let mut budget = self.config.commit_width as usize;
         let mut committed_any = false;
+        // Reused snapshot buffer: the head group is copied (≤ R small,
+        // heap-free entries) so the decision logic does not hold a borrow
+        // on the RUU; the buffer itself persists across cycles, so the
+        // steady-state commit loop allocates nothing.
+        let mut group = std::mem::take(&mut self.commit_scratch);
 
         while budget >= r {
-            // Snapshot the head group (cloning ≤ R small entries) so the
-            // decision logic does not hold a borrow on the RUU.
-            let group: Vec<Entry> = self.ruu.head_group().into_iter().cloned().collect();
+            group.clear();
+            group.extend(self.ruu.head_group().cloned());
             if group.is_empty() {
                 break;
             }
@@ -48,7 +52,7 @@ impl Processor {
             }
 
             let outcome = check_group(
-                &group.iter().collect::<Vec<_>>(),
+                &group,
                 self.config.redundancy.majority,
                 self.config.redundancy.threshold,
             );
@@ -138,6 +142,9 @@ impl Processor {
                 }
             }
         }
+
+        group.clear();
+        self.commit_scratch = group;
 
         if committed_any {
             self.stats.commit_active_cycles += 1;

@@ -75,7 +75,17 @@ impl Processor {
                 e.halt = inst.op == Opcode::Halt;
                 e.ops[0] = self.rename_operand(inst.rs1(), copy);
                 e.ops[1] = self.rename_operand(inst.rs2(), copy);
+                // Register with each awaited producer's wait-list, so the
+                // producer's completion wakes exactly this entry.
+                for op in e.ops {
+                    if let crate::entry::Operand::Wait(producer) = op {
+                        self.sched.add_waiter(producer, seq);
+                    }
+                }
                 e.refresh_readiness();
+                if e.state == crate::entry::EntryState::Ready {
+                    self.sched.push_ready(seq);
+                }
 
                 if let Some(event) = self.injector.draw(group, copy, applicable_points(&inst)) {
                     let id = self.fault_log.record(group, copy, event);

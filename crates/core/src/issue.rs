@@ -18,39 +18,134 @@ fn outcomes_differ(a: &ExecOutcome, b: &ExecOutcome) -> bool {
 
 impl Processor {
     /// Runs the issue stage for one cycle.
+    ///
+    /// Candidates come from two sequence-ordered sources merged on the
+    /// fly, reproducing the seed's oldest-first full-RUU scan order
+    /// without the scan:
+    ///
+    /// * the scheduler's **ready queue** — entries that became
+    ///   issue-eligible at dispatch or wakeup;
+    /// * the scheduler's **parked-memory list** — memory entries that
+    ///   already failed an issue attempt (port lost, dependence conflict,
+    ///   shared access not ready) and retry while this cycle's L1D ports
+    ///   last.
+    ///
+    /// A memory attempt in a cycle whose data ports are exhausted is
+    /// *provably* fruitless and side-effect-free once its address is
+    /// generated (every failure path returns before mutating anything),
+    /// so parked entries are then skipped wholesale and newly-ready
+    /// memory entries only run first-touch address generation before
+    /// parking — this is what turns the mem-bound steady state from
+    /// O(occupancy) retries into O(ports) work per cycle. Non-memory
+    /// entries that lose their functional unit are deferred back onto
+    /// the ready queue for the next cycle. Sequence numbers squashed
+    /// since they were queued are dropped when visited (seqs are never
+    /// reused).
     pub(crate) fn stage_issue(&mut self) {
         let mut budget = self.config.issue_width;
-        let ready: Vec<u64> = self
-            .ruu
-            .iter()
-            .filter(|e| e.state == EntryState::Ready)
-            .map(|e| e.seq)
-            .collect();
-        for seq in ready {
-            if budget == 0 {
-                break;
-            }
-            let is_mem = self
-                .ruu
-                .get(seq)
-                .map(|e| e.inst.op.is_mem())
-                .unwrap_or(false);
-            let consumed = if is_mem {
-                self.try_issue_mem(seq)
-            } else {
-                self.try_issue_fu(seq)
+        let (parked, mut keep) = self.sched.take_parked_mem();
+        let mut pi = 0;
+
+        while budget > 0 {
+            // Merge step: the smaller head of the two ascending sources.
+            let from_parked = match (parked.get(pi), self.sched.peek_ready()) {
+                (Some(&p), Some(r)) => p < r,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
             };
-            if consumed {
-                budget -= 1;
+            if from_parked {
+                let seq = parked[pi];
+                pi += 1;
+                let Some(idx) = self.ruu.position(seq) else {
+                    continue; // squashed while parked
+                };
+                debug_assert_eq!(self.ruu.at(idx).state, EntryState::Ready);
+                if self.hierarchy.data_ports_available() == 0 {
+                    keep.push(seq); // no port left: the attempt cannot succeed
+                } else if self.try_issue_mem(seq, idx) {
+                    budget -= 1;
+                } else {
+                    keep.push(seq);
+                }
+            } else {
+                let seq = self.sched.pop_ready().expect("peeked non-empty");
+                let Some(idx) = self.ruu.position(seq) else {
+                    continue; // squashed while queued
+                };
+                debug_assert_eq!(self.ruu.at(idx).state, EntryState::Ready);
+                if self.ruu.at(idx).inst.op.is_mem() {
+                    if self.hierarchy.data_ports_available() == 0 {
+                        // The seed still generated the address on a
+                        // port-starved first attempt; everything after
+                        // that is failure-path and effect-free.
+                        self.ensure_mem_addr(seq, idx);
+                        keep.push(seq);
+                    } else if self.try_issue_mem(seq, idx) {
+                        budget -= 1;
+                    } else {
+                        keep.push(seq);
+                    }
+                } else if self.try_issue_fu(seq, idx) {
+                    budget -= 1;
+                } else {
+                    self.sched.defer_ready(seq);
+                }
             }
         }
+        // Whatever the walk did not reach stays parked, still in order
+        // (every remaining parked seq is younger than every visited one).
+        keep.extend_from_slice(&parked[pi..]);
+        self.sched.put_parked_mem(parked, keep);
+        self.sched.flush_deferred();
         self.merge_store_data();
     }
 
+    /// First-touch effective-address generation for a memory entry,
+    /// including the operand/address fault injections that ride on it.
+    /// This is the *only* seed-visible side effect of a memory issue
+    /// attempt that cannot win a data port, so the port-starved fast
+    /// path runs just this before parking the entry.
+    fn ensure_mem_addr(&mut self, seq: u64, idx: usize) -> u64 {
+        let (inst, pc, base, fault, ea_known) = {
+            let e = self.ruu.at(idx);
+            (e.inst, e.pc, e.ops[0].value(), e.fault, e.ea)
+        };
+        if let Some(ea) = ea_known {
+            return ea;
+        }
+        let mut a = base;
+        let mut effective = false;
+        if let Some((_, ev)) = fault {
+            if ev.point == InjectionPoint::OperandA {
+                let clean = execute(&inst, pc, a, 0);
+                a = ev.corrupt(a);
+                effective = outcomes_differ(&clean, &execute(&inst, pc, a, 0));
+            }
+        }
+        let mut ea = execute(&inst, pc, a, 0)
+            .ea
+            .expect("mem op computes an address");
+        if let Some((_, ev)) = fault {
+            if ev.point == InjectionPoint::EffAddr {
+                ea = ev.corrupt(ea);
+                effective = true;
+            }
+        }
+        let e = self.ruu.at_mut(idx);
+        e.ea = Some(ea);
+        e.fault_effective |= effective;
+        self.lsq
+            .get_mut(seq)
+            .expect("mem entry has an LSQ slot")
+            .addr = Some(ea);
+        ea
+    }
+
     /// Issues a non-memory instruction to its functional unit.
-    fn try_issue_fu(&mut self, seq: u64) -> bool {
+    fn try_issue_fu(&mut self, seq: u64, idx: usize) -> bool {
         let (inst, pc, mut a, mut b, fault) = {
-            let e = self.ruu.get(seq).expect("ready entry exists");
+            let e = self.ruu.at(idx);
             (e.inst, e.pc, e.ops[0].value(), e.ops[1].value(), e.fault)
         };
         let Some(latency) = self.fu.try_issue(inst.op, self.now) else {
@@ -103,56 +198,27 @@ impl Processor {
         }
 
         {
-            let e = self.ruu.get_mut(seq).expect("entry still live");
+            let e = self.ruu.at_mut(idx);
             e.result = out.result;
             e.taken = out.taken;
             e.target = out.target;
             e.fault_effective |= effective;
         }
-        self.schedule_completion(seq, self.now + latency);
+        self.schedule_completion_at(idx, seq, self.now + latency);
         true
     }
 
     /// Issues a memory instruction: address generation, disambiguation,
     /// forwarding, and (for copy 0) the single shared cache access.
-    fn try_issue_mem(&mut self, seq: u64) -> bool {
-        let (inst, pc, copy, base, fault, ea_known) = {
-            let e = self.ruu.get(seq).expect("ready entry exists");
-            (e.inst, e.pc, e.copy, e.ops[0].value(), e.fault, e.ea)
+    fn try_issue_mem(&mut self, seq: u64, idx: usize) -> bool {
+        let (inst, copy) = {
+            let e = self.ruu.at(idx);
+            (e.inst, e.copy)
         };
 
         // Address generation (once).
-        let ea = match ea_known {
-            Some(ea) => ea,
-            None => {
-                let mut a = base;
-                let mut effective = false;
-                if let Some((_, ev)) = fault {
-                    if ev.point == InjectionPoint::OperandA {
-                        let clean = execute(&inst, pc, a, 0);
-                        a = ev.corrupt(a);
-                        effective = outcomes_differ(&clean, &execute(&inst, pc, a, 0));
-                    }
-                }
-                let mut ea = execute(&inst, pc, a, 0)
-                    .ea
-                    .expect("mem op computes an address");
-                if let Some((_, ev)) = fault {
-                    if ev.point == InjectionPoint::EffAddr {
-                        ea = ev.corrupt(ea);
-                        effective = true;
-                    }
-                }
-                let e = self.ruu.get_mut(seq).expect("entry still live");
-                e.ea = Some(ea);
-                e.fault_effective |= effective;
-                self.lsq
-                    .get_mut(seq)
-                    .expect("mem entry has an LSQ slot")
-                    .addr = Some(ea);
-                ea
-            }
-        };
+        let ea = self.ensure_mem_addr(seq, idx);
+        let lidx = self.lsq.position(seq).expect("mem entry has an LSQ slot");
 
         if inst.op.is_store() {
             // The store's address phase occupies a memory port for its
@@ -165,8 +231,8 @@ impl Processor {
                 return false;
             }
             // Address phase complete; the datum merges off the issue path.
-            let e = self.ruu.get_mut(seq).expect("entry still live");
-            e.state = EntryState::Issued;
+            self.ruu.at_mut(idx).state = EntryState::Issued;
+            self.sched.add_pending_store(seq);
             return true;
         }
 
@@ -181,8 +247,8 @@ impl Processor {
                 if !self.hierarchy.try_data_port() {
                     return false;
                 }
-                self.lsq.get_mut(seq).expect("lsq slot").mem_value = Some(raw);
-                self.schedule_completion(seq, self.now + self.config.lat.forward);
+                self.lsq.at_mut(lidx).mem_value = Some(raw);
+                self.schedule_completion_at(idx, seq, self.now + self.config.lat.forward);
                 self.stats.load_forwards += 1;
                 true
             }
@@ -194,8 +260,8 @@ impl Processor {
                     }
                     let access = self.hierarchy.data_access(ea, AccessKind::Read);
                     let raw = self.mem.read_sized(ea, size);
-                    self.lsq.get_mut(seq).expect("lsq slot").mem_value = Some(raw);
-                    self.schedule_completion(seq, self.now + access.latency);
+                    self.lsq.at_mut(lidx).mem_value = Some(raw);
+                    self.schedule_completion_at(idx, seq, self.now + access.latency);
                     self.stats.load_accesses += 1;
                     true
                 } else {
@@ -206,8 +272,8 @@ impl Processor {
                             if !self.hierarchy.try_data_port() {
                                 return false;
                             }
-                            self.lsq.get_mut(seq).expect("lsq slot").mem_value = Some(raw);
-                            self.schedule_completion(seq, self.now + 1);
+                            self.lsq.at_mut(lidx).mem_value = Some(raw);
+                            self.schedule_completion_at(idx, seq, self.now + 1);
                             true
                         }
                         None => false, // copy 0 hasn't accessed yet
@@ -219,21 +285,27 @@ impl Processor {
 
     /// Merges store data into the LSQ as it becomes available (does not
     /// consume issue bandwidth) and schedules the store's completion.
+    ///
+    /// Walks only the scheduler's pending-store list — stores whose
+    /// address phase issued and whose datum has not merged — in sequence
+    /// order, instead of filtering the whole RUU every cycle. A store
+    /// leaves the list when its datum merges, or on squash (dropped here
+    /// when its sequence number no longer resolves, and proactively by
+    /// `Scheduler::squash_after`/`clear`).
     fn merge_store_data(&mut self) {
-        let pending: Vec<u64> = self
-            .ruu
-            .iter()
-            .filter(|e| {
-                e.inst.op.is_store()
-                    && e.state == EntryState::Issued
-                    && e.store_data.is_none()
-                    && e.ops[1].ready()
-            })
-            .map(|e| e.seq)
-            .collect();
-        for seq in pending {
+        let mut pending = self.sched.take_pending_stores();
+        pending.retain(|&seq| {
+            let Some(idx) = self.ruu.position(seq) else {
+                return false; // squashed since its address phase issued
+            };
             let (mut data, fault) = {
-                let e = self.ruu.get(seq).expect("entry live");
+                let e = self.ruu.at(idx);
+                debug_assert!(
+                    e.inst.op.is_store() && e.state == EntryState::Issued && e.store_data.is_none()
+                );
+                if !e.ops[1].ready() {
+                    return true; // datum still in flight: stay pending
+                }
                 (e.ops[1].value(), e.fault)
             };
             let mut effective = false;
@@ -247,13 +319,15 @@ impl Processor {
                 }
             }
             {
-                let e = self.ruu.get_mut(seq).expect("entry live");
+                let e = self.ruu.at_mut(idx);
                 e.store_data = Some(data);
                 e.fault_effective |= effective;
             }
             self.lsq.get_mut(seq).expect("lsq slot").data = Some(data);
-            self.schedule_completion(seq, self.now + 1);
-        }
+            crate::pipeline::schedule(&mut self.events, self.now + 1, seq);
+            false // merged: leave the pending list
+        });
+        self.sched.put_pending_stores(pending);
     }
 }
 

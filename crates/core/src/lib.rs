@@ -75,6 +75,7 @@ mod lsq;
 mod pipeline;
 mod rename;
 mod ruu;
+mod sched;
 mod sim;
 mod stats;
 mod writeback;

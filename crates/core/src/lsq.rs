@@ -94,9 +94,21 @@ impl Lsq {
         self.entries.push_back(entry);
     }
 
-    fn position(&self, seq: u64) -> Option<usize> {
+    /// Position (index handle) of `seq`, if present. Valid until the next
+    /// structural mutation; the issue stage resolves a sequence once and
+    /// reuses the handle.
+    pub fn position(&self, seq: u64) -> Option<usize> {
         let i = self.entries.partition_point(|e| e.seq < seq);
         (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
+    }
+
+    /// Mutable access through an index handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds (a stale handle).
+    pub fn at_mut(&mut self, idx: usize) -> &mut LsqEntry {
+        &mut self.entries[idx]
     }
 
     /// Lookup by sequence.
@@ -147,8 +159,18 @@ impl Lsq {
 
     /// Removes every entry belonging to `group` (called as the group
     /// commits).
+    ///
+    /// Commit retires in order and groups are numbered in dispatch order,
+    /// so a committing group's slots are contiguous at the queue's front:
+    /// pop there instead of filtering the whole queue.
     pub fn remove_group(&mut self, group: u64) {
-        self.entries.retain(|e| e.group != group);
+        while self.entries.front().is_some_and(|e| e.group == group) {
+            self.entries.pop_front();
+        }
+        debug_assert!(
+            !self.entries.iter().any(|e| e.group == group),
+            "group {group} was not contiguous at the LSQ front"
+        );
     }
 
     /// Removes entries with `seq > cutoff` (branch rewind).

@@ -6,18 +6,20 @@
 //! wakeup).
 
 use crate::config::MachineConfig;
-use crate::entry::{EntryState, Operand};
+use crate::entry::{Entry, EntryState, Operand};
 use crate::fetch::FetchUnit;
 use crate::fu::FuPool;
 use crate::lsq::Lsq;
 use crate::rename::{MapCheckpoint, MapTable};
 use crate::ruu::Ruu;
+use crate::sched::Scheduler;
 use crate::stats::SimStats;
 use ftsim_faults::{FaultFate, FaultInjector, FaultLog};
 use ftsim_isa::{ArchRegs, Program};
 use ftsim_mem::{Hierarchy, SparseMemory};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// The complete microarchitectural state of one simulated processor.
 ///
@@ -27,7 +29,9 @@ use std::collections::{BinaryHeap, HashMap};
 #[derive(Debug)]
 pub struct Processor {
     pub(crate) config: MachineConfig,
-    pub(crate) program: Program,
+    /// The immutable program image, shared (not deep-copied) between the
+    /// processor, the simulator facade and every sibling grid cell.
+    pub(crate) program: Arc<Program>,
     pub(crate) now: u64,
     pub(crate) next_seq: u64,
     pub(crate) next_group: u64,
@@ -51,6 +55,13 @@ pub struct Processor {
     pub(crate) halted: bool,
     pub(crate) pending_rewind_start: Option<u64>,
     pub(crate) last_commit_cycle: u64,
+    /// Event-driven scheduler state: wakeup wait-lists, the ready queue
+    /// and the pending-store list.
+    pub(crate) sched: Scheduler,
+    /// Reused buffer for squashed entries (branch and full rewinds).
+    pub(crate) squash_scratch: Vec<Entry>,
+    /// Reused buffer for the commit stage's head-group snapshot.
+    pub(crate) commit_scratch: Vec<Entry>,
 }
 
 impl Processor {
@@ -61,6 +72,23 @@ impl Processor {
     /// Panics if `config` is inconsistent (see
     /// [`MachineConfig::validate`]).
     pub fn new(config: MachineConfig, program: &Program, injector: FaultInjector) -> Self {
+        Self::with_shared_program(config, Arc::new(program.clone()), injector)
+    }
+
+    /// Builds a processor over an already-shared program image, avoiding
+    /// the deep copy [`Processor::new`] makes for API compatibility. This
+    /// is what the builder and the experiment grid use: one `Arc` per
+    /// distinct program, cloned by reference count into every cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see
+    /// [`MachineConfig::validate`]).
+    pub fn with_shared_program(
+        config: MachineConfig,
+        program: Arc<Program>,
+        injector: FaultInjector,
+    ) -> Self {
         config
             .validate()
             .expect("invalid machine configuration (use SimBuilder to surface this as an error)");
@@ -87,7 +115,10 @@ impl Processor {
             halted: false,
             pending_rewind_start: None,
             last_commit_cycle: 0,
-            program: program.clone(),
+            sched: Scheduler::default(),
+            squash_scratch: Vec::new(),
+            commit_scratch: Vec::new(),
+            program,
             config,
         }
     }
@@ -135,18 +166,32 @@ impl Processor {
         &self.mem
     }
 
+    /// A synchronized snapshot of the statistics gathered so far: the
+    /// core counters plus the cache, fetch and fault counters that live
+    /// in their own units, folded in at read time. Needs only `&self` —
+    /// inspection never mutates the machine.
+    pub fn stats_snapshot(&self) -> SimStats {
+        let mut stats = self.stats.clone();
+        let (il1, dl1, l2) = self.hierarchy.cache_stats();
+        stats.il1 = il1;
+        stats.dl1 = dl1;
+        stats.l2 = l2;
+        let f = self.fetch.stats();
+        stats.fetched = f.fetched;
+        stats.fetch_stall_cycles = f.stall_cycles;
+        stats.icache_stall_cycles = f.icache_stall_cycles;
+        stats.faults = self.fault_log.counts();
+        stats
+    }
+
     /// Statistics gathered so far. Cache/fetch counters are synchronized
     /// on access.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `stats_snapshot()`; reading statistics does not need `&mut self`"
+    )]
     pub fn stats(&mut self) -> &SimStats {
-        let (il1, dl1, l2) = self.hierarchy.cache_stats();
-        self.stats.il1 = il1;
-        self.stats.dl1 = dl1;
-        self.stats.l2 = l2;
-        let f = self.fetch.stats();
-        self.stats.fetched = f.fetched;
-        self.stats.fetch_stall_cycles = f.stall_cycles;
-        self.stats.icache_stall_cycles = f.icache_stall_cycles;
-        self.stats.faults = self.fault_log.counts();
+        self.stats = self.stats_snapshot();
         &self.stats
     }
 
@@ -205,9 +250,20 @@ impl Processor {
         u64::from(self.config.redundancy.r)
     }
 
-    /// Broadcasts a completed producer's result to waiting consumers.
+    /// Delivers a completed producer's result to its waiting consumers.
+    ///
+    /// Dispatch registered every consumer on the producer's wait-list, so
+    /// this touches only entries that actually wait — not the whole RUU.
+    /// Consumers squashed since registration are skipped (their sequence
+    /// numbers are never reused, so a miss is definitive).
     pub(crate) fn wakeup(&mut self, producer_seq: u64, value: u64) {
-        for e in self.ruu.iter_mut() {
+        let Some(list) = self.sched.take_wait_list(producer_seq) else {
+            return;
+        };
+        for &consumer in &list {
+            let Some(e) = self.ruu.get_mut(consumer) else {
+                continue; // squashed while waiting
+            };
             let mut changed = false;
             for op in &mut e.ops {
                 if *op == Operand::Wait(producer_seq) {
@@ -215,18 +271,24 @@ impl Processor {
                     changed = true;
                 }
             }
-            if changed {
+            if changed && e.state == EntryState::Waiting {
                 e.refresh_readiness();
+                if e.state == EntryState::Ready {
+                    self.sched.push_ready(consumer);
+                }
             }
         }
+        self.sched.recycle(list);
     }
 
     /// Selective squash after a branch rewind: removes every entry younger
     /// than `cutoff_seq`, restores the branch's map checkpoint, and marks
     /// squashed faults as wrong-path.
     pub(crate) fn branch_rewind(&mut self, branch_group: u64, cutoff_seq: u64, new_target: u64) {
-        let squashed = self.ruu.squash_after(cutoff_seq);
+        let mut squashed = std::mem::take(&mut self.squash_scratch);
+        self.ruu.squash_after_into(cutoff_seq, &mut squashed);
         for e in &squashed {
+            self.sched.on_squash(e.seq);
             if let Some((id, _)) = e.fault {
                 self.fault_log.resolve(id, FaultFate::SquashedWrongPath);
             }
@@ -235,6 +297,9 @@ impl Processor {
                 self.checkpoints.remove(&e.group);
             }
         }
+        squashed.clear();
+        self.squash_scratch = squashed;
+        self.sched.squash_after(cutoff_seq);
         self.lsq.squash_after(cutoff_seq);
         let cp = self
             .checkpoints
@@ -251,17 +316,28 @@ impl Processor {
     /// restart execution by refetching from the committed next-PC
     /// register."
     pub(crate) fn full_rewind(&mut self, cause: crate::stats::RewindCause) {
-        let squashed = self.ruu.squash_all();
+        let mut squashed = std::mem::take(&mut self.squash_scratch);
+        self.ruu.squash_all_into(&mut squashed);
         for e in &squashed {
             if let Some((id, _)) = e.fault {
                 self.fault_log.resolve(id, FaultFate::SquashedByRewind);
             }
         }
+        squashed.clear();
+        self.squash_scratch = squashed;
         self.lsq.squash_all();
+        self.sched.clear();
         debug_assert!(self.lsq.is_empty() && self.ruu.is_empty());
         self.checkpoints.clear();
         self.map.clear();
-        self.events.clear();
+        // Drain-and-filter rather than `clear()`: keep any completion
+        // whose entry survives the squash. Today `squash_all` leaves the
+        // RUU empty so nothing survives, but filtering by liveness (the
+        // same `ruu.get` guard writeback applies when it pops) means a
+        // same-cycle `schedule_completion` racing a future partial-rewind
+        // variant can never resurrect a stale sequence number.
+        self.events
+            .retain(|&Reverse((_, seq))| self.ruu.get(seq).is_some());
         self.fu.reset();
         self.fetch.rewind(
             self.committed_next_pc,
@@ -305,12 +381,12 @@ pub(crate) fn schedule(events: &mut BinaryHeap<Reverse<(u64, u64)>>, cycle: u64,
 }
 
 impl Processor {
-    /// Marks `entry` issued and schedules its completion.
-    pub(crate) fn schedule_completion(&mut self, seq: u64, at: u64) {
+    /// Marks the entry at index handle `idx` (sequence `seq`) issued and
+    /// schedules its completion event.
+    pub(crate) fn schedule_completion_at(&mut self, idx: usize, seq: u64, at: u64) {
+        debug_assert_eq!(self.ruu.at(idx).seq, seq, "stale index handle");
         schedule(&mut self.events, at, seq);
-        if let Some(e) = self.ruu.get_mut(seq) {
-            e.state = EntryState::Issued;
-        }
+        self.ruu.at_mut(idx).state = EntryState::Issued;
     }
 }
 
@@ -339,7 +415,7 @@ mod tests {
         }
         assert!(proc.halted());
         assert_eq!(proc.regs().read_int(IntReg::new(1)), 7);
-        assert_eq!(proc.stats().retired_instructions, 2);
+        assert_eq!(proc.stats_snapshot().retired_instructions, 2);
     }
 
     #[test]
@@ -353,7 +429,7 @@ mod tests {
             }
         }
         assert!(proc.halted());
-        let s = proc.stats();
+        let s = proc.stats_snapshot();
         assert_eq!(s.retired_instructions, 2);
         assert_eq!(s.retired_entries, 4); // R = 2 entries per instruction
     }
@@ -368,5 +444,64 @@ mod tests {
         }
         // After halt commits, next-PC is one past the halt.
         assert_eq!(proc.committed_next_pc, p.entry() + 8);
+    }
+
+    #[test]
+    fn stats_snapshot_needs_no_mutable_access() {
+        let p = tiny_program();
+        let mut proc = Processor::new(MachineConfig::ss1(), &p, FaultInjector::none());
+        while !proc.halted() {
+            proc.cycle();
+        }
+        let frozen = &proc; // snapshot through a shared reference
+        let s = frozen.stats_snapshot();
+        assert_eq!(s.retired_instructions, 2);
+        assert!(s.fetched > 0, "fetch counters are folded into snapshots");
+        #[allow(deprecated)]
+        let legacy = proc.stats().clone();
+        assert_eq!(legacy.retired_instructions, s.retired_instructions);
+        assert_eq!(legacy.fetched, s.fetched);
+    }
+
+    #[test]
+    fn completion_event_on_rewind_cycle_cannot_resurrect() {
+        // A long-latency producer keeps a completion event in flight;
+        // a full rewind landing on the same cycle the event is due must
+        // drop it (drain-and-filter) rather than let the stale sequence
+        // resurrect, and the machine must recover cleanly by refetching
+        // from the committed next-PC.
+        let r1 = IntReg::new(1);
+        let r2 = IntReg::new(2);
+        let mut b = ProgramBuilder::new();
+        b.addi(r1, IntReg::ZERO, 7);
+        b.mul(r2, r1, r1); // multi-cycle: completion scheduled ahead
+        b.halt();
+        let p = b.build().unwrap();
+        let mut proc = Processor::new(MachineConfig::ss1(), &p, FaultInjector::none());
+        for _ in 0..400 {
+            proc.cycle();
+            if !proc.events.is_empty() {
+                break;
+            }
+        }
+        assert!(!proc.events.is_empty(), "a completion event is in flight");
+        // Advance to the exact cycle the earliest event is due, then force
+        // the rewind the commit stage would issue on a detected fault.
+        let due = proc.events.peek().expect("event pending").0 .0;
+        proc.now = proc.now.max(due);
+        proc.full_rewind(crate::stats::RewindCause::FaultDetected);
+        assert!(
+            proc.events.is_empty(),
+            "no event may survive a full rewind (every entry was squashed)"
+        );
+        for _ in 0..1_000 {
+            proc.cycle();
+            if proc.halted() {
+                break;
+            }
+        }
+        assert!(proc.halted(), "machine recovers after the rewind");
+        assert_eq!(proc.regs().read_int(r2), 49);
+        assert_eq!(proc.stats_snapshot().fault_rewinds, 1);
     }
 }

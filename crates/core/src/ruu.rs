@@ -59,10 +59,33 @@ impl Ruu {
         self.entries.push_back(entry);
     }
 
-    /// Position of `seq` in the buffer, if present.
-    fn position(&self, seq: u64) -> Option<usize> {
+    /// Position (index handle) of `seq` in the buffer, if present.
+    ///
+    /// The returned index stays valid until the next structural mutation
+    /// (`push`, `pop_front`, `squash_*`): the stage code resolves a
+    /// sequence number once and threads the handle through its per-entry
+    /// work instead of re-running the binary search at every access.
+    pub fn position(&self, seq: u64) -> Option<usize> {
         let i = self.entries.partition_point(|e| e.seq < seq);
         (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
+    }
+
+    /// The entry at an index handle obtained from [`Ruu::position`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds (a stale handle).
+    pub fn at(&self, idx: usize) -> &Entry {
+        &self.entries[idx]
+    }
+
+    /// Mutable access through an index handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds (a stale handle).
+    pub fn at_mut(&mut self, idx: usize) -> &mut Entry {
+        &mut self.entries[idx]
     }
 
     /// Immutable entry lookup by sequence number.
@@ -81,48 +104,42 @@ impl Ruu {
     }
 
     /// The oldest replication group: all leading entries sharing the head's
-    /// `group`. Returns an empty slice when the RUU is empty.
-    pub fn head_group(&self) -> Vec<&Entry> {
-        let Some(first) = self.entries.front() else {
-            return Vec::new();
-        };
+    /// `group`. Empty when the RUU is empty; borrows, never allocates.
+    pub fn head_group(&self) -> impl Iterator<Item = &Entry> {
+        let group = self.entries.front().map(|e| e.group);
         self.entries
             .iter()
-            .take_while(|e| e.group == first.group)
-            .collect()
+            .take_while(move |e| Some(e.group) == group)
     }
 
-    /// Removes the oldest `n` entries (used by commit after a group
+    /// Drops the oldest `n` entries (used by commit after a group
     /// retires).
     ///
     /// # Panics
     ///
     /// Panics if fewer than `n` entries are live.
-    pub fn pop_front(&mut self, n: usize) -> Vec<Entry> {
+    pub fn pop_front(&mut self, n: usize) {
         assert!(n <= self.entries.len(), "RUU underflow");
-        self.entries.drain(..n).collect()
+        self.entries.drain(..n);
     }
 
-    /// Removes every entry with `seq > cutoff` (branch rewind), returning
-    /// the squashed entries youngest-last.
-    pub fn squash_after(&mut self, cutoff: u64) -> Vec<Entry> {
+    /// Removes every entry with `seq > cutoff` (branch rewind), appending
+    /// the squashed entries youngest-last to `out` (a caller-owned scratch
+    /// buffer, so the steady state allocates nothing).
+    pub fn squash_after_into(&mut self, cutoff: u64, out: &mut Vec<Entry>) {
         let keep = self.entries.partition_point(|e| e.seq <= cutoff);
-        self.entries.drain(keep..).collect()
+        out.extend(self.entries.drain(keep..));
     }
 
-    /// Removes everything (full rewind), returning the squashed entries.
-    pub fn squash_all(&mut self) -> Vec<Entry> {
-        self.entries.drain(..).collect()
+    /// Removes everything (full rewind), appending the squashed entries
+    /// to `out`.
+    pub fn squash_all_into(&mut self, out: &mut Vec<Entry>) {
+        out.extend(self.entries.drain(..));
     }
 
     /// Iterates over live entries oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
         self.entries.iter()
-    }
-
-    /// Iterates mutably over live entries oldest-first.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry> {
-        self.entries.iter_mut()
     }
 }
 
@@ -145,9 +162,22 @@ mod tests {
         assert_eq!(r.free(), 4);
         assert_eq!(r.get(2).unwrap().seq, 2);
         assert!(r.get(9).is_none());
-        let popped = r.pop_front(2);
-        assert_eq!(popped.len(), 2);
+        r.pop_front(2);
+        assert_eq!(r.len(), 2);
         assert_eq!(r.head().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn position_handles_resolve_entries() {
+        let mut r = Ruu::new(8);
+        for s in 0..4 {
+            r.push(entry(s, s, 0));
+        }
+        let idx = r.position(2).unwrap();
+        assert_eq!(r.at(idx).seq, 2);
+        r.at_mut(idx).result = Some(7);
+        assert_eq!(r.get(2).unwrap().result, Some(7));
+        assert!(r.position(9).is_none());
     }
 
     #[test]
@@ -156,7 +186,7 @@ mod tests {
         r.push(entry(0, 0, 0));
         r.push(entry(1, 0, 1));
         r.push(entry(2, 1, 0));
-        let g = r.head_group();
+        let g: Vec<_> = r.head_group().collect();
         assert_eq!(g.len(), 2);
         assert!(g.iter().all(|e| e.group == 0));
     }
@@ -167,7 +197,8 @@ mod tests {
         for s in 0..6 {
             r.push(entry(s, s, 0));
         }
-        let squashed = r.squash_after(2);
+        let mut squashed = Vec::new();
+        r.squash_after_into(2, &mut squashed);
         assert_eq!(squashed.len(), 3);
         assert_eq!(squashed[0].seq, 3);
         assert_eq!(r.len(), 3);
@@ -180,7 +211,9 @@ mod tests {
         r.push(entry(0, 0, 0));
         r.push(entry(5, 1, 0)); // gap after an earlier squash
         r.push(entry(6, 2, 0));
-        assert_eq!(r.squash_after(4).len(), 2);
+        let mut squashed = Vec::new();
+        r.squash_after_into(4, &mut squashed);
+        assert_eq!(squashed.len(), 2);
         assert_eq!(r.len(), 1);
         assert!(r.get(5).is_none());
         assert!(r.get(0).is_some());
@@ -191,9 +224,11 @@ mod tests {
         let mut r = Ruu::new(4);
         r.push(entry(0, 0, 0));
         r.push(entry(1, 1, 0));
-        assert_eq!(r.squash_all().len(), 2);
+        let mut squashed = Vec::new();
+        r.squash_all_into(&mut squashed);
+        assert_eq!(squashed.len(), 2);
         assert!(r.is_empty());
-        assert!(r.head_group().is_empty());
+        assert_eq!(r.head_group().count(), 0);
     }
 
     #[test]

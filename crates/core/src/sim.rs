@@ -8,6 +8,7 @@ use crate::stats::SimStats;
 use ftsim_faults::{FaultCounts, FaultInjector};
 use ftsim_isa::{EmuError, Emulator, Program};
 use std::fmt;
+use std::sync::Arc;
 
 /// How to validate the out-of-order machine against the in-order oracle
 /// (the paper's dual committed-state sanity check, §5.1.1).
@@ -147,7 +148,7 @@ pub struct SimResult {
 #[derive(Debug)]
 pub struct Simulator {
     proc: Processor,
-    program: Program,
+    program: Arc<Program>,
     oracle: OracleMode,
     limits: RunLimits,
 }
@@ -169,14 +170,14 @@ impl Simulator {
     /// Panics if `config` is invalid (the builder validates first).
     pub(crate) fn from_parts(
         config: MachineConfig,
-        program: &Program,
+        program: Arc<Program>,
         injector: FaultInjector,
         oracle: OracleMode,
         limits: RunLimits,
     ) -> Self {
         Self {
-            proc: Processor::new(config, program, injector),
-            program: program.clone(),
+            proc: Processor::with_shared_program(config, Arc::clone(&program), injector),
+            program,
             oracle,
             limits,
         }
@@ -188,7 +189,7 @@ impl Simulator {
     pub fn new(config: MachineConfig, program: &Program) -> Self {
         Self::from_parts(
             config,
-            program,
+            Arc::new(program.clone()),
             FaultInjector::none(),
             OracleMode::default(),
             RunLimits::default(),
@@ -207,7 +208,7 @@ impl Simulator {
     ) -> Self {
         Self::from_parts(
             config,
-            program,
+            Arc::new(program.clone()),
             injector,
             OracleMode::default(),
             RunLimits::default(),
@@ -269,7 +270,7 @@ impl Simulator {
         }
 
         let halted = self.proc.halted();
-        let stats = self.proc.stats().clone();
+        let stats = self.proc.stats_snapshot();
         Ok(SimResult {
             model: self.proc.config().name.clone(),
             cycles: stats.cycles,

@@ -21,9 +21,10 @@ impl Processor {
 
     /// Finalizes one entry's execution.
     fn complete(&mut self, seq: u64) {
-        let Some(e) = self.ruu.get(seq) else {
+        let Some(idx) = self.ruu.position(seq) else {
             return; // squashed while in flight
         };
+        let e = self.ruu.at(idx);
         if e.state != EntryState::Issued {
             return; // stale event
         }
@@ -61,7 +62,7 @@ impl Processor {
         }
 
         {
-            let e = self.ruu.get_mut(seq).expect("entry live");
+            let e = self.ruu.at_mut(idx);
             e.result = result;
             e.state = EntryState::Done;
             e.fault_effective |= effective;

@@ -1,9 +1,14 @@
 //! Sparse, paged, byte-addressable main memory.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// Bytes per memory page.
 pub const PAGE_BYTES: usize = 4096;
+
+/// Sentinel for "no page cached" (no reachable address maps to this page
+/// number: the largest byte address yields page `u64::MAX / PAGE_BYTES`).
+const NO_PAGE: u64 = u64::MAX;
 
 /// A lazily-allocated, byte-addressable memory.
 ///
@@ -17,6 +22,12 @@ pub const PAGE_BYTES: usize = 4096;
 /// All multi-byte accesses are little-endian and may straddle page
 /// boundaries.
 ///
+/// Page storage is an arena (`Vec` of page boxes) indexed by a
+/// `BTreeMap`, with a one-entry last-page cache in front: sequential and
+/// same-page accesses — the overwhelmingly common pattern in the
+/// simulated load/store stream — skip the tree lookup entirely. Pages are
+/// never deallocated, so cached slots can never dangle.
+///
 /// # Examples
 ///
 /// ```
@@ -27,9 +38,25 @@ pub const PAGE_BYTES: usize = 4096;
 /// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
 /// assert_eq!(m.read_u64(0x2000), 0); // unmapped reads as zero
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SparseMemory {
-    pages: BTreeMap<u64, Box<[u8; PAGE_BYTES]>>,
+    /// Page number → arena slot.
+    index: BTreeMap<u64, usize>,
+    /// Page storage; slots are stable (pages are never removed).
+    pages: Vec<Box<[u8; PAGE_BYTES]>>,
+    /// Last-translated `(page number, arena slot)`; `NO_PAGE` when cold.
+    /// Interior mutability lets plain reads refresh the cache.
+    last: Cell<(u64, usize)>,
+}
+
+impl Default for SparseMemory {
+    fn default() -> Self {
+        Self {
+            index: BTreeMap::new(),
+            pages: Vec::new(),
+            last: Cell::new((NO_PAGE, 0)),
+        }
+    }
 }
 
 /// One difference found by [`SparseMemory::diff`].
@@ -56,25 +83,54 @@ impl SparseMemory {
         )
     }
 
+    /// Arena slot of page `p`, consulting the one-entry cache before the
+    /// tree and refreshing it on a tree hit.
+    fn slot_of(&self, p: u64) -> Option<usize> {
+        let (lp, ls) = self.last.get();
+        if lp == p {
+            return Some(ls);
+        }
+        let slot = *self.index.get(&p)?;
+        self.last.set((p, slot));
+        Some(slot)
+    }
+
+    /// Arena slot of page `p`, allocating it on first touch.
+    fn slot_of_or_alloc(&mut self, p: u64) -> usize {
+        if let Some(slot) = self.slot_of(p) {
+            return slot;
+        }
+        let slot = self.pages.len();
+        self.pages.push(Box::new([0u8; PAGE_BYTES]));
+        self.index.insert(p, slot);
+        self.last.set((p, slot));
+        slot
+    }
+
     /// Reads one byte; unmapped locations read as zero.
     pub fn read_u8(&self, addr: u64) -> u8 {
         let (p, off) = Self::page_index(addr);
-        self.pages.get(&p).map_or(0, |pg| pg[off])
+        self.slot_of(p).map_or(0, |slot| self.pages[slot][off])
     }
 
     /// Writes one byte, allocating the page on demand.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
         let (p, off) = Self::page_index(addr);
-        let page = self
-            .pages
-            .entry(p)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
-        page[off] = value;
+        let slot = self.slot_of_or_alloc(p);
+        self.pages[slot][off] = value;
     }
 
     /// Reads `N` little-endian bytes starting at `addr`.
     fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
         let mut buf = [0u8; N];
+        let (p, off) = Self::page_index(addr);
+        if off + N <= PAGE_BYTES {
+            // Within one page (the common case): one translation, one copy.
+            if let Some(slot) = self.slot_of(p) {
+                buf.copy_from_slice(&self.pages[slot][off..off + N]);
+            }
+            return buf;
+        }
         for (i, b) in buf.iter_mut().enumerate() {
             *b = self.read_u8(addr.wrapping_add(i as u64));
         }
@@ -83,6 +139,12 @@ impl SparseMemory {
 
     /// Writes `N` little-endian bytes starting at `addr`.
     fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let (p, off) = Self::page_index(addr);
+        if off + bytes.len() <= PAGE_BYTES {
+            let slot = self.slot_of_or_alloc(p);
+            self.pages[slot][off..off + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
         for (i, &b) in bytes.iter().enumerate() {
             self.write_u8(addr.wrapping_add(i as u64), b);
         }
@@ -150,7 +212,7 @@ impl SparseMemory {
 
     /// Number of allocated (ever-written) pages.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.index.len()
     }
 
     /// Compares the union of allocated pages of `self` and `other`,
@@ -162,14 +224,14 @@ impl SparseMemory {
         let mut out = Vec::new();
         let zero = [0u8; PAGE_BYTES];
         let pages: std::collections::BTreeSet<u64> = self
-            .pages
+            .index
             .keys()
-            .chain(other.pages.keys())
+            .chain(other.index.keys())
             .copied()
             .collect();
         for p in pages {
-            let a = self.pages.get(&p).map_or(&zero, |b| &**b);
-            let b = other.pages.get(&p).map_or(&zero, |b| &**b);
+            let a = self.index.get(&p).map_or(&zero, |&s| &*self.pages[s]);
+            let b = other.index.get(&p).map_or(&zero, |&s| &*other.pages[s]);
             if a == b {
                 continue;
             }

@@ -7,7 +7,7 @@ use ftsim_isa::Program;
 use ftsim_workloads::WorkloadProfile;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default committed-instruction budget per cell (the experiments'
 /// standard sample size; the paper simulates 1 B instructions, whose
@@ -319,11 +319,17 @@ impl Experiment {
         self.validate()?;
 
         // Generate each distinct (workload, budget) program once, up
-        // front: cells only read them.
-        let programs: Vec<Vec<Program>> = self
+        // front, behind an `Arc`: cells share the image by reference
+        // count instead of deep-copying instructions and data per cell.
+        let programs: Vec<Vec<Arc<Program>>> = self
             .workloads
             .iter()
-            .map(|w| self.budgets.iter().map(|&b| w.program_for(b)).collect())
+            .map(|w| {
+                self.budgets
+                    .iter()
+                    .map(|&b| Arc::new(w.program_for(b)))
+                    .collect()
+            })
             .collect();
 
         // The flattened cell list, in deterministic grid order.
@@ -375,7 +381,7 @@ impl Experiment {
             );
             let mut builder = Simulator::builder()
                 .config(config)
-                .program(&programs[cell.workload][cell.budget_idx])
+                .program_shared(Arc::clone(&programs[cell.workload][cell.budget_idx]))
                 .oracle(self.oracle)
                 .budget(cell.budget);
             if cell.rate_pm > 0.0 {

@@ -1,0 +1,103 @@
+//! Scheduler-equivalence golden test.
+//!
+//! The event-driven scheduler (wakeup wait-lists, incremental ready queue,
+//! pending-store list) must be *observationally identical* to the seed's
+//! scan-based scheduler: same cycle counts, same fault fates, same
+//! records, byte for byte. This test runs the workload tour plus
+//! randomized fault plans through the experiment grid and compares the
+//! CSV serialization of every record against a golden file generated
+//! with the scan-based scheduler.
+//!
+//! Regenerate the golden file (only when an *intentional* semantic change
+//! lands, never to paper over a scheduler divergence) with:
+//!
+//! ```text
+//! FTSIM_BLESS=1 cargo test --test scheduler_equivalence
+//! ```
+
+use ftsim::harness::{to_csv, Experiment, RunRecord};
+use ftsim_core::{MachineConfig, OracleMode};
+use ftsim_workloads::spec_profiles;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/scheduler_records.csv")
+}
+
+/// The tour: every calibrated benchmark profile on the paper's three
+/// redundancy designs, fault-free and at a moderate random fault rate,
+/// with the oracle checking final state.
+fn tour_records() -> Vec<RunRecord> {
+    Experiment::grid()
+        .workloads(spec_profiles())
+        .models([
+            MachineConfig::ss1(),
+            MachineConfig::ss2(),
+            MachineConfig::ss3_majority(),
+        ])
+        .fault_rates([0.0, 2_000.0])
+        .budget(2_000)
+        .seeds([9])
+        .oracle(OracleMode::Final)
+        .run()
+        .expect("tour grid is well-formed")
+}
+
+/// Randomized fault plans at a hostile rate across several seeds: lots of
+/// rewinds, elections, squashes and (deterministically) wedged cells —
+/// the paths a scheduler rewrite is most likely to perturb.
+fn fault_storm_records() -> Vec<RunRecord> {
+    let storm: Vec<_> = ["gcc", "fpppp", "equake", "go"]
+        .iter()
+        .map(|n| ftsim_workloads::profile(n).unwrap_or_else(|| panic!("profile {n} exists")))
+        .collect();
+    Experiment::grid()
+        .workloads(storm)
+        .models([MachineConfig::ss2(), MachineConfig::ss3_majority()])
+        .fault_rates([20_000.0])
+        .budget(2_000)
+        .seeds([1, 2, 3])
+        .oracle(OracleMode::Off)
+        .run()
+        .expect("storm grid is well-formed")
+}
+
+#[test]
+fn scheduler_matches_golden_records() {
+    let mut records = tour_records();
+    records.extend(fault_storm_records());
+    let csv = to_csv(&records);
+
+    let path = golden_path();
+    if std::env::var_os("FTSIM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &csv).expect("write golden");
+        eprintln!("blessed {} records into {}", records.len(), path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden file {} missing: {e}", path.display()));
+    if csv != golden {
+        // Byte inequality: report the first divergent row for diagnosis.
+        for (i, (got, want)) in csv.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(
+                got, want,
+                "record row {i} diverged from the scan-based scheduler"
+            );
+        }
+        assert_eq!(
+            csv.lines().count(),
+            golden.lines().count(),
+            "record count diverged from the scan-based scheduler"
+        );
+        panic!("records diverged from golden (trailing bytes)");
+    }
+
+    // Sanity on the golden corpus itself: it must exercise the paths that
+    // matter — elections, fault rewinds, branch rewinds and squashes.
+    assert!(records.iter().any(|r| r.fault_rewinds > 0));
+    assert!(records.iter().any(|r| r.majority_elections > 0));
+    assert!(records.iter().any(|r| r.branch_rewinds > 0));
+    assert!(records.iter().any(|r| r.faults_squashed_wrong_path > 0));
+}
