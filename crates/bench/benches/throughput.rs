@@ -11,10 +11,13 @@
 //!   injection, isolating the fault-free steady-state cycle loop.
 //!
 //! Grids run on one worker thread so the metric is per-core simulator
-//! speed, independent of the host's core count. Each grid is repeated
-//! `FTSIM_REPS` times (default 3, minimum 1) and the best wall time
-//! wins, damping scheduler noise. `FTSIM_SMOKE=1` shrinks budgets and
-//! repetitions for CI.
+//! speed, independent of the host's core count. Each grid is measured
+//! twice — cold, and as a `*_checkpointed` variant with checkpoint-forking
+//! enabled (fault-free prefixes shared across cells; records are
+//! byte-identical either way, so `sim_cycles` match and only wall time
+//! moves). Each measurement is repeated `FTSIM_REPS` times (default 3,
+//! minimum 1) and the best wall time wins, damping scheduler noise.
+//! `FTSIM_SMOKE=1` shrinks budgets and repetitions for CI.
 //!
 //! Results are printed and written to `BENCH_throughput.json` at the
 //! workspace root, where the perf trajectory across PRs is recorded.
@@ -60,6 +63,10 @@ impl GridResult {
         ])
     }
 }
+
+/// Worker threads every grid runs on — recorded in the JSON so the
+/// per-core claim is auditable rather than assumed.
+const WORKER_THREADS: usize = 1;
 
 fn smoke() -> bool {
     std::env::var_os("FTSIM_SMOKE").is_some()
@@ -122,7 +129,8 @@ fn fig6_grid() -> Experiment {
         .fault_rates(rates)
         .seeds([42])
         .budget(budget())
-        .threads(1)
+        .threads(WORKER_THREADS)
+        .checkpointing(false)
 }
 
 fn fault_free_trio() -> Experiment {
@@ -134,7 +142,8 @@ fn fault_free_trio() -> Experiment {
         .workloads(trio)
         .models([MachineConfig::ss1(), MachineConfig::ss2()])
         .budget(budget())
-        .threads(1)
+        .threads(WORKER_THREADS)
+        .checkpointing(false)
 }
 
 fn main() {
@@ -152,12 +161,16 @@ fn main() {
 
     let results = [
         measure("fig6_grid", fig6_grid),
+        measure("fig6_grid_checkpointed", || fig6_grid().checkpointing(true)),
         measure("fault_free_trio", fault_free_trio),
+        measure("fault_free_trio_checkpointed", || {
+            fault_free_trio().checkpointing(true)
+        }),
     ];
 
     for r in &results {
         println!(
-            "{:<18} {:>3} cells  {:>12} sim cycles  {:>8.3} s  {:>12.0} cycles/s  {:>12.0} instr/s",
+            "{:<28} {:>3} cells  {:>12} sim cycles  {:>8.3} s  {:>12.0} cycles/s  {:>12.0} instr/s",
             r.name,
             r.cells,
             r.sim_cycles,
@@ -171,7 +184,7 @@ fn main() {
         ("bench".into(), JsonValue::Str("throughput".into())),
         ("budget".into(), JsonValue::U64(budget())),
         ("reps".into(), JsonValue::U64(reps() as u64)),
-        ("threads".into(), JsonValue::U64(1)),
+        ("threads".into(), JsonValue::U64(WORKER_THREADS as u64)),
         (
             "grids".into(),
             JsonValue::Arr(results.iter().map(GridResult::to_json).collect()),

@@ -87,28 +87,6 @@ pub fn try_run_workload_with_faults(
         .run()
 }
 
-/// Runs `profile` on `config` for the standard budget.
-///
-/// # Panics
-///
-/// Panics if the simulation errors.
-#[deprecated(since = "0.2.0", note = "use `try_run_workload`")]
-pub fn run_workload(profile: &WorkloadProfile, config: MachineConfig, n: u64) -> SimResult {
-    try_run_workload(profile, config, n)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", profile.name, e))
-}
-
-/// As the deprecated `run_workload` with a fault injector.
-#[deprecated(since = "0.2.0", note = "use `try_run_workload_with_faults`")]
-pub fn run_workload_with_faults(
-    profile: &WorkloadProfile,
-    config: MachineConfig,
-    n: u64,
-    injector: FaultInjector,
-) -> Result<SimResult, SimError> {
-    try_run_workload_with_faults(profile, config, n, injector)
-}
-
 /// The three machine models of Figure 5, in the paper's order.
 pub fn figure5_models() -> [MachineConfig; 3] {
     [

@@ -38,8 +38,9 @@ pub struct FetchStats {
 /// Per the paper (§3.4) the fetch queue contents are ECC-protected (simple
 /// RAM), and the PC register's window of vulnerability is covered by the
 /// retirement-time control-flow check — so none of this state is a fault-
-/// injection target.
-#[derive(Debug)]
+/// injection target. `Clone` snapshots the whole front end (queue,
+/// predictor/BTB/RAS training state, stall clock) for checkpointing.
+#[derive(Debug, Clone)]
 pub struct FetchUnit {
     pc: u64,
     ifq: VecDeque<FetchedInst>,

@@ -57,13 +57,21 @@ impl Processor {
             if from_parked {
                 let seq = parked[pi];
                 pi += 1;
+                // Port check first: once the cycle's L1D ports are gone a
+                // parked attempt cannot succeed, so the entry is re-parked
+                // without even resolving its RUU slot. (A seq squashed
+                // while parked may thus survive one extra port-starved
+                // cycle in the list; it is dropped at the next visit that
+                // has a port — parked contents are not observable state.)
+                if self.hierarchy.data_ports_available() == 0 {
+                    keep.push(seq);
+                    continue;
+                }
                 let Some(idx) = self.ruu.position(seq) else {
                     continue; // squashed while parked
                 };
                 debug_assert_eq!(self.ruu.at(idx).state, EntryState::Ready);
-                if self.hierarchy.data_ports_available() == 0 {
-                    keep.push(seq); // no port left: the attempt cannot succeed
-                } else if self.try_issue_mem(seq, idx) {
+                if self.try_issue_mem(seq, idx) {
                     budget -= 1;
                 } else {
                     keep.push(seq);
@@ -135,10 +143,7 @@ impl Processor {
         let e = self.ruu.at_mut(idx);
         e.ea = Some(ea);
         e.fault_effective |= effective;
-        self.lsq
-            .get_mut(seq)
-            .expect("mem entry has an LSQ slot")
-            .addr = Some(ea);
+        self.lsq.set_addr(seq, ea);
         ea
     }
 
@@ -323,7 +328,7 @@ impl Processor {
                 e.store_data = Some(data);
                 e.fault_effective |= effective;
             }
-            self.lsq.get_mut(seq).expect("lsq slot").data = Some(data);
+            self.lsq.set_store_data(seq, data);
             crate::pipeline::schedule(&mut self.events, self.now + 1, seq);
             false // merged: leave the pending list
         });

@@ -64,6 +64,7 @@
 
 mod build;
 mod check;
+mod checkpoint;
 mod commit;
 mod config;
 mod dispatch;
@@ -76,14 +77,16 @@ mod pipeline;
 mod rename;
 mod ruu;
 mod sched;
+mod seqhash;
 mod sim;
 mod stats;
 mod writeback;
 
 pub use build::{BuildError, SimBuilder};
 pub use check::{majority_vote, CheckOutcome, GroupDecision};
+pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, FuConfig, MachineConfig, OpLatencies, RedundancyConfig, Scale};
 pub use entry::{EntryState, Prediction};
-pub use pipeline::Processor;
+pub use pipeline::{Processor, SchedulerDepths};
 pub use sim::{OracleMode, RunLimits, SimError, SimResult, Simulator};
 pub use stats::SimStats;

@@ -45,16 +45,37 @@ pub enum LoadSearch {
     Memory,
 }
 
+/// Compact mirror of one store entry's disambiguation-relevant fields,
+/// kept in the per-copy store index so a load's dependence search touches
+/// only same-thread stores instead of walking the whole queue.
+#[derive(Debug, Clone, Copy)]
+struct StoreRef {
+    seq: u64,
+    addr: Option<u64>,
+    size: u8,
+    data: Option<u64>,
+}
+
 /// The load/store queue.
 ///
 /// Entries are ordered by sequence number (program order × copies). All
 /// `R` copies of a memory instruction occupy slots, halving (for `R = 2`)
 /// the queue's effective capacity exactly as the paper describes for the
 /// ROB and rename registers.
+///
+/// Stores are additionally indexed per copy ([`StoreRef`]) because the
+/// dependence search is *thread-local*: copy *k* loads only ever interact
+/// with copy *k* stores, so the search walks a short, dense store list
+/// instead of every load and foreign-copy entry in between. Store `addr`
+/// and `data` must therefore be set through [`Lsq::set_addr`] /
+/// [`Lsq::set_store_data`], which keep the index coherent.
 #[derive(Debug, Clone, Default)]
 pub struct Lsq {
     entries: VecDeque<LsqEntry>,
     capacity: usize,
+    /// Store index: `stores[copy]` holds this copy's in-flight stores in
+    /// ascending sequence order.
+    stores: Vec<VecDeque<StoreRef>>,
 }
 
 impl Lsq {
@@ -63,6 +84,7 @@ impl Lsq {
         Self {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            stores: Vec::new(),
         }
     }
 
@@ -91,13 +113,74 @@ impl Lsq {
         if let Some(last) = self.entries.back() {
             assert!(entry.seq > last.seq, "LSQ sequence must increase");
         }
+        if entry.is_store {
+            let copy = entry.copy as usize;
+            if self.stores.len() <= copy {
+                self.stores.resize_with(copy + 1, VecDeque::new);
+            }
+            self.stores[copy].push_back(StoreRef {
+                seq: entry.seq,
+                addr: entry.addr,
+                size: entry.size,
+                data: entry.data,
+            });
+        }
         self.entries.push_back(entry);
+    }
+
+    /// Records the resolved effective address of the entry `seq`, keeping
+    /// the store index coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in the queue.
+    pub fn set_addr(&mut self, seq: u64, addr: u64) {
+        let e = self.get_mut(seq).expect("mem entry has an LSQ slot");
+        e.addr = Some(addr);
+        if e.is_store {
+            let copy = e.copy as usize;
+            self.store_ref_mut(copy, seq).addr = Some(addr);
+        }
+    }
+
+    /// Records the merged datum of the store `seq`, keeping the store
+    /// index coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in the queue or is not a store.
+    pub fn set_store_data(&mut self, seq: u64, data: u64) {
+        let e = self.get_mut(seq).expect("store has an LSQ slot");
+        debug_assert!(e.is_store);
+        e.data = Some(data);
+        let copy = e.copy as usize;
+        self.store_ref_mut(copy, seq).data = Some(data);
+    }
+
+    /// The index slot of store `seq` of `copy`.
+    fn store_ref_mut(&mut self, copy: usize, seq: u64) -> &mut StoreRef {
+        let list = &mut self.stores[copy];
+        let i = list.partition_point(|s| s.seq < seq);
+        debug_assert!(
+            i < list.len() && list[i].seq == seq,
+            "store index out of sync"
+        );
+        &mut list[i]
     }
 
     /// Position (index handle) of `seq`, if present. Valid until the next
     /// structural mutation; the issue stage resolves a sequence once and
     /// reuses the handle.
+    ///
+    /// Unlike the RUU, the LSQ holds only memory entries, so its window is
+    /// rarely dense; the bounds check still rejects most stale lookups
+    /// before the binary search.
     pub fn position(&self, seq: u64) -> Option<usize> {
+        let first = self.entries.front()?.seq;
+        let last = self.entries.back().expect("front exists").seq;
+        if seq < first || seq > last {
+            return None;
+        }
         let i = self.entries.partition_point(|e| e.seq < seq);
         (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
     }
@@ -128,24 +211,26 @@ impl Lsq {
     /// unknown address or an inexact overlap wins as [`LoadSearch::Conflict`];
     /// an exact match forwards (or waits for) its datum; otherwise memory.
     pub fn search_for_load(&self, seq: u64, copy: u8, addr: u64, size: u8) -> LoadSearch {
+        let Some(list) = self.stores.get(copy as usize) else {
+            return LoadSearch::Memory;
+        };
         let end = addr.wrapping_add(u64::from(size));
-        for e in self.entries.iter().rev() {
-            if e.seq >= seq {
-                continue;
-            }
-            if !e.is_store || e.copy != copy {
-                continue;
-            }
-            match e.addr {
+        // The index is seq-ascending, so the reverse walk visits this
+        // copy's older stores youngest-first — the same visit order the
+        // full-queue scan produced, minus the loads and foreign copies in
+        // between.
+        let older = list.partition_point(|s| s.seq < seq);
+        for s in list.iter().take(older).rev() {
+            match s.addr {
                 None => return LoadSearch::Conflict,
                 Some(sa) => {
-                    let send = sa.wrapping_add(u64::from(e.size));
+                    let send = sa.wrapping_add(u64::from(s.size));
                     let overlap = sa < end && addr < send;
                     if !overlap {
                         continue;
                     }
-                    if sa == addr && e.size == size {
-                        return match e.data {
+                    if sa == addr && s.size == size {
+                        return match s.data {
                             Some(d) => LoadSearch::Forward(d),
                             None => LoadSearch::WaitData,
                         };
@@ -165,7 +250,15 @@ impl Lsq {
     /// pop there instead of filtering the whole queue.
     pub fn remove_group(&mut self, group: u64) {
         while self.entries.front().is_some_and(|e| e.group == group) {
-            self.entries.pop_front();
+            let e = self.entries.pop_front().expect("front exists");
+            if e.is_store {
+                let popped = self.stores[e.copy as usize].pop_front();
+                debug_assert_eq!(
+                    popped.map(|s| s.seq),
+                    Some(e.seq),
+                    "store index out of sync at commit"
+                );
+            }
         }
         debug_assert!(
             !self.entries.iter().any(|e| e.group == group),
@@ -177,11 +270,18 @@ impl Lsq {
     pub fn squash_after(&mut self, cutoff: u64) {
         let keep = self.entries.partition_point(|e| e.seq <= cutoff);
         self.entries.truncate(keep);
+        for list in &mut self.stores {
+            let keep = list.partition_point(|s| s.seq <= cutoff);
+            list.truncate(keep);
+        }
     }
 
     /// Removes everything (full rewind).
     pub fn squash_all(&mut self) {
         self.entries.clear();
+        for list in &mut self.stores {
+            list.clear();
+        }
     }
 
     /// Iterates oldest-first.

@@ -13,12 +13,13 @@ use crate::lsq::Lsq;
 use crate::rename::{MapCheckpoint, MapTable};
 use crate::ruu::Ruu;
 use crate::sched::Scheduler;
+use crate::seqhash::SeqHashMap;
 use crate::stats::SimStats;
 use ftsim_faults::{FaultFate, FaultInjector, FaultLog};
 use ftsim_isa::{ArchRegs, Program};
 use ftsim_mem::{Hierarchy, SparseMemory};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// The complete microarchitectural state of one simulated processor.
@@ -38,7 +39,7 @@ pub struct Processor {
     pub(crate) ruu: Ruu,
     pub(crate) lsq: Lsq,
     pub(crate) map: MapTable,
-    pub(crate) checkpoints: HashMap<u64, MapCheckpoint>,
+    pub(crate) checkpoints: SeqHashMap<u64, MapCheckpoint>,
     pub(crate) regs: ArchRegs,
     pub(crate) mem: SparseMemory,
     /// The ECC-protected committed next-PC register (§3.2): "an
@@ -101,7 +102,7 @@ impl Processor {
             ruu: Ruu::new(config.ruu_size),
             lsq: Lsq::new(config.lsq_size),
             map: MapTable::new(),
-            checkpoints: HashMap::new(),
+            checkpoints: SeqHashMap::default(),
             regs: ArchRegs::new(),
             mem,
             committed_next_pc: program.entry(),
@@ -205,9 +206,31 @@ impl Processor {
         &self.fault_log
     }
 
+    /// Mutable access to the fault injector.
+    ///
+    /// Forking uses this to fast-forward a freshly built cell's injector
+    /// past a restored fault-free prefix (see
+    /// [`FaultInjector::fast_forward_fault_free`]).
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
     /// In-flight RUU occupancy (tests/inspection).
     pub fn ruu_len(&self) -> usize {
         self.ruu.len()
+    }
+
+    /// Occupancy of the event-driven scheduler's structures — how much
+    /// genuinely in-flight state a snapshot at this boundary captures.
+    pub fn scheduler_depths(&self) -> SchedulerDepths {
+        let (waiters, ready, parked_mem, pending_stores) = self.sched.depths();
+        SchedulerDepths {
+            waiters,
+            ready,
+            parked_mem,
+            pending_stores,
+            events: self.events.len(),
+        }
     }
 
     /// Dumps the oldest `n` RUU entries and LSQ state (debugging aid).
@@ -373,6 +396,23 @@ impl Processor {
     #[cfg(not(debug_assertions))]
     #[allow(dead_code)]
     pub(crate) fn assert_group_invariants(&self) {}
+}
+
+/// Scheduler-structure occupancy reported by
+/// [`Processor::scheduler_depths`] (checkpoint tests and debugging use
+/// this to prove a snapshot point carries real in-flight state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerDepths {
+    /// Consumers registered on producer wait-lists (in-flight wakeups).
+    pub waiters: usize,
+    /// Issue-eligible entries (including this cycle's deferred retries).
+    pub ready: usize,
+    /// Memory entries parked after a failed issue attempt.
+    pub parked_mem: usize,
+    /// Stores whose address phase issued but whose datum has not merged.
+    pub pending_stores: usize,
+    /// Scheduled completion events.
+    pub events: usize,
 }
 
 /// Schedules a completion event (free function to avoid borrow tangles).

@@ -65,7 +65,20 @@ impl Ruu {
     /// (`push`, `pop_front`, `squash_*`): the stage code resolves a
     /// sequence number once and threads the handle through its per-entry
     /// work instead of re-running the binary search at every access.
+    ///
+    /// Sequences are strictly ascending, so the buffer is gap-free exactly
+    /// when its sequence span equals its length — the common state between
+    /// rewinds — and the slot is then computed directly; only a buffer
+    /// holding a squash-induced gap pays the binary search.
     pub fn position(&self, seq: u64) -> Option<usize> {
+        let first = self.entries.front()?.seq;
+        let last = self.entries.back().expect("front exists").seq;
+        if seq < first || seq > last {
+            return None;
+        }
+        if last - first + 1 == self.entries.len() as u64 {
+            return Some((seq - first) as usize);
+        }
         let i = self.entries.partition_point(|e| e.seq < seq);
         (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
     }

@@ -26,8 +26,9 @@
 //! recycle their backing storage, so the steady-state cycle loop
 //! allocates nothing.
 
+use crate::seqhash::SeqHashMap;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Upper bound on recycled wait-list vectors kept around; beyond this the
 /// extras are dropped (a producer rarely has more than a handful of live
@@ -35,10 +36,14 @@ use std::collections::{BinaryHeap, HashMap};
 const POOL_CAP: usize = 64;
 
 /// Scheduler bookkeeping owned by the [`Processor`](crate::Processor).
-#[derive(Debug, Default)]
+///
+/// `Clone` is what checkpointing leans on: every container (wait-lists,
+/// ready queue, deferred/parked lists, pending stores) is plain owned
+/// data, so a clone captures the exact scheduling state mid-flight.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct Scheduler {
     /// Producer sequence → consumers whose operands wait on it.
-    wait_lists: HashMap<u64, Vec<u64>>,
+    wait_lists: SeqHashMap<u64, Vec<u64>>,
     /// Recycled wait-list vectors.
     pool: Vec<Vec<u64>>,
     /// Issue-eligible entries, popped oldest-first.
@@ -154,6 +159,19 @@ impl Scheduler {
     pub(crate) fn put_pending_stores(&mut self, list: Vec<u64>) {
         debug_assert!(self.pending_stores.is_empty());
         self.pending_stores = list;
+    }
+
+    /// Occupancy of each scheduler structure: `(wait-list consumers,
+    /// ready entries, parked memory entries, pending stores)`. Deferred
+    /// entries are counted as ready — they re-enter the queue before the
+    /// next issue cycle.
+    pub(crate) fn depths(&self) -> (usize, usize, usize, usize) {
+        (
+            self.wait_lists.values().map(Vec::len).sum(),
+            self.ready.len() + self.deferred.len(),
+            self.parked_mem.len(),
+            self.pending_stores.len(),
+        )
     }
 
     /// A squashed entry's producer role dies with it: drop its wait-list.

@@ -2,6 +2,7 @@
 //! the in-order oracle.
 
 use crate::build::{BuildError, SimBuilder};
+use crate::checkpoint::Checkpoint;
 use crate::config::MachineConfig;
 use crate::pipeline::Processor;
 use crate::stats::SimStats;
@@ -183,49 +184,8 @@ impl Simulator {
         }
     }
 
-    /// Creates a simulator with no fault injection and final oracle
-    /// verification.
-    #[deprecated(since = "0.2.0", note = "use `Simulator::builder()`")]
-    pub fn new(config: MachineConfig, program: &Program) -> Self {
-        Self::from_parts(
-            config,
-            Arc::new(program.clone()),
-            FaultInjector::none(),
-            OracleMode::default(),
-            RunLimits::default(),
-        )
-    }
-
-    /// Creates a simulator with a fault injector.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Simulator::builder()` with `.injector(..)`"
-    )]
-    pub fn with_injector(
-        config: MachineConfig,
-        program: &Program,
-        injector: FaultInjector,
-    ) -> Self {
-        Self::from_parts(
-            config,
-            Arc::new(program.clone()),
-            injector,
-            OracleMode::default(),
-            RunLimits::default(),
-        )
-    }
-
-    /// Sets the oracle mode (consuming builder).
-    #[deprecated(
-        since = "0.2.0",
-        note = "set the oracle mode on `Simulator::builder()` instead"
-    )]
-    pub fn oracle(mut self, mode: OracleMode) -> Self {
-        self.oracle = mode;
-        self
-    }
-
-    /// Access to the underlying processor (single-stepping, inspection).
+    /// Access to the underlying processor (single-stepping, inspection,
+    /// checkpoint restore, injector fast-forward).
     pub fn processor_mut(&mut self) -> &mut Processor {
         &mut self.proc
     }
@@ -247,6 +207,55 @@ impl Simulator {
     /// See [`SimError`]; reaching `max_instructions` is success, reaching
     /// `max_cycles` without halting is [`SimError::CycleLimit`].
     pub fn run_with_limits(mut self, limits: RunLimits) -> Result<SimResult, SimError> {
+        self.run_loop(limits, None)?;
+        self.finish()
+    }
+
+    /// As [`Simulator::run`], additionally snapshotting the machine every
+    /// `every` cycles (starting at the first nonzero boundary — a cycle-0
+    /// snapshot is just a cold start, so it is never taken), until the
+    /// machine has made more than `horizon_draws` fault-injector draws.
+    ///
+    /// This is the producer side of prefix-sharing sweeps: the fault-free
+    /// baseline of a grid family runs once through here, and each faulty
+    /// sibling cell restores the newest checkpoint that precedes its first
+    /// possible injection instead of re-simulating the shared prefix. The
+    /// horizon lets the caller stop paying snapshot cost once every
+    /// sibling's divergence point has been passed; `u64::MAX` snapshots to
+    /// the end of the run.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`]. The checkpoints gathered before the failure are
+    /// returned alongside the error so a caller can still fork cells whose
+    /// divergence point precedes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_with_checkpoints(
+        mut self,
+        every: u64,
+        horizon_draws: u64,
+    ) -> (Result<SimResult, SimError>, Vec<Checkpoint>) {
+        assert!(every > 0, "checkpoint interval must be nonzero");
+        let limits = self.limits;
+        let mut checkpoints = Vec::new();
+        let sink = (every, horizon_draws, &mut checkpoints);
+        if let Err(e) = self.run_loop(limits, Some(sink)) {
+            return (Err(e), checkpoints);
+        }
+        (self.finish(), checkpoints)
+    }
+
+    /// The shared cycle loop: halt / instruction-quota / cycle-ceiling /
+    /// watchdog checks in the exact order every run mode uses, with an
+    /// optional periodic checkpoint sink.
+    fn run_loop(
+        &mut self,
+        limits: RunLimits,
+        mut checkpoints: Option<(u64, u64, &mut Vec<Checkpoint>)>,
+    ) -> Result<(), SimError> {
         while !self.proc.halted() {
             if self.proc.stats.retired_instructions >= limits.max_instructions {
                 break;
@@ -262,9 +271,19 @@ impl Simulator {
                     cycle: self.proc.now(),
                 });
             }
+            if let Some((every, horizon, sink)) = checkpoints.as_mut() {
+                let now = self.proc.now();
+                if now > 0 && now % *every == 0 && self.proc.next_seq <= *horizon {
+                    sink.push(self.proc.snapshot());
+                }
+            }
             self.proc.cycle();
         }
+        Ok(())
+    }
 
+    /// Oracle verification and result assembly shared by every run mode.
+    fn finish(mut self) -> Result<SimResult, SimError> {
         if self.oracle == OracleMode::Final {
             self.verify_against_oracle()?;
         }

@@ -173,6 +173,65 @@ impl FaultInjector {
         event
     }
 
+    /// Index of the first draw at which this injector *could* produce a
+    /// fault, scanning at most `max_draws` draws ahead; `None` when no
+    /// draw in that horizon can fire.
+    ///
+    /// Must be called on a fresh injector (before any [`FaultInjector::draw`]).
+    /// The bound is conservative by construction:
+    ///
+    /// * `Disabled` never fires;
+    /// * `Random` replays its own Bernoulli stream — every non-firing draw
+    ///   consumes exactly one `f64`, so the first sample under the rate
+    ///   marks the first *possible* injection (the actual one lands there
+    ///   or later if that instruction kind has no applicable point);
+    /// * `Planned` events are keyed by dispatch index, and with `R` copies
+    ///   per instruction the plan's earliest index `d` cannot be reached
+    ///   before draw `d · R`... but `R` is the machine's business, so the
+    ///   plan conservatively reports `d` itself (draws ≥ dispatch index).
+    ///
+    /// This is the fork-safety bound for prefix-sharing sweeps: a machine
+    /// checkpoint whose draw count is ≤ this index captures state the
+    /// faulty run reproduces exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any draws were already made (the scan replays the RNG
+    /// from its current state, which must be the seeded origin).
+    pub fn first_possible_fire(&self, max_draws: u64) -> Option<u64> {
+        assert_eq!(self.drawn, 0, "first_possible_fire needs a fresh injector");
+        match &self.mode {
+            Mode::Disabled => None,
+            Mode::Random { rate, rng } => {
+                let mut probe = rng.clone();
+                (0..max_draws).find(|_| probe.gen::<f64>() < *rate)
+            }
+            Mode::Planned(plan) => plan.first_event_cycle().filter(|&d| d < max_draws),
+        }
+    }
+
+    /// Advances the injector as if `draws` draws had been made, none of
+    /// which injected a fault.
+    ///
+    /// This is the consumer side of checkpoint forking: a forked cell's
+    /// machine state resumes from a baseline snapshot, and its injector
+    /// must resume from the matching point of its own stream. Sound only
+    /// when the skipped prefix is actually fault-free for this injector —
+    /// i.e. `draws` ≤ [`FaultInjector::first_possible_fire`] — because a
+    /// non-firing `Random` draw consumes exactly one `f64` regardless of
+    /// the instruction kind drawn for.
+    pub fn fast_forward_fault_free(&mut self, draws: u64) {
+        if let Mode::Random { rng, .. } = &mut self.mode {
+            for _ in 0..draws {
+                let _ = rng.gen::<f64>();
+            }
+        }
+        // Planned mode is keyed by dispatch index and consumes no
+        // randomness; Disabled has no stream at all. Both only need the
+        // draw counter moved.
+        self.drawn += draws;
+    }
+
     /// Number of `draw` calls so far.
     pub fn drawn(&self) -> u64 {
         self.drawn
@@ -257,6 +316,81 @@ mod tests {
         assert_eq!((v ^ c).count_ones(), 1);
         assert_eq!(v ^ c, 1 << 17);
         assert_eq!(e.corrupt(c), v); // involution
+    }
+
+    #[test]
+    fn first_possible_fire_matches_live_draws() {
+        // The scan must agree with what draw() actually does: the first
+        // fire lands exactly at the predicted index when every draw offers
+        // an applicable point.
+        for seed in [1, 7, 42, 99] {
+            let fresh = FaultInjector::random(0.01, seed);
+            let k = fresh
+                .first_possible_fire(10_000)
+                .expect("p=0.01 fires within 10k draws");
+            let mut live = FaultInjector::random(0.01, seed);
+            for s in 0..k {
+                assert!(
+                    live.draw(s, 0, InjectionPoint::ALL).is_none(),
+                    "seed {seed}: premature fire before predicted draw {k}"
+                );
+            }
+            assert!(
+                live.draw(k, 0, InjectionPoint::ALL).is_some(),
+                "seed {seed}: no fire at predicted draw {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_fault_free_prefix() {
+        // Cold injector drawing a fault-free prefix == fresh injector
+        // fast-forwarded past it: the suffix streams must be identical,
+        // even when some prefix draws had no applicable points (they
+        // consume the same single sample either way).
+        let rate = 0.005;
+        let seed = 42;
+        let fresh = FaultInjector::random(rate, seed);
+        let first = fresh.first_possible_fire(100_000).unwrap();
+        let prefix = first.min(500); // any fault-free prefix length works
+        assert!(prefix > 0, "test premise: some fault-free prefix exists");
+
+        let mut cold = FaultInjector::random(rate, seed);
+        for s in 0..prefix {
+            // Alternate applicable and non-applicable kinds.
+            let pts: &[InjectionPoint] = if s % 3 == 0 { &[] } else { InjectionPoint::ALL };
+            assert!(cold.draw(s, 0, pts).is_none());
+        }
+        let mut forked = FaultInjector::random(rate, seed);
+        forked.fast_forward_fault_free(prefix);
+        assert_eq!(forked.drawn(), cold.drawn());
+        for s in prefix..prefix + 2_000 {
+            assert_eq!(
+                cold.draw(s, 0, InjectionPoint::ALL),
+                forked.draw(s, 0, InjectionPoint::ALL),
+                "suffix diverged at draw {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_possible_fire_modes() {
+        assert_eq!(FaultInjector::none().first_possible_fire(1_000), None);
+        // A rate too low to fire within the horizon reports None.
+        assert_eq!(
+            FaultInjector::random(1e-12, 3).first_possible_fire(100),
+            None
+        );
+        let mut plan = FaultPlan::new();
+        plan.add(70, 1, InjectionPoint::Result, 2);
+        plan.add(30, 0, InjectionPoint::Result, 1);
+        assert_eq!(plan.first_event_cycle(), Some(30));
+        assert_eq!(
+            FaultInjector::from_plan(plan.clone()).first_possible_fire(1_000),
+            Some(30)
+        );
+        assert_eq!(FaultInjector::from_plan(plan).first_possible_fire(10), None);
+        assert_eq!(FaultPlan::new().first_event_cycle(), None);
     }
 
     #[test]

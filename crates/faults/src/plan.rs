@@ -51,6 +51,18 @@ impl FaultPlan {
         self.events.remove(&(dispatch_seq, copy))
     }
 
+    /// The earliest point on the plan's time axis — the smallest dispatch
+    /// index carrying a pending event — or `None` for an empty plan.
+    ///
+    /// A plan's clock is the *dispatch index* (architectural instructions
+    /// in dispatch order), the same unit [`FaultPlan::add`] takes: the
+    /// plan cannot fire before the machine dispatches that instruction, so
+    /// any machine checkpoint taken strictly before it is a sound fork
+    /// point for a run driven by this plan.
+    pub fn first_event_cycle(&self) -> Option<u64> {
+        self.events.keys().map(|&(dispatch, _)| dispatch).min()
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.events.len()

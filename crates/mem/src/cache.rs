@@ -123,7 +123,10 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat slab, `assoc` consecutive lines per set —
+    /// one allocation, one cache-friendly stride per access.
+    lines: Vec<Line>,
+    assoc: usize,
     stats: CacheStats,
     tick: u64,
     set_mask: u64,
@@ -135,7 +138,8 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         Self {
-            sets: vec![vec![Line::default(); config.assoc]; sets],
+            lines: vec![Line::default(); sets * config.assoc],
+            assoc: config.assoc,
             set_mask: (sets - 1) as u64,
             offset_bits: config.line_bytes.trailing_zeros(),
             config,
@@ -168,7 +172,7 @@ impl Cache {
         self.tick += 1;
         self.stats.accesses += 1;
         let (set_idx, tag) = self.index(addr);
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.lines[set_idx * self.assoc..(set_idx + 1) * self.assoc];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = self.tick;
@@ -206,16 +210,14 @@ impl Cache {
     /// Returns whether `addr`'s line is currently resident (no state change).
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[set_idx * self.assoc..(set_idx + 1) * self.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates every line and clears statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                *line = Line::default();
-            }
-        }
+        self.lines.fill(Line::default());
         self.stats = CacheStats::default();
         self.tick = 0;
     }

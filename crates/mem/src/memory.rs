@@ -2,6 +2,7 @@
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Bytes per memory page.
 pub const PAGE_BYTES: usize = 4096;
@@ -22,11 +23,18 @@ const NO_PAGE: u64 = u64::MAX;
 /// All multi-byte accesses are little-endian and may straddle page
 /// boundaries.
 ///
-/// Page storage is an arena (`Vec` of page boxes) indexed by a
-/// `BTreeMap`, with a one-entry last-page cache in front: sequential and
+/// Page storage is an arena (`Vec` of reference-counted pages) indexed by
+/// a `BTreeMap`, with a one-entry last-page cache in front: sequential and
 /// same-page accesses — the overwhelmingly common pattern in the
 /// simulated load/store stream — skip the tree lookup entirely. Pages are
 /// never deallocated, so cached slots can never dangle.
+///
+/// Pages are copy-on-write: [`Clone`] bumps each page's reference count
+/// instead of copying bytes, so a checkpoint of a multi-megabyte memory
+/// costs one pointer per page, and the first write to a shared page after
+/// a clone faults just that page (O([`PAGE_BYTES`])) into private
+/// storage. This is what makes periodic machine snapshots cheap enough to
+/// drop every few thousand cycles during a sweep's baseline run.
 ///
 /// # Examples
 ///
@@ -42,8 +50,9 @@ const NO_PAGE: u64 = u64::MAX;
 pub struct SparseMemory {
     /// Page number → arena slot.
     index: BTreeMap<u64, usize>,
-    /// Page storage; slots are stable (pages are never removed).
-    pages: Vec<Box<[u8; PAGE_BYTES]>>,
+    /// Page storage; slots are stable (pages are never removed). Shared
+    /// copy-on-write with any clone of this memory.
+    pages: Vec<Arc<[u8; PAGE_BYTES]>>,
     /// Last-translated `(page number, arena slot)`; `NO_PAGE` when cold.
     /// Interior mutability lets plain reads refresh the cache.
     last: Cell<(u64, usize)>,
@@ -101,7 +110,7 @@ impl SparseMemory {
             return slot;
         }
         let slot = self.pages.len();
-        self.pages.push(Box::new([0u8; PAGE_BYTES]));
+        self.pages.push(Arc::new([0u8; PAGE_BYTES]));
         self.index.insert(p, slot);
         self.last.set((p, slot));
         slot
@@ -117,7 +126,7 @@ impl SparseMemory {
     pub fn write_u8(&mut self, addr: u64, value: u8) {
         let (p, off) = Self::page_index(addr);
         let slot = self.slot_of_or_alloc(p);
-        self.pages[slot][off] = value;
+        Arc::make_mut(&mut self.pages[slot])[off] = value;
     }
 
     /// Reads `N` little-endian bytes starting at `addr`.
@@ -142,7 +151,7 @@ impl SparseMemory {
         let (p, off) = Self::page_index(addr);
         if off + bytes.len() <= PAGE_BYTES {
             let slot = self.slot_of_or_alloc(p);
-            self.pages[slot][off..off + bytes.len()].copy_from_slice(bytes);
+            Arc::make_mut(&mut self.pages[slot])[off..off + bytes.len()].copy_from_slice(bytes);
             return;
         }
         for (i, &b) in bytes.iter().enumerate() {
@@ -213,6 +222,21 @@ impl SparseMemory {
     /// Number of allocated (ever-written) pages.
     pub fn page_count(&self) -> usize {
         self.index.len()
+    }
+
+    /// Number of pages physically shared (same backing storage) with
+    /// `other` — checkpointing diagnostics: a fresh clone shares every
+    /// page; writes then peel pages off one at a time.
+    pub fn pages_shared_with(&self, other: &SparseMemory) -> usize {
+        self.index
+            .iter()
+            .filter(|(page, &slot)| {
+                other
+                    .index
+                    .get(page)
+                    .is_some_and(|&o| Arc::ptr_eq(&self.pages[slot], &other.pages[o]))
+            })
+            .count()
     }
 
     /// Compares the union of allocated pages of `self` and `other`,
@@ -333,6 +357,27 @@ mod tests {
         a.write_u64(0, 7);
         let b = a.clone();
         assert!(a.diff(&b, 8).is_empty());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut a = SparseMemory::new();
+        a.write_u64(0x1000, 11);
+        a.write_u64(0x5000, 22);
+        let b = a.clone();
+        assert_eq!(a.pages_shared_with(&b), 2, "a fresh clone shares all pages");
+        // Writing through the clone peels only the touched page.
+        let mut b = b;
+        b.write_u64(0x1000, 99);
+        assert_eq!(a.pages_shared_with(&b), 1);
+        assert_eq!(a.read_u64(0x1000), 11, "original page unharmed");
+        assert_eq!(b.read_u64(0x1000), 99);
+        assert_eq!(b.read_u64(0x5000), 22, "untouched page still shared");
+        // A new page in the clone never appears in the original.
+        b.write_u8(0x9000, 1);
+        assert_eq!(a.read_u8(0x9000), 0);
+        assert_eq!(a.page_count(), 2);
+        assert_eq!(b.page_count(), 3);
     }
 
     #[test]

@@ -3,18 +3,24 @@
 //! cores — and compare the simulated throughput cost of reliability
 //! against the paper's analytical model (§4).
 //!
+//! The grid is *incremental*: its records are exported to
+//! `target/experiments/design_space.csv`, and a re-run resumes from that
+//! file, skipping every cell already simulated. Pass `--fresh` to ignore
+//! the stored records and re-simulate everything.
+//!
 //! ```bash
-//! cargo run --release --example design_space
+//! cargo run --release --example design_space [--fresh]
 //! ```
 
 use ftsim::core::{MachineConfig, RedundancyConfig};
-use ftsim::harness::{expect_record, Experiment};
+use ftsim::harness::{expect_record, load_resume_csv, save_csv, Experiment};
 use ftsim::model::steady_state_ipc;
 use ftsim::stats::{fmt_f, Table};
 use ftsim::workloads::spec_profiles;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = 30_000u64;
+    let fresh = std::env::args().any(|a| a == "--fresh");
     println!("throughput cost of redundancy, simulated vs first-order model\n");
 
     let models: Vec<MachineConfig> = (1..=4u8)
@@ -29,11 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
+    let csv_path = "target/experiments/design_space.csv";
     let records = Experiment::grid()
         .workloads(spec_profiles())
         .models(models)
         .budget(budget)
+        .resume_from(load_resume_csv(csv_path, fresh))
         .run()?;
+    save_csv(csv_path, &records)?;
 
     let mut table = Table::new([
         "bench",

@@ -1,14 +1,20 @@
 //! Fault storm: bombard the fault-tolerant superscalar with transient
-//! faults — injector, oracle mode and machine model all declared on the
-//! simulator builder — and watch detection, recovery and (at R = 3)
-//! majority election keep the architectural state exact.
+//! faults — one declarative [`Experiment::grid`] over the three redundant
+//! machine models — and watch detection, recovery and (at R = 3) majority
+//! election keep the architectural state exact.
+//!
+//! The grid runs with checkpoint-forking enabled: the three models share
+//! their fault-free prefixes where the fault plan allows, without changing
+//! a byte of any record. Results are exported to
+//! `target/experiments/fault_storm.csv` and a re-run at the same rate
+//! resumes from them; pass `--fresh` to re-simulate everything.
 //!
 //! ```bash
-//! cargo run --release --example fault_storm [faults_per_million]
+//! cargo run --release --example fault_storm [faults_per_million] [--fresh]
 //! ```
 
-use ftsim::core::{MachineConfig, OracleMode, Simulator};
-use ftsim::faults::{per_million, FaultInjector};
+use ftsim::core::{MachineConfig, OracleMode};
+use ftsim::harness::{load_resume_csv, save_csv, Experiment};
 use ftsim::workloads::profile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(2_000.0); // 2000 faults per million instructions
+    let fresh = std::env::args().any(|a| a == "--fresh");
     let bench = profile("equake").expect("profile exists");
     let program = bench.program(120);
 
@@ -24,40 +31,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bench.name
     );
 
-    for config in [
-        MachineConfig::ss2(),
-        MachineConfig::ss3(),
-        MachineConfig::ss3_majority(),
-    ] {
-        let name = config.name.clone();
-        let result = Simulator::builder()
-            .config(config)
-            .program(&program)
-            .injector(FaultInjector::random(per_million(rate), 0xf00d))
-            .oracle(OracleMode::Final)
-            .run()?;
-        let f = result.faults;
-        println!("== {name} ==");
-        println!("  IPC {:.3} over {} cycles", result.ipc, result.cycles);
-        println!("  faults injected:          {}", f.injected);
+    let csv_path = "target/experiments/fault_storm.csv";
+    let prior = load_resume_csv(csv_path, fresh);
+    let records = Experiment::grid()
+        .workloads([("equake", program)])
+        .models([
+            MachineConfig::ss2(),
+            MachineConfig::ss3(),
+            MachineConfig::ss3_majority(),
+        ])
+        .fault_rates([rate])
+        .seeds([0xf00d])
+        .oracle(OracleMode::Final)
+        .checkpointing(true)
+        .resume_from(prior.clone())
+        .run()?;
+    // The rate is a CLI axis, so keep prior records from *other* rates
+    // resumable: save the union, this run's records taking precedence.
+    let mut saved = records.clone();
+    saved.extend(
+        prior
+            .into_iter()
+            .filter(|p| !records.iter().any(|r| r.same_identity(p))),
+    );
+    save_csv(csv_path, &saved)?;
+
+    for r in &records {
+        assert!(r.ok(), "{} failed: {}", r.model, r.error);
+        println!("== {} ==", r.model);
+        println!("  IPC {:.3} over {} cycles", r.ipc, r.cycles);
+        println!("  faults injected:          {}", r.faults_injected);
         println!(
             "  detected at commit:       {} (full rewind each)",
-            f.detected
+            r.faults_detected
         );
-        println!("  out-voted by majority:    {}", f.outvoted);
-        println!("  squashed on wrong path:   {}", f.squashed_wrong_path);
-        println!("  flushed by other rewinds: {}", f.squashed_by_rewind);
-        println!("  architecturally masked:   {}", f.masked);
-        println!("  escaped to committed:     {}", f.escaped);
+        println!("  out-voted by majority:    {}", r.faults_outvoted);
+        println!(
+            "  squashed on wrong path:   {}",
+            r.faults_squashed_wrong_path
+        );
+        println!(
+            "  flushed by other rewinds: {}",
+            r.faults_squashed_by_rewind
+        );
+        println!("  architecturally masked:   {}", r.faults_masked);
+        println!("  escaped to committed:     {}", r.faults_escaped);
         println!(
             "  recoveries: {} fault rewinds, mean penalty {:.1} cycles (max {})",
-            result.stats.fault_rewinds,
-            result.stats.mean_rewind_penalty(),
-            result.stats.rewind_penalty_max
+            r.fault_rewinds, r.mean_rewind_penalty, r.rewind_penalty_max
         );
         println!("  final state == in-order oracle \u{2713}\n");
         assert_eq!(
-            f.escaped, 0,
+            r.faults_escaped, 0,
             "no fault may escape the sphere of replication"
         );
     }

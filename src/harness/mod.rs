@@ -37,5 +37,6 @@ mod record;
 
 pub use experiment::{Experiment, ExperimentError, Workload, DEFAULT_BUDGET};
 pub use record::{
-    expect_record, from_csv, from_json, record_for, to_csv, to_json, RecordError, RunRecord,
+    expect_record, from_csv, from_json, load_resume_csv, record_for, save_csv, to_csv, to_json,
+    RecordError, RunRecord,
 };

@@ -344,6 +344,23 @@ impl RunRecord {
         self.error.is_empty()
     }
 
+    /// Whether `self` and `other` describe the same grid cell: equal
+    /// workload, suite, model, redundancy shape, fault rate (bit-exact),
+    /// seed and budget. Outcome fields are ignored — this is how
+    /// [`Experiment::resume_from`](crate::harness::Experiment::resume_from)
+    /// decides a cell has already been simulated.
+    pub fn same_identity(&self, other: &RunRecord) -> bool {
+        self.workload == other.workload
+            && self.suite == other.suite
+            && self.model == other.model
+            && self.r == other.r
+            && self.majority == other.majority
+            && self.threshold == other.threshold
+            && self.fault_rate_pm.to_bits() == other.fault_rate_pm.to_bits()
+            && self.seed == other.seed
+            && self.budget == other.budget
+    }
+
     /// Builds the identity (configuration) part of a record; outcome
     /// fields start zeroed.
     pub(crate) fn identity(
@@ -443,6 +460,52 @@ pub fn expect_record<'a>(records: &'a [RunRecord], workload: &str, model: &str) 
         .unwrap_or_else(|| panic!("{workload} on {model} missing from grid output"));
     assert!(cell.ok(), "{workload} on {model} failed: {}", cell.error);
     cell
+}
+
+/// Loads prior records for [`Experiment::resume_from`](crate::harness::Experiment::resume_from)
+/// from a CSV written by [`save_csv`]. Fail-soft by design: `fresh`
+/// requests, a missing file, or a corrupt/truncated document (e.g. a
+/// run killed mid-write) all yield an empty list — the grid then simply
+/// re-simulates — with a warning on stderr for the corrupt case.
+pub fn load_resume_csv(path: impl AsRef<std::path::Path>, fresh: bool) -> Vec<RunRecord> {
+    let path = path.as_ref();
+    if fresh {
+        return Vec::new();
+    }
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    match from_csv(&text) {
+        Ok(records) => {
+            println!(
+                "resuming from {} ({} prior records; pass --fresh to re-simulate)",
+                path.display(),
+                records.len()
+            );
+            records
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: ignoring unreadable resume file {} ({e}); re-simulating",
+                path.display()
+            );
+            Vec::new()
+        }
+    }
+}
+
+/// Writes records as a resumable CSV at `path`, creating parent
+/// directories; the counterpart of [`load_resume_csv`].
+///
+/// # Errors
+///
+/// Any I/O error creating the directories or writing the file.
+pub fn save_csv(path: impl AsRef<std::path::Path>, records: &[RunRecord]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, to_csv(records))
 }
 
 /// Serializes records to a CSV document (header + one row per record).
