@@ -19,6 +19,8 @@
 //! is stable well below the paper's budget because the synthetic workloads
 //! are steady-state loops.
 
+#![warn(missing_docs)]
+
 use ftsim::harness::{to_csv, to_json, RunRecord};
 use ftsim_core::{MachineConfig, OracleMode, SimError, SimResult, Simulator};
 use ftsim_faults::FaultInjector;

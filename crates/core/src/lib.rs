@@ -62,6 +62,8 @@
 //! assert!(dual.cycles >= base.cycles); // redundancy costs throughput
 //! ```
 
+#![warn(missing_docs)]
+
 mod build;
 mod check;
 mod checkpoint;

@@ -1,0 +1,349 @@
+//! The `ftsimd` command-line front end.
+//!
+//! ```text
+//! ftsimd submit <spec.toml|spec.json> [--state DIR]
+//! ftsimd serve  [--state DIR] [--drain] [--poll-ms N]
+//! ftsimd status [JOB] [--state DIR]
+//! ftsimd results <JOB> [--state DIR] [--json]
+//! ftsimd stop   [--state DIR]
+//! ```
+//!
+//! The state directory defaults to `./ftsimd-state`, overridable with
+//! `--state` or the `FTSIMD_STATE` environment variable. `submit`
+//! prints the job id alone on stdout (scripts capture it; the human
+//! detail goes to stderr) and deduplicates byte-identical specs by
+//! attaching to the existing job. `results` prints a finished job's
+//! grid-order CSV verbatim; for a job still in flight it merges the
+//! streamed records into grid order and reports the gaps on stderr.
+
+use crate::runner::{install_signal_handlers, serve, ServeOptions};
+use crate::spec::JobSpec;
+use crate::store::{JobState, JobStore};
+use ftsim::harness::{from_csv_tolerant, to_csv, to_json, RunRecord};
+use std::time::Duration;
+
+const USAGE: &str = "\
+ftsimd — long-running sweep daemon for the ftsim fault-tolerant superscalar
+
+USAGE:
+    ftsimd submit <spec.toml|spec.json> [--state DIR]
+    ftsimd serve  [--state DIR] [--drain] [--poll-ms N]
+    ftsimd status [JOB] [--state DIR]
+    ftsimd results <JOB> [--state DIR] [--json]
+    ftsimd stop   [--state DIR]
+
+COMMANDS:
+    submit    Validate a job spec and enqueue it (or attach to an
+              identical existing job). Prints the job id on stdout.
+    serve     Run the daemon: execute queued jobs, streaming results;
+              --drain exits once the queue is empty. Ctrl-C, SIGTERM or
+              `ftsimd stop` shut down gracefully (the interrupted job is
+              re-queued and resumes from its streamed records).
+    status    Show the queue, or one job's progress.
+    results   Print a job's records as grid-order CSV (--json for JSON).
+    stop      Ask the serving daemon to shut down gracefully.
+
+The state directory defaults to ./ftsimd-state, or $FTSIMD_STATE.
+";
+
+/// Parsed global options.
+struct Args {
+    state: String,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut state = std::env::var("FTSIMD_STATE").unwrap_or_else(|_| "ftsimd-state".to_string());
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--state" => {
+                state = iter
+                    .next()
+                    .ok_or("--state needs a directory argument")?
+                    .clone();
+            }
+            "--poll-ms" => {
+                let value = iter.next().ok_or("--poll-ms needs a number argument")?;
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --poll-ms value `{value}`"))?;
+                flags.push(format!("--poll-ms={value}"));
+            }
+            flag if flag.starts_with("--") => flags.push(flag.to_string()),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok(Args {
+        state,
+        flags,
+        positional,
+    })
+}
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Rejects any flag the current command does not define — a typo
+    /// must fail loudly, not silently change behavior (`--drian` running
+    /// a drain-mode invocation as a forever-polling daemon, say).
+    fn ensure_flags(&self, allowed: &[&str]) -> Result<(), String> {
+        for flag in &self.flags {
+            let name = flag.split_once('=').map_or(flag.as_str(), |(n, _)| n);
+            if !allowed.contains(&name) {
+                return Err(format!("unknown flag `{name}` for this command"));
+            }
+        }
+        Ok(())
+    }
+
+    fn poll(&self) -> Duration {
+        self.flags
+            .iter()
+            .find_map(|f| f.strip_prefix("--poll-ms="))
+            .and_then(|v| v.parse().ok())
+            .map_or(Duration::from_millis(500), Duration::from_millis)
+    }
+}
+
+/// Runs the CLI with the given arguments (everything after the program
+/// name) and returns the process exit code. The `ftsimd` binary is a
+/// one-line wrapper around this.
+pub fn run(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(()) => 0,
+        Err(message) => {
+            eprintln!("ftsimd: {message}");
+            1
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return Err("missing command".to_string());
+    };
+    let parsed = parse_args(rest)?;
+    match command.as_str() {
+        "submit" => cmd_submit(&parsed),
+        "serve" => cmd_serve(&parsed),
+        "status" => cmd_status(&parsed),
+        "results" => cmd_results(&parsed),
+        "stop" => cmd_stop(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprint!("{USAGE}");
+            Err(format!("unknown command `{other}`"))
+        }
+    }
+}
+
+fn open_store(args: &Args) -> Result<JobStore, String> {
+    JobStore::open(&args.state).map_err(|e| e.to_string())
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&[])?;
+    let [path] = args.positional.as_slice() else {
+        return Err("submit takes exactly one spec file".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading spec {path}: {e}"))?;
+    let spec = JobSpec::parse(&text).map_err(|e| e.to_string())?;
+    let store = open_store(args)?;
+    let (id, created) = store.submit(&spec).map_err(|e| e.to_string())?;
+    if created {
+        eprintln!(
+            "ftsimd: submitted job {id} ({} cells)",
+            cells_of(&store, &id)
+        );
+    } else {
+        eprintln!("ftsimd: identical spec already submitted as {id}; attaching");
+    }
+    println!("{id}");
+    Ok(())
+}
+
+fn cells_of(store: &JobStore, id: &str) -> String {
+    store
+        .job(id)
+        .and_then(|job| store.load_status(&job))
+        .map_or_else(|_| "?".to_string(), |s| s.cells_total.to_string())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&["--drain", "--poll-ms"])?;
+    if !args.positional.is_empty() {
+        return Err("serve takes no positional arguments".to_string());
+    }
+    install_signal_handlers();
+    let store = open_store(args)?;
+    let opts = ServeOptions {
+        drain: args.flag("--drain"),
+        poll: args.poll(),
+    };
+    eprintln!(
+        "ftsimd: serving {} ({})",
+        store.root().display(),
+        if opts.drain {
+            "drain mode"
+        } else {
+            "daemon mode"
+        }
+    );
+    serve(&store, &opts).map_err(|e| e.to_string())
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&[])?;
+    let store = open_store(args)?;
+    match args.positional.as_slice() {
+        [] => {
+            let jobs = store.jobs().map_err(|e| e.to_string())?;
+            if jobs.is_empty() {
+                println!("no jobs in {}", store.root().display());
+                return Ok(());
+            }
+            for job in jobs {
+                match store.load_status(&job) {
+                    Ok(s) => println!(
+                        "{:<28} {:<8} {:>6}/{} {}",
+                        job.id, s.state, s.cells_done, s.cells_total, s.error
+                    ),
+                    Err(e) => println!("{:<28} <unreadable status: {e}>", job.id),
+                }
+            }
+            Ok(())
+        }
+        [id] => {
+            let job = store.job(id).map_err(|e| e.to_string())?;
+            let status = store.load_status(&job).map_err(|e| e.to_string())?;
+            println!("job:    {id}");
+            println!("state:  {}", status.state);
+            println!("cells:  {}/{}", status.cells_done, status.cells_total);
+            if !status.error.is_empty() {
+                println!("error:  {}", status.error);
+            }
+            println!("dir:    {}", job.dir().display());
+            Ok(())
+        }
+        _ => Err("status takes at most one job id".to_string()),
+    }
+}
+
+fn cmd_results(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&["--json"])?;
+    let [id] = args.positional.as_slice() else {
+        return Err("results takes exactly one job id".to_string());
+    };
+    let store = open_store(args)?;
+    let job = store.job(id).map_err(|e| e.to_string())?;
+    let json = args.flag("--json");
+    let status = store.load_status(&job).map_err(|e| e.to_string())?;
+
+    if status.state == JobState::Done {
+        // A finished job's artifacts are canonical: print them verbatim.
+        let path = if json {
+            job.results_json_path()
+        } else {
+            job.results_path()
+        };
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        print!("{text}");
+        return Ok(());
+    }
+
+    // In-flight (or interrupted) job: merge the streamed records into
+    // grid order and report what is still missing.
+    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+    let (streamed, _) = from_csv_tolerant(&streamed);
+    let spec = store.load_spec(&job).map_err(|e| e.to_string())?;
+    let identities = spec
+        .to_experiment()
+        .map_err(|e| e.to_string())?
+        .identities()
+        .map_err(|e| e.to_string())?;
+    // Newest row wins: a cell that failed on one pass and was re-run on
+    // a later one (failed records are never resume-matched) appears
+    // twice in the log, and the recent record is the truthful one.
+    let merged: Vec<RunRecord> = identities
+        .iter()
+        .filter_map(|id| streamed.iter().rev().find(|r| r.same_identity(id)).cloned())
+        .collect();
+    eprintln!(
+        "ftsimd: job {id} is {} — {} of {} cells merged (grid order)",
+        status.state,
+        merged.len(),
+        identities.len()
+    );
+    if json {
+        print!("{}", to_json(&merged));
+    } else {
+        print!("{}", to_csv(&merged));
+    }
+    Ok(())
+}
+
+fn cmd_stop(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&[])?;
+    if !args.positional.is_empty() {
+        return Err("stop takes no positional arguments".to_string());
+    }
+    let store = open_store(args)?;
+    store.request_stop().map_err(|e| e.to_string())?;
+    eprintln!("ftsimd: stop requested; the daemon will finish its cell in flight and exit");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_state_flags_and_positionals() {
+        let args = parse_args(&strs(&[
+            "job-1",
+            "--state",
+            "/tmp/x",
+            "--json",
+            "--poll-ms",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(args.state, "/tmp/x");
+        assert_eq!(args.positional, ["job-1"]);
+        assert!(args.flag("--json"));
+        assert_eq!(args.poll(), Duration::from_millis(50));
+
+        assert!(parse_args(&strs(&["--state"])).is_err());
+        assert!(parse_args(&strs(&["--poll-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn mistyped_flags_fail_instead_of_changing_behavior() {
+        // `--drian` must not silently run a forever-polling daemon.
+        assert_eq!(run(&strs(&["serve", "--drian"])), 1);
+        assert_eq!(run(&strs(&["results", "x", "--jsn"])), 1);
+        assert_eq!(run(&strs(&["stop", "--force"])), 1);
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        assert_eq!(run(&strs(&["explode"])), 1);
+        assert_eq!(run(&strs(&[])), 1);
+        assert_eq!(run(&strs(&["help"])), 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Job execution: the family-sharded worker pool, incremental result
+//! streaming, and the serve loop.
+//!
+//! One job runs as follows. The spec's [`Experiment`] is rebuilt, primed
+//! with every record already in the job's `cells.csv` (so a restarted
+//! daemon re-simulates nothing), and materialized into a
+//! [`SweepPlan`](ftsim::harness::SweepPlan). The plan's runnable cells
+//! are grouped into **shards** — one per (workload, budget, model)
+//! family — and a worker pool pulls whole shards: the first cell of a
+//! shard warms the family's checkpointed fault-free baseline, and every
+//! faulty sibling in the shard then forks from it, exactly as the
+//! one-shot [`Experiment::run`] would. Each completed cell's record is
+//! appended to `cells.csv` (one synced write per row) before the worker
+//! moves on, so killing the daemon — gracefully or with `SIGKILL` —
+//! loses at most the cells in flight.
+//!
+//! When every cell has a record, the job's records are assembled in grid
+//! order and written as `results.csv`/`results.json` — byte-identical to
+//! what `Experiment::run` on the same axes would serialize, which the
+//! daemon integration test asserts.
+
+use crate::store::{io_err, write_atomic, DaemonError, Job, JobState, JobStatus, JobStore};
+use ftsim::harness::{from_csv_tolerant, to_csv, to_json, RunRecord};
+use ftsim_stats::csv::AppendWriter;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How a [`run_job`] call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Every cell has a record; final results are on disk.
+    Completed,
+    /// A shutdown request interrupted the sweep; the job is re-queued
+    /// with its streamed records intact.
+    Interrupted,
+}
+
+/// Process-wide graceful-shutdown flag, set by SIGINT/SIGTERM (via
+/// [`install_signal_handlers`]) and polled between cells.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a signal has requested shutdown.
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Installs SIGINT/SIGTERM handlers that flip the [`signalled`] flag, so
+/// Ctrl-C gives the same graceful stop as `ftsimd stop`. No-op off Unix.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_: i32) {
+            SIGNALLED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// Runs one job to completion or interruption, streaming records.
+///
+/// Progress is visible throughout: `status.json` moves to `running` with
+/// a live `cells_done` count, and `cells.csv` grows one synced row per
+/// completed cell. `stop` is polled between cells (alongside the store's
+/// stop sentinel and the process [`signalled`] flag); on interruption the
+/// job goes back to `queued` and the next `serve` resumes it.
+///
+/// # Errors
+///
+/// [`DaemonError`] for unrunnable jobs (bad spec/grid — the job is
+/// marked `failed`) or state-directory I/O trouble.
+pub fn run_job(store: &JobStore, job: &Job, stop: &AtomicBool) -> Result<JobOutcome, DaemonError> {
+    let spec = store.load_spec(job);
+    let planned = spec.and_then(|spec| {
+        let (writer, existing) = AppendWriter::open(job.cells_path(), &RunRecord::csv_header())
+            .map_err(io_err(format!("opening {}", job.cells_path().display())))?;
+        let (prior, dropped) = from_csv_tolerant(&existing);
+        if dropped > 0 {
+            eprintln!(
+                "ftsimd: {}: dropped {dropped} torn line(s) from cells.csv; re-simulating those cells",
+                job.id
+            );
+        }
+        let plan = spec
+            .to_experiment()?
+            .resume_from(prior)
+            .plan()
+            .map_err(DaemonError::Experiment)?;
+        Ok((writer, plan))
+    });
+    let (writer, plan) = match planned {
+        Ok(parts) => parts,
+        Err(e) => {
+            // The job itself is unrunnable: record why and park it as
+            // failed rather than wedging the queue on it forever.
+            let mut status = store.load_status(job).unwrap_or(JobStatus {
+                state: JobState::Failed,
+                cells_total: 0,
+                cells_done: 0,
+                error: String::new(),
+            });
+            status.state = JobState::Failed;
+            status.error = e.to_string();
+            store.write_status(job, &status)?;
+            return Err(e);
+        }
+    };
+
+    let total = plan.len();
+    let done_at_start = total - plan.runnable();
+    store.write_status(
+        job,
+        &JobStatus {
+            state: JobState::Running,
+            cells_total: total,
+            cells_done: done_at_start,
+            error: String::new(),
+        },
+    )?;
+
+    // Shards keep each family's cells on one worker so the checkpointed
+    // baseline is warmed once and reused for every fork in the family.
+    let shards = plan.shards();
+    let should_stop = || stop.load(Ordering::SeqCst) || signalled() || store.stop_requested();
+
+    struct Progress {
+        writer: AppendWriter,
+        records: Vec<Option<RunRecord>>,
+        done: usize,
+    }
+    let progress = Mutex::new(Progress {
+        writer,
+        records: (0..total).map(|_| None).collect(),
+        done: done_at_start,
+    });
+    let next_shard = AtomicUsize::new(0);
+    let io_failure: Mutex<Option<DaemonError>> = Mutex::new(None);
+    let workers = plan.workers().min(shards.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if should_stop() {
+                    break;
+                }
+                let si = next_shard.fetch_add(1, Ordering::Relaxed);
+                let Some(shard) = shards.get(si) else { break };
+                for &idx in shard {
+                    if should_stop() {
+                        break;
+                    }
+                    let record = plan.run_cell(idx);
+                    let mut p = progress.lock().expect("progress lock");
+                    let row = record.to_csv_row();
+                    p.records[idx] = Some(record);
+                    p.done += 1;
+                    let done = p.done;
+                    if let Err(e) = p.writer.append_row(&row) {
+                        *io_failure.lock().expect("failure lock") =
+                            Some(io_err(format!(
+                                "appending to {}",
+                                job.cells_path().display()
+                            ))(e));
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    drop(p);
+                    // Keep `status` live for dashboards; a torn write is
+                    // impossible (atomic replace) and a stale count is
+                    // corrected by the next cell.
+                    let _ = store.write_status(
+                        job,
+                        &JobStatus {
+                            state: JobState::Running,
+                            cells_total: total,
+                            cells_done: done,
+                            error: String::new(),
+                        },
+                    );
+                }
+            });
+        }
+    });
+
+    if let Some(e) = io_failure.into_inner().expect("failure lock") {
+        // Streaming broke: the job stays queued (its log is still
+        // consistent up to the failure) and the error propagates.
+        store.write_status(
+            job,
+            &JobStatus {
+                state: JobState::Queued,
+                cells_total: total,
+                cells_done: progress.lock().expect("progress lock").done,
+                error: String::new(),
+            },
+        )?;
+        return Err(e);
+    }
+
+    let progress = progress.into_inner().expect("progress lock");
+    if progress.done < total {
+        store.write_status(
+            job,
+            &JobStatus {
+                state: JobState::Queued,
+                cells_total: total,
+                cells_done: progress.done,
+                error: String::new(),
+            },
+        )?;
+        return Ok(JobOutcome::Interrupted);
+    }
+
+    // Assemble final records in grid order: freshly-run cells from this
+    // pass, everything else from the prior (resumed) records.
+    let records: Vec<RunRecord> = progress
+        .records
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| match slot {
+            Some(record) => record,
+            None => plan
+                .prior(idx)
+                .cloned()
+                .expect("cells without a fresh record were resumed"),
+        })
+        .collect();
+    write_atomic(&job.results_path(), to_csv(&records).as_bytes())?;
+    write_atomic(&job.results_json_path(), to_json(&records).as_bytes())?;
+    store.write_status(
+        job,
+        &JobStatus {
+            state: JobState::Done,
+            cells_total: total,
+            cells_done: total,
+            error: String::new(),
+        },
+    )?;
+    Ok(JobOutcome::Completed)
+}
+
+/// Serve-loop options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Exit once the queue is empty instead of polling for new jobs —
+    /// batch mode, used by tests and the examples.
+    pub drain: bool,
+    /// Queue poll interval when idle.
+    pub poll: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            drain: false,
+            poll: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The daemon's main loop: repeatedly pick the oldest runnable job
+/// (`queued`, or `running` — a previous daemon's crash — which resumes
+/// from its streamed records) and execute it; between jobs, honour stop
+/// requests and, without [`ServeOptions::drain`], poll for new
+/// submissions.
+///
+/// A job failing ([`JobState::Failed`], e.g. its spec no longer
+/// resolves) does not stop the daemon; the error is reported on stderr
+/// and the queue moves on.
+///
+/// # Errors
+///
+/// [`DaemonError`] only for state-directory-level trouble (the queue
+/// itself being unreadable/unwritable).
+pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
+    store.clear_stop()?;
+    let stop = AtomicBool::new(false);
+    loop {
+        if stop.load(Ordering::SeqCst) || signalled() || store.stop_requested() {
+            println!("ftsimd: stop requested, exiting");
+            store.clear_stop()?;
+            return Ok(());
+        }
+        let next = store.jobs()?.into_iter().find(|job| {
+            matches!(
+                store.load_status(job).map(|s| s.state),
+                Ok(JobState::Queued | JobState::Running)
+            )
+        });
+        match next {
+            Some(job) => match run_job(store, &job, &stop) {
+                Ok(JobOutcome::Completed) => println!("ftsimd: job {} done", job.id),
+                Ok(JobOutcome::Interrupted) => {
+                    println!("ftsimd: job {} interrupted, re-queued", job.id);
+                }
+                Err(e) => eprintln!("ftsimd: job {} failed: {e}", job.id),
+            },
+            None if opts.drain => {
+                println!("ftsimd: queue drained, exiting");
+                return Ok(());
+            }
+            None => std::thread::sleep(opts.poll),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+
+    fn temp_store(tag: &str) -> JobStore {
+        let dir = std::env::temp_dir().join(format!("ftsimd-runner-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        JobStore::open(dir).unwrap()
+    }
+
+    fn spec() -> JobSpec {
+        let mut spec = JobSpec::new("unit");
+        spec.workloads = vec!["gcc".to_string(), "equake".to_string()];
+        spec.models = vec!["SS-1".to_string(), "SS-2".to_string()];
+        spec.fault_rates_pm = vec![0.0, 4_000.0];
+        spec.budgets = vec![1_500];
+        spec.seeds = vec![7];
+        spec
+    }
+
+    #[test]
+    fn job_results_match_one_shot_grid() {
+        let store = temp_store("match");
+        let (id, _) = store.submit(&spec()).unwrap();
+        let job = store.job(&id).unwrap();
+        let outcome = run_job(&store, &job, &AtomicBool::new(false)).unwrap();
+        assert_eq!(outcome, JobOutcome::Completed);
+        assert_eq!(store.load_status(&job).unwrap().state, JobState::Done);
+
+        let direct = spec().to_experiment().unwrap().run().unwrap();
+        let from_daemon = std::fs::read_to_string(job.results_path()).unwrap();
+        assert_eq!(from_daemon, to_csv(&direct));
+        let json = std::fs::read_to_string(job.results_json_path()).unwrap();
+        assert_eq!(json, to_json(&direct));
+
+        // Re-running a done job's store is a no-op for serve (drain).
+        serve(
+            &store,
+            &ServeOptions {
+                drain: true,
+                poll: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(job.results_path()).unwrap(),
+            to_csv(&direct)
+        );
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn immediate_stop_requeues_with_no_progress_lost() {
+        let store = temp_store("stop");
+        let (id, _) = store.submit(&spec()).unwrap();
+        let job = store.job(&id).unwrap();
+        // A pre-set stop flag interrupts before any cell runs.
+        let outcome = run_job(&store, &job, &AtomicBool::new(true)).unwrap();
+        assert_eq!(outcome, JobOutcome::Interrupted);
+        let status = store.load_status(&job).unwrap();
+        assert_eq!(status.state, JobState::Queued);
+        assert_eq!(status.cells_done, 0);
+
+        // A later run completes and matches the one-shot grid.
+        let outcome = run_job(&store, &job, &AtomicBool::new(false)).unwrap();
+        assert_eq!(outcome, JobOutcome::Completed);
+        let direct = spec().to_experiment().unwrap().run().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(job.results_path()).unwrap(),
+            to_csv(&direct)
+        );
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn serve_drains_the_queue_in_submission_order() {
+        let store = temp_store("drain");
+        let (a, _) = store.submit(&spec()).unwrap();
+        let mut other = spec();
+        other.name = "unit-b".to_string();
+        other.workloads = vec!["gcc".to_string()];
+        other.fault_rates_pm = vec![0.0];
+        let (b, _) = store.submit(&other).unwrap();
+        serve(
+            &store,
+            &ServeOptions {
+                drain: true,
+                poll: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        for id in [&a, &b] {
+            let job = store.job(id).unwrap();
+            assert_eq!(store.load_status(&job).unwrap().state, JobState::Done);
+            assert!(job.results_path().exists());
+        }
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}

@@ -1,0 +1,584 @@
+//! The persistent job store: a state directory holding the queue.
+//!
+//! Everything the daemon knows lives in one directory tree, so jobs
+//! survive restarts and crashes, and every state transition is visible
+//! to `ftsimd status` while a sweep runs:
+//!
+//! ```text
+//! <state>/
+//!   stop                      # graceful-shutdown sentinel (ftsimd stop)
+//!   jobs/
+//!     0001-fig6-mini/
+//!       spec.json             # canonical job spec (JobSpec::to_json)
+//!       status.json           # state + progress, written atomically
+//!       cells.csv             # incremental results, append-safe
+//!       results.csv           # final records in grid order (done jobs)
+//!       results.json          # same records as JSON (done jobs)
+//! ```
+//!
+//! `status.json` is always replaced via write-to-temp + rename, so a
+//! reader never sees a torn status; `cells.csv` is an
+//! [`ftsim_stats::csv::AppendWriter`] log, so a killed daemon loses at
+//! most the row in flight and the next `serve` resumes from the rest.
+
+use crate::spec::{JobSpec, SpecError};
+use ftsim_stats::JsonValue;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Daemon-level failure: I/O on the state directory, an unreadable
+/// spec/status document, or a job that does not exist.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Filesystem trouble, tagged with the path involved.
+    Io {
+        /// What the daemon was doing.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A spec failed to parse or resolve.
+    Spec(SpecError),
+    /// A grid failed validation (empty axis, invalid model…).
+    Experiment(ftsim::harness::ExperimentError),
+    /// A job id that is not in the store.
+    NoSuchJob(String),
+    /// A persisted document (status.json) that does not parse.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Io { context, source } => write!(f, "{context}: {source}"),
+            DaemonError::Spec(e) => write!(f, "{e}"),
+            DaemonError::Experiment(e) => write!(f, "invalid grid: {e}"),
+            DaemonError::NoSuchJob(id) => write!(f, "no such job `{id}`"),
+            DaemonError::Corrupt { path, message } => {
+                write!(f, "corrupt state file {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Io { source, .. } => Some(source),
+            DaemonError::Spec(e) => Some(e),
+            DaemonError::Experiment(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for DaemonError {
+    fn from(e: SpecError) -> Self {
+        DaemonError::Spec(e)
+    }
+}
+
+impl From<ftsim::harness::ExperimentError> for DaemonError {
+    fn from(e: ftsim::harness::ExperimentError) -> Self {
+        DaemonError::Experiment(e)
+    }
+}
+
+/// Tags an [`io::Error`] with what the daemon was doing.
+pub(crate) fn io_err(context: impl Into<String>) -> impl FnOnce(io::Error) -> DaemonError {
+    let context = context.into();
+    move |source| DaemonError::Io { context, source }
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted (or interrupted mid-run) and waiting for a worker.
+    Queued,
+    /// Being executed by a daemon right now — or by a daemon that died;
+    /// `serve` treats a `Running` job it did not start as resumable.
+    Running,
+    /// Every cell has a record; `results.csv`/`results.json` are final.
+    Done,
+    /// The job itself is unrunnable (bad spec/grid) — distinct from
+    /// individual cells failing, which still yields a `Done` job whose
+    /// records carry per-cell errors.
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A job's persisted status document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Total grid cells in the job.
+    pub cells_total: usize,
+    /// Cells with a streamed record so far.
+    pub cells_done: usize,
+    /// Failure message for [`JobState::Failed`] jobs; empty otherwise.
+    pub error: String,
+}
+
+impl JobStatus {
+    fn queued(cells_total: usize) -> Self {
+        Self {
+            state: JobState::Queued,
+            cells_total,
+            cells_done: 0,
+            error: String::new(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        JsonValue::obj([
+            (
+                "state".to_string(),
+                JsonValue::Str(self.state.as_str().to_string()),
+            ),
+            (
+                "cells_total".to_string(),
+                JsonValue::U64(self.cells_total as u64),
+            ),
+            (
+                "cells_done".to_string(),
+                JsonValue::U64(self.cells_done as u64),
+            ),
+            ("error".to_string(), JsonValue::Str(self.error.clone())),
+        ])
+        .render_pretty(2)
+    }
+
+    fn from_json(text: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let field = |name: &str| doc.get(name).ok_or_else(|| format!("missing `{name}`"));
+        let state = field("state")?
+            .as_str()
+            .and_then(JobState::parse)
+            .ok_or("bad `state`")?;
+        let count = |name: &str| -> Result<usize, String> {
+            field(name)?
+                .as_u64()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| format!("bad `{name}`"))
+        };
+        Ok(Self {
+            state,
+            cells_total: count("cells_total")?,
+            cells_done: count("cells_done")?,
+            error: field("error")?.as_str().unwrap_or_default().to_string(),
+        })
+    }
+}
+
+/// A handle to one job's state directory.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The job id (`NNNN-name`), also the directory name.
+    pub id: String,
+    dir: PathBuf,
+}
+
+impl Job {
+    /// The job's state directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the canonical spec document.
+    pub fn spec_path(&self) -> PathBuf {
+        self.dir.join("spec.json")
+    }
+
+    /// Path of the atomically-replaced status document.
+    pub fn status_path(&self) -> PathBuf {
+        self.dir.join("status.json")
+    }
+
+    /// Path of the incremental (append-safe, completion-order) results.
+    pub fn cells_path(&self) -> PathBuf {
+        self.dir.join("cells.csv")
+    }
+
+    /// Path of the final grid-order CSV (exists once the job is done).
+    pub fn results_path(&self) -> PathBuf {
+        self.dir.join("results.csv")
+    }
+
+    /// Path of the final grid-order JSON (exists once the job is done).
+    pub fn results_json_path(&self) -> PathBuf {
+        self.dir.join("results.json")
+    }
+}
+
+/// The daemon's persistent state directory: a queue of jobs plus the
+/// graceful-shutdown sentinel.
+///
+/// All mutation goes through atomic filesystem operations (append-only
+/// logs, write-temp-then-rename documents), so any number of `ftsimd`
+/// CLI invocations can inspect the store while one daemon serves it.
+#[derive(Debug, Clone)]
+pub struct JobStore {
+    root: PathBuf,
+}
+
+impl JobStore {
+    /// Opens (creating as needed) a state directory.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, DaemonError> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("jobs"))
+            .map_err(io_err(format!("creating state dir {}", root.display())))?;
+        Ok(Self { root })
+    }
+
+    /// The state directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn jobs_dir(&self) -> PathBuf {
+        self.root.join("jobs")
+    }
+
+    fn stop_path(&self) -> PathBuf {
+        self.root.join("stop")
+    }
+
+    /// Submits a job, or **attaches** to an existing one: if some job in
+    /// the store has a byte-identical canonical spec, its id is returned
+    /// with `created == false` instead of duplicating the work (this is
+    /// what makes re-running a submission script incremental). Returns
+    /// `(job_id, created)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Spec`]/[`DaemonError::Experiment`] when the spec
+    /// does not resolve to a valid grid (rejected at submit time, not
+    /// discovered mid-queue), or [`DaemonError::Io`].
+    pub fn submit(&self, spec: &JobSpec) -> Result<(String, bool), DaemonError> {
+        // Reject unrunnable jobs now, while the submitter is watching.
+        let cells_total = spec.to_experiment()?.identities()?.len();
+        let canonical = spec.to_json();
+
+        let jobs = self.jobs()?;
+        for job in &jobs {
+            let existing = std::fs::read_to_string(job.spec_path())
+                .map_err(io_err(format!("reading {}", job.spec_path().display())))?;
+            if existing == canonical {
+                return Ok((job.id.clone(), false));
+            }
+        }
+
+        let next = jobs
+            .iter()
+            .filter_map(|j| j.id.split('-').next()?.parse::<u64>().ok())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        // Claim the id with an exclusive `create_dir`: a concurrent
+        // submitter racing for the same number loses the create and we
+        // retry with the next one, instead of both writing into one
+        // directory.
+        let job = 'claimed: {
+            for attempt in 0..64u64 {
+                let id = format!("{:04}-{}", next + attempt, slug(&spec.name));
+                let dir = self.jobs_dir().join(&id);
+                match std::fs::create_dir(&dir) {
+                    Ok(()) => break 'claimed Job { id, dir },
+                    Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                    Err(e) => return Err(io_err(format!("creating {}", dir.display()))(e)),
+                }
+            }
+            return Err(DaemonError::Io {
+                context: "allocating a job id".to_string(),
+                source: io::Error::new(io::ErrorKind::AlreadyExists, "64 consecutive ids taken"),
+            });
+        };
+        let id = job.id.clone();
+        std::fs::write(job.spec_path(), canonical)
+            .map_err(io_err(format!("writing {}", job.spec_path().display())))?;
+        self.write_status(&job, &JobStatus::queued(cells_total))?;
+        Ok((id, true))
+    }
+
+    /// Removes a job and all its state (spec, streamed and final
+    /// results). Used by `--fresh` re-submissions.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::NoSuchJob`] or [`DaemonError::Io`].
+    pub fn remove(&self, id: &str) -> Result<(), DaemonError> {
+        let job = self.job(id)?;
+        std::fs::remove_dir_all(job.dir())
+            .map_err(io_err(format!("removing {}", job.dir().display())))
+    }
+
+    /// All jobs, sorted by id (submission order).
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when the jobs directory is unreadable.
+    pub fn jobs(&self) -> Result<Vec<Job>, DaemonError> {
+        let dir = self.jobs_dir();
+        let mut jobs = Vec::new();
+        let entries =
+            std::fs::read_dir(&dir).map_err(io_err(format!("listing {}", dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(io_err(format!("listing {}", dir.display())))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            if let Some(id) = entry.file_name().to_str() {
+                jobs.push(Job {
+                    id: id.to_string(),
+                    dir: entry.path(),
+                });
+            }
+        }
+        jobs.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(jobs)
+    }
+
+    /// Looks one job up by id.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::NoSuchJob`] when absent.
+    pub fn job(&self, id: &str) -> Result<Job, DaemonError> {
+        let dir = self.jobs_dir().join(id);
+        if !dir.is_dir() {
+            return Err(DaemonError::NoSuchJob(id.to_string()));
+        }
+        Ok(Job {
+            id: id.to_string(),
+            dir,
+        })
+    }
+
+    /// Loads a job's spec.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] or [`DaemonError::Spec`].
+    pub fn load_spec(&self, job: &Job) -> Result<JobSpec, DaemonError> {
+        let path = job.spec_path();
+        let text = std::fs::read_to_string(&path)
+            .map_err(io_err(format!("reading {}", path.display())))?;
+        Ok(JobSpec::parse(&text)?)
+    }
+
+    /// Loads a job's status document.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] or [`DaemonError::Corrupt`].
+    pub fn load_status(&self, job: &Job) -> Result<JobStatus, DaemonError> {
+        let path = job.status_path();
+        let text = std::fs::read_to_string(&path)
+            .map_err(io_err(format!("reading {}", path.display())))?;
+        JobStatus::from_json(&text).map_err(|message| DaemonError::Corrupt { path, message })
+    }
+
+    /// Replaces a job's status document atomically (write temp, rename).
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`].
+    pub fn write_status(&self, job: &Job, status: &JobStatus) -> Result<(), DaemonError> {
+        write_atomic(&job.status_path(), status.to_json().as_bytes())
+    }
+
+    /// Requests a graceful shutdown: the serving daemon finishes the cell
+    /// in flight, re-queues the interrupted job, and exits.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`].
+    pub fn request_stop(&self) -> Result<(), DaemonError> {
+        std::fs::write(self.stop_path(), b"stop requested\n")
+            .map_err(io_err(format!("writing {}", self.stop_path().display())))
+    }
+
+    /// Whether a graceful shutdown has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_path().exists()
+    }
+
+    /// Clears the shutdown sentinel (done by `serve` on startup, so a
+    /// stale request from a previous shutdown does not kill the new
+    /// daemon immediately).
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] (a missing sentinel is fine).
+    pub fn clear_stop(&self) -> Result<(), DaemonError> {
+        match std::fs::remove_file(self.stop_path()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(format!("removing {}", self.stop_path().display()))(
+                e,
+            )),
+        }
+    }
+}
+
+/// Replaces `path` atomically: write a sibling temp file, fsync, rename.
+/// The temp name is unique per call (process id + counter), so
+/// concurrent writers — e.g. two worker threads bumping a job's status —
+/// never truncate each other's in-flight temp file; last rename wins
+/// with complete contents either way.
+pub(crate) fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), DaemonError> {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    let write = || -> io::Result<()> {
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            io::Write::write_all(&mut file, contents)?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)
+    };
+    write().map_err(io_err(format!("replacing {}", path.display())))
+}
+
+/// Squashes a job name into a filesystem-safe slug.
+fn slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if (c == '-' || c == '_' || c.is_whitespace()) && !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    let out = out.trim_matches('-').to_string();
+    if out.is_empty() {
+        "job".to_string()
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> JobStore {
+        let dir = std::env::temp_dir().join(format!("ftsimd-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        JobStore::open(dir).unwrap()
+    }
+
+    fn small_spec(name: &str) -> JobSpec {
+        let mut spec = JobSpec::new(name);
+        spec.workloads = vec!["gcc".to_string()];
+        spec.models = vec!["SS-1".to_string()];
+        spec.budgets = vec![1_000];
+        spec
+    }
+
+    #[test]
+    fn submit_attach_and_remove() {
+        let store = temp_store("submit");
+        let (id, created) = store.submit(&small_spec("My Job!")).unwrap();
+        assert!(created);
+        assert_eq!(id, "0001-my-job");
+
+        // Identical spec attaches instead of duplicating.
+        let (again, created) = store.submit(&small_spec("My Job!")).unwrap();
+        assert!(!created);
+        assert_eq!(again, id);
+
+        // A different spec gets the next id.
+        let (other, created) = store.submit(&small_spec("other")).unwrap();
+        assert!(created);
+        assert_eq!(other, "0002-other");
+
+        let status = store.load_status(&store.job(&id).unwrap()).unwrap();
+        assert_eq!(status.state, JobState::Queued);
+        assert_eq!(status.cells_total, 1);
+
+        store.remove(&id).unwrap();
+        assert!(matches!(store.job(&id), Err(DaemonError::NoSuchJob(_))));
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn unrunnable_specs_are_rejected_at_submit() {
+        let store = temp_store("reject");
+        let mut bad = small_spec("bad");
+        bad.workloads = vec!["doom".to_string()];
+        assert!(matches!(
+            store.submit(&bad),
+            Err(DaemonError::Spec(SpecError::UnknownWorkload(_)))
+        ));
+        let mut bad = small_spec("bad2");
+        bad.fault_rates_pm = vec![-3.0];
+        assert!(matches!(
+            store.submit(&bad),
+            Err(DaemonError::Experiment(_))
+        ));
+        assert!(store.jobs().unwrap().is_empty(), "nothing may be enqueued");
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn status_round_trips_and_stop_sentinel_works() {
+        let store = temp_store("status");
+        let (id, _) = store.submit(&small_spec("s")).unwrap();
+        let job = store.job(&id).unwrap();
+        let status = JobStatus {
+            state: JobState::Running,
+            cells_total: 8,
+            cells_done: 3,
+            error: String::new(),
+        };
+        store.write_status(&job, &status).unwrap();
+        assert_eq!(store.load_status(&job).unwrap(), status);
+
+        assert!(!store.stop_requested());
+        store.request_stop().unwrap();
+        assert!(store.stop_requested());
+        store.clear_stop().unwrap();
+        store.clear_stop().unwrap(); // idempotent
+        assert!(!store.stop_requested());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}

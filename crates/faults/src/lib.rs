@@ -46,6 +46,8 @@
 //! assert!(hits > 400 && hits < 600); // ~Bernoulli(0.5)
 //! ```
 
+#![warn(missing_docs)]
+
 mod injector;
 mod log;
 mod plan;

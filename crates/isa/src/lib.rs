@@ -44,6 +44,8 @@
 //! assert_eq!(emu.regs().read_int(IntReg::new(2)), 55);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod asm;
 mod emulator;
 mod encode;

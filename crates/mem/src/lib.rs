@@ -37,6 +37,8 @@
 //! assert!(second.latency < first.latency); // second access hits in L1
 //! ```
 
+#![warn(missing_docs)]
+
 mod cache;
 mod hierarchy;
 mod memory;

@@ -36,6 +36,8 @@
 //! assert!((ipc - 0.5).abs() < 1e-4);
 //! ```
 
+#![warn(missing_docs)]
+
 mod crossover;
 mod figures;
 mod recovery;

@@ -31,6 +31,8 @@
 //! assert!(p.predict(0x1000)); // learned taken
 //! ```
 
+#![warn(missing_docs)]
+
 mod bimodal;
 mod btb;
 mod combined;

@@ -8,6 +8,8 @@
 //! simple wall-clock runner that reports the mean, minimum and maximum
 //! time per iteration (no statistical analysis, plots or baselines).
 
+#![warn(missing_docs)]
+
 use std::time::{Duration, Instant};
 
 /// Work-per-iteration declaration for throughput reporting.

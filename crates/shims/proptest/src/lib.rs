@@ -18,10 +18,12 @@
 //! from the test name (fully deterministic across runs), and failing cases
 //! are **not shrunk** — the failing input is printed as-is.
 
+#![warn(missing_docs)]
+
 use std::ops::Range;
 
-// The strategy RNG reuses the workspace's xoshiro shim algorithm inline so
-// this crate stays dependency-free.
+/// The deterministic strategy RNG (the workspace's xoshiro shim
+/// algorithm, inlined so this crate stays dependency-free).
 #[derive(Debug, Clone)]
 pub struct TestRng {
     s: [u64; 4],
@@ -272,7 +274,7 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             len: Range<usize>,

@@ -14,6 +14,8 @@
 //! deterministic per seed, which is all the simulator requires; this is
 //! **not** a cryptographic generator.
 
+#![warn(missing_docs)]
+
 /// Seeding interface: the subset of `rand::SeedableRng` the workspace uses.
 pub trait SeedableRng: Sized {
     /// Creates a generator from a 64-bit seed via SplitMix64 expansion.

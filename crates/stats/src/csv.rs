@@ -2,8 +2,15 @@
 //!
 //! The experiment harness exports run records as CSV without external
 //! dependencies; this module provides quoting-aware escaping, row
-//! joining, and a parser that inverts them exactly (so record → CSV →
-//! record round trips are testable).
+//! joining, a parser that inverts them exactly (so record → CSV →
+//! record round trips are testable), and an append-safe incremental
+//! writer ([`AppendWriter`]) used by the `ftsimd` sweep daemon to stream
+//! results to disk so a crashed run can resume from whatever rows made
+//! it out.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
 
 /// Quotes a single cell when it contains a comma, quote or newline.
 pub fn escape(cell: &str) -> String {
@@ -140,6 +147,84 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
     Ok(rows)
 }
 
+/// An append-only CSV writer built for crash safety: every row is
+/// written as **one** `write` call (row + newline), flushed, and synced
+/// to the device before [`AppendWriter::append_row`] returns. A process
+/// killed between rows therefore loses at most the row in flight, and a
+/// reader tolerant of one partial trailing line (the harness's
+/// `from_csv_tolerant`) recovers everything else.
+///
+/// Opening an existing file whose last byte is not a newline — the
+/// signature of a writer that died mid-row — first repairs it by
+/// appending one, so the next row can never merge into the torn line.
+#[derive(Debug)]
+pub struct AppendWriter {
+    file: File,
+}
+
+impl AppendWriter {
+    /// Opens `path` for appending, creating parent directories and the
+    /// file as needed, and returns the writer together with the file's
+    /// pre-existing contents (so callers resuming a run read prior rows
+    /// with the same open, not a second racy one). A new or empty file
+    /// gets `header` (plus a newline) written first; a torn trailing
+    /// line is terminated as described on [`AppendWriter`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating directories, opening, reading or repairing
+    /// the file.
+    pub fn open(path: impl AsRef<Path>, header: &str) -> std::io::Result<(Self, String)> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        let mut existing = String::new();
+        file.read_to_string(&mut existing)?;
+        let mut writer = Self { file };
+        if existing.is_empty() {
+            writer.write_line(header)?;
+        } else if !existing.ends_with('\n') {
+            // A previous writer died mid-row: terminate the torn line so
+            // the next append starts on a fresh one. The torn line itself
+            // is left for the tolerant reader to discard.
+            writer.file.write_all(b"\n")?;
+            writer.file.sync_data()?;
+            existing.push('\n');
+        }
+        Ok((writer, existing))
+    }
+
+    /// Appends one row (no trailing newline in `row`; quoting is the
+    /// caller's business, e.g. via [`join_row`]) and syncs it to the
+    /// device before returning.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing or syncing.
+    pub fn append_row(&mut self, row: &str) -> std::io::Result<()> {
+        self.write_line(row)
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        // One write call for line + newline: on a local filesystem an
+        // append of this size lands atomically in practice, and the
+        // sync bounds the loss window to the row in flight.
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        self.file.write_all(buf.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +295,43 @@ mod tests {
     #[test]
     fn empty_document() {
         assert_eq!(parse("").unwrap(), Vec::<Vec<String>>::new());
+    }
+
+    #[test]
+    fn append_writer_creates_with_header_and_appends() {
+        let dir = std::env::temp_dir().join(format!("ftsim-csv-{}", std::process::id()));
+        let path = dir.join("nested/cells.csv");
+        let (mut w, existing) = AppendWriter::open(&path, "a,b").unwrap();
+        assert_eq!(existing, "");
+        w.append_row("1,2").unwrap();
+        drop(w);
+
+        // Reopening reads prior content back and does not rewrite the
+        // header.
+        let (mut w, existing) = AppendWriter::open(&path, "a,b").unwrap();
+        assert_eq!(existing, "a,b\n1,2\n");
+        w.append_row("3,4").unwrap();
+        drop(w);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_writer_repairs_torn_trailing_line() {
+        let dir = std::env::temp_dir().join(format!("ftsim-csv-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cells.csv");
+        // Simulate a writer killed mid-row: no trailing newline.
+        std::fs::write(&path, "a,b\n1,2\n3,").unwrap();
+        let (mut w, existing) = AppendWriter::open(&path, "a,b").unwrap();
+        assert_eq!(existing, "a,b\n1,2\n3,\n", "torn line must be terminated");
+        w.append_row("5,6").unwrap();
+        drop(w);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "a,b\n1,2\n3,\n5,6\n",
+            "the new row must not merge into the torn line"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

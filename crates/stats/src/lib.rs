@@ -25,6 +25,8 @@
 //! assert!(text.contains("gcc"));
 //! ```
 
+#![warn(missing_docs)]
+
 mod counter;
 pub mod csv;
 mod histogram;

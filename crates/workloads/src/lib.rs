@@ -34,6 +34,8 @@
 //! assert!(program.len() > 100);
 //! ```
 
+#![warn(missing_docs)]
+
 mod generator;
 mod kernels;
 mod profile;

@@ -1,48 +1,69 @@
-//! Design space: sweep the degree of redundancy R with one declarative
-//! [`Experiment::grid`] — 11 workloads × 4 machine models, run across all
-//! cores — and compare the simulated throughput cost of reliability
-//! against the paper's analytical model (§4).
+//! Design space: sweep the degree of redundancy R as a **daemon job** —
+//! 11 workloads × 4 machine models submitted as one `ftsimd` sweep spec,
+//! drained in-process — and compare the simulated throughput cost of
+//! reliability against the paper's analytical model (§4).
 //!
-//! The grid is *incremental*: its records are exported to
-//! `target/experiments/design_space.csv`, and a re-run resumes from that
-//! file, skipping every cell already simulated. Pass `--fresh` to ignore
-//! the stored records and re-simulate everything.
+//! The job is *persistent*: its state lives under
+//! `target/experiments/ftsimd-state`, results stream to the job's
+//! `cells.csv` as cells complete, and a re-run attaches to the finished
+//! job instead of re-simulating (kill the example mid-sweep and run it
+//! again — it resumes where it stopped). Pass `--fresh` to discard the
+//! stored job and re-simulate everything.
+//!
+//! The same sweep can be driven from the command line:
+//!
+//! ```bash
+//! cargo run --release --bin ftsimd -- submit design_space.toml --state target/experiments/ftsimd-state
+//! cargo run --release --bin ftsimd -- serve --drain --state target/experiments/ftsimd-state
+//! ```
 //!
 //! ```bash
 //! cargo run --release --example design_space [--fresh]
 //! ```
 
-use ftsim::core::{MachineConfig, RedundancyConfig};
-use ftsim::harness::{expect_record, load_resume_csv, save_csv, Experiment};
+use ftsim::harness::{expect_record, from_csv};
 use ftsim::model::steady_state_ipc;
 use ftsim::stats::{fmt_f, Table};
 use ftsim::workloads::spec_profiles;
+use ftsim_daemon::{serve, JobSpec, JobStore, ServeOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let budget = 30_000u64;
     let fresh = std::env::args().any(|a| a == "--fresh");
     println!("throughput cost of redundancy, simulated vs first-order model\n");
 
-    let models: Vec<MachineConfig> = (1..=4u8)
-        .map(|r| {
-            MachineConfig::ss1()
-                .with_redundancy(if r == 1 {
-                    RedundancyConfig::none()
-                } else {
-                    RedundancyConfig::rewind(r)
-                })
-                .named(&format!("SS-{r}"))
-        })
-        .collect();
+    // The sweep as a declarative job spec: every workload and model by
+    // name (`SS-4` resolves through the generalized model registry).
+    let mut spec = JobSpec::new("design-space");
+    spec.workloads = spec_profiles().iter().map(|p| p.name.to_string()).collect();
+    spec.models = (1..=4u8).map(|r| format!("SS-{r}")).collect();
+    spec.budgets = vec![30_000];
 
-    let csv_path = "target/experiments/design_space.csv";
-    let records = Experiment::grid()
-        .workloads(spec_profiles())
-        .models(models)
-        .budget(budget)
-        .resume_from(load_resume_csv(csv_path, fresh))
-        .run()?;
-    save_csv(csv_path, &records)?;
+    let store = JobStore::open("target/experiments/ftsimd-state")?;
+    let (mut job_id, created) = store.submit(&spec)?;
+    if !created {
+        if fresh {
+            store.remove(&job_id)?;
+            job_id = store.submit(&spec)?.0;
+            println!("--fresh: discarded stored job, re-simulating as {job_id}\n");
+        } else {
+            println!("attached to existing job {job_id} (pass --fresh to re-simulate)\n");
+        }
+    } else {
+        println!("submitted job {job_id}\n");
+    }
+
+    // Drain the queue in-process (exactly what `ftsimd serve --drain`
+    // does); an interrupted previous run resumes from its streamed rows.
+    serve(
+        &store,
+        &ServeOptions {
+            drain: true,
+            ..Default::default()
+        },
+    )?;
+
+    let job = store.job(&job_id)?;
+    let records = from_csv(&std::fs::read_to_string(job.results_path())?)?;
 
     let mut table = Table::new([
         "bench",

@@ -1,21 +1,24 @@
 //! Fault storm: bombard the fault-tolerant superscalar with transient
-//! faults — one declarative [`Experiment::grid`] over the three redundant
-//! machine models — and watch detection, recovery and (at R = 3) majority
+//! faults — one `ftsimd` **daemon job** over the three redundant machine
+//! models — and watch detection, recovery and (at R = 3) majority
 //! election keep the architectural state exact.
 //!
-//! The grid runs with checkpoint-forking enabled: the three models share
-//! their fault-free prefixes where the fault plan allows, without changing
-//! a byte of any record. Results are exported to
-//! `target/experiments/fault_storm.csv` and a re-run at the same rate
-//! resumes from them; pass `--fresh` to re-simulate everything.
+//! The job runs with checkpoint-forking enabled (the spec default): the
+//! three models share their fault-free prefixes where the fault plan
+//! allows, without changing a byte of any record. Job state persists
+//! under `target/experiments/ftsimd-state`; each fault rate is its own
+//! job (the rate is part of the spec), so sweeping several rates builds
+//! up a resumable result set and re-running a rate attaches to its
+//! finished job. Pass `--fresh` to discard this rate's stored job and
+//! re-simulate.
 //!
 //! ```bash
 //! cargo run --release --example fault_storm [faults_per_million] [--fresh]
 //! ```
 
-use ftsim::core::{MachineConfig, OracleMode};
-use ftsim::harness::{load_resume_csv, save_csv, Experiment};
-use ftsim::workloads::profile;
+use ftsim::harness::from_csv;
+use ftsim_core::OracleMode;
+use ftsim_daemon::{serve, JobSpec, JobStore, ServeOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate: f64 = std::env::args()
@@ -23,38 +26,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|a| a.parse().ok())
         .unwrap_or(2_000.0); // 2000 faults per million instructions
     let fresh = std::env::args().any(|a| a == "--fresh");
-    let bench = profile("equake").expect("profile exists");
-    let program = bench.program(120);
 
-    println!(
-        "workload: synthetic {}, fault rate {rate} faults per million instructions\n",
-        bench.name
-    );
+    println!("workload: synthetic equake, fault rate {rate} faults per million instructions\n");
 
-    let csv_path = "target/experiments/fault_storm.csv";
-    let prior = load_resume_csv(csv_path, fresh);
-    let records = Experiment::grid()
-        .workloads([("equake", program)])
-        .models([
-            MachineConfig::ss2(),
-            MachineConfig::ss3(),
-            MachineConfig::ss3_majority(),
-        ])
-        .fault_rates([rate])
-        .seeds([0xf00d])
-        .oracle(OracleMode::Final)
-        .checkpointing(true)
-        .resume_from(prior.clone())
-        .run()?;
-    // The rate is a CLI axis, so keep prior records from *other* rates
-    // resumable: save the union, this run's records taking precedence.
-    let mut saved = records.clone();
-    saved.extend(
-        prior
-            .into_iter()
-            .filter(|p| !records.iter().any(|r| r.same_identity(p))),
-    );
-    save_csv(csv_path, &saved)?;
+    let mut spec = JobSpec::new(format!("fault-storm-{rate}pm"));
+    spec.workloads = vec!["equake".to_string()];
+    spec.models = vec!["SS-2".to_string(), "SS-3".to_string(), "SS-3M".to_string()];
+    spec.fault_rates_pm = vec![rate];
+    spec.budgets = vec![20_000];
+    spec.seeds = vec![0xf00d];
+    spec.oracle = OracleMode::Final;
+
+    let store = JobStore::open("target/experiments/ftsimd-state")?;
+    let (mut job_id, created) = store.submit(&spec)?;
+    if !created && fresh {
+        store.remove(&job_id)?;
+        job_id = store.submit(&spec)?.0;
+    } else if !created {
+        println!("attached to existing job {job_id} (pass --fresh to re-simulate)\n");
+    }
+    serve(
+        &store,
+        &ServeOptions {
+            drain: true,
+            ..Default::default()
+        },
+    )?;
+
+    let job = store.job(&job_id)?;
+    let records = from_csv(&std::fs::read_to_string(job.results_path())?)?;
 
     for r in &records {
         assert!(r.ok(), "{} failed: {}", r.model, r.error);

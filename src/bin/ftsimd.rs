@@ -1,0 +1,10 @@
+//! `ftsimd` — the long-running sweep daemon. All behaviour lives in
+//! [`ftsim_daemon::cli`]; this file only owns the process boundary.
+//! (The target is declared by the `ftsim-daemon` crate, which points at
+//! this path; it cannot belong to the root `ftsim` package because the
+//! daemon depends on `ftsim`.)
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ftsim_daemon::cli::run(&args));
+}

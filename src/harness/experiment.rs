@@ -1,31 +1,16 @@
 //! Declarative sweep grids and the parallel cell runner.
 
+use crate::harness::plan::SweepPlan;
 use crate::harness::record::RunRecord;
-use ftsim_core::{Checkpoint, ConfigError, MachineConfig, OracleMode, RunLimits, Simulator};
-use ftsim_faults::{per_million, FaultInjector};
+use ftsim_core::{ConfigError, MachineConfig, OracleMode, RunLimits};
 use ftsim_isa::Program;
 use ftsim_workloads::WorkloadProfile;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// Default committed-instruction budget per cell (the experiments'
 /// standard sample size; the paper simulates 1 B instructions, whose
 /// steady-state shape is stable well below that).
 pub const DEFAULT_BUDGET: u64 = 60_000;
-
-/// Smallest first-possible-injection draw index for which running a
-/// *dedicated* family baseline (one that serves no fault-free cell of its
-/// own) pays for itself. Families containing a fault-free cell always run
-/// the baseline — it *is* that cell's simulation.
-const MIN_WORTHWHILE_FORK_DRAWS: u64 = 4_096;
-
-/// Checkpoint spacing for a family baseline, in cycles: fine enough that
-/// the skipped prefix tracks each cell's divergence point closely, coarse
-/// enough that snapshot cost stays a small fraction of the run.
-fn checkpoint_interval(budget: u64) -> u64 {
-    (budget / 32).clamp(256, 8_192)
-}
 
 /// One workload axis entry: a calibrated benchmark profile or an ad-hoc
 /// named program.
@@ -61,7 +46,7 @@ impl Workload {
     }
 
     /// The program to simulate for a given instruction budget.
-    fn program_for(&self, budget: u64) -> Program {
+    pub(crate) fn program_for(&self, budget: u64) -> Program {
         match self {
             Workload::Profile(p) => p.program_for_instructions(budget),
             Workload::Program { program, .. } => program.clone(),
@@ -168,16 +153,16 @@ impl std::error::Error for ExperimentError {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    workloads: Vec<Workload>,
-    models: Vec<MachineConfig>,
-    fault_rates_pm: Vec<f64>,
-    budgets: Vec<u64>,
-    seeds: Vec<u64>,
-    oracle: OracleMode,
-    threads: usize,
-    limits: Option<RunLimits>,
-    checkpointing: bool,
-    prior: Vec<RunRecord>,
+    pub(crate) workloads: Vec<Workload>,
+    pub(crate) models: Vec<MachineConfig>,
+    pub(crate) fault_rates_pm: Vec<f64>,
+    pub(crate) budgets: Vec<u64>,
+    pub(crate) seeds: Vec<u64>,
+    pub(crate) oracle: OracleMode,
+    pub(crate) threads: usize,
+    pub(crate) limits: Option<RunLimits>,
+    pub(crate) checkpointing: bool,
+    pub(crate) prior: Vec<RunRecord>,
 }
 
 impl Experiment {
@@ -279,11 +264,11 @@ impl Experiment {
     /// When enabled, each grid *family* — the cells sharing a (workload,
     /// model, budget) and differing only in fault rate and seed — runs one
     /// fault-free baseline that drops periodic machine checkpoints
-    /// ([`Simulator::run_with_checkpoints`]). The baseline's result serves
+    /// ([`ftsim_core::Simulator::run_with_checkpoints`]). The baseline's result serves
     /// every fault-free cell directly, and each faulty cell *forks*: it
     /// restores the newest checkpoint taken at or before its injector's
     /// first possible fault
-    /// ([`FaultInjector::first_possible_fire`]) and simulates only the
+    /// ([`ftsim_faults::FaultInjector::first_possible_fire`]) and simulates only the
     /// post-divergence suffix. Records are byte-identical to cold-start
     /// runs — forking changes wall-clock cost, never results.
     ///
@@ -323,7 +308,7 @@ impl Experiment {
             * self.seeds.len()
     }
 
-    fn validate(&self) -> Result<(), ExperimentError> {
+    pub(crate) fn validate(&self) -> Result<(), ExperimentError> {
         if self.workloads.is_empty() {
             return Err(ExperimentError::NoWorkloads);
         }
@@ -381,407 +366,44 @@ impl Experiment {
     /// Panics if a worker thread panics (a simulator bug, not an
     /// experiment failure).
     pub fn run(self) -> Result<Vec<RunRecord>, ExperimentError> {
+        Ok(self.plan()?.run_all())
+    }
+
+    /// Validates the grid and materializes it into a [`SweepPlan`] —
+    /// cells flattened in grid order, prior records matched, fork bounds
+    /// computed and families grouped — without running anything.
+    ///
+    /// [`Experiment::run`] is `plan()` followed by executing every cell
+    /// across a worker pool; callers that need finer control (the
+    /// `ftsimd` daemon streams each cell's record to disk as it
+    /// completes, sharding cells by family across its own workers)
+    /// execute the plan cell-by-cell instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError`] when the grid is misconfigured.
+    pub fn plan(self) -> Result<SweepPlan, ExperimentError> {
+        SweepPlan::new(self)
+    }
+
+    /// Validates the grid and enumerates the identity half of every
+    /// cell's record, in grid order, without computing fork bounds or
+    /// running anything — the cheap way to answer "which cells does this
+    /// grid contain, and in what order?" (used by the daemon to merge
+    /// streamed results back into grid order).
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError`] when the grid is misconfigured.
+    pub fn identities(&self) -> Result<Vec<RunRecord>, ExperimentError> {
         self.validate()?;
-
-        // Generate each distinct (workload, budget) program once, up
-        // front, behind an `Arc`: cells share the image by reference
-        // count instead of deep-copying instructions and data per cell.
-        let programs: Vec<Vec<Arc<Program>>> = self
-            .workloads
+        // Grid order has exactly one definition: the planner's cell
+        // enumeration.
+        Ok(crate::harness::plan::enumerate_cells(self)
             .iter()
-            .map(|w| {
-                self.budgets
-                    .iter()
-                    .map(|&b| Arc::new(w.program_for(b)))
-                    .collect()
-            })
-            .collect();
-
-        // The flattened cell list, in deterministic grid order.
-        let mut cells = Vec::with_capacity(self.cells());
-        for (wi, _) in self.workloads.iter().enumerate() {
-            for (mi, _) in self.models.iter().enumerate() {
-                for &rate_pm in &self.fault_rates_pm {
-                    for (bi, &budget) in self.budgets.iter().enumerate() {
-                        for &seed in &self.seeds {
-                            cells.push(Cell {
-                                workload: wi,
-                                budget_idx: bi,
-                                model: mi,
-                                rate_pm,
-                                budget,
-                                seed,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-
-        // Cells already present in the prior records are not re-simulated.
-        let resumed: Vec<Option<RunRecord>> = cells
-            .iter()
-            .map(|cell| {
-                let id = self.cell_identity(cell);
-                self.prior
-                    .iter()
-                    .find(|p| p.ok() && p.same_identity(&id))
-                    .cloned()
-            })
-            .collect();
-
-        let workers = match self.threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-            n => n,
-        }
-        .min(cells.len())
-        .max(1);
-
-        // Fork bounds, computed once per live faulty cell (the scan
-        // replays the injector's Bernoulli stream, so it is worth caching
-        // between the planning pass and the cell run).
-        let bounds: Vec<Option<u64>> = if self.checkpointing {
-            cells
-                .iter()
-                .zip(&resumed)
-                .map(|(cell, resumed)| {
-                    (resumed.is_none() && cell.rate_pm > 0.0).then(|| self.cell_fork_bound(cell))
-                })
-                .collect()
-        } else {
-            vec![None; cells.len()]
-        };
-        let families = if self.checkpointing {
-            self.plan_families(&cells, &resumed, &bounds)
-        } else {
-            Vec::new()
-        };
-
-        // Wave 1: family baselines (checkpoint producers), in parallel.
-        let pool = |n_tasks: usize, task: &(dyn Fn(usize) + Sync)| {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers.min(n_tasks).max(1) {
-                    scope.spawn(|| loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n_tasks {
-                            break;
-                        }
-                        task(idx);
-                    });
-                }
-            });
-        };
-        pool(families.len(), &|fi| {
-            let f = &families[fi];
-            let (outcome, checkpoints) = self.run_baseline(f, &programs);
-            let mut slot = f.baseline.lock().expect("family lock");
-            *slot = Some((outcome, checkpoints));
-        });
-
-        // Wave 2: every cell, in parallel — resumed, baseline-served,
-        // forked or cold.
-        let family_of = |cell: &Cell| {
-            families
-                .iter()
-                .find(|f| (f.workload, f.budget_idx, f.model) == cell.family_key())
-        };
-        let slots: Vec<Mutex<Option<RunRecord>>> = cells.iter().map(|_| Mutex::new(None)).collect();
-        pool(cells.len(), &|idx| {
-            let cell = &cells[idx];
-            let record = if let Some(prior) = &resumed[idx] {
-                prior.clone()
-            } else {
-                self.run_cell(cell, family_of(cell), bounds[idx], &programs)
-            };
-            *slots[idx].lock().expect("slot lock") = Some(record);
-        });
-
-        Ok(slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every cell ran")
-            })
+            .map(|cell| crate::harness::plan::cell_identity(self, cell))
             .collect())
     }
-
-    /// The identity half of a cell's record (used for resume matching and
-    /// as the base of the final record).
-    fn cell_identity(&self, cell: &Cell) -> RunRecord {
-        let workload = &self.workloads[cell.workload];
-        RunRecord::identity(
-            workload.name(),
-            workload.suite(),
-            &self.models[cell.model],
-            cell.rate_pm,
-            cell.seed,
-            cell.budget,
-        )
-    }
-
-    /// The builder every run of a (workload, budget, model) coordinate
-    /// starts from — config, shared program, oracle mode, and the cell's
-    /// budget with any blanket limits override adjusting ceilings but
-    /// never repealing the budgets axis. Baseline, forked and cold paths
-    /// all go through here so they cannot drift apart; callers add only
-    /// the injector.
-    fn cell_builder(
-        &self,
-        workload: usize,
-        budget_idx: usize,
-        model: usize,
-        budget: u64,
-        programs: &[Vec<Arc<Program>>],
-    ) -> ftsim_core::SimBuilder {
-        let builder = Simulator::builder()
-            .config(self.models[model].clone())
-            .program_shared(Arc::clone(&programs[workload][budget_idx]))
-            .oracle(self.oracle)
-            .budget(budget);
-        match self.limits {
-            Some(limits) => builder.limits(RunLimits {
-                max_instructions: limits.max_instructions.min(budget),
-                ..limits
-            }),
-            None => builder,
-        }
-    }
-
-    /// The highest draw index the cell is allowed to fork at: its
-    /// injector's first possible fire, or — when no draw fires inside the
-    /// scan horizon — the horizon itself. Capping at the horizon (rather
-    /// than "anywhere") keeps forking sound unconditionally: only the
-    /// scanned, provably fault-free region of the stream is ever skipped,
-    /// even for a pathological run that dispatches past the horizon.
-    fn cell_fork_bound(&self, cell: &Cell) -> u64 {
-        let horizon = fork_horizon(cell.budget, &self.models[cell.model]);
-        self.cell_injector(cell)
-            .first_possible_fire(horizon)
-            .unwrap_or(horizon)
-    }
-
-    /// Decides which families run a checkpointed baseline.
-    ///
-    /// A family — the cells sharing (workload, budget, model) — runs one
-    /// when it contains a live fault-free cell (the baseline *is* that
-    /// cell's run, so checkpoints come for free), or when some live faulty
-    /// cell's first possible injection lies far enough in (≥
-    /// [`MIN_WORTHWHILE_FORK_DRAWS`] draws) that skipping the prefix pays
-    /// for the extra baseline run.
-    fn plan_families(
-        &self,
-        cells: &[Cell],
-        resumed: &[Option<RunRecord>],
-        bounds: &[Option<u64>],
-    ) -> Vec<Family> {
-        let mut families: Vec<Family> = Vec::new();
-        for (i, (cell, resumed)) in cells.iter().zip(resumed).enumerate() {
-            if resumed.is_some() {
-                continue;
-            }
-            let key = cell.family_key();
-            let family = match families
-                .iter_mut()
-                .find(|f| (f.workload, f.budget_idx, f.model) == key)
-            {
-                Some(f) => f,
-                None => {
-                    families.push(Family {
-                        workload: cell.workload,
-                        budget_idx: cell.budget_idx,
-                        model: cell.model,
-                        budget: cell.budget,
-                        worthwhile: false,
-                        snapshot_horizon: None,
-                        baseline: Mutex::new(None),
-                    });
-                    families.last_mut().expect("just pushed")
-                }
-            };
-            if cell.rate_pm == 0.0 {
-                family.worthwhile = true; // the baseline is this very cell
-            } else {
-                let bound = bounds[i].expect("live faulty cells have a bound");
-                if bound >= MIN_WORTHWHILE_FORK_DRAWS {
-                    family.worthwhile = true;
-                }
-                // Snapshots are useful up to the *largest* divergence
-                // point any live faulty sibling can fork at.
-                family.snapshot_horizon = Some(family.snapshot_horizon.unwrap_or(0).max(bound));
-            }
-        }
-        families.retain(|f| f.worthwhile);
-        families
-    }
-
-    /// The fault injector a cell runs under (fresh, before any draws).
-    fn cell_injector(&self, cell: &Cell) -> FaultInjector {
-        debug_assert!(cell.rate_pm > 0.0);
-        FaultInjector::random(per_million(cell.rate_pm), cell.seed)
-    }
-
-    /// Runs one family's fault-free baseline, collecting checkpoints.
-    fn run_baseline(
-        &self,
-        f: &Family,
-        programs: &[Vec<Arc<Program>>],
-    ) -> (Result<ftsim_core::SimResult, String>, Vec<Checkpoint>) {
-        let builder = self.cell_builder(f.workload, f.budget_idx, f.model, f.budget, programs);
-        match builder.build() {
-            Ok(sim) => match f.snapshot_horizon {
-                // Faulty siblings exist: collect checkpoints for them.
-                Some(horizon) => {
-                    let (result, checkpoints) =
-                        sim.run_with_checkpoints(checkpoint_interval(f.budget), horizon);
-                    (result.map_err(|e| e.to_string()), checkpoints)
-                }
-                // The family is only fault-free cells: snapshots would
-                // serve nobody, so the baseline is a plain (free) run.
-                None => (sim.run().map_err(|e| e.to_string()), Vec::new()),
-            },
-            Err(e) => (
-                Err(ftsim_core::SimError::Invalid(e).to_string()),
-                Vec::new(),
-            ),
-        }
-    }
-
-    /// Runs one grid cell: served from the family baseline when it is the
-    /// fault-free cell, forked from the newest sound checkpoint when
-    /// faulty, cold otherwise. All three paths produce byte-identical
-    /// records.
-    fn run_cell(
-        &self,
-        cell: &Cell,
-        family: Option<&Family>,
-        bound: Option<u64>,
-        programs: &[Vec<Arc<Program>>],
-    ) -> RunRecord {
-        let record = self.cell_identity(cell);
-
-        if let Some(family) = family {
-            let baseline = family.baseline.lock().expect("family lock");
-            let (outcome, checkpoints) = baseline.as_ref().expect("wave 1 filled every family");
-            if cell.rate_pm == 0.0 {
-                // The baseline is this cell's simulation.
-                return match outcome {
-                    Ok(result) => record.fill_outcome(result),
-                    Err(e) => record.fill_error(e.clone()),
-                };
-            }
-            // Fork: newest checkpoint at or before the first possible
-            // injection (horizon-capped by `cell_fork_bound`, so every
-            // candidate lies in the provably fault-free region).
-            let injector = self.cell_injector(cell);
-            let bound = bound.expect("live faulty cells have a bound");
-            let fork_from = checkpoints
-                .iter()
-                .rev()
-                .find(|cp| cp.draws() <= bound)
-                .filter(|cp| cp.cycle() > 0)
-                .cloned();
-            drop(baseline); // release the family lock before simulating
-            if let Some(cp) = fork_from {
-                if std::env::var_os("FTSIM_FORK_DEBUG").is_some() {
-                    eprintln!(
-                        "fork: rate={} seed={} bound={bound} from cycle {} (draws {})",
-                        cell.rate_pm,
-                        cell.seed,
-                        cp.cycle(),
-                        cp.draws()
-                    );
-                }
-                let builder = self
-                    .cell_builder(
-                        cell.workload,
-                        cell.budget_idx,
-                        cell.model,
-                        cell.budget,
-                        programs,
-                    )
-                    .injector(injector);
-                return match builder.build() {
-                    Ok(mut sim) => {
-                        let draws = cp.draws();
-                        let proc = sim.processor_mut();
-                        proc.restore_owned(cp);
-                        proc.injector_mut().fast_forward_fault_free(draws);
-                        match sim.run() {
-                            Ok(result) => record.fill_outcome(&result),
-                            Err(e) => record.fill_error(e.to_string()),
-                        }
-                    }
-                    Err(e) => record.fill_error(ftsim_core::SimError::Invalid(e).to_string()),
-                };
-            }
-            // No usable checkpoint (first fire precedes the first
-            // snapshot): fall through to a cold run.
-        }
-
-        let mut builder = self.cell_builder(
-            cell.workload,
-            cell.budget_idx,
-            cell.model,
-            cell.budget,
-            programs,
-        );
-        if cell.rate_pm > 0.0 {
-            builder = builder.injector(self.cell_injector(cell));
-        }
-        match builder.run() {
-            Ok(result) => record.fill_outcome(&result),
-            Err(e) => record.fill_error(e.to_string()),
-        }
-    }
-}
-
-/// One flattened grid cell.
-struct Cell {
-    workload: usize,
-    budget_idx: usize,
-    model: usize,
-    rate_pm: f64,
-    budget: u64,
-    seed: u64,
-}
-
-impl Cell {
-    /// The family axis: cells sharing a fault-free prefix.
-    fn family_key(&self) -> (usize, usize, usize) {
-        (self.workload, self.budget_idx, self.model)
-    }
-}
-
-/// A (workload, budget, model) family and its shared baseline state.
-struct Family {
-    workload: usize,
-    budget_idx: usize,
-    model: usize,
-    budget: u64,
-    /// Whether a baseline run pays for itself (see
-    /// [`Experiment::plan_families`]).
-    worthwhile: bool,
-    /// Largest draw index any live faulty sibling can fork at (`None`
-    /// when the family has no live faulty cells at all — no snapshots
-    /// are taken then).
-    snapshot_horizon: Option<u64>,
-    /// Filled by wave 1: the baseline outcome (serving fault-free cells)
-    /// and its periodic checkpoints (serving forks).
-    #[allow(clippy::type_complexity)]
-    baseline: Mutex<Option<(Result<ftsim_core::SimResult, String>, Vec<Checkpoint>)>>,
-}
-
-/// How far ahead to scan an injector's stream for its first possible
-/// fire: generously past the draws a cell can make (`R` per instruction,
-/// re-dispatches included), so "no fire within the horizon" really means
-/// the whole run is fault-free.
-fn fork_horizon(budget: u64, model: &MachineConfig) -> u64 {
-    budget
-        .saturating_mul(u64::from(model.redundancy.r))
-        .saturating_mul(4)
-        .saturating_add(100_000)
 }
 
 #[cfg(test)]
@@ -876,6 +498,26 @@ mod tests {
                 ("go", "SS-2"),
             ]
         );
+    }
+
+    #[test]
+    fn identities_enumerate_in_run_order() {
+        // identities() and run() must agree on grid order cell-for-cell
+        // (the daemon merges streamed records back with identities()).
+        let e = Experiment::grid()
+            .workloads([profile("gcc").unwrap(), profile("go").unwrap()])
+            .models([MachineConfig::ss1(), MachineConfig::ss2()])
+            .fault_rates([0.0, 100.0])
+            .budget(1_000)
+            .seeds([1, 2]);
+        let ids = e.identities().unwrap();
+        let records = e.clone().run().unwrap();
+        assert_eq!(ids.len(), e.cells());
+        assert_eq!(ids.len(), records.len());
+        assert!(ids
+            .iter()
+            .zip(&records)
+            .all(|(id, record)| record.same_identity(id)));
     }
 
     #[test]

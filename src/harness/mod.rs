@@ -33,10 +33,12 @@
 //! external dependency.
 
 mod experiment;
+mod plan;
 mod record;
 
 pub use experiment::{Experiment, ExperimentError, Workload, DEFAULT_BUDGET};
+pub use plan::SweepPlan;
 pub use record::{
-    expect_record, from_csv, from_json, load_resume_csv, record_for, save_csv, to_csv, to_json,
-    RecordError, RunRecord,
+    expect_record, from_csv, from_csv_tolerant, from_json, load_resume_csv, record_for, save_csv,
+    to_csv, to_json, RecordError, RunRecord,
 };

@@ -1,0 +1,548 @@
+//! The sweep planner: cell enumeration, family grouping and the
+//! checkpoint/fork baseline machinery behind [`Experiment::run`].
+//!
+//! A [`SweepPlan`] is a *materialized* grid: every cell flattened in grid
+//! order, prior (resumed) records matched to their slots, fork bounds
+//! computed for live faulty cells, and cells grouped into **families** —
+//! the sets sharing a (workload, budget, model) coordinate and therefore a
+//! fault-free prefix. One-shot grids ([`Experiment::run`]) and the
+//! long-running `ftsimd` daemon both execute through this type, so the
+//! scheduling rules — which families run a checkpointed baseline, when a
+//! faulty cell may fork, why records stay byte-identical — live in exactly
+//! one place.
+//!
+//! Execution is pull-based and thread-safe: [`SweepPlan::run_cell`] can be
+//! called for any cell index from any thread, in any order. A family's
+//! baseline is computed lazily, at most once, the first time one of its
+//! cells needs it; callers that want baseline-level parallelism (the
+//! one-shot runner) can warm them explicitly via
+//! [`SweepPlan::prepare_family`]. Callers that want to *stream* results as
+//! cells complete (the daemon) iterate [`SweepPlan::shards`] — runnable
+//! cells grouped by family — so each worker reuses its family's
+//! checkpoints without cross-thread coordination beyond the per-family
+//! baseline lock.
+
+use crate::harness::experiment::{Experiment, ExperimentError};
+use crate::harness::record::RunRecord;
+use ftsim_core::{Checkpoint, MachineConfig, RunLimits, SimBuilder, SimResult, Simulator};
+use ftsim_faults::{per_million, FaultInjector};
+use ftsim_isa::Program;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Smallest first-possible-injection draw index for which running a
+/// *dedicated* family baseline (one that serves no fault-free cell of its
+/// own) pays for itself. Families containing a fault-free cell always run
+/// the baseline — it *is* that cell's simulation.
+const MIN_WORTHWHILE_FORK_DRAWS: u64 = 4_096;
+
+/// Checkpoint spacing for a family baseline, in cycles: fine enough that
+/// the skipped prefix tracks each cell's divergence point closely, coarse
+/// enough that snapshot cost stays a small fraction of the run.
+fn checkpoint_interval(budget: u64) -> u64 {
+    (budget / 32).clamp(256, 8_192)
+}
+
+/// How far ahead to scan an injector's stream for its first possible
+/// fire: generously past the draws a cell can make (`R` per instruction,
+/// re-dispatches included), so "no fire within the horizon" really means
+/// the whole run is fault-free.
+fn fork_horizon(budget: u64, model: &MachineConfig) -> u64 {
+    budget
+        .saturating_mul(u64::from(model.redundancy.r))
+        .saturating_mul(4)
+        .saturating_add(100_000)
+}
+
+/// One flattened grid cell.
+pub(crate) struct Cell {
+    pub(crate) workload: usize,
+    pub(crate) budget_idx: usize,
+    pub(crate) model: usize,
+    pub(crate) rate_pm: f64,
+    pub(crate) budget: u64,
+    pub(crate) seed: u64,
+}
+
+impl Cell {
+    /// The family axis: cells sharing a fault-free prefix.
+    fn family_key(&self) -> (usize, usize, usize) {
+        (self.workload, self.budget_idx, self.model)
+    }
+}
+
+/// A family baseline's outcome: the fault-free result (serving the
+/// family's rate-0 cells) and the periodic checkpoints (serving forks).
+type Baseline = (Result<SimResult, String>, Vec<Checkpoint>);
+
+/// A (workload, budget, model) family and its shared baseline state.
+struct Family {
+    workload: usize,
+    budget_idx: usize,
+    model: usize,
+    budget: u64,
+    /// Whether a baseline run pays for itself (see `plan_families`).
+    worthwhile: bool,
+    /// Largest draw index any live faulty sibling can fork at (`None`
+    /// when the family has no live faulty cells at all — no snapshots
+    /// are taken then).
+    snapshot_horizon: Option<u64>,
+    /// Computed lazily, at most once, under this lock.
+    baseline: Mutex<Option<Baseline>>,
+}
+
+/// A materialized, executable sweep: the output of [`Experiment::plan`].
+///
+/// The plan owns the validated experiment, the flattened cell list (grid
+/// order: workload-major, seed-minor), the resumed-record matches, the
+/// fork bounds, and the family table. It is immutable and [`Sync`]: cells
+/// can be executed from any number of threads, and results are
+/// byte-identical regardless of execution order (cells are independent
+/// simulations; families only share *read-only* checkpoints once their
+/// baseline is computed).
+pub struct SweepPlan {
+    exp: Experiment,
+    /// One shared program per (workload, budget) coordinate.
+    programs: Vec<Vec<Arc<Program>>>,
+    cells: Vec<Cell>,
+    /// Per cell: the prior record serving it, when resuming.
+    resumed: Vec<Option<RunRecord>>,
+    /// Per cell: the fork bound (live faulty cells only).
+    bounds: Vec<Option<u64>>,
+    families: Vec<Family>,
+    /// Per cell: index into `families`, for cells a family serves.
+    cell_family: Vec<Option<usize>>,
+}
+
+impl SweepPlan {
+    /// Materializes a validated experiment into an executable plan.
+    pub(crate) fn new(exp: Experiment) -> Result<Self, ExperimentError> {
+        exp.validate()?;
+
+        // Generate each distinct (workload, budget) program once, up
+        // front, behind an `Arc`: cells share the image by reference
+        // count instead of deep-copying instructions and data per cell.
+        let programs: Vec<Vec<Arc<Program>>> = exp
+            .workloads
+            .iter()
+            .map(|w| {
+                exp.budgets
+                    .iter()
+                    .map(|&b| Arc::new(w.program_for(b)))
+                    .collect()
+            })
+            .collect();
+
+        let cells = enumerate_cells(&exp);
+
+        // Cells already present in the prior records are not re-simulated.
+        let resumed: Vec<Option<RunRecord>> = cells
+            .iter()
+            .map(|cell| {
+                let id = cell_identity(&exp, cell);
+                exp.prior
+                    .iter()
+                    .find(|p| p.ok() && p.same_identity(&id))
+                    .cloned()
+            })
+            .collect();
+
+        // Fork bounds, computed once per live faulty cell (the scan
+        // replays the injector's Bernoulli stream, so it is worth caching
+        // between the planning pass and the cell run).
+        let bounds: Vec<Option<u64>> = if exp.checkpointing {
+            cells
+                .iter()
+                .zip(&resumed)
+                .map(|(cell, resumed)| {
+                    (resumed.is_none() && cell.rate_pm > 0.0).then(|| {
+                        let horizon = fork_horizon(cell.budget, &exp.models[cell.model]);
+                        cell_injector(cell)
+                            .first_possible_fire(horizon)
+                            .unwrap_or(horizon)
+                    })
+                })
+                .collect()
+        } else {
+            vec![None; cells.len()]
+        };
+
+        let families = if exp.checkpointing {
+            plan_families(&cells, &resumed, &bounds)
+        } else {
+            Vec::new()
+        };
+        let cell_family = cells
+            .iter()
+            .map(|cell| {
+                families
+                    .iter()
+                    .position(|f| (f.workload, f.budget_idx, f.model) == cell.family_key())
+            })
+            .collect();
+
+        Ok(Self {
+            exp,
+            programs,
+            cells,
+            resumed,
+            bounds,
+            families,
+            cell_family,
+        })
+    }
+
+    /// Number of grid cells (equal to [`Experiment::cells`]).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid is empty (it never is for a validated experiment,
+    /// but the convention pairs with [`SweepPlan::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The identity (configuration) half of cell `idx`'s record.
+    pub fn identity(&self, idx: usize) -> RunRecord {
+        cell_identity(&self.exp, &self.cells[idx])
+    }
+
+    /// The prior record serving cell `idx`, when the experiment was built
+    /// with [`Experiment::resume_from`] records matching it. Such cells
+    /// are never re-simulated: [`SweepPlan::run_cell`] returns the prior
+    /// record verbatim.
+    pub fn prior(&self, idx: usize) -> Option<&RunRecord> {
+        self.resumed[idx].as_ref()
+    }
+
+    /// The number of cells that still need simulating (not served by a
+    /// prior record).
+    pub fn runnable(&self) -> usize {
+        self.resumed.iter().filter(|r| r.is_none()).count()
+    }
+
+    /// Number of family baselines this plan will run.
+    pub fn family_count(&self) -> usize {
+        self.families.len()
+    }
+
+    /// The worker-thread cap configured on the experiment (`0` = one per
+    /// available core), resolved against the number of runnable cells.
+    pub fn workers(&self) -> usize {
+        match self.exp.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(self.runnable().max(1))
+        .max(1)
+    }
+
+    /// Runnable (non-resumed) cell indices grouped into **shards**: cells
+    /// of one (workload, budget, model) family land in one shard, so a
+    /// worker that executes a shard end-to-end reuses the family's
+    /// checkpointed baseline for every fork without ever contending on it.
+    /// Shards are ordered by their first cell index and cells within a
+    /// shard ascend, so shard iteration order is deterministic.
+    pub fn shards(&self) -> Vec<Vec<usize>> {
+        let mut shards: Vec<((usize, usize, usize), Vec<usize>)> = Vec::new();
+        for (idx, cell) in self.cells.iter().enumerate() {
+            if self.resumed[idx].is_some() {
+                continue;
+            }
+            let key = cell.family_key();
+            match shards.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, shard)) => shard.push(idx),
+                None => shards.push((key, vec![idx])),
+            }
+        }
+        shards.into_iter().map(|(_, shard)| shard).collect()
+    }
+
+    /// Computes family `fi`'s baseline if it has not been computed yet.
+    /// The one-shot runner calls this from a worker pool to get
+    /// baseline-level parallelism before the cell wave; the daemon skips
+    /// it and lets [`SweepPlan::run_cell`] warm baselines lazily, one per
+    /// shard.
+    pub fn prepare_family(&self, fi: usize) {
+        drop(self.baseline_guard(&self.families[fi]));
+    }
+
+    /// Executes cell `idx` and returns its record: the prior record
+    /// verbatim for resumed cells, the family baseline's result for a
+    /// fault-free cell whose family ran one, a forked run for a faulty
+    /// cell with a usable checkpoint, and a cold run otherwise. All four
+    /// paths produce byte-identical records — the plan changes what a
+    /// record *costs*, never what it says.
+    pub fn run_cell(&self, idx: usize) -> RunRecord {
+        if let Some(prior) = &self.resumed[idx] {
+            return prior.clone();
+        }
+        let cell = &self.cells[idx];
+        let record = cell_identity(&self.exp, cell);
+
+        if let Some(fi) = self.cell_family[idx] {
+            let family = &self.families[fi];
+            let baseline = self.baseline_guard(family);
+            let (outcome, checkpoints) = baseline.as_ref().expect("guard fills the baseline");
+            if cell.rate_pm == 0.0 {
+                // The baseline is this cell's simulation.
+                return match outcome {
+                    Ok(result) => record.fill_outcome(result),
+                    Err(e) => record.fill_error(e.clone()),
+                };
+            }
+            // Fork: newest checkpoint at or before the first possible
+            // injection (horizon-capped by the planning pass, so every
+            // candidate lies in the provably fault-free region).
+            let bound = self.bounds[idx].expect("live faulty cells have a bound");
+            let fork_from = checkpoints
+                .iter()
+                .rev()
+                .find(|cp| cp.draws() <= bound)
+                .filter(|cp| cp.cycle() > 0)
+                .cloned();
+            drop(baseline); // release the family lock before simulating
+            if let Some(cp) = fork_from {
+                if std::env::var_os("FTSIM_FORK_DEBUG").is_some() {
+                    eprintln!(
+                        "fork: rate={} seed={} bound={bound} from cycle {} (draws {})",
+                        cell.rate_pm,
+                        cell.seed,
+                        cp.cycle(),
+                        cp.draws()
+                    );
+                }
+                let builder = self.cell_builder(cell).injector(cell_injector(cell));
+                return match builder.build() {
+                    Ok(mut sim) => {
+                        let draws = cp.draws();
+                        let proc = sim.processor_mut();
+                        proc.restore_owned(cp);
+                        proc.injector_mut().fast_forward_fault_free(draws);
+                        match sim.run() {
+                            Ok(result) => record.fill_outcome(&result),
+                            Err(e) => record.fill_error(e.to_string()),
+                        }
+                    }
+                    Err(e) => record.fill_error(ftsim_core::SimError::Invalid(e).to_string()),
+                };
+            }
+            // No usable checkpoint (first fire precedes the first
+            // snapshot): fall through to a cold run.
+        }
+
+        let mut builder = self.cell_builder(cell);
+        if cell.rate_pm > 0.0 {
+            builder = builder.injector(cell_injector(cell));
+        }
+        match builder.run() {
+            Ok(result) => record.fill_outcome(&result),
+            Err(e) => record.fill_error(e.to_string()),
+        }
+    }
+
+    /// Runs every cell across `workers()` threads and returns records in
+    /// grid order — the execution behind [`Experiment::run`].
+    pub(crate) fn run_all(&self) -> Vec<RunRecord> {
+        let workers = self.workers();
+        let pool = |n_tasks: usize, task: &(dyn Fn(usize) + Sync)| {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(n_tasks).max(1) {
+                    scope.spawn(|| loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_tasks {
+                            break;
+                        }
+                        task(idx);
+                    });
+                }
+            });
+        };
+
+        // Wave 1: family baselines (checkpoint producers), in parallel.
+        pool(self.families.len(), &|fi| self.prepare_family(fi));
+
+        // Wave 2: every cell, in parallel — resumed, baseline-served,
+        // forked or cold.
+        let slots: Vec<Mutex<Option<RunRecord>>> =
+            self.cells.iter().map(|_| Mutex::new(None)).collect();
+        pool(self.cells.len(), &|idx| {
+            *slots[idx].lock().expect("slot lock") = Some(self.run_cell(idx));
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every cell ran")
+            })
+            .collect()
+    }
+
+    /// Locks family `f`'s baseline slot, computing the baseline first if
+    /// this is the first cell to need it. Blocking siblings while the
+    /// baseline runs is intentional: they cannot make progress without it.
+    fn baseline_guard<'a>(&self, f: &'a Family) -> MutexGuard<'a, Option<Baseline>> {
+        let mut slot = f.baseline.lock().expect("family lock");
+        if slot.is_none() {
+            *slot = Some(self.run_baseline(f));
+        }
+        slot
+    }
+
+    /// Runs one family's fault-free baseline, collecting checkpoints.
+    fn run_baseline(&self, f: &Family) -> Baseline {
+        let builder = self.coordinate_builder(f.workload, f.budget_idx, f.model, f.budget);
+        match builder.build() {
+            Ok(sim) => match f.snapshot_horizon {
+                // Faulty siblings exist: collect checkpoints for them.
+                Some(horizon) => {
+                    let (result, checkpoints) =
+                        sim.run_with_checkpoints(checkpoint_interval(f.budget), horizon);
+                    (result.map_err(|e| e.to_string()), checkpoints)
+                }
+                // The family is only fault-free cells: snapshots would
+                // serve nobody, so the baseline is a plain (free) run.
+                None => (sim.run().map_err(|e| e.to_string()), Vec::new()),
+            },
+            Err(e) => (
+                Err(ftsim_core::SimError::Invalid(e).to_string()),
+                Vec::new(),
+            ),
+        }
+    }
+
+    fn cell_builder(&self, cell: &Cell) -> SimBuilder {
+        self.coordinate_builder(cell.workload, cell.budget_idx, cell.model, cell.budget)
+    }
+
+    /// The builder every run of a (workload, budget, model) coordinate
+    /// starts from — config, shared program, oracle mode, and the cell's
+    /// budget with any blanket limits override adjusting ceilings but
+    /// never repealing the budgets axis. Baseline, forked and cold paths
+    /// all go through here so they cannot drift apart; callers add only
+    /// the injector.
+    fn coordinate_builder(
+        &self,
+        workload: usize,
+        budget_idx: usize,
+        model: usize,
+        budget: u64,
+    ) -> SimBuilder {
+        let builder = Simulator::builder()
+            .config(self.exp.models[model].clone())
+            .program_shared(Arc::clone(&self.programs[workload][budget_idx]))
+            .oracle(self.exp.oracle)
+            .budget(budget);
+        match self.exp.limits {
+            Some(limits) => builder.limits(RunLimits {
+                max_instructions: limits.max_instructions.min(budget),
+                ..limits
+            }),
+            None => builder,
+        }
+    }
+}
+
+/// The flattened cell list, in deterministic grid order (workload-major,
+/// seed-minor). This is the **single definition of grid order** — record
+/// assembly ([`SweepPlan::run_all`]) and identity enumeration
+/// ([`Experiment::identities`]) both derive from it, so they cannot
+/// drift apart.
+pub(crate) fn enumerate_cells(exp: &Experiment) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(exp.cells());
+    for (wi, _) in exp.workloads.iter().enumerate() {
+        for (mi, _) in exp.models.iter().enumerate() {
+            for &rate_pm in &exp.fault_rates_pm {
+                for (bi, &budget) in exp.budgets.iter().enumerate() {
+                    for &seed in &exp.seeds {
+                        cells.push(Cell {
+                            workload: wi,
+                            budget_idx: bi,
+                            model: mi,
+                            rate_pm,
+                            budget,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// The identity half of a cell's record (used for resume matching and as
+/// the base of the final record).
+pub(crate) fn cell_identity(exp: &Experiment, cell: &Cell) -> RunRecord {
+    let workload = &exp.workloads[cell.workload];
+    RunRecord::identity(
+        workload.name(),
+        workload.suite(),
+        &exp.models[cell.model],
+        cell.rate_pm,
+        cell.seed,
+        cell.budget,
+    )
+}
+
+/// The fault injector a cell runs under (fresh, before any draws).
+fn cell_injector(cell: &Cell) -> FaultInjector {
+    debug_assert!(cell.rate_pm > 0.0);
+    FaultInjector::random(per_million(cell.rate_pm), cell.seed)
+}
+
+/// Decides which families run a checkpointed baseline.
+///
+/// A family — the cells sharing (workload, budget, model) — runs one when
+/// it contains a live fault-free cell (the baseline *is* that cell's run,
+/// so checkpoints come for free), or when some live faulty cell's first
+/// possible injection lies far enough in (≥ [`MIN_WORTHWHILE_FORK_DRAWS`]
+/// draws) that skipping the prefix pays for the extra baseline run.
+fn plan_families(
+    cells: &[Cell],
+    resumed: &[Option<RunRecord>],
+    bounds: &[Option<u64>],
+) -> Vec<Family> {
+    let mut families: Vec<Family> = Vec::new();
+    for (i, (cell, resumed)) in cells.iter().zip(resumed).enumerate() {
+        if resumed.is_some() {
+            continue;
+        }
+        let key = cell.family_key();
+        let family = match families
+            .iter_mut()
+            .find(|f| (f.workload, f.budget_idx, f.model) == key)
+        {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    workload: cell.workload,
+                    budget_idx: cell.budget_idx,
+                    model: cell.model,
+                    budget: cell.budget,
+                    worthwhile: false,
+                    snapshot_horizon: None,
+                    baseline: Mutex::new(None),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if cell.rate_pm == 0.0 {
+            family.worthwhile = true; // the baseline is this very cell
+        } else {
+            let bound = bounds[i].expect("live faulty cells have a bound");
+            if bound >= MIN_WORTHWHILE_FORK_DRAWS {
+                family.worthwhile = true;
+            }
+            // Snapshots are useful up to the *largest* divergence point
+            // any live faulty sibling can fork at.
+            family.snapshot_horizon = Some(family.snapshot_horizon.unwrap_or(0).max(bound));
+        }
+    }
+    families.retain(|f| f.worthwhile);
+    families
+}

@@ -537,6 +537,39 @@ pub fn from_csv(text: &str) -> Result<Vec<RunRecord>, RecordError> {
     body.iter().map(|row| RunRecord::from_cells(row)).collect()
 }
 
+/// Parses as many leading records as a possibly-corrupt CSV document
+/// yields, returning them with the number of trailing lines discarded.
+///
+/// This is the crash-recovery counterpart of [`from_csv`], used by the
+/// `ftsimd` daemon to reload its incremental results file after being
+/// killed mid-write: a torn or garbled tail (at worst the row in flight,
+/// given [`ftsim_stats::csv::AppendWriter`]'s one-write-per-row
+/// discipline) is dropped rather than failing the whole document, and the
+/// dropped cells are simply re-simulated. A document whose *header* is
+/// unreadable yields no records at all.
+pub fn from_csv_tolerant(text: &str) -> (Vec<RunRecord>, usize) {
+    if text.trim().is_empty() {
+        return (Vec::new(), 0);
+    }
+    let mut end = text.len();
+    let mut dropped = 0usize;
+    loop {
+        if let Ok(records) = from_csv(&text[..end]) {
+            return (records, dropped);
+        }
+        // Drop the trailing (possibly partial, possibly mid-quoted-cell)
+        // line and retry. Cutting inside a quoted multi-line cell just
+        // fails the next parse attempt, which trims further — the loop
+        // always lands on a record boundary or runs out of document.
+        let trimmed = text[..end].trim_end_matches('\n');
+        dropped += 1;
+        match trimmed.rfind('\n') {
+            Some(nl) => end = nl + 1,
+            None => return (Vec::new(), dropped),
+        }
+    }
+}
+
 /// Serializes records to a pretty-printed JSON array.
 pub fn to_json(records: &[RunRecord]) -> String {
     JsonValue::Arr(records.iter().map(RunRecord::to_json_value).collect()).render_pretty(2)
@@ -658,6 +691,42 @@ mod tests {
         r.mean_rewind_penalty = f64::NAN;
         let back = from_json(&to_json(&[r])).unwrap();
         assert!(back[0].mean_rewind_penalty.is_nan());
+    }
+
+    #[test]
+    fn tolerant_parse_drops_only_the_torn_tail() {
+        let records = vec![sample(), RunRecord::default()];
+        let mut text = to_csv(&records);
+        let (back, dropped) = from_csv_tolerant(&text);
+        assert_eq!((back, dropped), (records.clone(), 0));
+
+        // A row torn mid-write (no newline, half the cells, an open
+        // quote) must cost exactly that row.
+        text.push_str("fpppp,\"SPEC95 FP,SS-2,2,false");
+        let (back, dropped) = from_csv_tolerant(&text);
+        assert_eq!(back, records);
+        assert_eq!(dropped, 1);
+
+        // A destroyed header yields nothing rather than garbage.
+        let (back, dropped) = from_csv_tolerant("not,a,header\n");
+        assert!(back.is_empty());
+        assert!(dropped >= 1);
+
+        assert_eq!(from_csv_tolerant(""), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn tolerant_parse_survives_multiline_quoted_cells() {
+        // An error message with embedded newlines spans CSV lines; the
+        // tolerant parser must keep the complete record and drop only
+        // the truly torn tail after it.
+        let mut failed = sample();
+        failed.error = "wedged\nat cycle 9,\nafter \"garbage\"".to_string();
+        let mut text = to_csv(&[failed.clone()]);
+        text.push_str("gcc,SPEC9"); // torn next row
+        let (back, dropped) = from_csv_tolerant(&text);
+        assert_eq!(back, vec![failed]);
+        assert_eq!(dropped, 1);
     }
 
     #[test]

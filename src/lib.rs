@@ -24,6 +24,10 @@
 //! | [`workloads`] | `ftsim-workloads` | the 11 Table 2-calibrated synthetic benchmarks |
 //! | [`stats`] | `ftsim-stats` | counters, tables, plots, CSV/JSON for the harness |
 //! | [`harness`] | (this crate) | `Experiment` sweep grids, `SimBuilder` runs, `RunRecord` |
+//! | — | `ftsim-daemon` | `ftsimd`, the long-running sweep daemon (persistent, resumable jobs) |
+//!
+//! (`ftsim-daemon` sits *above* this crate, so it is not re-exported
+//! here; see its own documentation for the job-spec format and CLI.)
 //!
 //! # Quickstart
 //!
@@ -77,9 +81,12 @@
 //! assert!(to_csv(&records).lines().count() == 3); // header + 2 cells
 //! ```
 //!
-//! See `examples/` for fault-injection demos and design-space sweeps, and
+//! See `examples/` for fault-injection demos and design-space sweeps,
 //! the `ftsim-bench` crate for the experiments regenerating every table
-//! and figure of the paper.
+//! and figure of the paper, and the `ftsim-daemon` crate (`ftsimd`
+//! binary) for running sweeps as persistent, crash-safe jobs.
+
+#![warn(missing_docs)]
 
 pub mod harness;
 
