@@ -1,0 +1,63 @@
+//! # ftsim-analysis — fault-site sensitivity and outcome analysis
+//!
+//! The simulator's sweeps answer "how fast is the redundant datapath";
+//! this crate answers the reliability questions the follow-on literature
+//! treats as primary: **which injection sites are most vulnerable, how
+//! long does detection take, and did an escaped fault actually corrupt
+//! anything?** It consumes the flat [`RunRecord`](ftsim::harness::RunRecord)s
+//! every sweep already produces — a one-shot
+//! [`Experiment`](ftsim::harness::Experiment) grid, an exported
+//! CSV/JSON, or a daemon job's `cells.csv`/`results.csv` — and produces:
+//!
+//! * **outcome classification** ([`classify`], [`CellOutcome`]) — each
+//!   cell lands in the masked / detected / SDC / hang taxonomy. The
+//!   silent-data-corruption call compares the cell's committed-state
+//!   digest with its family's fault-free baseline at equal retirement
+//!   counts, so an escaped fault that left no architectural trace is
+//!   honestly reported as masked;
+//! * **per-site sensitivity tables** ([`SensitivityTable`]) — fate
+//!   probabilities per (model, site mix, injection site), with Wilson
+//!   95% intervals ([`ftsim_stats::wilson_interval`]);
+//! * **detection-latency distributions** ([`LatencyReport`]) — mean and
+//!   percentile injection→detection latencies in cycles and retired
+//!   instructions, per (model, site mix);
+//! * **MTTF extrapolation** ([`MttfTable`]) — SDC probability per cell
+//!   and mean instructions/cycles between escaped faults, per model ×
+//!   fault rate.
+//!
+//! Everything is a pure function of the records ([`analyze_records`]),
+//! which is the interoperability guarantee behind `ftsimd report`: the
+//! daemon's report of a job and [`Analyze::analyze`] on the equivalent
+//! one-shot grid render identical tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftsim::core::MachineConfig;
+//! use ftsim::harness::Experiment;
+//! use ftsim::workloads::profile;
+//! use ftsim_analysis::{Analyze, CellOutcome};
+//!
+//! let report = Experiment::grid()
+//!     .workloads([profile("gcc").unwrap()])
+//!     .models([MachineConfig::ss2()])
+//!     .fault_rates([0.0, 5_000.0])
+//!     .budget(2_000)
+//!     .analyze()
+//!     .unwrap();
+//! assert_eq!(report.cells, 2);
+//! assert_eq!(report.outcome_count(CellOutcome::Sdc), 0); // R = 2 protects
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+
+mod outcome;
+mod report;
+mod sensitivity;
+
+pub use outcome::{classify, BaselineIndex, CellOutcome};
+pub use report::{
+    analyze_records, AnalysisReport, Analyze, LatencyReport, LatencyRow, MttfRow, MttfTable,
+};
+pub use sensitivity::{SensitivityTable, SiteRow, Z_95};

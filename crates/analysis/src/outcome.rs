@@ -1,0 +1,253 @@
+//! Cell-level outcome classification: the masked / detected / SDC / hang
+//! taxonomy.
+//!
+//! A [`RunRecord`] carries everything needed to classify its cell after
+//! the fact — fault fate counts, the final-state digest, the retirement
+//! count, and the error message of a failed run — so classification is a
+//! pure function of the record set. The silent-data-corruption call
+//! compares the cell's committed-state digest against its *family
+//! baseline*: any successful cell of the same (workload, model, budget)
+//! in which no fault fired, typically the grid's rate-0 cell. Because an
+//! injector that never fires leaves the machine bit-identical to a
+//! fault-free run, every such cell digests identically and any of them
+//! can anchor the comparison.
+
+use ftsim::harness::RunRecord;
+use std::collections::HashMap;
+
+/// What ultimately happened to one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellOutcome {
+    /// No fault was injected (rate 0, or no Bernoulli draw fired).
+    FaultFree,
+    /// Faults were injected but none needed recovery and committed state
+    /// matches the fault-free baseline: everything was architecturally
+    /// masked or squashed.
+    Masked,
+    /// At least one fault was caught (commit-stage detection, majority
+    /// election, or the control-flow check) and committed state matches
+    /// the fault-free baseline — recovery worked.
+    Detected,
+    /// Committed state diverged from the fault-free baseline (or faults
+    /// escaped and no baseline was available to exonerate them): silent
+    /// data corruption.
+    Sdc,
+    /// The run exhausted its cycle budget or the commit watchdog fired
+    /// before reaching its instruction budget — the machine hung.
+    Hang,
+    /// The cell failed for a reason other than a hang (e.g. an oracle
+    /// mismatch raised as an error).
+    Failed,
+}
+
+impl CellOutcome {
+    /// All outcomes, in reporting order.
+    pub const ALL: [CellOutcome; 6] = [
+        CellOutcome::FaultFree,
+        CellOutcome::Masked,
+        CellOutcome::Detected,
+        CellOutcome::Sdc,
+        CellOutcome::Hang,
+        CellOutcome::Failed,
+    ];
+
+    /// A short stable label for tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellOutcome::FaultFree => "fault-free",
+            CellOutcome::Masked => "masked",
+            CellOutcome::Detected => "detected",
+            CellOutcome::Sdc => "sdc",
+            CellOutcome::Hang => "hang",
+            CellOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// Per-family fault-free final states, indexed for SDC classification.
+#[derive(Debug, Default)]
+pub struct BaselineIndex {
+    /// (workload, suite, model, budget) → (retired instructions, digest).
+    digests: HashMap<(String, String, String, u64), (u64, u64)>,
+}
+
+impl BaselineIndex {
+    /// Collects one baseline per family from the record set: the first
+    /// successful cell in which no fault fired.
+    pub fn build(records: &[RunRecord]) -> Self {
+        let mut digests = HashMap::new();
+        for r in records {
+            if r.ok() && r.faults_injected == 0 {
+                digests
+                    .entry(family_key(r))
+                    .or_insert((r.retired_instructions, r.state_digest));
+            }
+        }
+        Self { digests }
+    }
+
+    /// The fault-free (retired, digest) pair for `record`'s family, if
+    /// the record set contains one.
+    pub fn lookup(&self, record: &RunRecord) -> Option<(u64, u64)> {
+        self.digests.get(&family_key(record)).copied()
+    }
+}
+
+fn family_key(r: &RunRecord) -> (String, String, String, u64) {
+    (
+        r.workload.clone(),
+        r.suite.clone(),
+        r.model.clone(),
+        r.budget,
+    )
+}
+
+/// Classifies one cell against the family baselines (see the module
+/// docs for the decision rules).
+pub fn classify(record: &RunRecord, baselines: &BaselineIndex) -> CellOutcome {
+    if !record.ok() {
+        // Records carry only the rendered error string, so hang detection
+        // substring-matches ftsim-core's SimError display text; the
+        // `failures_split_into_hang_and_failed` test formats real
+        // SimErrors to pin these patterns against rewording.
+        let e = &record.error;
+        return if e.contains("watchdog") || e.contains("cycle limit") {
+            CellOutcome::Hang
+        } else {
+            CellOutcome::Failed
+        };
+    }
+    if record.faults_injected == 0 {
+        return CellOutcome::FaultFree;
+    }
+    let recovered = record.faults_detected + record.faults_outvoted > 0;
+    // The digest comparison is meaningful only at equal retirement counts
+    // (budget-limited runs may overshoot their budget by different
+    // amounts when the final cycle commits more than one instruction).
+    let sdc = match baselines.lookup(record) {
+        Some((retired, digest)) if retired == record.retired_instructions => {
+            digest != record.state_digest
+        }
+        // No usable baseline: fall back on the ledger — any escaped
+        // fault is assumed to have corrupted state.
+        _ => record.faults_escaped > 0,
+    };
+    if sdc {
+        CellOutcome::Sdc
+    } else if recovered {
+        CellOutcome::Detected
+    } else {
+        CellOutcome::Masked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(rate: f64, injected: u64) -> RunRecord {
+        RunRecord {
+            workload: "gcc".to_string(),
+            model: "SS-2".to_string(),
+            budget: 1_000,
+            fault_rate_pm: rate,
+            retired_instructions: 1_000,
+            state_digest: 0xabc,
+            faults_injected: injected,
+            ..RunRecord::default()
+        }
+    }
+
+    #[test]
+    fn baseline_anchors_the_sdc_call() {
+        let baseline = record(0.0, 0);
+        let mut detected = record(500.0, 3);
+        detected.faults_detected = 3;
+        let mut masked = record(500.0, 2);
+        masked.faults_masked = 2;
+        let mut sdc = record(500.0, 1);
+        sdc.faults_escaped = 1;
+        sdc.state_digest = 0xdef; // diverged from the baseline
+        let mut lucky_escape = record(500.0, 1);
+        lucky_escape.faults_escaped = 1; // escaped but state matches
+        let records = vec![
+            baseline.clone(),
+            detected.clone(),
+            masked.clone(),
+            sdc.clone(),
+            lucky_escape.clone(),
+        ];
+        let base = BaselineIndex::build(&records);
+        assert_eq!(classify(&baseline, &base), CellOutcome::FaultFree);
+        assert_eq!(classify(&detected, &base), CellOutcome::Detected);
+        assert_eq!(classify(&masked, &base), CellOutcome::Masked);
+        assert_eq!(classify(&sdc, &base), CellOutcome::Sdc);
+        assert_eq!(
+            classify(&lucky_escape, &base),
+            CellOutcome::Masked,
+            "state comparison exonerates an escape that left no trace"
+        );
+    }
+
+    #[test]
+    fn without_baseline_escapes_are_presumed_corrupting() {
+        let mut escaped = record(500.0, 1);
+        escaped.faults_escaped = 1;
+        let base = BaselineIndex::build(&[escaped.clone()]);
+        assert_eq!(classify(&escaped, &base), CellOutcome::Sdc);
+    }
+
+    #[test]
+    fn retirement_mismatch_disables_the_digest_comparison() {
+        let baseline = record(0.0, 0);
+        let mut over = record(500.0, 1);
+        over.retired_instructions = 1_001; // commit-burst overshoot
+        over.state_digest = 0x999; // trivially different state
+        over.faults_masked = 1;
+        let base = BaselineIndex::build(&[baseline, over.clone()]);
+        assert_eq!(
+            classify(&over, &base),
+            CellOutcome::Masked,
+            "digest must not be compared across different retirement counts"
+        );
+    }
+
+    #[test]
+    fn failures_split_into_hang_and_failed() {
+        // The hang patterns are substring-matched against the *actual*
+        // SimError rendering (records carry only the display string), so
+        // this test formats real errors: rewording SimError's Display in
+        // ftsim-core must fail here, not silently reclassify hangs.
+        use ftsim_core::SimError;
+        let mut hang = record(500.0, 5);
+        hang.error = SimError::Watchdog { cycle: 99 }.to_string();
+        let mut limit = record(500.0, 5);
+        limit.error = SimError::CycleLimit {
+            cycles: 100,
+            retired: 7,
+        }
+        .to_string();
+        let mut other = record(500.0, 5);
+        other.error = SimError::OracleMismatch {
+            details: "r1 differs".to_string(),
+        }
+        .to_string();
+        let base = BaselineIndex::default();
+        assert_eq!(classify(&hang, &base), CellOutcome::Hang);
+        assert_eq!(classify(&limit, &base), CellOutcome::Hang);
+        assert_eq!(classify(&other, &base), CellOutcome::Failed);
+    }
+
+    #[test]
+    fn a_zero_fire_faulty_cell_can_serve_as_baseline() {
+        // rate > 0 but the Bernoulli process never fired: machine state
+        // is bit-identical to fault-free, so it anchors the family.
+        let quiet = record(10.0, 0);
+        let mut sdc = record(500.0, 1);
+        sdc.faults_escaped = 1;
+        sdc.state_digest = 0x777;
+        let base = BaselineIndex::build(&[quiet.clone(), sdc.clone()]);
+        assert_eq!(classify(&quiet, &base), CellOutcome::FaultFree);
+        assert_eq!(classify(&sdc, &base), CellOutcome::Sdc);
+    }
+}

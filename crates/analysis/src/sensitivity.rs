@@ -1,0 +1,221 @@
+//! Per-site sensitivity tables: which injection sites are caught, masked
+//! or escape, with binomial confidence bounds.
+
+use ftsim::harness::RunRecord;
+use ftsim_faults::{FaultCounts, InjectionPoint, SiteCounts};
+use ftsim_stats::{fmt_f, fmt_pct, wilson_interval, Table};
+
+/// The normal quantile used for every confidence interval in the
+/// analysis reports (95% two-sided).
+pub const Z_95: f64 = 1.96;
+
+/// Aggregated fate counts for one (model, site mix, injection site)
+/// coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteRow {
+    /// Machine model name.
+    pub model: String,
+    /// Site-mix name the cells ran under.
+    pub site_mix: String,
+    /// The injection site.
+    pub point: InjectionPoint,
+    /// Fate counts summed over every contributing cell.
+    pub counts: FaultCounts,
+}
+
+impl SiteRow {
+    /// Probability that a fault at this site was caught (detected or
+    /// out-voted), over all injected faults at the site.
+    pub fn p_caught(&self) -> f64 {
+        ratio(
+            self.counts.detected + self.counts.outvoted,
+            self.counts.injected,
+        )
+    }
+
+    /// Wilson 95% interval on [`SiteRow::p_caught`].
+    pub fn p_caught_interval(&self) -> (f64, f64) {
+        wilson_interval(
+            self.counts.detected + self.counts.outvoted,
+            self.counts.injected,
+            Z_95,
+        )
+    }
+
+    /// Probability that a fault at this site was architecturally masked.
+    pub fn p_masked(&self) -> f64 {
+        ratio(self.counts.masked, self.counts.injected)
+    }
+
+    /// Probability that a fault at this site was squashed before commit
+    /// (wrong path or an unrelated rewind).
+    pub fn p_squashed(&self) -> f64 {
+        ratio(
+            self.counts.squashed_wrong_path + self.counts.squashed_by_rewind,
+            self.counts.injected,
+        )
+    }
+
+    /// Probability that a fault at this site escaped to committed state.
+    pub fn p_escaped(&self) -> f64 {
+        ratio(self.counts.escaped, self.counts.injected)
+    }
+
+    /// Wilson 95% interval on [`SiteRow::p_escaped`].
+    pub fn p_escaped_interval(&self) -> (f64, f64) {
+        wilson_interval(self.counts.escaped, self.counts.injected, Z_95)
+    }
+}
+
+fn ratio(k: u64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        k as f64 / n as f64
+    }
+}
+
+/// The per-site sensitivity table of one record set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SensitivityTable {
+    /// One row per (model, site mix, site) with at least one injected
+    /// fault, sorted by model, then mix, then canonical site order.
+    pub rows: Vec<SiteRow>,
+}
+
+impl SensitivityTable {
+    /// Builds the table by merging every record's `site_fates` counts
+    /// into its (model, site mix) group. Records whose `site_fates`
+    /// field does not parse (foreign CSVs) contribute nothing.
+    pub fn build(records: &[RunRecord]) -> Self {
+        let mut groups: Vec<(String, String, SiteCounts)> = Vec::new();
+        for r in records {
+            let Ok(sites) = SiteCounts::from_compact(&r.site_fates) else {
+                continue;
+            };
+            if sites.is_empty() {
+                continue;
+            }
+            match groups
+                .iter_mut()
+                .find(|(m, x, _)| *m == r.model && *x == r.site_mix)
+            {
+                Some((_, _, acc)) => acc.merge(&sites),
+                None => groups.push((r.model.clone(), r.site_mix.clone(), sites)),
+            }
+        }
+        groups.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut rows = Vec::new();
+        for (model, site_mix, sites) in groups {
+            for (point, counts) in sites.iter() {
+                if counts.injected == 0 {
+                    continue;
+                }
+                rows.push(SiteRow {
+                    model: model.clone(),
+                    site_mix: site_mix.clone(),
+                    point,
+                    counts: *counts,
+                });
+            }
+        }
+        Self { rows }
+    }
+
+    /// Renders the table as aligned text (model, mix, site, injected,
+    /// caught/masked/squashed/escaped probabilities, and the Wilson 95%
+    /// interval on the caught probability).
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "model", "mix", "site", "inj", "caught", "ci95", "masked", "squash", "escape",
+        ]);
+        t.numeric();
+        for row in &self.rows {
+            let (lo, hi) = row.p_caught_interval();
+            t.row([
+                row.model.clone(),
+                row.site_mix.clone(),
+                row.point.code().to_string(),
+                row.counts.injected.to_string(),
+                fmt_pct(row.p_caught()),
+                format!("[{},{}]", fmt_f(lo, 3), fmt_f(hi, 3)),
+                fmt_pct(row.p_masked()),
+                fmt_pct(row.p_squashed()),
+                fmt_pct(row.p_escaped()),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_faults::FaultFate;
+    use ftsim_faults::{FaultEvent, FaultLog};
+
+    fn record_with(model: &str, mix: &str, fates: &[(InjectionPoint, FaultFate)]) -> RunRecord {
+        let mut log = FaultLog::new();
+        for (i, &(point, fate)) in fates.iter().enumerate() {
+            let id = log.record(i as u64, 0, FaultEvent { point, bit: 0 }, 0, 0);
+            log.resolve(id, fate, 1, 1);
+        }
+        RunRecord {
+            model: model.to_string(),
+            site_mix: mix.to_string(),
+            faults_injected: fates.len() as u64,
+            site_fates: log.per_site().to_compact(),
+            ..RunRecord::default()
+        }
+    }
+
+    #[test]
+    fn groups_by_model_and_mix_and_merges_cells() {
+        use FaultFate::*;
+        use InjectionPoint::*;
+        let records = vec![
+            record_with("SS-2", "uniform", &[(EffAddr, Detected), (Result, Masked)]),
+            record_with("SS-2", "uniform", &[(EffAddr, Detected)]),
+            record_with("SS-2", "addr-heavy", &[(EffAddr, Escaped)]),
+            record_with("SS-1", "uniform", &[(Result, Escaped)]),
+        ];
+        let table = SensitivityTable::build(&records);
+        // Groups sorted by (model, mix); sites within a group follow the
+        // canonical InjectionPoint::ALL order (res precedes ea).
+        let keys: Vec<(&str, &str, &str)> = table
+            .rows
+            .iter()
+            .map(|r| (r.model.as_str(), r.site_mix.as_str(), r.point.code()))
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                ("SS-1", "uniform", "res"),
+                ("SS-2", "addr-heavy", "ea"),
+                ("SS-2", "uniform", "res"),
+                ("SS-2", "uniform", "ea"),
+            ]
+        );
+        let merged = &table.rows[3];
+        assert_eq!(merged.counts.injected, 2, "two uniform cells merged");
+        assert_eq!(merged.counts.detected, 2);
+        assert_eq!(merged.p_caught(), 1.0);
+        let (lo, hi) = merged.p_caught_interval();
+        assert!(lo > 0.0 && hi == 1.0);
+
+        let text = table.render();
+        assert!(text.contains("addr-heavy"));
+        assert!(text.contains("ea"));
+    }
+
+    #[test]
+    fn empty_and_unparsable_fates_contribute_nothing() {
+        let bad = RunRecord {
+            site_fates: "not a table".to_string(),
+            ..RunRecord::default()
+        };
+        let table = SensitivityTable::build(&[RunRecord::default(), bad]);
+        assert!(table.rows.is_empty());
+        assert!(table.render().contains("model"));
+    }
+}

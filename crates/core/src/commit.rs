@@ -44,7 +44,8 @@ impl Processor {
                         } else {
                             FaultFate::Masked
                         };
-                        self.fault_log.resolve(id, fate);
+                        self.fault_log
+                            .resolve(id, fate, self.now, self.stats.retired_instructions);
                     }
                 }
                 self.full_rewind(RewindCause::ControlFlowCheck);
@@ -68,7 +69,12 @@ impl Processor {
                             } else {
                                 FaultFate::Masked
                             };
-                            self.fault_log.resolve(id, fate);
+                            self.fault_log.resolve(
+                                id,
+                                fate,
+                                self.now,
+                                self.stats.retired_instructions,
+                            );
                         }
                     }
                     self.full_rewind(RewindCause::FaultDetected);
@@ -130,7 +136,8 @@ impl Processor {
                         } else {
                             FaultFate::Masked
                         };
-                        self.fault_log.resolve(id, fate);
+                        self.fault_log
+                            .resolve(id, fate, self.now, self.stats.retired_instructions);
                     }
 
                     self.retire_group(rep.clone(), representative == 0);

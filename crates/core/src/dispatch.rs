@@ -88,7 +88,13 @@ impl Processor {
                 }
 
                 if let Some(event) = self.injector.draw(group, copy, applicable_points(&inst)) {
-                    let id = self.fault_log.record(group, copy, event);
+                    let id = self.fault_log.record(
+                        group,
+                        copy,
+                        event,
+                        self.now,
+                        self.stats.retired_instructions,
+                    );
                     e.fault = Some((id, event));
                 }
 

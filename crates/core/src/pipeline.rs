@@ -182,7 +182,36 @@ impl Processor {
         stats.fetch_stall_cycles = f.stall_cycles;
         stats.icache_stall_cycles = f.icache_stall_cycles;
         stats.faults = self.fault_log.counts();
+        stats.fault_sites = self.fault_log.per_site();
+        stats.fault_latency = self.fault_log.latency();
         stats
+    }
+
+    /// A 64-bit FNV-1a digest of the committed architectural state:
+    /// registers, the committed next-PC, the halt flag, and memory
+    /// contents (content-based — all-zero pages digest like unmapped
+    /// ones).
+    ///
+    /// Two runs of the same program that committed the same number of
+    /// instructions digest equally iff their committed state is
+    /// architecturally identical, which is how the analysis layer
+    /// classifies a cell's escaped faults as masked vs. silent data
+    /// corruption against the family's fault-free baseline.
+    pub fn state_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        for (_, value) in self.regs.iter() {
+            fold(value);
+        }
+        fold(self.committed_next_pc);
+        fold(u64::from(self.halted));
+        self.mem.content_digest(h)
     }
 
     /// Statistics gathered so far. Cache/fetch counters are synchronized
@@ -308,12 +337,14 @@ impl Processor {
     /// than `cutoff_seq`, restores the branch's map checkpoint, and marks
     /// squashed faults as wrong-path.
     pub(crate) fn branch_rewind(&mut self, branch_group: u64, cutoff_seq: u64, new_target: u64) {
+        let (now, retired) = (self.now, self.stats.retired_instructions);
         let mut squashed = std::mem::take(&mut self.squash_scratch);
         self.ruu.squash_after_into(cutoff_seq, &mut squashed);
         for e in &squashed {
             self.sched.on_squash(e.seq);
             if let Some((id, _)) = e.fault {
-                self.fault_log.resolve(id, FaultFate::SquashedWrongPath);
+                self.fault_log
+                    .resolve(id, FaultFate::SquashedWrongPath, now, retired);
             }
             // Squashed younger branches' checkpoints are dead.
             if e.inst.op.is_control() && e.copy == 0 {
@@ -339,11 +370,13 @@ impl Processor {
     /// restart execution by refetching from the committed next-PC
     /// register."
     pub(crate) fn full_rewind(&mut self, cause: crate::stats::RewindCause) {
+        let (now, retired) = (self.now, self.stats.retired_instructions);
         let mut squashed = std::mem::take(&mut self.squash_scratch);
         self.ruu.squash_all_into(&mut squashed);
         for e in &squashed {
             if let Some((id, _)) = e.fault {
-                self.fault_log.resolve(id, FaultFate::SquashedByRewind);
+                self.fault_log
+                    .resolve(id, FaultFate::SquashedByRewind, now, retired);
             }
         }
         squashed.clear();

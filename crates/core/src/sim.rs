@@ -119,6 +119,12 @@ pub struct SimResult {
     pub ipc: f64,
     /// Whether `halt` committed (false when stopped by instruction limit).
     pub halted: bool,
+    /// FNV-1a digest of the final committed architectural state
+    /// (registers, committed next-PC, halt flag, memory contents); see
+    /// [`Processor::state_digest`]. Comparing a faulty cell's digest with
+    /// its family's fault-free baseline (at equal retirement counts)
+    /// distinguishes masked escapes from silent data corruption.
+    pub state_digest: u64,
     /// Fault-injection outcome counts.
     pub faults: FaultCounts,
     /// Full statistics.
@@ -296,6 +302,7 @@ impl Simulator {
             retired_instructions: stats.retired_instructions,
             ipc: stats.ipc(),
             halted,
+            state_digest: self.proc.state_digest(),
             faults: stats.faults,
             stats,
         })

@@ -1,6 +1,6 @@
 //! Simulation statistics.
 
-use ftsim_faults::FaultCounts;
+use ftsim_faults::{FaultCounts, LatencySummary, SiteCounts};
 use ftsim_isa::MixClass;
 use ftsim_mem::CacheStats;
 use std::fmt;
@@ -73,6 +73,10 @@ pub struct SimStats {
     pub store_port_stalls: u64,
     /// Fault-injection outcome counts.
     pub faults: FaultCounts,
+    /// Fault-injection outcome counts split by injection site.
+    pub fault_sites: SiteCounts,
+    /// Detection-latency telemetry (injection → commit-time resolution).
+    pub fault_latency: LatencySummary,
     /// Fetch statistics.
     pub fetched: u64,
     /// Fetch stall cycles.

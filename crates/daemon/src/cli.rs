@@ -4,7 +4,8 @@
 //! ftsimd submit <spec.toml|spec.json> [--state DIR]
 //! ftsimd serve  [--state DIR] [--drain] [--poll-ms N]
 //! ftsimd status [JOB] [--state DIR]
-//! ftsimd results <JOB> [--state DIR] [--json]
+//! ftsimd results <JOB> [--state DIR] [--json | --watch [--poll-ms N]]
+//! ftsimd report <JOB> [--state DIR]
 //! ftsimd stop   [--state DIR]
 //! ```
 //!
@@ -14,12 +15,20 @@
 //! detail goes to stderr) and deduplicates byte-identical specs by
 //! attaching to the existing job. `results` prints a finished job's
 //! grid-order CSV verbatim; for a job still in flight it merges the
-//! streamed records into grid order and reports the gaps on stderr.
+//! streamed records into grid order and reports the gaps on stderr —
+//! or, with `--watch`, follows the job's `cells.csv` and streams each
+//! record as it completes. `report` runs the `ftsim-analysis` layer over
+//! a job's records: outcome taxonomy (masked / detected / SDC / hang),
+//! per-site sensitivity with Wilson intervals, detection-latency
+//! distributions, and MTTF extrapolation.
 
 use crate::runner::{install_signal_handlers, serve, ServeOptions};
 use crate::spec::JobSpec;
-use crate::store::{JobState, JobStore};
-use ftsim::harness::{from_csv_tolerant, to_csv, to_json, RunRecord};
+use crate::store::{Job, JobState, JobStatus, JobStore};
+use ftsim::harness::{
+    from_csv, from_csv_tolerant, from_csv_tolerant_prefix, to_csv, to_json, RunRecord,
+};
+use std::collections::HashMap;
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -29,7 +38,8 @@ USAGE:
     ftsimd submit <spec.toml|spec.json> [--state DIR]
     ftsimd serve  [--state DIR] [--drain] [--poll-ms N]
     ftsimd status [JOB] [--state DIR]
-    ftsimd results <JOB> [--state DIR] [--json]
+    ftsimd results <JOB> [--state DIR] [--json | --watch [--poll-ms N]]
+    ftsimd report <JOB> [--state DIR]
     ftsimd stop   [--state DIR]
 
 COMMANDS:
@@ -39,8 +49,12 @@ COMMANDS:
               --drain exits once the queue is empty. Ctrl-C, SIGTERM or
               `ftsimd stop` shut down gracefully (the interrupted job is
               re-queued and resumes from its streamed records).
-    status    Show the queue, or one job's progress.
-    results   Print a job's records as grid-order CSV (--json for JSON).
+    status    Show the queue, or one job's progress (with per-family
+              cells-done counts for a single job).
+    results   Print a job's records as grid-order CSV (--json for JSON);
+              --watch follows the streamed results until the job is done.
+    report    Analyze a job's records: outcome taxonomy, per-site
+              sensitivity (Wilson 95% CIs), detection latency, MTTF.
     stop      Ask the serving daemon to shut down gracefully.
 
 The state directory defaults to ./ftsimd-state, or $FTSIMD_STATE.
@@ -135,6 +149,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "serve" => cmd_serve(&parsed),
         "status" => cmd_status(&parsed),
         "results" => cmd_results(&parsed),
+        "report" => cmd_report(&parsed),
         "stop" => cmd_stop(&parsed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -233,19 +248,135 @@ fn cmd_status(args: &Args) -> Result<(), String> {
                 println!("error:  {}", status.error);
             }
             println!("dir:    {}", job.dir().display());
+            match family_progress(&store, &job, &status) {
+                Ok(families) => {
+                    println!("families:");
+                    for f in families {
+                        println!(
+                            "  {:<10} budget {:>7}  {:<10} {:>4}/{}",
+                            f.workload, f.budget, f.model, f.done, f.total
+                        );
+                    }
+                }
+                // Family progress is best-effort decoration: an old job
+                // whose spec no longer resolves still shows its totals.
+                Err(e) => eprintln!("ftsimd: cannot compute family progress: {e}"),
+            }
             Ok(())
         }
         _ => Err("status takes at most one job id".to_string()),
     }
 }
 
+/// One (workload, budget, model) shard's progress in a job.
+struct FamilyProgress {
+    workload: String,
+    budget: u64,
+    model: String,
+    done: usize,
+    total: usize,
+}
+
+/// Computes per-family cells-done counts: the job's grid identities
+/// grouped by (workload, budget, model) — the same shards the runner's
+/// workers pull — each matched against the streamed `cells.csv`.
+fn family_progress(
+    store: &JobStore,
+    job: &Job,
+    status: &JobStatus,
+) -> Result<Vec<FamilyProgress>, String> {
+    let spec = store.load_spec(job).map_err(|e| e.to_string())?;
+    let identities = spec
+        .to_experiment()
+        .map_err(|e| e.to_string())?
+        .identities()
+        .map_err(|e| e.to_string())?;
+    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+    let (streamed, _) = from_csv_tolerant(&streamed);
+    let streamed = identity_index(&streamed);
+    let mut families: Vec<FamilyProgress> = Vec::new();
+    for id in &identities {
+        // A done job has every cell even if some were never streamed
+        // (resume-matched cells are not re-appended to cells.csv).
+        let done = status.state == JobState::Done || streamed.contains_key(&identity_key(id));
+        match families
+            .iter_mut()
+            .find(|f| f.workload == id.workload && f.budget == id.budget && f.model == id.model)
+        {
+            Some(f) => {
+                f.total += 1;
+                f.done += usize::from(done);
+            }
+            None => families.push(FamilyProgress {
+                workload: id.workload.clone(),
+                budget: id.budget,
+                model: id.model.clone(),
+                done: usize::from(done),
+                total: 1,
+            }),
+        }
+    }
+    Ok(families)
+}
+
+/// The hashable projection of [`RunRecord::same_identity`]: two records
+/// are the same grid cell iff their keys are equal. Keeping this next to
+/// [`identity_index`] is what lets `status`/`results`/`report` match a
+/// job's thousands of grid identities against its streamed log in O(1)
+/// per cell instead of a quadratic `same_identity` scan.
+type IdentityKey<'a> = (
+    &'a str,
+    &'a str,
+    &'a str,
+    u8,
+    bool,
+    u8,
+    u64,
+    &'a str,
+    u64,
+    u64,
+);
+
+fn identity_key(r: &RunRecord) -> IdentityKey<'_> {
+    (
+        r.workload.as_str(),
+        r.suite.as_str(),
+        r.model.as_str(),
+        r.r,
+        r.majority,
+        r.threshold,
+        r.fault_rate_pm.to_bits(),
+        r.site_mix.as_str(),
+        r.seed,
+        r.budget,
+    )
+}
+
+/// Indexes streamed records by identity, newest row winning: a cell that
+/// failed on one pass and was re-run later (failed records are never
+/// resume-matched) appears twice in the log, and the recent record is
+/// the truthful one.
+fn identity_index<'a>(streamed: &'a [RunRecord]) -> HashMap<IdentityKey<'a>, &'a RunRecord> {
+    let mut index = HashMap::with_capacity(streamed.len());
+    for r in streamed {
+        index.insert(identity_key(r), r); // later rows overwrite earlier
+    }
+    index
+}
+
 fn cmd_results(args: &Args) -> Result<(), String> {
-    args.ensure_flags(&["--json"])?;
+    args.ensure_flags(&["--json", "--watch", "--poll-ms"])?;
     let [id] = args.positional.as_slice() else {
         return Err("results takes exactly one job id".to_string());
     };
     let store = open_store(args)?;
     let job = store.job(id).map_err(|e| e.to_string())?;
+    if args.flag("--watch") {
+        if args.flag("--json") {
+            return Err("--watch streams CSV rows; it cannot combine with --json".to_string());
+        }
+        return watch_results(&store, &job, args.poll());
+    }
     let json = args.flag("--json");
     let status = store.load_status(&job).map_err(|e| e.to_string())?;
 
@@ -262,34 +393,137 @@ fn cmd_results(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    // In-flight (or interrupted) job: merge the streamed records into
-    // grid order and report what is still missing.
-    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
-    let (streamed, _) = from_csv_tolerant(&streamed);
-    let spec = store.load_spec(&job).map_err(|e| e.to_string())?;
-    let identities = spec
-        .to_experiment()
-        .map_err(|e| e.to_string())?
-        .identities()
-        .map_err(|e| e.to_string())?;
-    // Newest row wins: a cell that failed on one pass and was re-run on
-    // a later one (failed records are never resume-matched) appears
-    // twice in the log, and the recent record is the truthful one.
-    let merged: Vec<RunRecord> = identities
-        .iter()
-        .filter_map(|id| streamed.iter().rev().find(|r| r.same_identity(id)).cloned())
-        .collect();
+    let (merged, total) = merged_records(&store, &job)?;
     eprintln!(
-        "ftsimd: job {id} is {} — {} of {} cells merged (grid order)",
+        "ftsimd: job {id} is {} — {} of {total} cells merged (grid order)",
         status.state,
         merged.len(),
-        identities.len()
     );
     if json {
         print!("{}", to_json(&merged));
     } else {
         print!("{}", to_csv(&merged));
     }
+    Ok(())
+}
+
+/// Merges an in-flight job's streamed records into grid order (newest
+/// row per cell, via [`identity_index`]), returning them with the grid's
+/// total cell count.
+fn merged_records(store: &JobStore, job: &Job) -> Result<(Vec<RunRecord>, usize), String> {
+    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+    let (streamed, _) = from_csv_tolerant(&streamed);
+    let index = identity_index(&streamed);
+    let spec = store.load_spec(job).map_err(|e| e.to_string())?;
+    let identities = spec
+        .to_experiment()
+        .map_err(|e| e.to_string())?
+        .identities()
+        .map_err(|e| e.to_string())?;
+    let merged: Vec<RunRecord> = identities
+        .iter()
+        .filter_map(|id| index.get(&identity_key(id)).copied().cloned())
+        .collect();
+    Ok((merged, identities.len()))
+}
+
+/// Follows a job's `cells.csv`, printing each streamed record (CSV, in
+/// completion order) as it appears, until the job reaches a terminal
+/// state. The tolerant loader is what makes mid-write polling safe: a
+/// torn tail row simply does not count as arrived yet. A closed stdout
+/// (`ftsimd results --watch | head`) ends the watch cleanly instead of
+/// panicking on the broken pipe.
+///
+/// Polling is incremental: the byte boundary after the last complete
+/// record ([`from_csv_tolerant_prefix`]) is remembered, and each poll
+/// parses only the appended suffix — a watch on a large job stays O(new
+/// rows) per tick instead of re-parsing the whole growing log.
+fn watch_results(store: &JobStore, job: &Job, poll: Duration) -> Result<(), String> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let header = RunRecord::csv_header();
+    if writeln!(out, "{header}").is_err() {
+        return Ok(()); // reader went away before the header
+    }
+    let mut printed = 0usize;
+    let mut consumed = 0usize; // bytes of cells.csv fully parsed
+    loop {
+        // Status first, cells second: anything streamed before a
+        // terminal status was set is guaranteed to be seen by the final
+        // read, so no record can slip between the last poll and exit.
+        let status = store.load_status(job).map_err(|e| e.to_string())?;
+        let text = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+        // `consumed` always sits on a record boundary; re-prefix the
+        // unparsed suffix with the header so it parses standalone.
+        let rows = if text.len() > consumed {
+            let (rows, parsed) = if consumed == 0 {
+                from_csv_tolerant_prefix(&text)
+            } else {
+                let doc = format!("{header}\n{}", &text[consumed..]);
+                let (rows, parsed) = from_csv_tolerant_prefix(&doc);
+                (rows, parsed.saturating_sub(header.len() + 1))
+            };
+            consumed += parsed;
+            rows
+        } else {
+            Vec::new()
+        };
+        for r in &rows {
+            if writeln!(out, "{}", r.to_csv_row()).is_err() {
+                return Ok(()); // downstream pipe closed mid-stream
+            }
+        }
+        printed += rows.len();
+        if out.flush().is_err() {
+            return Ok(());
+        }
+        match status.state {
+            JobState::Done | JobState::Failed => {
+                eprintln!(
+                    "ftsimd: job {} is {} — {printed} record(s) streamed{}",
+                    job.id,
+                    status.state,
+                    if status.state == JobState::Done && printed < status.cells_total {
+                        " (resumed cells were not re-streamed; see `results` for the full grid)"
+                    } else {
+                        ""
+                    }
+                );
+                return Ok(());
+            }
+            JobState::Queued | JobState::Running => std::thread::sleep(poll),
+        }
+    }
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&[])?;
+    let [id] = args.positional.as_slice() else {
+        return Err("report takes exactly one job id".to_string());
+    };
+    let store = open_store(args)?;
+    let job = store.job(id).map_err(|e| e.to_string())?;
+    let status = store.load_status(&job).map_err(|e| e.to_string())?;
+
+    let records = if status.state == JobState::Done {
+        // The canonical grid-order artifact — byte-identical to what the
+        // one-shot Experiment would serialize, so the report matches
+        // `Experiment::analyze()` exactly.
+        let path = job.results_path();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        from_csv(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?
+    } else {
+        let (merged, total) = merged_records(&store, &job)?;
+        eprintln!(
+            "ftsimd: job {id} is {} — report covers {} of {total} cells",
+            status.state,
+            merged.len(),
+        );
+        merged
+    };
+    print!("{}", ftsim_analysis::analyze_records(&records).render());
     Ok(())
 }
 
@@ -338,6 +572,49 @@ mod tests {
         assert_eq!(run(&strs(&["serve", "--drian"])), 1);
         assert_eq!(run(&strs(&["results", "x", "--jsn"])), 1);
         assert_eq!(run(&strs(&["stop", "--force"])), 1);
+        assert_eq!(run(&strs(&["report", "x", "--json"])), 1);
+    }
+
+    #[test]
+    fn report_watch_and_family_status_run_on_a_completed_job() {
+        let dir = std::env::temp_dir().join(format!("ftsimd-cli-report-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = JobStore::open(&dir).unwrap();
+        let mut spec = JobSpec::new("cli-report");
+        spec.workloads = vec!["gcc".to_string()];
+        spec.models = vec!["SS-2".to_string()];
+        spec.fault_rates_pm = vec![0.0, 5_000.0];
+        spec.site_mixes = vec!["uniform".to_string(), "addr-heavy".to_string()];
+        spec.budgets = vec![1_200];
+        let (id, _) = store.submit(&spec).unwrap();
+        let job = store.job(&id).unwrap();
+        crate::runner::run_job(&store, &job, &std::sync::atomic::AtomicBool::new(false)).unwrap();
+
+        let state = dir.to_string_lossy().to_string();
+        // report renders the analysis sections over the job's records.
+        assert_eq!(run(&strs(&["report", &id, "--state", &state])), 0);
+        // --watch on a terminal job prints everything streamed and exits.
+        assert_eq!(
+            run(&strs(&["results", &id, "--watch", "--state", &state])),
+            0
+        );
+        // --watch and --json are mutually exclusive.
+        assert_eq!(
+            run(&strs(&[
+                "results", &id, "--watch", "--json", "--state", &state
+            ])),
+            1
+        );
+        // Single-job status includes the per-family progress lines.
+        assert_eq!(run(&strs(&["status", &id, "--state", &state])), 0);
+        let status = store.load_status(&job).unwrap();
+        let families = family_progress(&store, &job, &status).unwrap();
+        assert_eq!(families.len(), 1, "one (workload, budget, model) shard");
+        assert_eq!(families[0].workload, "gcc");
+        assert_eq!(families[0].model, "SS-2");
+        assert_eq!(families[0].budget, 1_200);
+        assert_eq!((families[0].done, families[0].total), (4, 4));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

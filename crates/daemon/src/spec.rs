@@ -10,6 +10,7 @@
 //! workloads = ["fpppp", "gcc"]
 //! models = ["SS-2", "SS-3M"]
 //! fault_rates = [0.0, 200.0, 5000.0]
+//! site_mixes = ["uniform", "addr-heavy"]
 //! budgets = [4000]
 //! seeds = [3]
 //! oracle = "final"
@@ -23,6 +24,7 @@
 
 use ftsim::harness::{Experiment, Workload};
 use ftsim_core::{MachineConfig, OracleMode, RedundancyConfig};
+use ftsim_faults::SiteMix;
 use ftsim_stats::JsonValue;
 use std::fmt;
 
@@ -47,6 +49,8 @@ pub enum SpecError {
     UnknownWorkload(String),
     /// A model name not in the machine registry.
     UnknownModel(String),
+    /// A site-mix name not in the preset registry.
+    UnknownSiteMix(String),
 }
 
 impl fmt::Display for SpecError {
@@ -65,6 +69,11 @@ impl fmt::Display for SpecError {
             SpecError::UnknownModel(name) => write!(
                 f,
                 "unknown model `{name}` (expected SS-<r>, SS-<r>M or Static-2, e.g. SS-1, SS-2, SS-3M)"
+            ),
+            SpecError::UnknownSiteMix(name) => write!(
+                f,
+                "unknown site mix `{name}` (expected one of: {})",
+                ftsim_faults::PRESET_NAMES.join(", ")
             ),
         }
     }
@@ -108,6 +117,9 @@ pub struct JobSpec {
     /// Fault-rate axis in faults per million instructions. Default:
     /// fault-free.
     pub fault_rates_pm: Vec<f64>,
+    /// Fault-site-mix axis: [`SiteMix`] preset names (`uniform`,
+    /// `addr-heavy`, `control-only`, `data-only`). Default: uniform.
+    pub site_mixes: Vec<String>,
     /// Committed-instruction budget axis. Default: the harness's
     /// [`DEFAULT_BUDGET`](ftsim::harness::DEFAULT_BUDGET).
     pub budgets: Vec<u64>,
@@ -133,6 +145,7 @@ impl JobSpec {
             workloads: Vec::new(),
             models: Vec::new(),
             fault_rates_pm: vec![0.0],
+            site_mixes: vec!["uniform".to_string()],
             budgets: vec![ftsim::harness::DEFAULT_BUDGET],
             seeds: vec![0],
             oracle: OracleMode::Off,
@@ -161,11 +174,12 @@ impl JobSpec {
         let JsonValue::Obj(pairs) = doc else {
             return Err(SpecError::Syntax("spec must be a table/object".to_string()));
         };
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 10] = [
             "name",
             "workloads",
             "models",
             "fault_rates",
+            "site_mixes",
             "budgets",
             "seeds",
             "oracle",
@@ -191,6 +205,9 @@ impl JobSpec {
         spec.models = string_list(doc, "models")?.ok_or(SpecError::MissingField("models"))?;
         if let Some(rates) = f64_list(doc, "fault_rates")? {
             spec.fault_rates_pm = rates;
+        }
+        if let Some(mixes) = string_list(doc, "site_mixes")? {
+            spec.site_mixes = mixes;
         }
         if let Some(budgets) = u64_list(doc, "budgets")? {
             spec.budgets = budgets;
@@ -257,6 +274,15 @@ impl JobSpec {
                 ),
             ),
             (
+                "site_mixes".to_string(),
+                JsonValue::Arr(
+                    self.site_mixes
+                        .iter()
+                        .map(|m| JsonValue::Str(m.clone()))
+                        .collect(),
+                ),
+            ),
+            (
                 "budgets".to_string(),
                 JsonValue::Arr(self.budgets.iter().map(|&b| JsonValue::U64(b)).collect()),
             ),
@@ -300,10 +326,18 @@ impl JobSpec {
             .iter()
             .map(|name| model_by_name(name).ok_or_else(|| SpecError::UnknownModel(name.clone())))
             .collect::<Result<_, _>>()?;
+        let mixes: Vec<SiteMix> = self
+            .site_mixes
+            .iter()
+            .map(|name| {
+                SiteMix::preset(name).ok_or_else(|| SpecError::UnknownSiteMix(name.clone()))
+            })
+            .collect::<Result<_, _>>()?;
         Ok(Experiment::grid()
             .workloads(workloads)
             .models(models)
             .fault_rates(self.fault_rates_pm.iter().copied())
+            .site_mixes(mixes)
             .budgets(self.budgets.iter().copied())
             .seeds(self.seeds.iter().copied())
             .oracle(self.oracle)
@@ -563,6 +597,7 @@ mod tests {
             "SS-3M",  # majority election
         ]
         fault_rates = [0.0, 200.0, 5000.0]
+        site_mixes = ["uniform", "addr-heavy"]
         budgets = [4000]
         seeds = [3]
         oracle = "final"
@@ -577,6 +612,7 @@ mod tests {
         assert_eq!(from_toml.workloads, ["fpppp", "gcc"]);
         assert_eq!(from_toml.models, ["SS-2", "SS-3M"]);
         assert_eq!(from_toml.fault_rates_pm, [0.0, 200.0, 5000.0]);
+        assert_eq!(from_toml.site_mixes, ["uniform", "addr-heavy"]);
         assert_eq!(from_toml.budgets, [4000]);
         assert_eq!(from_toml.seeds, [3]);
         assert_eq!(from_toml.oracle, OracleMode::Final);
@@ -592,6 +628,7 @@ mod tests {
         let spec =
             JobSpec::parse("name = \"d\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\n").unwrap();
         assert_eq!(spec.fault_rates_pm, [0.0]);
+        assert_eq!(spec.site_mixes, ["uniform"]);
         assert_eq!(spec.budgets, [ftsim::harness::DEFAULT_BUDGET]);
         assert_eq!(spec.seeds, [0]);
         assert_eq!(spec.oracle, OracleMode::Off);
@@ -640,7 +677,7 @@ mod tests {
     fn registries_resolve_names() {
         let spec = JobSpec::parse(TOML).unwrap();
         let exp = spec.to_experiment().unwrap();
-        assert_eq!(exp.cells(), 2 * 2 * 3);
+        assert_eq!(exp.cells(), 2 * 2 * 3 * 2);
 
         let mut bad = spec.clone();
         bad.workloads = vec!["doom".to_string()];
@@ -648,12 +685,20 @@ mod tests {
             bad.to_experiment().unwrap_err(),
             SpecError::UnknownWorkload("doom".to_string())
         );
-        let mut bad = spec;
+        let mut bad = spec.clone();
         bad.models = vec!["SS-0".to_string()];
         assert_eq!(
             bad.to_experiment().unwrap_err(),
             SpecError::UnknownModel("SS-0".to_string())
         );
+        let mut bad = spec;
+        bad.site_mixes = vec!["everything-at-once".to_string()];
+        let err = bad.to_experiment().unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::UnknownSiteMix("everything-at-once".to_string())
+        );
+        assert!(err.to_string().contains("addr-heavy"), "{err}");
     }
 
     #[test]

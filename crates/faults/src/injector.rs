@@ -1,5 +1,6 @@
 //! The fault injector: Bernoulli or plan-driven single-bit corruptions.
 
+use crate::mix::SiteMix;
 use crate::plan::FaultPlan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -42,6 +43,47 @@ impl InjectionPoint {
         InjectionPoint::BranchTarget,
         InjectionPoint::RobWait,
     ];
+
+    /// Number of injection points (the length of [`InjectionPoint::ALL`]).
+    pub const COUNT: usize = 8;
+
+    /// This point's index in [`InjectionPoint::ALL`] — the canonical
+    /// ordering used by site mixes and per-site fate tables.
+    pub fn index(self) -> usize {
+        match self {
+            InjectionPoint::OperandA => 0,
+            InjectionPoint::OperandB => 1,
+            InjectionPoint::Result => 2,
+            InjectionPoint::EffAddr => 3,
+            InjectionPoint::StoreData => 4,
+            InjectionPoint::BranchDirection => 5,
+            InjectionPoint::BranchTarget => 6,
+            InjectionPoint::RobWait => 7,
+        }
+    }
+
+    /// A short, stable site code used in compact serializations
+    /// (`site_fates` record fields) and report tables.
+    pub fn code(self) -> &'static str {
+        match self {
+            InjectionPoint::OperandA => "opa",
+            InjectionPoint::OperandB => "opb",
+            InjectionPoint::Result => "res",
+            InjectionPoint::EffAddr => "ea",
+            InjectionPoint::StoreData => "sd",
+            InjectionPoint::BranchDirection => "bdir",
+            InjectionPoint::BranchTarget => "btgt",
+            InjectionPoint::RobWait => "rob",
+        }
+    }
+
+    /// Resolves a site code produced by [`InjectionPoint::code`].
+    pub fn from_code(code: &str) -> Option<Self> {
+        InjectionPoint::ALL
+            .iter()
+            .copied()
+            .find(|p| p.code() == code)
+    }
 }
 
 /// One concrete fault: a bit to flip at a given point.
@@ -63,8 +105,15 @@ impl FaultEvent {
 enum Mode {
     /// No faults at all (fast path for fault-free runs).
     Disabled,
-    /// Bernoulli per-copy corruption with probability `rate`.
-    Random { rate: f64, rng: Box<SmallRng> },
+    /// Bernoulli per-copy corruption with probability `rate`. A `None`
+    /// mix is the historical uniform site pick (`gen_range` over the
+    /// applicable list); `Some` picks by [`SiteMix`] weight. Either way a
+    /// non-firing draw consumes exactly one `f64`.
+    Random {
+        rate: f64,
+        rng: Box<SmallRng>,
+        mix: Option<Box<SiteMix>>,
+    },
     /// Deterministic plan.
     Planned(FaultPlan),
 }
@@ -73,7 +122,10 @@ impl std::fmt::Debug for Mode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Mode::Disabled => write!(f, "Disabled"),
-            Mode::Random { rate, .. } => write!(f, "Random(rate={rate})"),
+            Mode::Random { rate, mix, .. } => match mix {
+                Some(m) => write!(f, "Random(rate={rate}, mix={})", m.name()),
+                None => write!(f, "Random(rate={rate})"),
+            },
             Mode::Planned(p) => write!(f, "Planned({} events)", p.len()),
         }
     }
@@ -109,6 +161,25 @@ impl FaultInjector {
     ///
     /// Panics if `rate_per_inst` is not in `[0, 1]`.
     pub fn random(rate_per_inst: f64, seed: u64) -> Self {
+        Self::random_with_mix(rate_per_inst, seed, &SiteMix::uniform())
+    }
+
+    /// Bernoulli injection with a weighted fault-site distribution: a
+    /// firing draw picks among the victim's applicable points by the
+    /// [`SiteMix`]'s weights instead of uniformly.
+    ///
+    /// The Bernoulli stream itself is mix-independent: the rate trial of
+    /// every draw consumes exactly one `f64` and the mix is consulted only
+    /// after a fire, so [`FaultInjector::first_possible_fire`] and
+    /// [`FaultInjector::fast_forward_fault_free`] — and therefore
+    /// checkpoint forking — work identically for any mix. A uniform mix
+    /// additionally reproduces [`FaultInjector::random`]'s exact event
+    /// stream (same site picks, same bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_inst` is not in `[0, 1]`.
+    pub fn random_with_mix(rate_per_inst: f64, seed: u64, mix: &SiteMix) -> Self {
         assert!(
             (0.0..=1.0).contains(&rate_per_inst),
             "fault rate must be a probability"
@@ -120,6 +191,8 @@ impl FaultInjector {
             mode: Mode::Random {
                 rate: rate_per_inst,
                 rng: Box::new(SmallRng::seed_from_u64(seed)),
+                // The uniform fast path keeps the historical RNG stream.
+                mix: (!mix.is_uniform()).then(|| Box::new(mix.clone())),
             },
             drawn: 0,
             injected: 0,
@@ -152,10 +225,16 @@ impl FaultInjector {
         self.drawn += 1;
         let event = match &mut self.mode {
             Mode::Disabled => None,
-            Mode::Random { rate, rng } => {
+            Mode::Random { rate, rng, mix } => {
+                // The rate trial consumes exactly one f64 on every draw —
+                // the fork-bound invariant — and only a fire touches the
+                // RNG further.
                 if rng.gen::<f64>() < *rate && !applicable.is_empty() {
-                    let point = applicable[rng.gen_range(0..applicable.len())];
-                    Some(FaultEvent {
+                    let point = match mix {
+                        None => Some(applicable[rng.gen_range(0..applicable.len())]),
+                        Some(m) => m.pick(applicable, rng.gen::<f64>()),
+                    };
+                    point.map(|point| FaultEvent {
                         point,
                         bit: rng.gen_range(0..64),
                     })
@@ -202,7 +281,7 @@ impl FaultInjector {
         assert_eq!(self.drawn, 0, "first_possible_fire needs a fresh injector");
         match &self.mode {
             Mode::Disabled => None,
-            Mode::Random { rate, rng } => {
+            Mode::Random { rate, rng, .. } => {
                 let mut probe = rng.clone();
                 (0..max_draws).find(|_| probe.gen::<f64>() < *rate)
             }
@@ -391,6 +470,129 @@ mod tests {
         );
         assert_eq!(FaultInjector::from_plan(plan).first_possible_fire(10), None);
         assert_eq!(FaultPlan::new().first_event_cycle(), None);
+    }
+
+    #[test]
+    fn uniform_mix_is_stream_identical_to_random() {
+        // `random_with_mix(uniform)` must reproduce `random`'s exact
+        // event stream — site picks and bits included — so the default
+        // sweep axis changes nothing about existing golden records.
+        let collect = |mut inj: FaultInjector| {
+            (0..2_000)
+                .filter_map(|s| {
+                    let pts: &[InjectionPoint] = if s % 3 == 0 {
+                        &[InjectionPoint::Result, InjectionPoint::RobWait]
+                    } else {
+                        InjectionPoint::ALL
+                    };
+                    inj.draw(s, 0, pts).map(|e| (s, e))
+                })
+                .collect::<Vec<_>>()
+        };
+        let plain = collect(FaultInjector::random(0.02, 11));
+        let mixed = collect(FaultInjector::random_with_mix(
+            0.02,
+            11,
+            &SiteMix::uniform(),
+        ));
+        assert_eq!(plain, mixed);
+        assert!(!plain.is_empty());
+    }
+
+    #[test]
+    fn every_preset_preserves_one_f64_per_nonfiring_draw() {
+        // The fork-bound invariant, per preset: a cold injector drawing a
+        // fault-free prefix and a fresh injector fast-forwarded past it
+        // must produce identical suffix streams, with draws of varying
+        // applicability in the prefix.
+        for name in crate::mix::PRESET_NAMES {
+            let mix = SiteMix::preset(name).unwrap();
+            let rate = 0.004;
+            let seed = 1_234;
+            let fresh = FaultInjector::random_with_mix(rate, seed, &mix);
+            let first = fresh.first_possible_fire(200_000).unwrap();
+            let prefix = first.min(700);
+            assert!(prefix > 0, "{name}: no fault-free prefix to test");
+
+            let mut cold = FaultInjector::random_with_mix(rate, seed, &mix);
+            for s in 0..prefix {
+                let pts: &[InjectionPoint] = match s % 3 {
+                    0 => &[],
+                    1 => &[InjectionPoint::EffAddr, InjectionPoint::OperandA],
+                    _ => InjectionPoint::ALL,
+                };
+                assert!(cold.draw(s, 0, pts).is_none(), "{name}: premature fire");
+            }
+            let mut forked = FaultInjector::random_with_mix(rate, seed, &mix);
+            forked.fast_forward_fault_free(prefix);
+            assert_eq!(forked.drawn(), cold.drawn());
+            for s in prefix..prefix + 3_000 {
+                assert_eq!(
+                    cold.draw(s, 0, InjectionPoint::ALL),
+                    forked.draw(s, 0, InjectionPoint::ALL),
+                    "{name}: suffix diverged at draw {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_possible_fire_is_mix_independent() {
+        // The Bernoulli stream is consulted before the mix, so the fork
+        // bound must be the same number for every preset at a given
+        // (rate, seed).
+        for seed in [3, 71] {
+            let bounds: Vec<Option<u64>> = crate::mix::PRESET_NAMES
+                .iter()
+                .map(|name| {
+                    FaultInjector::random_with_mix(0.01, seed, &SiteMix::preset(name).unwrap())
+                        .first_possible_fire(50_000)
+                })
+                .collect();
+            assert!(bounds.windows(2).all(|w| w[0] == w[1]), "{bounds:?}");
+            assert!(bounds[0].is_some());
+        }
+    }
+
+    #[test]
+    fn control_only_mix_fires_only_on_control_points() {
+        let mix = SiteMix::preset("control-only").unwrap();
+        let mut inj = FaultInjector::random_with_mix(1.0, 5, &mix);
+        // Data-only applicability: every fire is suppressed by the mix.
+        for s in 0..50 {
+            assert!(inj
+                .draw(s, 0, &[InjectionPoint::Result, InjectionPoint::RobWait])
+                .is_none());
+        }
+        assert_eq!(inj.injected(), 0);
+        // Control applicability: fires land only on control points.
+        for s in 50..100 {
+            let e = inj
+                .draw(
+                    s,
+                    0,
+                    &[
+                        InjectionPoint::OperandA,
+                        InjectionPoint::BranchDirection,
+                        InjectionPoint::BranchTarget,
+                    ],
+                )
+                .expect("rate 1 with positive-weight points fires");
+            assert!(matches!(
+                e.point,
+                InjectionPoint::BranchDirection | InjectionPoint::BranchTarget
+            ));
+        }
+    }
+
+    #[test]
+    fn site_codes_round_trip() {
+        for &p in InjectionPoint::ALL {
+            assert_eq!(InjectionPoint::from_code(p.code()), Some(p));
+            assert_eq!(InjectionPoint::ALL[p.index()], p);
+        }
+        assert_eq!(InjectionPoint::from_code("nope"), None);
+        assert_eq!(InjectionPoint::ALL.len(), InjectionPoint::COUNT);
     }
 
     #[test]

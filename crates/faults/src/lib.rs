@@ -21,6 +21,12 @@
 //! * [`FaultInjector::random`] — Bernoulli process with a per-copy
 //!   corruption probability (the paper's fault frequency `f`, expressed in
 //!   faults per instruction); used for the Figure 6 sweeps.
+//!   [`FaultInjector::random_with_mix`] additionally weights the choice of
+//!   injection site by a [`SiteMix`] (named presets such as `uniform`,
+//!   `addr-heavy`, `control-only`), making the site distribution a sweep
+//!   axis without perturbing the Bernoulli stream — a non-firing draw
+//!   consumes exactly one `f64` under any mix, which keeps checkpoint
+//!   forking sound.
 //! * [`FaultInjector::from_plan`] — a deterministic [`FaultPlan`] that
 //!   corrupts chosen `(dispatch index, copy)` pairs; used by unit and
 //!   property tests to pin down exact detection/recovery behaviour.
@@ -50,10 +56,12 @@
 
 mod injector;
 mod log;
+mod mix;
 mod plan;
 
 pub use injector::{FaultEvent, FaultInjector, InjectionPoint};
-pub use log::{FaultCounts, FaultFate, FaultId, FaultLog, FaultRecord};
+pub use log::{FaultCounts, FaultFate, FaultId, FaultLog, FaultRecord, LatencySummary, SiteCounts};
+pub use mix::{SiteMix, PRESET_NAMES};
 pub use plan::FaultPlan;
 
 /// Converts a rate in faults per million instructions (Figure 6's x-axis

@@ -1,6 +1,7 @@
-//! Fault coverage ledger: what happened to every injected upset.
+//! Fault coverage ledger: what happened to every injected upset, where it
+//! struck, and how long it stayed live.
 
-use crate::injector::FaultEvent;
+use crate::injector::{FaultEvent, InjectionPoint};
 use std::fmt;
 
 /// Identifier of an injected fault within a [`FaultLog`].
@@ -35,6 +36,11 @@ pub enum FaultFate {
 }
 
 /// One injected fault and its tracking state.
+///
+/// Beyond the fate, the record carries the *when* of both endpoints —
+/// injection (at dispatch) and resolution — in cycles and in retired
+/// architectural instructions, so detection latency can be reported in
+/// either unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRecord {
     /// Dispatch index of the victim instruction.
@@ -45,6 +51,29 @@ pub struct FaultRecord {
     pub event: FaultEvent,
     /// Resolution.
     pub fate: FaultFate,
+    /// Cycle at which the fault was injected (victim dispatch).
+    pub injected_cycle: u64,
+    /// Retired-instruction count at injection.
+    pub injected_retired: u64,
+    /// Cycle at which the fate was resolved (0 while pending).
+    pub resolved_cycle: u64,
+    /// Retired-instruction count at resolution (0 while pending).
+    pub resolved_retired: u64,
+}
+
+impl FaultRecord {
+    /// Cycles from injection to resolution; `None` while pending.
+    pub fn latency_cycles(&self) -> Option<u64> {
+        (self.fate != FaultFate::Pending)
+            .then(|| self.resolved_cycle.saturating_sub(self.injected_cycle))
+    }
+
+    /// Retired instructions from injection to resolution; `None` while
+    /// pending.
+    pub fn latency_instructions(&self) -> Option<u64> {
+        (self.fate != FaultFate::Pending)
+            .then(|| self.resolved_retired.saturating_sub(self.injected_retired))
+    }
 }
 
 /// Aggregated fate counts.
@@ -85,6 +114,31 @@ impl FaultCounts {
             (self.detected + self.outvoted) as f64 / eff as f64
         }
     }
+
+    fn count(&mut self, fate: FaultFate) {
+        match fate {
+            FaultFate::Pending => self.pending += 1,
+            FaultFate::SquashedWrongPath => self.squashed_wrong_path += 1,
+            FaultFate::SquashedByRewind => self.squashed_by_rewind += 1,
+            FaultFate::Detected => self.detected += 1,
+            FaultFate::Outvoted => self.outvoted += 1,
+            FaultFate::Masked => self.masked += 1,
+            FaultFate::Escaped => self.escaped += 1,
+        }
+    }
+
+    /// Merges another count set into this one (used when aggregating
+    /// per-site tables across runs).
+    pub fn merge(&mut self, other: &FaultCounts) {
+        self.injected += other.injected;
+        self.pending += other.pending;
+        self.squashed_wrong_path += other.squashed_wrong_path;
+        self.squashed_by_rewind += other.squashed_by_rewind;
+        self.detected += other.detected;
+        self.outvoted += other.outvoted;
+        self.masked += other.masked;
+        self.escaped += other.escaped;
+    }
 }
 
 impl fmt::Display for FaultCounts {
@@ -104,6 +158,167 @@ impl fmt::Display for FaultCounts {
     }
 }
 
+/// Per-[`InjectionPoint`] fate counts: the raw material of fault-site
+/// sensitivity tables.
+///
+/// The compact string form ([`SiteCounts::to_compact`] /
+/// [`SiteCounts::from_compact`]) is what run records carry through
+/// CSV/JSON: sites in canonical order, zero-injected sites omitted,
+/// counts positional — `res=7:0:1:0:4:0:2:0;ea=3:...` with the positions
+/// `injected:pending:wrong-path:rewind-flushed:detected:outvoted:masked:escaped`.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_faults::{FaultCounts, InjectionPoint, SiteCounts};
+///
+/// let mut sites = SiteCounts::default();
+/// sites.get_mut(InjectionPoint::EffAddr).injected = 3;
+/// sites.get_mut(InjectionPoint::EffAddr).detected = 3;
+/// let text = sites.to_compact();
+/// assert_eq!(text, "ea=3:0:0:0:3:0:0:0");
+/// assert_eq!(SiteCounts::from_compact(&text).unwrap(), sites);
+/// assert_eq!(SiteCounts::default().to_compact(), "");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteCounts([FaultCounts; InjectionPoint::COUNT]);
+
+impl SiteCounts {
+    /// The counts for one injection point.
+    pub fn get(&self, point: InjectionPoint) -> &FaultCounts {
+        &self.0[point.index()]
+    }
+
+    /// Mutable counts for one injection point.
+    pub fn get_mut(&mut self, point: InjectionPoint) -> &mut FaultCounts {
+        &mut self.0[point.index()]
+    }
+
+    /// Iterates `(point, counts)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (InjectionPoint, &FaultCounts)> {
+        InjectionPoint::ALL.iter().map(move |&p| (p, self.get(p)))
+    }
+
+    /// Whether no fault was recorded at any site.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|c| c.injected == 0)
+    }
+
+    /// Merges another table into this one, site by site.
+    pub fn merge(&mut self, other: &SiteCounts) {
+        for (i, c) in other.0.iter().enumerate() {
+            self.0[i].merge(c);
+        }
+    }
+
+    /// The canonical compact encoding (see the type docs). Empty string
+    /// when no faults were recorded.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        for (p, c) in self.iter() {
+            if c.injected == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(';');
+            }
+            out.push_str(&format!(
+                "{}={}:{}:{}:{}:{}:{}:{}:{}",
+                p.code(),
+                c.injected,
+                c.pending,
+                c.squashed_wrong_path,
+                c.squashed_by_rewind,
+                c.detected,
+                c.outvoted,
+                c.masked,
+                c.escaped
+            ));
+        }
+        out
+    }
+
+    /// Parses a string produced by [`SiteCounts::to_compact`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for an unknown site code, a malformed
+    /// entry, or a non-numeric count.
+    pub fn from_compact(text: &str) -> Result<Self, String> {
+        let mut sites = SiteCounts::default();
+        if text.is_empty() {
+            return Ok(sites);
+        }
+        for part in text.split(';') {
+            let (code, counts) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad site entry `{part}`"))?;
+            let point = InjectionPoint::from_code(code)
+                .ok_or_else(|| format!("unknown site code `{code}`"))?;
+            let fields: Vec<u64> = counts
+                .split(':')
+                .map(|n| {
+                    n.parse()
+                        .map_err(|_| format!("bad count `{n}` in `{part}`"))
+                })
+                .collect::<Result<_, _>>()?;
+            let [injected, pending, swp, sbr, detected, outvoted, masked, escaped] = fields[..]
+            else {
+                return Err(format!("site entry `{part}` must carry 8 counts"));
+            };
+            *sites.get_mut(point) = FaultCounts {
+                injected,
+                pending,
+                squashed_wrong_path: swp,
+                squashed_by_rewind: sbr,
+                detected,
+                outvoted,
+                masked,
+                escaped,
+            };
+        }
+        Ok(sites)
+    }
+}
+
+/// Aggregate detection-latency telemetry: sums and extrema over the
+/// faults that reached a commit-time resolution (detected or out-voted).
+///
+/// Carrying sums rather than means keeps the summary exactly mergeable
+/// across runs and losslessly serializable as integers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of detection events measured (detected + out-voted faults).
+    pub events: u64,
+    /// Sum of injection→resolution latencies in cycles.
+    pub cycles_sum: u64,
+    /// Sum of injection→resolution latencies in retired instructions.
+    pub instructions_sum: u64,
+    /// Largest single injection→resolution latency in cycles.
+    pub cycles_max: u64,
+}
+
+impl LatencySummary {
+    /// Mean detection latency in cycles; zero when no events.
+    pub fn mean_cycles(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.cycles_sum as f64 / self.events as f64
+        }
+    }
+
+    /// Mean detection latency in retired instructions; zero when no
+    /// events.
+    pub fn mean_instructions(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.instructions_sum as f64 / self.events as f64
+        }
+    }
+}
+
 /// Records every injected fault and its eventual fate.
 ///
 /// # Examples
@@ -112,10 +327,13 @@ impl fmt::Display for FaultCounts {
 /// use ftsim_faults::{FaultEvent, FaultFate, FaultLog, InjectionPoint};
 ///
 /// let mut log = FaultLog::new();
-/// let id = log.record(7, 0, FaultEvent { point: InjectionPoint::Result, bit: 3 });
-/// log.resolve(id, FaultFate::Detected);
+/// let ev = FaultEvent { point: InjectionPoint::Result, bit: 3 };
+/// let id = log.record(7, 0, ev, 100, 40);
+/// log.resolve(id, FaultFate::Detected, 130, 52);
 /// assert_eq!(log.counts().detected, 1);
 /// assert_eq!(log.counts().coverage(), 1.0);
+/// assert_eq!(log.latency().cycles_sum, 30);
+/// assert_eq!(log.per_site().get(InjectionPoint::Result).detected, 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultLog {
@@ -128,27 +346,41 @@ impl FaultLog {
         Self::default()
     }
 
-    /// Registers a new injected fault as [`FaultFate::Pending`].
-    pub fn record(&mut self, dispatch_seq: u64, copy: u8, event: FaultEvent) -> FaultId {
+    /// Registers a new injected fault as [`FaultFate::Pending`], stamped
+    /// with the injection-time cycle and retired-instruction count.
+    pub fn record(
+        &mut self,
+        dispatch_seq: u64,
+        copy: u8,
+        event: FaultEvent,
+        cycle: u64,
+        retired: u64,
+    ) -> FaultId {
         self.records.push(FaultRecord {
             dispatch_seq,
             copy,
             event,
             fate: FaultFate::Pending,
+            injected_cycle: cycle,
+            injected_retired: retired,
+            resolved_cycle: 0,
+            resolved_retired: 0,
         });
         FaultId(self.records.len() - 1)
     }
 
-    /// Sets the fate of fault `id`.
+    /// Sets the fate of fault `id`, stamped with the resolution-time
+    /// cycle and retired-instruction count.
     ///
     /// A fault's fate may be refined once from `Pending`; later calls are
-    /// ignored unless they escalate `Masked`/`Pending` to a terminal fate —
-    /// simplest rule that is stable under out-of-order resolution is:
-    /// first non-`Pending` write wins.
-    pub fn resolve(&mut self, id: FaultId, fate: FaultFate) {
+    /// ignored — the simplest rule that is stable under out-of-order
+    /// resolution is: first non-`Pending` write wins.
+    pub fn resolve(&mut self, id: FaultId, fate: FaultFate, cycle: u64, retired: u64) {
         let r = &mut self.records[id.0];
         if r.fate == FaultFate::Pending {
             r.fate = fate;
+            r.resolved_cycle = cycle;
+            r.resolved_retired = retired;
         }
     }
 
@@ -164,17 +396,39 @@ impl FaultLog {
             ..FaultCounts::default()
         };
         for r in &self.records {
-            match r.fate {
-                FaultFate::Pending => c.pending += 1,
-                FaultFate::SquashedWrongPath => c.squashed_wrong_path += 1,
-                FaultFate::SquashedByRewind => c.squashed_by_rewind += 1,
-                FaultFate::Detected => c.detected += 1,
-                FaultFate::Outvoted => c.outvoted += 1,
-                FaultFate::Masked => c.masked += 1,
-                FaultFate::Escaped => c.escaped += 1,
-            }
+            c.count(r.fate);
         }
         c
+    }
+
+    /// Counts by fate, split by injection site.
+    pub fn per_site(&self) -> SiteCounts {
+        let mut sites = SiteCounts::default();
+        for r in &self.records {
+            let c = sites.get_mut(r.event.point);
+            c.injected += 1;
+            c.count(r.fate);
+        }
+        sites
+    }
+
+    /// Detection-latency telemetry over the faults that reached a
+    /// commit-time resolution ([`FaultFate::Detected`] or
+    /// [`FaultFate::Outvoted`]): how long each corruption stayed live
+    /// between injection and the cross-check that ended it.
+    pub fn latency(&self) -> LatencySummary {
+        let mut s = LatencySummary::default();
+        for r in &self.records {
+            if !matches!(r.fate, FaultFate::Detected | FaultFate::Outvoted) {
+                continue;
+            }
+            let cycles = r.latency_cycles().expect("resolved fault");
+            s.events += 1;
+            s.cycles_sum += cycles;
+            s.instructions_sum += r.latency_instructions().expect("resolved fault");
+            s.cycles_max = s.cycles_max.max(cycles);
+        }
+        s
     }
 }
 
@@ -190,15 +444,19 @@ mod tests {
         }
     }
 
+    fn ev_at(point: InjectionPoint) -> FaultEvent {
+        FaultEvent { point, bit: 1 }
+    }
+
     #[test]
     fn fates_accumulate() {
         let mut log = FaultLog::new();
-        let a = log.record(0, 0, ev());
-        let b = log.record(1, 1, ev());
-        let c = log.record(2, 0, ev());
-        log.resolve(a, FaultFate::Detected);
-        log.resolve(b, FaultFate::SquashedWrongPath);
-        log.resolve(c, FaultFate::Outvoted);
+        let a = log.record(0, 0, ev(), 10, 1);
+        let b = log.record(1, 1, ev(), 20, 2);
+        let c = log.record(2, 0, ev(), 30, 3);
+        log.resolve(a, FaultFate::Detected, 40, 5);
+        log.resolve(b, FaultFate::SquashedWrongPath, 25, 2);
+        log.resolve(c, FaultFate::Outvoted, 90, 9);
         let counts = log.counts();
         assert_eq!(counts.injected, 3);
         assert_eq!(counts.detected, 1);
@@ -210,21 +468,103 @@ mod tests {
     }
 
     #[test]
-    fn first_resolution_wins() {
+    fn first_resolution_wins_and_keeps_its_timestamps() {
         let mut log = FaultLog::new();
-        let a = log.record(0, 0, ev());
-        log.resolve(a, FaultFate::Detected);
-        log.resolve(a, FaultFate::Escaped);
-        assert_eq!(log.records()[0].fate, FaultFate::Detected);
+        let a = log.record(0, 0, ev(), 5, 0);
+        log.resolve(a, FaultFate::Detected, 35, 4);
+        log.resolve(a, FaultFate::Escaped, 99, 9);
+        let r = log.records()[0];
+        assert_eq!(r.fate, FaultFate::Detected);
+        assert_eq!(r.resolved_cycle, 35);
+        assert_eq!(r.latency_cycles(), Some(30));
+        assert_eq!(r.latency_instructions(), Some(4));
+    }
+
+    #[test]
+    fn latency_counts_only_commit_time_resolutions() {
+        let mut log = FaultLog::new();
+        let a = log.record(0, 0, ev(), 100, 10);
+        let b = log.record(1, 0, ev(), 200, 20);
+        let c = log.record(2, 0, ev(), 300, 30);
+        let d = log.record(3, 0, ev(), 400, 40);
+        log.resolve(a, FaultFate::Detected, 150, 15); // 50 cycles, 5 insts
+        log.resolve(b, FaultFate::Outvoted, 280, 24); // 80 cycles, 4 insts
+        log.resolve(c, FaultFate::Masked, 310, 31); // not a detection
+        log.resolve(d, FaultFate::SquashedWrongPath, 404, 40); // nor this
+        let s = log.latency();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.cycles_sum, 130);
+        assert_eq!(s.instructions_sum, 9);
+        assert_eq!(s.cycles_max, 80);
+        assert!((s.mean_cycles() - 65.0).abs() < 1e-12);
+        assert!((s.mean_instructions() - 4.5).abs() < 1e-12);
+        // A pending fault reports no latency at all.
+        let mut pending = FaultLog::new();
+        pending.record(0, 0, ev(), 1, 0);
+        assert_eq!(pending.latency(), LatencySummary::default());
+        assert_eq!(pending.records()[0].latency_cycles(), None);
+    }
+
+    #[test]
+    fn per_site_counts_split_by_injection_point() {
+        let mut log = FaultLog::new();
+        let a = log.record(0, 0, ev_at(InjectionPoint::EffAddr), 0, 0);
+        let b = log.record(1, 0, ev_at(InjectionPoint::EffAddr), 0, 0);
+        let c = log.record(2, 0, ev_at(InjectionPoint::BranchTarget), 0, 0);
+        log.resolve(a, FaultFate::Detected, 1, 1);
+        log.resolve(b, FaultFate::Masked, 1, 1);
+        log.resolve(c, FaultFate::Escaped, 1, 1);
+        let sites = log.per_site();
+        assert_eq!(sites.get(InjectionPoint::EffAddr).injected, 2);
+        assert_eq!(sites.get(InjectionPoint::EffAddr).detected, 1);
+        assert_eq!(sites.get(InjectionPoint::EffAddr).masked, 1);
+        assert_eq!(sites.get(InjectionPoint::BranchTarget).escaped, 1);
+        assert_eq!(sites.get(InjectionPoint::Result).injected, 0);
+        assert!(!sites.is_empty());
+    }
+
+    #[test]
+    fn site_counts_compact_round_trip() {
+        let mut log = FaultLog::new();
+        for (i, &p) in InjectionPoint::ALL.iter().enumerate() {
+            let id = log.record(i as u64, 0, ev_at(p), 0, 0);
+            let fate = [
+                FaultFate::Detected,
+                FaultFate::Outvoted,
+                FaultFate::Masked,
+                FaultFate::Escaped,
+                FaultFate::SquashedWrongPath,
+                FaultFate::SquashedByRewind,
+            ][i % 6];
+            log.resolve(id, fate, 1, 1);
+        }
+        log.record(99, 0, ev(), 0, 0); // one left pending
+        let sites = log.per_site();
+        let text = sites.to_compact();
+        assert_eq!(SiteCounts::from_compact(&text).unwrap(), sites);
+
+        // Merging two tables equals logging both sets.
+        let mut merged = sites;
+        merged.merge(&sites);
+        assert_eq!(
+            merged.get(InjectionPoint::Result).injected,
+            2 * sites.get(InjectionPoint::Result).injected
+        );
+
+        assert!(SiteCounts::from_compact("zzz=1:0:0:0:0:0:0:0").is_err());
+        assert!(SiteCounts::from_compact("res=1:2").is_err());
+        assert!(SiteCounts::from_compact("res=a:0:0:0:0:0:0:0").is_err());
+        assert!(SiteCounts::from_compact("garbage").is_err());
+        assert_eq!(SiteCounts::from_compact("").unwrap(), SiteCounts::default());
     }
 
     #[test]
     fn coverage_with_escape() {
         let mut log = FaultLog::new();
-        let a = log.record(0, 0, ev());
-        let b = log.record(1, 0, ev());
-        log.resolve(a, FaultFate::Detected);
-        log.resolve(b, FaultFate::Escaped);
+        let a = log.record(0, 0, ev(), 0, 0);
+        let b = log.record(1, 0, ev(), 0, 0);
+        log.resolve(a, FaultFate::Detected, 1, 1);
+        log.resolve(b, FaultFate::Escaped, 1, 1);
         assert_eq!(log.counts().coverage(), 0.5);
     }
 
@@ -236,8 +576,8 @@ mod tests {
     #[test]
     fn display_lists_all_fates() {
         let mut log = FaultLog::new();
-        let a = log.record(0, 0, ev());
-        log.resolve(a, FaultFate::Masked);
+        let a = log.record(0, 0, ev(), 0, 0);
+        log.resolve(a, FaultFate::Masked, 1, 1);
         let s = log.counts().to_string();
         assert!(s.contains("masked=1"));
         assert!(s.contains("injected=1"));

@@ -1,0 +1,256 @@
+//! Fault-site mixes: weighted distributions over [`InjectionPoint`]s.
+//!
+//! The paper's injector "may decide to corrupt some part of an
+//! instruction at any stage of the pipeline" — but not all parts are
+//! equally likely targets in a real machine (address datapaths, control
+//! logic and data registers have different areas and vulnerability
+//! windows), and the follow-on literature characterizes sensitivity *per
+//! site*. A [`SiteMix`] makes the site distribution a first-class sweep
+//! axis: every injection point carries a non-negative weight, and a
+//! firing draw picks among the victim instruction's applicable points
+//! with those weights instead of uniformly.
+//!
+//! **Fork-bound invariant.** Whether or not a mix is attached, a
+//! *non-firing* Bernoulli draw consumes exactly one `f64` from the
+//! injector's stream: the mix is consulted only *after* the rate trial
+//! fires. `FaultInjector::first_possible_fire` and
+//! `FaultInjector::fast_forward_fault_free` therefore stay sound for any
+//! mix, and checkpoint-forked sweeps remain byte-identical to cold runs.
+
+use crate::injector::InjectionPoint;
+use std::fmt;
+
+/// Names of the built-in site-mix presets, in registry order.
+pub const PRESET_NAMES: [&str; 4] = ["uniform", "addr-heavy", "control-only", "data-only"];
+
+/// A weighted distribution over the eight [`InjectionPoint`]s.
+///
+/// Construct via a preset ([`SiteMix::preset`], [`SiteMix::uniform`]) or
+/// custom weights ([`SiteMix::custom`]). The mix's name identifies it in
+/// run records and job specs; two mixes with equal names are assumed to
+/// describe the same distribution when records are grouped for analysis.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_faults::{InjectionPoint, SiteMix};
+///
+/// let mix = SiteMix::preset("control-only").unwrap();
+/// assert_eq!(mix.name(), "control-only");
+/// assert!(mix.weight(InjectionPoint::BranchDirection) > 0.0);
+/// assert_eq!(mix.weight(InjectionPoint::Result), 0.0);
+/// assert!(!mix.is_uniform());
+/// assert!(SiteMix::uniform().is_uniform());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteMix {
+    name: String,
+    weights: [f64; InjectionPoint::COUNT],
+}
+
+impl SiteMix {
+    /// The uniform mix: every applicable point equally likely (the
+    /// injector's historical behaviour, and the default sweep axis).
+    pub fn uniform() -> Self {
+        Self {
+            name: "uniform".to_string(),
+            weights: [1.0; InjectionPoint::COUNT],
+        }
+    }
+
+    /// Resolves a preset by name (see [`PRESET_NAMES`]):
+    ///
+    /// * `uniform` — all sites weighted equally;
+    /// * `addr-heavy` — effective-address corruption dominates (weight 8),
+    ///   address-forming operands doubled, everything else weight 1 — the
+    ///   "memory datapath is the soft spot" scenario;
+    /// * `control-only` — only branch direction and branch/jump target
+    ///   corruptions fire (control-logic upsets);
+    /// * `data-only` — only computed results, store data and ROB-resident
+    ///   values fire (datapath/register upsets).
+    pub fn preset(name: &str) -> Option<Self> {
+        use InjectionPoint::*;
+        let mut weights = [0.0; InjectionPoint::COUNT];
+        match name {
+            "uniform" => return Some(Self::uniform()),
+            "addr-heavy" => {
+                weights = [1.0; InjectionPoint::COUNT];
+                weights[EffAddr.index()] = 8.0;
+                weights[OperandA.index()] = 2.0;
+                weights[OperandB.index()] = 2.0;
+            }
+            "control-only" => {
+                weights[BranchDirection.index()] = 1.0;
+                weights[BranchTarget.index()] = 1.0;
+            }
+            "data-only" => {
+                weights[Result.index()] = 1.0;
+                weights[StoreData.index()] = 1.0;
+                weights[RobWait.index()] = 1.0;
+            }
+            _ => return None,
+        }
+        Some(Self {
+            name: name.to_string(),
+            weights,
+        })
+    }
+
+    /// A custom mix from explicit per-point weights (indexed as
+    /// [`InjectionPoint::ALL`]). Weights need not be normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any weight is negative or non-finite, or when all
+    /// weights are zero (the mix could never fire).
+    pub fn custom(name: impl Into<String>, weights: [f64; InjectionPoint::COUNT]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "site-mix weights must be finite and non-negative"
+        );
+        assert!(
+            weights.iter().any(|w| *w > 0.0),
+            "site mix needs at least one positive weight"
+        );
+        Self {
+            name: name.into(),
+            weights,
+        }
+    }
+
+    /// The mix's name, used in run records and job specs.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The weight of one injection point.
+    pub fn weight(&self, point: InjectionPoint) -> f64 {
+        self.weights[point.index()]
+    }
+
+    /// Whether every point carries the same positive weight — in which
+    /// case the injector uses its (stream-compatible) uniform fast path.
+    pub fn is_uniform(&self) -> bool {
+        let first = self.weights[0];
+        first > 0.0 && self.weights.iter().all(|w| *w == first)
+    }
+
+    /// Picks a point among `applicable` by weight, driven by one uniform
+    /// sample `x ∈ [0, 1)`. Returns `None` when every applicable point
+    /// has zero weight (the fault is suppressed, like an empty
+    /// `applicable` list).
+    pub(crate) fn pick(&self, applicable: &[InjectionPoint], x: f64) -> Option<InjectionPoint> {
+        let total: f64 = applicable.iter().map(|p| self.weight(*p)).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = x * total;
+        for &p in applicable {
+            target -= self.weight(p);
+            if target < 0.0 {
+                return Some(p);
+            }
+        }
+        // Floating-point slack on the last boundary: fall back to the
+        // last positive-weight point.
+        applicable
+            .iter()
+            .rev()
+            .find(|p| self.weight(**p) > 0.0)
+            .copied()
+    }
+}
+
+impl Default for SiteMix {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+impl fmt::Display for SiteMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_and_unknown_does_not() {
+        for name in PRESET_NAMES {
+            let mix = SiteMix::preset(name).unwrap_or_else(|| panic!("preset {name}"));
+            assert_eq!(mix.name(), name);
+        }
+        assert!(SiteMix::preset("banana").is_none());
+    }
+
+    #[test]
+    fn uniform_is_uniform_and_others_are_not() {
+        assert!(SiteMix::uniform().is_uniform());
+        for name in ["addr-heavy", "control-only", "data-only"] {
+            assert!(!SiteMix::preset(name).unwrap().is_uniform(), "{name}");
+        }
+    }
+
+    #[test]
+    fn pick_respects_zero_weights() {
+        use InjectionPoint::*;
+        let mix = SiteMix::preset("control-only").unwrap();
+        // A load's applicable points carry no control weight at all.
+        assert_eq!(mix.pick(&[OperandA, EffAddr, Result, RobWait], 0.5), None);
+        // Among control points the split is proportional.
+        assert_eq!(
+            mix.pick(&[BranchDirection, BranchTarget], 0.25),
+            Some(BranchDirection)
+        );
+        assert_eq!(
+            mix.pick(&[BranchDirection, BranchTarget], 0.75),
+            Some(BranchTarget)
+        );
+    }
+
+    #[test]
+    fn pick_covers_the_whole_unit_interval() {
+        use InjectionPoint::*;
+        let mix = SiteMix::preset("addr-heavy").unwrap();
+        let applicable = [OperandA, EffAddr, Result, RobWait];
+        for i in 0..1000 {
+            let x = i as f64 / 1000.0;
+            assert!(mix.pick(&applicable, x).is_some());
+        }
+        // The boundary sample x→1 lands on a positive-weight point.
+        assert!(mix.pick(&applicable, 0.999_999_999).is_some());
+    }
+
+    #[test]
+    fn weighted_pick_is_biased_toward_heavy_sites() {
+        use InjectionPoint::*;
+        let mix = SiteMix::preset("addr-heavy").unwrap();
+        let applicable = [OperandA, EffAddr, Result, RobWait];
+        let total = 2.0 + 8.0 + 1.0 + 1.0;
+        let hits = (0..10_000)
+            .filter(|i| mix.pick(&applicable, *i as f64 / 10_000.0) == Some(EffAddr))
+            .count();
+        let expected = (8.0 / total * 10_000.0) as usize;
+        assert!(
+            hits.abs_diff(expected) < 100,
+            "EffAddr picked {hits}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn all_zero_custom_mix_panics() {
+        let _ = SiteMix::custom("dead", [0.0; InjectionPoint::COUNT]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_custom_weight_panics() {
+        let mut w = [1.0; InjectionPoint::COUNT];
+        w[0] = -1.0;
+        let _ = SiteMix::custom("neg", w);
+    }
+}

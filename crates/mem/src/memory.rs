@@ -239,6 +239,34 @@ impl SparseMemory {
             .count()
     }
 
+    /// Folds this memory's *contents* into a running FNV-1a hash and
+    /// returns the updated hash.
+    ///
+    /// The digest is content-based, matching read-as-zero semantics: only
+    /// nonzero bytes contribute, each as `(address, value)`, with pages
+    /// visited in ascending address order. Two memories with equal
+    /// readable contents therefore digest identically regardless of which
+    /// all-zero pages happen to be allocated — the property the outcome
+    /// classifier relies on when comparing a faulty run's committed state
+    /// against its family's fault-free baseline.
+    pub fn content_digest(&self, mut hash: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for (&page, &slot) in &self.index {
+            let base = page * PAGE_BYTES as u64;
+            for (off, &byte) in self.pages[slot].iter().enumerate() {
+                if byte == 0 {
+                    continue;
+                }
+                let addr = base + off as u64;
+                for b in addr.to_le_bytes() {
+                    hash = (hash ^ u64::from(b)).wrapping_mul(PRIME);
+                }
+                hash = (hash ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        }
+        hash
+    }
+
     /// Compares the union of allocated pages of `self` and `other`,
     /// returning up to `limit` differing 8-byte words.
     ///
@@ -302,6 +330,33 @@ mod tests {
         assert_eq!(m.read_u16(20), 0xbeef);
         assert_eq!(m.read_u32(30), 0xdead_beef);
         assert_eq!(m.read_u64(40), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn content_digest_is_content_based() {
+        const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut a = SparseMemory::new();
+        a.write_u64(0x1000, 7);
+        let mut b = SparseMemory::new();
+        // An extra all-zero page (written then reverted) must not change
+        // the digest: reads cannot distinguish it from an unmapped page.
+        b.write_u64(0x9000, 1);
+        b.write_u64(0x9000, 0);
+        b.write_u64(0x1000, 7);
+        assert_eq!(a.content_digest(SEED), b.content_digest(SEED));
+        assert_eq!(
+            SparseMemory::new().content_digest(SEED),
+            SEED,
+            "empty memory leaves the hash untouched"
+        );
+        // A one-bit difference in content changes the digest.
+        let mut c = SparseMemory::new();
+        c.write_u64(0x1000, 6);
+        assert_ne!(a.content_digest(SEED), c.content_digest(SEED));
+        // So does the same byte at a different address.
+        let mut d = SparseMemory::new();
+        d.write_u64(0x1008, 7);
+        assert_ne!(a.content_digest(SEED), d.content_digest(SEED));
     }
 
     #[test]

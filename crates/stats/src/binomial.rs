@@ -1,0 +1,76 @@
+//! Binomial proportion confidence intervals.
+
+/// The Wilson score interval for a binomial proportion: given `successes`
+/// out of `trials` and a normal quantile `z` (1.96 for 95% confidence),
+/// returns `(low, high)` bounds on the underlying probability.
+///
+/// Wilson is the standard choice for fault-injection sensitivity tables:
+/// unlike the naive normal approximation it stays inside `[0, 1]` and
+/// behaves sensibly at 0 or `n` successes and at small `n` — exactly the
+/// regime of rare SDC events. With zero trials the interval is the
+/// uninformative `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use ftsim_stats::wilson_interval;
+///
+/// let (lo, hi) = wilson_interval(8, 10, 1.96);
+/// assert!(lo > 0.4 && lo < 0.8);
+/// assert!(hi > 0.8 && hi < 1.0);
+/// assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let margin = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - margin).max(0.0), (center + margin).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brackets_the_point_estimate() {
+        for (k, n) in [(0u64, 10u64), (1, 10), (5, 10), (10, 10), (3, 1000)] {
+            let p = if n == 0 { 0.0 } else { k as f64 / n as f64 };
+            let (lo, hi) = wilson_interval(k, n, 1.96);
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "{k}/{n}: [{lo},{hi}]");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn extremes_stay_informative() {
+        // 0/n pins the lower bound to 0 but keeps a nonzero upper bound
+        // (the "rule of three" regime); n/n mirrors it.
+        let (lo, hi) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.15);
+        let (lo, hi) = wilson_interval(50, 50, 1.96);
+        assert!(lo > 0.85 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn tightens_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(5, 10, 1.96);
+        let (lo2, hi2) = wilson_interval(500, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn known_value_matches_reference() {
+        // Wilson 95% for 8/10 is approximately (0.490, 0.943).
+        let (lo, hi) = wilson_interval(8, 10, 1.96);
+        assert!((lo - 0.4901).abs() < 5e-3, "{lo}");
+        assert!((hi - 0.9433).abs() < 5e-3, "{hi}");
+    }
+}

@@ -11,6 +11,8 @@
 //!   the paper's tables exactly as rows;
 //! * [`Series`] and [`AsciiPlot`] — (x, y) series with a logarithmic-x ASCII
 //!   plot, used to print the paper's figures as curves in a terminal;
+//! * [`wilson_interval`] — binomial confidence bounds for the
+//!   fault-injection sensitivity tables of `ftsim-analysis`;
 //! * [`json`] and [`csv`] — dependency-free writers *and* parsers used by
 //!   the experiment harness to serialize run records round-trippably.
 //!
@@ -27,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+mod binomial;
 mod counter;
 pub mod csv;
 mod histogram;
@@ -35,6 +38,7 @@ mod plot;
 mod series;
 mod table;
 
+pub use binomial::wilson_interval;
 pub use counter::{Counter, Ratio};
 pub use histogram::Histogram;
 pub use json::{JsonError, JsonValue};

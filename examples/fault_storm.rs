@@ -1,7 +1,7 @@
 //! Fault storm: bombard the fault-tolerant superscalar with transient
 //! faults — one `ftsimd` **daemon job** over the three redundant machine
 //! models — and watch detection, recovery and (at R = 3) majority
-//! election keep the architectural state exact.
+//! election defend the architectural state.
 //!
 //! The job runs with checkpoint-forking enabled (the spec default): the
 //! three models share their fault-free prefixes where the fault plan
@@ -12,12 +12,27 @@
 //! finished job. Pass `--fresh` to discard this rate's stored job and
 //! re-simulate.
 //!
+//! The storm sweeps the fault-site axis too — a uniform mix and the
+//! `addr-heavy`/`control-only` presets — and finishes with the
+//! `ftsim-analysis` report over the job's records: outcome taxonomy,
+//! per-site sensitivity with Wilson intervals, detection latency, and
+//! MTTF extrapolation (the same tables `ftsimd report <job>` prints).
+//!
+//! One honest caveat the analysis makes visible (§2.2 of the paper): a
+//! load performs **one** shared memory access for all `R` copies, so a
+//! transient that corrupts the loaded value at that single point hands
+//! every copy the same wrong data — indiscernible to any degree of
+//! replication. Such faults are rare but real; the outcome classifier
+//! pins them as `sdc` by comparing each cell's final-state digest
+//! against its family's fault-free baseline, instead of this example
+//! pretending they cannot happen.
+//!
 //! ```bash
 //! cargo run --release --example fault_storm [faults_per_million] [--fresh]
 //! ```
 
 use ftsim::harness::from_csv;
-use ftsim_core::OracleMode;
+use ftsim_analysis::{analyze_records, CellOutcome};
 use ftsim_daemon::{serve, JobSpec, JobStore, ServeOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,10 +47,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = JobSpec::new(format!("fault-storm-{rate}pm"));
     spec.workloads = vec!["equake".to_string()];
     spec.models = vec!["SS-2".to_string(), "SS-3".to_string(), "SS-3M".to_string()];
-    spec.fault_rates_pm = vec![rate];
+    // Rate 0 rides along: it is each family's checkpoint-fork baseline
+    // anyway, and its records anchor the analysis layer's SDC
+    // classification (final-state digest vs. the fault-free run).
+    spec.fault_rates_pm = vec![0.0, rate];
+    spec.site_mixes = vec![
+        "uniform".to_string(),
+        "addr-heavy".to_string(),
+        "control-only".to_string(),
+    ];
     spec.budgets = vec![20_000];
     spec.seeds = vec![0xf00d];
-    spec.oracle = OracleMode::Final;
 
     let store = JobStore::open("target/experiments/ftsimd-state")?;
     let (mut job_id, created) = store.submit(&spec)?;
@@ -55,10 +77,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let job = store.job(&job_id)?;
     let records = from_csv(&std::fs::read_to_string(job.results_path())?)?;
+    let report = analyze_records(&records);
 
-    for r in &records {
+    for (r, outcome) in records.iter().zip(&report.outcomes) {
         assert!(r.ok(), "{} failed: {}", r.model, r.error);
-        println!("== {} ==", r.model);
+        if r.faults_injected == 0 {
+            continue; // the fault-free baselines only anchor the digests
+        }
+        println!("== {} (site mix: {}) ==", r.model, r.site_mix);
         println!("  IPC {:.3} over {} cycles", r.ipc, r.cycles);
         println!("  faults injected:          {}", r.faults_injected);
         println!(
@@ -80,17 +106,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  recoveries: {} fault rewinds, mean penalty {:.1} cycles (max {})",
             r.fault_rewinds, r.mean_rewind_penalty, r.rewind_penalty_max
         );
-        println!("  final state == in-order oracle \u{2713}\n");
-        assert_eq!(
-            r.faults_escaped, 0,
-            "no fault may escape the sphere of replication"
-        );
+        match outcome {
+            CellOutcome::Sdc => println!(
+                "  !! silent data corruption: final state diverged from the \
+                 fault-free baseline\n     (shared-load-data corruption — the \
+                 indiscernible case of §2.2)\n"
+            ),
+            o => println!(
+                "  outcome: {} — final state matches the fault-free baseline\n",
+                o.label()
+            ),
+        }
     }
 
+    let sdc = report.outcome_count(CellOutcome::Sdc);
     println!(
-        "Every effective fault was either caught by the commit-stage cross-check \
-         (triggering a rewind to the committed next-PC) or out-voted by the \
-         2-of-3 majority — committed state stayed bit-exact throughout."
+        "Every fault that made copies disagree was caught by the commit-stage \
+         cross-check (rewind to the committed next-PC) or out-voted by the \
+         2-of-3 majority. {} cell(s) suffered silent corruption through the \
+         one value replication cannot cover: the single shared load access.\n",
+        sdc
     );
+
+    // The same analysis `ftsimd report <job>` would print for this job.
+    print!("{}", report.render());
     Ok(())
 }

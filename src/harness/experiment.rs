@@ -3,6 +3,7 @@
 use crate::harness::plan::SweepPlan;
 use crate::harness::record::RunRecord;
 use ftsim_core::{ConfigError, MachineConfig, OracleMode, RunLimits};
+use ftsim_faults::SiteMix;
 use ftsim_isa::Program;
 use ftsim_workloads::WorkloadProfile;
 use std::fmt;
@@ -125,7 +126,7 @@ impl std::error::Error for ExperimentError {
 }
 
 /// A declarative experiment grid: workloads × models × fault rates ×
-/// budgets × seeds, executed cell-by-cell on a thread pool.
+/// site mixes × budgets × seeds, executed cell-by-cell on a thread pool.
 ///
 /// Cells are enumerated with the workload as the outermost axis and the
 /// seed as the innermost, and the result vector always comes back in that
@@ -156,6 +157,7 @@ pub struct Experiment {
     pub(crate) workloads: Vec<Workload>,
     pub(crate) models: Vec<MachineConfig>,
     pub(crate) fault_rates_pm: Vec<f64>,
+    pub(crate) site_mixes: Vec<SiteMix>,
     pub(crate) budgets: Vec<u64>,
     pub(crate) seeds: Vec<u64>,
     pub(crate) oracle: OracleMode,
@@ -175,6 +177,7 @@ impl Experiment {
             workloads: Vec::new(),
             models: Vec::new(),
             fault_rates_pm: vec![0.0],
+            site_mixes: vec![SiteMix::uniform()],
             budgets: vec![DEFAULT_BUDGET],
             seeds: vec![0],
             oracle: OracleMode::Off,
@@ -208,6 +211,20 @@ impl Experiment {
     #[must_use]
     pub fn fault_rates<I: IntoIterator<Item = f64>>(mut self, rates_pm: I) -> Self {
         self.fault_rates_pm = rates_pm.into_iter().collect();
+        self
+    }
+
+    /// Sets the fault-site-mix axis: each cell's injector weights its
+    /// choice of injection site by one [`SiteMix`] (named presets such as
+    /// `uniform`, `addr-heavy`, `control-only`). Default: uniform only.
+    ///
+    /// Cells differing only in site mix belong to the same
+    /// checkpoint-fork *family* — the fault-free prefix is
+    /// mix-independent because a non-firing injector draw consumes
+    /// exactly one random sample under any mix.
+    #[must_use]
+    pub fn site_mixes<I: IntoIterator<Item = SiteMix>>(mut self, mixes: I) -> Self {
+        self.site_mixes = mixes.into_iter().collect();
         self
     }
 
@@ -262,7 +279,8 @@ impl Experiment {
     /// Enables or disables checkpoint-forking (prefix sharing).
     ///
     /// When enabled, each grid *family* — the cells sharing a (workload,
-    /// model, budget) and differing only in fault rate and seed — runs one
+    /// model, budget) and differing only in fault rate, site mix and
+    /// seed — runs one
     /// fault-free baseline that drops periodic machine checkpoints
     /// ([`ftsim_core::Simulator::run_with_checkpoints`]). The baseline's result serves
     /// every fault-free cell directly, and each faulty cell *forks*: it
@@ -304,6 +322,7 @@ impl Experiment {
         self.workloads.len()
             * self.models.len()
             * self.fault_rates_pm.len()
+            * self.site_mixes.len()
             * self.budgets.len()
             * self.seeds.len()
     }
@@ -317,6 +336,7 @@ impl Experiment {
         }
         for (axis, empty) in [
             ("fault_rates", self.fault_rates_pm.is_empty()),
+            ("site_mixes", self.site_mixes.is_empty()),
             ("budgets", self.budgets.is_empty()),
             ("seeds", self.seeds.is_empty()),
         ] {

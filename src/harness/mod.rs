@@ -27,10 +27,11 @@
 //! a parallel run yields **byte-identical** records to a sequential one.
 //!
 //! Results come back as [`RunRecord`]s: flat, self-describing rows
-//! (model, workload, `R`, fault rate, seed, IPC, cycles, fault fates,
-//! per-stage statistics) that serialize to CSV ([`to_csv`]) and JSON
-//! ([`to_json`]) and parse back ([`from_csv`], [`from_json`]) without any
-//! external dependency.
+//! (model, workload, `R`, fault rate, site mix, seed, IPC, cycles, fault
+//! fates, per-site fate tables, detection latencies, the final-state
+//! digest, per-stage statistics) that serialize to CSV ([`to_csv`]) and
+//! JSON ([`to_json`]) and parse back ([`from_csv`], [`from_json`])
+//! without any external dependency.
 
 mod experiment;
 mod plan;
@@ -39,6 +40,6 @@ mod record;
 pub use experiment::{Experiment, ExperimentError, Workload, DEFAULT_BUDGET};
 pub use plan::SweepPlan;
 pub use record::{
-    expect_record, from_csv, from_csv_tolerant, from_json, load_resume_csv, record_for, save_csv,
-    to_csv, to_json, RecordError, RunRecord,
+    expect_record, from_csv, from_csv_tolerant, from_csv_tolerant_prefix, from_json,
+    load_resume_csv, record_for, save_csv, to_csv, to_json, RecordError, RunRecord,
 };

@@ -60,6 +60,8 @@ pub(crate) struct Cell {
     pub(crate) budget_idx: usize,
     pub(crate) model: usize,
     pub(crate) rate_pm: f64,
+    /// Index into the experiment's site-mix axis.
+    pub(crate) mix: usize,
     pub(crate) budget: u64,
     pub(crate) seed: u64,
 }
@@ -157,7 +159,9 @@ impl SweepPlan {
                 .map(|(cell, resumed)| {
                     (resumed.is_none() && cell.rate_pm > 0.0).then(|| {
                         let horizon = fork_horizon(cell.budget, &exp.models[cell.model]);
-                        cell_injector(cell)
+                        // The bound depends only on the Bernoulli stream
+                        // (rate, seed) — a site mix cannot move it.
+                        cell_injector(&exp, cell)
                             .first_possible_fire(horizon)
                             .unwrap_or(horizon)
                     })
@@ -313,7 +317,9 @@ impl SweepPlan {
                         cp.draws()
                     );
                 }
-                let builder = self.cell_builder(cell).injector(cell_injector(cell));
+                let builder = self
+                    .cell_builder(cell)
+                    .injector(cell_injector(&self.exp, cell));
                 return match builder.build() {
                     Ok(mut sim) => {
                         let draws = cp.draws();
@@ -334,7 +340,7 @@ impl SweepPlan {
 
         let mut builder = self.cell_builder(cell);
         if cell.rate_pm > 0.0 {
-            builder = builder.injector(cell_injector(cell));
+            builder = builder.injector(cell_injector(&self.exp, cell));
         }
         match builder.run() {
             Ok(result) => record.fill_outcome(&result),
@@ -457,16 +463,19 @@ pub(crate) fn enumerate_cells(exp: &Experiment) -> Vec<Cell> {
     for (wi, _) in exp.workloads.iter().enumerate() {
         for (mi, _) in exp.models.iter().enumerate() {
             for &rate_pm in &exp.fault_rates_pm {
-                for (bi, &budget) in exp.budgets.iter().enumerate() {
-                    for &seed in &exp.seeds {
-                        cells.push(Cell {
-                            workload: wi,
-                            budget_idx: bi,
-                            model: mi,
-                            rate_pm,
-                            budget,
-                            seed,
-                        });
+                for (xi, _) in exp.site_mixes.iter().enumerate() {
+                    for (bi, &budget) in exp.budgets.iter().enumerate() {
+                        for &seed in &exp.seeds {
+                            cells.push(Cell {
+                                workload: wi,
+                                budget_idx: bi,
+                                model: mi,
+                                rate_pm,
+                                mix: xi,
+                                budget,
+                                seed,
+                            });
+                        }
                     }
                 }
             }
@@ -484,15 +493,20 @@ pub(crate) fn cell_identity(exp: &Experiment, cell: &Cell) -> RunRecord {
         workload.suite(),
         &exp.models[cell.model],
         cell.rate_pm,
+        exp.site_mixes[cell.mix].name(),
         cell.seed,
         cell.budget,
     )
 }
 
 /// The fault injector a cell runs under (fresh, before any draws).
-fn cell_injector(cell: &Cell) -> FaultInjector {
+fn cell_injector(exp: &Experiment, cell: &Cell) -> FaultInjector {
     debug_assert!(cell.rate_pm > 0.0);
-    FaultInjector::random(per_million(cell.rate_pm), cell.seed)
+    FaultInjector::random_with_mix(
+        per_million(cell.rate_pm),
+        cell.seed,
+        &exp.site_mixes[cell.mix],
+    )
 }
 
 /// Decides which families run a checkpointed baseline.

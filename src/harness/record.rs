@@ -170,6 +170,9 @@ pub struct RunRecord {
     pub threshold: u8,
     /// Injected fault rate in faults per million instructions.
     pub fault_rate_pm: f64,
+    /// Fault-site mix name (a [`ftsim_faults::SiteMix`] preset such as
+    /// `uniform` or `addr-heavy`) — part of the cell's identity.
+    pub site_mix: String,
     /// Fault-injector seed for this cell.
     pub seed: u64,
     /// Committed-instruction budget for this cell.
@@ -244,6 +247,26 @@ pub struct RunRecord {
     pub mix_fp_mul: f64,
     /// Committed dynamic-mix fraction: FP divides.
     pub mix_fp_div: f64,
+    /// FNV-1a digest of the final committed architectural state
+    /// (registers, committed next-PC, halt flag, memory contents). At
+    /// equal `retired_instructions`, a digest differing from the
+    /// family's fault-free baseline means escaped faults silently
+    /// corrupted committed state (SDC).
+    pub state_digest: u64,
+    /// Detection events measured (faults detected or out-voted at
+    /// commit).
+    pub detect_events: u64,
+    /// Sum of injection→resolution detection latencies, in cycles.
+    pub detect_latency_cycles: u64,
+    /// Sum of injection→resolution detection latencies, in retired
+    /// instructions.
+    pub detect_latency_insts: u64,
+    /// Largest single detection latency observed, in cycles.
+    pub detect_latency_max: u64,
+    /// Per-site fate counts in the compact
+    /// [`ftsim_faults::SiteCounts`] encoding (empty when no faults were
+    /// injected).
+    pub site_fates: String,
 }
 
 /// Applies a macro to every `RunRecord` field, in serialization order.
@@ -251,16 +274,19 @@ macro_rules! with_fields {
     ($m:ident) => {
         $m! {
             workload, suite, model, r, majority, threshold, fault_rate_pm,
-            seed, budget, error, halted, cycles, retired_instructions, ipc,
-            branches, branch_mispredicts, branch_rewinds, fault_rewinds,
-            pc_check_rewinds, majority_elections, mean_rewind_penalty,
-            rewind_penalty_max, faults_injected, faults_detected,
-            faults_outvoted, faults_masked, faults_squashed_wrong_path,
+            site_mix, seed, budget, error, halted, cycles,
+            retired_instructions, ipc, branches, branch_mispredicts,
+            branch_rewinds, fault_rewinds, pc_check_rewinds,
+            majority_elections, mean_rewind_penalty, rewind_penalty_max,
+            faults_injected, faults_detected, faults_outvoted,
+            faults_masked, faults_squashed_wrong_path,
             faults_squashed_by_rewind, faults_escaped, faults_pending,
             dispatched_entries, retired_entries, dispatch_stalls_ruu,
             dispatch_stalls_lsq, mean_ruu_occupancy, load_forwards,
             il1_miss_rate, dl1_miss_rate, l2_miss_rate, mix_mem, mix_int,
-            mix_fp_add, mix_fp_mul, mix_fp_div
+            mix_fp_add, mix_fp_mul, mix_fp_div, state_digest,
+            detect_events, detect_latency_cycles, detect_latency_insts,
+            detect_latency_max, site_fates
         }
     };
 }
@@ -346,7 +372,7 @@ impl RunRecord {
 
     /// Whether `self` and `other` describe the same grid cell: equal
     /// workload, suite, model, redundancy shape, fault rate (bit-exact),
-    /// seed and budget. Outcome fields are ignored — this is how
+    /// site mix, seed and budget. Outcome fields are ignored — this is how
     /// [`Experiment::resume_from`](crate::harness::Experiment::resume_from)
     /// decides a cell has already been simulated.
     pub fn same_identity(&self, other: &RunRecord) -> bool {
@@ -357,17 +383,20 @@ impl RunRecord {
             && self.majority == other.majority
             && self.threshold == other.threshold
             && self.fault_rate_pm.to_bits() == other.fault_rate_pm.to_bits()
+            && self.site_mix == other.site_mix
             && self.seed == other.seed
             && self.budget == other.budget
     }
 
     /// Builds the identity (configuration) part of a record; outcome
     /// fields start zeroed.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn identity(
         workload: &str,
         suite: &str,
         config: &MachineConfig,
         fault_rate_pm: f64,
+        site_mix: &str,
         seed: u64,
         budget: u64,
     ) -> Self {
@@ -379,6 +408,7 @@ impl RunRecord {
             majority: config.redundancy.majority,
             threshold: config.redundancy.threshold,
             fault_rate_pm,
+            site_mix: site_mix.to_string(),
             seed,
             budget,
             ..Self::default()
@@ -423,6 +453,12 @@ impl RunRecord {
         self.mix_fp_add = s.mix_fraction(MixClass::FpAdd);
         self.mix_fp_mul = s.mix_fraction(MixClass::FpMul);
         self.mix_fp_div = s.mix_fraction(MixClass::FpDiv);
+        self.state_digest = result.state_digest;
+        self.detect_events = s.fault_latency.events;
+        self.detect_latency_cycles = s.fault_latency.cycles_sum;
+        self.detect_latency_insts = s.fault_latency.instructions_sum;
+        self.detect_latency_max = s.fault_latency.cycles_max;
+        self.site_fates = s.fault_sites.to_compact();
         self
     }
 
@@ -548,14 +584,29 @@ pub fn from_csv(text: &str) -> Result<Vec<RunRecord>, RecordError> {
 /// dropped cells are simply re-simulated. A document whose *header* is
 /// unreadable yields no records at all.
 pub fn from_csv_tolerant(text: &str) -> (Vec<RunRecord>, usize) {
+    let (records, dropped, _) = tolerant_parse(text);
+    (records, dropped)
+}
+
+/// As [`from_csv_tolerant`], but returns the records with the **byte
+/// length of the parsed prefix** — the boundary after the last complete
+/// record (0 when nothing parsed). A caller polling a growing log (the
+/// daemon's `results --watch`) can remember the boundary and re-parse
+/// only the appended suffix on the next poll instead of the whole file.
+pub fn from_csv_tolerant_prefix(text: &str) -> (Vec<RunRecord>, usize) {
+    let (records, _, consumed) = tolerant_parse(text);
+    (records, consumed)
+}
+
+fn tolerant_parse(text: &str) -> (Vec<RunRecord>, usize, usize) {
     if text.trim().is_empty() {
-        return (Vec::new(), 0);
+        return (Vec::new(), 0, 0);
     }
     let mut end = text.len();
     let mut dropped = 0usize;
     loop {
         if let Ok(records) = from_csv(&text[..end]) {
-            return (records, dropped);
+            return (records, dropped, end);
         }
         // Drop the trailing (possibly partial, possibly mid-quoted-cell)
         // line and retry. Cutting inside a quoted multi-line cell just
@@ -565,7 +616,7 @@ pub fn from_csv_tolerant(text: &str) -> (Vec<RunRecord>, usize) {
         dropped += 1;
         match trimmed.rfind('\n') {
             Some(nl) => end = nl + 1,
-            None => return (Vec::new(), dropped),
+            None => return (Vec::new(), dropped, 0),
         }
     }
 }
@@ -601,6 +652,7 @@ mod tests {
             majority: false,
             threshold: 2,
             fault_rate_pm: 3000.0,
+            site_mix: "addr-heavy".to_string(),
             seed: 42,
             budget: 60_000,
             error: String::new(),
@@ -618,6 +670,12 @@ mod tests {
             mix_fp_add: 0.1553,
             mix_fp_mul: 0.1684,
             mix_fp_div: 0.0016,
+            state_digest: 0xdead_beef_0123_4567,
+            detect_events: 11,
+            detect_latency_cycles: 326,
+            detect_latency_insts: 154,
+            detect_latency_max: 61,
+            site_fates: "res=9:0:0:0:7:0:2:0;ea=8:0:1:1:4:0:2:0".to_string(),
             ..RunRecord::default()
         }
     }
@@ -713,6 +771,32 @@ mod tests {
         assert!(dropped >= 1);
 
         assert_eq!(from_csv_tolerant(""), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn tolerant_prefix_reports_the_resume_boundary() {
+        let records = vec![sample(), RunRecord::default()];
+        let text = to_csv(&records);
+        let (back, consumed) = from_csv_tolerant_prefix(&text);
+        assert_eq!(back, records);
+        assert_eq!(consumed, text.len(), "complete document fully consumed");
+
+        // A torn tail is excluded from the boundary: re-parsing the
+        // suffix from `consumed` after the row completes yields exactly
+        // the missing record (the --watch incremental-poll contract).
+        let torn = format!("{text}fpppp,\"SPEC95");
+        let (back, consumed) = from_csv_tolerant_prefix(&torn);
+        assert_eq!(back, records);
+        assert_eq!(consumed, text.len());
+        let completed = to_csv(&[sample()]);
+        let row = completed.lines().nth(1).unwrap();
+        let grown = format!("{text}{row}\n");
+        let suffix_doc = format!("{}\n{}", RunRecord::csv_header(), &grown[consumed..]);
+        let (suffix_rows, _) = from_csv_tolerant_prefix(&suffix_doc);
+        assert_eq!(suffix_rows, vec![sample()]);
+
+        assert_eq!(from_csv_tolerant_prefix(""), (Vec::new(), 0));
+        assert_eq!(from_csv_tolerant_prefix("not,a,header\n").1, 0);
     }
 
     #[test]

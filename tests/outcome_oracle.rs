@@ -1,0 +1,193 @@
+//! Oracle cross-check of the outcome taxonomy: for deterministic
+//! fault plans at every injection point, the analysis layer's SDC/masked
+//! classification (digest vs. fault-free baseline) must agree with the
+//! `oracle_equivalence`-style golden-output comparison — replaying the
+//! in-order emulator for the same number of retired instructions and
+//! diffing committed registers and memory.
+//!
+//! The runs use `SS-1` (no redundancy): the one design where injected
+//! faults genuinely escape to committed state, so both classifiers have
+//! real corruption to find.
+
+use ftsim::core::{MachineConfig, Processor};
+use ftsim::faults::{FaultInjector, FaultPlan, InjectionPoint};
+use ftsim::harness::RunRecord;
+use ftsim::isa::{Emulator, Program};
+use ftsim::workloads::profile;
+use ftsim_analysis::{classify, BaselineIndex, CellOutcome};
+
+struct Run {
+    halted: bool,
+    retired: u64,
+    digest: u64,
+    record: RunRecord,
+    /// Golden-output comparison against the in-order oracle: `Some(true)`
+    /// when committed state diverged, `None` when the run hung (nothing
+    /// to compare).
+    oracle_mismatch: Option<bool>,
+}
+
+fn run(program: &Program, config: MachineConfig, injector: FaultInjector, label: &str) -> Run {
+    let model = config.name.clone();
+    let r = config.redundancy.r;
+    let threshold = config.redundancy.threshold;
+    let mut proc = Processor::new(config, program, injector);
+    for _ in 0..300_000 {
+        proc.cycle();
+        if proc.halted() {
+            break;
+        }
+    }
+    let stats = proc.stats_snapshot();
+    let retired = stats.retired_instructions;
+    let digest = proc.state_digest();
+
+    let oracle_mismatch = proc.halted().then(|| {
+        let mut emu = Emulator::new(program);
+        let executed = emu.run_steps(retired).expect("oracle replays the program");
+        executed != retired
+            || emu.halted() != proc.halted()
+            || !emu.regs().diff(proc.regs()).is_empty()
+            || !emu.mem().diff(proc.mem(), 4).is_empty()
+    });
+
+    let record = RunRecord {
+        workload: "gcc".to_string(),
+        suite: "SPEC95 INT".to_string(),
+        model,
+        r,
+        threshold,
+        fault_rate_pm: if stats.faults.injected > 0 { 1.0 } else { 0.0 },
+        site_mix: label.to_string(),
+        budget: 100_000,
+        error: if proc.halted() {
+            String::new()
+        } else {
+            "commit watchdog fired (machine hung)".to_string()
+        },
+        halted: proc.halted(),
+        cycles: stats.cycles,
+        retired_instructions: retired,
+        state_digest: digest,
+        faults_injected: stats.faults.injected,
+        faults_detected: stats.faults.detected,
+        faults_outvoted: stats.faults.outvoted,
+        faults_masked: stats.faults.masked,
+        faults_squashed_wrong_path: stats.faults.squashed_wrong_path,
+        faults_squashed_by_rewind: stats.faults.squashed_by_rewind,
+        faults_escaped: stats.faults.escaped,
+        faults_pending: stats.faults.pending,
+        detect_events: stats.fault_latency.events,
+        detect_latency_cycles: stats.fault_latency.cycles_sum,
+        detect_latency_insts: stats.fault_latency.instructions_sum,
+        detect_latency_max: stats.fault_latency.cycles_max,
+        site_fates: stats.fault_sites.to_compact(),
+        ..RunRecord::default()
+    };
+    Run {
+        halted: proc.halted(),
+        retired,
+        digest,
+        record,
+        oracle_mismatch,
+    }
+}
+
+/// Schedules the same corruption at a window of dispatch indices:
+/// whichever of them dispatches an instruction the site applies to fires
+/// (each event at most once), so every site gets real injections without
+/// hand-picking victim instructions.
+fn plan_for(point: InjectionPoint) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for seq in 120..180 {
+        plan.add(seq, 0, point, 4);
+    }
+    plan
+}
+
+#[test]
+fn classification_agrees_with_golden_output_comparison_per_site() {
+    let program = profile("gcc").expect("profile exists").program(3);
+    let mut records = Vec::new();
+    let mut baselines_by_model = Vec::new();
+    let mut runs = Vec::new();
+    // SS-1 is where faults genuinely escape; SS-2's cross-check catches
+    // them, giving the benign side of the taxonomy on the same plans.
+    for config in [MachineConfig::ss1(), MachineConfig::ss2()] {
+        let baseline = run(&program, config.clone(), FaultInjector::none(), "baseline");
+        assert!(
+            baseline.halted,
+            "{}: fault-free run must complete",
+            config.name
+        );
+        assert_eq!(baseline.oracle_mismatch, Some(false));
+        records.push(baseline.record.clone());
+        for &point in InjectionPoint::ALL {
+            let r = run(
+                &program,
+                config.clone(),
+                FaultInjector::from_plan(plan_for(point)),
+                point.code(),
+            );
+            records.push(r.record.clone());
+            runs.push((config.name.clone(), point, r));
+        }
+        baselines_by_model.push(baseline);
+    }
+
+    let baselines = BaselineIndex::build(&records);
+    for b in &baselines_by_model {
+        assert_eq!(classify(&b.record, &baselines), CellOutcome::FaultFree);
+    }
+
+    let mut sdc_sites = Vec::new();
+    let mut benign_sites = Vec::new();
+    for (model, point, r) in &runs {
+        let outcome = classify(&r.record, &baselines);
+        let Some(mismatch) = r.oracle_mismatch else {
+            // The machine hung (e.g. a corrupted branch target wedged
+            // fetch at R = 1): there is no final state to compare, and
+            // the taxonomy must say exactly that.
+            assert_eq!(outcome, CellOutcome::Hang, "{model}/{point:?}");
+            continue;
+        };
+        // The heart of the cross-check: digest-vs-baseline and the
+        // emulator golden-output diff must render the same verdict.
+        assert_eq!(
+            outcome == CellOutcome::Sdc,
+            mismatch,
+            "{model}/{point:?}: classifier says {outcome:?} but oracle mismatch = {mismatch} \
+             (retired {}, digest {:#x})",
+            r.retired,
+            r.digest,
+        );
+        if mismatch {
+            sdc_sites.push((model.clone(), *point));
+        } else {
+            benign_sites.push((model.clone(), *point));
+        }
+        if !mismatch {
+            assert!(matches!(
+                outcome,
+                CellOutcome::Masked | CellOutcome::Detected | CellOutcome::FaultFree
+            ));
+        }
+        if model == "SS-2" {
+            assert_ne!(
+                outcome,
+                CellOutcome::Sdc,
+                "SS-2's sphere of replication must not leak an SDC at {point:?}"
+            );
+        }
+    }
+    // The corpus must exercise both verdicts, or the agreement above
+    // proves nothing.
+    assert!(
+        !sdc_sites.is_empty(),
+        "at R = 1 some site must produce a real SDC"
+    );
+    assert!(
+        !benign_sites.is_empty(),
+        "the protected design must contribute benign verdicts"
+    );
+}

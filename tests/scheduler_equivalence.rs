@@ -17,6 +17,7 @@
 
 use ftsim::harness::{to_csv, Experiment, RunRecord};
 use ftsim_core::{MachineConfig, OracleMode};
+use ftsim_faults::SiteMix;
 use ftsim_workloads::spec_profiles;
 use std::path::PathBuf;
 
@@ -62,10 +63,35 @@ fn fault_storm_records() -> Vec<RunRecord> {
         .expect("storm grid is well-formed")
 }
 
+/// Weighted fault-site mixes on a few benchmarks: non-uniform mixes are
+/// a sweep axis of their own, and their cells must stay byte-identical
+/// under checkpoint forking (the CI job re-runs this whole test with
+/// `FTSIM_CHECKPOINT_FORK=1` against the same golden file).
+fn site_mix_records() -> Vec<RunRecord> {
+    Experiment::grid()
+        .workloads([
+            ftsim_workloads::profile("fpppp").expect("profile exists"),
+            ftsim_workloads::profile("gcc").expect("profile exists"),
+        ])
+        .models([MachineConfig::ss2(), MachineConfig::ss3_majority()])
+        .fault_rates([0.0, 8_000.0])
+        .site_mixes([
+            SiteMix::uniform(),
+            SiteMix::preset("addr-heavy").expect("preset exists"),
+            SiteMix::preset("control-only").expect("preset exists"),
+        ])
+        .budget(2_000)
+        .seeds([5])
+        .oracle(OracleMode::Final)
+        .run()
+        .expect("site-mix grid is well-formed")
+}
+
 #[test]
 fn scheduler_matches_golden_records() {
     let mut records = tour_records();
     records.extend(fault_storm_records());
+    records.extend(site_mix_records());
     let csv = to_csv(&records);
 
     let path = golden_path();
@@ -100,4 +126,13 @@ fn scheduler_matches_golden_records() {
     assert!(records.iter().any(|r| r.majority_elections > 0));
     assert!(records.iter().any(|r| r.branch_rewinds > 0));
     assert!(records.iter().any(|r| r.faults_squashed_wrong_path > 0));
+    // ... and the site-mix axis: weighted cells that injected faults,
+    // with per-site fate tables and measured detection latencies.
+    assert!(records
+        .iter()
+        .any(|r| r.site_mix == "addr-heavy" && r.faults_injected > 0 && !r.site_fates.is_empty()));
+    assert!(records
+        .iter()
+        .any(|r| r.site_mix == "control-only" && r.faults_injected > 0));
+    assert!(records.iter().any(|r| r.detect_events > 0));
 }

@@ -1,0 +1,121 @@
+//! The site-mix sweep axis end to end: grid shape, record identity,
+//! serialization of the new telemetry fields, and — the load-bearing
+//! invariant — byte-identical records between cold and checkpoint-forked
+//! sweeps under *non-uniform* mixes (every non-firing injector draw
+//! consumes exactly one random sample regardless of the mix, so fork
+//! bounds and fast-forwarding stay sound).
+
+use ftsim::core::MachineConfig;
+use ftsim::harness::{from_csv, from_json, to_csv, to_json, Experiment};
+use ftsim_faults::{SiteCounts, SiteMix};
+use ftsim_workloads::profile;
+
+fn mixed_grid() -> Experiment {
+    Experiment::grid()
+        .workloads([profile("equake").unwrap(), profile("gcc").unwrap()])
+        .models([MachineConfig::ss2(), MachineConfig::ss3_majority()])
+        .fault_rates([0.0, 300.0, 6_000.0])
+        .site_mixes([
+            SiteMix::uniform(),
+            SiteMix::preset("addr-heavy").unwrap(),
+            SiteMix::preset("data-only").unwrap(),
+        ])
+        .budget(2_500)
+        .seeds([11])
+}
+
+#[test]
+fn forked_and_cold_sweeps_are_byte_identical_under_weighted_mixes() {
+    let cold = mixed_grid().checkpointing(false).run().unwrap();
+    let forked = mixed_grid().checkpointing(true).run().unwrap();
+    assert_eq!(to_csv(&cold), to_csv(&forked));
+    // The equality proves nothing unless weighted cells actually forked
+    // *and* injected faults that exercised the telemetry.
+    for mix in ["addr-heavy", "data-only"] {
+        assert!(
+            cold.iter()
+                .any(|r| r.site_mix == mix && r.faults_injected > 0),
+            "{mix} cells must inject faults"
+        );
+    }
+    assert!(cold.iter().any(|r| r.detect_events > 0));
+    assert!(cold.iter().any(|r| !r.site_fates.is_empty()));
+}
+
+#[test]
+fn the_mix_axis_multiplies_the_grid_and_brands_records() {
+    let records = mixed_grid().run().unwrap();
+    assert_eq!(records.len(), 2 * 2 * 3 * 3);
+    for mix in ["uniform", "addr-heavy", "data-only"] {
+        assert_eq!(
+            records.iter().filter(|r| r.site_mix == mix).count(),
+            2 * 2 * 3,
+            "every mix owns a full sub-grid"
+        );
+    }
+    // Fault-free prefixes are mix-independent: at rate 0 every mix's
+    // record differs only in its site_mix label.
+    let free: Vec<_> = records
+        .iter()
+        .filter(|r| r.fault_rate_pm == 0.0 && r.workload == "gcc" && r.model == "SS-2")
+        .collect();
+    assert_eq!(free.len(), 3);
+    for pair in free.windows(2) {
+        let (mut a, mut b) = (pair[0].clone(), pair[1].clone());
+        a.site_mix = String::new();
+        b.site_mix = String::new();
+        assert_eq!(a, b, "rate-0 outcomes must not depend on the mix");
+    }
+}
+
+#[test]
+fn weighted_mixes_shift_where_faults_land() {
+    let records = mixed_grid().run().unwrap();
+    let sites_of = |mix: &str| {
+        let mut total = SiteCounts::default();
+        for r in records.iter().filter(|r| r.site_mix == mix) {
+            total.merge(&SiteCounts::from_compact(&r.site_fates).unwrap());
+        }
+        total
+    };
+    let uniform = sites_of("uniform");
+    let addr = sites_of("addr-heavy");
+    let data = sites_of("data-only");
+    use ftsim_faults::InjectionPoint::*;
+    // data-only never touches addresses or control.
+    assert_eq!(data.get(EffAddr).injected, 0);
+    assert_eq!(data.get(BranchDirection).injected, 0);
+    assert!(
+        data.get(Result).injected + data.get(StoreData).injected + data.get(RobWait).injected > 0
+    );
+    // addr-heavy concentrates on effective addresses relative to uniform.
+    let frac = |s: &SiteCounts| {
+        let inj: u64 = s.iter().map(|(_, c)| c.injected).sum();
+        s.get(EffAddr).injected as f64 / inj.max(1) as f64
+    };
+    assert!(
+        frac(&addr) > frac(&uniform),
+        "addr-heavy ({:.2}) must out-inject uniform ({:.2}) at EffAddr",
+        frac(&addr),
+        frac(&uniform)
+    );
+}
+
+#[test]
+fn new_fields_round_trip_and_gate_resume_identity() {
+    let records = mixed_grid().run().unwrap();
+    // Lossless CSV and JSON round trips with live telemetry content.
+    assert_eq!(from_csv(&to_csv(&records)).unwrap(), records);
+    assert_eq!(from_json(&to_json(&records)).unwrap(), records);
+
+    // same_identity distinguishes mixes: a uniform record must not be
+    // resume-matched into an addr-heavy cell.
+    let uniform = records
+        .iter()
+        .find(|r| r.site_mix == "uniform" && r.fault_rate_pm > 0.0)
+        .unwrap();
+    let mut impostor = uniform.clone();
+    impostor.site_mix = "addr-heavy".to_string();
+    assert!(!uniform.same_identity(&impostor));
+    assert!(uniform.same_identity(&uniform.clone()));
+}
