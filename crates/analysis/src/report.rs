@@ -4,7 +4,7 @@
 use crate::outcome::{classify, BaselineIndex, CellOutcome};
 use crate::sensitivity::{SensitivityTable, Z_95};
 use ftsim::harness::{Experiment, ExperimentError, RunRecord};
-use ftsim_stats::{fmt_f, fmt_pct, wilson_interval, Histogram, Table};
+use ftsim_stats::{fmt_f, fmt_pct, wilson_interval, Histogram, JsonValue, Table};
 
 /// Detection-latency distribution for one (model, site mix) group.
 #[derive(Debug, Clone, PartialEq)]
@@ -291,6 +291,121 @@ impl AnalysisReport {
         out.push_str(&self.mttf.render());
         out
     }
+
+    /// Renders the report as a JSON document — the machine-readable
+    /// twin of [`AnalysisReport::render`], served by the daemon's
+    /// `GET /jobs/<id>/report` endpoint. Same sections: outcome counts
+    /// by label, sensitivity rows, latency rows, MTTF rows.
+    pub fn to_json(&self) -> String {
+        let s = |v: &str| JsonValue::Str(v.to_string());
+        let outcomes = JsonValue::Obj(
+            CellOutcome::ALL
+                .into_iter()
+                .map(|o| {
+                    (
+                        o.label().to_string(),
+                        JsonValue::U64(self.outcome_count(o) as u64),
+                    )
+                })
+                .collect(),
+        );
+        let sensitivity = JsonValue::Arr(
+            self.sensitivity
+                .rows
+                .iter()
+                .map(|row| {
+                    let (lo, hi) = row.p_escaped_interval();
+                    JsonValue::obj([
+                        ("model".to_string(), s(&row.model)),
+                        ("site_mix".to_string(), s(&row.site_mix)),
+                        ("site".to_string(), s(row.point.code())),
+                        ("injected".to_string(), JsonValue::U64(row.counts.injected)),
+                        ("detected".to_string(), JsonValue::U64(row.counts.detected)),
+                        ("outvoted".to_string(), JsonValue::U64(row.counts.outvoted)),
+                        ("masked".to_string(), JsonValue::U64(row.counts.masked)),
+                        (
+                            "squashed".to_string(),
+                            JsonValue::U64(
+                                row.counts.squashed_wrong_path + row.counts.squashed_by_rewind,
+                            ),
+                        ),
+                        ("escaped".to_string(), JsonValue::U64(row.counts.escaped)),
+                        ("p_caught".to_string(), JsonValue::F64(row.p_caught())),
+                        ("p_escaped".to_string(), JsonValue::F64(row.p_escaped())),
+                        (
+                            "p_escaped_ci95".to_string(),
+                            JsonValue::Arr(vec![JsonValue::F64(lo), JsonValue::F64(hi)]),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let latency = JsonValue::Arr(
+            self.latency
+                .rows
+                .iter()
+                .map(|row| {
+                    JsonValue::obj([
+                        ("model".to_string(), s(&row.model)),
+                        ("site_mix".to_string(), s(&row.site_mix)),
+                        ("events".to_string(), JsonValue::U64(row.events)),
+                        ("mean_cycles".to_string(), JsonValue::F64(row.mean_cycles)),
+                        (
+                            "mean_instructions".to_string(),
+                            JsonValue::F64(row.mean_instructions),
+                        ),
+                        (
+                            "p50_cycles".to_string(),
+                            JsonValue::F64(row.histogram.percentile(50.0)),
+                        ),
+                        (
+                            "p90_cycles".to_string(),
+                            JsonValue::F64(row.histogram.percentile(90.0)),
+                        ),
+                        ("max_cycles".to_string(), JsonValue::U64(row.max_cycles)),
+                    ])
+                })
+                .collect(),
+        );
+        let mttf = JsonValue::Arr(
+            self.mttf
+                .rows
+                .iter()
+                .map(|row| {
+                    let (p, (lo, hi)) = row.p_sdc();
+                    let opt = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::F64);
+                    JsonValue::obj([
+                        ("model".to_string(), s(&row.model)),
+                        (
+                            "fault_rate_pm".to_string(),
+                            JsonValue::F64(row.fault_rate_pm),
+                        ),
+                        ("cells".to_string(), JsonValue::U64(row.cells)),
+                        ("sdc_cells".to_string(), JsonValue::U64(row.sdc_cells)),
+                        ("hang_cells".to_string(), JsonValue::U64(row.hang_cells)),
+                        ("p_sdc".to_string(), JsonValue::F64(p)),
+                        (
+                            "p_sdc_ci95".to_string(),
+                            JsonValue::Arr(vec![JsonValue::F64(lo), JsonValue::F64(hi)]),
+                        ),
+                        (
+                            "mttf_instructions".to_string(),
+                            opt(row.mttf_instructions()),
+                        ),
+                        ("mttf_cycles".to_string(), opt(row.mttf_cycles())),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::obj([
+            ("cells".to_string(), JsonValue::U64(self.cells as u64)),
+            ("outcomes".to_string(), outcomes),
+            ("sensitivity".to_string(), sensitivity),
+            ("latency".to_string(), latency),
+            ("mttf".to_string(), mttf),
+        ])
+        .render_pretty(2)
+    }
 }
 
 /// Analyzes a record set: classifies every cell against its family's
@@ -411,6 +526,36 @@ mod tests {
         }
         assert!(text.contains("sdc"));
         assert!(text.contains("inf") || text.contains("mttf"));
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_the_sections() {
+        let records = vec![
+            baseline("SS-1"),
+            faulty("SS-1", 100.0, 1, 0),
+            faulty("SS-1", 2_000.0, 2, 1),
+        ];
+        let report = analyze_records(&records);
+        let doc = ftsim_stats::JsonValue::parse(&report.to_json()).unwrap();
+        assert_eq!(doc.get("cells").and_then(|v| v.as_u64()), Some(3));
+        let outcomes = doc.get("outcomes").unwrap();
+        assert_eq!(
+            outcomes
+                .get(CellOutcome::Sdc.label())
+                .and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("mttf").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(2)
+        );
+        let row = &doc.get("mttf").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            row.get("fault_rate_pm").and_then(|v| v.as_f64()),
+            Some(100.0)
+        );
+        assert!(doc.get("latency").unwrap().as_arr().is_some());
+        assert!(doc.get("sensitivity").unwrap().as_arr().is_some());
     }
 
     #[test]

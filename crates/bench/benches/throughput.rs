@@ -8,7 +8,10 @@
 //!   R=2 rewind and R=3 majority machines across the fault-rate axis),
 //!   the acceptance workload for scheduler performance work;
 //! * `fault_free_trio` — gcc/fpppp/equake on SS-1 and SS-2 with no
-//!   injection, isolating the fault-free steady-state cycle loop.
+//!   injection, isolating the fault-free steady-state cycle loop;
+//! * `daemon_cells_per_sec` — a 4-cell smoke grid run end-to-end
+//!   through the `ftsimd` fabric (submit → claim → stream → finalize),
+//!   pricing the daemon's bookkeeping on top of raw simulation.
 //!
 //! Grids run on one worker thread so the metric is per-core simulator
 //! speed, independent of the host's core count. Each grid is measured
@@ -45,6 +48,9 @@ impl GridResult {
     fn instr_per_sec(&self) -> f64 {
         self.retired as f64 / self.wall_s
     }
+    fn cells_per_sec(&self) -> f64 {
+        self.cells as f64 / self.wall_s
+    }
     fn to_json(&self) -> JsonValue {
         JsonValue::obj([
             ("name".into(), JsonValue::Str(self.name.into())),
@@ -59,6 +65,10 @@ impl GridResult {
             (
                 "instructions_per_second".into(),
                 JsonValue::F64(self.instr_per_sec()),
+            ),
+            (
+                "cells_per_second".into(),
+                JsonValue::F64(self.cells_per_sec()),
             ),
         ])
     }
@@ -146,6 +156,56 @@ fn fault_free_trio() -> Experiment {
         .checkpointing(false)
 }
 
+/// The same 4-cell smoke grid CI submits over HTTP, run end-to-end
+/// through the daemon fabric (submit → claim → stream → finalize) in
+/// one process. `cells_per_second` on this row is the
+/// `daemon_cells_per_sec` figure tracked in `ROADMAP.md` — it prices
+/// the fabric's overhead (claim files, per-row fsync, finalize) on top
+/// of raw simulation, which the other rows measure.
+fn measure_daemon(name: &'static str) -> GridResult {
+    use ftsim_daemon::{JobSpec, JobStore, ServeOptions};
+    let mut best: Option<(f64, Vec<RunRecord>)> = None;
+    for rep in 0..reps() {
+        let dir =
+            std::env::temp_dir().join(format!("ftsim-bench-daemon-{}-{rep}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = JobStore::open(&dir).expect("open bench state dir");
+        let mut spec = JobSpec::new("throughput-smoke");
+        spec.workloads = vec!["gcc".to_string()];
+        spec.models = vec!["SS-2".to_string()];
+        spec.fault_rates_pm = vec![0.0, 5_000.0];
+        spec.seeds = vec![3, 4];
+        spec.budgets = vec![budget()];
+        spec.threads = WORKER_THREADS;
+        let (id, _) = store.submit(&spec).expect("submit bench job");
+        let start = Instant::now();
+        ftsim_daemon::serve(
+            &store,
+            &ServeOptions {
+                drain: true,
+                ..Default::default()
+            },
+        )
+        .expect("drain bench job");
+        let wall = start.elapsed().as_secs_f64();
+        let job = store.job(&id).expect("bench job exists");
+        let text = std::fs::read_to_string(job.results_path()).expect("bench job finalized");
+        let records = ftsim::harness::from_csv(&text).expect("bench results parse");
+        if best.as_ref().map_or(true, |(b, _)| wall < *b) {
+            best = Some((wall, records));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let (wall_s, records) = best.expect("at least one repetition");
+    GridResult {
+        name,
+        cells: records.len(),
+        sim_cycles: records.iter().map(|r| r.cycles).sum(),
+        retired: records.iter().map(|r| r.retired_instructions).sum(),
+        wall_s,
+    }
+}
+
 fn main() {
     banner(
         "Throughput",
@@ -166,6 +226,7 @@ fn main() {
         measure("fault_free_trio_checkpointed", || {
             fault_free_trio().checkpointing(true)
         }),
+        measure_daemon("daemon_cells_per_sec"),
     ];
 
     for r in &results {

@@ -1,12 +1,15 @@
 //! The `ftsimd` command-line front end.
 //!
 //! ```text
-//! ftsimd submit <spec.toml|spec.json> [--state DIR]
-//! ftsimd serve  [--state DIR] [--drain] [--poll-ms N]
-//! ftsimd status [JOB] [--state DIR]
-//! ftsimd results <JOB> [--state DIR] [--json | --watch [--poll-ms N]]
-//! ftsimd report <JOB> [--state DIR]
-//! ftsimd stop   [--state DIR]
+//! ftsimd submit <spec.toml|spec.json> [--state DIR | --remote ADDR]
+//! ftsimd serve  [--state DIR] [--drain] [--poll-ms N] [--listen ADDR]
+//!               [--lease-ms N] [--workers N]
+//! ftsimd jobs   [--state DIR | --remote ADDR]
+//! ftsimd status [JOB] [--state DIR | --remote ADDR]
+//! ftsimd results <JOB> [--state DIR | --remote ADDR]
+//!               [--json | --watch [--interval MS]]
+//! ftsimd report <JOB> [--state DIR | --remote ADDR] [--json]
+//! ftsimd stop   [JOB] [--state DIR | --remote ADDR]
 //! ```
 //!
 //! The state directory defaults to `./ftsimd-state`, overridable with
@@ -17,82 +20,128 @@
 //! grid-order CSV verbatim; for a job still in flight it merges the
 //! streamed records into grid order and reports the gaps on stderr —
 //! or, with `--watch`, follows the job's `cells.csv` and streams each
-//! record as it completes. `report` runs the `ftsim-analysis` layer over
-//! a job's records: outcome taxonomy (masked / detected / SDC / hang),
-//! per-site sensitivity with Wilson intervals, detection-latency
-//! distributions, and MTTF extrapolation.
+//! record as it completes (`--interval` sets the poll cadence).
+//! `report` runs the `ftsim-analysis` layer over a job's records:
+//! outcome taxonomy (masked / detected / SDC / hang), per-site
+//! sensitivity with Wilson intervals, detection-latency distributions,
+//! and MTTF extrapolation — `--json` renders it as a JSON document.
+//!
+//! **Remote mode.** Every verb except `serve` also speaks to a running
+//! `ftsimd serve --listen <addr>` over its HTTP API when given
+//! `--remote <addr>` (or `FTSIMD_REMOTE`): the client touches no state
+//! directory at all — submissions, listings, streamed results and
+//! reports all travel over the socket. `stop` with a job id pauses that
+//! job; without one it shuts the serving daemon down.
 
+use crate::fabric::{family_progress, merged_records};
+use crate::http::{http_request, http_stream};
 use crate::runner::{install_signal_handlers, serve, ServeOptions};
 use crate::spec::JobSpec;
-use crate::store::{Job, JobState, JobStatus, JobStore};
-use ftsim::harness::{
-    from_csv, from_csv_tolerant, from_csv_tolerant_prefix, to_csv, to_json, RunRecord,
-};
-use std::collections::HashMap;
+use crate::store::{Job, JobState, JobStore};
+use ftsim::harness::{from_csv, from_csv_tolerant_prefix, to_csv, to_json, RunRecord};
+use ftsim_stats::JsonValue;
 use std::time::Duration;
 
 const USAGE: &str = "\
 ftsimd — long-running sweep daemon for the ftsim fault-tolerant superscalar
 
 USAGE:
-    ftsimd submit <spec.toml|spec.json> [--state DIR]
-    ftsimd serve  [--state DIR] [--drain] [--poll-ms N]
-    ftsimd status [JOB] [--state DIR]
-    ftsimd results <JOB> [--state DIR] [--json | --watch [--poll-ms N]]
-    ftsimd report <JOB> [--state DIR]
-    ftsimd stop   [--state DIR]
+    ftsimd submit <spec.toml|spec.json> [--state DIR | --remote ADDR]
+    ftsimd serve  [--state DIR] [--drain] [--poll-ms N] [--listen ADDR]
+                  [--lease-ms N] [--workers N]
+    ftsimd jobs   [--state DIR | --remote ADDR]
+    ftsimd status [JOB] [--state DIR | --remote ADDR]
+    ftsimd results <JOB> [--state DIR | --remote ADDR]
+                  [--json | --watch [--interval MS]]
+    ftsimd report <JOB> [--state DIR | --remote ADDR] [--json]
+    ftsimd stop   [JOB] [--state DIR | --remote ADDR]
 
 COMMANDS:
     submit    Validate a job spec and enqueue it (or attach to an
               identical existing job). Prints the job id on stdout.
     serve     Run the daemon: execute queued jobs, streaming results;
-              --drain exits once the queue is empty. Ctrl-C, SIGTERM or
-              `ftsimd stop` shut down gracefully (the interrupted job is
-              re-queued and resumes from its streamed records).
+              --drain exits once the queue is empty. Several serve
+              processes may share one state directory — they partition
+              work by family claims with --lease-ms expiry (default
+              30000) and steal from crashed peers. --listen exposes the
+              HTTP API (the bound address lands in <state>/http.addr);
+              --workers caps this process's worker threads. Ctrl-C,
+              SIGTERM or `ftsimd stop` shut down gracefully (claimed
+              work is re-queued and resumes from its streamed records).
+    jobs      List every job: state, cell progress, submitter, priority.
     status    Show the queue, or one job's progress (with per-family
               cells-done counts for a single job).
     results   Print a job's records as grid-order CSV (--json for JSON);
-              --watch follows the streamed results until the job is done.
+              --watch follows the streamed results until the job is
+              done, polling every --interval MS (default 500).
     report    Analyze a job's records: outcome taxonomy, per-site
               sensitivity (Wilson 95% CIs), detection latency, MTTF.
-    stop      Ask the serving daemon to shut down gracefully.
+              --json emits the report as a JSON document.
+    stop      With a job id: pause that job (resubmit its spec to
+              resume). Without: ask the serving daemon(s) on the state
+              directory to shut down gracefully.
 
+Any verb but serve accepts --remote ADDR (or $FTSIMD_REMOTE) to talk to
+a `serve --listen` daemon over HTTP instead of a local state directory.
 The state directory defaults to ./ftsimd-state, or $FTSIMD_STATE.
 ";
+
+/// Flags that take a value (`--flag VALUE`); stored as `--flag=VALUE`.
+/// The `true` entries are validated as unsigned integers at parse time.
+const VALUE_FLAGS: [(&str, bool); 6] = [
+    ("--poll-ms", true),
+    ("--interval", true),
+    ("--lease-ms", true),
+    ("--workers", true),
+    ("--listen", false),
+    ("--remote", false),
+];
 
 /// Parsed global options.
 struct Args {
     state: String,
+    remote: Option<String>,
     flags: Vec<String>,
     positional: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut state = std::env::var("FTSIMD_STATE").unwrap_or_else(|_| "ftsimd-state".to_string());
+    let mut remote = std::env::var("FTSIMD_REMOTE").ok();
     let mut flags = Vec::new();
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--state" => {
-                state = iter
-                    .next()
-                    .ok_or("--state needs a directory argument")?
-                    .clone();
-            }
-            "--poll-ms" => {
-                let value = iter.next().ok_or("--poll-ms needs a number argument")?;
+        if arg == "--state" {
+            state = iter
+                .next()
+                .ok_or("--state needs a directory argument")?
+                .clone();
+            continue;
+        }
+        if arg == "--remote" {
+            remote = Some(iter.next().ok_or("--remote needs an address")?.clone());
+            continue;
+        }
+        if let Some((name, numeric)) = VALUE_FLAGS.iter().find(|(n, _)| n == arg) {
+            let value = iter.next().ok_or(format!("{name} needs an argument"))?;
+            if *numeric {
                 value
                     .parse::<u64>()
-                    .map_err(|_| format!("bad --poll-ms value `{value}`"))?;
-                flags.push(format!("--poll-ms={value}"));
+                    .map_err(|_| format!("bad {name} value `{value}`"))?;
             }
-            flag if flag.starts_with("--") => flags.push(flag.to_string()),
-            _ => positional.push(arg.clone()),
+            flags.push(format!("{name}={value}"));
+            continue;
+        }
+        if arg.starts_with("--") {
+            flags.push(arg.clone());
+        } else {
+            positional.push(arg.clone());
         }
     }
     Ok(Args {
         state,
+        remote,
         flags,
         positional,
     })
@@ -101,6 +150,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
 impl Args {
     fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find_map(|f| f.strip_prefix(name)?.strip_prefix('='))
     }
 
     /// Rejects any flag the current command does not define — a typo
@@ -117,11 +172,23 @@ impl Args {
     }
 
     fn poll(&self) -> Duration {
-        self.flags
-            .iter()
-            .find_map(|f| f.strip_prefix("--poll-ms="))
+        self.value("--poll-ms")
             .and_then(|v| v.parse().ok())
             .map_or(Duration::from_millis(500), Duration::from_millis)
+    }
+
+    /// The watch poll cadence: `--interval MS`, falling back to
+    /// `--poll-ms` for symmetry with serve, then 500 ms.
+    fn interval_ms(&self) -> u64 {
+        self.value("--interval")
+            .or_else(|| self.value("--poll-ms"))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500)
+    }
+
+    /// Remote mode: every verb but serve routes over HTTP when set.
+    fn remote(&self) -> Option<&str> {
+        self.remote.as_deref()
     }
 }
 
@@ -147,6 +214,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "submit" => cmd_submit(&parsed),
         "serve" => cmd_serve(&parsed),
+        "jobs" => cmd_jobs(&parsed),
         "status" => cmd_status(&parsed),
         "results" => cmd_results(&parsed),
         "report" => cmd_report(&parsed),
@@ -166,12 +234,64 @@ fn open_store(args: &Args) -> Result<JobStore, String> {
     JobStore::open(&args.state).map_err(|e| e.to_string())
 }
 
+// ---------------------------------------------------------------------
+// Remote plumbing.
+
+/// Performs one remote request, turning non-2xx responses (which carry
+/// a JSON `{"error": ...}` body) into CLI errors.
+fn remote_call(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<String, String> {
+    let (code, body) = http_request(addr, method, path, body)?;
+    if (200..300).contains(&code) {
+        return Ok(body);
+    }
+    let detail = JsonValue::parse(&body)
+        .ok()
+        .and_then(|v| v.get("error").and_then(|e| e.as_str().map(String::from)))
+        .unwrap_or(body);
+    Err(format!("remote {addr}: {detail} (http {code})"))
+}
+
+fn remote_json(addr: &str, path: &str) -> Result<JsonValue, String> {
+    let body = remote_call(addr, "GET", path, None)?;
+    JsonValue::parse(&body).map_err(|e| format!("remote {addr}: bad response: {e}"))
+}
+
+fn str_of(doc: &JsonValue, key: &str) -> String {
+    doc.get(key)
+        .and_then(|v| v.as_str())
+        .unwrap_or("?")
+        .to_string()
+}
+
+fn u64_of(doc: &JsonValue, key: &str) -> u64 {
+    doc.get(key).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// Verbs.
+
 fn cmd_submit(args: &Args) -> Result<(), String> {
     args.ensure_flags(&[])?;
     let [path] = args.positional.as_slice() else {
         return Err("submit takes exactly one spec file".to_string());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading spec {path}: {e}"))?;
+    if let Some(addr) = args.remote() {
+        // The server validates; the client only reads the file.
+        let doc = JsonValue::parse(&remote_call(addr, "POST", "/jobs", Some(&text))?)
+            .map_err(|e| format!("remote {addr}: bad response: {e}"))?;
+        let id = str_of(&doc, "id");
+        if doc.get("created").and_then(|v| v.as_bool()) == Some(true) {
+            eprintln!(
+                "ftsimd: submitted job {id} ({} cells) to {addr}",
+                u64_of(&doc, "cells_total")
+            );
+        } else {
+            eprintln!("ftsimd: identical spec already submitted as {id}; attaching");
+        }
+        println!("{id}");
+        return Ok(());
+    }
     let spec = JobSpec::parse(&text).map_err(|e| e.to_string())?;
     let store = open_store(args)?;
     let (id, created) = store.submit(&spec).map_err(|e| e.to_string())?;
@@ -195,15 +315,33 @@ fn cells_of(store: &JobStore, id: &str) -> String {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    args.ensure_flags(&["--drain", "--poll-ms"])?;
+    args.ensure_flags(&[
+        "--drain",
+        "--poll-ms",
+        "--listen",
+        "--lease-ms",
+        "--workers",
+    ])?;
     if !args.positional.is_empty() {
         return Err("serve takes no positional arguments".to_string());
+    }
+    if args.remote().is_some() {
+        return Err("serve runs against a state directory, not --remote".to_string());
     }
     install_signal_handlers();
     let store = open_store(args)?;
     let opts = ServeOptions {
         drain: args.flag("--drain"),
         poll: args.poll(),
+        lease: args
+            .value("--lease-ms")
+            .and_then(|v| v.parse().ok())
+            .map_or(Duration::from_secs(30), Duration::from_millis),
+        workers: args
+            .value("--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        listen: args.value("--listen").map(String::from),
     };
     eprintln!(
         "ftsimd: serving {} ({})",
@@ -217,8 +355,108 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     serve(&store, &opts).map_err(|e| e.to_string())
 }
 
+/// One row of the `jobs` table, from either a local store or `/jobs`.
+fn print_job_row(id: &str, state: &str, done: u64, total: u64, submitter: &str, error: &str) {
+    println!(
+        "{:<28} {:<8} {:>6}/{:<6} {:<12} {}",
+        id,
+        state,
+        done,
+        total,
+        if submitter.is_empty() { "-" } else { submitter },
+        error
+    );
+}
+
+fn cmd_jobs(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&[])?;
+    if !args.positional.is_empty() {
+        return Err("jobs takes no positional arguments".to_string());
+    }
+    if let Some(addr) = args.remote() {
+        let doc = remote_json(addr, "/jobs")?;
+        let entries = doc
+            .get("jobs")
+            .and_then(|j| j.as_arr())
+            .ok_or("remote response has no jobs array")?;
+        if entries.is_empty() {
+            println!("no jobs at {addr}");
+            return Ok(());
+        }
+        for e in entries {
+            print_job_row(
+                &str_of(e, "id"),
+                &str_of(e, "state"),
+                u64_of(e, "cells_done"),
+                u64_of(e, "cells_total"),
+                &str_of(e, "submitter"),
+                e.get("error").and_then(|v| v.as_str()).unwrap_or(""),
+            );
+        }
+        return Ok(());
+    }
+    let store = open_store(args)?;
+    let jobs = store.jobs().map_err(|e| e.to_string())?;
+    if jobs.is_empty() {
+        println!("no jobs in {}", store.root().display());
+        return Ok(());
+    }
+    for job in jobs {
+        let submitter = store
+            .load_spec(&job)
+            .map(|s| s.submitter)
+            .unwrap_or_default();
+        match store.load_status(&job) {
+            Ok(s) => print_job_row(
+                &job.id,
+                &s.state.to_string(),
+                s.cells_done as u64,
+                s.cells_total as u64,
+                &submitter,
+                &s.error,
+            ),
+            Err(e) => println!("{:<28} <unreadable status: {e}>", job.id),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_status(args: &Args) -> Result<(), String> {
     args.ensure_flags(&[])?;
+    if let Some(addr) = args.remote() {
+        return match args.positional.as_slice() {
+            [] => cmd_jobs(args),
+            [id] => {
+                let doc = remote_json(addr, &format!("/jobs/{id}/status"))?;
+                println!("job:    {id}");
+                println!("state:  {}", str_of(&doc, "state"));
+                println!(
+                    "cells:  {}/{}",
+                    u64_of(&doc, "cells_done"),
+                    u64_of(&doc, "cells_total")
+                );
+                let error = str_of(&doc, "error");
+                if !error.is_empty() && error != "?" {
+                    println!("error:  {error}");
+                }
+                if let Some(families) = doc.get("families").and_then(|f| f.as_arr()) {
+                    println!("families:");
+                    for f in families {
+                        println!(
+                            "  {:<10} budget {:>7}  {:<10} {:>4}/{}",
+                            str_of(f, "workload"),
+                            u64_of(f, "budget"),
+                            str_of(f, "model"),
+                            u64_of(f, "done"),
+                            u64_of(f, "total")
+                        );
+                    }
+                }
+                Ok(())
+            }
+            _ => Err("status takes at most one job id".to_string()),
+        };
+    }
     let store = open_store(args)?;
     match args.positional.as_slice() {
         [] => {
@@ -248,13 +486,13 @@ fn cmd_status(args: &Args) -> Result<(), String> {
                 println!("error:  {}", status.error);
             }
             println!("dir:    {}", job.dir().display());
-            match family_progress(&store, &job, &status) {
+            match family_progress(&store, &job) {
                 Ok(families) => {
                     println!("families:");
                     for f in families {
                         println!(
                             "  {:<10} budget {:>7}  {:<10} {:>4}/{}",
-                            f.workload, f.budget, f.model, f.done, f.total
+                            f.family.workload, f.family.budget, f.family.model, f.done, f.total
                         );
                     }
                 }
@@ -268,114 +506,30 @@ fn cmd_status(args: &Args) -> Result<(), String> {
     }
 }
 
-/// One (workload, budget, model) shard's progress in a job.
-struct FamilyProgress {
-    workload: String,
-    budget: u64,
-    model: String,
-    done: usize,
-    total: usize,
-}
-
-/// Computes per-family cells-done counts: the job's grid identities
-/// grouped by (workload, budget, model) — the same shards the runner's
-/// workers pull — each matched against the streamed `cells.csv`.
-fn family_progress(
-    store: &JobStore,
-    job: &Job,
-    status: &JobStatus,
-) -> Result<Vec<FamilyProgress>, String> {
-    let spec = store.load_spec(job).map_err(|e| e.to_string())?;
-    let identities = spec
-        .to_experiment()
-        .map_err(|e| e.to_string())?
-        .identities()
-        .map_err(|e| e.to_string())?;
-    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
-    let (streamed, _) = from_csv_tolerant(&streamed);
-    let streamed = identity_index(&streamed);
-    let mut families: Vec<FamilyProgress> = Vec::new();
-    for id in &identities {
-        // A done job has every cell even if some were never streamed
-        // (resume-matched cells are not re-appended to cells.csv).
-        let done = status.state == JobState::Done || streamed.contains_key(&identity_key(id));
-        match families
-            .iter_mut()
-            .find(|f| f.workload == id.workload && f.budget == id.budget && f.model == id.model)
-        {
-            Some(f) => {
-                f.total += 1;
-                f.done += usize::from(done);
-            }
-            None => families.push(FamilyProgress {
-                workload: id.workload.clone(),
-                budget: id.budget,
-                model: id.model.clone(),
-                done: usize::from(done),
-                total: 1,
-            }),
-        }
-    }
-    Ok(families)
-}
-
-/// The hashable projection of [`RunRecord::same_identity`]: two records
-/// are the same grid cell iff their keys are equal. Keeping this next to
-/// [`identity_index`] is what lets `status`/`results`/`report` match a
-/// job's thousands of grid identities against its streamed log in O(1)
-/// per cell instead of a quadratic `same_identity` scan.
-type IdentityKey<'a> = (
-    &'a str,
-    &'a str,
-    &'a str,
-    u8,
-    bool,
-    u8,
-    u64,
-    &'a str,
-    u64,
-    u64,
-);
-
-fn identity_key(r: &RunRecord) -> IdentityKey<'_> {
-    (
-        r.workload.as_str(),
-        r.suite.as_str(),
-        r.model.as_str(),
-        r.r,
-        r.majority,
-        r.threshold,
-        r.fault_rate_pm.to_bits(),
-        r.site_mix.as_str(),
-        r.seed,
-        r.budget,
-    )
-}
-
-/// Indexes streamed records by identity, newest row winning: a cell that
-/// failed on one pass and was re-run later (failed records are never
-/// resume-matched) appears twice in the log, and the recent record is
-/// the truthful one.
-fn identity_index<'a>(streamed: &'a [RunRecord]) -> HashMap<IdentityKey<'a>, &'a RunRecord> {
-    let mut index = HashMap::with_capacity(streamed.len());
-    for r in streamed {
-        index.insert(identity_key(r), r); // later rows overwrite earlier
-    }
-    index
-}
-
 fn cmd_results(args: &Args) -> Result<(), String> {
-    args.ensure_flags(&["--json", "--watch", "--poll-ms"])?;
+    args.ensure_flags(&["--json", "--watch", "--poll-ms", "--interval"])?;
     let [id] = args.positional.as_slice() else {
         return Err("results takes exactly one job id".to_string());
     };
+    if args.flag("--watch") && args.flag("--json") {
+        return Err("--watch streams CSV rows; it cannot combine with --json".to_string());
+    }
+    if let Some(addr) = args.remote() {
+        if args.flag("--watch") {
+            return watch_remote(addr, id, args.interval_ms());
+        }
+        let path = if args.flag("--json") {
+            format!("/jobs/{id}/results?json")
+        } else {
+            format!("/jobs/{id}/results")
+        };
+        print!("{}", remote_call(addr, "GET", &path, None)?);
+        return Ok(());
+    }
     let store = open_store(args)?;
     let job = store.job(id).map_err(|e| e.to_string())?;
     if args.flag("--watch") {
-        if args.flag("--json") {
-            return Err("--watch streams CSV rows; it cannot combine with --json".to_string());
-        }
-        return watch_results(&store, &job, args.poll());
+        return watch_results(&store, &job, Duration::from_millis(args.interval_ms()));
     }
     let json = args.flag("--json");
     let status = store.load_status(&job).map_err(|e| e.to_string())?;
@@ -393,7 +547,8 @@ fn cmd_results(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let (merged, total) = merged_records(&store, &job)?;
+    let spec = store.load_spec(&job).map_err(|e| e.to_string())?;
+    let (merged, total) = merged_records(&job, &spec).map_err(|e| e.to_string())?;
     eprintln!(
         "ftsimd: job {id} is {} — {} of {total} cells merged (grid order)",
         status.state,
@@ -407,24 +562,22 @@ fn cmd_results(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Merges an in-flight job's streamed records into grid order (newest
-/// row per cell, via [`identity_index`]), returning them with the grid's
-/// total cell count.
-fn merged_records(store: &JobStore, job: &Job) -> Result<(Vec<RunRecord>, usize), String> {
-    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
-    let (streamed, _) = from_csv_tolerant(&streamed);
-    let index = identity_index(&streamed);
-    let spec = store.load_spec(job).map_err(|e| e.to_string())?;
-    let identities = spec
-        .to_experiment()
-        .map_err(|e| e.to_string())?
-        .identities()
-        .map_err(|e| e.to_string())?;
-    let merged: Vec<RunRecord> = identities
-        .iter()
-        .filter_map(|id| index.get(&identity_key(id)).copied().cloned())
-        .collect();
-    Ok((merged, identities.len()))
+/// `results --watch` over `--remote`: the server streams CSV rows as
+/// cells complete and closes the connection when the job is terminal;
+/// the client just forwards lines to stdout, stopping early if the
+/// downstream pipe closes.
+fn watch_remote(addr: &str, id: &str, interval_ms: u64) -> Result<(), String> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let path = format!("/jobs/{id}/results?watch&interval={interval_ms}");
+    let code = http_stream(addr, &path, &mut |line| {
+        writeln!(out, "{line}").and_then(|()| out.flush()).is_ok()
+    })?;
+    if code != 200 {
+        return Err(format!("remote {addr}: watch failed (http {code})"));
+    }
+    Ok(())
 }
 
 /// Follows a job's `cells.csv`, printing each streamed record (CSV, in
@@ -498,10 +651,19 @@ fn watch_results(store: &JobStore, job: &Job, poll: Duration) -> Result<(), Stri
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    args.ensure_flags(&[])?;
+    args.ensure_flags(&["--json"])?;
     let [id] = args.positional.as_slice() else {
         return Err("report takes exactly one job id".to_string());
     };
+    if let Some(addr) = args.remote() {
+        let path = if args.flag("--json") {
+            format!("/jobs/{id}/report")
+        } else {
+            format!("/jobs/{id}/report?format=text")
+        };
+        print!("{}", remote_call(addr, "GET", &path, None)?);
+        return Ok(());
+    }
     let store = open_store(args)?;
     let job = store.job(id).map_err(|e| e.to_string())?;
     let status = store.load_status(&job).map_err(|e| e.to_string())?;
@@ -515,7 +677,8 @@ fn cmd_report(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
         from_csv(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?
     } else {
-        let (merged, total) = merged_records(&store, &job)?;
+        let spec = store.load_spec(&job).map_err(|e| e.to_string())?;
+        let (merged, total) = merged_records(&job, &spec).map_err(|e| e.to_string())?;
         eprintln!(
             "ftsimd: job {id} is {} — report covers {} of {total} cells",
             status.state,
@@ -523,19 +686,47 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         );
         merged
     };
-    print!("{}", ftsim_analysis::analyze_records(&records).render());
+    let report = ftsim_analysis::analyze_records(&records);
+    if args.flag("--json") {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
     Ok(())
 }
 
 fn cmd_stop(args: &Args) -> Result<(), String> {
     args.ensure_flags(&[])?;
-    if !args.positional.is_empty() {
-        return Err("stop takes no positional arguments".to_string());
+    if let Some(addr) = args.remote() {
+        return match args.positional.as_slice() {
+            [] => {
+                remote_call(addr, "POST", "/stop", None)?;
+                eprintln!("ftsimd: stop requested; {addr} will finish its cell in flight and exit");
+                Ok(())
+            }
+            [id] => {
+                remote_call(addr, "POST", &format!("/jobs/{id}/stop"), None)?;
+                eprintln!("ftsimd: job {id} paused; resubmit its spec to resume");
+                Ok(())
+            }
+            _ => Err("stop takes at most one job id".to_string()),
+        };
     }
     let store = open_store(args)?;
-    store.request_stop().map_err(|e| e.to_string())?;
-    eprintln!("ftsimd: stop requested; the daemon will finish its cell in flight and exit");
-    Ok(())
+    match args.positional.as_slice() {
+        [] => {
+            store.request_stop().map_err(|e| e.to_string())?;
+            eprintln!("ftsimd: stop requested; the daemon will finish its cell in flight and exit");
+            Ok(())
+        }
+        [id] => {
+            let job = store.job(id).map_err(|e| e.to_string())?;
+            store.request_job_stop(&job).map_err(|e| e.to_string())?;
+            eprintln!("ftsimd: job {id} paused; resubmit its spec to resume");
+            Ok(())
+        }
+        _ => Err("stop takes at most one job id".to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -564,6 +755,34 @@ mod tests {
 
         assert!(parse_args(&strs(&["--state"])).is_err());
         assert!(parse_args(&strs(&["--poll-ms", "soon"])).is_err());
+        assert!(parse_args(&strs(&["--lease-ms", "ages"])).is_err());
+        assert!(parse_args(&strs(&["--remote"])).is_err());
+    }
+
+    #[test]
+    fn interval_falls_back_to_poll_ms_then_default() {
+        let args = parse_args(&strs(&["--interval", "75"])).unwrap();
+        assert_eq!(args.interval_ms(), 75);
+        let args = parse_args(&strs(&["--poll-ms", "40"])).unwrap();
+        assert_eq!(args.interval_ms(), 40);
+        let args = parse_args(&strs(&[])).unwrap();
+        assert_eq!(args.interval_ms(), 500);
+    }
+
+    #[test]
+    fn serve_value_flags_reach_serve_options() {
+        let args = parse_args(&strs(&[
+            "--lease-ms",
+            "1500",
+            "--workers",
+            "2",
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        assert_eq!(args.value("--lease-ms"), Some("1500"));
+        assert_eq!(args.value("--workers"), Some("2"));
+        assert_eq!(args.value("--listen"), Some("127.0.0.1:0"));
     }
 
     #[test]
@@ -572,7 +791,7 @@ mod tests {
         assert_eq!(run(&strs(&["serve", "--drian"])), 1);
         assert_eq!(run(&strs(&["results", "x", "--jsn"])), 1);
         assert_eq!(run(&strs(&["stop", "--force"])), 1);
-        assert_eq!(run(&strs(&["report", "x", "--json"])), 1);
+        assert_eq!(run(&strs(&["jobs", "--all"])), 1);
     }
 
     #[test]
@@ -593,6 +812,7 @@ mod tests {
         let state = dir.to_string_lossy().to_string();
         // report renders the analysis sections over the job's records.
         assert_eq!(run(&strs(&["report", &id, "--state", &state])), 0);
+        assert_eq!(run(&strs(&["report", &id, "--json", "--state", &state])), 0);
         // --watch on a terminal job prints everything streamed and exits.
         assert_eq!(
             run(&strs(&["results", &id, "--watch", "--state", &state])),
@@ -605,15 +825,20 @@ mod tests {
             ])),
             1
         );
-        // Single-job status includes the per-family progress lines.
+        // jobs lists the finished job; single-job status includes the
+        // per-family progress lines.
+        assert_eq!(run(&strs(&["jobs", "--state", &state])), 0);
         assert_eq!(run(&strs(&["status", &id, "--state", &state])), 0);
-        let status = store.load_status(&job).unwrap();
-        let families = family_progress(&store, &job, &status).unwrap();
+        let families = family_progress(&store, &job).unwrap();
         assert_eq!(families.len(), 1, "one (workload, budget, model) shard");
-        assert_eq!(families[0].workload, "gcc");
-        assert_eq!(families[0].model, "SS-2");
-        assert_eq!(families[0].budget, 1_200);
+        assert_eq!(families[0].family.workload, "gcc");
+        assert_eq!(families[0].family.model, "SS-2");
+        assert_eq!(families[0].family.budget, 1_200);
         assert_eq!((families[0].done, families[0].total), (4, 4));
+
+        // Pausing the (already done) job writes its stop sentinel.
+        assert_eq!(run(&strs(&["stop", &id, "--state", &state])), 0);
+        assert!(store.job_stop_requested(&job));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,876 @@
+//! The sweep fabric: cooperative multi-process execution of one job
+//! store.
+//!
+//! N `ftsimd serve` processes — on one host or many sharing a state
+//! directory — partition work at **family** granularity: the
+//! (workload, budget, model) groups that share a fault-free prefix
+//! ([`FamilyId`]). Ownership is a *claim lease*, a small JSON file under
+//! `<job>/claims/<family-slug>.lease` naming the owner and an expiry
+//! time:
+//!
+//! * **Acquisition** only ever happens through an exclusive
+//!   `create_new` of the claim file — the one filesystem primitive
+//!   where exactly one racer wins.
+//! * **Renewal** (the heartbeat) happens between cells: the holder
+//!   re-reads the file, verifies it still names him, and atomically
+//!   replaces it with a pushed-out expiry. A holder that finds someone
+//!   else's name abandons the family mid-run.
+//! * **Steal**: a lease past its expiry — the signature of a crashed or
+//!   wedged peer — is first `rename`d to a unique stale name (only one
+//!   renamer of a given path succeeds; the loser sees `NotFound`), then
+//!   re-acquired through the normal `create_new` race.
+//!
+//! The protocol is deliberately only *mostly* exclusive. The harness's
+//! determinism invariant — a record is a pure function of its cell
+//! coordinates — makes duplicate execution benign: if a lost-claim
+//! window lets two processes run the same cell, both append
+//! byte-identical rows and the newest-wins merge keeps one. Leases are
+//! therefore a throughput optimization, never a correctness mechanism,
+//! which is what lets the whole fabric run on plain files with no
+//! server. (Hosts sharing a state dir are assumed to have roughly
+//! synchronized clocks; skew eats into the lease margin.)
+//!
+//! Scheduling — which family a free worker claims next — orders
+//! candidate jobs by priority (descending), then by the submitter's
+//! live-claim count (ascending: fair share across tenants), then by job
+//! id (submission order). A job's `threads` field caps its live claims
+//! fabric-wide, so one wide job cannot monopolize every process.
+
+use crate::spec::JobSpec;
+use crate::store::{io_err, write_atomic, DaemonError, Job, JobState, JobStatus, JobStore};
+use ftsim::harness::{from_csv_tolerant, group_families, to_csv, to_json, FamilyId, RunRecord};
+use ftsim_stats::csv::AppendWriter;
+use ftsim_stats::JsonValue;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Milliseconds since the Unix epoch — the fabric's shared clock.
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// One process's fabric identity and lease policy.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// This worker's owner id, written into every claim it holds.
+    pub owner: String,
+    /// How long a claim lives without renewal before peers may steal it.
+    pub lease: Duration,
+}
+
+impl FabricConfig {
+    /// A config with a process-unique owner id and the given lease.
+    /// Multiple configs in one process (tests) get distinct owners.
+    pub fn new(lease: Duration) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let host = std::env::var("HOSTNAME").unwrap_or_else(|_| "local".to_string());
+        Self {
+            owner: format!("{host}:{}:{seq}", std::process::id()),
+            lease,
+        }
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self::new(Duration::from_secs(30))
+    }
+}
+
+/// A parsed claim-lease document.
+struct Lease {
+    owner: String,
+    expires_unix_ms: u64,
+    renewals: u64,
+}
+
+impl Lease {
+    fn to_json(&self) -> String {
+        JsonValue::obj([
+            ("owner".to_string(), JsonValue::Str(self.owner.clone())),
+            (
+                "expires_unix_ms".to_string(),
+                JsonValue::U64(self.expires_unix_ms),
+            ),
+            ("renewals".to_string(), JsonValue::U64(self.renewals)),
+        ])
+        .render_pretty(2)
+    }
+
+    fn parse(text: &str) -> Option<Self> {
+        let doc = JsonValue::parse(text).ok()?;
+        Some(Self {
+            owner: doc.get("owner")?.as_str()?.to_string(),
+            expires_unix_ms: doc.get("expires_unix_ms")?.as_u64()?,
+            renewals: doc.get("renewals")?.as_u64()?,
+        })
+    }
+}
+
+fn read_lease(path: &Path) -> Option<Lease> {
+    Lease::parse(&std::fs::read_to_string(path).ok()?)
+}
+
+/// A held claim on one family. Dropping the guard releases the claim
+/// (best-effort — an unreleased claim simply expires).
+#[derive(Debug)]
+pub struct ClaimGuard {
+    path: PathBuf,
+    owner: String,
+    lease: Duration,
+    renewals: u64,
+    renewed: Instant,
+}
+
+impl ClaimGuard {
+    /// Renews the lease when it is due (past a quarter of the lease
+    /// period — cheap enough to call after every cell). Returns `false`
+    /// when the claim has been lost: the file no longer names this
+    /// owner, so a peer stole an expired lease or finalization cleaned
+    /// the claims up, and the caller must abandon the family. (Any cell
+    /// the thief re-runs produces a byte-identical record, so the
+    /// overlap is wasted work, not corruption.)
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] when the renewed lease cannot be written.
+    pub fn renew(&mut self) -> Result<bool, DaemonError> {
+        if self.renewed.elapsed() < self.lease / 4 {
+            return Ok(true);
+        }
+        match read_lease(&self.path) {
+            Some(l) if l.owner == self.owner => {
+                self.renewals += 1;
+                let doc = Lease {
+                    owner: self.owner.clone(),
+                    expires_unix_ms: now_ms() + self.lease.as_millis() as u64,
+                    renewals: self.renewals,
+                };
+                write_atomic(&self.path, doc.to_json().as_bytes())?;
+                self.renewed = Instant::now();
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        // Release only what is still ours; a stolen claim belongs to the
+        // thief now.
+        if read_lease(&self.path).is_some_and(|l| l.owner == self.owner) {
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
+}
+
+/// Writes a fresh lease at `path` with `create_new` semantics. Returns
+/// `Ok(false)` when someone else holds the file.
+fn create_claim(path: &Path, owner: &str, lease: Duration) -> io::Result<bool> {
+    use std::io::Write as _;
+    let doc = Lease {
+        owner: owner.to_string(),
+        expires_unix_ms: now_ms() + lease.as_millis() as u64,
+        renewals: 0,
+    };
+    match std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)
+    {
+        Ok(mut file) => {
+            file.write_all(doc.to_json().as_bytes())?;
+            file.sync_data()?;
+            Ok(true)
+        }
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Tries to claim `family` in `job`. Returns `None` when the family is
+/// held by a live lease (or this process lost the race for it).
+///
+/// # Errors
+///
+/// [`DaemonError::Io`] for claims-directory trouble.
+pub fn try_claim(
+    job: &Job,
+    family: &FamilyId,
+    cfg: &FabricConfig,
+) -> Result<Option<ClaimGuard>, DaemonError> {
+    let dir = job.claims_dir();
+    std::fs::create_dir_all(&dir).map_err(io_err(format!("creating {}", dir.display())))?;
+    let path = dir.join(format!("{}.lease", family.slug()));
+    let claim = |path: &Path| {
+        create_claim(path, &cfg.owner, cfg.lease)
+            .map_err(io_err(format!("claiming {}", path.display())))
+    };
+    if claim(&path)? {
+        return Ok(Some(ClaimGuard {
+            path,
+            owner: cfg.owner.clone(),
+            lease: cfg.lease,
+            renewals: 0,
+            renewed: Instant::now(),
+        }));
+    }
+
+    // The file exists. Decide live vs stealable: a parseable lease
+    // speaks for itself; an unparseable one (a writer caught between
+    // create and write, or torn by a crash) is presumed live until its
+    // mtime is two leases old.
+    let stealable = match read_lease(&path) {
+        Some(l) => l.expires_unix_ms <= now_ms(),
+        None => match std::fs::metadata(&path).and_then(|m| m.modified()) {
+            Ok(mtime) => mtime
+                .elapsed()
+                .map(|age| age >= cfg.lease * 2)
+                .unwrap_or(false),
+            Err(_) => return Ok(None), // vanished between create and stat
+        },
+    };
+    if !stealable {
+        return Ok(None);
+    }
+
+    // Steal: rename to a unique stale name first. `rename` of a given
+    // source succeeds for exactly one racer, so two stealers cannot both
+    // proceed; the loser's `NotFound` means somebody else is handling
+    // it. Ownership itself still only comes from the `create_new` below.
+    static STALE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let stale = dir.join(format!(
+        "{}.stale.{}.{}",
+        family.slug(),
+        std::process::id(),
+        STALE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    match std::fs::rename(&path, &stale) {
+        Ok(()) => {
+            std::fs::remove_file(&stale).ok();
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(format!("stealing {}", path.display()))(e)),
+    }
+    Ok(if claim(&path)? {
+        Some(ClaimGuard {
+            path,
+            owner: cfg.owner.clone(),
+            lease: cfg.lease,
+            renewals: 0,
+            renewed: Instant::now(),
+        })
+    } else {
+        None
+    })
+}
+
+/// Live (unexpired) claims held on a job, by any owner.
+pub(crate) fn live_claims(job: &Job) -> usize {
+    let Ok(entries) = std::fs::read_dir(job.claims_dir()) else {
+        return 0;
+    };
+    let now = now_ms();
+    entries
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "lease"))
+        .filter(|e| read_lease(&e.path()).is_some_and(|l| l.expires_unix_ms > now))
+        .count()
+}
+
+/// The hashable projection of `RunRecord::same_identity`: two records
+/// are the same grid cell iff their keys are equal. Shared by the
+/// fabric's progress accounting and the CLI's `status`/`results`
+/// merging, so every layer matches streamed rows to grid cells the same
+/// way (newest row winning).
+pub(crate) type IdentityKey<'a> = (
+    &'a str,
+    &'a str,
+    &'a str,
+    u8,
+    bool,
+    u8,
+    u64,
+    &'a str,
+    u64,
+    u64,
+);
+
+pub(crate) fn identity_key(r: &RunRecord) -> IdentityKey<'_> {
+    (
+        r.workload.as_str(),
+        r.suite.as_str(),
+        r.model.as_str(),
+        r.r,
+        r.majority,
+        r.threshold,
+        r.fault_rate_pm.to_bits(),
+        r.site_mix.as_str(),
+        r.seed,
+        r.budget,
+    )
+}
+
+/// Indexes streamed records by identity, newest row winning: a cell
+/// re-run later (after a failure, or by a second claimant in a
+/// lost-lease window) appears twice in the log, and the recent record
+/// is the one kept.
+pub(crate) fn identity_index<'a>(
+    streamed: &'a [RunRecord],
+) -> HashMap<IdentityKey<'a>, &'a RunRecord> {
+    let mut index = HashMap::with_capacity(streamed.len());
+    for r in streamed {
+        index.insert(identity_key(r), r); // later rows overwrite earlier
+    }
+    index
+}
+
+/// One family's progress within a job.
+#[derive(Debug)]
+pub(crate) struct FamilyProgress {
+    /// The family coordinate.
+    pub family: FamilyId,
+    /// Cells of the family with a streamed (or final) record.
+    pub done: usize,
+    /// Cells in the family.
+    pub total: usize,
+}
+
+/// Per-family cells-done counts for a job: its grid identities grouped
+/// by family, each matched against the streamed `cells.csv`. A done
+/// job counts every cell even if some were never streamed
+/// (resume-matched cells are not re-appended).
+pub(crate) fn family_progress(
+    store: &JobStore,
+    job: &Job,
+) -> Result<Vec<FamilyProgress>, DaemonError> {
+    let spec = store.load_spec(job)?;
+    let identities = spec.to_experiment()?.identities()?;
+    let done_job = store
+        .load_status(job)
+        .map(|s| s.state == JobState::Done)
+        .unwrap_or(false);
+    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+    let (streamed, _) = from_csv_tolerant(&streamed);
+    let index = identity_index(&streamed);
+    Ok(group_families(&identities)
+        .into_iter()
+        .map(|(family, members)| {
+            let done = if done_job {
+                members.len()
+            } else {
+                members
+                    .iter()
+                    .filter(|&&i| index.contains_key(&identity_key(&identities[i])))
+                    .count()
+            };
+            FamilyProgress {
+                family,
+                done,
+                total: members.len(),
+            }
+        })
+        .collect())
+}
+
+/// A claimed unit of work: one family of one job.
+#[derive(Debug)]
+pub(crate) struct Assignment {
+    /// The job being worked.
+    pub job: Job,
+    /// Its parsed spec.
+    pub spec: JobSpec,
+    /// The claimed family.
+    pub family: FamilyId,
+    /// The held lease.
+    pub claim: ClaimGuard,
+    /// Job-level cells-done count at claim time (this worker's view —
+    /// peers advance it concurrently; stale counts are corrected by the
+    /// next status bump or finalization).
+    pub job_done: usize,
+    /// Job-level cell total.
+    pub job_total: usize,
+}
+
+/// What [`next_assignment`] found.
+#[derive(Debug)]
+pub(crate) enum NextWork {
+    /// A family was claimed; run it.
+    Work(Box<Assignment>),
+    /// Nothing claimable right now. `incomplete` counts non-terminal,
+    /// un-paused jobs — zero means the queue is truly drained, non-zero
+    /// means work exists but is held by live foreign claims (or needs a
+    /// lease to expire), so a draining server waits instead of exiting.
+    Idle {
+        /// Non-terminal, un-paused jobs left in the store.
+        incomplete: usize,
+    },
+}
+
+/// Picks and claims the next family to run, scanning jobs in scheduling
+/// order: priority descending, then the submitter's live-claim count
+/// ascending (fair share), then job id. Jobs whose spec no longer
+/// parses or resolves are marked failed in passing (with the error in
+/// their status) rather than wedging the queue. `only` restricts the
+/// scan to one job id — the single-job ([`run_job`](crate::run_job))
+/// special case.
+///
+/// # Errors
+///
+/// [`DaemonError`] only for store-level trouble (the queue itself being
+/// unreadable).
+pub(crate) fn next_assignment(
+    store: &JobStore,
+    cfg: &FabricConfig,
+    only: Option<&str>,
+) -> Result<NextWork, DaemonError> {
+    struct Candidate {
+        job: Job,
+        spec: JobSpec,
+        claims: usize,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut incomplete = 0usize;
+    for job in store.jobs()? {
+        if only.is_some_and(|id| id != job.id) {
+            continue;
+        }
+        let Ok(status) = store.load_status(&job) else {
+            continue;
+        };
+        if !matches!(status.state, JobState::Queued | JobState::Running) {
+            continue;
+        }
+        if store.job_stop_requested(&job) {
+            continue; // paused: not claimable, not blocking drain
+        }
+        let spec = match store.load_spec(&job) {
+            Ok(spec) => spec,
+            Err(e) => {
+                mark_failed(store, &job, &e);
+                continue;
+            }
+        };
+        incomplete += 1;
+        let claims = live_claims(&job);
+        if spec.threads > 0 && claims >= spec.threads {
+            continue; // at its fabric-wide concurrency cap
+        }
+        candidates.push(Candidate { job, spec, claims });
+    }
+
+    // Fair share: a submitter's weight is the live claims across all
+    // their incomplete jobs.
+    let mut by_submitter: HashMap<String, usize> = HashMap::new();
+    for c in &candidates {
+        *by_submitter.entry(c.spec.submitter.clone()).or_default() += c.claims;
+    }
+    candidates.sort_by(|a, b| {
+        b.spec
+            .priority
+            .cmp(&a.spec.priority)
+            .then_with(|| by_submitter[&a.spec.submitter].cmp(&by_submitter[&b.spec.submitter]))
+            .then_with(|| a.job.id.cmp(&b.job.id))
+    });
+
+    for c in candidates {
+        let identities = match c
+            .spec
+            .to_experiment()
+            .map_err(DaemonError::from)
+            .and_then(|e| e.identities().map_err(DaemonError::from))
+        {
+            Ok(ids) => ids,
+            Err(e) => {
+                mark_failed(store, &c.job, &e);
+                incomplete -= 1;
+                continue;
+            }
+        };
+        let streamed = std::fs::read_to_string(c.job.cells_path()).unwrap_or_default();
+        let (streamed, _) = from_csv_tolerant(&streamed);
+        let index = identity_index(&streamed);
+        let job_done = identities
+            .iter()
+            .filter(|id| index.contains_key(&identity_key(id)))
+            .count();
+        if job_done == identities.len() {
+            // Every cell has a record — e.g. a peer was killed after its
+            // last cell but before finalizing. Finish the paperwork.
+            try_finalize(store, &c.job, &c.spec)?;
+            incomplete -= 1;
+            continue;
+        }
+        for (family, members) in group_families(&identities) {
+            let missing = members
+                .iter()
+                .any(|&i| !index.contains_key(&identity_key(&identities[i])));
+            if !missing {
+                continue;
+            }
+            if let Some(claim) = try_claim(&c.job, &family, cfg)? {
+                return Ok(NextWork::Work(Box::new(Assignment {
+                    job: c.job,
+                    spec: c.spec,
+                    family,
+                    claim,
+                    job_done,
+                    job_total: identities.len(),
+                })));
+            }
+        }
+    }
+    Ok(NextWork::Idle { incomplete })
+}
+
+/// Parks a job as failed with the error in its status (best-effort).
+pub(crate) fn mark_failed(store: &JobStore, job: &Job, err: &DaemonError) {
+    eprintln!("ftsimd: job {} failed: {err}", job.id);
+    let mut status = store.load_status(job).unwrap_or(JobStatus {
+        state: JobState::Failed,
+        cells_total: 0,
+        cells_done: 0,
+        error: String::new(),
+    });
+    status.state = JobState::Failed;
+    status.error = err.to_string();
+    let _ = store.write_status(job, &status);
+}
+
+/// Best-effort status bump that never regresses a finalized job.
+pub(crate) fn bump_status(store: &JobStore, job: &Job, state: JobState, done: usize, total: usize) {
+    if let Ok(s) = store.load_status(job) {
+        if s.state == JobState::Done {
+            return;
+        }
+    }
+    let _ = store.write_status(
+        job,
+        &JobStatus {
+            state,
+            cells_total: total,
+            cells_done: done.min(total),
+            error: String::new(),
+        },
+    );
+}
+
+/// How a [`run_family`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FamilyOutcome {
+    /// Every cell of the family has a record.
+    Finished,
+    /// A stop request interrupted the family; streamed rows are kept.
+    Interrupted,
+    /// The claim was lost (lease stolen after an expiry); the thief owns
+    /// the family now and this worker's partial rows are still valid.
+    Lost,
+}
+
+/// Runs one claimed family to completion, streaming each record to the
+/// job's `cells.csv` and renewing the claim between cells.
+///
+/// Execution goes through a **sub-experiment**: the job's spec narrowed
+/// to the family's single workload, model and budget (full rate, mix
+/// and seed axes). Because a record is a pure function of its cell
+/// coordinates, the narrowed grid produces exactly the rows the full
+/// grid would — same fork bounds, same baseline decisions — without
+/// paying the whole job's planning cost per claim.
+///
+/// # Errors
+///
+/// [`DaemonError`] when the sub-grid cannot be built (the job is marked
+/// failed by the caller's next scan) or streaming I/O breaks.
+pub(crate) fn run_family(
+    store: &JobStore,
+    a: &mut Assignment,
+    stop: &dyn Fn() -> bool,
+) -> Result<FamilyOutcome, DaemonError> {
+    let mut sub = a.spec.clone();
+    sub.workloads = vec![a.family.workload.clone()];
+    sub.models = vec![a.family.model.clone()];
+    sub.budgets = vec![a.family.budget];
+    sub.threads = 1; // cells run on this worker thread only
+
+    let (mut writer, existing) =
+        AppendWriter::open(a.job.cells_path(), &RunRecord::csv_header())
+            .map_err(io_err(format!("opening {}", a.job.cells_path().display())))?;
+    let (prior, dropped) = from_csv_tolerant(&existing);
+    if dropped > 0 {
+        eprintln!(
+            "ftsimd: {}: dropped {dropped} torn line(s) from cells.csv; re-simulating those cells",
+            a.job.id
+        );
+    }
+    let plan = sub
+        .to_experiment()?
+        .resume_from(prior)
+        .plan()
+        .map_err(DaemonError::Experiment)?;
+
+    let mut done = a.job_done;
+    for idx in 0..plan.len() {
+        if plan.prior(idx).is_some() {
+            continue; // already recorded (this pass resumed it)
+        }
+        if stop() {
+            return Ok(FamilyOutcome::Interrupted);
+        }
+        if !a.claim.renew()? {
+            return Ok(FamilyOutcome::Lost);
+        }
+        let record = plan.run_cell(idx);
+        writer
+            .append_row(&record.to_csv_row())
+            .map_err(io_err(format!(
+                "appending to {}",
+                a.job.cells_path().display()
+            )))?;
+        done += 1;
+        // Keep `status` live for dashboards. The count is this worker's
+        // view — concurrent peers make it momentarily stale, and the
+        // next bump or finalization corrects it.
+        bump_status(store, &a.job, JobState::Running, done, a.job_total);
+    }
+    a.job_done = done;
+    Ok(FamilyOutcome::Finished)
+}
+
+/// Merges a job's streamed records into grid order (newest row per
+/// cell), returning them with the grid's total cell count. An in-flight
+/// job yields fewer records than the total; a finalizable one yields
+/// exactly as many.
+///
+/// # Errors
+///
+/// [`DaemonError`] when the spec does not resolve to a grid.
+pub(crate) fn merged_records(
+    job: &Job,
+    spec: &JobSpec,
+) -> Result<(Vec<RunRecord>, usize), DaemonError> {
+    let identities = spec.to_experiment()?.identities()?;
+    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+    let (streamed, _) = from_csv_tolerant(&streamed);
+    let index = identity_index(&streamed);
+    let records: Vec<RunRecord> = identities
+        .iter()
+        .filter_map(|id| index.get(&identity_key(id)).copied().cloned())
+        .collect();
+    Ok((records, identities.len()))
+}
+
+/// Finalizes a job if — and only if — every grid cell has a streamed
+/// record: assembles the records in grid order (newest row per cell)
+/// and writes `results.csv`/`results.json` atomically, then marks the
+/// job done and clears its claims. Concurrent finalizers write
+/// byte-identical artifacts, so the last rename winning is harmless.
+/// Returns whether the job is now finalized.
+///
+/// # Errors
+///
+/// [`DaemonError`] for unresolvable specs or I/O trouble.
+pub(crate) fn try_finalize(
+    store: &JobStore,
+    job: &Job,
+    spec: &JobSpec,
+) -> Result<bool, DaemonError> {
+    let (records, total) = merged_records(job, spec)?;
+    if records.len() < total {
+        return Ok(false);
+    }
+    write_atomic(&job.results_path(), to_csv(&records).as_bytes())?;
+    write_atomic(&job.results_json_path(), to_json(&records).as_bytes())?;
+    store.write_status(
+        job,
+        &JobStatus {
+            state: JobState::Done,
+            cells_total: total,
+            cells_done: total,
+            error: String::new(),
+        },
+    )?;
+    // Claims are scaffolding; a straggler holding one re-runs a cell to
+    // a byte-identical row at worst.
+    std::fs::remove_dir_all(job.claims_dir()).ok();
+    Ok(true)
+}
+
+/// Re-queues `running` jobs that no live claim is working — the
+/// graceful-shutdown sweep, so a stopped fabric leaves only `queued`
+/// and terminal states behind (and the status files tell the truth:
+/// nobody is running them).
+pub(crate) fn requeue_unclaimed(store: &JobStore) -> Result<(), DaemonError> {
+    for job in store.jobs()? {
+        let Ok(status) = store.load_status(&job) else {
+            continue;
+        };
+        if status.state == JobState::Running && live_claims(&job) == 0 {
+            store.write_status(
+                &job,
+                &JobStatus {
+                    state: JobState::Queued,
+                    ..status
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_job(tag: &str) -> (JobStore, Job) {
+        let dir = std::env::temp_dir().join(format!("ftsimd-fabric-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = JobStore::open(dir).unwrap();
+        let mut spec = JobSpec::new("claims");
+        spec.workloads = vec!["gcc".to_string()];
+        spec.models = vec!["SS-1".to_string()];
+        spec.budgets = vec![1_000];
+        let (id, _) = store.submit(&spec).unwrap();
+        let job = store.job(&id).unwrap();
+        (store, job)
+    }
+
+    fn family() -> FamilyId {
+        FamilyId {
+            workload: "gcc".to_string(),
+            budget: 1_000,
+            model: "SS-1".to_string(),
+        }
+    }
+
+    #[test]
+    fn claim_is_exclusive_until_released() {
+        let (store, job) = temp_job("exclusive");
+        let cfg_a = FabricConfig::new(Duration::from_secs(30));
+        let cfg_b = FabricConfig::new(Duration::from_secs(30));
+        assert_ne!(cfg_a.owner, cfg_b.owner);
+
+        let held = try_claim(&job, &family(), &cfg_a).unwrap().unwrap();
+        assert!(try_claim(&job, &family(), &cfg_b).unwrap().is_none());
+        assert_eq!(live_claims(&job), 1);
+        drop(held);
+        assert_eq!(live_claims(&job), 0, "drop releases");
+        assert!(try_claim(&job, &family(), &cfg_b).unwrap().is_some());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn expired_lease_is_stolen_and_old_holder_notices() {
+        let (store, job) = temp_job("steal");
+        let fast = FabricConfig::new(Duration::from_millis(40));
+        let slow = FabricConfig::new(Duration::from_secs(30));
+
+        let mut dying = try_claim(&job, &family(), &fast).unwrap().unwrap();
+        std::thread::sleep(Duration::from_millis(80)); // lease expires
+        let thief = try_claim(&job, &family(), &slow).unwrap();
+        assert!(thief.is_some(), "an expired lease is stealable");
+        // The original holder's heartbeat sees the loss...
+        std::thread::sleep(Duration::from_millis(15)); // past lease/4
+        assert!(!dying.renew().unwrap());
+        // ...and its drop must not release the thief's claim.
+        drop(dying);
+        assert_eq!(live_claims(&job), 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn renewal_extends_the_lease() {
+        let (store, job) = temp_job("renew");
+        let cfg = FabricConfig::new(Duration::from_millis(120));
+        let other = FabricConfig::new(Duration::from_millis(120));
+        let mut held = try_claim(&job, &family(), &cfg).unwrap().unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(40));
+            assert!(held.renew().unwrap());
+            // The renewed lease is never stealable.
+            assert!(try_claim(&job, &family(), &other).unwrap().is_none());
+        }
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn unparseable_claim_is_held_until_stale() {
+        let (store, job) = temp_job("torn");
+        let cfg = FabricConfig::new(Duration::from_millis(60));
+        std::fs::create_dir_all(job.claims_dir()).unwrap();
+        let path = job.claims_dir().join(format!("{}.lease", family().slug()));
+        std::fs::write(&path, b"{ torn").unwrap();
+        // Fresh garbage is presumed a mid-write peer.
+        assert!(try_claim(&job, &family(), &cfg).unwrap().is_none());
+        // Two leases later it is debris.
+        std::thread::sleep(Duration::from_millis(130));
+        assert!(try_claim(&job, &family(), &cfg).unwrap().is_some());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn scheduling_prefers_priority_then_fair_share() {
+        let dir = std::env::temp_dir().join(format!("ftsimd-fabric-sched-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = JobStore::open(&dir).unwrap();
+        let mut base = JobSpec::new("low");
+        base.workloads = vec!["gcc".to_string()];
+        base.models = vec!["SS-1".to_string()];
+        base.budgets = vec![1_000];
+        base.submitter = "alice".to_string();
+        store.submit(&base).unwrap();
+        let mut vip = base.clone();
+        vip.name = "high".to_string();
+        vip.priority = 5;
+        vip.submitter = "bob".to_string();
+        let (vip_id, _) = store.submit(&vip).unwrap();
+
+        let cfg = FabricConfig::new(Duration::from_secs(30));
+        let NextWork::Work(a) = next_assignment(&store, &cfg, None).unwrap() else {
+            panic!("claimable work expected");
+        };
+        assert_eq!(a.job.id, vip_id, "higher priority claims first");
+
+        // With bob's job claimed, fair share points the next worker at
+        // alice's equal-priority job, even though bob submitted another:
+        let mut tie = base.clone();
+        tie.name = "bob-second".to_string();
+        tie.submitter = "bob".to_string();
+        store.submit(&tie).unwrap();
+        let NextWork::Work(b) = next_assignment(&store, &cfg, None).unwrap() else {
+            panic!("claimable work expected");
+        };
+        assert_eq!(
+            b.job.id, "0001-low",
+            "fair share prefers the submitter with no live claims"
+        );
+        drop((a, b));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paused_jobs_are_skipped_and_do_not_block_drain() {
+        let (store, job) = temp_job("paused");
+        store.request_job_stop(&job).unwrap();
+        let cfg = FabricConfig::new(Duration::from_secs(30));
+        match next_assignment(&store, &cfg, None).unwrap() {
+            NextWork::Idle { incomplete } => assert_eq!(incomplete, 0),
+            NextWork::Work(_) => panic!("paused jobs must not be claimed"),
+        }
+        // Re-submitting the identical spec un-pauses.
+        let spec = store.load_spec(&job).unwrap();
+        store.submit(&spec).unwrap();
+        assert!(matches!(
+            next_assignment(&store, &cfg, None).unwrap(),
+            NextWork::Work(_)
+        ));
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}

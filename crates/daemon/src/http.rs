@@ -1,0 +1,675 @@
+//! The daemon's HTTP API: a hand-rolled HTTP/1.1 server over
+//! [`std::net::TcpListener`] (this workspace takes no external
+//! dependencies — the TOML-subset parser in `spec.rs` set the
+//! precedent), plus the minimal client the `ftsimd --remote` paths use.
+//!
+//! The surface mirrors the CLI verbs one-to-one:
+//!
+//! | Route                       | Verb                               |
+//! |-----------------------------|------------------------------------|
+//! | `POST /jobs`                | submit-or-attach (body = spec)     |
+//! | `GET /jobs`                 | list every job                     |
+//! | `GET /jobs/<id>/status`     | one job's status + family progress |
+//! | `GET /jobs/<id>/results`    | grid-order CSV (`?json`, `?watch`) |
+//! | `GET /jobs/<id>/report`     | analysis report (JSON; `?format=text`) |
+//! | `POST /jobs/<id>/stop`      | pause one job                      |
+//! | `POST /stop`                | stop the serving daemon            |
+//!
+//! Responses carry `Connection: close` and either a `Content-Length`
+//! or — for `?watch` streams — no length at all: the client reads to
+//! EOF, which is what lets result rows flow as cells complete without
+//! chunked-encoding machinery. The bound address is written to
+//! `<state>/http.addr`, so `--listen 127.0.0.1:0` (tests, parallel CI)
+//! is discoverable.
+
+use crate::fabric::{family_progress, merged_records};
+use crate::spec::JobSpec;
+use crate::store::{io_err, write_atomic, DaemonError, Job, JobState, JobStore};
+use ftsim::harness::{from_csv, from_csv_tolerant_prefix, to_csv, to_json, RunRecord};
+use ftsim_stats::JsonValue;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) and body we accept.
+const MAX_HEAD: usize = 16 * 1024;
+const MAX_BODY: usize = 1024 * 1024;
+
+/// The daemon's HTTP listener, bound and advertised.
+pub(crate) struct HttpServer {
+    store: JobStore,
+    listener: TcpListener,
+    stopped: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Binds `addr`, writes the bound address to `<state>/http.addr`,
+    /// and returns the server ready to [`run`](Self::run).
+    pub(crate) fn bind(store: &JobStore, addr: &str) -> Result<Self, DaemonError> {
+        let listener =
+            TcpListener::bind(addr).map_err(io_err(format!("binding http listener on {addr}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(io_err("reading bound http address"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(io_err("configuring http listener"))?;
+        write_atomic(&store.http_addr_path(), local.to_string().as_bytes())?;
+        eprintln!("ftsimd: http api on {local}");
+        Ok(Self {
+            store: store.clone(),
+            listener,
+            stopped: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Accept loop: polls the (non-blocking) listener until
+    /// `should_stop`, handling each connection on its own thread.
+    /// In-flight `?watch` streams notice the shutdown via the shared
+    /// `stopped` flag and end their response cleanly.
+    pub(crate) fn run(&self, should_stop: &dyn Fn() -> bool, poll: Duration) {
+        let nap = poll.min(Duration::from_millis(50));
+        loop {
+            if should_stop() {
+                self.stopped.store(true, Ordering::SeqCst);
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let store = self.store.clone();
+                    let stopped = Arc::clone(&self.stopped);
+                    std::thread::spawn(move || {
+                        // A hung client must not wedge its thread forever.
+                        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+                        handle(&store, stream, &stopped);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(nap),
+                Err(_) => std::thread::sleep(nap),
+            }
+        }
+    }
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: String,
+}
+
+impl Request {
+    fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request from the stream.
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    // Read bytes until the blank line ending the head.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() > MAX_HEAD {
+            return Err("request head too large".to_string());
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-request".to_string()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("reading request: {e}")),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let target = parts.next().unwrap_or_default();
+    if method.is_empty() || target.is_empty() {
+        return Err(format!("malformed request line `{request_line}`"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("request body too large".to_string());
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading request body: {e}"))?;
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete response with a `Content-Length`.
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(code),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn respond_json(stream: &mut TcpStream, code: u16, body: &JsonValue) {
+    respond(stream, code, "application/json", &body.render_pretty(2));
+}
+
+fn error_json(message: impl Into<String>) -> JsonValue {
+    JsonValue::obj([("error".to_string(), JsonValue::Str(message.into()))])
+}
+
+/// Routes one request. Every handler failure turns into a JSON error
+/// response; nothing here can take the accept loop down.
+fn handle(store: &JobStore, mut stream: TcpStream, stopped: &AtomicBool) {
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(message) => {
+            respond_json(&mut stream, 400, &error_json(message));
+            return;
+        }
+    };
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => post_job(store, &mut stream, &req),
+        ("GET", ["jobs"]) => list_jobs(store, &mut stream),
+        ("GET", ["jobs", id, "status"]) => job_status(store, &mut stream, id),
+        ("GET", ["jobs", id, "results"]) => job_results(store, &mut stream, id, &req, stopped),
+        ("GET", ["jobs", id, "report"]) => job_report(store, &mut stream, id, &req),
+        ("POST", ["jobs", id, "stop"]) => job_stop(store, &mut stream, id),
+        ("POST", ["stop"]) => {
+            match store.request_stop() {
+                Ok(()) => respond_json(
+                    &mut stream,
+                    200,
+                    &JsonValue::obj([("stopping".to_string(), JsonValue::Bool(true))]),
+                ),
+                Err(e) => respond_json(&mut stream, 500, &error_json(e.to_string())),
+            };
+        }
+        ("GET", ["healthz"]) => respond(&mut stream, 200, "text/plain", "ok\n"),
+        (method, _) if method != "GET" && method != "POST" => {
+            respond_json(&mut stream, 405, &error_json("use GET or POST"));
+        }
+        _ => respond_json(
+            &mut stream,
+            404,
+            &error_json(format!("no route for {} {}", req.method, req.path)),
+        ),
+    }
+}
+
+fn lookup(store: &JobStore, stream: &mut TcpStream, id: &str) -> Option<Job> {
+    match store.job(id) {
+        Ok(job) => Some(job),
+        Err(e) => {
+            respond_json(stream, 404, &error_json(e.to_string()));
+            None
+        }
+    }
+}
+
+fn post_job(store: &JobStore, stream: &mut TcpStream, req: &Request) {
+    let spec = match JobSpec::parse(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            respond_json(stream, 400, &error_json(e.to_string()));
+            return;
+        }
+    };
+    match store.submit(&spec) {
+        Ok((id, created)) => {
+            let cells = store
+                .job(&id)
+                .and_then(|job| store.load_status(&job))
+                .map(|s| s.cells_total as u64)
+                .unwrap_or(0);
+            respond_json(
+                stream,
+                200,
+                &JsonValue::obj([
+                    ("id".to_string(), JsonValue::Str(id)),
+                    ("created".to_string(), JsonValue::Bool(created)),
+                    ("cells_total".to_string(), JsonValue::U64(cells)),
+                ]),
+            );
+        }
+        Err(e) => respond_json(stream, 400, &error_json(e.to_string())),
+    }
+}
+
+/// One job's listing entry: status plus the spec's submitter/priority.
+fn job_entry(store: &JobStore, job: &Job) -> JsonValue {
+    let (submitter, priority) = store
+        .load_spec(job)
+        .map(|s| (s.submitter, s.priority))
+        .unwrap_or_default();
+    let mut pairs = vec![("id".to_string(), JsonValue::Str(job.id.clone()))];
+    match store.load_status(job) {
+        Ok(s) => pairs.extend([
+            ("state".to_string(), JsonValue::Str(s.state.to_string())),
+            (
+                "cells_done".to_string(),
+                JsonValue::U64(s.cells_done as u64),
+            ),
+            (
+                "cells_total".to_string(),
+                JsonValue::U64(s.cells_total as u64),
+            ),
+            ("error".to_string(), JsonValue::Str(s.error)),
+        ]),
+        Err(e) => pairs.push(("error".to_string(), JsonValue::Str(e.to_string()))),
+    }
+    pairs.extend([
+        ("submitter".to_string(), JsonValue::Str(submitter)),
+        ("priority".to_string(), JsonValue::I64(priority)),
+        (
+            "paused".to_string(),
+            JsonValue::Bool(store.job_stop_requested(job)),
+        ),
+    ]);
+    JsonValue::Obj(pairs)
+}
+
+fn list_jobs(store: &JobStore, stream: &mut TcpStream) {
+    match store.jobs() {
+        Ok(jobs) => {
+            let entries = jobs.iter().map(|job| job_entry(store, job)).collect();
+            respond_json(
+                stream,
+                200,
+                &JsonValue::obj([("jobs".to_string(), JsonValue::Arr(entries))]),
+            );
+        }
+        Err(e) => respond_json(stream, 500, &error_json(e.to_string())),
+    }
+}
+
+fn job_status(store: &JobStore, stream: &mut TcpStream, id: &str) {
+    let Some(job) = lookup(store, stream, id) else {
+        return;
+    };
+    let mut doc = match job_entry(store, &job) {
+        JsonValue::Obj(pairs) => pairs,
+        _ => unreachable!("job_entry builds an object"),
+    };
+    // Family progress is best-effort decoration, exactly as in the CLI.
+    if let Ok(families) = family_progress(store, &job) {
+        doc.push((
+            "families".to_string(),
+            JsonValue::Arr(
+                families
+                    .iter()
+                    .map(|f| {
+                        JsonValue::obj([
+                            (
+                                "workload".to_string(),
+                                JsonValue::Str(f.family.workload.clone()),
+                            ),
+                            ("budget".to_string(), JsonValue::U64(f.family.budget)),
+                            ("model".to_string(), JsonValue::Str(f.family.model.clone())),
+                            ("done".to_string(), JsonValue::U64(f.done as u64)),
+                            ("total".to_string(), JsonValue::U64(f.total as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    respond_json(stream, 200, &JsonValue::Obj(doc));
+}
+
+fn job_results(
+    store: &JobStore,
+    stream: &mut TcpStream,
+    id: &str,
+    req: &Request,
+    stopped: &AtomicBool,
+) {
+    let Some(job) = lookup(store, stream, id) else {
+        return;
+    };
+    if req.query("watch").is_some() {
+        let interval = req
+            .query("interval")
+            .and_then(|v| v.parse().ok())
+            .map_or(Duration::from_millis(500), Duration::from_millis);
+        stream_results(store, stream, &job, interval, stopped);
+        return;
+    }
+    let json = req.query("json").is_some();
+    let done = store
+        .load_status(&job)
+        .map(|s| s.state == JobState::Done)
+        .unwrap_or(false);
+    if done {
+        // A finished job's artifacts are canonical: serve them verbatim.
+        let path = if json {
+            job.results_json_path()
+        } else {
+            job.results_path()
+        };
+        match std::fs::read_to_string(&path) {
+            Ok(text) => respond(
+                stream,
+                200,
+                if json { "application/json" } else { "text/csv" },
+                &text,
+            ),
+            Err(e) => respond_json(stream, 500, &error_json(format!("reading results: {e}"))),
+        }
+        return;
+    }
+    let merged = store
+        .load_spec(&job)
+        .and_then(|spec| merged_records(&job, &spec));
+    match merged {
+        Ok((records, _total)) => {
+            if json {
+                respond(stream, 200, "application/json", &to_json(&records));
+            } else {
+                respond(stream, 200, "text/csv", &to_csv(&records));
+            }
+        }
+        Err(e) => respond_json(stream, 500, &error_json(e.to_string())),
+    }
+}
+
+/// Streams a job's records as CSV rows while they arrive — the HTTP
+/// twin of `ftsimd results --watch`. The response has no
+/// `Content-Length`; the client reads rows until the job reaches a
+/// terminal state (or the daemon shuts down) and the connection closes.
+fn stream_results(
+    store: &JobStore,
+    stream: &mut TcpStream,
+    job: &Job,
+    interval: Duration,
+    stopped: &AtomicBool,
+) {
+    let header = RunRecord::csv_header();
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/csv\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    if stream.write_all(format!("{header}\n").as_bytes()).is_err() {
+        return;
+    }
+    let mut consumed = 0usize; // bytes of cells.csv fully parsed
+    loop {
+        // Status first, cells second: a record streamed before the
+        // terminal status was set is guaranteed to be seen by the final
+        // read.
+        let state = store.load_status(job).map(|s| s.state);
+        let text = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+        if text.len() > consumed {
+            let (rows, parsed) = if consumed == 0 {
+                from_csv_tolerant_prefix(&text)
+            } else {
+                let doc = format!("{header}\n{}", &text[consumed..]);
+                let (rows, parsed) = from_csv_tolerant_prefix(&doc);
+                (rows, parsed.saturating_sub(header.len() + 1))
+            };
+            consumed += parsed;
+            for r in &rows {
+                if stream
+                    .write_all(format!("{}\n", r.to_csv_row()).as_bytes())
+                    .is_err()
+                {
+                    return; // client went away
+                }
+            }
+            if stream.flush().is_err() {
+                return;
+            }
+        }
+        match state {
+            Ok(JobState::Done | JobState::Failed) | Err(_) => return,
+            Ok(JobState::Queued | JobState::Running) => {
+                if stopped.load(Ordering::SeqCst) {
+                    return; // daemon shutting down: end the stream
+                }
+                std::thread::sleep(interval);
+            }
+        }
+    }
+}
+
+fn job_report(store: &JobStore, stream: &mut TcpStream, id: &str, req: &Request) {
+    let Some(job) = lookup(store, stream, id) else {
+        return;
+    };
+    let done = store
+        .load_status(&job)
+        .map(|s| s.state == JobState::Done)
+        .unwrap_or(false);
+    let records = if done {
+        std::fs::read_to_string(job.results_path())
+            .map_err(|e| e.to_string())
+            .and_then(|text| from_csv(&text).map_err(|e| e.to_string()))
+    } else {
+        store
+            .load_spec(&job)
+            .and_then(|spec| merged_records(&job, &spec))
+            .map(|(records, _)| records)
+            .map_err(|e| e.to_string())
+    };
+    match records {
+        Ok(records) => {
+            let report = ftsim_analysis::analyze_records(&records);
+            if req.query("format") == Some("text") {
+                respond(stream, 200, "text/plain", &report.render());
+            } else {
+                respond(stream, 200, "application/json", &report.to_json());
+            }
+        }
+        Err(message) => respond_json(stream, 500, &error_json(message)),
+    }
+}
+
+fn job_stop(store: &JobStore, stream: &mut TcpStream, id: &str) {
+    let Some(job) = lookup(store, stream, id) else {
+        return;
+    };
+    match store.request_job_stop(&job) {
+        Ok(()) => respond_json(
+            stream,
+            200,
+            &JsonValue::obj([("paused".to_string(), JsonValue::Str(job.id))]),
+        ),
+        Err(e) => respond_json(stream, 500, &error_json(e.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client — what `ftsimd --remote <addr>` speaks. No filesystem access:
+// everything the remote verbs show comes over the socket.
+
+/// Performs one request and returns `(status, body)`. The body is read
+/// to EOF (every server response carries `Connection: close`).
+pub(crate) fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading response: {e}"))?;
+    split_response(&response)
+}
+
+fn split_response(response: &str) -> Result<(u16, String), String> {
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed response (no header/body break)")?;
+    let code = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    Ok((code, body.to_string()))
+}
+
+/// Performs a streaming GET, invoking `on_line` for each body line as
+/// it arrives (used by `results --watch` over `--remote`). Stops early
+/// when `on_line` returns `false` (e.g. a broken downstream pipe).
+pub(crate) fn http_stream(
+    addr: &str,
+    path: &str,
+    on_line: &mut dyn FnMut(&str) -> bool,
+) -> Result<u16, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    // Head: read header lines until the blank one.
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading status line: {e}"))?;
+    let code: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("reading headers: {e}"))?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    // Body: forward line by line until EOF or the sink gives up.
+    loop {
+        let mut body_line = String::new();
+        match reader.read_line(&mut body_line) {
+            Ok(0) => return Ok(code),
+            Ok(_) => {
+                if !on_line(body_line.trim_end_matches(['\r', '\n'])) {
+                    return Ok(code);
+                }
+            }
+            Err(e) => return Err(format!("reading stream: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_splitting() {
+        let (code, body) =
+            split_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "hi");
+        assert!(split_response("garbage").is_err());
+    }
+
+    #[test]
+    fn server_round_trip_over_a_real_socket() {
+        let dir = std::env::temp_dir().join(format!("ftsimd-http-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = JobStore::open(&dir).unwrap();
+        let server = HttpServer::bind(&store, "127.0.0.1:0").unwrap();
+        let addr = std::fs::read_to_string(store.http_addr_path()).unwrap();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.run(&|| stop.load(Ordering::SeqCst), Duration::from_millis(10)));
+
+            // Submit over HTTP...
+            let spec = "name = \"http-rt\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\nbudgets = [1000]\n";
+            let (code, body) = http_request(&addr, "POST", "/jobs", Some(spec)).unwrap();
+            assert_eq!(code, 200, "{body}");
+            let doc = JsonValue::parse(&body).unwrap();
+            let id = doc.get("id").unwrap().as_str().unwrap().to_string();
+            assert_eq!(doc.get("created").unwrap().as_bool(), Some(true));
+
+            // ...list and status see it...
+            let (code, body) = http_request(&addr, "GET", "/jobs", None).unwrap();
+            assert_eq!(code, 200);
+            assert!(body.contains(&id));
+            let (code, body) =
+                http_request(&addr, "GET", &format!("/jobs/{id}/status"), None).unwrap();
+            assert_eq!(code, 200);
+            let doc = JsonValue::parse(&body).unwrap();
+            assert_eq!(doc.get("state").unwrap().as_str(), Some("queued"));
+
+            // ...a bad spec and a bad id are client errors...
+            let (code, _) = http_request(&addr, "POST", "/jobs", Some("nope =")).unwrap();
+            assert_eq!(code, 400);
+            let (code, _) = http_request(&addr, "GET", "/jobs/0099-nope/status", None).unwrap();
+            assert_eq!(code, 404);
+            let (code, _) = http_request(&addr, "PUT", "/jobs", None).unwrap();
+            assert_eq!(code, 405);
+
+            // ...and a per-job stop pauses it.
+            let (code, _) = http_request(&addr, "POST", &format!("/jobs/{id}/stop"), None).unwrap();
+            assert_eq!(code, 200);
+            let job = store.job(&id).unwrap();
+            assert!(store.job_stop_requested(&job));
+
+            stop.store(true, Ordering::SeqCst);
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -21,8 +21,16 @@
 //!   sentinel;
 //! * [`run_job`] / [`serve`] — execution: family-sharded workers,
 //!   crash-safe streaming, resume-on-restart, and the daemon loop;
+//! * the **fabric** ([`try_claim`], [`ClaimGuard`], [`FabricConfig`]) —
+//!   per-family claim files with lease expiry and heartbeat renewal, so
+//!   N `serve` processes on one state directory partition work, steal
+//!   from crashed peers, and schedule by priority + submitter fair
+//!   share; single-process operation is the N=1 special case;
+//! * an HTTP API (`serve --listen`) and its `--remote` client — every
+//!   daemon verb over a hand-rolled `std::net` server, no filesystem
+//!   access required of submitters;
 //! * [`cli`] — the `ftsimd` command-line front end
-//!   (`submit`/`serve`/`status`/`results`/`stop`).
+//!   (`submit`/`serve`/`jobs`/`status`/`results`/`report`/`stop`).
 //!
 //! The load-bearing invariant, inherited from the harness and checked
 //! by this crate's integration test: **a job's final results are
@@ -62,10 +70,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+mod fabric;
+mod http;
 mod runner;
 mod spec;
 mod store;
 
+pub use fabric::{try_claim, ClaimGuard, FabricConfig};
 pub use runner::{install_signal_handlers, run_job, serve, signalled, JobOutcome, ServeOptions};
 pub use spec::{model_by_name, JobSpec, SpecError};
 pub use store::{DaemonError, Job, JobState, JobStatus, JobStore};

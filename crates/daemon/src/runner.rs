@@ -1,28 +1,33 @@
-//! Job execution: the family-sharded worker pool, incremental result
-//! streaming, and the serve loop.
+//! Job execution: the fabric worker loop, incremental result streaming,
+//! and the serve loop.
 //!
-//! One job runs as follows. The spec's [`Experiment`] is rebuilt, primed
-//! with every record already in the job's `cells.csv` (so a restarted
-//! daemon re-simulates nothing), and materialized into a
-//! [`SweepPlan`](ftsim::harness::SweepPlan). The plan's runnable cells
-//! are grouped into **shards** — one per (workload, budget, model)
-//! family — and a worker pool pulls whole shards: the first cell of a
-//! shard warms the family's checkpointed fault-free baseline, and every
-//! faulty sibling in the shard then forks from it, exactly as the
-//! one-shot [`Experiment::run`] would. Each completed cell's record is
-//! appended to `cells.csv` (one synced write per row) before the worker
-//! moves on, so killing the daemon — gracefully or with `SIGKILL` —
-//! loses at most the cells in flight.
+//! Since the fabric landed, *all* execution — one process or many —
+//! goes through the claim/lease scheduler in [`crate::fabric`]: a
+//! worker thread repeatedly asks [`next_assignment`] for a family to
+//! claim, runs it through a narrowed sub-experiment
+//! ([`run_family`]), and finalizes the job when its last cell lands
+//! ([`try_finalize`]). A single `ftsimd serve` process is simply the
+//! N=1 special case — its workers contend for claims nobody else
+//! wants — which is what keeps the determinism goldens unchanged: the
+//! records a family produces do not depend on who claimed it.
 //!
-//! When every cell has a record, the job's records are assembled in grid
-//! order and written as `results.csv`/`results.json` — byte-identical to
-//! what `Experiment::run` on the same axes would serialize, which the
-//! daemon integration test asserts.
+//! Each completed cell's record is appended to the job's `cells.csv`
+//! (one synced write per row) before the worker moves on, so killing a
+//! daemon — gracefully or with `SIGKILL` — loses at most the cells in
+//! flight, and any surviving process steals the dead one's families
+//! once their leases expire.
+//!
+//! When every cell has a record, the job's records are assembled in
+//! grid order and written as `results.csv`/`results.json` —
+//! byte-identical to what `Experiment::run` on the same axes would
+//! serialize, which the daemon integration tests assert.
 
-use crate::store::{io_err, write_atomic, DaemonError, Job, JobState, JobStatus, JobStore};
-use ftsim::harness::{from_csv_tolerant, to_csv, to_json, RunRecord};
-use ftsim_stats::csv::AppendWriter;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::fabric::{
+    bump_status, next_assignment, requeue_unclaimed, run_family, try_finalize, FabricConfig,
+    FamilyOutcome, NextWork,
+};
+use crate::store::{DaemonError, Job, JobState, JobStore};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -34,6 +39,10 @@ pub enum JobOutcome {
     /// A shutdown request interrupted the sweep; the job is re-queued
     /// with its streamed records intact.
     Interrupted,
+    /// This process ran out of claimable work, but the job is not done:
+    /// its remaining families are held by other fabric processes (or
+    /// the job was paused). Whoever streams the last cell finalizes.
+    Yielded,
 }
 
 /// Process-wide graceful-shutdown flag, set by SIGINT/SIGTERM (via
@@ -66,85 +75,66 @@ pub fn install_signal_handlers() {
     }
 }
 
-/// Runs one job to completion or interruption, streaming records.
+/// Worker-pool width: the spec's `threads` cap, or every available core.
+fn worker_count(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Runs one job until this process can make no more progress on it,
+/// streaming records. This is the fabric restricted to a single job id:
+/// workers claim its families one by one and run them; if another
+/// process holds some families, the call returns
+/// [`JobOutcome::Yielded`] instead of waiting.
 ///
-/// Progress is visible throughout: `status.json` moves to `running` with
-/// a live `cells_done` count, and `cells.csv` grows one synced row per
-/// completed cell. `stop` is polled between cells (alongside the store's
-/// stop sentinel and the process [`signalled`] flag); on interruption the
-/// job goes back to `queued` and the next `serve` resumes it.
+/// Progress is visible throughout: `status.json` moves to `running`
+/// with a live `cells_done` count, and `cells.csv` grows one synced row
+/// per completed cell. `stop` is polled between cells (alongside the
+/// store's stop sentinel and the process [`signalled`] flag); on
+/// interruption the job goes back to `queued` and the next `serve`
+/// resumes it.
 ///
 /// # Errors
 ///
 /// [`DaemonError`] for unrunnable jobs (bad spec/grid — the job is
 /// marked `failed`) or state-directory I/O trouble.
 pub fn run_job(store: &JobStore, job: &Job, stop: &AtomicBool) -> Result<JobOutcome, DaemonError> {
-    let spec = store.load_spec(job);
-    let planned = spec.and_then(|spec| {
-        let (writer, existing) = AppendWriter::open(job.cells_path(), &RunRecord::csv_header())
-            .map_err(io_err(format!("opening {}", job.cells_path().display())))?;
-        let (prior, dropped) = from_csv_tolerant(&existing);
-        if dropped > 0 {
-            eprintln!(
-                "ftsimd: {}: dropped {dropped} torn line(s) from cells.csv; re-simulating those cells",
-                job.id
-            );
-        }
-        let plan = spec
-            .to_experiment()?
-            .resume_from(prior)
-            .plan()
-            .map_err(DaemonError::Experiment)?;
-        Ok((writer, plan))
-    });
-    let (writer, plan) = match planned {
-        Ok(parts) => parts,
+    run_job_with(store, job, stop, &FabricConfig::default())
+}
+
+/// [`run_job`] with an explicit fabric identity/lease policy.
+///
+/// # Errors
+///
+/// As [`run_job`].
+pub fn run_job_with(
+    store: &JobStore,
+    job: &Job,
+    stop: &AtomicBool,
+    cfg: &FabricConfig,
+) -> Result<JobOutcome, DaemonError> {
+    // Surface unrunnable jobs now (marked failed by the scheduler scan),
+    // and learn the worker width from the spec.
+    let threads = match store.load_spec(job) {
+        Ok(spec) => spec.threads,
         Err(e) => {
-            // The job itself is unrunnable: record why and park it as
-            // failed rather than wedging the queue on it forever.
-            let mut status = store.load_status(job).unwrap_or(JobStatus {
-                state: JobState::Failed,
-                cells_total: 0,
-                cells_done: 0,
-                error: String::new(),
-            });
-            status.state = JobState::Failed;
-            status.error = e.to_string();
-            store.write_status(job, &status)?;
+            crate::fabric::mark_failed(store, job, &e);
             return Err(e);
         }
     };
-
-    let total = plan.len();
-    let done_at_start = total - plan.runnable();
-    store.write_status(
-        job,
-        &JobStatus {
-            state: JobState::Running,
-            cells_total: total,
-            cells_done: done_at_start,
-            error: String::new(),
-        },
-    )?;
-
-    // Shards keep each family's cells on one worker so the checkpointed
-    // baseline is warmed once and reused for every fork in the family.
-    let shards = plan.shards();
+    let workers = worker_count(threads);
     let should_stop = || stop.load(Ordering::SeqCst) || signalled() || store.stop_requested();
-
-    struct Progress {
-        writer: AppendWriter,
-        records: Vec<Option<RunRecord>>,
-        done: usize,
-    }
-    let progress = Mutex::new(Progress {
-        writer,
-        records: (0..total).map(|_| None).collect(),
-        done: done_at_start,
-    });
-    let next_shard = AtomicUsize::new(0);
-    let io_failure: Mutex<Option<DaemonError>> = Mutex::new(None);
-    let workers = plan.workers().min(shards.len().max(1));
+    let failure: Mutex<Option<DaemonError>> = Mutex::new(None);
+    let fail = |e: DaemonError| {
+        let mut slot = failure.lock().expect("failure lock");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        stop.store(true, Ordering::SeqCst);
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -152,110 +142,93 @@ pub fn run_job(store: &JobStore, job: &Job, stop: &AtomicBool) -> Result<JobOutc
                 if should_stop() {
                     break;
                 }
-                let si = next_shard.fetch_add(1, Ordering::Relaxed);
-                let Some(shard) = shards.get(si) else { break };
-                for &idx in shard {
-                    if should_stop() {
+                match next_assignment(store, cfg, Some(&job.id)) {
+                    Ok(NextWork::Work(mut a)) => {
+                        bump_status(store, &a.job, JobState::Running, a.job_done, a.job_total);
+                        match run_family(store, &mut a, &should_stop) {
+                            Ok(FamilyOutcome::Finished) => {
+                                if let Err(e) = try_finalize(store, &a.job, &a.spec) {
+                                    fail(e);
+                                }
+                            }
+                            Ok(FamilyOutcome::Interrupted | FamilyOutcome::Lost) => {}
+                            Err(e) => fail(e),
+                        }
+                    }
+                    Ok(NextWork::Idle { .. }) => break,
+                    Err(e) => {
+                        fail(e);
                         break;
                     }
-                    let record = plan.run_cell(idx);
-                    let mut p = progress.lock().expect("progress lock");
-                    let row = record.to_csv_row();
-                    p.records[idx] = Some(record);
-                    p.done += 1;
-                    let done = p.done;
-                    if let Err(e) = p.writer.append_row(&row) {
-                        *io_failure.lock().expect("failure lock") =
-                            Some(io_err(format!(
-                                "appending to {}",
-                                job.cells_path().display()
-                            ))(e));
-                        stop.store(true, Ordering::SeqCst);
-                        break;
-                    }
-                    drop(p);
-                    // Keep `status` live for dashboards; a torn write is
-                    // impossible (atomic replace) and a stale count is
-                    // corrected by the next cell.
-                    let _ = store.write_status(
-                        job,
-                        &JobStatus {
-                            state: JobState::Running,
-                            cells_total: total,
-                            cells_done: done,
-                            error: String::new(),
-                        },
-                    );
                 }
             });
         }
     });
 
-    if let Some(e) = io_failure.into_inner().expect("failure lock") {
+    let status = store.load_status(job)?;
+    if let Some(e) = failure.into_inner().expect("failure lock") {
         // Streaming broke: the job stays queued (its log is still
-        // consistent up to the failure) and the error propagates.
-        store.write_status(
-            job,
-            &JobStatus {
-                state: JobState::Queued,
-                cells_total: total,
-                cells_done: progress.lock().expect("progress lock").done,
-                error: String::new(),
-            },
-        )?;
+        // consistent up to the failure) and the error propagates —
+        // unless the scheduler already parked it as failed.
+        if status.state == JobState::Running {
+            bump_status(
+                store,
+                job,
+                JobState::Queued,
+                status.cells_done,
+                status.cells_total,
+            );
+        }
         return Err(e);
     }
-
-    let progress = progress.into_inner().expect("progress lock");
-    if progress.done < total {
-        store.write_status(
-            job,
-            &JobStatus {
-                state: JobState::Queued,
-                cells_total: total,
-                cells_done: progress.done,
-                error: String::new(),
-            },
-        )?;
-        return Ok(JobOutcome::Interrupted);
+    match status.state {
+        JobState::Done => Ok(JobOutcome::Completed),
+        _ if should_stop() => {
+            bump_status(
+                store,
+                job,
+                JobState::Queued,
+                status.cells_done,
+                status.cells_total,
+            );
+            Ok(JobOutcome::Interrupted)
+        }
+        _ => {
+            // No claimable work left here, but the job is not done:
+            // foreign claims (or a pause) hold the rest.
+            if status.state == JobState::Running && crate::fabric::live_claims(job) == 0 {
+                bump_status(
+                    store,
+                    job,
+                    JobState::Queued,
+                    status.cells_done,
+                    status.cells_total,
+                );
+            }
+            Ok(JobOutcome::Yielded)
+        }
     }
-
-    // Assemble final records in grid order: freshly-run cells from this
-    // pass, everything else from the prior (resumed) records.
-    let records: Vec<RunRecord> = progress
-        .records
-        .into_iter()
-        .enumerate()
-        .map(|(idx, slot)| match slot {
-            Some(record) => record,
-            None => plan
-                .prior(idx)
-                .cloned()
-                .expect("cells without a fresh record were resumed"),
-        })
-        .collect();
-    write_atomic(&job.results_path(), to_csv(&records).as_bytes())?;
-    write_atomic(&job.results_json_path(), to_json(&records).as_bytes())?;
-    store.write_status(
-        job,
-        &JobStatus {
-            state: JobState::Done,
-            cells_total: total,
-            cells_done: total,
-            error: String::new(),
-        },
-    )?;
-    Ok(JobOutcome::Completed)
 }
 
 /// Serve-loop options.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Exit once the queue is empty instead of polling for new jobs —
-    /// batch mode, used by tests and the examples.
+    /// Exit once every job is terminal instead of polling for new jobs —
+    /// batch mode, used by tests and the examples. Work held by live
+    /// foreign claims is *waited out* (their leases expire if the
+    /// holder died), so a draining server never abandons an incomplete
+    /// job.
     pub drain: bool,
     /// Queue poll interval when idle.
     pub poll: Duration,
+    /// Claim-lease duration: how long a crashed peer's families stay
+    /// unstealable.
+    pub lease: Duration,
+    /// Worker-thread count (`0` = one per available core).
+    pub workers: usize,
+    /// HTTP bind address (e.g. `127.0.0.1:0`); `None` disables the API.
+    /// The bound address is written to `<state>/http.addr`.
+    pub listen: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -263,60 +236,127 @@ impl Default for ServeOptions {
         Self {
             drain: false,
             poll: Duration::from_millis(500),
+            lease: Duration::from_secs(30),
+            workers: 0,
+            listen: None,
         }
     }
 }
 
-/// The daemon's main loop: repeatedly pick the oldest runnable job
-/// (`queued`, or `running` — a previous daemon's crash — which resumes
-/// from its streamed records) and execute it; between jobs, honour stop
-/// requests and, without [`ServeOptions::drain`], poll for new
-/// submissions.
+/// The daemon's main loop: a pool of fabric workers, each repeatedly
+/// claiming the highest-priority family across **all** jobs and
+/// running it. Work stealing falls out of the
+/// claim protocol: an idle worker — this process's or any peer's —
+/// claims whatever unclaimed (or expired-lease) family the scheduler
+/// ranks first, so N cooperating processes drain one store together.
 ///
 /// A job failing ([`JobState::Failed`], e.g. its spec no longer
 /// resolves) does not stop the daemon; the error is reported on stderr
-/// and the queue moves on.
+/// and the queue moves on. On graceful shutdown (signal, `ftsimd stop`,
+/// or a drained queue) `running` jobs nobody is working are re-queued.
+///
+/// With [`ServeOptions::listen`] set, an HTTP thread serves the daemon
+/// API (`POST /jobs`, `GET /jobs`, status/results/report/stop) on the
+/// bound address until the serve loop exits.
 ///
 /// # Errors
 ///
 /// [`DaemonError`] only for state-directory-level trouble (the queue
-/// itself being unreadable/unwritable).
+/// itself being unreadable/unwritable) or a bind failure.
 pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
     store.clear_stop()?;
     let stop = AtomicBool::new(false);
-    loop {
-        if stop.load(Ordering::SeqCst) || signalled() || store.stop_requested() {
-            println!("ftsimd: stop requested, exiting");
-            store.clear_stop()?;
-            return Ok(());
+    let cfg = FabricConfig::new(opts.lease);
+    let should_stop = || stop.load(Ordering::SeqCst) || signalled() || store.stop_requested();
+    let failure: Mutex<Option<DaemonError>> = Mutex::new(None);
+
+    let http = match &opts.listen {
+        Some(addr) => Some(crate::http::HttpServer::bind(store, addr)?),
+        None => None,
+    };
+
+    std::thread::scope(|scope| {
+        if let Some(server) = &http {
+            scope.spawn(|| server.run(&should_stop, opts.poll));
         }
-        let next = store.jobs()?.into_iter().find(|job| {
-            matches!(
-                store.load_status(job).map(|s| s.state),
-                Ok(JobState::Queued | JobState::Running)
-            )
-        });
-        match next {
-            Some(job) => match run_job(store, &job, &stop) {
-                Ok(JobOutcome::Completed) => println!("ftsimd: job {} done", job.id),
-                Ok(JobOutcome::Interrupted) => {
-                    println!("ftsimd: job {} interrupted, re-queued", job.id);
+        for _ in 0..worker_count(opts.workers) {
+            scope.spawn(|| loop {
+                if should_stop() {
+                    break;
                 }
-                Err(e) => eprintln!("ftsimd: job {} failed: {e}", job.id),
-            },
-            None if opts.drain => {
-                println!("ftsimd: queue drained, exiting");
-                return Ok(());
-            }
-            None => std::thread::sleep(opts.poll),
+                match next_assignment(store, &cfg, None) {
+                    Ok(NextWork::Work(mut a)) => {
+                        bump_status(store, &a.job, JobState::Running, a.job_done, a.job_total);
+                        match run_family(store, &mut a, &should_stop) {
+                            Ok(FamilyOutcome::Finished) => {
+                                match try_finalize(store, &a.job, &a.spec) {
+                                    Ok(true) => println!("ftsimd: job {} done", a.job.id),
+                                    Ok(false) => {}
+                                    Err(e) => {
+                                        eprintln!("ftsimd: finalizing {}: {e}", a.job.id);
+                                    }
+                                }
+                            }
+                            Ok(FamilyOutcome::Interrupted) => {
+                                println!("ftsimd: job {} interrupted, re-queued", a.job.id);
+                            }
+                            Ok(FamilyOutcome::Lost) => {
+                                eprintln!(
+                                    "ftsimd: lost claim on {} ({}); peer took over",
+                                    a.job.id, a.family
+                                );
+                            }
+                            Err(e) => {
+                                // Per-job trouble (bad sub-grid, broken
+                                // stream): report and move on; the job is
+                                // either parked failed or stays queued.
+                                eprintln!("ftsimd: job {} failed: {e}", a.job.id);
+                                std::thread::sleep(opts.poll);
+                            }
+                        }
+                    }
+                    Ok(NextWork::Idle { incomplete }) => {
+                        if incomplete == 0 && opts.drain {
+                            break;
+                        }
+                        // Idle with incomplete jobs in drain mode means
+                        // live foreign claims: wait for progress or for
+                        // their leases to expire, then steal.
+                        std::thread::sleep(opts.poll);
+                    }
+                    Err(e) => {
+                        // The store itself is unreadable: fatal.
+                        let mut slot = failure.lock().expect("failure lock");
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            });
         }
+    });
+    drop(http);
+
+    if let Some(e) = failure.into_inner().expect("failure lock") {
+        return Err(e);
     }
+    if should_stop() {
+        println!("ftsimd: stop requested, exiting");
+    } else {
+        println!("ftsimd: queue drained, exiting");
+    }
+    requeue_unclaimed(store)?;
+    store.clear_stop()?;
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::JobSpec;
+    use ftsim::harness::{to_csv, to_json};
 
     fn temp_store(tag: &str) -> JobStore {
         let dir = std::env::temp_dir().join(format!("ftsimd-runner-{tag}-{}", std::process::id()));
@@ -348,6 +388,10 @@ mod tests {
         assert_eq!(from_daemon, to_csv(&direct));
         let json = std::fs::read_to_string(job.results_json_path()).unwrap();
         assert_eq!(json, to_json(&direct));
+        assert!(
+            !job.claims_dir().exists(),
+            "finalization cleans the claim table"
+        );
 
         // Re-running a done job's store is a no-op for serve (drain).
         serve(
@@ -355,6 +399,7 @@ mod tests {
             &ServeOptions {
                 drain: true,
                 poll: Duration::from_millis(1),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -402,6 +447,7 @@ mod tests {
             &ServeOptions {
                 drain: true,
                 poll: Duration::from_millis(1),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -410,6 +456,37 @@ mod tests {
             assert_eq!(store.load_status(&job).unwrap().state, JobState::Done);
             assert!(job.results_path().exists());
         }
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn a_foreign_claim_makes_run_job_yield() {
+        let store = temp_store("yield");
+        let (id, _) = store.submit(&spec()).unwrap();
+        let job = store.job(&id).unwrap();
+        // A peer (different owner) claims one of the four families.
+        let peer = FabricConfig::new(Duration::from_secs(30));
+        let family = ftsim::harness::FamilyId {
+            workload: "gcc".to_string(),
+            budget: 1_500,
+            model: "SS-1".to_string(),
+        };
+        let held = crate::fabric::try_claim(&job, &family, &peer)
+            .unwrap()
+            .expect("fresh claim");
+
+        let outcome = run_job(&store, &job, &AtomicBool::new(false)).unwrap();
+        assert_eq!(outcome, JobOutcome::Yielded, "peer holds gcc/SS-1");
+        drop(held);
+        // With the claim released, the job completes and matches the
+        // one-shot grid.
+        let outcome = run_job(&store, &job, &AtomicBool::new(false)).unwrap();
+        assert_eq!(outcome, JobOutcome::Completed);
+        let direct = spec().to_experiment().unwrap().run().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(job.results_path()).unwrap(),
+            to_csv(&direct)
+        );
         std::fs::remove_dir_all(store.root()).ok();
     }
 }

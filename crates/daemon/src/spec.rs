@@ -133,7 +133,15 @@ pub struct JobSpec {
     /// never changes a record.
     pub checkpointing: bool,
     /// Worker-thread cap (`0` = one per available core). Default: `0`.
+    /// In the fabric this also caps how many *claims* (families) may run
+    /// concurrently for this job across all cooperating processes.
     pub threads: usize,
+    /// Scheduling priority: higher runs first when the fabric picks the
+    /// next family to claim. Default: `0`.
+    pub priority: i64,
+    /// Who submitted the job — a free-form tenant label used for
+    /// fair-share scheduling across submitters. Default: `""`.
+    pub submitter: String,
 }
 
 impl JobSpec {
@@ -151,6 +159,8 @@ impl JobSpec {
             oracle: OracleMode::Off,
             checkpointing: true,
             threads: 0,
+            priority: 0,
+            submitter: String::new(),
         }
     }
 
@@ -174,7 +184,7 @@ impl JobSpec {
         let JsonValue::Obj(pairs) = doc else {
             return Err(SpecError::Syntax("spec must be a table/object".to_string()));
         };
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 12] = [
             "name",
             "workloads",
             "models",
@@ -185,6 +195,8 @@ impl JobSpec {
             "oracle",
             "checkpointing",
             "threads",
+            "priority",
+            "submitter",
         ];
         if let Some((key, _)) = pairs.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
             return Err(SpecError::UnknownField(key.clone()));
@@ -232,6 +244,17 @@ impl JobSpec {
                 .as_u64()
                 .and_then(|n| usize::try_from(n).ok())
                 .ok_or_else(|| bad("threads", "must be a non-negative integer"))?;
+        }
+        if let Some(v) = doc.get("priority") {
+            spec.priority = v
+                .as_i64()
+                .ok_or_else(|| bad("priority", "must be an integer"))?;
+        }
+        if let Some(v) = doc.get("submitter") {
+            spec.submitter = v
+                .as_str()
+                .ok_or_else(|| bad("submitter", "must be a string"))?
+                .to_string();
         }
         Ok(spec)
     }
@@ -296,6 +319,11 @@ impl JobSpec {
                 JsonValue::Bool(self.checkpointing),
             ),
             ("threads".to_string(), JsonValue::U64(self.threads as u64)),
+            ("priority".to_string(), JsonValue::I64(self.priority)),
+            (
+                "submitter".to_string(),
+                JsonValue::Str(self.submitter.clone()),
+            ),
         ])
         .render_pretty(2)
     }
@@ -634,6 +662,23 @@ mod tests {
         assert_eq!(spec.oracle, OracleMode::Off);
         assert!(spec.checkpointing, "prefix sharing defaults on");
         assert_eq!(spec.threads, 0);
+    }
+
+    #[test]
+    fn priority_and_submitter_round_trip() {
+        let spec = JobSpec::parse(
+            "name = \"vip\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\npriority = -2\nsubmitter = \"alice\"\n",
+        )
+        .unwrap();
+        assert_eq!(spec.priority, -2);
+        assert_eq!(spec.submitter, "alice");
+        let back = JobSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        let defaults =
+            JobSpec::parse("name = \"d\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\n").unwrap();
+        assert_eq!(defaults.priority, 0);
+        assert_eq!(defaults.submitter, "");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ```text
 //! <state>/
 //!   stop                      # graceful-shutdown sentinel (ftsimd stop)
+//!   http.addr                 # bound HTTP address (serve --listen)
 //!   jobs/
 //!     0001-fig6-mini/
 //!       spec.json             # canonical job spec (JobSpec::to_json)
@@ -14,6 +15,9 @@
 //!       cells.csv             # incremental results, append-safe
 //!       results.csv           # final records in grid order (done jobs)
 //!       results.json          # same records as JSON (done jobs)
+//!       stop                  # per-job pause sentinel (ftsimd stop JOB)
+//!       claims/               # fabric claim leases, one per family
+//!         gcc-4000-ss-2.lease
 //! ```
 //!
 //! `status.json` is always replaced via write-to-temp + rename, so a
@@ -241,6 +245,18 @@ impl Job {
     pub fn results_json_path(&self) -> PathBuf {
         self.dir.join("results.json")
     }
+
+    /// Directory of the fabric's per-family claim leases. Living inside
+    /// the job directory means `remove` and `--fresh` re-submissions
+    /// clean claims up with everything else.
+    pub fn claims_dir(&self) -> PathBuf {
+        self.dir.join("claims")
+    }
+
+    /// Path of the per-job pause sentinel (`ftsimd stop <JOB>`).
+    pub fn stop_path(&self) -> PathBuf {
+        self.dir.join("stop")
+    }
 }
 
 /// The daemon's persistent state directory: a queue of jobs plus the
@@ -280,6 +296,12 @@ impl JobStore {
         self.root.join("stop")
     }
 
+    /// Path of the bound-HTTP-address document written by
+    /// `serve --listen` (how clients and tests discover a `:0` bind).
+    pub fn http_addr_path(&self) -> PathBuf {
+        self.root.join("http.addr")
+    }
+
     /// Submits a job, or **attaches** to an existing one: if some job in
     /// the store has a byte-identical canonical spec, its id is returned
     /// with `created == false` instead of duplicating the work (this is
@@ -301,6 +323,9 @@ impl JobStore {
             let existing = std::fs::read_to_string(job.spec_path())
                 .map_err(io_err(format!("reading {}", job.spec_path().display())))?;
             if existing == canonical {
+                // Re-submitting a paused job un-pauses it: attaching is
+                // the explicit "I want this to run" signal.
+                self.clear_job_stop(job)?;
                 return Ok((job.id.clone(), false));
             }
         }
@@ -454,6 +479,36 @@ impl JobStore {
             Err(e) => Err(io_err(format!("removing {}", self.stop_path().display()))(
                 e,
             )),
+        }
+    }
+
+    /// Pauses one job: the fabric stops claiming its families (cells in
+    /// flight finish and are kept). Re-submitting the identical spec
+    /// un-pauses it.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`].
+    pub fn request_job_stop(&self, job: &Job) -> Result<(), DaemonError> {
+        std::fs::write(job.stop_path(), b"paused\n")
+            .map_err(io_err(format!("writing {}", job.stop_path().display())))
+    }
+
+    /// Whether a job is paused.
+    pub fn job_stop_requested(&self, job: &Job) -> bool {
+        job.stop_path().exists()
+    }
+
+    /// Clears a job's pause sentinel.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] (a missing sentinel is fine).
+    pub fn clear_job_stop(&self, job: &Job) -> Result<(), DaemonError> {
+        match std::fs::remove_file(job.stop_path()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(format!("removing {}", job.stop_path().display()))(e)),
         }
     }
 }

@@ -58,6 +58,15 @@ impl JsonValue {
         }
     }
 
+    /// The node as `i64` when it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            JsonValue::I64(x) => Some(x),
+            JsonValue::U64(x) => i64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
     /// The node as `f64` for any numeric variant.
     pub fn as_f64(&self) -> Option<f64> {
         match *self {

@@ -453,6 +453,82 @@ impl SweepPlan {
     }
 }
 
+/// The (workload, budget, model) coordinate shared by every cell that
+/// reuses one fault-free prefix — the unit of checkpoint sharing inside
+/// a process and of claim/lease ownership across cooperating `ftsimd`
+/// processes.
+///
+/// A `FamilyId` is derived purely from a record's identity fields, so
+/// any two processes looking at the same grid (or the same streamed
+/// `cells.csv`) agree on the family partition without coordination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FamilyId {
+    /// Workload (benchmark profile) name.
+    pub workload: String,
+    /// Committed-instruction budget.
+    pub budget: u64,
+    /// Machine model name.
+    pub model: String,
+}
+
+impl FamilyId {
+    /// The family of a record (identity or full — only the identity
+    /// fields are read).
+    pub fn of_record(r: &RunRecord) -> Self {
+        Self {
+            workload: r.workload.clone(),
+            budget: r.budget,
+            model: r.model.clone(),
+        }
+    }
+
+    /// A filesystem-safe slug naming this family, used for per-family
+    /// claim files: lowercase alphanumerics with `-` separators, e.g.
+    /// `gcc-4000-ss-2`. Distinct registry names yield distinct slugs
+    /// (workload and model names are plain ASCII identifiers).
+    pub fn slug(&self) -> String {
+        let squash = |s: &str| {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                if c.is_ascii_alphanumeric() {
+                    out.push(c.to_ascii_lowercase());
+                } else if !out.ends_with('-') {
+                    out.push('-');
+                }
+            }
+            out.trim_matches('-').to_string()
+        };
+        format!(
+            "{}-{}-{}",
+            squash(&self.workload),
+            self.budget,
+            squash(&self.model)
+        )
+    }
+}
+
+impl std::fmt::Display for FamilyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ {} on {}", self.workload, self.budget, self.model)
+    }
+}
+
+/// Groups identity records by family, preserving grid order: families
+/// appear in first-cell order and each family's member indices ascend.
+/// This is the partition both the in-process shard scheduler
+/// ([`SweepPlan::shards`]) and the multi-process claim table agree on.
+pub fn group_families(identities: &[RunRecord]) -> Vec<(FamilyId, Vec<usize>)> {
+    let mut families: Vec<(FamilyId, Vec<usize>)> = Vec::new();
+    for (idx, r) in identities.iter().enumerate() {
+        let id = FamilyId::of_record(r);
+        match families.iter_mut().find(|(f, _)| *f == id) {
+            Some((_, members)) => members.push(idx),
+            None => families.push((id, vec![idx])),
+        }
+    }
+    families
+}
+
 /// The flattened cell list, in deterministic grid order (workload-major,
 /// seed-minor). This is the **single definition of grid order** — record
 /// assembly ([`SweepPlan::run_all`]) and identity enumeration
