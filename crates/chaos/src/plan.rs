@@ -1,0 +1,304 @@
+//! Parsing for the `FTSIM_CHAOS=<seed>:<spec>` fault plan grammar.
+//!
+//! A plan is a 64-bit seed followed by a comma-separated list of clauses.
+//! Each clause names a fault kind, the failpoint site (or site glob) it
+//! applies to, and either a deterministic hit number or a probability:
+//!
+//! ```text
+//! FTSIM_CHAOS="42:abort@fabric.claim.renew#2,eio@store.*=0.1,skew=5000"
+//! ```
+//!
+//! Supported clauses:
+//!
+//! | clause                  | effect                                              |
+//! |-------------------------|-----------------------------------------------------|
+//! | `abort@SITE#N`          | `process::abort()` on the N-th hit of `SITE`        |
+//! | `torn@SITE#N`           | write a seeded prefix of the payload, then EIO      |
+//! | `drop-rename@SITE#N`    | destination lost after the unlink-visible moment    |
+//! | `eio@GLOB[=P]`          | return EIO with probability `P` (default 1)         |
+//! | `enospc@GLOB[=P]`       | return ENOSPC with probability `P` (default 1)      |
+//! | `delay@GLOB=P:MS`       | sleep `MS` milliseconds with probability `P`        |
+//! | `skew=MS`               | shift [`IoEnv::now_ms`] by `MS` (may be negative)   |
+//!
+//! `GLOB` is an exact site name, a prefix ending in `*`, or a bare `*`
+//! matching every site. Hit numbers are 1-based and counted per site.
+//!
+//! [`IoEnv::now_ms`]: crate::IoEnv::now_ms
+
+use std::fmt;
+
+/// One parsed fault clause. See the [module docs](self) for the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// Abort the process on the `nth` hit of `site`.
+    Abort {
+        /// Exact failpoint site name.
+        site: String,
+        /// 1-based hit number at which to abort.
+        nth: u64,
+    },
+    /// Tear the write on the `nth` hit of `site`: persist a seeded prefix
+    /// of the payload, then fail with EIO.
+    Torn {
+        /// Exact failpoint site name.
+        site: String,
+        /// 1-based hit number at which to tear.
+        nth: u64,
+    },
+    /// Drop a rename on the `nth` hit of `site`: the destination is removed
+    /// (the unlink-visible moment) and the rename itself fails with EIO.
+    DropRename {
+        /// Exact failpoint site name.
+        site: String,
+        /// 1-based hit number at which to drop.
+        nth: u64,
+    },
+    /// Fail matching sites with EIO at the given probability.
+    Eio {
+        /// Site glob (exact, `prefix*`, or `*`).
+        glob: String,
+        /// Injection probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Fail matching sites with ENOSPC at the given probability.
+    Enospc {
+        /// Site glob (exact, `prefix*`, or `*`).
+        glob: String,
+        /// Injection probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Sleep before matching sites at the given probability.
+    Delay {
+        /// Site glob (exact, `prefix*`, or `*`).
+        glob: String,
+        /// Injection probability in `[0, 1]`.
+        prob: f64,
+        /// Sleep duration in milliseconds.
+        ms: u64,
+    },
+    /// Shift the fabric clock by this many milliseconds (may be negative).
+    Skew {
+        /// Clock offset in milliseconds.
+        ms: i64,
+    },
+}
+
+/// A parsed `FTSIM_CHAOS` plan: RNG seed plus fault clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Seed for the plan's deterministic RNG (probabilities, tear points).
+    pub seed: u64,
+    /// Fault clauses, applied in order at each failpoint hit.
+    pub clauses: Vec<Clause>,
+}
+
+/// Error produced when a `FTSIM_CHAOS` spec does not parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid FTSIM_CHAOS spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+    })
+}
+
+fn parse_site_nth(body: &str, kind: &str) -> Result<(String, u64), ParseError> {
+    let Some((site, nth)) = body.rsplit_once('#') else {
+        return err(format!("`{kind}@{body}`: expected `{kind}@SITE#N`"));
+    };
+    if site.is_empty() {
+        return err(format!("`{kind}@{body}`: empty site name"));
+    }
+    let Ok(nth) = nth.parse::<u64>() else {
+        return err(format!(
+            "`{kind}@{body}`: hit number `{nth}` is not an integer"
+        ));
+    };
+    if nth == 0 {
+        return err(format!("`{kind}@{body}`: hit numbers are 1-based"));
+    }
+    Ok((site.to_string(), nth))
+}
+
+fn parse_glob_prob(body: &str, kind: &str) -> Result<(String, f64), ParseError> {
+    let (glob, prob) = match body.split_once('=') {
+        Some((glob, prob)) => {
+            let Ok(prob) = prob.parse::<f64>() else {
+                return err(format!(
+                    "`{kind}@{body}`: probability `{prob}` is not a number"
+                ));
+            };
+            (glob, prob)
+        }
+        None => (body, 1.0),
+    };
+    if glob.is_empty() {
+        return err(format!("`{kind}@{body}`: empty site glob"));
+    }
+    if !(0.0..=1.0).contains(&prob) {
+        return err(format!("`{kind}@{body}`: probability must be in [0, 1]"));
+    }
+    Ok((glob.to_string(), prob))
+}
+
+impl Plan {
+    /// Parses a `<seed>:<clause>[,<clause>...]` spec.
+    pub fn parse(spec: &str) -> Result<Plan, ParseError> {
+        let Some((seed, rest)) = spec.split_once(':') else {
+            return err("expected `<seed>:<clause>,...`");
+        };
+        let Ok(seed) = seed.trim().parse::<u64>() else {
+            return err(format!("seed `{seed}` is not a u64"));
+        };
+        let mut clauses = Vec::new();
+        for raw in rest.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            if let Some(ms) = raw.strip_prefix("skew=") {
+                let Ok(ms) = ms.parse::<i64>() else {
+                    return err(format!("`{raw}`: skew `{ms}` is not an i64"));
+                };
+                clauses.push(Clause::Skew { ms });
+                continue;
+            }
+            let Some((kind, body)) = raw.split_once('@') else {
+                return err(format!("`{raw}`: expected `<kind>@<site>`"));
+            };
+            let clause = match kind {
+                "abort" => {
+                    let (site, nth) = parse_site_nth(body, kind)?;
+                    Clause::Abort { site, nth }
+                }
+                "torn" => {
+                    let (site, nth) = parse_site_nth(body, kind)?;
+                    Clause::Torn { site, nth }
+                }
+                "drop-rename" => {
+                    let (site, nth) = parse_site_nth(body, kind)?;
+                    Clause::DropRename { site, nth }
+                }
+                "eio" => {
+                    let (glob, prob) = parse_glob_prob(body, kind)?;
+                    Clause::Eio { glob, prob }
+                }
+                "enospc" => {
+                    let (glob, prob) = parse_glob_prob(body, kind)?;
+                    Clause::Enospc { glob, prob }
+                }
+                "delay" => {
+                    let Some((head, ms)) = body.rsplit_once(':') else {
+                        return err(format!("`{raw}`: expected `delay@GLOB=P:MS`"));
+                    };
+                    let Ok(ms) = ms.parse::<u64>() else {
+                        return err(format!("`{raw}`: delay `{ms}` is not a u64"));
+                    };
+                    let (glob, prob) = parse_glob_prob(head, kind)?;
+                    Clause::Delay { glob, prob, ms }
+                }
+                other => return err(format!("`{raw}`: unknown fault kind `{other}`")),
+            };
+            clauses.push(clause);
+        }
+        if clauses.is_empty() {
+            return err("plan has no clauses");
+        }
+        Ok(Plan { seed, clauses })
+    }
+}
+
+/// Returns true when `glob` matches the failpoint `site`.
+///
+/// A glob is an exact name, a prefix ending in `*`, or a bare `*`.
+pub fn glob_matches(glob: &str, site: &str) -> bool {
+    match glob.strip_suffix('*') {
+        Some(prefix) => site.starts_with(prefix),
+        None => glob == site,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_clause_kind() {
+        let plan = Plan::parse(
+            "42:abort@fabric.claim.renew#2,torn@csv.append#3,drop-rename@store.write_status#1,\
+             eio@store.*=0.25,enospc@csv.append,delay@http.*=0.5:20,skew=-1500",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.clauses.len(), 7);
+        assert_eq!(
+            plan.clauses[0],
+            Clause::Abort {
+                site: "fabric.claim.renew".into(),
+                nth: 2
+            }
+        );
+        assert_eq!(
+            plan.clauses[3],
+            Clause::Eio {
+                glob: "store.*".into(),
+                prob: 0.25
+            }
+        );
+        assert_eq!(
+            plan.clauses[4],
+            Clause::Enospc {
+                glob: "csv.append".into(),
+                prob: 1.0
+            }
+        );
+        assert_eq!(
+            plan.clauses[5],
+            Clause::Delay {
+                glob: "http.*".into(),
+                prob: 0.5,
+                ms: 20
+            }
+        );
+        assert_eq!(plan.clauses[6], Clause::Skew { ms: -1500 });
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "no-colon",
+            "x:abort@a#1",
+            "1:",
+            "1:abort@site",
+            "1:abort@site#0",
+            "1:abort@#1",
+            "1:eio@site=2.0",
+            "1:eio@=0.5",
+            "1:delay@site=0.5",
+            "1:warp@site#1",
+            "1:skew=abc",
+        ] {
+            assert!(Plan::parse(bad).is_err(), "spec {bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_matches("*", "anything.at.all"));
+        assert!(glob_matches("store.*", "store.write_spec"));
+        assert!(!glob_matches("store.*", "fabric.lease.read"));
+        assert!(glob_matches("csv.append", "csv.append"));
+        assert!(!glob_matches("csv.append", "csv.append2"));
+    }
+}

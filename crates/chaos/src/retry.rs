@@ -1,0 +1,129 @@
+//! Exponential backoff with jitter, cap, and a bounded retry budget.
+//!
+//! Used by the `--remote` HTTP client, the claim-lease acquisition path,
+//! and the `results --watch` loops: transient failures retry with doubling,
+//! jittered delays; once the budget is exhausted the caller surfaces the
+//! last error instead of looping forever.
+
+use std::time::Duration;
+
+/// Exponential backoff policy: `base * 2^attempt`, jittered to between 50%
+/// and 100% of the nominal delay, clamped to `cap`, for at most `budget`
+/// retries.
+///
+/// The jitter stream is deterministic per [`Backoff::with_seed`] seed, so
+/// retry schedules are reproducible under test.
+///
+/// ```
+/// use std::time::Duration;
+/// use ftsim_chaos::retry::Backoff;
+///
+/// let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 3);
+/// let mut delays = Vec::new();
+/// while let Some(delay) = backoff.next_delay() {
+///     delays.push(delay); // would sleep here before retrying
+/// }
+/// assert_eq!(delays.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    budget: u32,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// Creates a policy with a fixed default jitter seed.
+    pub fn new(base: Duration, cap: Duration, budget: u32) -> Backoff {
+        Backoff::with_seed(base, cap, budget, 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Creates a policy whose jitter stream is derived from `seed`.
+    pub fn with_seed(base: Duration, cap: Duration, budget: u32, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            budget,
+            attempt: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// Number of retries handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Returns the next delay to sleep before retrying, or `None` when the
+    /// retry budget is exhausted and the caller should give up.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.budget {
+            return None;
+        }
+        let nominal = self
+            .base
+            .saturating_mul(1u32.checked_shl(self.attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        self.attempt += 1;
+        // xorshift64* jitter: scale nominal into [50%, 100%].
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let frac =
+            (self.rng.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        let scaled = nominal.as_secs_f64() * (0.5 + 0.5 * frac);
+        Some(Duration::from_secs_f64(scaled).min(self.cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_bounds_retries() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_secs(1), 4);
+        let mut n = 0;
+        while b.next_delay().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        assert_eq!(b.attempts(), 4);
+        assert!(b.next_delay().is_none());
+    }
+
+    #[test]
+    fn delays_grow_and_are_capped() {
+        let mut b =
+            Backoff::with_seed(Duration::from_millis(100), Duration::from_millis(350), 8, 7);
+        let delays: Vec<Duration> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(delays.len(), 8);
+        for (i, d) in delays.iter().enumerate() {
+            // Nominal for attempt i is min(100ms * 2^i, cap); jitter keeps it
+            // within [50%, 100%] of nominal.
+            let nominal = Duration::from_millis(100)
+                .saturating_mul(1 << i.min(20))
+                .min(Duration::from_millis(350));
+            assert!(*d <= nominal, "attempt {i}: {d:?} > nominal {nominal:?}");
+            assert!(
+                d.as_secs_f64() >= nominal.as_secs_f64() * 0.5 - 1e-9,
+                "attempt {i}: {d:?} below jitter floor"
+            );
+        }
+        // The tail is capped.
+        assert!(delays[7] <= Duration::from_millis(350));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut b =
+                Backoff::with_seed(Duration::from_millis(10), Duration::from_secs(1), 5, seed);
+            std::iter::from_fn(move || b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(3), collect(3));
+        assert_ne!(collect(3), collect(4));
+    }
+}

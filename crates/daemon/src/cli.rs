@@ -3,7 +3,8 @@
 //! ```text
 //! ftsimd submit <spec.toml|spec.json> [--state DIR | --remote ADDR]
 //! ftsimd serve  [--state DIR] [--drain] [--poll-ms N] [--listen ADDR]
-//!               [--lease-ms N] [--workers N]
+//!               [--lease-ms N] [--workers N] [--max-body BYTES]
+//!               [--head-timeout-ms N]
 //! ftsimd jobs   [--state DIR | --remote ADDR]
 //! ftsimd status [JOB] [--state DIR | --remote ADDR]
 //! ftsimd results <JOB> [--state DIR | --remote ADDR]
@@ -48,7 +49,8 @@ ftsimd — long-running sweep daemon for the ftsim fault-tolerant superscalar
 USAGE:
     ftsimd submit <spec.toml|spec.json> [--state DIR | --remote ADDR]
     ftsimd serve  [--state DIR] [--drain] [--poll-ms N] [--listen ADDR]
-                  [--lease-ms N] [--workers N]
+                  [--lease-ms N] [--workers N] [--max-body BYTES]
+                  [--head-timeout-ms N]
     ftsimd jobs   [--state DIR | --remote ADDR]
     ftsimd status [JOB] [--state DIR | --remote ADDR]
     ftsimd results <JOB> [--state DIR | --remote ADDR]
@@ -65,7 +67,9 @@ COMMANDS:
               work by family claims with --lease-ms expiry (default
               30000) and steal from crashed peers. --listen exposes the
               HTTP API (the bound address lands in <state>/http.addr);
-              --workers caps this process's worker threads. Ctrl-C,
+              --workers caps this process's worker threads; --max-body
+              and --head-timeout-ms bound HTTP request size (413) and
+              slow-loris patience (408). Ctrl-C,
               SIGTERM or `ftsimd stop` shut down gracefully (claimed
               work is re-queued and resumes from its streamed records).
     jobs      List every job: state, cell progress, submitter, priority.
@@ -88,11 +92,13 @@ The state directory defaults to ./ftsimd-state, or $FTSIMD_STATE.
 
 /// Flags that take a value (`--flag VALUE`); stored as `--flag=VALUE`.
 /// The `true` entries are validated as unsigned integers at parse time.
-const VALUE_FLAGS: [(&str, bool); 6] = [
+const VALUE_FLAGS: [(&str, bool); 8] = [
     ("--poll-ms", true),
     ("--interval", true),
     ("--lease-ms", true),
     ("--workers", true),
+    ("--max-body", true),
+    ("--head-timeout-ms", true),
     ("--listen", false),
     ("--remote", false),
 ];
@@ -321,6 +327,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "--listen",
         "--lease-ms",
         "--workers",
+        "--max-body",
+        "--head-timeout-ms",
     ])?;
     if !args.positional.is_empty() {
         return Err("serve takes no positional arguments".to_string());
@@ -330,6 +338,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     install_signal_handlers();
     let store = open_store(args)?;
+    let defaults = ServeOptions::default();
     let opts = ServeOptions {
         drain: args.flag("--drain"),
         poll: args.poll(),
@@ -342,6 +351,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
         listen: args.value("--listen").map(String::from),
+        max_body: args
+            .value("--max-body")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.max_body),
+        head_timeout: args
+            .value("--head-timeout-ms")
+            .and_then(|v| v.parse().ok())
+            .map_or(defaults.head_timeout, Duration::from_millis),
     };
     eprintln!(
         "ftsimd: serving {} ({})",
@@ -591,6 +608,11 @@ fn watch_remote(addr: &str, id: &str, interval_ms: u64) -> Result<(), String> {
 /// record ([`from_csv_tolerant_prefix`]) is remembered, and each poll
 /// parses only the appended suffix — a watch on a large job stays O(new
 /// rows) per tick instead of re-parsing the whole growing log.
+///
+/// Read trouble (a flaky disk, an injected `eio@fabric.cells.read`)
+/// does not kill the watch outright: consecutive failures back off
+/// exponentially under the shared [`crate::http::watch_backoff`]
+/// budget, and only an exhausted budget becomes a CLI error.
 fn watch_results(store: &JobStore, job: &Job, poll: Duration) -> Result<(), String> {
     use std::io::Write;
     let stdout = std::io::stdout();
@@ -601,14 +623,42 @@ fn watch_results(store: &JobStore, job: &Job, poll: Duration) -> Result<(), Stri
     }
     let mut printed = 0usize;
     let mut consumed = 0usize; // bytes of cells.csv fully parsed
+    let mut backoff = crate::http::watch_backoff();
+    let retry_or = |backoff: &mut ftsim_chaos::retry::Backoff, e: String| match backoff.next_delay()
+    {
+        Some(delay) => {
+            std::thread::sleep(delay);
+            Ok(())
+        }
+        None => Err(format!(
+            "watching {}: {e} (after {} consecutive failed reads)",
+            job.id,
+            backoff.attempts()
+        )),
+    };
     loop {
         // Status first, cells second: anything streamed before a
         // terminal status was set is guaranteed to be seen by the final
         // read, so no record can slip between the last poll and exit.
-        let status = store.load_status(job).map_err(|e| e.to_string())?;
-        let text = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
-        // `consumed` always sits on a record boundary; re-prefix the
-        // unparsed suffix with the header so it parses standalone.
+        let status = match store.load_status(job) {
+            Ok(status) => status,
+            Err(e) => {
+                retry_or(&mut backoff, e.to_string())?;
+                continue;
+            }
+        };
+        let text =
+            match ftsim_chaos::io().read(crate::failpoints::FABRIC_CELLS_READ, &job.cells_path()) {
+                Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => {
+                    retry_or(&mut backoff, e.to_string())?;
+                    continue;
+                }
+            };
+        backoff = crate::http::watch_backoff(); // a clean poll resets the budget
+                                                // `consumed` always sits on a record boundary; re-prefix the
+                                                // unparsed suffix with the header so it parses standalone.
         let rows = if text.len() > consumed {
             let (rows, parsed) = if consumed == 0 {
                 from_csv_tolerant_prefix(&text)

@@ -36,23 +36,42 @@
 //! id (submission order). A job's `threads` field caps its live claims
 //! fabric-wide, so one wide job cannot monopolize every process.
 
+use crate::failpoints as fp;
 use crate::spec::JobSpec;
 use crate::store::{io_err, write_atomic, DaemonError, Job, JobState, JobStatus, JobStore};
 use ftsim::harness::{from_csv_tolerant, group_families, to_csv, to_json, FamilyId, RunRecord};
+use ftsim_chaos::retry::Backoff;
 use ftsim_stats::csv::AppendWriter;
 use ftsim_stats::JsonValue;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant, SystemTime};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Milliseconds since the Unix epoch — the fabric's shared clock.
+/// Routed through the chaos layer so plans can skew it (`skew=MS`).
 fn now_ms() -> u64 {
-    SystemTime::now()
-        .duration_since(SystemTime::UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
+    ftsim_chaos::io().now_ms()
+}
+
+/// Stale (expired or unparseable) leases this process has stolen or
+/// quarantined — surfaced by `GET /healthz` as a flaky-peer indicator.
+static STALE_LEASES_OBSERVED: AtomicU64 = AtomicU64::new(0);
+
+/// Wall-clock of this process's last completed scheduler pass
+/// ([`next_assignment`]), for `GET /healthz` liveness checks.
+static LAST_SCHED_PASS_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Stale leases this process has observed (see `GET /healthz`).
+pub(crate) fn stale_leases_observed() -> u64 {
+    STALE_LEASES_OBSERVED.load(Ordering::Relaxed)
+}
+
+/// Unix-ms timestamp of the last completed scheduler pass, 0 if none.
+pub(crate) fn last_scheduler_pass_ms() -> u64 {
+    LAST_SCHED_PASS_MS.load(Ordering::Relaxed)
 }
 
 /// One process's fabric identity and lease policy.
@@ -115,7 +134,11 @@ impl Lease {
 }
 
 fn read_lease(path: &Path) -> Option<Lease> {
-    Lease::parse(&std::fs::read_to_string(path).ok()?)
+    Lease::parse(
+        &ftsim_chaos::io()
+            .read_to_string(fp::FABRIC_LEASE_READ, path)
+            .ok()?,
+    )
 }
 
 /// A held claim on one family. Dropping the guard releases the claim
@@ -153,7 +176,7 @@ impl ClaimGuard {
                     expires_unix_ms: now_ms() + self.lease.as_millis() as u64,
                     renewals: self.renewals,
                 };
-                write_atomic(&self.path, doc.to_json().as_bytes())?;
+                write_atomic(fp::FABRIC_CLAIM_RENEW, &self.path, doc.to_json().as_bytes())?;
                 self.renewed = Instant::now();
                 Ok(true)
             }
@@ -167,7 +190,9 @@ impl Drop for ClaimGuard {
         // Release only what is still ours; a stolen claim belongs to the
         // thief now.
         if read_lease(&self.path).is_some_and(|l| l.owner == self.owner) {
-            std::fs::remove_file(&self.path).ok();
+            ftsim_chaos::io()
+                .remove_file(fp::FABRIC_CLAIM_RELEASE, &self.path)
+                .ok();
         }
     }
 }
@@ -175,40 +200,51 @@ impl Drop for ClaimGuard {
 /// Writes a fresh lease at `path` with `create_new` semantics. Returns
 /// `Ok(false)` when someone else holds the file.
 fn create_claim(path: &Path, owner: &str, lease: Duration) -> io::Result<bool> {
-    use std::io::Write as _;
     let doc = Lease {
         owner: owner.to_string(),
         expires_unix_ms: now_ms() + lease.as_millis() as u64,
         renewals: 0,
     };
-    match std::fs::OpenOptions::new()
-        .write(true)
-        .create_new(true)
-        .open(path)
-    {
-        Ok(mut file) => {
-            file.write_all(doc.to_json().as_bytes())?;
-            file.sync_data()?;
-            Ok(true)
-        }
-        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
-        Err(e) => Err(e),
-    }
+    ftsim_chaos::io().create_new(fp::FABRIC_CLAIM_CREATE, path, doc.to_json().as_bytes())
 }
 
 /// Tries to claim `family` in `job`. Returns `None` when the family is
 /// held by a live lease (or this process lost the race for it).
 ///
+/// Transient I/O errors (a flaky NFS mount, an injected EIO) retry a
+/// few times with jittered exponential backoff before surfacing;
+/// acquisition races are *not* retried — losing `create_new` means a
+/// peer owns the family, which is the protocol working.
+///
 /// # Errors
 ///
-/// [`DaemonError::Io`] for claims-directory trouble.
+/// [`DaemonError::Io`] for persistent claims-directory trouble.
 pub fn try_claim(
     job: &Job,
     family: &FamilyId,
     cfg: &FabricConfig,
 ) -> Result<Option<ClaimGuard>, DaemonError> {
+    let mut backoff = Backoff::new(Duration::from_millis(5), Duration::from_millis(80), 3);
+    loop {
+        match try_claim_once(job, family, cfg) {
+            Ok(outcome) => return Ok(outcome),
+            Err(e) => match backoff.next_delay() {
+                Some(delay) => std::thread::sleep(delay),
+                None => return Err(e),
+            },
+        }
+    }
+}
+
+fn try_claim_once(
+    job: &Job,
+    family: &FamilyId,
+    cfg: &FabricConfig,
+) -> Result<Option<ClaimGuard>, DaemonError> {
+    let env = ftsim_chaos::io();
     let dir = job.claims_dir();
-    std::fs::create_dir_all(&dir).map_err(io_err(format!("creating {}", dir.display())))?;
+    env.create_dir_all(fp::FABRIC_CLAIM_CREATE, &dir)
+        .map_err(io_err(format!("creating {}", dir.display())))?;
     let path = dir.join(format!("{}.lease", family.slug()));
     let claim = |path: &Path| {
         create_claim(path, &cfg.owner, cfg.lease)
@@ -228,6 +264,7 @@ pub fn try_claim(
     // speaks for itself; an unparseable one (a writer caught between
     // create and write, or torn by a crash) is presumed live until its
     // mtime is two leases old.
+    let parseable = read_lease(&path).is_some();
     let stealable = match read_lease(&path) {
         Some(l) => l.expires_unix_ms <= now_ms(),
         None => match std::fs::metadata(&path).and_then(|m| m.modified()) {
@@ -253,9 +290,19 @@ pub fn try_claim(
         std::process::id(),
         STALE_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    match std::fs::rename(&path, &stale) {
+    match env.rename(fp::FABRIC_CLAIM_STEAL, &path, &stale) {
         Ok(()) => {
-            std::fs::remove_file(&stale).ok();
+            STALE_LEASES_OBSERVED.fetch_add(1, Ordering::Relaxed);
+            if parseable {
+                // Ordinary expiry of a crashed peer: debris.
+                env.remove_file(fp::FABRIC_CLAIM_STEAL, &stale).ok();
+            } else {
+                // Aged-out garbage is evidence of a torn write or a
+                // hostile filesystem — quarantine it for post-mortems
+                // instead of destroying it. (Best-effort: failing to
+                // file the evidence must not block the steal.)
+                quarantine_debris(job, &stale, "unparseable claim lease aged past 2x lease");
+            }
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(io_err(format!("stealing {}", path.display()))(e)),
@@ -273,16 +320,31 @@ pub fn try_claim(
     })
 }
 
+/// Best-effort quarantine for debris discovered inside a job directory
+/// (`<state>/jobs/<id>/...`): derives the state root from the job's
+/// path. Failures are swallowed — the caller is already on a recovery
+/// path and the debris has been renamed out of the protocol's way.
+fn quarantine_debris(job: &Job, path: &Path, reason: &str) {
+    let Some(root) = job.dir().parent().and_then(Path::parent) else {
+        return;
+    };
+    if let Ok(store) = JobStore::open(root) {
+        if let Err(e) = store.quarantine(path, reason) {
+            eprintln!("ftsimd: could not quarantine {}: {e}", path.display());
+        }
+    }
+}
+
 /// Live (unexpired) claims held on a job, by any owner.
 pub(crate) fn live_claims(job: &Job) -> usize {
-    let Ok(entries) = std::fs::read_dir(job.claims_dir()) else {
+    let Ok(entries) = ftsim_chaos::io().list_dir(fp::FABRIC_CLAIMS_LIST, &job.claims_dir()) else {
         return 0;
     };
     let now = now_ms();
     entries
-        .flatten()
-        .filter(|e| e.path().extension().is_some_and(|x| x == "lease"))
-        .filter(|e| read_lease(&e.path()).is_some_and(|l| l.expires_unix_ms > now))
+        .iter()
+        .filter(|p| p.extension().is_some_and(|x| x == "lease"))
+        .filter(|p| read_lease(p).is_some_and(|l| l.expires_unix_ms > now))
         .count()
 }
 
@@ -358,7 +420,7 @@ pub(crate) fn family_progress(
         .load_status(job)
         .map(|s| s.state == JobState::Done)
         .unwrap_or(false);
-    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+    let streamed = read_cells(job);
     let (streamed, _) = from_csv_tolerant(&streamed);
     let index = identity_index(&streamed);
     Ok(group_families(&identities)
@@ -443,8 +505,45 @@ pub(crate) fn next_assignment(
         if only.is_some_and(|id| id != job.id) {
             continue;
         }
-        let Ok(status) = store.load_status(&job) else {
-            continue;
+        let status = match store.load_status(&job) {
+            Ok(status) => status,
+            Err(DaemonError::Corrupt { path, message }) => {
+                // A torn or scribbled-on status must not wedge the job
+                // forever: move the evidence aside and recompute the
+                // truth from the spec and the streamed cells.
+                eprintln!(
+                    "ftsimd: job {}: corrupt status.json quarantined ({message})",
+                    job.id
+                );
+                if let Err(e) = store.quarantine(&path, &message) {
+                    eprintln!("ftsimd: quarantine failed: {e}");
+                }
+                match rebuild_status(store, &job) {
+                    Ok(status) => status,
+                    Err(e) => {
+                        note_job_error(store, &job, e, &mut incomplete);
+                        continue;
+                    }
+                }
+            }
+            Err(DaemonError::Io { source, .. }) if source.kind() == io::ErrorKind::NotFound => {
+                // No status at all — a crash between claiming the job
+                // dir and the first status write, or a dropped rename.
+                match rebuild_status(store, &job) {
+                    Ok(status) => status,
+                    Err(e) => {
+                        note_job_error(store, &job, e, &mut incomplete);
+                        continue;
+                    }
+                }
+            }
+            Err(_) => {
+                // Transient read error: the job is still outstanding
+                // work; keep a draining server alive and retry on the
+                // next pass.
+                incomplete += 1;
+                continue;
+            }
         };
         if !matches!(status.state, JobState::Queued | JobState::Running) {
             continue;
@@ -455,7 +554,7 @@ pub(crate) fn next_assignment(
         let spec = match store.load_spec(&job) {
             Ok(spec) => spec,
             Err(e) => {
-                mark_failed(store, &job, &e);
+                note_job_error(store, &job, e, &mut incomplete);
                 continue;
             }
         };
@@ -495,7 +594,7 @@ pub(crate) fn next_assignment(
                 continue;
             }
         };
-        let streamed = std::fs::read_to_string(c.job.cells_path()).unwrap_or_default();
+        let streamed = read_cells(&c.job);
         let (streamed, _) = from_csv_tolerant(&streamed);
         let index = identity_index(&streamed);
         let job_done = identities
@@ -517,6 +616,7 @@ pub(crate) fn next_assignment(
                 continue;
             }
             if let Some(claim) = try_claim(&c.job, &family, cfg)? {
+                LAST_SCHED_PASS_MS.store(now_ms(), Ordering::Relaxed);
                 return Ok(NextWork::Work(Box::new(Assignment {
                     job: c.job,
                     spec: c.spec,
@@ -528,7 +628,105 @@ pub(crate) fn next_assignment(
             }
         }
     }
+    LAST_SCHED_PASS_MS.store(now_ms(), Ordering::Relaxed);
     Ok(NextWork::Idle { incomplete })
+}
+
+/// Recomputes a job's status document from first principles — the
+/// spec's grid size and the streamed `cells.csv` — after the persisted
+/// status was found missing or corrupt, and persists the rebuilt
+/// document so dashboards see the recovery. Finalization (results
+/// files, `Done`) is re-derived by the normal scheduler path once the
+/// rebuilt job is scanned again.
+///
+/// # Errors
+///
+/// [`DaemonError`] when the spec itself is unreadable or unresolvable.
+fn rebuild_status(store: &JobStore, job: &Job) -> Result<JobStatus, DaemonError> {
+    let spec = store.load_spec(job)?;
+    let (records, total) = merged_records(job, &spec)?;
+    let status = JobStatus {
+        state: if records.len() == total {
+            // Every cell streamed: stays Running so the next scan's
+            // finalize path writes the results files and flips to Done.
+            JobState::Running
+        } else {
+            JobState::Queued
+        },
+        cells_total: total,
+        cells_done: records.len(),
+        error: String::new(),
+    };
+    store.write_status(job, &status)?;
+    eprintln!(
+        "ftsimd: job {}: rebuilt status.json from cells.csv ({}/{} cells)",
+        job.id, status.cells_done, status.cells_total
+    );
+    Ok(status)
+}
+
+/// Scheduler passes a job directory may sit without its `spec.json`
+/// before it is declared an aborted submit. `submit` creates the job
+/// directory and then writes the spec as two steps, so a concurrent
+/// scan can catch the gap; the file appears whole (the write is atomic)
+/// milliseconds later. A dead submit never fills the gap, and parking
+/// it after the grace keeps `--drain` from waiting forever.
+const SPECLESS_GRACE_PASSES: u32 = 8;
+
+/// Counts consecutive-ish scan passes that found a job specless (keyed
+/// by job id, process-local: the race this papers over is between
+/// threads of one process, and a fresh process re-counts harmlessly).
+fn specless_strikes(job_id: &str) -> u32 {
+    static STRIKES: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+    let mut map = STRIKES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap();
+    let n = map.entry(job_id.to_string()).or_insert(0);
+    *n += 1;
+    *n
+}
+
+/// Decides what a failed spec/status load means for the queue: a spec
+/// that no longer parses is permanent (quarantine it, park the job as
+/// failed), a spec still *missing* after a grace period is an aborted
+/// submit (park the shell job too), an unresolvable grid is permanent —
+/// and anything else is transient, so the job counts as incomplete (a
+/// draining server keeps waiting) and is retried on the next pass.
+fn note_job_error(store: &JobStore, job: &Job, err: DaemonError, incomplete: &mut usize) {
+    match &err {
+        DaemonError::Spec(_) => {
+            if let Err(e) = store.quarantine(&job.spec_path(), &err.to_string()) {
+                eprintln!("ftsimd: quarantine failed: {e}");
+            }
+            mark_failed(store, job, &err);
+        }
+        DaemonError::Io { source, .. } if source.kind() == io::ErrorKind::NotFound => {
+            // Either a submit caught between creating the directory and
+            // writing the spec, or one that died between the two. Give
+            // the former time to land before declaring the latter.
+            if specless_strikes(&job.id) > SPECLESS_GRACE_PASSES {
+                mark_failed(store, job, &err);
+            } else {
+                *incomplete += 1;
+            }
+        }
+        DaemonError::Experiment(_) => mark_failed(store, job, &err),
+        _ => *incomplete += 1,
+    }
+}
+
+/// Reads a job's streamed `cells.csv` leniently: a missing file is an
+/// empty log, a transient read error is treated the same (the rows are
+/// still on disk and re-run cells are byte-identical), and invalid
+/// UTF-8 from a write torn mid-character is decoded lossily so the
+/// damage stays confined to the trailing line the tolerant parser
+/// drops.
+fn read_cells(job: &Job) -> String {
+    match ftsim_chaos::io().read(fp::FABRIC_CELLS_READ, &job.cells_path()) {
+        Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+        Err(_) => String::new(),
+    }
 }
 
 /// Parks a job as failed with the error in its status (best-effort).
@@ -573,6 +771,11 @@ pub(crate) enum FamilyOutcome {
     /// The claim was lost (lease stolen after an expiry); the thief owns
     /// the family now and this worker's partial rows are still valid.
     Lost,
+    /// The disk filled up (ENOSPC on a cell append): the job was paused
+    /// with a visible status instead of crash-looping the worker. Every
+    /// streamed row is kept; re-submitting the spec after freeing space
+    /// resumes from them.
+    Paused,
 }
 
 /// Runs one claimed family to completion, streaming each record to the
@@ -601,8 +804,17 @@ pub(crate) fn run_family(
     sub.threads = 1; // cells run on this worker thread only
 
     let (mut writer, existing) =
-        AppendWriter::open(a.job.cells_path(), &RunRecord::csv_header())
-            .map_err(io_err(format!("opening {}", a.job.cells_path().display())))?;
+        match AppendWriter::open(a.job.cells_path(), &RunRecord::csv_header()) {
+            Ok(opened) => opened,
+            // The open itself appends (the header, or the tail repair), so a
+            // full disk can surface here just as well as on a row append.
+            Err(e) if ftsim_chaos::is_enospc(&e) => return Ok(pause_for_enospc(store, &a.job)),
+            Err(e) => {
+                return Err(io_err(format!("opening {}", a.job.cells_path().display()))(
+                    e,
+                ))
+            }
+        };
     let (prior, dropped) = from_csv_tolerant(&existing);
     if dropped > 0 {
         eprintln!(
@@ -628,12 +840,15 @@ pub(crate) fn run_family(
             return Ok(FamilyOutcome::Lost);
         }
         let record = plan.run_cell(idx);
-        writer
-            .append_row(&record.to_csv_row())
-            .map_err(io_err(format!(
+        if let Err(e) = writer.append_row(&record.to_csv_row()) {
+            if ftsim_chaos::is_enospc(&e) {
+                return Ok(pause_for_enospc(store, &a.job));
+            }
+            return Err(io_err(format!(
                 "appending to {}",
                 a.job.cells_path().display()
-            )))?;
+            ))(e));
+        }
         done += 1;
         // Keep `status` live for dashboards. The count is this worker's
         // view — concurrent peers make it momentarily stale, and the
@@ -642,6 +857,28 @@ pub(crate) fn run_family(
     }
     a.job_done = done;
     Ok(FamilyOutcome::Finished)
+}
+
+/// Disk full while streaming cells. Losing the record is unavoidable,
+/// but crashing the worker (and retrying into the same full disk) helps
+/// nobody: pause the job with a status a human will actually see, keep
+/// every streamed row, and let an identical re-submit resume once space
+/// exists.
+fn pause_for_enospc(store: &JobStore, job: &Job) -> FamilyOutcome {
+    eprintln!(
+        "ftsimd: job {}: disk full appending cells.csv; pausing the job",
+        job.id
+    );
+    let _ = store.request_job_stop(job);
+    if let Ok(mut status) = store.load_status(job) {
+        if status.state != JobState::Done {
+            status.error = "paused: no space left on device while appending cells.csv; \
+                 free space and re-submit the spec to resume"
+                .to_string();
+            let _ = store.write_status(job, &status);
+        }
+    }
+    FamilyOutcome::Paused
 }
 
 /// Merges a job's streamed records into grid order (newest row per
@@ -657,7 +894,7 @@ pub(crate) fn merged_records(
     spec: &JobSpec,
 ) -> Result<(Vec<RunRecord>, usize), DaemonError> {
     let identities = spec.to_experiment()?.identities()?;
-    let streamed = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+    let streamed = read_cells(job);
     let (streamed, _) = from_csv_tolerant(&streamed);
     let index = identity_index(&streamed);
     let records: Vec<RunRecord> = identities
@@ -686,8 +923,16 @@ pub(crate) fn try_finalize(
     if records.len() < total {
         return Ok(false);
     }
-    write_atomic(&job.results_path(), to_csv(&records).as_bytes())?;
-    write_atomic(&job.results_json_path(), to_json(&records).as_bytes())?;
+    write_atomic(
+        fp::FABRIC_FINALIZE_RESULTS_CSV,
+        &job.results_path(),
+        to_csv(&records).as_bytes(),
+    )?;
+    write_atomic(
+        fp::FABRIC_FINALIZE_RESULTS_JSON,
+        &job.results_json_path(),
+        to_json(&records).as_bytes(),
+    )?;
     store.write_status(
         job,
         &JobStatus {
@@ -699,7 +944,9 @@ pub(crate) fn try_finalize(
     )?;
     // Claims are scaffolding; a straggler holding one re-runs a cell to
     // a byte-identical row at worst.
-    std::fs::remove_dir_all(job.claims_dir()).ok();
+    ftsim_chaos::io()
+        .remove_dir_all(fp::FABRIC_FINALIZE_CLEAR_CLAIMS, &job.claims_dir())
+        .ok();
     Ok(true)
 }
 
@@ -853,6 +1100,58 @@ mod tests {
         );
         drop((a, b));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_status_is_quarantined_and_rebuilt() {
+        let (store, job) = temp_job("corrupt-status");
+        std::fs::write(job.status_path(), "{ definitely not json").unwrap();
+        let cfg = FabricConfig::new(Duration::from_secs(30));
+        let NextWork::Work(a) = next_assignment(&store, &cfg, None).unwrap() else {
+            panic!("job must be schedulable again after the rebuild");
+        };
+        assert_eq!(a.job.id, job.id);
+        drop(a);
+        assert_eq!(store.quarantined_count(), 1, "evidence must be preserved");
+        let rebuilt = store.load_status(&job).unwrap();
+        assert_eq!(rebuilt.cells_total, 1);
+        assert_eq!(rebuilt.cells_done, 0);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn missing_status_is_rebuilt() {
+        let (store, job) = temp_job("missing-status");
+        std::fs::remove_file(job.status_path()).unwrap();
+        let cfg = FabricConfig::new(Duration::from_secs(30));
+        assert!(matches!(
+            next_assignment(&store, &cfg, None).unwrap(),
+            NextWork::Work(_)
+        ));
+        assert!(job.status_path().exists(), "rebuilt status must persist");
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_spec_is_quarantined_and_job_parked_failed() {
+        let (store, job) = temp_job("corrupt-spec");
+        std::fs::write(job.spec_path(), "{{{{ not a spec").unwrap();
+        let cfg = FabricConfig::new(Duration::from_secs(30));
+        match next_assignment(&store, &cfg, None).unwrap() {
+            NextWork::Idle { incomplete } => {
+                assert_eq!(incomplete, 0, "a failed job must not block drain")
+            }
+            NextWork::Work(_) => panic!("a corrupt spec must not be runnable"),
+        }
+        assert!(
+            !job.spec_path().exists(),
+            "spec must be moved to quarantine"
+        );
+        assert!(store.quarantined_count() >= 1);
+        let status = store.load_status(&job).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert!(!status.error.is_empty());
+        std::fs::remove_dir_all(store.root()).ok();
     }
 
     #[test]

@@ -23,9 +23,11 @@
 //! is discoverable.
 
 use crate::fabric::{family_progress, merged_records};
+use crate::failpoints as fp;
 use crate::spec::JobSpec;
 use crate::store::{io_err, write_atomic, DaemonError, Job, JobState, JobStore};
 use ftsim::harness::{from_csv, from_csv_tolerant_prefix, to_csv, to_json, RunRecord};
+use ftsim_chaos::retry::Backoff;
 use ftsim_stats::JsonValue;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -33,21 +35,47 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Largest request head (request line + headers) and body we accept.
+/// Largest request head (request line + headers) we accept; the body
+/// bound is configurable via [`HttpLimits`].
 const MAX_HEAD: usize = 16 * 1024;
-const MAX_BODY: usize = 1024 * 1024;
+
+/// Request-size and request-pacing bounds the server enforces, set from
+/// `serve --max-body` / `--head-timeout-ms`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HttpLimits {
+    /// Largest request body accepted; larger submissions get `413`.
+    pub max_body: usize,
+    /// Socket read timeout while parsing a request. A slow-loris client
+    /// that dribbles its head slower than this gets `408`, freeing the
+    /// handler thread.
+    pub head_timeout: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self {
+            max_body: 1024 * 1024,
+            head_timeout: Duration::from_secs(10),
+        }
+    }
+}
 
 /// The daemon's HTTP listener, bound and advertised.
 pub(crate) struct HttpServer {
     store: JobStore,
     listener: TcpListener,
+    limits: HttpLimits,
     stopped: Arc<AtomicBool>,
 }
 
 impl HttpServer {
     /// Binds `addr`, writes the bound address to `<state>/http.addr`,
     /// and returns the server ready to [`run`](Self::run).
-    pub(crate) fn bind(store: &JobStore, addr: &str) -> Result<Self, DaemonError> {
+    pub(crate) fn bind(
+        store: &JobStore,
+        addr: &str,
+        limits: HttpLimits,
+    ) -> Result<Self, DaemonError> {
         let listener =
             TcpListener::bind(addr).map_err(io_err(format!("binding http listener on {addr}")))?;
         let local = listener
@@ -56,11 +84,16 @@ impl HttpServer {
         listener
             .set_nonblocking(true)
             .map_err(io_err("configuring http listener"))?;
-        write_atomic(&store.http_addr_path(), local.to_string().as_bytes())?;
+        write_atomic(
+            fp::HTTP_ADDR_WRITE,
+            &store.http_addr_path(),
+            local.to_string().as_bytes(),
+        )?;
         eprintln!("ftsimd: http api on {local}");
         Ok(Self {
             store: store.clone(),
             listener,
+            limits,
             stopped: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -78,12 +111,20 @@ impl HttpServer {
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    // The accept failpoint models the kernel handing us a
+                    // connection that dies before we can serve it: drop
+                    // it and keep accepting (clients retry).
+                    if let Err(e) = ftsim_chaos::io().gate(fp::HTTP_ACCEPT) {
+                        eprintln!("ftsimd: http accept: {e}");
+                        continue;
+                    }
                     let store = self.store.clone();
                     let stopped = Arc::clone(&self.stopped);
+                    let limits = self.limits;
                     std::thread::spawn(move || {
                         // A hung client must not wedge its thread forever.
-                        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
-                        handle(&store, stream, &stopped);
+                        stream.set_read_timeout(Some(limits.head_timeout)).ok();
+                        handle(&store, stream, limits, &stopped);
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(nap),
@@ -110,19 +151,50 @@ impl Request {
     }
 }
 
+/// A request the server refuses to process, with the HTTP status it
+/// owes the client: `400` (malformed), `408` (slow loris / timeout),
+/// `413` (oversized body) or `431` (oversized head).
+struct ReqError {
+    code: u16,
+    message: String,
+}
+
+impl ReqError {
+    fn new(code: u16, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// `408` for a socket read that timed out (a client dribbling bytes
+/// slower than the head timeout), `400` otherwise.
+fn read_error(context: &str, e: &std::io::Error) -> ReqError {
+    use std::io::ErrorKind::{TimedOut, WouldBlock};
+    if matches!(e.kind(), TimedOut | WouldBlock) {
+        ReqError::new(408, format!("timed out {context}"))
+    } else {
+        ReqError::new(400, format!("{context}: {e}"))
+    }
+}
+
 /// Reads and parses one HTTP/1.1 request from the stream.
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+fn read_request(stream: &mut TcpStream, limits: HttpLimits) -> Result<Request, ReqError> {
+    ftsim_chaos::io()
+        .gate(fp::HTTP_SERVER_READ)
+        .map_err(|e| read_error("reading request", &e))?;
     // Read bytes until the blank line ending the head.
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
     while !head.ends_with(b"\r\n\r\n") {
         if head.len() > MAX_HEAD {
-            return Err("request head too large".to_string());
+            return Err(ReqError::new(431, "request head too large"));
         }
         match stream.read(&mut byte) {
-            Ok(0) => return Err("connection closed mid-request".to_string()),
+            Ok(0) => return Err(ReqError::new(400, "connection closed mid-request")),
             Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(format!("reading request: {e}")),
+            Err(e) => return Err(read_error("reading request", &e)),
         }
     }
     let head = String::from_utf8_lossy(&head);
@@ -132,7 +204,10 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     let method = parts.next().unwrap_or_default().to_ascii_uppercase();
     let target = parts.next().unwrap_or_default();
     if method.is_empty() || target.is_empty() {
-        return Err(format!("malformed request line `{request_line}`"));
+        return Err(ReqError::new(
+            400,
+            format!("malformed request line `{request_line}`"),
+        ));
     }
     let mut content_length = 0usize;
     for line in lines {
@@ -141,17 +216,23 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "bad content-length".to_string())?;
+                    .map_err(|_| ReqError::new(400, "bad content-length"))?;
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err("request body too large".to_string());
+    if content_length > limits.max_body {
+        return Err(ReqError::new(
+            413,
+            format!(
+                "request body of {content_length} bytes exceeds the {} byte limit",
+                limits.max_body
+            ),
+        ));
     }
     let mut body = vec![0u8; content_length];
     stream
         .read_exact(&mut body)
-        .map_err(|e| format!("reading request body: {e}"))?;
+        .map_err(|e| read_error("reading request body", &e))?;
     let (path, query_text) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -178,12 +259,21 @@ fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         _ => "Internal Server Error",
     }
 }
 
 /// Writes a complete response with a `Content-Length`.
 fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    // An injected respond failure drops the response on the floor: the
+    // client sees a closed connection (and its retry layer re-asks).
+    if let Err(e) = ftsim_chaos::io().gate(fp::HTTP_SERVER_RESPOND) {
+        eprintln!("ftsimd: http respond: {e}");
+        return;
+    }
     let head = format!(
         "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         status_text(code),
@@ -204,11 +294,24 @@ fn error_json(message: impl Into<String>) -> JsonValue {
 
 /// Routes one request. Every handler failure turns into a JSON error
 /// response; nothing here can take the accept loop down.
-fn handle(store: &JobStore, mut stream: TcpStream, stopped: &AtomicBool) {
-    let req = match read_request(&mut stream) {
+fn handle(store: &JobStore, mut stream: TcpStream, limits: HttpLimits, stopped: &AtomicBool) {
+    let req = match read_request(&mut stream, limits) {
         Ok(req) => req,
-        Err(message) => {
-            respond_json(&mut stream, 400, &error_json(message));
+        Err(e) => {
+            respond_json(&mut stream, e.code, &error_json(e.message));
+            // Drain what the client already sent (an oversized body, a
+            // half-written head) before closing: dropping the socket
+            // with unread data makes the kernel RST the connection,
+            // which can destroy the error response before the client
+            // reads it.
+            let mut sink = [0u8; 4096];
+            let mut drained = 0usize;
+            while drained < 4 * 1024 * 1024 {
+                match stream.read(&mut sink) {
+                    Ok(n) if n > 0 => drained += n,
+                    _ => break,
+                }
+            }
             return;
         }
     };
@@ -230,7 +333,7 @@ fn handle(store: &JobStore, mut stream: TcpStream, stopped: &AtomicBool) {
                 Err(e) => respond_json(&mut stream, 500, &error_json(e.to_string())),
             };
         }
-        ("GET", ["healthz"]) => respond(&mut stream, 200, "text/plain", "ok\n"),
+        ("GET", ["healthz"]) => healthz(store, &mut stream),
         (method, _) if method != "GET" && method != "POST" => {
             respond_json(&mut stream, 405, &error_json("use GET or POST"));
         }
@@ -418,6 +521,14 @@ fn job_results(
     }
 }
 
+/// The retry budget a watch loop grants consecutive failed reads of
+/// `cells.csv` before ending the stream: 8 attempts, exponential from
+/// 25 ms, capped at 1 s. Shared by the HTTP `?watch` stream and the
+/// CLI `results --watch` loop so both degrade identically.
+pub(crate) fn watch_backoff() -> Backoff {
+    Backoff::new(Duration::from_millis(25), Duration::from_secs(1), 8)
+}
+
 /// Streams a job's records as CSV rows while they arrive — the HTTP
 /// twin of `ftsimd results --watch`. The response has no
 /// `Content-Length`; the client reads rows until the job reaches a
@@ -438,12 +549,44 @@ fn stream_results(
         return;
     }
     let mut consumed = 0usize; // bytes of cells.csv fully parsed
+    let mut backoff = watch_backoff();
     loop {
         // Status first, cells second: a record streamed before the
         // terminal status was set is guaranteed to be seen by the final
         // read.
-        let state = store.load_status(job).map(|s| s.state);
-        let text = std::fs::read_to_string(job.cells_path()).unwrap_or_default();
+        let state = match store.load_status(job) {
+            Ok(s) => s.state,
+            Err(e) => match backoff.next_delay() {
+                Some(delay) => {
+                    std::thread::sleep(delay);
+                    continue;
+                }
+                None => {
+                    eprintln!("ftsimd: watch stream on {}: {e}; giving up", job.id);
+                    return;
+                }
+            },
+        };
+        let text = match ftsim_chaos::io().read(fp::FABRIC_CELLS_READ, &job.cells_path()) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => {
+                // Transient read trouble: back off and retry; a budget
+                // of consecutive failures ends the stream (the client
+                // sees EOF and can re-watch).
+                match backoff.next_delay() {
+                    Some(delay) => {
+                        std::thread::sleep(delay);
+                        continue;
+                    }
+                    None => {
+                        eprintln!("ftsimd: watch stream on {}: {e}; giving up", job.id);
+                        return;
+                    }
+                }
+            }
+        };
+        backoff = watch_backoff(); // a successful read resets the budget
         if text.len() > consumed {
             let (rows, parsed) = if consumed == 0 {
                 from_csv_tolerant_prefix(&text)
@@ -466,8 +609,8 @@ fn stream_results(
             }
         }
         match state {
-            Ok(JobState::Done | JobState::Failed) | Err(_) => return,
-            Ok(JobState::Queued | JobState::Running) => {
+            JobState::Done | JobState::Failed => return,
+            JobState::Queued | JobState::Running => {
                 if stopped.load(Ordering::SeqCst) {
                     return; // daemon shutting down: end the stream
                 }
@@ -509,6 +652,47 @@ fn job_report(store: &JobStore, stream: &mut TcpStream, id: &str, req: &Request)
     }
 }
 
+/// `GET /healthz`: fabric diagnostics for dashboards and smoke tests —
+/// job and live-claim counts, how many stale peer leases this process
+/// has observed (and stolen), how many corrupt files sit in quarantine,
+/// and when the scheduler last completed a pass (0 until the first one).
+fn healthz(store: &JobStore, stream: &mut TcpStream) {
+    let (jobs, live) = match store.jobs() {
+        Ok(jobs) => {
+            let live = jobs
+                .iter()
+                .map(|j| crate::fabric::live_claims(j) as u64)
+                .sum();
+            (jobs.len() as u64, live)
+        }
+        Err(e) => {
+            respond_json(stream, 500, &error_json(e.to_string()));
+            return;
+        }
+    };
+    respond_json(
+        stream,
+        200,
+        &JsonValue::obj([
+            ("status".to_string(), JsonValue::Str("ok".to_string())),
+            ("jobs".to_string(), JsonValue::U64(jobs)),
+            ("live_claims".to_string(), JsonValue::U64(live)),
+            (
+                "stale_leases_observed".to_string(),
+                JsonValue::U64(crate::fabric::stale_leases_observed()),
+            ),
+            (
+                "quarantined".to_string(),
+                JsonValue::U64(store.quarantined_count() as u64),
+            ),
+            (
+                "last_scheduler_pass_unix_ms".to_string(),
+                JsonValue::U64(crate::fabric::last_scheduler_pass_ms()),
+            ),
+        ]),
+    );
+}
+
 fn job_stop(store: &JobStore, stream: &mut TcpStream, id: &str) {
     let Some(job) = lookup(store, stream, id) else {
         return;
@@ -527,14 +711,50 @@ fn job_stop(store: &JobStore, stream: &mut TcpStream, id: &str) {
 // Client — what `ftsimd --remote <addr>` speaks. No filesystem access:
 // everything the remote verbs show comes over the socket.
 
-/// Performs one request and returns `(status, body)`. The body is read
-/// to EOF (every server response carries `Connection: close`).
+/// The `--remote` client's retry budget: 8 attempts, exponential from
+/// 25 ms, capped at 2 s. Every daemon verb is idempotent (`POST /jobs`
+/// is submit-*or-attach*, the stops are level-triggered sentinels), so
+/// re-sending after a transport failure is always safe.
+fn client_backoff() -> Backoff {
+    Backoff::new(Duration::from_millis(25), Duration::from_secs(2), 8)
+}
+
+/// Performs one request with retry/backoff and returns `(status, body)`.
+/// Transport failures — refused connections, dropped sockets, a torn
+/// response — are retried under [`client_backoff`]; an HTTP error
+/// status is a *response* and is returned, not retried.
 pub(crate) fn http_request(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
+    let mut backoff = client_backoff();
+    loop {
+        match http_request_once(addr, method, path, body) {
+            Ok(reply) => return Ok(reply),
+            Err(e) => match backoff.next_delay() {
+                Some(delay) => {
+                    eprintln!("ftsimd: {e}; retrying");
+                    std::thread::sleep(delay);
+                }
+                None => return Err(format!("{e} (after {} attempts)", backoff.attempts())),
+            },
+        }
+    }
+}
+
+/// One request attempt. The body is read to EOF (every server response
+/// carries `Connection: close`).
+fn http_request_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    ftsim_chaos::io()
+        .gate(fp::HTTP_CLIENT_SEND)
+        .map_err(|e| format!("sending request: {e}"))?;
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
     stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
     let body = body.unwrap_or("");
@@ -545,6 +765,9 @@ pub(crate) fn http_request(
     stream
         .write_all(request.as_bytes())
         .map_err(|e| format!("sending request: {e}"))?;
+    ftsim_chaos::io()
+        .gate(fp::HTTP_CLIENT_RECV)
+        .map_err(|e| format!("reading response: {e}"))?;
     let mut response = String::new();
     stream
         .read_to_string(&mut response)
@@ -567,37 +790,73 @@ fn split_response(response: &str) -> Result<(u16, String), String> {
 /// Performs a streaming GET, invoking `on_line` for each body line as
 /// it arrives (used by `results --watch` over `--remote`). Stops early
 /// when `on_line` returns `false` (e.g. a broken downstream pipe).
+///
+/// Transport failures *before the first body line* are retried under
+/// [`client_backoff`] — once rows have been forwarded, a retry would
+/// duplicate them, so a mid-stream failure is reported instead.
 pub(crate) fn http_stream(
     addr: &str,
     path: &str,
     on_line: &mut dyn FnMut(&str) -> bool,
 ) -> Result<u16, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut backoff = client_backoff();
+    loop {
+        match http_stream_once(addr, path, on_line) {
+            Ok(code) => return Ok(code),
+            Err((true, e)) => return Err(e),
+            Err((false, e)) => match backoff.next_delay() {
+                Some(delay) => {
+                    eprintln!("ftsimd: {e}; retrying");
+                    std::thread::sleep(delay);
+                }
+                None => return Err(format!("{e} (after {} attempts)", backoff.attempts())),
+            },
+        }
+    }
+}
+
+/// One streaming attempt; failures carry whether any body line was
+/// already delivered to `on_line` (which forbids a retry).
+fn http_stream_once(
+    addr: &str,
+    path: &str,
+    on_line: &mut dyn FnMut(&str) -> bool,
+) -> Result<u16, (bool, String)> {
+    let fresh = |e: String| (false, e);
+    ftsim_chaos::io()
+        .gate(fp::HTTP_CLIENT_SEND)
+        .map_err(|e| fresh(format!("sending request: {e}")))?;
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| fresh(format!("connecting to {addr}: {e}")))?;
     let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
     stream
         .write_all(request.as_bytes())
-        .map_err(|e| format!("sending request: {e}"))?;
+        .map_err(|e| fresh(format!("sending request: {e}")))?;
+    ftsim_chaos::io()
+        .gate(fp::HTTP_CLIENT_RECV)
+        .map_err(|e| fresh(format!("reading response: {e}")))?;
     let mut reader = BufReader::new(stream);
     // Head: read header lines until the blank one.
     let mut line = String::new();
     reader
         .read_line(&mut line)
-        .map_err(|e| format!("reading status line: {e}"))?;
+        .map_err(|e| fresh(format!("reading status line: {e}")))?;
     let code: u16 = line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or("malformed status line")?;
+        .ok_or_else(|| fresh("malformed status line".to_string()))?;
     loop {
         let mut header = String::new();
         let n = reader
             .read_line(&mut header)
-            .map_err(|e| format!("reading headers: {e}"))?;
+            .map_err(|e| fresh(format!("reading headers: {e}")))?;
         if n == 0 || header == "\r\n" || header == "\n" {
             break;
         }
     }
     // Body: forward line by line until EOF or the sink gives up.
+    let mut delivered = false;
     loop {
         let mut body_line = String::new();
         match reader.read_line(&mut body_line) {
@@ -606,8 +865,9 @@ pub(crate) fn http_stream(
                 if !on_line(body_line.trim_end_matches(['\r', '\n'])) {
                     return Ok(code);
                 }
+                delivered = true;
             }
-            Err(e) => return Err(format!("reading stream: {e}")),
+            Err(e) => return Err((delivered, format!("reading stream: {e}"))),
         }
     }
 }
@@ -630,11 +890,28 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ftsimd-http-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let store = JobStore::open(&dir).unwrap();
-        let server = HttpServer::bind(&store, "127.0.0.1:0").unwrap();
+        let server = HttpServer::bind(
+            &store,
+            "127.0.0.1:0",
+            HttpLimits {
+                max_body: 4 * 1024,
+                head_timeout: Duration::from_millis(300),
+            },
+        )
+        .unwrap();
         let addr = std::fs::read_to_string(store.http_addr_path()).unwrap();
         let stop = AtomicBool::new(false);
+        // A failed assertion below must still stop the accept loop, or
+        // the scope join would hang the test forever.
+        struct StopOnDrop<'a>(&'a AtomicBool);
+        impl Drop for StopOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
         std::thread::scope(|scope| {
             scope.spawn(|| server.run(&|| stop.load(Ordering::SeqCst), Duration::from_millis(10)));
+            let _guard = StopOnDrop(&stop);
 
             // Submit over HTTP...
             let spec = "name = \"http-rt\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\nbudgets = [1000]\n";
@@ -662,13 +939,40 @@ mod tests {
             let (code, _) = http_request(&addr, "PUT", "/jobs", None).unwrap();
             assert_eq!(code, 405);
 
+            // ...healthz reports fabric diagnostics...
+            let (code, body) = http_request(&addr, "GET", "/healthz", None).unwrap();
+            assert_eq!(code, 200);
+            let doc = JsonValue::parse(&body).unwrap();
+            assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+            assert_eq!(doc.get("jobs").unwrap().as_u64(), Some(1));
+            assert_eq!(doc.get("live_claims").unwrap().as_u64(), Some(0));
+            assert_eq!(doc.get("quarantined").unwrap().as_u64(), Some(0));
+            assert!(doc.get("stale_leases_observed").is_some());
+            assert!(doc.get("last_scheduler_pass_unix_ms").is_some());
+
+            // ...an oversized body is refused with 413 before parsing...
+            let big = "x".repeat(8 * 1024);
+            let (code, _) = http_request(&addr, "POST", "/jobs", Some(&big)).unwrap();
+            assert_eq!(code, 413);
+
+            // ...a malformed request line gets 400, a slow-loris client
+            // that never finishes its head gets 408...
+            let mut raw = TcpStream::connect(&addr).unwrap();
+            raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
+            let mut reply = String::new();
+            raw.read_to_string(&mut reply).unwrap();
+            assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+            let mut slow = TcpStream::connect(&addr).unwrap();
+            slow.write_all(b"GET /jobs HT").unwrap(); // ...and stall
+            let mut reply = String::new();
+            slow.read_to_string(&mut reply).unwrap();
+            assert!(reply.starts_with("HTTP/1.1 408"), "{reply}");
+
             // ...and a per-job stop pauses it.
             let (code, _) = http_request(&addr, "POST", &format!("/jobs/{id}/stop"), None).unwrap();
             assert_eq!(code, 200);
             let job = store.job(&id).unwrap();
             assert!(store.job_stop_requested(&job));
-
-            stop.store(true, Ordering::SeqCst);
         });
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -29,6 +29,11 @@
 //! * an HTTP API (`serve --listen`) and its `--remote` client — every
 //!   daemon verb over a hand-rolled `std::net` server, no filesystem
 //!   access required of submitters;
+//! * [`failpoints`] — the failure model: every filesystem and socket
+//!   operation above routes through the [`ftsim_chaos::IoEnv`] layer
+//!   (`FTSIM_CHAOS=<seed>:<spec>`) under a stable site name, so chaos
+//!   plans, the crash-matrix suite and the docs all speak about the
+//!   same catalog of failure sites;
 //! * [`cli`] — the `ftsimd` command-line front end
 //!   (`submit`/`serve`/`jobs`/`status`/`results`/`report`/`stop`).
 //!
@@ -71,6 +76,7 @@
 
 pub mod cli;
 mod fabric;
+pub mod failpoints;
 mod http;
 mod runner;
 mod spec;

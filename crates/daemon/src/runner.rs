@@ -151,7 +151,11 @@ pub fn run_job_with(
                                     fail(e);
                                 }
                             }
-                            Ok(FamilyOutcome::Interrupted | FamilyOutcome::Lost) => {}
+                            Ok(
+                                FamilyOutcome::Interrupted
+                                | FamilyOutcome::Lost
+                                | FamilyOutcome::Paused,
+                            ) => {}
                             Err(e) => fail(e),
                         }
                     }
@@ -229,16 +233,25 @@ pub struct ServeOptions {
     /// HTTP bind address (e.g. `127.0.0.1:0`); `None` disables the API.
     /// The bound address is written to `<state>/http.addr`.
     pub listen: Option<String>,
+    /// Largest HTTP request body accepted (`--max-body`, bytes); larger
+    /// submissions are refused with `413`.
+    pub max_body: usize,
+    /// Socket read timeout while parsing an HTTP request
+    /// (`--head-timeout-ms`); a slow-loris client gets `408`.
+    pub head_timeout: Duration,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
+        let limits = crate::http::HttpLimits::default();
         Self {
             drain: false,
             poll: Duration::from_millis(500),
             lease: Duration::from_secs(30),
             workers: 0,
             listen: None,
+            max_body: limits.max_body,
+            head_timeout: limits.head_timeout,
         }
     }
 }
@@ -271,7 +284,13 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
     let failure: Mutex<Option<DaemonError>> = Mutex::new(None);
 
     let http = match &opts.listen {
-        Some(addr) => Some(crate::http::HttpServer::bind(store, addr)?),
+        Some(addr) => {
+            let limits = crate::http::HttpLimits {
+                max_body: opts.max_body,
+                head_timeout: opts.head_timeout,
+            };
+            Some(crate::http::HttpServer::bind(store, addr, limits)?)
+        }
         None => None,
     };
 
@@ -304,6 +323,13 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
                                 eprintln!(
                                     "ftsimd: lost claim on {} ({}); peer took over",
                                     a.job.id, a.family
+                                );
+                            }
+                            Ok(FamilyOutcome::Paused) => {
+                                eprintln!(
+                                    "ftsimd: job {} paused (disk full); resubmit its spec \
+                                     to resume once space is freed",
+                                    a.job.id
                                 );
                             }
                             Err(e) => {

@@ -8,6 +8,7 @@
 //! <state>/
 //!   stop                      # graceful-shutdown sentinel (ftsimd stop)
 //!   http.addr                 # bound HTTP address (serve --listen)
+//!   quarantine/               # corrupt state files + .reason sidecars
 //!   jobs/
 //!     0001-fig6-mini/
 //!       spec.json             # canonical job spec (JobSpec::to_json)
@@ -25,6 +26,7 @@
 //! [`ftsim_stats::csv::AppendWriter`] log, so a killed daemon loses at
 //! most the row in flight and the next `serve` resumes from the rest.
 
+use crate::failpoints as fp;
 use crate::spec::{JobSpec, SpecError};
 use ftsim_stats::JsonValue;
 use std::fmt;
@@ -278,7 +280,8 @@ impl JobStore {
     /// [`DaemonError::Io`] when the directories cannot be created.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, DaemonError> {
         let root = root.into();
-        std::fs::create_dir_all(root.join("jobs"))
+        ftsim_chaos::io()
+            .create_dir_all(fp::STORE_STATE_CREATE, &root.join("jobs"))
             .map_err(io_err(format!("creating state dir {}", root.display())))?;
         Ok(Self { root })
     }
@@ -320,8 +323,14 @@ impl JobStore {
 
         let jobs = self.jobs()?;
         for job in &jobs {
-            let existing = std::fs::read_to_string(job.spec_path())
-                .map_err(io_err(format!("reading {}", job.spec_path().display())))?;
+            // A job whose spec cannot be read (crash mid-submit, or the
+            // spec was quarantined) never matches; it must not block
+            // every future submission.
+            let Ok(existing) =
+                ftsim_chaos::io().read_to_string(fp::STORE_READ_SPEC, &job.spec_path())
+            else {
+                continue;
+            };
             if existing == canonical {
                 // Re-submitting a paused job un-pauses it: attaching is
                 // the explicit "I want this to run" signal.
@@ -344,7 +353,7 @@ impl JobStore {
             for attempt in 0..64u64 {
                 let id = format!("{:04}-{}", next + attempt, slug(&spec.name));
                 let dir = self.jobs_dir().join(&id);
-                match std::fs::create_dir(&dir) {
+                match ftsim_chaos::io().create_dir(fp::STORE_JOB_DIR_CREATE, &dir) {
                     Ok(()) => break 'claimed Job { id, dir },
                     Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
                     Err(e) => return Err(io_err(format!("creating {}", dir.display()))(e)),
@@ -356,8 +365,10 @@ impl JobStore {
             });
         };
         let id = job.id.clone();
-        std::fs::write(job.spec_path(), canonical)
-            .map_err(io_err(format!("writing {}", job.spec_path().display())))?;
+        // Atomic temp+rename: a crash mid-submit leaves either no spec (an
+        // empty dir the scheduler ignores) or a complete one — never a
+        // torn spec that would wedge the queue.
+        write_atomic(fp::STORE_WRITE_SPEC, &job.spec_path(), canonical.as_bytes())?;
         self.write_status(&job, &JobStatus::queued(cells_total))?;
         Ok((id, true))
     }
@@ -370,7 +381,8 @@ impl JobStore {
     /// [`DaemonError::NoSuchJob`] or [`DaemonError::Io`].
     pub fn remove(&self, id: &str) -> Result<(), DaemonError> {
         let job = self.job(id)?;
-        std::fs::remove_dir_all(job.dir())
+        ftsim_chaos::io()
+            .remove_dir_all(fp::STORE_REMOVE_JOB, job.dir())
             .map_err(io_err(format!("removing {}", job.dir().display())))
     }
 
@@ -382,17 +394,17 @@ impl JobStore {
     pub fn jobs(&self) -> Result<Vec<Job>, DaemonError> {
         let dir = self.jobs_dir();
         let mut jobs = Vec::new();
-        let entries =
-            std::fs::read_dir(&dir).map_err(io_err(format!("listing {}", dir.display())))?;
-        for entry in entries {
-            let entry = entry.map_err(io_err(format!("listing {}", dir.display())))?;
-            if !entry.path().is_dir() {
+        let entries = ftsim_chaos::io()
+            .list_dir(fp::STORE_LIST_JOBS, &dir)
+            .map_err(io_err(format!("listing {}", dir.display())))?;
+        for path in entries {
+            if !path.is_dir() {
                 continue;
             }
-            if let Some(id) = entry.file_name().to_str() {
+            if let Some(id) = path.file_name().and_then(|n| n.to_str()) {
                 jobs.push(Job {
                     id: id.to_string(),
-                    dir: entry.path(),
+                    dir: path.clone(),
                 });
             }
         }
@@ -423,7 +435,8 @@ impl JobStore {
     /// [`DaemonError::Io`] or [`DaemonError::Spec`].
     pub fn load_spec(&self, job: &Job) -> Result<JobSpec, DaemonError> {
         let path = job.spec_path();
-        let text = std::fs::read_to_string(&path)
+        let text = ftsim_chaos::io()
+            .read_to_string(fp::STORE_READ_SPEC, &path)
             .map_err(io_err(format!("reading {}", path.display())))?;
         Ok(JobSpec::parse(&text)?)
     }
@@ -435,7 +448,8 @@ impl JobStore {
     /// [`DaemonError::Io`] or [`DaemonError::Corrupt`].
     pub fn load_status(&self, job: &Job) -> Result<JobStatus, DaemonError> {
         let path = job.status_path();
-        let text = std::fs::read_to_string(&path)
+        let text = ftsim_chaos::io()
+            .read_to_string(fp::STORE_READ_STATUS, &path)
             .map_err(io_err(format!("reading {}", path.display())))?;
         JobStatus::from_json(&text).map_err(|message| DaemonError::Corrupt { path, message })
     }
@@ -446,7 +460,11 @@ impl JobStore {
     ///
     /// [`DaemonError::Io`].
     pub fn write_status(&self, job: &Job, status: &JobStatus) -> Result<(), DaemonError> {
-        write_atomic(&job.status_path(), status.to_json().as_bytes())
+        write_atomic(
+            fp::STORE_WRITE_STATUS,
+            &job.status_path(),
+            status.to_json().as_bytes(),
+        )
     }
 
     /// Requests a graceful shutdown: the serving daemon finishes the cell
@@ -456,7 +474,12 @@ impl JobStore {
     ///
     /// [`DaemonError::Io`].
     pub fn request_stop(&self) -> Result<(), DaemonError> {
-        std::fs::write(self.stop_path(), b"stop requested\n")
+        ftsim_chaos::io()
+            .write_file(
+                fp::STORE_SENTINEL_WRITE,
+                &self.stop_path(),
+                b"stop requested\n",
+            )
             .map_err(io_err(format!("writing {}", self.stop_path().display())))
     }
 
@@ -473,7 +496,7 @@ impl JobStore {
     ///
     /// [`DaemonError::Io`] (a missing sentinel is fine).
     pub fn clear_stop(&self) -> Result<(), DaemonError> {
-        match std::fs::remove_file(self.stop_path()) {
+        match ftsim_chaos::io().remove_file(fp::STORE_SENTINEL_CLEAR, &self.stop_path()) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(io_err(format!("removing {}", self.stop_path().display()))(
@@ -490,7 +513,8 @@ impl JobStore {
     ///
     /// [`DaemonError::Io`].
     pub fn request_job_stop(&self, job: &Job) -> Result<(), DaemonError> {
-        std::fs::write(job.stop_path(), b"paused\n")
+        ftsim_chaos::io()
+            .write_file(fp::STORE_SENTINEL_WRITE, &job.stop_path(), b"paused\n")
             .map_err(io_err(format!("writing {}", job.stop_path().display())))
     }
 
@@ -505,11 +529,84 @@ impl JobStore {
     ///
     /// [`DaemonError::Io`] (a missing sentinel is fine).
     pub fn clear_job_stop(&self, job: &Job) -> Result<(), DaemonError> {
-        match std::fs::remove_file(job.stop_path()) {
+        match ftsim_chaos::io().remove_file(fp::STORE_SENTINEL_CLEAR, &job.stop_path()) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(io_err(format!("removing {}", job.stop_path().display()))(e)),
         }
+    }
+
+    /// The directory corrupt state files are moved into.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// Moves a corrupt state file out of the way instead of letting it
+    /// wedge the scheduler: `path` is renamed into
+    /// `<state>/quarantine/` (name-mangled to stay unique) and a
+    /// `.reason` sidecar records why. Returns the quarantined path.
+    ///
+    /// The move is a same-filesystem rename, so the evidence is
+    /// preserved byte-for-byte for post-mortems while the live tree is
+    /// clean again.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] — including when `path` no longer exists
+    /// (quarantine races are possible between fabric peers; callers
+    /// treat `NotFound` as "a peer got there first").
+    pub fn quarantine(&self, path: &Path, reason: &str) -> Result<PathBuf, DaemonError> {
+        let env = ftsim_chaos::io();
+        let qdir = self.quarantine_dir();
+        env.create_dir_all(fp::STORE_QUARANTINE, &qdir)
+            .map_err(io_err(format!("creating {}", qdir.display())))?;
+        // Mangle the path relative to the state root into one flat name:
+        // jobs/0003-x/status.json → jobs__0003-x__status.json.
+        let rel = path.strip_prefix(&self.root).unwrap_or(path);
+        let mut base = String::new();
+        for comp in rel.components() {
+            if !base.is_empty() {
+                base.push_str("__");
+            }
+            base.push_str(&comp.as_os_str().to_string_lossy().replace(['/', '\\'], "_"));
+        }
+        let mut dest = qdir.join(&base);
+        let mut n = 0u32;
+        while dest.exists() {
+            n += 1;
+            dest = qdir.join(format!("{base}.{n}"));
+        }
+        env.rename(fp::STORE_QUARANTINE, path, &dest)
+            .map_err(io_err(format!(
+                "quarantining {} to {}",
+                path.display(),
+                dest.display()
+            )))?;
+        let reason_path = dest.with_extension(format!(
+            "{}reason",
+            dest.extension()
+                .map(|e| format!("{}.", e.to_string_lossy()))
+                .unwrap_or_default()
+        ));
+        // Best-effort: losing the reason note must not fail the recovery
+        // path that called us.
+        let note = format!("{reason}\noriginal: {}\n", path.display());
+        let _ = env.write_file(fp::STORE_QUARANTINE, &reason_path, note.as_bytes());
+        Ok(dest)
+    }
+
+    /// Number of quarantined state files (excluding `.reason` sidecars).
+    /// Zero when the quarantine directory does not exist.
+    pub fn quarantined_count(&self) -> usize {
+        ftsim_chaos::io()
+            .list_dir(fp::STORE_QUARANTINE, &self.quarantine_dir())
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter(|p| p.extension().map(|e| e != "reason").unwrap_or(true))
+                    .count()
+            })
+            .unwrap_or(0)
     }
 }
 
@@ -518,19 +615,13 @@ impl JobStore {
 /// concurrent writers — e.g. two worker threads bumping a job's status —
 /// never truncate each other's in-flight temp file; last rename wins
 /// with complete contents either way.
-pub(crate) fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), DaemonError> {
-    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-    let write = || -> io::Result<()> {
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            io::Write::write_all(&mut file, contents)?;
-            file.sync_data()?;
-        }
-        std::fs::rename(&tmp, path)
-    };
-    write().map_err(io_err(format!("replacing {}", path.display())))
+///
+/// Routed through the [`ftsim_chaos::IoEnv`] under `site`, so chaos
+/// plans can tear the temp write or drop the rename at any caller.
+pub(crate) fn write_atomic(site: &str, path: &Path, contents: &[u8]) -> Result<(), DaemonError> {
+    ftsim_chaos::io()
+        .write_atomic(site, path, contents)
+        .map_err(io_err(format!("replacing {}", path.display())))
 }
 
 /// Squashes a job name into a filesystem-safe slug.
@@ -634,6 +725,31 @@ mod tests {
         store.clear_stop().unwrap();
         store.clear_stop().unwrap(); // idempotent
         assert!(!store.stop_requested());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn quarantine_moves_file_and_writes_reason() {
+        let store = temp_store("quarantine");
+        let (id, _) = store.submit(&small_spec("q")).unwrap();
+        let job = store.job(&id).unwrap();
+        std::fs::write(job.status_path(), "{ not json").unwrap();
+        assert_eq!(store.quarantined_count(), 0);
+
+        let dest = store
+            .quarantine(&job.status_path(), "status.json does not parse")
+            .unwrap();
+        assert!(!job.status_path().exists(), "file must be moved away");
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "{ not json");
+        let reason = std::fs::read_to_string(dest.with_extension("json.reason")).unwrap();
+        assert!(reason.contains("does not parse"));
+        assert_eq!(store.quarantined_count(), 1);
+
+        // A second file with the same mangled name stays distinct.
+        std::fs::write(job.status_path(), "also bad").unwrap();
+        let dest2 = store.quarantine(&job.status_path(), "again").unwrap();
+        assert_ne!(dest, dest2);
+        assert_eq!(store.quarantined_count(), 2);
         std::fs::remove_dir_all(store.root()).ok();
     }
 }

@@ -418,6 +418,17 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            ));
+        }
+    }};
 }
 
 /// Asserts inequality inside a property body.

@@ -9,7 +9,7 @@
 //! it out.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Write as _};
+use std::io::Read as _;
 use std::path::Path;
 
 /// Quotes a single cell when it contains a comma, quote or newline.
@@ -154,13 +154,33 @@ pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
 /// reader tolerant of one partial trailing line (the harness's
 /// `from_csv_tolerant`) recovers everything else.
 ///
-/// Opening an existing file whose last byte is not a newline — the
-/// signature of a writer that died mid-row — first repairs it by
-/// appending one, so the next row can never merge into the torn line.
+/// Opening an existing file first repairs any torn tail — the signature
+/// of a writer that died mid-row — by **truncating** back to the largest
+/// newline-terminated prefix that parses as CSV. Truncation (rather than
+/// sealing the fragment with a newline) matters: a sealed fragment would
+/// become an *interior* garbage line once fresh rows land after it, and
+/// tail-tolerant readers like the harness's `from_csv_tolerant` — which
+/// trim from the end until the document parses — would then silently
+/// drop every row behind it. Cutting the fragment keeps the file
+/// all-whole-rows at every open; the row it carried is simply re-run.
+/// A tail torn mid-way through a multi-byte UTF-8 character or inside a
+/// quoted multi-line cell is cut the same way, back past the damage.
+///
+/// Every filesystem operation routes through the
+/// [`ftsim_chaos`](ftsim_chaos::IoEnv) failpoint layer at sites
+/// `csv.open` (directory creation, open, read-back, tail repair) and
+/// `csv.append` (each fsynced row write), so crash-matrix and torn-write
+/// tests can target the exact primitive.
 #[derive(Debug)]
 pub struct AppendWriter {
     file: File,
 }
+
+/// Failpoint site covering [`AppendWriter::open`].
+pub const FP_CSV_OPEN: &str = "csv.open";
+
+/// Failpoint site covering each [`AppendWriter::append_row`].
+pub const FP_CSV_APPEND: &str = "csv.append";
 
 impl AppendWriter {
     /// Opens `path` for appending, creating parent directories and the
@@ -168,36 +188,40 @@ impl AppendWriter {
     /// pre-existing contents (so callers resuming a run read prior rows
     /// with the same open, not a second racy one). A new or empty file
     /// gets `header` (plus a newline) written first; a torn trailing
-    /// line is terminated as described on [`AppendWriter`].
+    /// fragment is truncated away as described on [`AppendWriter`].
     ///
     /// # Errors
     ///
     /// Any I/O error creating directories, opening, reading or repairing
-    /// the file.
+    /// the file — including faults injected at the `csv.open` site.
     pub fn open(path: impl AsRef<Path>, header: &str) -> std::io::Result<(Self, String)> {
+        let env = ftsim_chaos::io();
         let path = path.as_ref();
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
+                env.create_dir_all(FP_CSV_OPEN, dir)?;
             }
         }
+        env.gate(FP_CSV_OPEN)?;
         let mut file = OpenOptions::new()
             .create(true)
             .read(true)
             .append(true)
             .open(path)?;
-        let mut existing = String::new();
-        file.read_to_string(&mut existing)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let keep = repaired_len(&raw);
+        if keep < raw.len() {
+            file.set_len(keep as u64)?;
+            raw.truncate(keep);
+        }
+        // Decode lossily as a last line of defence; after the repair the
+        // surviving prefix is whole rows, which the writer only ever
+        // produced from valid UTF-8.
+        let existing = String::from_utf8_lossy(&raw).into_owned();
         let mut writer = Self { file };
         if existing.is_empty() {
             writer.write_line(header)?;
-        } else if !existing.ends_with('\n') {
-            // A previous writer died mid-row: terminate the torn line so
-            // the next append starts on a fresh one. The torn line itself
-            // is left for the tolerant reader to discard.
-            writer.file.write_all(b"\n")?;
-            writer.file.sync_data()?;
-            existing.push('\n');
         }
         Ok((writer, existing))
     }
@@ -208,7 +232,9 @@ impl AppendWriter {
     ///
     /// # Errors
     ///
-    /// Any I/O error writing or syncing.
+    /// Any I/O error writing or syncing — including faults injected at
+    /// the `csv.append` site (an injected torn write persists a prefix of
+    /// the row, exactly like a crash mid-append).
     pub fn append_row(&mut self, row: &str) -> std::io::Result<()> {
         self.write_line(row)
     }
@@ -220,8 +246,34 @@ impl AppendWriter {
         let mut buf = String::with_capacity(line.len() + 1);
         buf.push_str(line);
         buf.push('\n');
-        self.file.write_all(buf.as_bytes())?;
-        self.file.sync_data()
+        ftsim_chaos::io().append_sync(FP_CSV_APPEND, &mut self.file, buf.as_bytes())
+    }
+}
+
+/// Byte length of the largest newline-terminated, CSV-parseable prefix
+/// of `raw` — the repair boundary used by [`AppendWriter::open`].
+///
+/// A crash leaves at most a strict prefix of one `row\n` append after a
+/// well-formed document, so trimming trailing lines until the remainder
+/// both ends in a newline and parses (a fragment cut just past an
+/// embedded newline of a quoted multi-line cell satisfies the first test
+/// but not the second) always lands back on the pre-append row boundary.
+fn repaired_len(raw: &[u8]) -> usize {
+    let mut end = raw.len();
+    loop {
+        if end == 0 {
+            return 0;
+        }
+        if raw[end - 1] == b'\n' && parse(&String::from_utf8_lossy(&raw[..end])).is_ok() {
+            return end;
+        }
+        // Cut the trailing line: everything after the last newline that
+        // precedes `end` (excluding a trailing newline that merely ends
+        // the unparseable fragment).
+        end = match raw[..end - 1].iter().rposition(|&b| b == b'\n') {
+            Some(nl) => nl + 1,
+            None => 0,
+        };
     }
 }
 
@@ -324,14 +376,50 @@ mod tests {
         // Simulate a writer killed mid-row: no trailing newline.
         std::fs::write(&path, "a,b\n1,2\n3,").unwrap();
         let (mut w, existing) = AppendWriter::open(&path, "a,b").unwrap();
-        assert_eq!(existing, "a,b\n1,2\n3,\n", "torn line must be terminated");
+        assert_eq!(existing, "a,b\n1,2\n", "torn line must be cut away");
         w.append_row("5,6").unwrap();
         drop(w);
         assert_eq!(
             std::fs::read_to_string(&path).unwrap(),
-            "a,b\n1,2\n3,\n5,6\n",
-            "the new row must not merge into the torn line"
+            "a,b\n1,2\n5,6\n",
+            "the file must hold only whole rows after repair"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_writer_cuts_fragment_torn_inside_a_quoted_cell() {
+        let dir = std::env::temp_dir().join(format!("ftsim-csv-quoted-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cells.csv");
+        // A row with an embedded newline, torn just after that newline:
+        // the tail *ends* with '\n' but is still a fragment, which only
+        // the CSV-aware repair detects (an unterminated quoted cell).
+        std::fs::write(&path, "a,b\n1,2\n3,\"two\n").unwrap();
+        let (mut w, existing) = AppendWriter::open(&path, "a,b").unwrap();
+        assert_eq!(existing, "a,b\n1,2\n", "quoted fragment must be cut away");
+        w.append_row("5,6").unwrap();
+        drop(w);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n5,6\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_writer_survives_tail_torn_mid_utf8() {
+        let dir = std::env::temp_dir().join(format!("ftsim-csv-utf8-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cells.csv");
+        // "é" is 0xC3 0xA9; keep only the first byte — a writer killed
+        // mid-way through a multi-byte character.
+        let mut bytes = b"a,b\n1,2\ncaf".to_vec();
+        bytes.push(0xC3);
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut w, existing) = AppendWriter::open(&path, "a,b").unwrap();
+        assert_eq!(existing, "a,b\n1,2\n", "torn multi-byte tail cut away");
+        w.append_row("5,6").unwrap();
+        drop(w);
+        let repaired = std::fs::read(&path).unwrap();
+        assert!(repaired.ends_with(b"\n5,6\n"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

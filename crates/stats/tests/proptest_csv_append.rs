@@ -1,0 +1,146 @@
+//! Property test: [`ftsim_stats::csv::AppendWriter`] torn-tail repair.
+//!
+//! A writer can die at any byte of its fsynced append stream — mid-row,
+//! mid-header, between a row and its newline, or half-way through a
+//! multi-byte UTF-8 character. Whatever the truncation point, reopening
+//! the file must (a) hand back every complete row exactly as written,
+//! (b) never duplicate a row, and (c) cut the torn fragment away so the
+//! file holds only whole rows and fresh appends start on a clean
+//! boundary.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ftsim_stats::csv::{join_row, AppendWriter};
+use proptest::prelude::*;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_file() -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "ftsim-proptest-csv-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    (dir.clone(), dir.join("cells.csv"))
+}
+
+const HEADER: &str = "idx,payload,extra";
+
+/// Cell contents that exercise quoting, embedded separators/newlines and
+/// multi-byte UTF-8 (2-, 3- and 4-byte sequences).
+fn cell_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "plain".to_string(),
+        String::new(),
+        "a,b".to_string(),
+        "say \"hi\"".to_string(),
+        "two\nlines".to_string(),
+        "café".to_string(),
+        "日本語テスト".to_string(),
+        "crash😀point".to_string(),
+    ])
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(prop::collection::vec(cell_strategy(), 1..5), 1..6).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            // A unique index cell per row so duplication is observable.
+            .map(|(i, cells)| {
+                let mut all = vec![i.to_string()];
+                all.extend(cells);
+                join_row(&all)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn torn_tail_repair_recovers_every_complete_row(
+        rows in rows_strategy(),
+        kraw in any::<u64>(),
+        fresh_cell in cell_strategy(),
+    ) {
+        // Write the full file the way the daemon does, then truncate it
+        // at an arbitrary byte to simulate a crash mid-append.
+        let (dir, path) = scratch_file();
+        let (mut writer, existing) = AppendWriter::open(&path, HEADER).unwrap();
+        prop_assert_eq!(existing.as_str(), "");
+        let mut offsets = Vec::new(); // byte offset of each row's end (incl. newline)
+        let mut len = HEADER.len() as u64 + 1;
+        for row in &rows {
+            writer.append_row(row).unwrap();
+            len += row.len() as u64 + 1;
+            offsets.push(len);
+        }
+        drop(writer);
+        let full = std::fs::read(&path).unwrap();
+        prop_assert_eq!(full.len() as u64, len);
+
+        let k = (kraw % (len + 1)) as usize;
+        let truncated = &full[..k];
+        std::fs::write(&path, truncated).unwrap();
+
+        // The largest prefix of whole lines (header + complete rows)
+        // that survived the cut.
+        let boundary = if k > HEADER.len() {
+            let mut b = HEADER.len() + 1;
+            for off in &offsets {
+                if *off as usize <= k {
+                    b = *off as usize;
+                }
+            }
+            b
+        } else {
+            0
+        };
+
+        let (mut writer, recovered) = AppendWriter::open(&path, HEADER).unwrap();
+        // (a) Repair truncates to exactly the surviving whole-row prefix:
+        // nothing less (no complete row lost) and nothing more (no torn
+        // fragment survives to poison later reads). A cut inside the
+        // header recovers nothing and a fresh header is written.
+        let intact = std::str::from_utf8(&full[..boundary]).unwrap();
+        if boundary == 0 {
+            prop_assert!(recovered.is_empty(), "header fragment kept: {recovered:?}");
+        } else {
+            prop_assert_eq!(
+                recovered.as_str(),
+                intact,
+                "repair must land on the surviving whole-row prefix"
+            );
+        }
+        // (b) No duplication: each row appears exactly once in the
+        // recovered text iff it survived whole; a torn row is cut away
+        // entirely, never kept as a fragment or a second full copy.
+        for (i, row) in rows.iter().enumerate() {
+            let whole = format!("\n{row}\n");
+            let haystack = format!("\n{recovered}");
+            let count = haystack.matches(&whole).count();
+            let survived = offsets[i] as usize <= boundary;
+            if survived {
+                prop_assert_eq!(count, 1, "row {} duplicated or lost", i);
+            } else {
+                prop_assert_eq!(count, 0, "torn row {} kept by the repair", i);
+            }
+        }
+        // (c) The tail is terminated and fresh appends get their own line.
+        prop_assert!(recovered.is_empty() || recovered.ends_with('\n'));
+        let fresh = join_row([&(rows.len() + 1).to_string(), &fresh_cell]);
+        writer.append_row(&fresh).unwrap();
+        drop(writer);
+        let final_bytes = std::fs::read(&path).unwrap();
+        let tail = format!("\n{fresh}\n");
+        prop_assert!(
+            final_bytes.ends_with(tail.as_bytes()),
+            "fresh row merged into the torn tail"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

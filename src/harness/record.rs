@@ -573,26 +573,34 @@ pub fn from_csv(text: &str) -> Result<Vec<RunRecord>, RecordError> {
     body.iter().map(|row| RunRecord::from_cells(row)).collect()
 }
 
-/// Parses as many leading records as a possibly-corrupt CSV document
-/// yields, returning them with the number of trailing lines discarded.
+/// Parses every intact record out of a possibly-corrupt CSV document,
+/// returning them with the number of damaged lines discarded.
 ///
 /// This is the crash-recovery counterpart of [`from_csv`], used by the
 /// `ftsimd` daemon to reload its incremental results file after being
-/// killed mid-write: a torn or garbled tail (at worst the row in flight,
-/// given [`ftsim_stats::csv::AppendWriter`]'s one-write-per-row
-/// discipline) is dropped rather than failing the whole document, and the
-/// dropped cells are simply re-simulated. A document whose *header* is
-/// unreadable yields no records at all.
+/// killed mid-write. Damage is skipped **wherever it sits**, not only at
+/// the tail: the fabric's multi-writer append discipline means a torn
+/// fragment from one process can be concatenated onto by a peer's next
+/// row, leaving one merged garbage line *mid*-file with valid rows after
+/// it. Every dropped line costs exactly the cells it carried — they are
+/// simply re-simulated — while a parser that stopped at the first bad
+/// line would hide every row behind it and re-simulate forever. A
+/// document whose *header* is unreadable yields no records at all.
 pub fn from_csv_tolerant(text: &str) -> (Vec<RunRecord>, usize) {
     let (records, dropped, _) = tolerant_parse(text);
     (records, dropped)
 }
 
 /// As [`from_csv_tolerant`], but returns the records with the **byte
-/// length of the parsed prefix** — the boundary after the last complete
-/// record (0 when nothing parsed). A caller polling a growing log (the
-/// daemon's `results --watch`) can remember the boundary and re-parse
-/// only the appended suffix on the next poll instead of the whole file.
+/// length of the consumed prefix** — the boundary after the last line
+/// settled for good, whether parsed or discarded (0 when nothing was). A
+/// caller polling a growing log (the daemon's `results --watch`) can
+/// remember the boundary and re-parse only the appended suffix on the
+/// next poll instead of the whole file. An unterminated trailing line is
+/// never consumed: it is either a row in flight (a live writer finishes
+/// it) or a torn fragment (the next [`ftsim_stats::csv::AppendWriter`]
+/// open truncates it), and both resolve at bytes the boundary has not
+/// passed.
 pub fn from_csv_tolerant_prefix(text: &str) -> (Vec<RunRecord>, usize) {
     let (records, _, consumed) = tolerant_parse(text);
     (records, consumed)
@@ -602,23 +610,59 @@ fn tolerant_parse(text: &str) -> (Vec<RunRecord>, usize, usize) {
     if text.trim().is_empty() {
         return (Vec::new(), 0, 0);
     }
-    let mut end = text.len();
-    let mut dropped = 0usize;
-    loop {
-        if let Ok(records) = from_csv(&text[..end]) {
-            return (records, dropped, end);
-        }
-        // Drop the trailing (possibly partial, possibly mid-quoted-cell)
-        // line and retry. Cutting inside a quoted multi-line cell just
-        // fails the next parse attempt, which trims further — the loop
-        // always lands on a record boundary or runs out of document.
-        let trimmed = text[..end].trim_end_matches('\n');
-        dropped += 1;
-        match trimmed.rfind('\n') {
-            Some(nl) => end = nl + 1,
-            None => return (Vec::new(), dropped, 0),
+    // Fast path: an undamaged, newline-terminated document.
+    if text.ends_with('\n') {
+        if let Ok(records) = from_csv(text) {
+            return (records, 0, text.len());
         }
     }
+    // Header first: without it nothing below is trustworthy.
+    let Some(first_nl) = text.find('\n') else {
+        return (Vec::new(), 1, 0); // unterminated header fragment
+    };
+    if text[..first_nl].trim_end_matches('\r') != RunRecord::csv_header() {
+        return (Vec::new(), text.lines().count(), 0);
+    }
+    let mut records = Vec::new();
+    let mut dropped = 0usize;
+    let mut pos = first_nl + 1;
+    let mut consumed = pos;
+    while pos < text.len() {
+        let Some(end) = logical_row_end(&text[pos..]) else {
+            // Unterminated tail — in flight or torn, not consumed either
+            // way (see `from_csv_tolerant_prefix`).
+            dropped += 1;
+            break;
+        };
+        let line = &text[pos..pos + end];
+        pos += end + 1;
+        consumed = pos;
+        if let Ok(rows) = csv::parse(line) {
+            if let [row] = rows.as_slice() {
+                if let Ok(rec) = RunRecord::from_cells(row) {
+                    records.push(rec);
+                    continue;
+                }
+            }
+        }
+        dropped += 1;
+    }
+    (records, dropped, consumed)
+}
+
+/// Index of the newline ending the logical CSV row starting at `s[0]`,
+/// skipping newlines embedded in quoted cells (quote-parity scan), or
+/// `None` when the row runs off the end of the document unterminated.
+fn logical_row_end(s: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    for (i, b) in s.bytes().enumerate() {
+        match b {
+            b'"' => in_quotes = !in_quotes,
+            b'\n' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Serializes records to a pretty-printed JSON array.
@@ -771,6 +815,30 @@ mod tests {
         assert!(dropped >= 1);
 
         assert_eq!(from_csv_tolerant(""), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn tolerant_parse_skips_interior_damage() {
+        // The fabric's multi-writer appends can merge one process's torn
+        // fragment with a peer's next row, leaving garbage *mid*-file.
+        // Rows behind the damage must still parse — a tail-only parser
+        // would hide them and the daemon would re-simulate forever.
+        let records = vec![sample(), RunRecord::default()];
+        let text = to_csv(&records);
+        let mut lines: Vec<&str> = text.lines().collect();
+        let merged = "gcc,SPEC95 I\u{fffd}gcc,torn-and-merged";
+        lines.insert(2, merged); // between the two valid rows
+        let damaged = format!("{}\n", lines.join("\n"));
+
+        let (back, dropped) = from_csv_tolerant(&damaged);
+        assert_eq!(back, records, "rows behind interior damage recovered");
+        assert_eq!(dropped, 1);
+
+        // The watch boundary consumes the damaged line (it is settled —
+        // nothing will repair it in place) along with the intact rows.
+        let (back, consumed) = from_csv_tolerant_prefix(&damaged);
+        assert_eq!(back, records);
+        assert_eq!(consumed, damaged.len());
     }
 
     #[test]
