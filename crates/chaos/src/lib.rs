@@ -16,7 +16,12 @@
 //!   moment);
 //! * per-operation delays, to widen race windows in concurrency tests;
 //! * lease-clock skew;
-//! * `process::abort()` at the N-th hit of a site, for crash-matrix tests.
+//! * `process::abort()` at the N-th hit of a site, for crash-matrix tests;
+//! * NFS-grade primitive weakening (`nfs@GLOB`): `create_new` silently
+//!   loses `O_EXCL` (every racing creator "wins", last writer's bytes
+//!   stick), `rename` degrades to copy-then-delete, and mtimes coarsen
+//!   to whole seconds — the failure model of a lowest-common-denominator
+//!   network filesystem, used to prove the daemon's relaxed lease mode.
 //!
 //! Production code calls [`io()`] once per operation; without `FTSIM_CHAOS`
 //! in the environment this resolves to [`RealIo`], a zero-cost pass-through
@@ -123,6 +128,15 @@ pub trait IoEnv: Send + Sync + Debug {
     /// Milliseconds since the Unix epoch, as seen by the lease clock.
     /// Chaos plans may skew this.
     fn now_ms(&self) -> u64;
+
+    /// Whether an `nfs@GLOB` clause weakens the primitives at `site`.
+    /// Callers that *depend* on `create_new`/`rename` atomicity (the
+    /// fabric's strict lease mode) can consult this to warn; correctness
+    /// must never require it. Always `false` for [`RealIo`].
+    fn nfs_weak(&self, site: &str) -> bool {
+        let _ = site;
+        false
+    }
 }
 
 /// Pass-through [`IoEnv`]: plain `std::fs` / `std::time` with no faults.
@@ -338,6 +352,9 @@ impl ChaosIo {
                 {
                     sleep_ms = sleep_ms.max(*ms);
                 }
+                Clause::DelayNth { site: s, nth, ms } if s == site && *nth == hit => {
+                    sleep_ms = sleep_ms.max(*ms);
+                }
                 _ => {}
             }
         }
@@ -346,6 +363,31 @@ impl ChaosIo {
             std::thread::sleep(Duration::from_millis(sleep_ms));
         }
         verdict
+    }
+
+    /// Whether an `nfs@GLOB` clause covers `site`.
+    fn nfs_site(&self, site: &str) -> bool {
+        self.plan.clauses.iter().any(|c| match c {
+            Clause::Nfs { glob } => glob_matches(glob, site),
+            _ => false,
+        })
+    }
+
+    /// Coarsens `path`'s mtime to whole seconds, the granularity a
+    /// hostile NFS server reports. Best-effort: a racing unlink loses
+    /// nothing (the staleness heuristics already treat missing files as
+    /// resolved).
+    fn coarsen_mtime(path: &Path) {
+        let Ok(file) = OpenOptions::new().write(true).open(path) else {
+            return;
+        };
+        let Ok(modified) = file.metadata().and_then(|m| m.modified()) else {
+            return;
+        };
+        if let Ok(d) = modified.duration_since(UNIX_EPOCH) {
+            let coarse = UNIX_EPOCH + Duration::from_secs(d.as_secs());
+            let _ = file.set_times(fs::FileTimes::new().set_modified(coarse));
+        }
     }
 
     fn injected(code: i32, site: &str) -> io::Error {
@@ -391,6 +433,14 @@ impl IoEnv for ChaosIo {
 
     fn write_atomic(&self, site: &str, path: &Path, data: &[u8]) -> io::Result<()> {
         match self.gate(site, data.len()) {
+            Verdict::Pass if self.nfs_site(site) => {
+                // No atomic replace on this mount: a plain truncating
+                // write, leaving the usual torn window, then a coarse
+                // mtime.
+                fs::write(path, data)?;
+                Self::coarsen_mtime(path);
+                Ok(())
+            }
             Verdict::Pass => RealIo.write_atomic(site, path, data),
             Verdict::Fail(code) => Err(Self::injected(code, site)),
             Verdict::Tear { keep } => {
@@ -412,6 +462,14 @@ impl IoEnv for ChaosIo {
 
     fn create_new(&self, site: &str, path: &Path, data: &[u8]) -> io::Result<bool> {
         match self.gate(site, data.len()) {
+            Verdict::Pass if self.nfs_site(site) => {
+                // O_EXCL is silently ignored (NFSv2 semantics): every
+                // racing creator "succeeds" and the last writer's bytes
+                // stick. Exclusivity consumers must verify after write.
+                fs::write(path, data)?;
+                Self::coarsen_mtime(path);
+                Ok(true)
+            }
             Verdict::Pass => RealIo.create_new(site, path, data),
             Verdict::Fail(code) => Err(Self::injected(code, site)),
             Verdict::Tear { keep } => {
@@ -440,6 +498,15 @@ impl IoEnv for ChaosIo {
 
     fn rename(&self, site: &str, from: &Path, to: &Path) -> io::Result<()> {
         match self.gate(site, 0) {
+            Verdict::Pass if self.nfs_site(site) => {
+                // Cross-directory rename degrades to copy-then-delete: a
+                // window exists where both paths are visible, and a crash
+                // inside it leaves two copies.
+                let data = fs::read(from)?;
+                fs::write(to, &data)?;
+                Self::coarsen_mtime(to);
+                fs::remove_file(from)
+            }
             Verdict::Pass => fs::rename(from, to),
             Verdict::Fail(code) => Err(Self::injected(code, site)),
             Verdict::Tear { .. } => Err(Self::injected(EIO, site)),
@@ -486,6 +553,10 @@ impl IoEnv for ChaosIo {
     fn now_ms(&self) -> u64 {
         let now = wall_clock_ms() as i64 + self.skew_ms;
         now.max(0) as u64
+    }
+
+    fn nfs_weak(&self, site: &str) -> bool {
+        self.nfs_site(site)
     }
 }
 
@@ -631,6 +702,66 @@ mod tests {
         assert_eq!(a, run());
         assert!(a.iter().any(|x| *x), "some ops must fail at p=0.5");
         assert!(a.iter().any(|x| !*x), "some ops must pass at p=0.5");
+    }
+
+    #[test]
+    fn nfs_create_new_loses_exclusivity() {
+        let chaos = ChaosIo::from_spec("1:nfs@fabric.claim.*").unwrap();
+        let dir = tmp_dir("nfs-create");
+        let path = dir.join("claim.lease");
+        // Both creators "win"; the second writer's bytes stick.
+        assert!(chaos
+            .create_new("fabric.claim.create", &path, b"owner-a")
+            .unwrap());
+        assert!(chaos
+            .create_new("fabric.claim.create", &path, b"owner-b")
+            .unwrap());
+        assert_eq!(fs::read(&path).unwrap(), b"owner-b");
+        // Sites outside the glob keep O_EXCL semantics.
+        let other = dir.join("other.lease");
+        assert!(chaos.create_new("store.write_spec", &other, b"a").unwrap());
+        assert!(!chaos.create_new("store.write_spec", &other, b"b").unwrap());
+        assert!(chaos.nfs_weak("fabric.claim.create"));
+        assert!(!chaos.nfs_weak("store.write_spec"));
+        assert!(!RealIo.nfs_weak("fabric.claim.create"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nfs_rename_copies_then_deletes_and_coarsens_mtime() {
+        let chaos = ChaosIo::from_spec("1:nfs@fabric.*").unwrap();
+        let dir = tmp_dir("nfs-rename");
+        let from = dir.join("a.lease");
+        let to = dir.join("a.stale");
+        fs::write(&from, b"payload").unwrap();
+        chaos.rename("fabric.claim.steal", &from, &to).unwrap();
+        assert!(!from.exists());
+        assert_eq!(fs::read(&to).unwrap(), b"payload");
+        let mtime = fs::metadata(&to)
+            .unwrap()
+            .modified()
+            .unwrap()
+            .duration_since(UNIX_EPOCH)
+            .unwrap();
+        assert_eq!(mtime.subsec_nanos(), 0, "mtime coarsened to seconds");
+        // A missing source still reports NotFound, like a real rename.
+        assert!(chaos.rename("fabric.claim.steal", &from, &to).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nfs_write_atomic_degrades_to_plain_write() {
+        let chaos = ChaosIo::from_spec("1:nfs@fabric.claim.renew").unwrap();
+        let dir = tmp_dir("nfs-atomic");
+        let path = dir.join("claim.lease");
+        chaos
+            .write_atomic("fabric.claim.renew", &path, b"v1")
+            .unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v1");
+        // No temp-file dance: the directory holds only the target.
+        let entries = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(entries, 1);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! | `eio@GLOB[=P]`          | return EIO with probability `P` (default 1)         |
 //! | `enospc@GLOB[=P]`       | return ENOSPC with probability `P` (default 1)      |
 //! | `delay@GLOB=P:MS`       | sleep `MS` milliseconds with probability `P`        |
+//! | `delay@SITE#N:MS`       | sleep `MS` milliseconds on the N-th hit of `SITE`   |
+//! | `nfs@GLOB`              | weaken primitives at matching sites to NFS grade    |
 //! | `skew=MS`               | shift [`IoEnv::now_ms`] by `MS` (may be negative)   |
 //!
 //! `GLOB` is an exact site name, a prefix ending in `*`, or a bare `*`
@@ -75,6 +77,27 @@ pub enum Clause {
         prob: f64,
         /// Sleep duration in milliseconds.
         ms: u64,
+    },
+    /// Sleep before exactly the `nth` hit of `site`. The deterministic
+    /// sibling of [`Clause::Delay`]: a hung operation that recovers on
+    /// retry, independent of machine timing or RNG draw order.
+    DelayNth {
+        /// Exact failpoint site name.
+        site: String,
+        /// 1-based hit number at which to sleep.
+        nth: u64,
+        /// Sleep duration in milliseconds.
+        ms: u64,
+    },
+    /// Weaken filesystem primitives at matching sites to what a lowest-
+    /// common-denominator NFS mount provides: `create_new` loses its
+    /// exclusivity guarantee (it becomes check-then-write, so two racing
+    /// creators can both "win"), `rename` loses atomicity (it becomes
+    /// copy-then-delete, leaving a window where both paths exist), and
+    /// file mtimes are coarsened to whole seconds.
+    Nfs {
+        /// Site glob (exact, `prefix*`, or `*`).
+        glob: String,
     },
     /// Shift the fabric clock by this many milliseconds (may be negative).
     Skew {
@@ -197,15 +220,30 @@ impl Plan {
                     let (glob, prob) = parse_glob_prob(body, kind)?;
                     Clause::Enospc { glob, prob }
                 }
+                "nfs" => {
+                    if body.is_empty() {
+                        return err(format!("`{raw}`: empty site glob"));
+                    }
+                    Clause::Nfs {
+                        glob: body.to_string(),
+                    }
+                }
                 "delay" => {
                     let Some((head, ms)) = body.rsplit_once(':') else {
-                        return err(format!("`{raw}`: expected `delay@GLOB=P:MS`"));
+                        return err(format!(
+                            "`{raw}`: expected `delay@GLOB=P:MS` or `delay@SITE#N:MS`"
+                        ));
                     };
                     let Ok(ms) = ms.parse::<u64>() else {
                         return err(format!("`{raw}`: delay `{ms}` is not a u64"));
                     };
-                    let (glob, prob) = parse_glob_prob(head, kind)?;
-                    Clause::Delay { glob, prob, ms }
+                    if head.contains('#') {
+                        let (site, nth) = parse_site_nth(head, kind)?;
+                        Clause::DelayNth { site, nth, ms }
+                    } else {
+                        let (glob, prob) = parse_glob_prob(head, kind)?;
+                        Clause::Delay { glob, prob, ms }
+                    }
                 }
                 other => return err(format!("`{raw}`: unknown fault kind `{other}`")),
             };
@@ -236,11 +274,11 @@ mod tests {
     fn parses_every_clause_kind() {
         let plan = Plan::parse(
             "42:abort@fabric.claim.renew#2,torn@csv.append#3,drop-rename@store.write_status#1,\
-             eio@store.*=0.25,enospc@csv.append,delay@http.*=0.5:20,skew=-1500",
+             eio@store.*=0.25,enospc@csv.append,delay@http.*=0.5:20,nfs@fabric.claim.*,skew=-1500",
         )
         .unwrap();
         assert_eq!(plan.seed, 42);
-        assert_eq!(plan.clauses.len(), 7);
+        assert_eq!(plan.clauses.len(), 8);
         assert_eq!(
             plan.clauses[0],
             Clause::Abort {
@@ -270,7 +308,29 @@ mod tests {
                 ms: 20
             }
         );
-        assert_eq!(plan.clauses[6], Clause::Skew { ms: -1500 });
+        assert_eq!(
+            plan.clauses[6],
+            Clause::Nfs {
+                glob: "fabric.claim.*".into()
+            }
+        );
+        assert_eq!(plan.clauses[7], Clause::Skew { ms: -1500 });
+    }
+
+    #[test]
+    fn parses_hit_numbered_delay() {
+        let plan = Plan::parse("7:delay@fabric.cell.alpha#3:2500").unwrap();
+        assert_eq!(
+            plan.clauses[0],
+            Clause::DelayNth {
+                site: "fabric.cell.alpha".into(),
+                nth: 3,
+                ms: 2500
+            }
+        );
+        for bad in ["1:delay@site#0:10", "1:delay@site#2", "1:delay@#1:10"] {
+            assert!(Plan::parse(bad).is_err(), "spec {bad:?} should not parse");
+        }
     }
 
     #[test]
@@ -286,6 +346,7 @@ mod tests {
             "1:eio@site=2.0",
             "1:eio@=0.5",
             "1:delay@site=0.5",
+            "1:nfs@",
             "1:warp@site#1",
             "1:skew=abc",
         ] {

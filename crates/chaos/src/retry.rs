@@ -117,6 +117,66 @@ mod tests {
     }
 
     #[test]
+    fn jitter_bounds_hold_across_seeds() {
+        // Every delay from every seed must land in [50%, 100%] of the
+        // nominal exponential value — the jitter never widens the
+        // schedule, only thins it.
+        for seed in 0..64u64 {
+            let mut b =
+                Backoff::with_seed(Duration::from_millis(40), Duration::from_secs(10), 6, seed);
+            for i in 0.. {
+                let Some(d) = b.next_delay() else { break };
+                let nominal = Duration::from_millis(40)
+                    .saturating_mul(1 << i)
+                    .min(Duration::from_secs(10));
+                assert!(d <= nominal, "seed {seed} attempt {i}: {d:?} > {nominal:?}");
+                assert!(
+                    d.as_secs_f64() >= nominal.as_secs_f64() * 0.5 - 1e-9,
+                    "seed {seed} attempt {i}: {d:?} below 50% of {nominal:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_saturates_without_overflow() {
+        // Budgets past the shift width must not panic or wrap: the
+        // nominal saturates at the cap and every late delay stays inside
+        // [cap/2, cap].
+        let cap = Duration::from_millis(200);
+        let mut b = Backoff::with_seed(Duration::from_millis(50), cap, 48, 11);
+        let delays: Vec<Duration> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(delays.len(), 48);
+        for (i, d) in delays.iter().enumerate().skip(2) {
+            assert!(*d <= cap, "attempt {i}: {d:?} exceeds cap");
+            assert!(
+                d.as_secs_f64() >= cap.as_secs_f64() * 0.5 - 1e-9,
+                "attempt {i}: {d:?} below cap/2 once saturated"
+            );
+        }
+        // A zero-duration base degenerates cleanly to zero delays.
+        let mut zero = Backoff::new(Duration::ZERO, Duration::ZERO, 3);
+        assert_eq!(zero.next_delay(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn exhausted_budget_stays_exhausted() {
+        let mut b = Backoff::new(Duration::from_millis(1), Duration::from_millis(8), 2);
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        // Exhaustion is terminal: repeated polls keep returning None and
+        // the attempt counter freezes at the budget.
+        for _ in 0..4 {
+            assert!(b.next_delay().is_none());
+            assert_eq!(b.attempts(), 2);
+        }
+        // A zero budget never grants a retry at all.
+        let mut none = Backoff::new(Duration::from_millis(1), Duration::from_millis(8), 0);
+        assert!(none.next_delay().is_none());
+        assert_eq!(none.attempts(), 0);
+    }
+
+    #[test]
     fn jitter_is_deterministic_per_seed() {
         let collect = |seed| {
             let mut b =

@@ -3,8 +3,11 @@
 //! ```text
 //! ftsimd submit <spec.toml|spec.json> [--state DIR | --remote ADDR]
 //! ftsimd serve  [--state DIR] [--drain] [--poll-ms N] [--listen ADDR]
-//!               [--lease-ms N] [--workers N] [--max-body BYTES]
-//!               [--head-timeout-ms N]
+//!               [--lease-ms N] [--lease-mode strict|relaxed] [--workers N]
+//!               [--max-body BYTES] [--head-timeout-ms N] [--token-file FILE]
+//!               [--gc-interval-ms N] [--max-live-jobs N]
+//!               [--max-queued-cells N] [--max-state-bytes N]
+//! ftsimd gc     [--state DIR] [--quarantine-retain-secs N]
 //! ftsimd jobs   [--state DIR | --remote ADDR]
 //! ftsimd status [JOB] [--state DIR | --remote ADDR]
 //! ftsimd results <JOB> [--state DIR | --remote ADDR]
@@ -34,11 +37,12 @@
 //! reports all travel over the socket. `stop` with a job id pauses that
 //! job; without one it shuts the serving daemon down.
 
-use crate::fabric::{family_progress, merged_records};
+use crate::fabric::{family_progress, merged_records, LeaseMode};
+use crate::gc::{gc_pass, GcOptions};
 use crate::http::{http_request, http_stream};
 use crate::runner::{install_signal_handlers, serve, ServeOptions};
 use crate::spec::JobSpec;
-use crate::store::{Job, JobState, JobStore};
+use crate::store::{Job, JobState, JobStore, QuotaPolicy};
 use ftsim::harness::{from_csv, from_csv_tolerant_prefix, to_csv, to_json, RunRecord};
 use ftsim_stats::JsonValue;
 use std::time::Duration;
@@ -49,8 +53,11 @@ ftsimd — long-running sweep daemon for the ftsim fault-tolerant superscalar
 USAGE:
     ftsimd submit <spec.toml|spec.json> [--state DIR | --remote ADDR]
     ftsimd serve  [--state DIR] [--drain] [--poll-ms N] [--listen ADDR]
-                  [--lease-ms N] [--workers N] [--max-body BYTES]
-                  [--head-timeout-ms N]
+                  [--lease-ms N] [--lease-mode strict|relaxed] [--workers N]
+                  [--max-body BYTES] [--head-timeout-ms N] [--token-file FILE]
+                  [--gc-interval-ms N] [--max-live-jobs N]
+                  [--max-queued-cells N] [--max-state-bytes N]
+    ftsimd gc     [--state DIR] [--quarantine-retain-secs N]
     ftsimd jobs   [--state DIR | --remote ADDR]
     ftsimd status [JOB] [--state DIR | --remote ADDR]
     ftsimd results <JOB> [--state DIR | --remote ADDR]
@@ -69,9 +76,24 @@ COMMANDS:
               HTTP API (the bound address lands in <state>/http.addr);
               --workers caps this process's worker threads; --max-body
               and --head-timeout-ms bound HTTP request size (413) and
-              slow-loris patience (408). Ctrl-C,
+              slow-loris patience (408). --lease-mode relaxed verifies
+              every claim by owner echo (for NFS-grade filesystems
+              whose O_EXCL/rename are unreliable). --token-file FILE
+              (or $FTSIMD_TOKEN) gates every mutating HTTP verb behind
+              `Authorization: Bearer <token>` (401 without it).
+              --max-live-jobs/--max-queued-cells/--max-state-bytes
+              install a per-submitter admission quota (0 = unlimited;
+              over-quota submissions get 429 + Retry-After).
+              --gc-interval-ms sets the background TTL garbage
+              collection cadence (default hourly; 0 disables). Ctrl-C,
               SIGTERM or `ftsimd stop` shut down gracefully (claimed
               work is re-queued and resumes from its streamed records).
+    gc        Run one garbage-collection pass now: expire terminal jobs
+              whose spec's ttl_secs/retain_secs elapsed, drop cells.csv
+              working files sealed into results.csv, sweep stale-lease
+              debris, and age out quarantine evidence older than
+              --quarantine-retain-secs (default 7 days). Live jobs are
+              never touched.
     jobs      List every job: state, cell progress, submitter, priority.
     status    Show the queue, or one job's progress (with per-family
               cells-done counts for a single job).
@@ -92,15 +114,22 @@ The state directory defaults to ./ftsimd-state, or $FTSIMD_STATE.
 
 /// Flags that take a value (`--flag VALUE`); stored as `--flag=VALUE`.
 /// The `true` entries are validated as unsigned integers at parse time.
-const VALUE_FLAGS: [(&str, bool); 8] = [
+const VALUE_FLAGS: [(&str, bool); 15] = [
     ("--poll-ms", true),
     ("--interval", true),
     ("--lease-ms", true),
     ("--workers", true),
     ("--max-body", true),
     ("--head-timeout-ms", true),
+    ("--gc-interval-ms", true),
+    ("--max-live-jobs", true),
+    ("--max-queued-cells", true),
+    ("--max-state-bytes", true),
+    ("--quarantine-retain-secs", true),
     ("--listen", false),
     ("--remote", false),
+    ("--token-file", false),
+    ("--lease-mode", false),
 ];
 
 /// Parsed global options.
@@ -220,6 +249,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "submit" => cmd_submit(&parsed),
         "serve" => cmd_serve(&parsed),
+        "gc" => cmd_gc(&parsed),
         "jobs" => cmd_jobs(&parsed),
         "status" => cmd_status(&parsed),
         "results" => cmd_results(&parsed),
@@ -320,15 +350,58 @@ fn cells_of(store: &JobStore, id: &str) -> String {
         .map_or_else(|_| "?".to_string(), |s| s.cells_total.to_string())
 }
 
+/// `--token-file FILE` (trimmed file contents) or `$FTSIMD_TOKEN`;
+/// `None` leaves the HTTP API open.
+fn serve_token(args: &Args) -> Result<Option<String>, String> {
+    if let Some(path) = args.value("--token-file") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading token file {path}: {e}"))?;
+        let token = text.trim().to_string();
+        if token.is_empty() {
+            return Err(format!("token file {path} is empty"));
+        }
+        return Ok(Some(token));
+    }
+    Ok(std::env::var("FTSIMD_TOKEN")
+        .ok()
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty()))
+}
+
+/// The admission quota the serve flags describe, or `None` when no
+/// quota flag was given (leaving `<state>/quota.json` untouched).
+fn serve_quota(args: &Args) -> Option<QuotaPolicy> {
+    let get = |name: &str| args.value(name).and_then(|v| v.parse().ok());
+    let (live, cells, bytes) = (
+        get("--max-live-jobs"),
+        get("--max-queued-cells"),
+        get("--max-state-bytes"),
+    );
+    if live.is_none() && cells.is_none() && bytes.is_none() {
+        return None;
+    }
+    Some(QuotaPolicy {
+        max_live_jobs: live.unwrap_or(0),
+        max_queued_cells: cells.unwrap_or(0),
+        max_state_bytes: bytes.unwrap_or(0),
+    })
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     args.ensure_flags(&[
         "--drain",
         "--poll-ms",
         "--listen",
         "--lease-ms",
+        "--lease-mode",
         "--workers",
         "--max-body",
         "--head-timeout-ms",
+        "--token-file",
+        "--gc-interval-ms",
+        "--max-live-jobs",
+        "--max-queued-cells",
+        "--max-state-bytes",
     ])?;
     if !args.positional.is_empty() {
         return Err("serve takes no positional arguments".to_string());
@@ -339,6 +412,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     install_signal_handlers();
     let store = open_store(args)?;
     let defaults = ServeOptions::default();
+    let lease_mode = match args.value("--lease-mode") {
+        Some(mode) => LeaseMode::parse(mode)
+            .ok_or_else(|| format!("bad --lease-mode `{mode}` (strict or relaxed)"))?,
+        None => defaults.lease_mode,
+    };
     let opts = ServeOptions {
         drain: args.flag("--drain"),
         poll: args.poll(),
@@ -359,6 +437,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             .value("--head-timeout-ms")
             .and_then(|v| v.parse().ok())
             .map_or(defaults.head_timeout, Duration::from_millis),
+        lease_mode,
+        token: serve_token(args)?,
+        gc_interval: args
+            .value("--gc-interval-ms")
+            .and_then(|v| v.parse().ok())
+            .map_or(defaults.gc_interval, Duration::from_millis),
+        quota: serve_quota(args),
     };
     eprintln!(
         "ftsimd: serving {} ({})",
@@ -370,6 +455,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     );
     serve(&store, &opts).map_err(|e| e.to_string())
+}
+
+fn cmd_gc(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&["--quarantine-retain-secs"])?;
+    if !args.positional.is_empty() {
+        return Err("gc takes no positional arguments".to_string());
+    }
+    if args.remote().is_some() {
+        return Err("gc runs against a state directory, not --remote".to_string());
+    }
+    let store = open_store(args)?;
+    let mut opts = GcOptions::default();
+    if let Some(secs) = args
+        .value("--quarantine-retain-secs")
+        .and_then(|v| v.parse().ok())
+    {
+        opts.quarantine_retain = Duration::from_secs(secs);
+    }
+    let report = gc_pass(&store, &opts).map_err(|e| e.to_string())?;
+    if report.is_empty() {
+        println!("ftsimd: gc: nothing to reclaim");
+    } else {
+        println!("ftsimd: gc: {report}");
+    }
+    Ok(())
 }
 
 /// One row of the `jobs` table, from either a local store or `/jobs`.
@@ -889,6 +999,53 @@ mod tests {
         // Pausing the (already done) job writes its stop sentinel.
         assert_eq!(run(&strs(&["stop", &id, "--state", &state])), 0);
         assert!(store.job_stop_requested(&job));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_verb_runs_and_bad_serve_flags_fail_fast() {
+        let dir = std::env::temp_dir().join(format!("ftsimd-cli-gc-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        JobStore::open(&dir).unwrap();
+        let state = dir.to_string_lossy().to_string();
+        // An empty store GC's cleanly (nothing to reclaim).
+        assert_eq!(run(&strs(&["gc", "--state", &state])), 0);
+        assert_eq!(
+            run(&strs(&[
+                "gc",
+                "--state",
+                &state,
+                "--quarantine-retain-secs",
+                "0"
+            ])),
+            0
+        );
+        // gc is local-only and rejects foreign flags.
+        assert_eq!(run(&strs(&["gc", "--state", &state, "--json"])), 1);
+        // A bad lease mode fails before the daemon starts serving.
+        assert_eq!(
+            run(&strs(&[
+                "serve",
+                "--state",
+                &state,
+                "--drain",
+                "--lease-mode",
+                "sideways"
+            ])),
+            1
+        );
+        // A missing token file is an error, not an open API.
+        assert_eq!(
+            run(&strs(&[
+                "serve",
+                "--state",
+                &state,
+                "--drain",
+                "--token-file",
+                "/nonexistent/token"
+            ])),
+            1
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

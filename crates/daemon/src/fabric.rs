@@ -74,6 +74,42 @@ pub(crate) fn last_scheduler_pass_ms() -> u64 {
     LAST_SCHED_PASS_MS.load(Ordering::Relaxed)
 }
 
+/// How much the claim protocol trusts the filesystem's primitives
+/// (`serve --lease-mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeaseMode {
+    /// Trust `create_new` to be exclusive and `rename` to be atomic —
+    /// correct on every local filesystem and NFSv3+ with proper locking.
+    #[default]
+    Strict,
+    /// Assume a lowest-common-denominator NFS mount where `create_new`
+    /// may silently lose its exclusivity: every acquisition is followed
+    /// by a jittered re-read that must echo this process's owner id
+    /// before the claim counts as held. Collisions become unlikely, not
+    /// impossible — which is fine, because leases are a throughput
+    /// optimization and duplicate execution is byte-identical.
+    Relaxed,
+}
+
+impl LeaseMode {
+    /// Parses a `--lease-mode` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "strict" => Some(Self::Strict),
+            "relaxed" => Some(Self::Relaxed),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Strict => "strict",
+            Self::Relaxed => "relaxed",
+        }
+    }
+}
+
 /// One process's fabric identity and lease policy.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
@@ -81,6 +117,13 @@ pub struct FabricConfig {
     pub owner: String,
     /// How long a claim lives without renewal before peers may steal it.
     pub lease: Duration,
+    /// How much to trust the filesystem's claim primitives.
+    pub mode: LeaseMode,
+    /// Wall-clock budget for a cell of a family with no observed cell
+    /// times yet (the first cell, which also pays for the family's
+    /// baseline). Once a cell has completed, budgets derive from the
+    /// family's observed maximum instead.
+    pub cell_floor: Duration,
 }
 
 impl FabricConfig {
@@ -93,8 +136,20 @@ impl FabricConfig {
         Self {
             owner: format!("{host}:{}:{seq}", std::process::id()),
             lease,
+            mode: LeaseMode::Strict,
+            cell_floor: default_cell_floor(),
         }
     }
+}
+
+/// The stuck-cell watchdog's no-data budget: `FTSIMD_CELL_FLOOR_MS`
+/// (tests shrink it to trigger quickly) or two minutes — comfortably
+/// above any baseline computation in the paper's budget range.
+fn default_cell_floor() -> Duration {
+    std::env::var("FTSIMD_CELL_FLOOR_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_secs(120), Duration::from_millis)
 }
 
 impl Default for FabricConfig {
@@ -236,6 +291,45 @@ pub fn try_claim(
     }
 }
 
+/// Relaxed-mode owner-echo verification: after a `create_new` that may
+/// silently have lost its exclusivity (an NFS-grade mount — see
+/// [`LeaseMode::Relaxed`]), wait a jittered beat for any racing write to
+/// land, then re-read the lease. The claim stands only if the file still
+/// echoes this process's owner id, which is process-unique
+/// (`host:pid:seq`) — two racers cannot both read their own name out of
+/// one file. An unreadable re-read walks away: a claim we cannot prove
+/// we hold is a claim we do not hold.
+fn claim_verified(path: &Path, cfg: &FabricConfig) -> bool {
+    if cfg.mode == LeaseMode::Strict {
+        return true;
+    }
+    // Deterministic per-owner jitter desynchronizes racing verifiers so
+    // they do not re-read in lockstep.
+    let mut jitter = Backoff::with_seed(
+        Duration::from_millis(15),
+        Duration::from_millis(60),
+        1,
+        fnv1a(cfg.owner.as_bytes()),
+    );
+    if let Some(delay) = jitter.next_delay() {
+        std::thread::sleep(delay);
+    }
+    match ftsim_chaos::io().read_to_string(fp::FABRIC_CLAIM_VERIFY, path) {
+        Ok(text) => Lease::parse(&text).is_some_and(|l| l.owner == cfg.owner),
+        Err(_) => false,
+    }
+}
+
+/// FNV-1a, for deriving a jitter seed from an owner id.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 fn try_claim_once(
     job: &Job,
     family: &FamilyId,
@@ -251,6 +345,9 @@ fn try_claim_once(
             .map_err(io_err(format!("claiming {}", path.display())))
     };
     if claim(&path)? {
+        if !claim_verified(&path, cfg) {
+            return Ok(None); // the echo named a peer: we lost the race
+        }
         return Ok(Some(ClaimGuard {
             path,
             owner: cfg.owner.clone(),
@@ -307,7 +404,7 @@ fn try_claim_once(
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(io_err(format!("stealing {}", path.display()))(e)),
     }
-    Ok(if claim(&path)? {
+    Ok(if claim(&path)? && claim_verified(&path, cfg) {
         Some(ClaimGuard {
             path,
             owner: cfg.owner.clone(),
@@ -656,6 +753,10 @@ fn rebuild_status(store: &JobStore, job: &Job) -> Result<JobStatus, DaemonError>
         cells_total: total,
         cells_done: records.len(),
         error: String::new(),
+        // write_status inherits the real submit timestamp from the prior
+        // status when one survives; 0 means genuinely unknown.
+        created_unix_ms: 0,
+        finished_unix_ms: 0,
     };
     store.write_status(job, &status)?;
     eprintln!(
@@ -737,6 +838,8 @@ pub(crate) fn mark_failed(store: &JobStore, job: &Job, err: &DaemonError) {
         cells_total: 0,
         cells_done: 0,
         error: String::new(),
+        created_unix_ms: 0,
+        finished_unix_ms: 0,
     });
     status.state = JobState::Failed;
     status.error = err.to_string();
@@ -757,6 +860,8 @@ pub(crate) fn bump_status(store: &JobStore, job: &Job, state: JobState, done: us
             cells_total: total,
             cells_done: done.min(total),
             error: String::new(),
+            created_unix_ms: 0,
+            finished_unix_ms: 0,
         },
     );
 }
@@ -776,6 +881,105 @@ pub(crate) enum FamilyOutcome {
     /// streamed row is kept; re-submitting the spec after freeing space
     /// resumes from them.
     Paused,
+    /// The stuck-cell watchdog killed a cell that overran its wall-clock
+    /// budget. The family's claim is released (drop the assignment) and
+    /// the cell stays unrecorded, so it is re-queued on the next
+    /// scheduler pass — until its strike count caps out and the job is
+    /// marked failed instead.
+    Stuck,
+}
+
+/// Cells a single coordinate may overrun its deadline before the whole
+/// job is marked failed — enough to ride out scheduler noise and
+/// probabilistic chaos delays, few enough that a deterministic hang
+/// converges to a visible failure quickly.
+const WATCHDOG_MAX_STRIKES: u64 = 5;
+
+/// Cells killed by the stuck-cell watchdog in this process (see
+/// `GET /healthz`).
+static WATCHDOG_KILLS: AtomicU64 = AtomicU64::new(0);
+
+/// Watchdog kills this process has performed.
+pub(crate) fn watchdog_kills() -> u64 {
+    WATCHDOG_KILLS.load(Ordering::Relaxed)
+}
+
+/// The per-cell wall-clock budget: with no completed cell observed yet
+/// the configured floor applies (the first cell also pays for the
+/// family baseline); afterwards, a generous multiple of the family's
+/// observed maximum — a cell 16x slower than its slowest sibling is
+/// wedged, not working.
+fn cell_budget(observed_max: Duration, cfg: &FabricConfig) -> Duration {
+    if observed_max.is_zero() {
+        cfg.cell_floor
+    } else {
+        (observed_max * 16).max(Duration::from_secs(1))
+    }
+}
+
+/// Reads the job's watchdog sidecar (`watchdog.json`: cell label →
+/// strike count). The sidecar is advisory bookkeeping, not a result
+/// artifact — a torn or missing file parses as "no strikes yet", which
+/// only makes the watchdog more patient.
+fn watchdog_strikes(job: &Job) -> Vec<(String, u64)> {
+    let path = job.dir().join("watchdog.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let Ok(JsonValue::Obj(pairs)) = JsonValue::parse(&text) else {
+        return Vec::new();
+    };
+    pairs
+        .into_iter()
+        .filter_map(|(label, v)| Some((label, v.as_u64()?)))
+        .collect()
+}
+
+/// Adds a strike for `label` in the job's watchdog sidecar and returns
+/// the new count. Lost updates under concurrent writers only under-count
+/// — strikes are a patience budget, not a correctness mechanism.
+fn bump_watchdog_strike(job: &Job, label: &str) -> u64 {
+    let mut strikes = watchdog_strikes(job);
+    let count = match strikes.iter_mut().find(|(l, _)| l == label) {
+        Some((_, n)) => {
+            *n += 1;
+            *n
+        }
+        None => {
+            strikes.push((label.to_string(), 1));
+            1
+        }
+    };
+    let doc = JsonValue::Obj(
+        strikes
+            .into_iter()
+            .map(|(l, n)| (l, JsonValue::U64(n)))
+            .collect(),
+    );
+    let _ = std::fs::write(job.dir().join("watchdog.json"), doc.render_pretty(2));
+    count
+}
+
+/// A cell overran its budget: count the strike, make the overrun visible
+/// (healthz counter, stderr, and — once the strikes cap out — a terminal
+/// failed status), and hand the family back to the scheduler.
+fn note_stuck_cell(store: &JobStore, a: &Assignment, identity: &RunRecord, budget: Duration) {
+    WATCHDOG_KILLS.fetch_add(1, Ordering::Relaxed);
+    let label = identity.cell_label();
+    let strikes = bump_watchdog_strike(&a.job, &label);
+    eprintln!(
+        "ftsimd: job {}: cell {label} exceeded its {}ms deadline \
+         (strike {strikes}/{WATCHDOG_MAX_STRIKES}); re-queueing",
+        a.job.id,
+        budget.as_millis(),
+    );
+    if strikes >= WATCHDOG_MAX_STRIKES {
+        let err = DaemonError::Io {
+            context: format!("cell {label} exceeded deadline ({strikes} strikes)"),
+            source: io::Error::new(io::ErrorKind::TimedOut, "stuck-cell watchdog"),
+        };
+        mark_failed(store, &a.job, &err);
+    }
 }
 
 /// Runs one claimed family to completion, streaming each record to the
@@ -795,6 +999,7 @@ pub(crate) enum FamilyOutcome {
 pub(crate) fn run_family(
     store: &JobStore,
     a: &mut Assignment,
+    cfg: &FabricConfig,
     stop: &dyn Fn() -> bool,
 ) -> Result<FamilyOutcome, DaemonError> {
     let mut sub = a.spec.clone();
@@ -822,12 +1027,37 @@ pub(crate) fn run_family(
             a.job.id
         );
     }
-    let plan = sub
-        .to_experiment()?
-        .resume_from(prior)
-        .plan()
-        .map_err(DaemonError::Experiment)?;
+    let plan = std::sync::Arc::new(
+        sub.to_experiment()?
+            .resume_from(prior)
+            .plan()
+            .map_err(DaemonError::Experiment)?,
+    );
 
+    // Cells execute on a helper thread so the watchdog can abandon one
+    // that wedges: the main thread feeds indices and waits with a
+    // deadline. A chaos gate at `fabric.cell.<family-slug>` sits at the
+    // top of each cell, so plans can hang exactly this family
+    // (`delay@fabric.cell.<slug>*`) to exercise the watchdog. On every
+    // exit path the index channel drops, the helper's `recv` fails, and
+    // it unwinds on its own — including the abandonment case, where it
+    // first finishes the wedged cell nobody is waiting for.
+    let (idx_tx, idx_rx) = std::sync::mpsc::channel::<usize>();
+    let (rec_tx, rec_rx) = std::sync::mpsc::channel::<RunRecord>();
+    {
+        let plan = std::sync::Arc::clone(&plan);
+        let site = format!("{}{}", fp::FABRIC_CELL_PREFIX, a.family.slug());
+        std::thread::spawn(move || {
+            while let Ok(idx) = idx_rx.recv() {
+                let _ = ftsim_chaos::io().gate(&site);
+                if rec_tx.send(plan.run_cell(idx)).is_err() {
+                    return; // abandoned by the watchdog
+                }
+            }
+        });
+    }
+
+    let mut observed_max = Duration::ZERO;
     let mut done = a.job_done;
     for idx in 0..plan.len() {
         if plan.prior(idx).is_some() {
@@ -839,7 +1069,28 @@ pub(crate) fn run_family(
         if !a.claim.renew()? {
             return Ok(FamilyOutcome::Lost);
         }
-        let record = plan.run_cell(idx);
+        let budget = cell_budget(observed_max, cfg);
+        let started = Instant::now();
+        if idx_tx.send(idx).is_err() {
+            return Err(DaemonError::Io {
+                context: "cell worker thread died".to_string(),
+                source: io::Error::new(io::ErrorKind::BrokenPipe, "worker channel closed"),
+            });
+        }
+        let record = match rec_rx.recv_timeout(budget) {
+            Ok(record) => record,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                note_stuck_cell(store, a, &plan.identity(idx), budget);
+                return Ok(FamilyOutcome::Stuck);
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(DaemonError::Io {
+                    context: "cell worker thread died".to_string(),
+                    source: io::Error::new(io::ErrorKind::BrokenPipe, "worker channel closed"),
+                });
+            }
+        };
+        observed_max = observed_max.max(started.elapsed());
         if let Err(e) = writer.append_row(&record.to_csv_row()) {
             if ftsim_chaos::is_enospc(&e) {
                 return Ok(pause_for_enospc(store, &a.job));
@@ -940,6 +1191,8 @@ pub(crate) fn try_finalize(
             cells_total: total,
             cells_done: total,
             error: String::new(),
+            created_unix_ms: 0,
+            finished_unix_ms: 0,
         },
     )?;
     // Claims are scaffolding; a straggler holding one re-runs a cell to

@@ -46,6 +46,12 @@ pub const STORE_SENTINEL_WRITE: &str = "store.sentinel.write";
 pub const STORE_SENTINEL_CLEAR: &str = "store.sentinel.clear";
 /// Moving a corrupt state file into `<state>/quarantine/`.
 pub const STORE_QUARANTINE: &str = "store.quarantine";
+/// Reading the admission-control policy (`<state>/quota.json`).
+pub const STORE_QUOTA_READ: &str = "store.quota.read";
+/// Atomic write of the admission-control policy.
+pub const STORE_QUOTA_WRITE: &str = "store.quota.write";
+/// Removing an expired job directory during a GC pass.
+pub const STORE_GC_REMOVE: &str = "store.gc.remove";
 
 /// Reading a family's claim lease document.
 pub const FABRIC_LEASE_READ: &str = "fabric.lease.read";
@@ -67,6 +73,12 @@ pub const FABRIC_FINALIZE_RESULTS_CSV: &str = "fabric.finalize.results_csv";
 pub const FABRIC_FINALIZE_RESULTS_JSON: &str = "fabric.finalize.results_json";
 /// Removing the `claims/` directory after finalization.
 pub const FABRIC_FINALIZE_CLEAR_CLAIMS: &str = "fabric.finalize.clear_claims";
+/// Verify-after-write reread of a relaxed-mode claim (`--lease-mode=relaxed`).
+pub const FABRIC_CLAIM_VERIFY: &str = "fabric.claim.verify";
+/// Per-family cell-execution gate; the full site is
+/// `fabric.cell.<family-slug>`, so chaos plans can hang one family's cells
+/// (`delay@fabric.cell.gcc-4000-ss-2*`) to exercise the stuck-cell watchdog.
+pub const FABRIC_CELL_PREFIX: &str = "fabric.cell.";
 
 /// Writing the bound-address advertisement (`<state>/http.addr`).
 pub const HTTP_ADDR_WRITE: &str = "http.addr.write";

@@ -65,6 +65,10 @@ pub(crate) struct HttpServer {
     store: JobStore,
     listener: TcpListener,
     limits: HttpLimits,
+    /// Bearer token gating every mutating (POST) verb; `None` leaves
+    /// the API open (single-tenant default).
+    token: Option<String>,
+    started: std::time::Instant,
     stopped: Arc<AtomicBool>,
 }
 
@@ -75,6 +79,7 @@ impl HttpServer {
         store: &JobStore,
         addr: &str,
         limits: HttpLimits,
+        token: Option<String>,
     ) -> Result<Self, DaemonError> {
         let listener =
             TcpListener::bind(addr).map_err(io_err(format!("binding http listener on {addr}")))?;
@@ -94,6 +99,8 @@ impl HttpServer {
             store: store.clone(),
             listener,
             limits,
+            token,
+            started: std::time::Instant::now(),
             stopped: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -121,10 +128,12 @@ impl HttpServer {
                     let store = self.store.clone();
                     let stopped = Arc::clone(&self.stopped);
                     let limits = self.limits;
+                    let token = self.token.clone();
+                    let started = self.started;
                     std::thread::spawn(move || {
                         // A hung client must not wedge its thread forever.
                         stream.set_read_timeout(Some(limits.head_timeout)).ok();
-                        handle(&store, stream, limits, &stopped);
+                        handle(&store, stream, limits, token.as_deref(), started, &stopped);
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(nap),
@@ -140,6 +149,8 @@ struct Request {
     path: String,
     query: Vec<(String, String)>,
     body: String,
+    /// The `Authorization: Bearer <token>` credential, if any.
+    bearer: Option<String>,
 }
 
 impl Request {
@@ -210,6 +221,7 @@ fn read_request(stream: &mut TcpStream, limits: HttpLimits) -> Result<Request, R
         ));
     }
     let mut content_length = 0usize;
+    let mut bearer = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
@@ -217,6 +229,10 @@ fn read_request(stream: &mut TcpStream, limits: HttpLimits) -> Result<Request, R
                     .trim()
                     .parse()
                     .map_err(|_| ReqError::new(400, "bad content-length"))?;
+            } else if name.trim().eq_ignore_ascii_case("authorization") {
+                if let Some(cred) = value.trim().strip_prefix("Bearer ") {
+                    bearer = Some(cred.trim().to_string());
+                }
             }
         }
     }
@@ -250,6 +266,7 @@ fn read_request(stream: &mut TcpStream, limits: HttpLimits) -> Result<Request, R
         path: path.to_string(),
         query,
         body: String::from_utf8_lossy(&body).into_owned(),
+        bearer,
     })
 }
 
@@ -257,10 +274,12 @@ fn status_text(code: u16) -> &'static str {
     match code {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         _ => "Internal Server Error",
     }
@@ -268,17 +287,34 @@ fn status_text(code: u16) -> &'static str {
 
 /// Writes a complete response with a `Content-Length`.
 fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    respond_extra(stream, code, content_type, body, &[]);
+}
+
+/// [`respond`] with additional header lines (`Retry-After`,
+/// `WWW-Authenticate`, ...), each given as `"Name: value"`.
+fn respond_extra(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[String],
+) {
     // An injected respond failure drops the response on the floor: the
     // client sees a closed connection (and its retry layer re-asks).
     if let Err(e) = ftsim_chaos::io().gate(fp::HTTP_SERVER_RESPOND) {
         eprintln!("ftsimd: http respond: {e}");
         return;
     }
-    let head = format!(
-        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status_text(code),
         body.len()
     );
+    for header in extra_headers {
+        head.push_str(header);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
@@ -292,9 +328,30 @@ fn error_json(message: impl Into<String>) -> JsonValue {
     JsonValue::obj([("error".to_string(), JsonValue::Str(message.into()))])
 }
 
+/// Compares a presented credential against the configured token without
+/// an early exit, so response timing does not leak how long a matching
+/// prefix was.
+fn token_matches(expected: &str, presented: &str) -> bool {
+    let (a, b) = (expected.as_bytes(), presented.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= (x ^ y) as usize;
+    }
+    diff == 0
+}
+
 /// Routes one request. Every handler failure turns into a JSON error
 /// response; nothing here can take the accept loop down.
-fn handle(store: &JobStore, mut stream: TcpStream, limits: HttpLimits, stopped: &AtomicBool) {
+fn handle(
+    store: &JobStore,
+    mut stream: TcpStream,
+    limits: HttpLimits,
+    token: Option<&str>,
+    started: std::time::Instant,
+    stopped: &AtomicBool,
+) {
     let req = match read_request(&mut stream, limits) {
         Ok(req) => req,
         Err(e) => {
@@ -315,6 +372,26 @@ fn handle(store: &JobStore, mut stream: TcpStream, limits: HttpLimits, stopped: 
             return;
         }
     };
+    // Every mutating verb is a POST; reads stay open so dashboards and
+    // `results --watch` keep working without credentials.
+    if req.method == "POST" {
+        if let Some(expected) = token {
+            let authorized = req
+                .bearer
+                .as_deref()
+                .is_some_and(|presented| token_matches(expected, presented));
+            if !authorized {
+                respond_extra(
+                    &mut stream,
+                    401,
+                    "application/json",
+                    &error_json("missing or invalid bearer token").render_pretty(2),
+                    &["WWW-Authenticate: Bearer".to_string()],
+                );
+                return;
+            }
+        }
+    }
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => post_job(store, &mut stream, &req),
@@ -333,7 +410,7 @@ fn handle(store: &JobStore, mut stream: TcpStream, limits: HttpLimits, stopped: 
                 Err(e) => respond_json(&mut stream, 500, &error_json(e.to_string())),
             };
         }
-        ("GET", ["healthz"]) => healthz(store, &mut stream),
+        ("GET", ["healthz"]) => healthz(store, &mut stream, started),
         (method, _) if method != "GET" && method != "POST" => {
             respond_json(&mut stream, 405, &error_json("use GET or POST"));
         }
@@ -378,6 +455,28 @@ fn post_job(store: &JobStore, stream: &mut TcpStream, req: &Request) {
                     ("created".to_string(), JsonValue::Bool(created)),
                     ("cells_total".to_string(), JsonValue::U64(cells)),
                 ]),
+            );
+        }
+        Err(
+            e @ DaemonError::QuotaExceeded {
+                retry_after_secs, ..
+            },
+        ) => {
+            // Structured refusal: the client learns when to come back
+            // both from the header and from the body.
+            respond_extra(
+                stream,
+                429,
+                "application/json",
+                &JsonValue::obj([
+                    ("error".to_string(), JsonValue::Str(e.to_string())),
+                    (
+                        "retry_after_secs".to_string(),
+                        JsonValue::U64(retry_after_secs),
+                    ),
+                ])
+                .render_pretty(2),
+                &[format!("Retry-After: {retry_after_secs}")],
             );
         }
         Err(e) => respond_json(stream, 400, &error_json(e.to_string())),
@@ -653,17 +752,33 @@ fn job_report(store: &JobStore, stream: &mut TcpStream, id: &str, req: &Request)
 }
 
 /// `GET /healthz`: fabric diagnostics for dashboards and smoke tests —
-/// job and live-claim counts, how many stale peer leases this process
-/// has observed (and stolen), how many corrupt files sit in quarantine,
-/// and when the scheduler last completed a pass (0 until the first one).
-fn healthz(store: &JobStore, stream: &mut TcpStream) {
-    let (jobs, live) = match store.jobs() {
+/// daemon version and uptime, job and live-claim counts (total and per
+/// submitter), how many stale peer leases this process has observed
+/// (and stolen), how many cells the stuck-cell watchdog has killed, how
+/// many corrupt files sit in quarantine, and when the scheduler last
+/// completed a pass (0 until the first one).
+fn healthz(store: &JobStore, stream: &mut TcpStream, started: std::time::Instant) {
+    let (jobs, live, by_submitter) = match store.jobs() {
         Ok(jobs) => {
-            let live = jobs
-                .iter()
-                .map(|j| crate::fabric::live_claims(j) as u64)
-                .sum();
-            (jobs.len() as u64, live)
+            let mut live = 0u64;
+            let mut by_submitter: Vec<(String, u64)> = Vec::new();
+            for job in &jobs {
+                let claims = crate::fabric::live_claims(job) as u64;
+                live += claims;
+                if claims == 0 {
+                    continue;
+                }
+                let submitter = store
+                    .load_spec(job)
+                    .map(|s| s.submitter)
+                    .unwrap_or_default();
+                match by_submitter.iter_mut().find(|(who, _)| *who == submitter) {
+                    Some((_, n)) => *n += claims,
+                    None => by_submitter.push((submitter, claims)),
+                }
+            }
+            by_submitter.sort();
+            (jobs.len() as u64, live, by_submitter)
         }
         Err(e) => {
             respond_json(stream, 500, &error_json(e.to_string()));
@@ -675,11 +790,32 @@ fn healthz(store: &JobStore, stream: &mut TcpStream) {
         200,
         &JsonValue::obj([
             ("status".to_string(), JsonValue::Str("ok".to_string())),
+            (
+                "version".to_string(),
+                JsonValue::Str(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+            (
+                "uptime_ms".to_string(),
+                JsonValue::U64(started.elapsed().as_millis() as u64),
+            ),
             ("jobs".to_string(), JsonValue::U64(jobs)),
             ("live_claims".to_string(), JsonValue::U64(live)),
             (
+                "live_claims_by_submitter".to_string(),
+                JsonValue::Obj(
+                    by_submitter
+                        .into_iter()
+                        .map(|(who, n)| (who, JsonValue::U64(n)))
+                        .collect(),
+                ),
+            ),
+            (
                 "stale_leases_observed".to_string(),
                 JsonValue::U64(crate::fabric::stale_leases_observed()),
+            ),
+            (
+                "watchdog_kills".to_string(),
+                JsonValue::U64(crate::fabric::watchdog_kills()),
             ),
             (
                 "quarantined".to_string(),
@@ -717,6 +853,18 @@ fn job_stop(store: &JobStore, stream: &mut TcpStream, id: &str) {
 /// re-sending after a transport failure is always safe.
 fn client_backoff() -> Backoff {
     Backoff::new(Duration::from_millis(25), Duration::from_secs(2), 8)
+}
+
+/// The `Authorization: Bearer ...\r\n` header line the client attaches
+/// when `FTSIMD_TOKEN` is set; empty otherwise. Token-gated daemons
+/// refuse mutating verbs without it (401).
+fn client_auth_header() -> String {
+    match std::env::var("FTSIMD_TOKEN") {
+        Ok(token) if !token.trim().is_empty() => {
+            format!("Authorization: Bearer {}\r\n", token.trim())
+        }
+        _ => String::new(),
+    }
 }
 
 /// Performs one request with retry/backoff and returns `(status, body)`.
@@ -759,8 +907,9 @@ fn http_request_once(
     stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
     let body = body.unwrap_or("");
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{body}",
+        body.len(),
+        client_auth_header()
     );
     stream
         .write_all(request.as_bytes())
@@ -828,7 +977,10 @@ fn http_stream_once(
         .map_err(|e| fresh(format!("sending request: {e}")))?;
     let mut stream =
         TcpStream::connect(addr).map_err(|e| fresh(format!("connecting to {addr}: {e}")))?;
-    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    let request = format!(
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\n{}Connection: close\r\n\r\n",
+        client_auth_header()
+    );
     stream
         .write_all(request.as_bytes())
         .map_err(|e| fresh(format!("sending request: {e}")))?;
@@ -877,6 +1029,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn token_comparison_matches_only_exact_credentials() {
+        assert!(token_matches("s3cret", "s3cret"));
+        assert!(!token_matches("s3cret", "s3cre"));
+        assert!(!token_matches("s3cret", "s3creT"));
+        assert!(!token_matches("s3cret", "s3cret-and-more"));
+        assert!(!token_matches("s3cret", ""));
+        assert!(token_matches("", ""));
+    }
+
+    #[test]
     fn response_splitting() {
         let (code, body) =
             split_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi").unwrap();
@@ -897,6 +1059,7 @@ mod tests {
                 max_body: 4 * 1024,
                 head_timeout: Duration::from_millis(300),
             },
+            None,
         )
         .unwrap();
         let addr = std::fs::read_to_string(store.http_addr_path()).unwrap();
@@ -944,9 +1107,16 @@ mod tests {
             assert_eq!(code, 200);
             let doc = JsonValue::parse(&body).unwrap();
             assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+            assert_eq!(
+                doc.get("version").unwrap().as_str(),
+                Some(env!("CARGO_PKG_VERSION"))
+            );
+            assert!(doc.get("uptime_ms").unwrap().as_u64().is_some());
             assert_eq!(doc.get("jobs").unwrap().as_u64(), Some(1));
             assert_eq!(doc.get("live_claims").unwrap().as_u64(), Some(0));
             assert_eq!(doc.get("quarantined").unwrap().as_u64(), Some(0));
+            assert_eq!(doc.get("watchdog_kills").unwrap().as_u64(), Some(0));
+            assert!(doc.get("live_claims_by_submitter").is_some());
             assert!(doc.get("stale_leases_observed").is_some());
             assert!(doc.get("last_scheduler_pass_unix_ms").is_some());
 

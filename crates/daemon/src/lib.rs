@@ -28,7 +28,15 @@
 //!   share; single-process operation is the N=1 special case;
 //! * an HTTP API (`serve --listen`) and its `--remote` client — every
 //!   daemon verb over a hand-rolled `std::net` server, no filesystem
-//!   access required of submitters;
+//!   access required of submitters; mutating verbs can be gated behind
+//!   a bearer token (`serve --token-file`);
+//! * **tenancy hardening** — per-submitter admission quotas
+//!   ([`QuotaPolicy`], rejected work gets a structured
+//!   429-with-retry-after), job TTLs with a garbage-collection pass
+//!   ([`gc_pass`], also `ftsimd gc`), a stuck-cell watchdog with a
+//!   bounded strike count, and an NFS-tolerant relaxed lease mode
+//!   ([`LeaseMode`]) that verifies claims by owner echo instead of
+//!   trusting `O_EXCL`;
 //! * [`failpoints`] — the failure model: every filesystem and socket
 //!   operation above routes through the [`ftsim_chaos::IoEnv`] layer
 //!   (`FTSIM_CHAOS=<seed>:<spec>`) under a stable site name, so chaos
@@ -77,12 +85,14 @@
 pub mod cli;
 mod fabric;
 pub mod failpoints;
+mod gc;
 mod http;
 mod runner;
 mod spec;
 mod store;
 
-pub use fabric::{try_claim, ClaimGuard, FabricConfig};
+pub use fabric::{try_claim, ClaimGuard, FabricConfig, LeaseMode};
+pub use gc::{gc_pass, GcOptions, GcReport};
 pub use runner::{install_signal_handlers, run_job, serve, signalled, JobOutcome, ServeOptions};
 pub use spec::{model_by_name, JobSpec, SpecError};
-pub use store::{DaemonError, Job, JobState, JobStatus, JobStore};
+pub use store::{DaemonError, Job, JobState, JobStatus, JobStore, QuotaPolicy};

@@ -24,9 +24,10 @@
 
 use crate::fabric::{
     bump_status, next_assignment, requeue_unclaimed, run_family, try_finalize, FabricConfig,
-    FamilyOutcome, NextWork,
+    FamilyOutcome, LeaseMode, NextWork,
 };
-use crate::store::{DaemonError, Job, JobState, JobStore};
+use crate::gc::{gc_pass, GcOptions};
+use crate::store::{DaemonError, Job, JobState, JobStore, QuotaPolicy};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -145,7 +146,7 @@ pub fn run_job_with(
                 match next_assignment(store, cfg, Some(&job.id)) {
                     Ok(NextWork::Work(mut a)) => {
                         bump_status(store, &a.job, JobState::Running, a.job_done, a.job_total);
-                        match run_family(store, &mut a, &should_stop) {
+                        match run_family(store, &mut a, cfg, &should_stop) {
                             Ok(FamilyOutcome::Finished) => {
                                 if let Err(e) = try_finalize(store, &a.job, &a.spec) {
                                     fail(e);
@@ -154,7 +155,8 @@ pub fn run_job_with(
                             Ok(
                                 FamilyOutcome::Interrupted
                                 | FamilyOutcome::Lost
-                                | FamilyOutcome::Paused,
+                                | FamilyOutcome::Paused
+                                | FamilyOutcome::Stuck,
                             ) => {}
                             Err(e) => fail(e),
                         }
@@ -239,6 +241,21 @@ pub struct ServeOptions {
     /// Socket read timeout while parsing an HTTP request
     /// (`--head-timeout-ms`); a slow-loris client gets `408`.
     pub head_timeout: Duration,
+    /// Claim-acquisition discipline (`--lease-mode`):
+    /// [`LeaseMode::Strict`] trusts `O_EXCL`; [`LeaseMode::Relaxed`]
+    /// verifies every claim by owner echo, for NFS-grade filesystems.
+    pub lease_mode: LeaseMode,
+    /// Bearer token gating mutating HTTP verbs (`--token-file` /
+    /// `FTSIMD_TOKEN`); `None` leaves the API open.
+    pub token: Option<String>,
+    /// How often the serve loop runs a TTL garbage-collection pass
+    /// (`--gc-interval-ms`); zero disables background GC (an explicit
+    /// `ftsimd gc` still works).
+    pub gc_interval: Duration,
+    /// Admission-control policy to install at startup
+    /// (`--max-live-jobs`/`--max-queued-cells`/`--max-state-bytes`);
+    /// `None` leaves `<state>/quota.json` as it stands.
+    pub quota: Option<QuotaPolicy>,
 }
 
 impl Default for ServeOptions {
@@ -252,6 +269,10 @@ impl Default for ServeOptions {
             listen: None,
             max_body: limits.max_body,
             head_timeout: limits.head_timeout,
+            lease_mode: LeaseMode::Strict,
+            token: None,
+            gc_interval: Duration::from_secs(3600),
+            quota: None,
         }
     }
 }
@@ -279,9 +300,16 @@ impl Default for ServeOptions {
 pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
     store.clear_stop()?;
     let stop = AtomicBool::new(false);
-    let cfg = FabricConfig::new(opts.lease);
+    let mut cfg = FabricConfig::new(opts.lease);
+    cfg.mode = opts.lease_mode;
+    if let Some(quota) = &opts.quota {
+        store.set_quota_policy(quota)?;
+    }
     let should_stop = || stop.load(Ordering::SeqCst) || signalled() || store.stop_requested();
     let failure: Mutex<Option<DaemonError>> = Mutex::new(None);
+    // Set when a drain-mode worker finds the queue empty; it also flips
+    // `stop` so the HTTP and GC threads join instead of polling forever.
+    let drained = AtomicBool::new(false);
 
     let http = match &opts.listen {
         Some(addr) => {
@@ -289,7 +317,12 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
                 max_body: opts.max_body,
                 head_timeout: opts.head_timeout,
             };
-            Some(crate::http::HttpServer::bind(store, addr, limits)?)
+            Some(crate::http::HttpServer::bind(
+                store,
+                addr,
+                limits,
+                opts.token.clone(),
+            )?)
         }
         None => None,
     };
@@ -297,6 +330,32 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
     std::thread::scope(|scope| {
         if let Some(server) = &http {
             scope.spawn(|| server.run(&should_stop, opts.poll));
+        }
+        if !opts.gc_interval.is_zero() {
+            // Background TTL GC: nap in poll-sized slices so shutdown
+            // is prompt, run a pass each time the interval elapses.
+            scope.spawn(|| {
+                let nap = opts
+                    .poll
+                    .min(Duration::from_millis(200))
+                    .max(Duration::from_millis(1));
+                let mut slept = Duration::ZERO;
+                while !should_stop() {
+                    std::thread::sleep(nap);
+                    slept += nap;
+                    if slept < opts.gc_interval {
+                        continue;
+                    }
+                    slept = Duration::ZERO;
+                    match gc_pass(store, &GcOptions::default()) {
+                        Ok(report) if !report.is_empty() => {
+                            println!("ftsimd: gc: {report}");
+                        }
+                        Ok(_) => {}
+                        Err(e) => eprintln!("ftsimd: gc pass failed: {e}"),
+                    }
+                }
+            });
         }
         for _ in 0..worker_count(opts.workers) {
             scope.spawn(|| loop {
@@ -306,7 +365,7 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
                 match next_assignment(store, &cfg, None) {
                     Ok(NextWork::Work(mut a)) => {
                         bump_status(store, &a.job, JobState::Running, a.job_done, a.job_total);
-                        match run_family(store, &mut a, &should_stop) {
+                        match run_family(store, &mut a, &cfg, &should_stop) {
                             Ok(FamilyOutcome::Finished) => {
                                 match try_finalize(store, &a.job, &a.spec) {
                                     Ok(true) => println!("ftsimd: job {} done", a.job.id),
@@ -332,6 +391,11 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
                                     a.job.id
                                 );
                             }
+                            Ok(FamilyOutcome::Stuck) => {
+                                // Already reported and strike-counted by
+                                // the watchdog; the claim releases on drop
+                                // and the cell re-queues.
+                            }
                             Err(e) => {
                                 // Per-job trouble (bad sub-grid, broken
                                 // stream): report and move on; the job is
@@ -343,6 +407,8 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
                     }
                     Ok(NextWork::Idle { incomplete }) => {
                         if incomplete == 0 && opts.drain {
+                            drained.store(true, Ordering::SeqCst);
+                            stop.store(true, Ordering::SeqCst);
                             break;
                         }
                         // Idle with incomplete jobs in drain mode means
@@ -368,7 +434,7 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
     if let Some(e) = failure.into_inner().expect("failure lock") {
         return Err(e);
     }
-    if should_stop() {
+    if should_stop() && !drained.load(Ordering::SeqCst) {
         println!("ftsimd: stop requested, exiting");
     } else {
         println!("ftsimd: queue drained, exiting");

@@ -142,6 +142,15 @@ pub struct JobSpec {
     /// Who submitted the job — a free-form tenant label used for
     /// fair-share scheduling across submitters. Default: `""`.
     pub submitter: String,
+    /// Maximum job lifetime in seconds, measured from submission. Once a
+    /// job is **terminal** and older than this, garbage collection may
+    /// remove it (GC never touches a live job, TTL or not). `0` disables
+    /// the lifetime bound. Default: `0`.
+    pub ttl_secs: u64,
+    /// How long to retain a terminal job's artifacts after it finishes,
+    /// in seconds; past this, garbage collection may remove it. `0`
+    /// means retain forever (unless `ttl_secs` expires it). Default: `0`.
+    pub retain_secs: u64,
 }
 
 impl JobSpec {
@@ -161,6 +170,8 @@ impl JobSpec {
             threads: 0,
             priority: 0,
             submitter: String::new(),
+            ttl_secs: 0,
+            retain_secs: 0,
         }
     }
 
@@ -184,7 +195,7 @@ impl JobSpec {
         let JsonValue::Obj(pairs) = doc else {
             return Err(SpecError::Syntax("spec must be a table/object".to_string()));
         };
-        const KNOWN: [&str; 12] = [
+        const KNOWN: [&str; 14] = [
             "name",
             "workloads",
             "models",
@@ -197,6 +208,8 @@ impl JobSpec {
             "threads",
             "priority",
             "submitter",
+            "ttl_secs",
+            "retain_secs",
         ];
         if let Some((key, _)) = pairs.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
             return Err(SpecError::UnknownField(key.clone()));
@@ -255,6 +268,16 @@ impl JobSpec {
                 .as_str()
                 .ok_or_else(|| bad("submitter", "must be a string"))?
                 .to_string();
+        }
+        if let Some(v) = doc.get("ttl_secs") {
+            spec.ttl_secs = v
+                .as_u64()
+                .ok_or_else(|| bad("ttl_secs", "must be a non-negative integer"))?;
+        }
+        if let Some(v) = doc.get("retain_secs") {
+            spec.retain_secs = v
+                .as_u64()
+                .ok_or_else(|| bad("retain_secs", "must be a non-negative integer"))?;
         }
         Ok(spec)
     }
@@ -324,6 +347,8 @@ impl JobSpec {
                 "submitter".to_string(),
                 JsonValue::Str(self.submitter.clone()),
             ),
+            ("ttl_secs".to_string(), JsonValue::U64(self.ttl_secs)),
+            ("retain_secs".to_string(), JsonValue::U64(self.retain_secs)),
         ])
         .render_pretty(2)
     }
@@ -679,6 +704,36 @@ mod tests {
             JobSpec::parse("name = \"d\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\n").unwrap();
         assert_eq!(defaults.priority, 0);
         assert_eq!(defaults.submitter, "");
+    }
+
+    #[test]
+    fn ttl_and_retain_round_trip() {
+        let spec = JobSpec::parse(
+            "name = \"t\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\nttl_secs = 3600\nretain_secs = 60\n",
+        )
+        .unwrap();
+        assert_eq!(spec.ttl_secs, 3600);
+        assert_eq!(spec.retain_secs, 60);
+        let back = JobSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        // Unset means "keep forever": both lifetime bounds default off.
+        let defaults =
+            JobSpec::parse("name = \"d\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\n").unwrap();
+        assert_eq!(defaults.ttl_secs, 0);
+        assert_eq!(defaults.retain_secs, 0);
+
+        let bad = JobSpec::parse(
+            "name = \"t\"\nworkloads = [\"gcc\"]\nmodels = [\"SS-1\"]\nttl_secs = -5\n",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            bad,
+            SpecError::BadField {
+                field: "ttl_secs",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -57,6 +57,17 @@ pub enum DaemonError {
         /// What was wrong.
         message: String,
     },
+    /// A submission rejected by admission control: the submitter is over
+    /// one of their per-tenant quotas. Maps to HTTP 429 with a
+    /// `Retry-After` header.
+    QuotaExceeded {
+        /// The tenant label the quota applies to.
+        submitter: String,
+        /// Which limit tripped, human-readable.
+        reason: String,
+        /// Suggested wait before retrying, in seconds.
+        retry_after_secs: u64,
+    },
 }
 
 impl fmt::Display for DaemonError {
@@ -68,6 +79,21 @@ impl fmt::Display for DaemonError {
             DaemonError::NoSuchJob(id) => write!(f, "no such job `{id}`"),
             DaemonError::Corrupt { path, message } => {
                 write!(f, "corrupt state file {}: {message}", path.display())
+            }
+            DaemonError::QuotaExceeded {
+                submitter,
+                reason,
+                retry_after_secs,
+            } => {
+                let who = if submitter.is_empty() {
+                    "<anonymous>"
+                } else {
+                    submitter
+                };
+                write!(
+                    f,
+                    "quota exceeded for submitter `{who}`: {reason} (retry after {retry_after_secs}s)"
+                )
             }
         }
     }
@@ -156,6 +182,13 @@ pub struct JobStatus {
     pub cells_done: usize,
     /// Failure message for [`JobState::Failed`] jobs; empty otherwise.
     pub error: String,
+    /// When the job was submitted (ms since the Unix epoch, lease
+    /// clock); `0` for statuses written before timestamps existed.
+    /// The TTL garbage-collection clock starts here.
+    pub created_unix_ms: u64,
+    /// When the job reached a terminal state (ms since the Unix epoch);
+    /// `0` while live. The retention clock starts here.
+    pub finished_unix_ms: u64,
 }
 
 impl JobStatus {
@@ -165,7 +198,15 @@ impl JobStatus {
             cells_total,
             cells_done: 0,
             error: String::new(),
+            created_unix_ms: ftsim_chaos::io().now_ms(),
+            finished_unix_ms: 0,
         }
+    }
+
+    /// Whether the job is in a terminal state (done or failed) — the
+    /// precondition for TTL/retention garbage collection.
+    pub fn terminal(&self) -> bool {
+        matches!(self.state, JobState::Done | JobState::Failed)
     }
 
     fn to_json(&self) -> String {
@@ -183,6 +224,14 @@ impl JobStatus {
                 JsonValue::U64(self.cells_done as u64),
             ),
             ("error".to_string(), JsonValue::Str(self.error.clone())),
+            (
+                "created_unix_ms".to_string(),
+                JsonValue::U64(self.created_unix_ms),
+            ),
+            (
+                "finished_unix_ms".to_string(),
+                JsonValue::U64(self.finished_unix_ms),
+            ),
         ])
         .render_pretty(2)
     }
@@ -200,11 +249,73 @@ impl JobStatus {
                 .and_then(|n| usize::try_from(n).ok())
                 .ok_or_else(|| format!("bad `{name}`"))
         };
+        // Timestamps were added later: statuses written by older daemons
+        // lack them, and must keep parsing (0 = unknown, never GC'd by
+        // the retention clock alone).
+        let stamp = |name: &str| doc.get(name).and_then(|v| v.as_u64()).unwrap_or(0);
         Ok(Self {
             state,
             cells_total: count("cells_total")?,
             cells_done: count("cells_done")?,
             error: field("error")?.as_str().unwrap_or_default().to_string(),
+            created_unix_ms: stamp("created_unix_ms"),
+            finished_unix_ms: stamp("finished_unix_ms"),
+        })
+    }
+}
+
+/// Per-submitter admission-control limits, persisted at
+/// `<state>/quota.json` so every ingress path — local `submit`, the HTTP
+/// `POST /jobs` — enforces the same policy. Each limit applies to one
+/// submitter's aggregate footprint; `0` disables that limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuotaPolicy {
+    /// Maximum live (queued or running) jobs per submitter.
+    pub max_live_jobs: u64,
+    /// Maximum unfinished cells across a submitter's live jobs,
+    /// counting the incoming job's own grid.
+    pub max_queued_cells: u64,
+    /// Maximum bytes of state-directory footprint across a submitter's
+    /// job directories.
+    pub max_state_bytes: u64,
+}
+
+impl QuotaPolicy {
+    /// Whether every limit is disabled (the default open-door policy).
+    pub fn unlimited(&self) -> bool {
+        *self == QuotaPolicy::default()
+    }
+
+    fn to_json(self) -> String {
+        JsonValue::obj([
+            (
+                "max_live_jobs".to_string(),
+                JsonValue::U64(self.max_live_jobs),
+            ),
+            (
+                "max_queued_cells".to_string(),
+                JsonValue::U64(self.max_queued_cells),
+            ),
+            (
+                "max_state_bytes".to_string(),
+                JsonValue::U64(self.max_state_bytes),
+            ),
+        ])
+        .render_pretty(2)
+    }
+
+    fn from_json(text: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let limit = |name: &str| -> Result<u64, String> {
+            match doc.get(name) {
+                None => Ok(0),
+                Some(v) => v.as_u64().ok_or_else(|| format!("bad `{name}`")),
+            }
+        };
+        Ok(Self {
+            max_live_jobs: limit("max_live_jobs")?,
+            max_queued_cells: limit("max_queued_cells")?,
+            max_state_bytes: limit("max_state_bytes")?,
         })
     }
 }
@@ -305,6 +416,108 @@ impl JobStore {
         self.root.join("http.addr")
     }
 
+    /// Path of the persisted admission-control policy.
+    pub fn quota_path(&self) -> PathBuf {
+        self.root.join("quota.json")
+    }
+
+    /// Loads the admission-control policy; a missing file means no
+    /// limits.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`] or [`DaemonError::Corrupt`] — a policy that
+    /// exists but does not parse must fail loudly rather than silently
+    /// dropping the operator's limits.
+    pub fn quota_policy(&self) -> Result<QuotaPolicy, DaemonError> {
+        let path = self.quota_path();
+        let text = match ftsim_chaos::io().read_to_string(fp::STORE_QUOTA_READ, &path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(QuotaPolicy::default()),
+            Err(e) => return Err(io_err(format!("reading {}", path.display()))(e)),
+        };
+        QuotaPolicy::from_json(&text).map_err(|message| DaemonError::Corrupt { path, message })
+    }
+
+    /// Persists the admission-control policy atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::Io`].
+    pub fn set_quota_policy(&self, policy: &QuotaPolicy) -> Result<(), DaemonError> {
+        write_atomic(
+            fp::STORE_QUOTA_WRITE,
+            &self.quota_path(),
+            policy.to_json().as_bytes(),
+        )
+    }
+
+    /// Admission control for a new job: rejects the submission when the
+    /// submitter's aggregate footprint (live jobs, queued cells including
+    /// the incoming grid, state-directory bytes) would exceed the
+    /// persisted [`QuotaPolicy`]. Attach-to-existing is never gated — it
+    /// adds no state.
+    fn admit(&self, spec: &JobSpec, new_cells: u64, jobs: &[Job]) -> Result<(), DaemonError> {
+        let policy = self.quota_policy()?;
+        if policy.unlimited() {
+            return Ok(());
+        }
+        let mut live_jobs = 0u64;
+        let mut queued_cells = new_cells;
+        let mut state_bytes = 0u64;
+        for job in jobs {
+            let Ok(existing) = self.load_spec(job) else {
+                // A specless job dir (crash mid-submit) is parked failed;
+                // it cannot be attributed to anyone and never counts.
+                continue;
+            };
+            if existing.submitter != spec.submitter {
+                continue;
+            }
+            state_bytes = state_bytes.saturating_add(dir_size(job.dir()));
+            match self.load_status(job) {
+                Ok(status) if status.terminal() => {}
+                Ok(status) => {
+                    live_jobs += 1;
+                    queued_cells =
+                        queued_cells.saturating_add(
+                            status.cells_total.saturating_sub(status.cells_done) as u64,
+                        );
+                }
+                // An unreadable status is conservatively live: the
+                // scheduler will rebuild it, and under-admitting beats
+                // letting a tenant smuggle work past a corrupt file.
+                Err(_) => live_jobs += 1,
+            }
+        }
+        let over = |reason: String| {
+            Err(DaemonError::QuotaExceeded {
+                submitter: spec.submitter.clone(),
+                reason,
+                retry_after_secs: QUOTA_RETRY_AFTER_SECS,
+            })
+        };
+        if policy.max_live_jobs > 0 && live_jobs >= policy.max_live_jobs {
+            return over(format!(
+                "{live_jobs} live jobs at the limit of {}",
+                policy.max_live_jobs
+            ));
+        }
+        if policy.max_queued_cells > 0 && queued_cells > policy.max_queued_cells {
+            return over(format!(
+                "{queued_cells} queued cells (including this grid) over the limit of {}",
+                policy.max_queued_cells
+            ));
+        }
+        if policy.max_state_bytes > 0 && state_bytes >= policy.max_state_bytes {
+            return over(format!(
+                "{state_bytes} state bytes at the limit of {}",
+                policy.max_state_bytes
+            ));
+        }
+        Ok(())
+    }
+
     /// Submits a job, or **attaches** to an existing one: if some job in
     /// the store has a byte-identical canonical spec, its id is returned
     /// with `created == false` instead of duplicating the work (this is
@@ -338,6 +551,10 @@ impl JobStore {
                 return Ok((job.id.clone(), false));
             }
         }
+
+        // Admission control: a brand-new job must fit its submitter's
+        // quota (attaching, above, adds no state and is always allowed).
+        self.admit(spec, cells_total as u64, &jobs)?;
 
         let next = jobs
             .iter()
@@ -456,10 +673,33 @@ impl JobStore {
 
     /// Replaces a job's status document atomically (write temp, rename).
     ///
+    /// Lifecycle timestamps are maintained here so no caller can forget
+    /// them: a zero `created_unix_ms` inherits the previous status's
+    /// stamp (rebuilds must not reset the TTL clock), and the first
+    /// transition into a terminal state stamps `finished_unix_ms`.
+    ///
     /// # Errors
     ///
     /// [`DaemonError::Io`].
     pub fn write_status(&self, job: &Job, status: &JobStatus) -> Result<(), DaemonError> {
+        let mut status = status.clone();
+        if status.created_unix_ms == 0 || (status.terminal() && status.finished_unix_ms == 0) {
+            let prior = self.load_status(job).ok();
+            if status.created_unix_ms == 0 {
+                status.created_unix_ms = prior
+                    .as_ref()
+                    .map(|p| p.created_unix_ms)
+                    .filter(|&ms| ms != 0)
+                    .unwrap_or_else(|| ftsim_chaos::io().now_ms());
+            }
+            if status.terminal() && status.finished_unix_ms == 0 {
+                status.finished_unix_ms = prior
+                    .as_ref()
+                    .map(|p| p.finished_unix_ms)
+                    .filter(|&ms| ms != 0)
+                    .unwrap_or_else(|| ftsim_chaos::io().now_ms());
+            }
+        }
         write_atomic(
             fp::STORE_WRITE_STATUS,
             &job.status_path(),
@@ -570,11 +810,21 @@ impl JobStore {
             }
             base.push_str(&comp.as_os_str().to_string_lossy().replace(['/', '\\'], "_"));
         }
-        let mut dest = qdir.join(&base);
+        // Destination names are unconditionally unique: process id plus a
+        // monotonic counter. A check-then-rename uniquifier would race
+        // between fabric peers quarantining the same path — both compute
+        // the same free name and the second rename silently destroys the
+        // first capture.
+        static QUARANTINE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = QUARANTINE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut dest = qdir.join(format!("{base}.q{}-{seq}", std::process::id()));
+        // Belt and braces against pid reuse across reboots: the counter
+        // makes same-process collisions impossible, so any survivor here
+        // is from a dead process and bumping past it is safe.
         let mut n = 0u32;
         while dest.exists() {
             n += 1;
-            dest = qdir.join(format!("{base}.{n}"));
+            dest = qdir.join(format!("{base}.q{}-{seq}.{n}", std::process::id()));
         }
         env.rename(fp::STORE_QUARANTINE, path, &dest)
             .map_err(io_err(format!(
@@ -582,12 +832,7 @@ impl JobStore {
                 path.display(),
                 dest.display()
             )))?;
-        let reason_path = dest.with_extension(format!(
-            "{}reason",
-            dest.extension()
-                .map(|e| format!("{}.", e.to_string_lossy()))
-                .unwrap_or_default()
-        ));
+        let reason_path = PathBuf::from(format!("{}.reason", dest.display()));
         // Best-effort: losing the reason note must not fail the recovery
         // path that called us.
         let note = format!("{reason}\noriginal: {}\n", path.display());
@@ -622,6 +867,30 @@ pub(crate) fn write_atomic(site: &str, path: &Path, contents: &[u8]) -> Result<(
     ftsim_chaos::io()
         .write_atomic(site, path, contents)
         .map_err(io_err(format!("replacing {}", path.display())))
+}
+
+/// `Retry-After` hint handed to over-quota submitters: long enough for a
+/// scheduler pass to finish cells or a GC pass to reclaim space, short
+/// enough that a polite client retries within the same session.
+pub(crate) const QUOTA_RETRY_AFTER_SECS: u64 = 30;
+
+/// Total bytes under `dir`, recursively. Best-effort: entries that vanish
+/// or error mid-walk count as zero — admission control must not fail a
+/// submit because a sibling job was being finalized concurrently.
+pub(crate) fn dir_size(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut total = 0u64;
+    for entry in entries.flatten() {
+        let Ok(meta) = entry.metadata() else { continue };
+        if meta.is_dir() {
+            total = total.saturating_add(dir_size(&entry.path()));
+        } else {
+            total = total.saturating_add(meta.len());
+        }
+    }
+    total
 }
 
 /// Squashes a job name into a filesystem-safe slug.
@@ -715,9 +984,34 @@ mod tests {
             cells_total: 8,
             cells_done: 3,
             error: String::new(),
+            created_unix_ms: 0,
+            finished_unix_ms: 0,
         };
         store.write_status(&job, &status).unwrap();
-        assert_eq!(store.load_status(&job).unwrap(), status);
+        let loaded = store.load_status(&job).unwrap();
+        assert_eq!(loaded.state, status.state);
+        assert_eq!(loaded.cells_total, status.cells_total);
+        assert_eq!(loaded.cells_done, status.cells_done);
+        // write_status inherits the submit-time creation stamp rather
+        // than letting a caller's zero reset the TTL clock...
+        assert!(loaded.created_unix_ms > 0, "created stamp must survive");
+        // ...and a live job has no finished stamp yet.
+        assert_eq!(loaded.finished_unix_ms, 0);
+        assert!(!loaded.terminal());
+
+        // First terminal transition stamps finished_unix_ms exactly once.
+        let mut done = loaded.clone();
+        done.state = JobState::Done;
+        store.write_status(&job, &done).unwrap();
+        let sealed = store.load_status(&job).unwrap();
+        assert!(sealed.terminal());
+        assert!(sealed.finished_unix_ms >= sealed.created_unix_ms);
+        store.write_status(&job, &sealed).unwrap();
+        assert_eq!(
+            store.load_status(&job).unwrap().finished_unix_ms,
+            sealed.finished_unix_ms,
+            "finished stamp must not move on rewrite"
+        );
 
         assert!(!store.stop_requested());
         store.request_stop().unwrap();
@@ -741,7 +1035,7 @@ mod tests {
             .unwrap();
         assert!(!job.status_path().exists(), "file must be moved away");
         assert_eq!(std::fs::read_to_string(&dest).unwrap(), "{ not json");
-        let reason = std::fs::read_to_string(dest.with_extension("json.reason")).unwrap();
+        let reason = std::fs::read_to_string(format!("{}.reason", dest.display())).unwrap();
         assert!(reason.contains("does not parse"));
         assert_eq!(store.quarantined_count(), 1);
 
@@ -750,6 +1044,143 @@ mod tests {
         let dest2 = store.quarantine(&job.status_path(), "again").unwrap();
         assert_ne!(dest, dest2);
         assert_eq!(store.quarantined_count(), 2);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn quota_policy_round_trips_and_defaults_open() {
+        let store = temp_store("quota-rt");
+        // No quota.json on disk: everything is unlimited.
+        assert!(store.quota_policy().unwrap().unlimited());
+
+        let policy = QuotaPolicy {
+            max_live_jobs: 2,
+            max_queued_cells: 100,
+            max_state_bytes: 1 << 20,
+        };
+        store.set_quota_policy(&policy).unwrap();
+        assert_eq!(store.quota_policy().unwrap(), policy);
+
+        // A corrupt policy file fails loudly instead of silently lifting
+        // every limit.
+        std::fs::write(store.quota_path(), "{ nope").unwrap();
+        assert!(matches!(
+            store.quota_policy(),
+            Err(DaemonError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn over_quota_submit_rejected_while_in_quota_peer_proceeds() {
+        let store = temp_store("quota-enforce");
+        store
+            .set_quota_policy(&QuotaPolicy {
+                max_live_jobs: 1,
+                max_queued_cells: 0,
+                max_state_bytes: 0,
+            })
+            .unwrap();
+
+        let mut first = small_spec("alice-1");
+        first.submitter = "alice".to_string();
+        store.submit(&first).unwrap();
+
+        // Alice is at her live-job limit: a second distinct job is turned
+        // away with the structured quota error...
+        let mut second = small_spec("alice-2");
+        second.submitter = "alice".to_string();
+        let err = store.submit(&second).unwrap_err();
+        match &err {
+            DaemonError::QuotaExceeded {
+                submitter,
+                retry_after_secs,
+                ..
+            } => {
+                assert_eq!(submitter, "alice");
+                assert!(*retry_after_secs > 0);
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+
+        // ...but re-submitting (attaching to) her existing job is free,
+        let (_, created) = store.submit(&first).unwrap();
+        assert!(!created, "attach must bypass admission");
+        // and an unrelated tenant is not collateral damage.
+        let mut bob = small_spec("bob-1");
+        bob.submitter = "bob".to_string();
+        assert!(store.submit(&bob).is_ok());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn quota_frees_up_when_jobs_turn_terminal() {
+        let store = temp_store("quota-free");
+        store
+            .set_quota_policy(&QuotaPolicy {
+                max_live_jobs: 1,
+                max_queued_cells: 0,
+                max_state_bytes: 0,
+            })
+            .unwrap();
+        let mut first = small_spec("c-1");
+        first.submitter = "carol".to_string();
+        let (id, _) = store.submit(&first).unwrap();
+
+        let mut second = small_spec("c-2");
+        second.submitter = "carol".to_string();
+        assert!(matches!(
+            store.submit(&second),
+            Err(DaemonError::QuotaExceeded { .. })
+        ));
+
+        // Finish the first job: the slot is released.
+        let job = store.job(&id).unwrap();
+        let mut status = store.load_status(&job).unwrap();
+        status.state = JobState::Done;
+        store.write_status(&job, &status).unwrap();
+        assert!(store.submit(&second).is_ok());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn queued_cell_and_state_byte_quotas_enforced() {
+        let store = temp_store("quota-cells");
+        // The incoming grid itself counts against max_queued_cells.
+        store
+            .set_quota_policy(&QuotaPolicy {
+                max_live_jobs: 0,
+                max_queued_cells: 2,
+                max_state_bytes: 0,
+            })
+            .unwrap();
+        let mut wide = small_spec("wide");
+        wide.submitter = "dave".to_string();
+        wide.budgets = vec![1_000, 2_000, 4_000]; // 3 cells > limit of 2
+        let err = store.submit(&wide).unwrap_err();
+        assert!(
+            err.to_string().contains("queued cells"),
+            "unexpected: {err}"
+        );
+
+        // State-byte quota: any existing footprint at/over the cap blocks
+        // new jobs from the same submitter.
+        store
+            .set_quota_policy(&QuotaPolicy {
+                max_live_jobs: 0,
+                max_queued_cells: 0,
+                max_state_bytes: 1,
+            })
+            .unwrap();
+        let mut one = small_spec("dave-1");
+        one.submitter = "dave".to_string();
+        store.submit(&one).unwrap(); // first job: zero prior footprint
+        let mut two = small_spec("dave-2");
+        two.submitter = "dave".to_string();
+        assert!(matches!(
+            store.submit(&two),
+            Err(DaemonError::QuotaExceeded { .. })
+        ));
         std::fs::remove_dir_all(store.root()).ok();
     }
 }

@@ -7,6 +7,7 @@
 
 use ftsim::harness::to_csv;
 use ftsim_daemon::JobSpec;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -58,14 +59,51 @@ fn submit(state: &Path, spec: &str) -> String {
         .to_string()
 }
 
+/// Spawns a serving daemon. `FTSIMD_TEST_LEASE_MODE` (set by the CI
+/// tenancy job to `relaxed`, usually together with an ambient `nfs@`
+/// chaos plan) selects the lease mode, so the same tests prove
+/// byte-identity under both the O_EXCL and the owner-echo protocols.
 fn spawn_serve(state: &Path, extra: &[&str]) -> Child {
-    ftsimd()
-        .args(["serve", "--state", state.to_str().unwrap()])
-        .args(extra)
+    let mut cmd = ftsimd();
+    cmd.args(["serve", "--state", state.to_str().unwrap()]);
+    if let Ok(mode) = std::env::var("FTSIMD_TEST_LEASE_MODE") {
+        cmd.args(["--lease-mode", &mode]);
+    }
+    cmd.args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
         .expect("spawn serving daemon")
+}
+
+/// One raw `GET /healthz` against a daemon that advertised its address
+/// in `<state>/http.addr`, returning the JSON body.
+fn healthz(state: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(state.join("http.addr")) {
+            let addr = addr.trim().to_string();
+            if !addr.is_empty() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never advertised an address"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to daemon");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: ftsimd\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 200"), "healthz: {response}");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default()
 }
 
 /// Polls until `cells.csv` holds at least `rows` complete record rows.
@@ -146,8 +184,20 @@ fn killed_holders_lease_expires_and_a_survivor_finishes() {
     let job_dir = state.join("jobs").join(&job_id);
 
     // Short leases so the test does not wait 30s for expiry.
-    let mut holder = spawn_serve(&state, &["--lease-ms", "1500"]);
+    let mut holder = spawn_serve(&state, &["--lease-ms", "1500", "--listen", "127.0.0.1:0"]);
     let seen = wait_for_rows(&job_dir.join("cells.csv"), 1, Duration::from_secs(120));
+
+    // With at least one cell streamed the holder owns a claim: healthz
+    // must attribute it to the job's submitter (the default "" tenant).
+    let health = healthz(&state);
+    for field in [
+        "\"live_claims\"",
+        "\"live_claims_by_submitter\"",
+        "\"watchdog_kills\"",
+    ] {
+        assert!(health.contains(field), "healthz missing {field}:\n{health}");
+    }
+
     holder.kill().expect("SIGKILL the claim holder");
     holder.wait().expect("reap the claim holder");
     assert!(

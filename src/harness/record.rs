@@ -388,6 +388,19 @@ impl RunRecord {
             && self.budget == other.budget
     }
 
+    /// A compact, stable label for this record's grid cell, built from
+    /// identity fields only. Distinct cells of one experiment grid get
+    /// distinct labels (the redundancy shape and suite are implied by
+    /// the model and workload names). Used for cell-granular bookkeeping
+    /// that outlives a single process, like the daemon's stuck-cell
+    /// watchdog strikes, and for error messages naming a cell.
+    pub fn cell_label(&self) -> String {
+        format!(
+            "{}/{}/b{}/rate{}/{}/seed{}",
+            self.workload, self.model, self.budget, self.fault_rate_pm, self.site_mix, self.seed
+        )
+    }
+
     /// Builds the identity (configuration) part of a record; outcome
     /// fields start zeroed.
     #[allow(clippy::too_many_arguments)]
