@@ -32,7 +32,9 @@ impl Processor {
     ///
     /// A memory attempt in a cycle whose data ports are exhausted is
     /// *provably* fruitless and side-effect-free once its address is
-    /// generated (every failure path returns before mutating anything),
+    /// generated (every failure path returns before mutating anything —
+    /// except the opt-in `FTSIM_PLANT` defect counter the fuzz harness's
+    /// self-test plants here, see `Processor::plant_counter`),
     /// so parked entries are then skipped wholesale and newly-ready
     /// memory entries only run first-touch address generation before
     /// parking — this is what turns the mem-bound steady state from
@@ -257,7 +259,15 @@ impl Processor {
                 self.stats.load_forwards += 1;
                 true
             }
-            LoadSearch::WaitData | LoadSearch::Conflict => false,
+            LoadSearch::WaitData | LoadSearch::Conflict => {
+                if self.plant_enabled {
+                    // Planted defect (FTSIM_PLANT only): a stat bump on a
+                    // failure return, outside checkpoint state. See
+                    // `Processor::plant_counter`.
+                    self.plant_counter += 1;
+                }
+                false
+            }
             LoadSearch::Memory => {
                 if copy == 0 {
                     if !self.hierarchy.try_data_port() {

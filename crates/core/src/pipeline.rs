@@ -63,6 +63,23 @@ pub struct Processor {
     pub(crate) squash_scratch: Vec<Entry>,
     /// Reused buffer for the commit stage's head-group snapshot.
     pub(crate) commit_scratch: Vec<Entry>,
+    /// **Deliberately planted defect, off unless `FTSIM_PLANT` is set.**
+    ///
+    /// Counts load issue attempts that failed on a store-set dependence
+    /// (wait-for-data or address conflict). The defect is that this
+    /// counter is *not* part of [`Checkpoint`](crate::Checkpoint) state
+    /// but *is* folded into the `load_forwards` statistic by
+    /// [`Processor::stats_snapshot`]: a run forked from a checkpoint
+    /// restores into a fresh processor whose counter restarts at zero, so
+    /// its records under-count relative to an identical cold run. The
+    /// `ftsim-fuzz` acceptance tests flip `FTSIM_PLANT` on to prove the
+    /// forked-vs-cold identity invariant actually catches (and shrinks)
+    /// this class of bug; production runs never set the variable, and the
+    /// counter then stays zero and unobservable.
+    pub(crate) plant_counter: u64,
+    /// Whether `FTSIM_PLANT` was set when this processor was built (the
+    /// planted defect above is active).
+    pub(crate) plant_enabled: bool,
 }
 
 impl Processor {
@@ -119,6 +136,8 @@ impl Processor {
             sched: Scheduler::default(),
             squash_scratch: Vec::new(),
             commit_scratch: Vec::new(),
+            plant_counter: 0,
+            plant_enabled: std::env::var_os("FTSIM_PLANT").is_some(),
             program,
             config,
         }
@@ -184,6 +203,11 @@ impl Processor {
         stats.faults = self.fault_log.counts();
         stats.fault_sites = self.fault_log.per_site();
         stats.fault_latency = self.fault_log.latency();
+        if self.plant_enabled {
+            // Deliberately wrong when FTSIM_PLANT is set — see the
+            // `plant_counter` field docs.
+            stats.load_forwards += self.plant_counter;
+        }
         stats
     }
 

@@ -24,6 +24,27 @@ pub enum OracleMode {
     Final,
 }
 
+impl OracleMode {
+    /// Canonical lower-case name, stable across serializations (job
+    /// specs, the harness's `RunRecord` identity column): `off` or
+    /// `final`.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleMode::Off => "off",
+            OracleMode::Final => "final",
+        }
+    }
+
+    /// Resolves a name produced by [`OracleMode::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "off" => Some(OracleMode::Off),
+            "final" => Some(OracleMode::Final),
+            _ => None,
+        }
+    }
+}
+
 /// Run-length limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLimits {

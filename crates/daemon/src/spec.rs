@@ -64,7 +64,8 @@ impl fmt::Display for SpecError {
             SpecError::UnknownField(key) => write!(f, "spec has unknown field `{key}`"),
             SpecError::UnknownWorkload(name) => write!(
                 f,
-                "unknown workload `{name}` (expected one of the Table 2 profiles, e.g. gcc, fpppp, equake)"
+                "unknown workload `{name}` (expected a Table 2 profile, e.g. gcc, fpppp, equake, \
+                 or a graduated fuzz workload, e.g. fuzz-ras-7)"
             ),
             SpecError::UnknownModel(name) => write!(
                 f,
@@ -241,11 +242,10 @@ impl JobSpec {
             spec.seeds = seeds;
         }
         if let Some(v) = doc.get("oracle") {
-            spec.oracle = match v.as_str() {
-                Some("off") => OracleMode::Off,
-                Some("final") => OracleMode::Final,
-                _ => return Err(bad("oracle", "must be \"off\" or \"final\"")),
-            };
+            spec.oracle = v
+                .as_str()
+                .and_then(OracleMode::from_name)
+                .ok_or_else(|| bad("oracle", "must be \"off\" or \"final\""))?;
         }
         if let Some(v) = doc.get("checkpointing") {
             spec.checkpointing = v
@@ -286,10 +286,7 @@ impl JobSpec {
     /// persists as `spec.json` and compares to deduplicate re-submissions.
     /// `parse(to_json())` round-trips exactly.
     pub fn to_json(&self) -> String {
-        let oracle = match self.oracle {
-            OracleMode::Off => "off",
-            OracleMode::Final => "final",
-        };
+        let oracle = self.oracle.name();
         JsonValue::obj([
             ("name".to_string(), JsonValue::Str(self.name.clone())),
             (
@@ -369,8 +366,17 @@ impl JobSpec {
             .workloads
             .iter()
             .map(|name| {
+                // Table 2 profiles first, then the graduated fuzz-workload
+                // registry (stable `fuzz-*` names, regenerated from their
+                // frozen generation specs).
                 ftsim_workloads::profile(name)
                     .map(Workload::from)
+                    .or_else(|| {
+                        ftsim_workloads::graduated(name).map(|g| Workload::Program {
+                            name: g.name.to_string(),
+                            program: g.generate().program,
+                        })
+                    })
                     .ok_or_else(|| SpecError::UnknownWorkload(name.clone()))
             })
             .collect::<Result<_, _>>()?;
@@ -799,6 +805,21 @@ mod tests {
             SpecError::UnknownSiteMix("everything-at-once".to_string())
         );
         assert!(err.to_string().contains("addr-heavy"), "{err}");
+    }
+
+    #[test]
+    fn graduated_fuzz_workloads_resolve() {
+        let spec = JobSpec::parse(
+            "name = \"grad\"\nworkloads = [\"fuzz-ras-7\", \"gcc\"]\nmodels = [\"SS-2\"]\n\
+             budgets = [2000]\n",
+        )
+        .unwrap();
+        let exp = spec.to_experiment().unwrap();
+        assert_eq!(exp.cells(), 2);
+        let ids = exp.identities().unwrap();
+        assert_eq!(ids[0].workload, "fuzz-ras-7");
+        assert_eq!(ids[0].suite, "");
+        assert_eq!(ids[1].workload, "gcc");
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! The property harness: run one generated program through a fault-sweep
+//! grid and check every standing invariant.
+//!
+//! A fuzz seed expands (via [`FuzzSpec::from_seed`]) into one program and
+//! a fixed grid of sweep cells: every machine model in [`MODELS`], every
+//! fault rate in [`RATES`], every site mix in [`MIX_NAMES`], at a budget
+//! just above the program's predicted retirement. The grid is run twice —
+//! cold and with checkpoint forking enabled — because the fork machinery
+//! itself is under test (the forked-vs-cold identity invariant).
+
+use ftsim::harness::{from_csv, from_json, to_csv, to_json, Experiment, RunRecord, Workload};
+use ftsim_core::OracleMode;
+use ftsim_daemon::model_by_name;
+use ftsim_faults::SiteMix;
+use ftsim_isa::Emulator;
+use ftsim_workloads::{FuzzProgram, FuzzSpec};
+
+/// Machine models every seed sweeps: the paper's baseline duplicated
+/// datapath and the triplicated majority-voting variant (the two
+/// recovery disciplines exercise different rewind paths).
+pub const MODELS: [&str; 2] = ["SS-2", "SS-3M"];
+
+/// Fault rates (per million instructions) every seed sweeps. Rate 0 is
+/// the differential baseline; 300 forks from checkpoints at typical
+/// budgets; 2500 usually fires before the first checkpoint.
+pub const RATES: [f64; 3] = [0.0, 300.0, 2500.0];
+
+/// Site-mix presets every seed sweeps.
+pub const MIX_NAMES: [&str; 2] = ["uniform", "addr-heavy"];
+
+/// Instruction-budget slack added above the predicted retirement when no
+/// explicit budget override is given.
+pub const BUDGET_SLACK: u64 = 64;
+
+/// Emulator step cap for the self-check: far above any generated
+/// program's dynamic length, so hitting it means a runaway loop.
+const SELF_CHECK_STEP_CAP: u64 = 20_000_000;
+
+/// The standing invariants the harness checks, in checking order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// Emulator halts with the constructed checksum and retirement count.
+    SelfCheck,
+    /// Fault-free runs never trip the watchdog or cycle ceiling, and
+    /// every cell produces exactly one record.
+    Termination,
+    /// Fault-free pipelined runs agree with the in-order oracle and are
+    /// digest-identical across machine models.
+    OracleFaultFree,
+    /// Checkpoint-forked sweeps reproduce cold sweeps byte-for-byte.
+    ForkedColdIdentity,
+    /// CSV and JSON record serialization round-trip losslessly.
+    RoundTrip,
+    /// Fully masked faulty runs reach the fault-free digest.
+    MaskedDigest,
+}
+
+impl Invariant {
+    /// All invariants in checking order.
+    pub const ALL: [Invariant; 6] = [
+        Invariant::SelfCheck,
+        Invariant::Termination,
+        Invariant::OracleFaultFree,
+        Invariant::ForkedColdIdentity,
+        Invariant::RoundTrip,
+        Invariant::MaskedDigest,
+    ];
+
+    /// Stable kebab-case name (used in verdict lines and repro files).
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::SelfCheck => "self-check",
+            Invariant::Termination => "termination",
+            Invariant::OracleFaultFree => "oracle-fault-free",
+            Invariant::ForkedColdIdentity => "forked-cold-identity",
+            Invariant::RoundTrip => "round-trip",
+            Invariant::MaskedDigest => "masked-digest",
+        }
+    }
+
+    /// Resolves a name produced by [`Invariant::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Invariant::ALL.iter().copied().find(|i| i.name() == name)
+    }
+
+    /// Whether this invariant's violation depends on the injected fault
+    /// sequence (and therefore benefits from fault-plan shrinking).
+    pub fn fault_dependent(self) -> bool {
+        matches!(
+            self,
+            Invariant::ForkedColdIdentity | Invariant::MaskedDigest
+        )
+    }
+}
+
+/// A violated invariant, with enough coordinates to re-check it in
+/// isolation during shrinking.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: Invariant,
+    /// Deterministic, single-line human-readable description.
+    pub detail: String,
+    /// Machine model of the offending cell (empty for `SelfCheck`).
+    pub model: String,
+    /// Fault rate (per million) of the offending cell.
+    pub rate_pm: f64,
+    /// Site-mix preset name of the offending cell (empty for `SelfCheck`).
+    pub mix: String,
+}
+
+/// Outcome of checking one spec against the full grid.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    /// The seed the spec came from (or was assigned).
+    pub seed: u64,
+    /// The (possibly shrunk) spec that was checked.
+    pub spec: FuzzSpec,
+    /// Sweep cells run (cold grid size; the forked grid repeats them).
+    pub cells: usize,
+    /// Total faults injected across the cold grid.
+    pub faults_injected: u64,
+    /// First invariant violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl SeedOutcome {
+    /// Deterministic one-line verdict, suitable for byte-for-byte
+    /// comparison across runs.
+    pub fn render(&self) -> String {
+        let keep = match &self.spec.keep {
+            None => String::new(),
+            Some(k) => format!(" keep={k:?}"),
+        };
+        let head = format!(
+            "seed {:>5} [{} it={} blocks={}{}] cells={} faults={}",
+            self.seed,
+            self.spec.variant.name(),
+            self.spec.iterations,
+            self.spec.blocks,
+            keep,
+            self.cells,
+            self.faults_injected,
+        );
+        match &self.violation {
+            None => format!("{head} ok"),
+            Some(v) => format!(
+                "{head} VIOLATION {}: {}",
+                v.invariant.name(),
+                v.detail.replace('\n', "; ")
+            ),
+        }
+    }
+}
+
+/// Budget used for a program: the override, or predicted retirement plus
+/// [`BUDGET_SLACK`].
+pub fn budget_for(fp: &FuzzProgram, budget_override: Option<u64>) -> u64 {
+    budget_override.unwrap_or(fp.expected_retired + BUDGET_SLACK)
+}
+
+fn mix_presets(names: &[&str]) -> Vec<SiteMix> {
+    names
+        .iter()
+        .map(|n| SiteMix::preset(n).expect("mix preset"))
+        .collect()
+}
+
+/// Checks the default grid for one fuzz seed.
+pub fn check_seed(seed: u64, budget_override: Option<u64>) -> SeedOutcome {
+    check_spec(&FuzzSpec::from_seed(seed), seed, budget_override)
+}
+
+/// Checks the default grid for an explicit (possibly shrunk) spec.
+pub fn check_spec(spec: &FuzzSpec, seed: u64, budget_override: Option<u64>) -> SeedOutcome {
+    check_axes(spec, seed, budget_override, &MODELS, &RATES, &MIX_NAMES)
+}
+
+/// Checks a restricted grid — the shrinker narrows the axes to the
+/// offending cell (keeping rate 0 so the forked sweep still has its free
+/// baseline and forks at the faulty rate).
+pub fn check_axes(
+    spec: &FuzzSpec,
+    seed: u64,
+    budget_override: Option<u64>,
+    models: &[&str],
+    rates: &[f64],
+    mixes: &[&str],
+) -> SeedOutcome {
+    let fp = spec.generate();
+    let mut outcome = SeedOutcome {
+        seed,
+        spec: spec.clone(),
+        cells: 0,
+        faults_injected: 0,
+        violation: None,
+    };
+
+    // --- self-check: the generator's own prediction ---------------------
+    if let Err(detail) = self_check(&fp) {
+        outcome.violation = Some(Violation {
+            invariant: Invariant::SelfCheck,
+            detail,
+            model: String::new(),
+            rate_pm: 0.0,
+            mix: String::new(),
+        });
+        return outcome;
+    }
+
+    let budget = budget_for(&fp, budget_override);
+    let grid = |checkpointing: bool| {
+        Experiment::grid()
+            .workloads([Workload::Program {
+                name: format!("fuzz-{seed}"),
+                program: fp.program.clone(),
+            }])
+            .models(models.iter().map(|m| model_by_name(m).expect("model")))
+            .fault_rates(rates.iter().copied())
+            .site_mixes(mix_presets(mixes))
+            .budget(budget)
+            .seeds([seed])
+            .oracle(OracleMode::Final)
+            .checkpointing(checkpointing)
+    };
+    let cold = grid(false).run().expect("cold sweep");
+    let forked = grid(true).run().expect("forked sweep");
+    outcome.cells = cold.len();
+    outcome.faults_injected = cold.iter().map(|r| r.faults_injected).sum();
+
+    let at = |r: &RunRecord, invariant: Invariant, detail: String| Violation {
+        invariant,
+        detail,
+        model: r.model.clone(),
+        rate_pm: r.fault_rate_pm,
+        mix: r.site_mix.clone(),
+    };
+
+    // --- termination -----------------------------------------------------
+    for r in &cold {
+        if r.fault_rate_pm == 0.0
+            && (r.error.contains("watchdog") || r.error.contains("cycle limit"))
+        {
+            outcome.violation = Some(at(
+                r,
+                Invariant::Termination,
+                format!("fault-free cell failed to terminate: {}", r.error),
+            ));
+            return outcome;
+        }
+    }
+
+    // --- oracle-fault-free -----------------------------------------------
+    let truncated = fp.expected_retired > budget;
+    let mut baseline_digest: Option<(String, u64)> = None;
+    for r in &cold {
+        if r.fault_rate_pm != 0.0 {
+            continue;
+        }
+        if !r.error.is_empty() {
+            outcome.violation = Some(at(
+                r,
+                Invariant::OracleFaultFree,
+                format!("fault-free cell errored: {}", r.error),
+            ));
+            return outcome;
+        }
+        let expect_halt = !truncated;
+        if r.halted != expect_halt {
+            outcome.violation = Some(at(
+                r,
+                Invariant::OracleFaultFree,
+                format!(
+                    "halted={} but budget {budget} vs predicted retirement {} implies {}",
+                    r.halted, fp.expected_retired, expect_halt
+                ),
+            ));
+            return outcome;
+        }
+        let retired_ok = if truncated {
+            r.retired_instructions >= budget
+        } else {
+            r.retired_instructions == fp.expected_retired
+        };
+        if !retired_ok {
+            outcome.violation = Some(at(
+                r,
+                Invariant::OracleFaultFree,
+                format!(
+                    "retired {} but the generator predicted {} (budget {budget})",
+                    r.retired_instructions, fp.expected_retired
+                ),
+            ));
+            return outcome;
+        }
+        // Cross-model digest agreement only holds when every model ran the
+        // program to completion (truncated runs stop mid-flight at
+        // model-dependent points).
+        if !truncated {
+            match &baseline_digest {
+                None => baseline_digest = Some((r.model.clone(), r.state_digest)),
+                Some((m0, d0)) if *d0 != r.state_digest => {
+                    outcome.violation = Some(at(
+                        r,
+                        Invariant::OracleFaultFree,
+                        format!(
+                            "fault-free digest {:#018x} on {} != {:#018x} on {m0}",
+                            r.state_digest, r.model, d0
+                        ),
+                    ));
+                    return outcome;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // --- forked-cold-identity --------------------------------------------
+    if cold.len() != forked.len() {
+        outcome.violation = Some(Violation {
+            invariant: Invariant::ForkedColdIdentity,
+            detail: format!(
+                "cold sweep produced {} records, forked produced {}",
+                cold.len(),
+                forked.len()
+            ),
+            model: String::new(),
+            rate_pm: 0.0,
+            mix: String::new(),
+        });
+        return outcome;
+    }
+    for (i, (c, f)) in cold.iter().zip(&forked).enumerate() {
+        let (cc, ff) = (
+            to_csv(std::slice::from_ref(c)),
+            to_csv(std::slice::from_ref(f)),
+        );
+        if cc != ff {
+            outcome.violation = Some(at(
+                c,
+                Invariant::ForkedColdIdentity,
+                format!(
+                    "record {i} differs between cold and forked sweeps: cold={cc:?} forked={ff:?}"
+                ),
+            ));
+            return outcome;
+        }
+    }
+
+    // --- round-trip --------------------------------------------------------
+    match from_csv(&to_csv(&cold)) {
+        Ok(back) if back == cold => {}
+        Ok(back) => {
+            outcome.violation = Some(Violation {
+                invariant: Invariant::RoundTrip,
+                detail: format!(
+                    "CSV round-trip changed {} of {} records",
+                    back.iter().zip(&cold).filter(|(a, b)| a != b).count(),
+                    cold.len()
+                ),
+                model: String::new(),
+                rate_pm: 0.0,
+                mix: String::new(),
+            });
+            return outcome;
+        }
+        Err(e) => {
+            outcome.violation = Some(Violation {
+                invariant: Invariant::RoundTrip,
+                detail: format!("CSV round-trip failed to parse: {e}"),
+                model: String::new(),
+                rate_pm: 0.0,
+                mix: String::new(),
+            });
+            return outcome;
+        }
+    }
+    match from_json(&to_json(&cold)) {
+        Ok(back) if back == cold => {}
+        Ok(_) => {
+            outcome.violation = Some(Violation {
+                invariant: Invariant::RoundTrip,
+                detail: "JSON round-trip changed record contents".to_string(),
+                model: String::new(),
+                rate_pm: 0.0,
+                mix: String::new(),
+            });
+            return outcome;
+        }
+        Err(e) => {
+            outcome.violation = Some(Violation {
+                invariant: Invariant::RoundTrip,
+                detail: format!("JSON round-trip failed to parse: {e}"),
+                model: String::new(),
+                rate_pm: 0.0,
+                mix: String::new(),
+            });
+            return outcome;
+        }
+    }
+
+    // --- masked-digest ------------------------------------------------------
+    for r in &cold {
+        if r.fault_rate_pm == 0.0 || !r.error.is_empty() || !r.halted {
+            continue;
+        }
+        if r.faults_escaped != 0 || r.faults_pending != 0 {
+            continue;
+        }
+        let Some(base) = cold.iter().find(|b| {
+            b.fault_rate_pm == 0.0 && b.model == r.model && b.error.is_empty() && b.halted
+        }) else {
+            continue;
+        };
+        if r.retired_instructions == base.retired_instructions
+            && r.state_digest != base.state_digest
+        {
+            outcome.violation = Some(at(
+                r,
+                Invariant::MaskedDigest,
+                format!(
+                    "all {} faults masked, same retirement, but digest {:#018x} != fault-free {:#018x}",
+                    r.faults_injected, r.state_digest, base.state_digest
+                ),
+            ));
+            return outcome;
+        }
+    }
+
+    outcome
+}
+
+/// The self-check invariant alone: emulator halt, exact retirement, and
+/// the constructed checksum at the check address.
+pub fn self_check(fp: &FuzzProgram) -> Result<(), String> {
+    let mut emu = Emulator::new(&fp.program);
+    let retired = emu
+        .run(SELF_CHECK_STEP_CAP)
+        .map_err(|e| format!("emulator error: {e}"))?;
+    if !emu.halted() {
+        return Err(format!("no halt within {SELF_CHECK_STEP_CAP} steps"));
+    }
+    if retired != fp.expected_retired {
+        return Err(format!(
+            "retired {retired} but the generator predicted {}",
+            fp.expected_retired
+        ));
+    }
+    let sum = emu.mem().read_u64(fp.check_addr);
+    if sum != fp.expected_checksum {
+        return Err(format!(
+            "checksum {sum:#018x} at {:#x} but the generator predicted {:#018x}",
+            fp.check_addr, fp.expected_checksum
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariant_names_round_trip() {
+        for inv in Invariant::ALL {
+            assert_eq!(Invariant::from_name(inv.name()), Some(inv));
+        }
+        assert_eq!(Invariant::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn grid_axes_resolve() {
+        // The default grid's names must all resolve — a rename in the
+        // model/mix registries would otherwise panic mid-fuzz.
+        for m in MODELS {
+            assert!(ftsim_daemon::model_by_name(m).is_some(), "model {m}");
+        }
+        for m in MIX_NAMES {
+            assert!(ftsim_faults::SiteMix::preset(m).is_some(), "mix {m}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Generative workload fuzzing with a shrinking differential oracle.
+//!
+//! This crate closes the loop between the seeded program generator in
+//! `ftsim-workloads` ([`FuzzSpec`](ftsim_workloads::FuzzSpec)) and the
+//! experiment harness in `ftsim`: every generated program is run through
+//! a small fault-sweep grid (models × rates × site mixes) and checked
+//! against the simulator's *standing invariants* — properties that must
+//! hold for every program and every fault plan, not just the golden
+//! workloads:
+//!
+//! - **self-check**: the in-order emulator halts, retires exactly the
+//!   predicted dynamic instruction count, and leaves the predicted
+//!   checksum at the program's check address.
+//! - **oracle-fault-free**: fault-free pipelined runs agree with the
+//!   in-order oracle, halt exactly when the budget allows, and produce
+//!   the same architectural digest on every machine model.
+//! - **forked-cold-identity**: a sweep resumed from checkpoint forks
+//!   must produce records byte-identical to a cold sweep.
+//! - **round-trip**: CSV and JSON record serialization are lossless.
+//! - **masked-digest**: a faulty run whose faults were all masked (none
+//!   escaped, none pending) and that retired the same instruction count
+//!   as its fault-free baseline must reach the baseline's digest.
+//! - **termination**: fault-free runs never trip the watchdog or the
+//!   cycle ceiling.
+//!
+//! On a violation, [`shrink`](shrink::shrink) minimizes both the program
+//! (dropping generated blocks, halving iterations) and — for
+//! fault-dependent invariants — the fault plan (ddmin over the fired
+//! events, replayed through [`FaultPlan`](ftsim_faults::FaultPlan)), and
+//! [`repro`] persists the result as a replayable `<seed>.repro.json`.
+//!
+//! The `ftsim-fuzz` binary drives the loop:
+//!
+//! ```text
+//! ftsim-fuzz run --seeds 0..64        # fuzz a seed range
+//! ftsim-fuzz replay 17.repro.json     # re-check a minimized repro
+//! ftsim-fuzz graduate 7               # print a GraduatedWorkload entry
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod repro;
+pub mod shrink;
+
+pub use harness::{check_seed, check_spec, Invariant, SeedOutcome, Violation};
+pub use repro::{load_repro, replay, save_repro, ReplayReport};
+pub use shrink::{shrink, PlanEvent, Repro};

@@ -1,0 +1,212 @@
+//! `ftsim-fuzz` — generative workload fuzzing with a shrinking
+//! differential oracle.
+//!
+//! ```text
+//! ftsim-fuzz run --seeds 0..64 [--budget N] [--out DIR]
+//! ftsim-fuzz replay <repro.json>...
+//! ftsim-fuzz graduate <seed> [--variant NAME] [--iterations N] [--blocks N]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftsim_fuzz::{check_seed, load_repro, replay, save_repro, shrink};
+use ftsim_workloads::{FuzzSpec, FuzzVariant};
+
+const USAGE: &str = "usage:
+  ftsim-fuzz run --seeds A..B [--budget N] [--out DIR]
+      Fuzz the seed range (half-open): generate each program, sweep it
+      through the model/rate/mix grid, check every standing invariant,
+      and shrink + persist a repro for each violation.
+  ftsim-fuzz replay <repro.json>...
+      Re-run minimized repro files; exits nonzero if any fails to
+      reproduce its pinned violation.
+  ftsim-fuzz graduate <seed> [--variant NAME] [--iterations N] [--blocks N]
+      Verify a generated program end-to-end and print the
+      GraduatedWorkload registry entry for crates/workloads.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("graduate") => cmd_graduate(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses `A..B` (half-open), `A..=B` (inclusive), or a single seed `N`.
+fn parse_seed_range(text: &str) -> Result<std::ops::Range<u64>, String> {
+    let bad = || format!("bad seed range `{text}` (expected A..B, A..=B, or N)");
+    if let Some((a, b)) = text.split_once("..=") {
+        let (a, b): (u64, u64) = (a.parse().map_err(|_| bad())?, b.parse().map_err(|_| bad())?);
+        Ok(a..b.checked_add(1).ok_or_else(bad)?)
+    } else if let Some((a, b)) = text.split_once("..") {
+        Ok(a.parse().map_err(|_| bad())?..b.parse().map_err(|_| bad())?)
+    } else {
+        let n: u64 = text.parse().map_err(|_| bad())?;
+        Ok(n..n + 1)
+    }
+}
+
+/// Pulls the value after a `--flag` out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let seeds = parse_seed_range(
+        flag_value(args, "--seeds")?.ok_or_else(|| format!("run needs --seeds\n\n{USAGE}"))?,
+    )?;
+    let budget = flag_value(args, "--budget")?
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --budget `{v}`")))
+        .transpose()?;
+    let out = PathBuf::from(flag_value(args, "--out")?.unwrap_or("fuzz-repros"));
+
+    let total = seeds.end.saturating_sub(seeds.start);
+    let mut violations = 0u64;
+    for seed in seeds {
+        let outcome = check_seed(seed, budget);
+        println!("{}", outcome.render());
+        if outcome.violation.is_none() {
+            continue;
+        }
+        violations += 1;
+        let repro = shrink(&outcome, budget).expect("violating outcomes shrink");
+        std::fs::create_dir_all(&out).map_err(|e| format!("mkdir {}: {e}", out.display()))?;
+        let path = out.join(format!("{seed}.repro.json"));
+        std::fs::write(&path, save_repro(&repro))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!(
+            "  shrunk to {} block(s), {} iteration(s), {} plan event(s) -> {}",
+            repro.spec.kept().len(),
+            repro.spec.iterations,
+            repro.plan.as_ref().map_or(0, Vec::len),
+            path.display()
+        );
+    }
+    println!("fuzzed {total} seed(s): {violations} violation(s)");
+    Ok(if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err(format!("replay needs at least one repro file\n\n{USAGE}"));
+    }
+    let mut failures = 0u64;
+    for file in args {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+        let repro = load_repro(&text).map_err(|e| format!("{file}: {e}"))?;
+        let report = replay(&repro);
+        if report.reproduced {
+            println!(
+                "{file}: reproduced {} on seed {}: {}",
+                repro.invariant.name(),
+                repro.seed,
+                report.detail
+            );
+        } else {
+            failures += 1;
+            println!(
+                "{file}: NOT reproduced ({} on seed {}): {}",
+                repro.invariant.name(),
+                repro.seed,
+                report.detail
+            );
+        }
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Short registry tag per variant (matches the existing `fuzz-<tag>-<seed>`
+/// naming in the graduated-workload registry).
+fn variant_tag(v: FuzzVariant) -> &'static str {
+    match v {
+        FuzzVariant::BranchHeavy => "branch",
+        FuzzVariant::AliasHeavy => "alias",
+        FuzzVariant::RasDeep => "ras",
+        FuzzVariant::SerialDiv => "div",
+        FuzzVariant::SelfCheckSum => "sum",
+    }
+}
+
+/// The variant's Rust path in `crates/workloads`.
+fn variant_path(v: FuzzVariant) -> &'static str {
+    match v {
+        FuzzVariant::BranchHeavy => "FuzzVariant::BranchHeavy",
+        FuzzVariant::AliasHeavy => "FuzzVariant::AliasHeavy",
+        FuzzVariant::RasDeep => "FuzzVariant::RasDeep",
+        FuzzVariant::SerialDiv => "FuzzVariant::SerialDiv",
+        FuzzVariant::SelfCheckSum => "FuzzVariant::SelfCheckSum",
+    }
+}
+
+fn cmd_graduate(args: &[String]) -> Result<ExitCode, String> {
+    let seed: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("graduate needs a seed\n\n{USAGE}"))?
+        .parse()
+        .map_err(|e| format!("bad seed: {e}"))?;
+    let mut spec = FuzzSpec::from_seed(seed);
+    if let Some(v) = flag_value(args, "--variant")? {
+        spec.variant = FuzzVariant::from_name(v).ok_or_else(|| format!("unknown variant `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--iterations")? {
+        spec.iterations = v.parse().map_err(|_| format!("bad --iterations `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--blocks")? {
+        spec.blocks = v.parse().map_err(|_| format!("bad --blocks `{v}`"))?;
+    }
+
+    // A workload graduates only if the full invariant grid is clean.
+    let outcome = ftsim_fuzz::check_spec(&spec, seed, None);
+    if let Some(v) = &outcome.violation {
+        return Err(format!(
+            "refusing to graduate seed {seed}: {} violated: {}",
+            v.invariant.name(),
+            v.detail
+        ));
+    }
+    let fp = spec.generate();
+    println!(
+        "// seed {seed}: {} blocks, {} predicted retired, {} faults across the {} grid cells",
+        fp.emitted_blocks, fp.expected_retired, outcome.faults_injected, outcome.cells
+    );
+    println!("GraduatedWorkload {{");
+    println!("    name: \"fuzz-{}-{}\",", variant_tag(spec.variant), seed);
+    println!("    spec: FuzzSpec {{");
+    println!("        variant: {},", variant_path(spec.variant));
+    println!("        seed: {},", spec.seed);
+    println!("        iterations: {},", spec.iterations);
+    println!("        blocks: {},", spec.blocks);
+    match &spec.keep {
+        None => println!("        keep: None,"),
+        Some(k) => println!("        keep: Some(vec!{k:?}),"),
+    }
+    println!("    }},");
+    println!("    note: \"<why this program earned a registry slot>\",");
+    println!("}},");
+    Ok(ExitCode::SUCCESS)
+}

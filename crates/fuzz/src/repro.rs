@@ -1,0 +1,313 @@
+//! Repro persistence and replay: a minimized violation serializes to a
+//! small JSON document (`<seed>.repro.json`) that pins everything needed
+//! to re-trigger it — the generation spec, the offending cell, and (for
+//! fault-dependent invariants) the exact fault plan. Replay re-runs the
+//! pinned check and reports whether the violation still reproduces.
+
+use crate::harness::{check_axes, self_check, Invariant};
+use crate::shrink::{plan_mismatch, PlanEvent, Repro};
+use ftsim_faults::InjectionPoint;
+use ftsim_stats::JsonValue;
+use ftsim_workloads::{FuzzSpec, FuzzVariant};
+
+/// Schema version stamped into every repro file.
+pub const REPRO_VERSION: u64 = 1;
+
+/// Outcome of replaying a repro file.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Whether the pinned violation still triggers.
+    pub reproduced: bool,
+    /// Detail from the replayed check (the fresh violation detail when
+    /// reproduced, a diagnostic otherwise).
+    pub detail: String,
+}
+
+/// Serializes a repro to its canonical pretty-printed JSON document.
+pub fn save_repro(r: &Repro) -> String {
+    let spec = JsonValue::obj([
+        (
+            "variant".to_string(),
+            JsonValue::Str(r.spec.variant.name().to_string()),
+        ),
+        ("seed".to_string(), JsonValue::U64(r.spec.seed)),
+        (
+            "iterations".to_string(),
+            JsonValue::U64(u64::from(r.spec.iterations)),
+        ),
+        (
+            "blocks".to_string(),
+            JsonValue::U64(u64::from(r.spec.blocks)),
+        ),
+        (
+            "keep".to_string(),
+            match &r.spec.keep {
+                None => JsonValue::Null,
+                Some(k) => {
+                    JsonValue::Arr(k.iter().map(|&b| JsonValue::U64(u64::from(b))).collect())
+                }
+            },
+        ),
+    ]);
+    let cell = JsonValue::obj([
+        ("model".to_string(), JsonValue::Str(r.model.clone())),
+        ("rate_pm".to_string(), JsonValue::F64(r.rate_pm)),
+        ("mix".to_string(), JsonValue::Str(r.mix.clone())),
+        ("budget".to_string(), JsonValue::U64(r.budget)),
+    ]);
+    let plan = match &r.plan {
+        None => JsonValue::Null,
+        Some(events) => JsonValue::Arr(
+            events
+                .iter()
+                .map(|e| {
+                    JsonValue::obj([
+                        ("dispatch".to_string(), JsonValue::U64(e.dispatch)),
+                        ("copy".to_string(), JsonValue::U64(u64::from(e.copy))),
+                        (
+                            "point".to_string(),
+                            JsonValue::Str(e.point.code().to_string()),
+                        ),
+                        ("bit".to_string(), JsonValue::U64(u64::from(e.bit))),
+                    ])
+                })
+                .collect(),
+        ),
+    };
+    JsonValue::obj([
+        ("version".to_string(), JsonValue::U64(REPRO_VERSION)),
+        ("seed".to_string(), JsonValue::U64(r.seed)),
+        (
+            "invariant".to_string(),
+            JsonValue::Str(r.invariant.name().to_string()),
+        ),
+        ("detail".to_string(), JsonValue::Str(r.detail.clone())),
+        ("spec".to_string(), spec),
+        ("cell".to_string(), cell),
+        ("plan".to_string(), plan),
+    ])
+    .render_pretty(2)
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+/// Parses a repro document produced by [`save_repro`].
+pub fn load_repro(text: &str) -> Result<Repro, String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let version = u64_field(&doc, "version")?;
+    if version != REPRO_VERSION {
+        return Err(format!(
+            "repro version {version} (this build reads {REPRO_VERSION})"
+        ));
+    }
+    let invariant = str_field(&doc, "invariant")?;
+    let invariant = Invariant::from_name(invariant)
+        .ok_or_else(|| format!("unknown invariant `{invariant}`"))?;
+
+    let spec_v = field(&doc, "spec")?;
+    let variant = str_field(spec_v, "variant")?;
+    let variant =
+        FuzzVariant::from_name(variant).ok_or_else(|| format!("unknown variant `{variant}`"))?;
+    let keep = match field(spec_v, "keep")? {
+        JsonValue::Null => None,
+        JsonValue::Arr(items) => Some(
+            items
+                .iter()
+                .map(|i| {
+                    i.as_u64()
+                        .and_then(|b| u32::try_from(b).ok())
+                        .ok_or_else(|| "bad block index in `keep`".to_string())
+                })
+                .collect::<Result<Vec<u32>, String>>()?,
+        ),
+        _ => return Err("field `keep` is neither null nor an array".to_string()),
+    };
+    let spec = FuzzSpec {
+        variant,
+        seed: u64_field(spec_v, "seed")?,
+        iterations: u32::try_from(u64_field(spec_v, "iterations")?)
+            .map_err(|_| "iterations out of range".to_string())?,
+        blocks: u32::try_from(u64_field(spec_v, "blocks")?)
+            .map_err(|_| "blocks out of range".to_string())?,
+        keep,
+    };
+
+    let cell = field(&doc, "cell")?;
+    let rate_pm = field(cell, "rate_pm")?
+        .as_f64()
+        .ok_or_else(|| "field `rate_pm` is not a number".to_string())?;
+
+    let plan = match field(&doc, "plan")? {
+        JsonValue::Null => None,
+        JsonValue::Arr(items) => Some(
+            items
+                .iter()
+                .map(|e| {
+                    let code = str_field(e, "point")?;
+                    Ok(PlanEvent {
+                        dispatch: u64_field(e, "dispatch")?,
+                        copy: u8::try_from(u64_field(e, "copy")?)
+                            .map_err(|_| "copy out of range".to_string())?,
+                        point: InjectionPoint::from_code(code)
+                            .ok_or_else(|| format!("unknown injection-point code `{code}`"))?,
+                        bit: u8::try_from(u64_field(e, "bit")?)
+                            .map_err(|_| "bit out of range".to_string())?,
+                    })
+                })
+                .collect::<Result<Vec<PlanEvent>, String>>()?,
+        ),
+        _ => return Err("field `plan` is neither null nor an array".to_string()),
+    };
+
+    Ok(Repro {
+        seed: u64_field(&doc, "seed")?,
+        invariant,
+        detail: str_field(&doc, "detail")?.to_string(),
+        spec,
+        model: str_field(cell, "model")?.to_string(),
+        rate_pm,
+        mix: str_field(cell, "mix")?.to_string(),
+        budget: u64_field(cell, "budget")?,
+        plan,
+    })
+}
+
+/// Replays a repro: re-runs exactly the pinned check (explicit fault
+/// plan when present, the isolated cell grid otherwise) and reports
+/// whether the violation still triggers.
+pub fn replay(r: &Repro) -> ReplayReport {
+    // Self-check violations need no machine at all.
+    if r.invariant == Invariant::SelfCheck {
+        return match self_check(&r.spec.generate()) {
+            Err(detail) => ReplayReport {
+                reproduced: true,
+                detail,
+            },
+            Ok(()) => ReplayReport {
+                reproduced: false,
+                detail: "self-check now passes".to_string(),
+            },
+        };
+    }
+
+    // Deterministic plan replay when the shrinker pinned one.
+    if let Some(events) = &r.plan {
+        let fp = r.spec.generate();
+        return match plan_mismatch(&fp, &r.model, r.budget, r.invariant, events) {
+            Some(detail) => ReplayReport {
+                reproduced: true,
+                detail,
+            },
+            None => ReplayReport {
+                reproduced: false,
+                detail: "the pinned fault plan no longer triggers the violation".to_string(),
+            },
+        };
+    }
+
+    // Otherwise re-run the offending cell (with its rate-0 baseline)
+    // through the grid harness.
+    let outcome = if r.model.is_empty() {
+        crate::harness::check_spec(&r.spec, r.seed, Some(r.budget))
+    } else {
+        let rates: Vec<f64> = if r.rate_pm == 0.0 {
+            vec![0.0]
+        } else {
+            vec![0.0, r.rate_pm]
+        };
+        check_axes(
+            &r.spec,
+            r.seed,
+            Some(r.budget),
+            &[r.model.as_str()],
+            &rates,
+            &[r.mix.as_str()],
+        )
+    };
+    match outcome.violation {
+        Some(v) if v.invariant == r.invariant => ReplayReport {
+            reproduced: true,
+            detail: v.detail,
+        },
+        Some(v) => ReplayReport {
+            reproduced: false,
+            detail: format!(
+                "a different invariant ({}) now fails: {}",
+                v.invariant.name(),
+                v.detail
+            ),
+        },
+        None => ReplayReport {
+            reproduced: false,
+            detail: "all invariants now pass on the pinned cell".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_workloads::FuzzVariant;
+
+    fn sample() -> Repro {
+        Repro {
+            seed: 17,
+            invariant: Invariant::ForkedColdIdentity,
+            detail: "cold != forked".to_string(),
+            spec: FuzzSpec {
+                variant: FuzzVariant::AliasHeavy,
+                seed: 17,
+                iterations: 2,
+                blocks: 12,
+                keep: Some(vec![0, 3, 9]),
+            },
+            model: "SS-2".to_string(),
+            rate_pm: 300.0,
+            mix: "uniform".to_string(),
+            budget: 1234,
+            plan: Some(vec![PlanEvent {
+                dispatch: 412,
+                copy: 1,
+                point: InjectionPoint::EffAddr,
+                bit: 17,
+            }]),
+        }
+    }
+
+    #[test]
+    fn repro_documents_round_trip() {
+        let r = sample();
+        assert_eq!(load_repro(&save_repro(&r)).unwrap(), r);
+
+        // Null `keep` and null `plan` round-trip too.
+        let mut bare = sample();
+        bare.spec.keep = None;
+        bare.plan = None;
+        assert_eq!(load_repro(&save_repro(&bare)).unwrap(), bare);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_context() {
+        let doc = save_repro(&sample());
+        let err = load_repro(&doc.replace("\"ea\"", "\"zz\"")).unwrap_err();
+        assert!(err.contains("injection-point code"), "{err}");
+        let err = load_repro(&doc.replace("\"version\": 1", "\"version\": 9")).unwrap_err();
+        assert!(err.contains("version 9"), "{err}");
+        let err = load_repro(&doc.replace("forked-cold-identity", "nonsense")).unwrap_err();
+        assert!(err.contains("unknown invariant"), "{err}");
+    }
+}

@@ -7,7 +7,7 @@
 //! computation is architecturally observable (and oracle-checkable).
 //!
 //! Expected *dynamic* instruction counts are tracked during emission —
-//! branch diamonds contribute the probability-weighted length of their两
+//! branch diamonds contribute the probability-weighted length of their two
 //! paths — so the measured committed mix lands on the Table 2 targets.
 
 use crate::profile::WorkloadProfile;

@@ -1,0 +1,123 @@
+//! Graduated fuzz workloads: generated programs promoted to named,
+//! sweepable workloads.
+//!
+//! The `ftsim-fuzz` loop occasionally surfaces a generated program worth
+//! keeping — one that exercises a pipeline corner (deep return-address
+//! nesting, dense aliasing) the hand-written kernels and Table 2 profiles
+//! do not. Graduation freezes that program's [`FuzzSpec`] under a stable
+//! name here, making it addressable from `ftsimd` job specs exactly like
+//! a Table 2 profile (`ftsim-fuzz graduate <seed>` prints the entry to
+//! paste into [`graduated_workloads`]).
+//!
+//! Because a [`FuzzSpec`] regenerates its program deterministically, the
+//! registry stores only the spec — no program bytes are checked in, and
+//! the workload can never drift from its generator.
+
+use crate::fuzzgen::{FuzzProgram, FuzzSpec, FuzzVariant};
+
+/// One graduated workload: a frozen [`FuzzSpec`] under a stable name.
+#[derive(Debug, Clone)]
+pub struct GraduatedWorkload {
+    /// Stable registry name (`fuzz-` prefix by convention, so the names
+    /// can never collide with Table 2 profiles).
+    pub name: &'static str,
+    /// The frozen generation plan.
+    pub spec: FuzzSpec,
+    /// Why this program graduated.
+    pub note: &'static str,
+}
+
+impl GraduatedWorkload {
+    /// Regenerates the workload's program and predictions.
+    pub fn generate(&self) -> FuzzProgram {
+        self.spec.generate()
+    }
+}
+
+/// The curated registry, in stable order.
+pub fn graduated_workloads() -> Vec<GraduatedWorkload> {
+    vec![
+        GraduatedWorkload {
+            name: "fuzz-ras-7",
+            spec: FuzzSpec {
+                variant: FuzzVariant::RasDeep,
+                seed: 7,
+                iterations: 24,
+                blocks: 10,
+                keep: None,
+            },
+            note: "call chains up to six deep inside a hot loop; drives \
+                   return-address-stack pushes/pops and link-register \
+                   renaming far harder than any Table 2 profile",
+        },
+        GraduatedWorkload {
+            name: "fuzz-alias-23",
+            spec: FuzzSpec {
+                variant: FuzzVariant::AliasHeavy,
+                seed: 23,
+                iterations: 28,
+                blocks: 12,
+                keep: None,
+            },
+            note: "computed-address loads and stores colliding on a small \
+                   slot pool; exercises store-to-load forwarding and LSQ \
+                   conflict parking every iteration",
+        },
+        GraduatedWorkload {
+            name: "fuzz-div-41",
+            spec: FuzzSpec {
+                variant: FuzzVariant::SerialDiv,
+                seed: 41,
+                iterations: 20,
+                blocks: 8,
+                keep: None,
+            },
+            note: "serially dependent divide/remainder reconstruction \
+                   chains; keeps the non-pipelined divider saturated so \
+                   RobWait-site faults have long in-flight windows",
+        },
+    ]
+}
+
+/// Looks a graduated workload up by name.
+pub fn graduated(name: &str) -> Option<GraduatedWorkload> {
+    graduated_workloads().into_iter().find(|g| g.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsim_isa::Emulator;
+
+    #[test]
+    fn registry_programs_generate_and_self_check() {
+        let all = graduated_workloads();
+        assert!(all.len() >= 2, "acceptance floor: two graduated programs");
+        for g in &all {
+            assert!(g.name.starts_with("fuzz-"), "{}: reserved prefix", g.name);
+            let fp = g.generate();
+            let mut emu = Emulator::new(&fp.program);
+            let steps = emu.run(4 * fp.expected_retired + 10_000).unwrap();
+            assert!(emu.halted(), "{} must halt", g.name);
+            assert_eq!(steps, fp.expected_retired, "{}: retirement", g.name);
+            assert_eq!(
+                emu.mem().read_u64(fp.check_addr),
+                fp.expected_checksum,
+                "{}: checksum",
+                g.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let all = graduated_workloads();
+        for g in &all {
+            assert_eq!(graduated(g.name).unwrap().name, g.name);
+        }
+        let mut names: Vec<_> = all.iter().map(|g| g.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        assert!(graduated("gcc").is_none());
+    }
+}

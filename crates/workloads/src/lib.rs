@@ -36,10 +36,14 @@
 
 #![warn(missing_docs)]
 
+mod fuzzgen;
 mod generator;
+mod graduated;
 mod kernels;
 mod profile;
 
+pub use fuzzgen::{FuzzProgram, FuzzSpec, FuzzVariant};
 pub use generator::GeneratorReport;
+pub use graduated::{graduated, graduated_workloads, GraduatedWorkload};
 pub use kernels::{dot_product, fibonacci, pointer_chase};
 pub use profile::{profile, spec_profiles, MixTargets, WorkloadProfile};

@@ -1,0 +1,214 @@
+//! Boundary-profile property tests: the generator must produce
+//! halt-reaching, oracle-clean programs at the extreme corners of the
+//! `MixTargets`/knob space — 0% memory, 100% fp-divide, one-iteration
+//! bodies, and a working set of a single page — not just at the Table 2
+//! operating points the 11 shipped profiles use.
+//!
+//! "Oracle-clean" is checked two ways for every generated program: the
+//! in-order emulator reaches `halt` within a step cap, and a fault-free
+//! pipelined run under `OracleMode::Final` completes without an oracle
+//! divergence (the simulator returns an error if the out-of-order final
+//! state disagrees with the in-order model).
+
+use ftsim_core::{MachineConfig, OracleMode, Simulator};
+use ftsim_isa::Emulator;
+use ftsim_workloads::{MixTargets, WorkloadProfile};
+use proptest::prelude::*;
+
+/// Step cap for the in-order emulator; generously above anything a small
+/// iteration count can retire (~330 dynamic instructions per iteration).
+const STEP_CAP: u64 = 5_000_000;
+
+/// Builds a boundary profile around the given mix and knobs, filling the
+/// fields the edge cases do not vary.
+fn edge(
+    mix: MixTargets,
+    chains: usize,
+    fp_chains: usize,
+    branch_frac: f64,
+    working_set: usize,
+    serial_div_frac: f64,
+    seed: u64,
+) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "edge",
+        suite: "edge",
+        mix,
+        chains,
+        fp_chains,
+        branch_frac,
+        branch_bias_mask: 1, // hardest-to-predict branches
+        working_set,
+        stride: 8,
+        reuse_span: 64,
+        ops_per_window: 8,
+        serial_div_frac,
+        load_consume: true,
+        seed,
+    }
+}
+
+/// The shared property: the program halts on the in-order emulator, and a
+/// fault-free pipelined run agrees with the oracle and retires the exact
+/// same dynamic instruction count.
+fn halts_and_is_oracle_clean(p: &WorkloadProfile, iterations: u32) -> Result<(), String> {
+    let program = p.program(iterations);
+    let mut emu = Emulator::new(&program);
+    let retired = emu
+        .run(STEP_CAP)
+        .map_err(|e| format!("emulator error: {e}"))?;
+    if !emu.halted() {
+        return Err(format!("no halt within {STEP_CAP} steps"));
+    }
+    let result = Simulator::builder()
+        .config(MachineConfig::ss2())
+        .program(&program)
+        .oracle(OracleMode::Final)
+        .budget(retired + 16)
+        .run()
+        .map_err(|e| format!("pipelined run not oracle-clean: {e}"))?;
+    if !result.halted {
+        return Err("pipeline hit its budget before halt".into());
+    }
+    if result.retired_instructions != retired {
+        return Err(format!(
+            "pipeline retired {} but the oracle retired {retired}",
+            result.retired_instructions
+        ));
+    }
+    Ok(())
+}
+
+// --- Fixed spot checks at the exact corners named in the issue ----------
+
+#[test]
+fn zero_percent_mem_single_iteration_halts() {
+    // No memory traffic at all: the body is pure integer work (with
+    // branches and serial divides still mixed in), one iteration.
+    let p = edge(
+        MixTargets::from_percent(0.0, 100.0, 0.0, 0.0, 0.0),
+        3,
+        0,
+        0.12,
+        4096,
+        0.02,
+        0xedfe_0001,
+    );
+    halts_and_is_oracle_clean(&p, 1).unwrap();
+}
+
+#[test]
+fn hundred_percent_fp_div_halts() {
+    // The scheduler's only nonzero target is fp_div: a body of ~300
+    // serially dependent divides on one FP chain (worst case for the
+    // non-pipelined divider), single iteration.
+    let p = edge(
+        MixTargets::from_percent(0.0, 0.0, 0.0, 0.0, 100.0),
+        1,
+        1,
+        0.0,
+        4096,
+        0.0,
+        0xedfe_0002,
+    );
+    halts_and_is_oracle_clean(&p, 1).unwrap();
+}
+
+#[test]
+fn one_page_working_set_mem_heavy_halts() {
+    // gcc-shaped mix squeezed into a single 4 KiB page: every window
+    // advance wraps inside one page, so loads and stores alias densely.
+    let p = edge(
+        MixTargets::from_percent(74.55, 25.45, 0.0, 0.0, 0.0),
+        4,
+        0,
+        0.035,
+        4096,
+        0.0,
+        0xedfe_0003,
+    );
+    halts_and_is_oracle_clean(&p, 1).unwrap();
+    halts_and_is_oracle_clean(&p, 3).unwrap();
+}
+
+#[test]
+fn fp_heavy_one_page_single_iteration_halts() {
+    // All three FP classes plus memory in one page, one iteration, one
+    // chain of each kind — the minimum-resource FP corner.
+    let p = edge(
+        MixTargets::from_percent(30.0, 10.0, 20.0, 20.0, 20.0),
+        1,
+        1,
+        0.0,
+        4096,
+        0.0,
+        0xedfe_0004,
+    );
+    halts_and_is_oracle_clean(&p, 1).unwrap();
+}
+
+// --- Property sweeps over the boundary region ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn no_mem_profiles_stay_oracle_clean(
+        seed in 0u64..1 << 48,
+        chains in 1usize..9,
+        iters in 1u32..4,
+    ) {
+        let p = edge(
+            MixTargets::from_percent(0.0, 100.0, 0.0, 0.0, 0.0),
+            chains,
+            0,
+            0.1,
+            4096,
+            0.0,
+            seed,
+        );
+        if let Err(e) = halts_and_is_oracle_clean(&p, iters) {
+            prop_assert!(false, "seed {seed} chains {chains} iters {iters}: {e}");
+        }
+    }
+
+    #[test]
+    fn pure_fp_div_profiles_stay_oracle_clean(
+        seed in 0u64..1 << 48,
+        fp_chains in 1usize..7,
+    ) {
+        let p = edge(
+            MixTargets::from_percent(0.0, 0.0, 0.0, 0.0, 100.0),
+            1,
+            fp_chains,
+            0.0,
+            4096,
+            0.0,
+            seed,
+        );
+        if let Err(e) = halts_and_is_oracle_clean(&p, 1) {
+            prop_assert!(false, "seed {seed} fp_chains {fp_chains}: {e}");
+        }
+    }
+
+    #[test]
+    fn one_page_working_sets_stay_oracle_clean(
+        seed in 0u64..1 << 48,
+        mem_pct in 1u32..80,
+        iters in 1u32..3,
+    ) {
+        let mem = f64::from(mem_pct);
+        let p = edge(
+            MixTargets::from_percent(mem, 100.0 - mem, 0.0, 0.0, 0.0),
+            2,
+            0,
+            0.05,
+            4096,
+            0.0,
+            seed,
+        );
+        if let Err(e) = halts_and_is_oracle_clean(&p, iters) {
+            prop_assert!(false, "seed {seed} mem {mem_pct}% iters {iters}: {e}");
+        }
+    }
+}

@@ -299,18 +299,19 @@ impl Experiment {
 
     /// Provides records from a previous run (e.g. parsed from an exported
     /// CSV with [`crate::harness::from_csv`]); cells whose identity —
-    /// workload, model, redundancy, fault rate, seed, budget — matches a
-    /// *successful* prior record are not re-simulated, and the prior
-    /// record is returned in the cell's grid slot instead. Failed prior
-    /// records are re-run.
+    /// workload, model, redundancy, fault rate, seed, budget, oracle
+    /// mode — matches a *successful* prior record are not re-simulated,
+    /// and the prior record is returned in the cell's grid slot instead.
+    /// Failed prior records are re-run.
     ///
-    /// Caveat: records do not carry the oracle mode or run-limit
-    /// overrides they were produced under, so resumption assumes the
-    /// prior run used the same [`Experiment::oracle`] and
-    /// [`Experiment::limits`] settings as this grid. Feeding records
-    /// from an [`OracleMode::Off`] sweep into an
-    /// [`OracleMode::Final`] grid returns them unverified — re-run
-    /// fresh when the verification level changed.
+    /// The oracle mode is part of the identity, so feeding records from
+    /// an [`OracleMode::Off`] sweep into an [`OracleMode::Final`] grid
+    /// (or vice versa) never reuses them — the mismatched cells are
+    /// simply re-simulated under this grid's verification level.
+    ///
+    /// Caveat: records still do not carry [`Experiment::limits`]
+    /// overrides; resumption assumes the prior run used the same run
+    /// limits as this grid.
     #[must_use]
     pub fn resume_from<I: IntoIterator<Item = RunRecord>>(mut self, prior: I) -> Self {
         self.prior.extend(prior);
@@ -650,6 +651,40 @@ mod tests {
         // re-runs and the poisoned value does not leak.
         let fresh = build().budget(2_000).resume_from(prior).run().unwrap();
         assert!(fresh.iter().all(|r| r.cycles != 123_456_789));
+    }
+
+    #[test]
+    fn resume_never_reuses_records_from_a_different_oracle_mode() {
+        // Regression: before the oracle mode joined the record identity,
+        // resuming an OracleMode::Final grid from an OracleMode::Off
+        // sweep silently reused unverified cells.
+        let build = |oracle| {
+            Experiment::grid()
+                .workloads([profile("bzip").unwrap()])
+                .models([MachineConfig::ss1()])
+                .budget(1_500)
+                .oracle(oracle)
+        };
+        let off = build(OracleMode::Off).run().unwrap();
+        assert!(off.iter().all(|r| r.ok()));
+        assert_eq!(off[0].oracle, "off");
+
+        // Poison the Off-mode record's outcome; a Final grid must not
+        // echo it back.
+        let mut prior = off.clone();
+        prior[0].cycles = 123_456_789;
+        let resumed = build(OracleMode::Final).resume_from(prior).run().unwrap();
+        assert_ne!(
+            resumed[0].cycles, 123_456_789,
+            "unverified Off-mode record leaked into a Final grid"
+        );
+        assert_eq!(resumed[0].oracle, "final");
+
+        // Same oracle mode still resumes as before.
+        let mut prior = off.clone();
+        prior[0].cycles = 123_456_789;
+        let reused = build(OracleMode::Off).resume_from(prior).run().unwrap();
+        assert_eq!(reused[0].cycles, 123_456_789, "matching mode must reuse");
     }
 
     #[test]

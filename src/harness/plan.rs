@@ -572,6 +572,7 @@ pub(crate) fn cell_identity(exp: &Experiment, cell: &Cell) -> RunRecord {
         exp.site_mixes[cell.mix].name(),
         cell.seed,
         cell.budget,
+        exp.oracle,
     )
 }
 

@@ -177,6 +177,11 @@ pub struct RunRecord {
     pub seed: u64,
     /// Committed-instruction budget for this cell.
     pub budget: u64,
+    /// Oracle mode the cell ran under ([`ftsim_core::OracleMode::name`]:
+    /// `off` or `final`) — part of the cell's identity, because a record
+    /// produced without oracle verification must not satisfy a resumed
+    /// grid that demands it.
+    pub oracle: String,
     /// Error message for a failed cell; empty on success.
     pub error: String,
     /// Whether `halt` committed (false when the budget stopped the run).
@@ -274,7 +279,7 @@ macro_rules! with_fields {
     ($m:ident) => {
         $m! {
             workload, suite, model, r, majority, threshold, fault_rate_pm,
-            site_mix, seed, budget, error, halted, cycles,
+            site_mix, seed, budget, oracle, error, halted, cycles,
             retired_instructions, ipc, branches, branch_mispredicts,
             branch_rewinds, fault_rewinds, pc_check_rewinds,
             majority_elections, mean_rewind_penalty, rewind_penalty_max,
@@ -372,9 +377,14 @@ impl RunRecord {
 
     /// Whether `self` and `other` describe the same grid cell: equal
     /// workload, suite, model, redundancy shape, fault rate (bit-exact),
-    /// site mix, seed and budget. Outcome fields are ignored — this is how
+    /// site mix, seed, budget and oracle mode. Outcome fields are ignored
+    /// — this is how
     /// [`Experiment::resume_from`](crate::harness::Experiment::resume_from)
-    /// decides a cell has already been simulated.
+    /// decides a cell has already been simulated. Including the oracle
+    /// mode means records swept with [`ftsim_core::OracleMode::Off`]
+    /// never satisfy a resumed grid that demands
+    /// [`ftsim_core::OracleMode::Final`] verification (and vice versa) —
+    /// such cells are simply re-simulated.
     pub fn same_identity(&self, other: &RunRecord) -> bool {
         self.workload == other.workload
             && self.suite == other.suite
@@ -386,6 +396,7 @@ impl RunRecord {
             && self.site_mix == other.site_mix
             && self.seed == other.seed
             && self.budget == other.budget
+            && self.oracle == other.oracle
     }
 
     /// A compact, stable label for this record's grid cell, built from
@@ -412,6 +423,7 @@ impl RunRecord {
         site_mix: &str,
         seed: u64,
         budget: u64,
+        oracle: ftsim_core::OracleMode,
     ) -> Self {
         Self {
             workload: workload.to_string(),
@@ -424,6 +436,7 @@ impl RunRecord {
             site_mix: site_mix.to_string(),
             seed,
             budget,
+            oracle: oracle.name().to_string(),
             ..Self::default()
         }
     }
@@ -712,6 +725,7 @@ mod tests {
             site_mix: "addr-heavy".to_string(),
             seed: 42,
             budget: 60_000,
+            oracle: "final".to_string(),
             error: String::new(),
             halted: false,
             cycles: 123_456,
