@@ -13,6 +13,15 @@
 //!   through the `ftsimd` fabric (submit → claim → stream → finalize),
 //!   pricing the daemon's bookkeeping on top of raw simulation.
 //!
+//! Two observability rows price the instrumentation added by
+//! `ftsim-obs`: `fig6_grid_profiled` reruns the Figure 6 grid with
+//! `FTSIM_PROFILE`-style stage profiling forced on (its sampled timers
+//! must stay under the 5% overhead budget documented in
+//! `ftsim_core::profile`), and `daemon_cells_per_sec_metrics_off`
+//! reruns the daemon grid with the metrics registry disabled so the
+//! `obs_overhead` summary in the JSON can report metrics-on vs -off
+//! daemon throughput.
+//!
 //! Grids run on one worker thread so the metric is per-core simulator
 //! speed, independent of the host's core count. Each grid is measured
 //! twice — cold, and as a `*_checkpointed` variant with checkpoint-forking
@@ -219,15 +228,27 @@ fn main() {
         reps()
     );
 
-    let results = [
+    let mut results = vec![
         measure("fig6_grid", fig6_grid),
         measure("fig6_grid_checkpointed", || fig6_grid().checkpointing(true)),
         measure("fault_free_trio", fault_free_trio),
         measure("fault_free_trio_checkpointed", || {
             fault_free_trio().checkpointing(true)
         }),
-        measure_daemon("daemon_cells_per_sec"),
     ];
+
+    // Same grid with stage profiling forced on: the sampled timers must
+    // stay inside the 5% budget `ftsim_core::profile` documents.
+    ftsim_core::profile::set_enabled(true);
+    results.push(measure("fig6_grid_profiled", fig6_grid));
+    ftsim_core::profile::set_enabled(false);
+
+    // Daemon throughput with the metrics registry on (the default) and
+    // off; the delta is the exporter's bookkeeping cost.
+    results.push(measure_daemon("daemon_cells_per_sec"));
+    ftsim_obs::metrics::set_enabled(false);
+    results.push(measure_daemon("daemon_cells_per_sec_metrics_off"));
+    ftsim_obs::metrics::set_enabled(true);
 
     for r in &results {
         println!(
@@ -241,6 +262,27 @@ fn main() {
         );
     }
 
+    // Observability overhead summary: profiled-vs-cold grid wall time
+    // and metrics-on-vs-off daemon wall time, as percentages (positive =
+    // instrumentation cost). Wall-clock noise can make either negative.
+    let wall_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.wall_s)
+            .unwrap_or(f64::NAN)
+    };
+    let pct = |on: f64, off: f64| (on - off) / off * 100.0;
+    let profile_pct = pct(wall_of("fig6_grid_profiled"), wall_of("fig6_grid"));
+    let metrics_pct = pct(
+        wall_of("daemon_cells_per_sec"),
+        wall_of("daemon_cells_per_sec_metrics_off"),
+    );
+    println!(
+        "\nobs overhead: stage profiling {profile_pct:+.2}% (budget < 5%), \
+         daemon metrics {metrics_pct:+.2}%"
+    );
+
     let doc = JsonValue::obj([
         ("bench".into(), JsonValue::Str("throughput".into())),
         ("budget".into(), JsonValue::U64(budget())),
@@ -249,6 +291,13 @@ fn main() {
         (
             "grids".into(),
             JsonValue::Arr(results.iter().map(GridResult::to_json).collect()),
+        ),
+        (
+            "obs_overhead".into(),
+            JsonValue::obj([
+                ("stage_profiling_pct".into(), JsonValue::F64(profile_pct)),
+                ("daemon_metrics_pct".into(), JsonValue::F64(metrics_pct)),
+            ]),
         ),
     ]);
     // Anchor at the workspace root (this crate lives two levels below it);

@@ -394,6 +394,9 @@ impl ChaosIo {
         // Keep the raw OS code intact (callers detect ENOSPC via
         // `raw_os_error`); the site context goes to stderr instead.
         eprintln!("ftsim-chaos: injected fault at {site} (os error {code})");
+        if let Some(observer) = INJECTION_OBSERVER.get() {
+            observer(code, site);
+        }
         io::Error::from_raw_os_error(code)
     }
 
@@ -561,6 +564,23 @@ impl IoEnv for ChaosIo {
 }
 
 static GLOBAL: OnceLock<Box<dyn IoEnv>> = OnceLock::new();
+
+/// Called with `(os error code, site)` on every injected fault.
+type InjectionObserver = Box<dyn Fn(i32, &str) + Send + Sync>;
+
+static INJECTION_OBSERVER: OnceLock<InjectionObserver> = OnceLock::new();
+
+/// Registers a process-wide callback invoked on every fault this layer
+/// injects (after the stderr note, before the error is returned to the
+/// faulted call site). First registration wins; later calls are ignored.
+///
+/// This exists so the observability layer can count and trace injections
+/// without this crate depending on it (the dependency arrow runs
+/// metrics → stats → chaos). The observer must be cheap and must not
+/// perform I/O through chaos-gated paths — it runs inside those paths.
+pub fn set_injection_observer(observer: impl Fn(i32, &str) + Send + Sync + 'static) {
+    let _ = INJECTION_OBSERVER.set(Box::new(observer));
+}
 
 /// Returns the process-wide [`IoEnv`].
 ///

@@ -113,6 +113,29 @@ impl Checkpoint {
     pub fn halted(&self) -> bool {
         self.halted
     }
+
+    /// Rough retained size of this snapshot in bytes, for observability
+    /// (checkpoint-volume metrics), **not** accounting. Counts the
+    /// dominant terms — cache/TLB tag arrays from the configured
+    /// geometry, referenced memory pages (shared copy-on-write pages
+    /// count fully here, so repeated snapshots over-report), and the
+    /// occupied RUU/LSQ entries — and ignores small fixed-size state.
+    pub fn approx_bytes(&self) -> u64 {
+        // Per cache line the simulator keeps a tag + state word besides
+        // the data; ~16 bytes of metadata per line is close enough for a
+        // trend metric.
+        let cache = |c: &ftsim_mem::CacheConfig| {
+            let lines = (c.size_bytes / c.line_bytes) as u64;
+            c.size_bytes as u64 + lines * 16
+        };
+        let h = &self.config.hierarchy;
+        let caches = cache(&h.il1) + cache(&h.dl1) + cache(&h.l2);
+        let pages = self.mem.page_count() as u64 * ftsim_mem::PAGE_BYTES as u64;
+        // An RUU entry carries operands, results and per-copy check
+        // state; ~256 bytes each. LSQ entries are lighter.
+        let queues = self.ruu.len() as u64 * 256 + self.lsq.len() as u64 * 128;
+        caches + pages + queues + 4096
+    }
 }
 
 impl Processor {

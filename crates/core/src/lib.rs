@@ -76,6 +76,7 @@ mod fu;
 mod issue;
 mod lsq;
 mod pipeline;
+pub mod profile;
 mod rename;
 mod ruu;
 mod sched;
@@ -90,5 +91,6 @@ pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, FuConfig, MachineConfig, OpLatencies, RedundancyConfig, Scale};
 pub use entry::{EntryState, Prediction};
 pub use pipeline::{Processor, SchedulerDepths};
+pub use profile::StageProfile;
 pub use sim::{OracleMode, RunLimits, SimError, SimResult, Simulator};
 pub use stats::SimStats;

@@ -149,6 +149,10 @@ impl Processor {
     /// (SimpleScalar's reverse traversal) so that values become visible
     /// with correct single-cycle timing.
     pub fn cycle(&mut self) {
+        if crate::profile::enabled() {
+            self.cycle_profiled();
+            return;
+        }
         self.hierarchy.begin_cycle();
         self.stage_commit();
         if !self.halted {
@@ -164,6 +168,45 @@ impl Processor {
         self.assert_group_invariants();
         self.stats.cycles += 1;
         self.now += 1;
+    }
+
+    /// [`Processor::cycle`] with stage profiling: same stages, same
+    /// order, same conditions — simulation state evolves identically —
+    /// plus exact per-stage call counts and, on one cycle in 64, wall
+    /// time per stage (see [`crate::profile`] for why sampling).
+    fn cycle_profiled(&mut self) {
+        use std::time::Instant;
+        let sampled = self.now & 63 == 0;
+        let mut ran = [true, false, false, false, false];
+        let mut ns = [0u64; 5];
+        let mut stage = |i: usize, f: &mut dyn FnMut()| {
+            if sampled {
+                let t = Instant::now();
+                f();
+                ns[i] = t.elapsed().as_nanos() as u64;
+            } else {
+                f();
+            }
+        };
+        self.hierarchy.begin_cycle();
+        stage(0, &mut || self.stage_commit());
+        if !self.halted {
+            ran = [true; 5];
+            stage(1, &mut || self.stage_writeback());
+            stage(2, &mut || self.stage_issue());
+            stage(3, &mut || self.stage_dispatch());
+            stage(4, &mut || {
+                self.fetch
+                    .fetch_cycle(self.now, &self.program, &mut self.hierarchy);
+            });
+        }
+        self.stats.ruu_occupancy_sum += self.ruu.len() as u64;
+        self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
+        #[cfg(debug_assertions)]
+        self.assert_group_invariants();
+        self.stats.cycles += 1;
+        self.now += 1;
+        crate::profile::record(&ran, &ns, sampled);
     }
 
     /// Whether `halt` has committed.

@@ -12,7 +12,10 @@
 //! ftsimd status [JOB] [--state DIR | --remote ADDR]
 //! ftsimd results <JOB> [--state DIR | --remote ADDR]
 //!               [--json | --watch [--interval MS]]
-//! ftsimd report <JOB> [--state DIR | --remote ADDR] [--json]
+//! ftsimd report <JOB> [--state DIR | --remote ADDR]
+//!               [--json | --watch [--interval MS]]
+//! ftsimd trace  [--state DIR | --remote ADDR] [-n N] [--follow]
+//! ftsimd profile <JOB> [--state DIR]
 //! ftsimd stop   [JOB] [--state DIR | --remote ADDR]
 //! ```
 //!
@@ -62,7 +65,10 @@ USAGE:
     ftsimd status [JOB] [--state DIR | --remote ADDR]
     ftsimd results <JOB> [--state DIR | --remote ADDR]
                   [--json | --watch [--interval MS]]
-    ftsimd report <JOB> [--state DIR | --remote ADDR] [--json]
+    ftsimd report <JOB> [--state DIR | --remote ADDR]
+                  [--json | --watch [--interval MS]]
+    ftsimd trace  [--state DIR | --remote ADDR] [-n N] [--follow]
+    ftsimd profile <JOB> [--state DIR]
     ftsimd stop   [JOB] [--state DIR | --remote ADDR]
 
 COMMANDS:
@@ -102,7 +108,18 @@ COMMANDS:
               done, polling every --interval MS (default 500).
     report    Analyze a job's records: outcome taxonomy, per-site
               sensitivity (Wilson 95% CIs), detection latency, MTTF.
-              --json emits the report as a JSON document.
+              --json emits the report as a JSON document. --watch
+              re-runs the analysis whenever new cells land and prints
+              one compact JSON snapshot per line until the job is
+              terminal (the final line covers the canonical results).
+    trace     Print recent span events from the fabric's trace journals
+              (<state>/trace/*.ndjson, merged across processes by
+              timestamp), one JSON object per line. -n caps the tail
+              (default 50); --follow keeps polling for new events until
+              interrupted (local mode only).
+    profile   Show a job's per-cell stage profile (profile.csv): calls
+              and estimated wall time per pipeline stage. Rows exist
+              only for cells run under FTSIM_PROFILE=1.
     stop      With a job id: pause that job (resubmit its spec to
               resume). Without: ask the serving daemon(s) on the state
               directory to shut down gracefully.
@@ -114,7 +131,8 @@ The state directory defaults to ./ftsimd-state, or $FTSIMD_STATE.
 
 /// Flags that take a value (`--flag VALUE`); stored as `--flag=VALUE`.
 /// The `true` entries are validated as unsigned integers at parse time.
-const VALUE_FLAGS: [(&str, bool); 15] = [
+const VALUE_FLAGS: [(&str, bool); 16] = [
+    ("-n", true),
     ("--poll-ms", true),
     ("--interval", true),
     ("--lease-ms", true),
@@ -254,6 +272,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "status" => cmd_status(&parsed),
         "results" => cmd_results(&parsed),
         "report" => cmd_report(&parsed),
+        "trace" => cmd_trace(&parsed),
+        "profile" => cmd_profile(&parsed),
         "stop" => cmd_stop(&parsed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -714,6 +734,16 @@ fn watch_remote(addr: &str, id: &str, interval_ms: u64) -> Result<(), String> {
 /// (`ftsimd results --watch | head`) ends the watch cleanly instead of
 /// panicking on the broken pipe.
 ///
+/// **Exit condition.** The watch exits exactly when (1) a terminal
+/// status (`done`/`failed`) has been observed, and (2) one final read of
+/// the *canonical* record set taken after that observation —
+/// `results.csv` for a done job, the merged streamed records otherwise —
+/// has been forwarded. Cells the watch never saw stream (they were
+/// resumed from an earlier run, or `cells.csv` was already sealed into
+/// `results.csv` and dropped by GC) are backfilled from that final read,
+/// so a watch on a terminal-but-unmerged job prints the full record set
+/// and exits instead of hanging or silently truncating.
+///
 /// Polling is incremental: the byte boundary after the last complete
 /// record ([`from_csv_tolerant_prefix`]) is remembered, and each poll
 /// parses only the appended suffix — a watch on a large job stays O(new
@@ -733,6 +763,7 @@ fn watch_results(store: &JobStore, job: &Job, poll: Duration) -> Result<(), Stri
     }
     let mut printed = 0usize;
     let mut consumed = 0usize; // bytes of cells.csv fully parsed
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut backoff = crate::http::watch_backoff();
     let retry_or = |backoff: &mut ftsim_chaos::retry::Backoff, e: String| match backoff.next_delay()
     {
@@ -786,6 +817,7 @@ fn watch_results(store: &JobStore, job: &Job, poll: Duration) -> Result<(), Stri
             if writeln!(out, "{}", r.to_csv_row()).is_err() {
                 return Ok(()); // downstream pipe closed mid-stream
             }
+            seen.insert(r.cell_label());
         }
         printed += rows.len();
         if out.flush().is_err() {
@@ -793,14 +825,43 @@ fn watch_results(store: &JobStore, job: &Job, poll: Duration) -> Result<(), Stri
         }
         match status.state {
             JobState::Done | JobState::Failed => {
+                // Final merged read: backfill anything that never
+                // streamed past this watch (resumed cells from an
+                // earlier run, or a cells.csv GC already sealed into
+                // results.csv) so the watch always ends with the full
+                // record set.
+                let canonical = if status.state == JobState::Done {
+                    std::fs::read_to_string(job.results_path())
+                        .ok()
+                        .and_then(|text| from_csv(&text).ok())
+                } else {
+                    store
+                        .load_spec(job)
+                        .ok()
+                        .and_then(|spec| merged_records(job, &spec).ok())
+                        .map(|(records, _total)| records)
+                };
+                let mut backfilled = 0usize;
+                if let Some(records) = canonical {
+                    for r in records.iter().filter(|r| !seen.contains(&r.cell_label())) {
+                        if writeln!(out, "{}", r.to_csv_row()).is_err() {
+                            return Ok(());
+                        }
+                        backfilled += 1;
+                    }
+                    if out.flush().is_err() {
+                        return Ok(());
+                    }
+                }
+                printed += backfilled;
                 eprintln!(
                     "ftsimd: job {} is {} — {printed} record(s) streamed{}",
                     job.id,
                     status.state,
-                    if status.state == JobState::Done && printed < status.cells_total {
-                        " (resumed cells were not re-streamed; see `results` for the full grid)"
+                    if backfilled > 0 {
+                        format!(" ({backfilled} backfilled from the final merged read)")
                     } else {
-                        ""
+                        String::new()
                     }
                 );
                 return Ok(());
@@ -811,11 +872,17 @@ fn watch_results(store: &JobStore, job: &Job, poll: Duration) -> Result<(), Stri
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    args.ensure_flags(&["--json"])?;
+    args.ensure_flags(&["--json", "--watch", "--poll-ms", "--interval"])?;
     let [id] = args.positional.as_slice() else {
         return Err("report takes exactly one job id".to_string());
     };
+    if args.flag("--watch") && args.flag("--json") {
+        return Err("--watch already streams JSON snapshots; drop --json".to_string());
+    }
     if let Some(addr) = args.remote() {
+        if args.flag("--watch") {
+            return watch_report_remote(addr, id, args.interval_ms());
+        }
         let path = if args.flag("--json") {
             format!("/jobs/{id}/report")
         } else {
@@ -826,6 +893,9 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     }
     let store = open_store(args)?;
     let job = store.job(id).map_err(|e| e.to_string())?;
+    if args.flag("--watch") {
+        return watch_report(&store, &job, Duration::from_millis(args.interval_ms()));
+    }
     let status = store.load_status(&job).map_err(|e| e.to_string())?;
 
     let records = if status.state == JobState::Done {
@@ -852,6 +922,211 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     } else {
         print!("{}", report.render());
     }
+    Ok(())
+}
+
+/// `report --watch` against a local store: re-analyzes the merged
+/// records whenever new cells land, printing one compact JSON snapshot
+/// per line — the same lines `GET /jobs/<id>/report?watch` streams —
+/// and exits after the snapshot taken at the terminal state (which
+/// analyzes the canonical `results.csv` when the job finished).
+fn watch_report(store: &JobStore, job: &Job, poll: Duration) -> Result<(), String> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut last_cells: Option<usize> = None;
+    loop {
+        let status = store.load_status(job).map_err(|e| e.to_string())?;
+        let terminal = matches!(status.state, JobState::Done | JobState::Failed);
+        let records = if status.state == JobState::Done {
+            let text = std::fs::read_to_string(job.results_path())
+                .map_err(|e| format!("reading results: {e}"))?;
+            from_csv(&text).map_err(|e| e.to_string())?
+        } else {
+            let spec = store.load_spec(job).map_err(|e| e.to_string())?;
+            merged_records(job, &spec).map_err(|e| e.to_string())?.0
+        };
+        if terminal || last_cells != Some(records.len()) {
+            last_cells = Some(records.len());
+            let line = crate::http::report_snapshot(status.state, &records);
+            if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+                return Ok(()); // downstream pipe closed
+            }
+        }
+        if terminal {
+            return Ok(());
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// `report --watch` over `--remote`: the server re-analyzes as cells
+/// land and closes the stream after the terminal snapshot; the client
+/// forwards lines to stdout.
+fn watch_report_remote(addr: &str, id: &str, interval_ms: u64) -> Result<(), String> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let path = format!("/jobs/{id}/report?watch&interval={interval_ms}");
+    let code = http_stream(addr, &path, &mut |line| {
+        writeln!(out, "{line}").and_then(|()| out.flush()).is_ok()
+    })?;
+    if code != 200 {
+        return Err(format!("remote {addr}: report watch failed (http {code})"));
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&["-n", "--follow", "--poll-ms", "--interval"])?;
+    if !args.positional.is_empty() {
+        return Err("trace takes no positional arguments".to_string());
+    }
+    let n: usize = args.value("-n").and_then(|v| v.parse().ok()).unwrap_or(50);
+    if let Some(addr) = args.remote() {
+        if args.flag("--follow") {
+            return Err(
+                "--follow tails local journals; use plain `trace` over --remote".to_string(),
+            );
+        }
+        print!(
+            "{}",
+            remote_call(addr, "GET", &format!("/trace?n={n}"), None)?
+        );
+        return Ok(());
+    }
+    let store = open_store(args)?;
+    let dir = store.trace_dir();
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let events = crate::http::read_trace_journals(&dir);
+    let skip = events.len().saturating_sub(n);
+    for e in &events[skip..] {
+        if writeln!(out, "{}", e.render_line()).is_err() {
+            return Ok(());
+        }
+    }
+    if out.flush().is_err() || !args.flag("--follow") {
+        return Ok(());
+    }
+    // Follow mode: tail each journal incrementally from its current
+    // length, interleaving new events by timestamp, until interrupted
+    // (or stdout closes). Only whole lines are consumed, so an append
+    // caught mid-write is picked up complete on the next poll.
+    let mut consumed: std::collections::HashMap<std::path::PathBuf, usize> =
+        std::collections::HashMap::new();
+    for entry in std::fs::read_dir(&dir).into_iter().flatten().flatten() {
+        if let Ok(meta) = entry.metadata() {
+            consumed.insert(entry.path(), meta.len() as usize);
+        }
+    }
+    let poll = Duration::from_millis(args.interval_ms());
+    loop {
+        std::thread::sleep(poll);
+        let mut fresh = Vec::new();
+        for entry in std::fs::read_dir(&dir).into_iter().flatten().flatten() {
+            let path = entry.path();
+            let name = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
+            if !name.contains(".ndjson") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let at = consumed.entry(path).or_insert(0);
+            if text.len() < *at {
+                *at = 0; // the journal rotated under us: restart it
+            }
+            let upto = text[*at..].rfind('\n').map_or(*at, |i| *at + i + 1);
+            fresh.extend(
+                text[*at..upto]
+                    .lines()
+                    .filter_map(ftsim_obs::trace::TraceEvent::parse_line),
+            );
+            *at = upto;
+        }
+        fresh.sort_by_key(|e| e.ts_ms);
+        for e in &fresh {
+            if writeln!(out, "{}", e.render_line()).is_err() {
+                return Ok(());
+            }
+        }
+        if out.flush().is_err() {
+            return Ok(());
+        }
+    }
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    args.ensure_flags(&[])?;
+    let [id] = args.positional.as_slice() else {
+        return Err("profile takes exactly one job id".to_string());
+    };
+    if args.remote().is_some() {
+        return Err("profile reads the job's local profile.csv; --remote is not supported".into());
+    }
+    let store = open_store(args)?;
+    let job = store.job(id).map_err(|e| e.to_string())?;
+    let path = job.profile_path();
+    let text = std::fs::read_to_string(&path).map_err(|_| {
+        format!("no stage profile for {id}; run the sweep under FTSIM_PROFILE=1 to collect one")
+    })?;
+    let mut lines = text.lines();
+    if lines.next() != Some(crate::fabric::profile_header().as_str()) {
+        return Err(format!("unrecognized profile header in {}", path.display()));
+    }
+    use ftsim_core::profile::STAGE_NAMES;
+    let stage_cols: String = STAGE_NAMES
+        .map(|s| format!("{:>13}", format!("{s}_ms")))
+        .concat();
+    println!(
+        "{:<42} {:<8} {:>10} {:>8}{stage_cols}",
+        "cell", "path", "cycles", "samples"
+    );
+    let mut total_ns = [0u64; 5];
+    let mut total_calls = [0u64; 5];
+    let mut rows = 0u64;
+    for line in lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 14 {
+            continue; // torn tail row: the profile is best-effort
+        }
+        let num = |i: usize| cols[i].parse::<u64>().unwrap_or(0);
+        let mut est = String::new();
+        for s in 0..STAGE_NAMES.len() {
+            total_calls[s] += num(4 + s);
+            total_ns[s] += num(9 + s);
+            est.push_str(&format!("{:>13.3}", num(9 + s) as f64 / 1e6));
+        }
+        println!(
+            "{:<42} {:<8} {:>10} {:>8}{est}",
+            cols[0],
+            cols[1],
+            num(2),
+            num(3)
+        );
+        rows += 1;
+    }
+    let total: String = total_ns
+        .map(|ns| format!("{:>13.3}", ns as f64 / 1e6))
+        .concat();
+    println!(
+        "{:<42} {:<8} {:>10} {:>8}{total}",
+        format!("TOTAL ({rows} cells)"),
+        "",
+        "",
+        ""
+    );
+    println!(
+        "stage calls: {}",
+        STAGE_NAMES
+            .iter()
+            .zip(total_calls)
+            .map(|(s, c)| format!("{s}={c}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     Ok(())
 }
 

@@ -39,8 +39,13 @@
 use crate::failpoints as fp;
 use crate::spec::JobSpec;
 use crate::store::{io_err, write_atomic, DaemonError, Job, JobState, JobStatus, JobStore};
-use ftsim::harness::{from_csv_tolerant, group_families, to_csv, to_json, FamilyId, RunRecord};
+use ftsim::harness::{
+    from_csv_tolerant, group_families, to_csv, to_json, CellPath, FamilyId, RunRecord,
+};
 use ftsim_chaos::retry::Backoff;
+use ftsim_core::profile::{StageProfile, STAGE_NAMES};
+use ftsim_obs::metrics;
+use ftsim_obs::trace::{self, TraceEvent};
 use ftsim_stats::csv::AppendWriter;
 use ftsim_stats::JsonValue;
 use std::collections::HashMap;
@@ -49,6 +54,49 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Fabric-level metric handles, resolved once per process. These count
+/// protocol events (claims, steals, watchdog kills, appended bytes) —
+/// the *fabric's* vitals, complementing the per-simulation counters the
+/// harness registers (`ftsim_cells_total`, `ftsim_sim_cycles_total`).
+/// Like every observability surface, they live entirely outside the
+/// simulation: nothing here feeds back into scheduling or records.
+struct FabricObs {
+    claims_acquired: metrics::Counter,
+    claims_renewed: metrics::Counter,
+    claims_stolen: metrics::Counter,
+    claims_released: metrics::Counter,
+    /// Wall time from asking for a family to holding its lease,
+    /// backoff included.
+    lease_wait_ms: metrics::Histo,
+    cells_completed: metrics::Counter,
+    cells_retried: metrics::Counter,
+    watchdog_kills: metrics::Counter,
+    append_bytes: metrics::Counter,
+    backoff_retries: metrics::Counter,
+    jobs_finalized: metrics::Counter,
+}
+
+fn fobs() -> &'static FabricObs {
+    static HANDLES: OnceLock<FabricObs> = OnceLock::new();
+    let claim = |event| metrics::counter("ftsimd_claims_total", &[("event", event)]);
+    HANDLES.get_or_init(|| FabricObs {
+        claims_acquired: claim("acquired"),
+        claims_renewed: claim("renewed"),
+        claims_stolen: claim("stolen"),
+        claims_released: claim("released"),
+        lease_wait_ms: metrics::histogram("ftsimd_lease_wait_ms", &[], 5, 40),
+        cells_completed: metrics::counter("ftsimd_cells_completed_total", &[]),
+        cells_retried: metrics::counter("ftsimd_cells_retried_total", &[]),
+        watchdog_kills: metrics::counter("ftsimd_watchdog_kills_total", &[]),
+        append_bytes: metrics::counter("ftsimd_append_bytes_total", &[]),
+        backoff_retries: metrics::counter(
+            "ftsimd_backoff_retries_total",
+            &[("site", "fabric.claim")],
+        ),
+        jobs_finalized: metrics::counter("ftsimd_jobs_finalized_total", &[]),
+    })
+}
 
 /// Milliseconds since the Unix epoch — the fabric's shared clock.
 /// Routed through the chaos layer so plans can skew it (`skew=MS`).
@@ -163,6 +211,11 @@ struct Lease {
     owner: String,
     expires_unix_ms: u64,
     renewals: u64,
+    /// When the claim was first acquired (preserved across renewals), so
+    /// `/healthz` can report the oldest live claim's age. Additive field:
+    /// leases written by older daemons parse with 0 here, which reads as
+    /// "age unknown" and is skipped by the age scan.
+    created_unix_ms: u64,
 }
 
 impl Lease {
@@ -174,6 +227,10 @@ impl Lease {
                 JsonValue::U64(self.expires_unix_ms),
             ),
             ("renewals".to_string(), JsonValue::U64(self.renewals)),
+            (
+                "created_unix_ms".to_string(),
+                JsonValue::U64(self.created_unix_ms),
+            ),
         ])
         .render_pretty(2)
     }
@@ -184,6 +241,10 @@ impl Lease {
             owner: doc.get("owner")?.as_str()?.to_string(),
             expires_unix_ms: doc.get("expires_unix_ms")?.as_u64()?,
             renewals: doc.get("renewals")?.as_u64()?,
+            created_unix_ms: doc
+                .get("created_unix_ms")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
         })
     }
 }
@@ -230,9 +291,11 @@ impl ClaimGuard {
                     owner: self.owner.clone(),
                     expires_unix_ms: now_ms() + self.lease.as_millis() as u64,
                     renewals: self.renewals,
+                    created_unix_ms: l.created_unix_ms,
                 };
                 write_atomic(fp::FABRIC_CLAIM_RENEW, &self.path, doc.to_json().as_bytes())?;
                 self.renewed = Instant::now();
+                fobs().claims_renewed.inc();
                 Ok(true)
             }
             _ => Ok(false),
@@ -244,10 +307,12 @@ impl Drop for ClaimGuard {
     fn drop(&mut self) {
         // Release only what is still ours; a stolen claim belongs to the
         // thief now.
-        if read_lease(&self.path).is_some_and(|l| l.owner == self.owner) {
-            ftsim_chaos::io()
+        if read_lease(&self.path).is_some_and(|l| l.owner == self.owner)
+            && ftsim_chaos::io()
                 .remove_file(fp::FABRIC_CLAIM_RELEASE, &self.path)
-                .ok();
+                .is_ok()
+        {
+            fobs().claims_released.inc();
         }
     }
 }
@@ -255,10 +320,12 @@ impl Drop for ClaimGuard {
 /// Writes a fresh lease at `path` with `create_new` semantics. Returns
 /// `Ok(false)` when someone else holds the file.
 fn create_claim(path: &Path, owner: &str, lease: Duration) -> io::Result<bool> {
+    let now = now_ms();
     let doc = Lease {
         owner: owner.to_string(),
-        expires_unix_ms: now_ms() + lease.as_millis() as u64,
+        expires_unix_ms: now + lease.as_millis() as u64,
         renewals: 0,
+        created_unix_ms: now,
     };
     ftsim_chaos::io().create_new(fp::FABRIC_CLAIM_CREATE, path, doc.to_json().as_bytes())
 }
@@ -279,16 +346,32 @@ pub fn try_claim(
     family: &FamilyId,
     cfg: &FabricConfig,
 ) -> Result<Option<ClaimGuard>, DaemonError> {
+    let started = Instant::now();
     let mut backoff = Backoff::new(Duration::from_millis(5), Duration::from_millis(80), 3);
-    loop {
+    let outcome = loop {
         match try_claim_once(job, family, cfg) {
-            Ok(outcome) => return Ok(outcome),
+            Ok(outcome) => break outcome,
             Err(e) => match backoff.next_delay() {
-                Some(delay) => std::thread::sleep(delay),
+                Some(delay) => {
+                    fobs().backoff_retries.inc();
+                    std::thread::sleep(delay);
+                }
                 None => return Err(e),
             },
         }
+    };
+    if outcome.is_some() {
+        let m = fobs();
+        m.claims_acquired.inc();
+        m.lease_wait_ms.record(started.elapsed().as_millis() as u64);
+        trace::emit(TraceEvent::new(
+            "claim",
+            &job.id,
+            &family.slug(),
+            &format!("owner={}", cfg.owner),
+        ));
     }
+    Ok(outcome)
 }
 
 /// Relaxed-mode owner-echo verification: after a `create_new` that may
@@ -390,6 +473,7 @@ fn try_claim_once(
     match env.rename(fp::FABRIC_CLAIM_STEAL, &path, &stale) {
         Ok(()) => {
             STALE_LEASES_OBSERVED.fetch_add(1, Ordering::Relaxed);
+            fobs().claims_stolen.inc();
             if parseable {
                 // Ordinary expiry of a crashed peer: debris.
                 env.remove_file(fp::FABRIC_CLAIM_STEAL, &stale).ok();
@@ -443,6 +527,27 @@ pub(crate) fn live_claims(job: &Job) -> usize {
         .filter(|p| p.extension().is_some_and(|x| x == "lease"))
         .filter(|p| read_lease(p).is_some_and(|l| l.expires_unix_ms > now))
         .count()
+}
+
+/// Age in milliseconds of the oldest live (unexpired) claim on a job,
+/// or 0 when none carries a creation stamp — `/healthz` surfaces the
+/// fabric-wide maximum as a wedged-family indicator (a claim alive far
+/// past the typical family runtime is being renewed but not finishing).
+/// Leases written by pre-stamp daemons lack `created_unix_ms` and are
+/// skipped rather than misreported.
+pub(crate) fn oldest_live_claim_age_ms(job: &Job) -> u64 {
+    let Ok(entries) = ftsim_chaos::io().list_dir(fp::FABRIC_CLAIMS_LIST, &job.claims_dir()) else {
+        return 0;
+    };
+    let now = now_ms();
+    entries
+        .iter()
+        .filter(|p| p.extension().is_some_and(|x| x == "lease"))
+        .filter_map(|p| read_lease(p))
+        .filter(|l| l.expires_unix_ms > now && l.created_unix_ms > 0)
+        .map(|l| now.saturating_sub(l.created_unix_ms))
+        .max()
+        .unwrap_or(0)
 }
 
 /// The hashable projection of `RunRecord::same_identity`: two records
@@ -965,8 +1070,16 @@ fn bump_watchdog_strike(job: &Job, label: &str) -> u64 {
 /// failed status), and hand the family back to the scheduler.
 fn note_stuck_cell(store: &JobStore, a: &Assignment, identity: &RunRecord, budget: Duration) {
     WATCHDOG_KILLS.fetch_add(1, Ordering::Relaxed);
+    fobs().watchdog_kills.inc();
+    fobs().cells_retried.inc();
     let label = identity.cell_label();
     let strikes = bump_watchdog_strike(&a.job, &label);
+    trace::emit(TraceEvent::new(
+        "watchdog",
+        &a.job.id,
+        &label,
+        &format!("deadline_ms={}", budget.as_millis()),
+    ));
     eprintln!(
         "ftsimd: job {}: cell {label} exceeded its {}ms deadline \
          (strike {strikes}/{WATCHDOG_MAX_STRIKES}); re-queueing",
@@ -1043,14 +1156,14 @@ pub(crate) fn run_family(
     // it unwinds on its own — including the abandonment case, where it
     // first finishes the wedged cell nobody is waiting for.
     let (idx_tx, idx_rx) = std::sync::mpsc::channel::<usize>();
-    let (rec_tx, rec_rx) = std::sync::mpsc::channel::<RunRecord>();
+    let (rec_tx, rec_rx) = std::sync::mpsc::channel::<(RunRecord, CellPath, StageProfile)>();
     {
         let plan = std::sync::Arc::clone(&plan);
         let site = format!("{}{}", fp::FABRIC_CELL_PREFIX, a.family.slug());
         std::thread::spawn(move || {
             while let Ok(idx) = idx_rx.recv() {
                 let _ = ftsim_chaos::io().gate(&site);
-                if rec_tx.send(plan.run_cell(idx)).is_err() {
+                if rec_tx.send(plan.run_cell_observed(idx)).is_err() {
                     return; // abandoned by the watchdog
                 }
             }
@@ -1077,8 +1190,8 @@ pub(crate) fn run_family(
                 source: io::Error::new(io::ErrorKind::BrokenPipe, "worker channel closed"),
             });
         }
-        let record = match rec_rx.recv_timeout(budget) {
-            Ok(record) => record,
+        let (record, path, stage_profile) = match rec_rx.recv_timeout(budget) {
+            Ok(cell) => cell,
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 note_stuck_cell(store, a, &plan.identity(idx), budget);
                 return Ok(FamilyOutcome::Stuck);
@@ -1091,7 +1204,19 @@ pub(crate) fn run_family(
             }
         };
         observed_max = observed_max.max(started.elapsed());
-        if let Err(e) = writer.append_row(&record.to_csv_row()) {
+        let label = record.cell_label();
+        trace::emit(TraceEvent::new(
+            path.name(),
+            &a.job.id,
+            &label,
+            &format!(
+                "cycles={} ms={}",
+                record.cycles,
+                started.elapsed().as_millis()
+            ),
+        ));
+        let row = record.to_csv_row();
+        if let Err(e) = writer.append_row(&row) {
             if ftsim_chaos::is_enospc(&e) {
                 return Ok(pause_for_enospc(store, &a.job));
             }
@@ -1100,6 +1225,16 @@ pub(crate) fn run_family(
                 a.job.cells_path().display()
             ))(e));
         }
+        let m = fobs();
+        m.cells_completed.inc();
+        m.append_bytes.add(row.len() as u64 + 1); // the row plus its newline
+        trace::emit(TraceEvent::new(
+            "append",
+            &a.job.id,
+            &label,
+            &format!("bytes={}", row.len() + 1),
+        ));
+        append_profile_row(&a.job, &label, path, &stage_profile);
         done += 1;
         // Keep `status` live for dashboards. The count is this worker's
         // view — concurrent peers make it momentarily stale, and the
@@ -1130,6 +1265,60 @@ fn pause_for_enospc(store: &JobStore, job: &Job) -> FamilyOutcome {
         }
     }
     FamilyOutcome::Paused
+}
+
+/// Header of the per-cell stage-profile sidecar (`<job>/profile.csv`):
+/// one row per profiled cell — exact stage call counts plus estimated
+/// per-stage wall nanoseconds (extrapolated from 1-in-64 cycle samples).
+pub(crate) fn profile_header() -> String {
+    let mut cols = vec!["label".to_string(), "path".to_string()];
+    cols.extend(["cycles".to_string(), "samples".to_string()]);
+    for s in STAGE_NAMES {
+        cols.push(format!("{s}_calls"));
+    }
+    for s in STAGE_NAMES {
+        cols.push(format!("{s}_est_ns"));
+    }
+    cols.join(",")
+}
+
+/// Best-effort append of one cell's stage profile to the job's
+/// `profile.csv` sidecar. Empty profiles (profiling off, resumed cells)
+/// are skipped. All errors — including a chaos-injected one at the
+/// `obs.profile.append` failpoint — are swallowed: the sidecar is pure
+/// observability and must never change a sweep's outcome. The site name
+/// deliberately sits outside the `fabric.*` and `csv.*` globs ambient CI
+/// chaos plans target, so enabling profiling does not consume their
+/// injection budgets.
+fn append_profile_row(job: &Job, label: &str, path: CellPath, prof: &StageProfile) {
+    if prof.is_empty() {
+        return;
+    }
+    if ftsim_chaos::io().gate(fp::OBS_PROFILE_APPEND).is_err() {
+        return;
+    }
+    let file = job.profile_path();
+    let fresh = !file.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&file)
+    else {
+        return;
+    };
+    use std::io::Write as _;
+    if fresh {
+        let _ = writeln!(f, "{}", profile_header());
+    }
+    let est = prof.est_total_ns();
+    let mut row = format!("{label},{},{},{}", path.name(), prof.cycles, prof.samples);
+    for calls in prof.calls {
+        row.push_str(&format!(",{calls}"));
+    }
+    for ns in est {
+        row.push_str(&format!(",{ns}"));
+    }
+    let _ = writeln!(f, "{row}");
 }
 
 /// Merges a job's streamed records into grid order (newest row per
@@ -1200,6 +1389,13 @@ pub(crate) fn try_finalize(
     ftsim_chaos::io()
         .remove_dir_all(fp::FABRIC_FINALIZE_CLEAR_CLAIMS, &job.claims_dir())
         .ok();
+    fobs().jobs_finalized.inc();
+    trace::emit(TraceEvent::new(
+        "merge",
+        &job.id,
+        "",
+        &format!("cells={total}"),
+    ));
     Ok(true)
 }
 

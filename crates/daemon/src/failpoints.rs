@@ -98,6 +98,16 @@ pub const CSV_OPEN: &str = "csv.open";
 /// Failpoint site covering each fsynced `AppendWriter::append_row`.
 pub const CSV_APPEND: &str = "csv.append";
 
+/// Best-effort append of a cell's stage-profile row to `<job>/profile.csv`.
+/// Deliberately named outside the `fabric.*` and `csv.*` globs ambient CI
+/// chaos plans target: observability writes are swallowed on failure and
+/// must not consume those plans' injection budgets.
+pub const OBS_PROFILE_APPEND: &str = "obs.profile.append";
+/// Best-effort append of a trace event to the per-process NDJSON journal
+/// under `<state>/trace/`. Same out-of-glob naming rationale as
+/// [`OBS_PROFILE_APPEND`].
+pub const OBS_TRACE_APPEND: &str = "obs.trace.append";
+
 /// Every persistence failpoint the crash matrix kills at. Network sites
 /// are excluded: an aborted server is client-visible, not a recovery
 /// problem for the store.
@@ -206,6 +216,16 @@ pub const CATALOG: &[Failpoint] = &[
         site: CSV_APPEND,
         op: "fsynced cells.csv row append",
         recovery: "at most the row in flight is torn; tolerant readers drop it and the cell re-runs (ENOSPC pauses the job instead)",
+    },
+    Failpoint {
+        site: OBS_PROFILE_APPEND,
+        op: "best-effort profile.csv row append",
+        recovery: "error swallowed; the profile row is dropped and sweep results are unchanged",
+    },
+    Failpoint {
+        site: OBS_TRACE_APPEND,
+        op: "best-effort trace journal append",
+        recovery: "error swallowed; the trace event is dropped and sweep results are unchanged",
     },
 ];
 

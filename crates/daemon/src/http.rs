@@ -28,7 +28,9 @@ use crate::spec::JobSpec;
 use crate::store::{io_err, write_atomic, DaemonError, Job, JobState, JobStore};
 use ftsim::harness::{from_csv, from_csv_tolerant_prefix, to_csv, to_json, RunRecord};
 use ftsim_chaos::retry::Backoff;
+use ftsim_obs::{metrics, trace};
 use ftsim_stats::JsonValue;
+use std::cell::RefCell;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -285,6 +287,14 @@ fn status_text(code: u16) -> &'static str {
     }
 }
 
+thread_local! {
+    /// `(verb, receive time)` of the request this handler thread is
+    /// serving. Consumed (`take`) by the first response written, so the
+    /// request-latency histogram gets exactly one sample per request
+    /// even when a handler writes through `respond` more than once.
+    static REQ_CTX: RefCell<Option<(String, std::time::Instant)>> = const { RefCell::new(None) };
+}
+
 /// Writes a complete response with a `Content-Length`.
 fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
     respond_extra(stream, code, content_type, body, &[]);
@@ -318,6 +328,16 @@ fn respond_extra(
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+    if let Some((verb, t0)) = REQ_CTX.with(|c| c.borrow_mut().take()) {
+        let status = code.to_string();
+        metrics::histogram(
+            "ftsimd_http_request_ms",
+            &[("verb", &verb), ("status", &status)],
+            5,
+            40,
+        )
+        .record(t0.elapsed().as_millis() as u64);
+    }
 }
 
 fn respond_json(stream: &mut TcpStream, code: u16, body: &JsonValue) {
@@ -352,8 +372,12 @@ fn handle(
     started: std::time::Instant,
     stopped: &AtomicBool,
 ) {
+    let t0 = std::time::Instant::now();
     let req = match read_request(&mut stream, limits) {
-        Ok(req) => req,
+        Ok(req) => {
+            REQ_CTX.with(|c| *c.borrow_mut() = Some((req.method.clone(), t0)));
+            req
+        }
         Err(e) => {
             respond_json(&mut stream, e.code, &error_json(e.message));
             // Drain what the client already sent (an oversized body, a
@@ -398,7 +422,7 @@ fn handle(
         ("GET", ["jobs"]) => list_jobs(store, &mut stream),
         ("GET", ["jobs", id, "status"]) => job_status(store, &mut stream, id),
         ("GET", ["jobs", id, "results"]) => job_results(store, &mut stream, id, &req, stopped),
-        ("GET", ["jobs", id, "report"]) => job_report(store, &mut stream, id, &req),
+        ("GET", ["jobs", id, "report"]) => job_report(store, &mut stream, id, &req, stopped),
         ("POST", ["jobs", id, "stop"]) => job_stop(store, &mut stream, id),
         ("POST", ["stop"]) => {
             match store.request_stop() {
@@ -411,6 +435,8 @@ fn handle(
             };
         }
         ("GET", ["healthz"]) => healthz(store, &mut stream, started),
+        ("GET", ["metrics"]) => metrics_endpoint(store, &mut stream),
+        ("GET", ["trace"]) => trace_endpoint(store, &mut stream, &req),
         (method, _) if method != "GET" && method != "POST" => {
             respond_json(&mut stream, 405, &error_json("use GET or POST"));
         }
@@ -719,10 +745,24 @@ fn stream_results(
     }
 }
 
-fn job_report(store: &JobStore, stream: &mut TcpStream, id: &str, req: &Request) {
+fn job_report(
+    store: &JobStore,
+    stream: &mut TcpStream,
+    id: &str,
+    req: &Request,
+    stopped: &AtomicBool,
+) {
     let Some(job) = lookup(store, stream, id) else {
         return;
     };
+    if req.query("watch").is_some() {
+        let interval = req
+            .query("interval")
+            .and_then(|v| v.parse().ok())
+            .map_or(Duration::from_millis(500), Duration::from_millis);
+        stream_report(store, stream, &job, interval, stopped);
+        return;
+    }
     let done = store
         .load_status(&job)
         .map(|s| s.state == JobState::Done)
@@ -751,23 +791,217 @@ fn job_report(store: &JobStore, stream: &mut TcpStream, id: &str, req: &Request)
     }
 }
 
+/// One line of a `report?watch` stream: the job's state, how many cells
+/// the snapshot covers, and the full analysis report, as one compact
+/// JSON object.
+pub(crate) fn report_snapshot(state: JobState, records: &[RunRecord]) -> String {
+    let report = ftsim_analysis::analyze_records(records);
+    JsonValue::obj([
+        ("state".to_string(), JsonValue::Str(state.to_string())),
+        ("cells".to_string(), JsonValue::U64(records.len() as u64)),
+        (
+            "report".to_string(),
+            JsonValue::parse(&report.to_json()).unwrap_or(JsonValue::Null),
+        ),
+    ])
+    .render()
+}
+
+/// Streams incremental analysis snapshots as NDJSON — the HTTP twin of
+/// `ftsimd report --watch`, closing the "re-run analysis while a sweep
+/// streams" loop. Records come from the tolerant merged-cells reader, so
+/// a snapshot is re-emitted whenever new cells land; at the terminal
+/// state one final snapshot is always written (from the canonical
+/// `results.csv` when the job finished), so the last line a client reads
+/// analyzes exactly the records `ftsimd report <job>` would.
+fn stream_report(
+    store: &JobStore,
+    stream: &mut TcpStream,
+    job: &Job,
+    interval: Duration,
+    stopped: &AtomicBool,
+) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let mut last_cells: Option<usize> = None;
+    let mut backoff = watch_backoff();
+    loop {
+        // Status first, records second, for the same reason as
+        // `stream_results`: records seen before the terminal status was
+        // set are never newer than the final read.
+        let state = match store.load_status(job) {
+            Ok(s) => s.state,
+            Err(_) => match backoff.next_delay() {
+                Some(delay) => {
+                    std::thread::sleep(delay);
+                    continue;
+                }
+                None => return,
+            },
+        };
+        let terminal = matches!(state, JobState::Done | JobState::Failed);
+        let records = if state == JobState::Done {
+            std::fs::read_to_string(job.results_path())
+                .ok()
+                .and_then(|text| from_csv(&text).ok())
+        } else {
+            store
+                .load_spec(job)
+                .and_then(|spec| merged_records(job, &spec))
+                .ok()
+                .map(|(records, _total)| records)
+        };
+        let Some(records) = records else {
+            if terminal {
+                return; // failed job with unreadable records: nothing to analyze
+            }
+            match backoff.next_delay() {
+                Some(delay) => {
+                    std::thread::sleep(delay);
+                    continue;
+                }
+                None => return,
+            }
+        };
+        backoff = watch_backoff();
+        if terminal || last_cells != Some(records.len()) {
+            last_cells = Some(records.len());
+            let line = report_snapshot(state, &records);
+            if stream.write_all(format!("{line}\n").as_bytes()).is_err() {
+                return;
+            }
+            if stream.flush().is_err() {
+                return;
+            }
+        }
+        if terminal {
+            return;
+        }
+        if stopped.load(Ordering::SeqCst) {
+            return; // daemon shutting down: end the stream
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// `GET /metrics`: the Prometheus text exposition of every registered
+/// metric, preceded by a scrape-time refresh of the store-derived gauges
+/// (queue depth in cells, jobs by state, quarantine size) so one
+/// process's scrape reflects fabric-wide state, not just its own
+/// counters.
+fn metrics_endpoint(store: &JobStore, stream: &mut TcpStream) {
+    if let Ok(jobs) = store.jobs() {
+        let mut queued_cells = 0u64;
+        let mut by_state = [
+            (JobState::Queued, 0u64),
+            (JobState::Running, 0),
+            (JobState::Done, 0),
+            (JobState::Failed, 0),
+        ];
+        for job in &jobs {
+            if let Ok(s) = store.load_status(job) {
+                if let Some(slot) = by_state.iter_mut().find(|(st, _)| *st == s.state) {
+                    slot.1 += 1;
+                }
+                if !matches!(s.state, JobState::Done | JobState::Failed) {
+                    queued_cells += s.cells_total.saturating_sub(s.cells_done) as u64;
+                }
+            }
+        }
+        metrics::gauge("ftsimd_queued_cells", &[]).set(queued_cells);
+        for (state, n) in &by_state {
+            metrics::gauge("ftsimd_jobs", &[("state", &state.to_string())]).set(*n);
+        }
+    }
+    metrics::gauge("ftsimd_quarantined_files", &[]).set(store.quarantined_count() as u64);
+    respond(stream, 200, "text/plain; version=0.0.4", &metrics::render());
+}
+
+/// Reads and timestamp-merges every NDJSON trace journal (including the
+/// rotated `.ndjson.1` generation) under `dir`. Damaged lines — the torn
+/// tail of a crashed process's journal — are skipped, not errors.
+pub(crate) fn read_trace_journals(dir: &std::path::Path) -> Vec<trace::TraceEvent> {
+    let mut events = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return events;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.contains(".ndjson") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        events.extend(text.lines().filter_map(trace::TraceEvent::parse_line));
+    }
+    events.sort_by_key(|e| e.ts_ms);
+    events
+}
+
+/// `GET /trace?n=<count>`: the most recent span events across the whole
+/// fabric, merged by timestamp from every process's journal under
+/// `<state>/trace/` (falling back to this process's in-memory ring when
+/// no journal exists yet), one JSON object per line, oldest first.
+fn trace_endpoint(store: &JobStore, stream: &mut TcpStream, req: &Request) {
+    let n: usize = req.query("n").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let mut events = read_trace_journals(&store.trace_dir());
+    if events.is_empty() {
+        events = trace::recent(n);
+    }
+    let skip = events.len().saturating_sub(n);
+    let body: String = events[skip..]
+        .iter()
+        .map(|e| format!("{}\n", e.render_line()))
+        .collect();
+    respond(stream, 200, "application/x-ndjson", &body);
+}
+
 /// `GET /healthz`: fabric diagnostics for dashboards and smoke tests —
 /// daemon version and uptime, job and live-claim counts (total and per
-/// submitter), how many stale peer leases this process has observed
-/// (and stolen), how many cells the stuck-cell watchdog has killed, how
-/// many corrupt files sit in quarantine, and when the scheduler last
-/// completed a pass (0 until the first one).
+/// submitter), the fabric-wide queue depth in cells, the age of the
+/// oldest live claim (0 when none carry a creation stamp), per-job
+/// cell-progress counts, how many stale peer leases this process has
+/// observed (and stolen), how many cells the stuck-cell watchdog has
+/// killed, how many corrupt files sit in quarantine, and when the
+/// scheduler last completed a pass (0 until the first one).
 fn healthz(store: &JobStore, stream: &mut TcpStream, started: std::time::Instant) {
-    let (jobs, live, by_submitter) = match store.jobs() {
+    let (jobs, live, by_submitter, queued_cells, oldest_claim_ms, progress) = match store.jobs() {
         Ok(jobs) => {
             let mut live = 0u64;
             let mut by_submitter: Vec<(String, u64)> = Vec::new();
+            let mut queued_cells = 0u64;
+            let mut oldest_claim_ms = 0u64;
+            let mut progress: Vec<(String, JsonValue)> = Vec::new();
             for job in &jobs {
+                if let Ok(s) = store.load_status(job) {
+                    if !matches!(s.state, JobState::Done | JobState::Failed) {
+                        queued_cells += s.cells_total.saturating_sub(s.cells_done) as u64;
+                    }
+                    progress.push((
+                        job.id.clone(),
+                        JsonValue::obj([
+                            ("state".to_string(), JsonValue::Str(s.state.to_string())),
+                            (
+                                "cells_done".to_string(),
+                                JsonValue::U64(s.cells_done as u64),
+                            ),
+                            (
+                                "cells_total".to_string(),
+                                JsonValue::U64(s.cells_total as u64),
+                            ),
+                        ]),
+                    ));
+                }
                 let claims = crate::fabric::live_claims(job) as u64;
-                live += claims;
                 if claims == 0 {
                     continue;
                 }
+                live += claims;
+                oldest_claim_ms = oldest_claim_ms.max(crate::fabric::oldest_live_claim_age_ms(job));
                 let submitter = store
                     .load_spec(job)
                     .map(|s| s.submitter)
@@ -778,7 +1012,14 @@ fn healthz(store: &JobStore, stream: &mut TcpStream, started: std::time::Instant
                 }
             }
             by_submitter.sort();
-            (jobs.len() as u64, live, by_submitter)
+            (
+                jobs.len() as u64,
+                live,
+                by_submitter,
+                queued_cells,
+                oldest_claim_ms,
+                progress,
+            )
         }
         Err(e) => {
             respond_json(stream, 500, &error_json(e.to_string()));
@@ -800,6 +1041,12 @@ fn healthz(store: &JobStore, stream: &mut TcpStream, started: std::time::Instant
             ),
             ("jobs".to_string(), JsonValue::U64(jobs)),
             ("live_claims".to_string(), JsonValue::U64(live)),
+            ("queued_cells".to_string(), JsonValue::U64(queued_cells)),
+            (
+                "oldest_live_claim_age_ms".to_string(),
+                JsonValue::U64(oldest_claim_ms),
+            ),
+            ("job_progress".to_string(), JsonValue::Obj(progress)),
             (
                 "live_claims_by_submitter".to_string(),
                 JsonValue::Obj(

@@ -42,8 +42,18 @@
 //!   (`FTSIM_CHAOS=<seed>:<spec>`) under a stable site name, so chaos
 //!   plans, the crash-matrix suite and the docs all speak about the
 //!   same catalog of failure sites;
+//! * **observability** — [`ftsim_obs`] metrics and trace spans threaded
+//!   through the fabric: Prometheus text on `GET /metrics` (fabric
+//!   vitals + per-worker sim throughput), a per-process span journal
+//!   under `<state>/trace/` merged by `GET /trace` / `ftsimd trace`,
+//!   live analysis streaming (`GET /jobs/<id>/report?watch`, `ftsimd
+//!   report --watch`), and `FTSIM_PROFILE=1` per-stage wall-time
+//!   profiles rendered by `ftsimd profile`. None of it is simulation
+//!   state: records stay byte-identical with the layer on, off, or
+//!   failing;
 //! * [`cli`] — the `ftsimd` command-line front end
-//!   (`submit`/`serve`/`jobs`/`status`/`results`/`report`/`stop`).
+//!   (`submit`/`serve`/`jobs`/`status`/`results`/`report`/`trace`/
+//!   `profile`/`gc`/`stop`).
 //!
 //! The load-bearing invariant, inherited from the harness and checked
 //! by this crate's integration test: **a job's final results are

@@ -26,11 +26,70 @@ use crate::fabric::{
     bump_status, next_assignment, requeue_unclaimed, run_family, try_finalize, FabricConfig,
     FamilyOutcome, LeaseMode, NextWork,
 };
+use crate::failpoints as fp;
 use crate::gc::{gc_pass, GcOptions};
 use crate::store::{DaemonError, Job, JobState, JobStore, QuotaPolicy};
+use ftsim_obs::{metrics, trace};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// Journal size at which the per-process trace file is rotated aside
+/// (renamed to `.ndjson.1`, one generation kept) so an unattended fabric
+/// cannot grow an unbounded journal.
+const TRACE_ROTATE_BYTES: u64 = 1024 * 1024;
+
+/// Installs the process-wide observability hooks for a fabric process:
+/// stamps every trace event with this worker's owner id, journals events
+/// as NDJSON under `<state>/trace/<owner>.ndjson` (best-effort — any
+/// error, including one injected at the `obs.trace.append` failpoint, is
+/// swallowed), and forwards chaos injections into a counter and a
+/// `chaos` trace event. Idempotent per process in effect: a second call
+/// just re-points the sink.
+///
+/// Everything registered here observes the run without touching it: no
+/// RNG is consumed, no simulation or fabric decision reads any of it.
+pub(crate) fn install_observability(store: &JobStore, owner: &str) {
+    trace::set_owner(owner);
+    let dir = store.trace_dir();
+    // Owner ids are `host:pid:seq`; ':' is path-hostile on some mounts.
+    let path = dir.join(format!("{}.ndjson", owner.replace(':', "-")));
+    trace::set_sink(Box::new(move |event| {
+        if ftsim_chaos::io().gate(fp::OBS_TRACE_APPEND).is_err() {
+            return;
+        }
+        let _ = std::fs::create_dir_all(&dir);
+        if let Ok(meta) = std::fs::metadata(&path) {
+            if meta.len() >= TRACE_ROTATE_BYTES {
+                let _ = std::fs::rename(&path, path.with_extension("ndjson.1"));
+            }
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            use std::io::Write as _;
+            let _ = writeln!(f, "{}", event.render_line());
+        }
+    }));
+    // Chaos injections become visible fabric vitals. The re-entrancy
+    // guard matters: emitting the trace event runs the sink, whose own
+    // chaos gate could inject (a plan targeting `obs.*`) and re-enter
+    // this observer forever.
+    ftsim_chaos::set_injection_observer(|_code, site| {
+        use std::cell::Cell;
+        thread_local! {
+            static IN_OBSERVER: Cell<bool> = const { Cell::new(false) };
+        }
+        if IN_OBSERVER.with(|g| g.replace(true)) {
+            return;
+        }
+        metrics::counter("ftsimd_chaos_injections_total", &[("site", site)]).inc();
+        trace::emit(trace::TraceEvent::new("chaos", "", "", site));
+        IN_OBSERVER.with(|g| g.set(false));
+    });
+}
 
 /// How a [`run_job`] call ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -302,6 +361,7 @@ pub fn serve(store: &JobStore, opts: &ServeOptions) -> Result<(), DaemonError> {
     let stop = AtomicBool::new(false);
     let mut cfg = FabricConfig::new(opts.lease);
     cfg.mode = opts.lease_mode;
+    install_observability(store, &cfg.owner);
     if let Some(quota) = &opts.quota {
         store.set_quota_policy(quota)?;
     }

@@ -370,6 +370,12 @@ impl Job {
     pub fn stop_path(&self) -> PathBuf {
         self.dir.join("stop")
     }
+
+    /// Path of the best-effort per-cell stage-profile sidecar, appended
+    /// when `FTSIM_PROFILE=1` is set on the worker (`ftsimd profile`).
+    pub fn profile_path(&self) -> PathBuf {
+        self.dir.join("profile.csv")
+    }
 }
 
 /// The daemon's persistent state directory: a queue of jobs plus the
@@ -419,6 +425,12 @@ impl JobStore {
     /// Path of the persisted admission-control policy.
     pub fn quota_path(&self) -> PathBuf {
         self.root.join("quota.json")
+    }
+
+    /// Directory of the per-process NDJSON trace journals (`ftsimd
+    /// trace`, `GET /trace`). One file per fabric owner; merged on read.
+    pub fn trace_dir(&self) -> PathBuf {
+        self.root.join("trace")
     }
 
     /// Loads the admission-control policy; a missing file means no

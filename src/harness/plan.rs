@@ -24,11 +24,13 @@
 
 use crate::harness::experiment::{Experiment, ExperimentError};
 use crate::harness::record::RunRecord;
+use ftsim_core::profile::{self, StageProfile};
 use ftsim_core::{Checkpoint, MachineConfig, RunLimits, SimBuilder, SimResult, Simulator};
 use ftsim_faults::{per_million, FaultInjector};
 use ftsim_isa::Program;
+use ftsim_obs::metrics;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Smallest first-possible-injection draw index for which running a
 /// *dedicated* family baseline (one that serves no fault-free cell of its
@@ -52,6 +54,64 @@ fn fork_horizon(budget: u64, model: &MachineConfig) -> u64 {
         .saturating_mul(u64::from(model.redundancy.r))
         .saturating_mul(4)
         .saturating_add(100_000)
+}
+
+/// Which of [`SweepPlan::run_cell`]'s four execution paths produced a
+/// record. All four yield byte-identical records; the path is pure
+/// observability (cost attribution, trace events, metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellPath {
+    /// Served verbatim from a prior record (resume).
+    Resumed,
+    /// Served by the family baseline's own fault-free run.
+    Baseline,
+    /// Forked from a family checkpoint past the fault-free prefix.
+    Forked,
+    /// Simulated from cycle zero.
+    Cold,
+}
+
+impl CellPath {
+    /// Stable lowercase name, used as a metric label and trace kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellPath::Resumed => "resumed",
+            CellPath::Baseline => "baseline",
+            CellPath::Forked => "forked",
+            CellPath::Cold => "cold",
+        }
+    }
+}
+
+/// Metric handles the sweep hot path resolves once per process. The
+/// cycle/instruction counters account **work actually simulated by this
+/// process** — a forked cell adds only its post-checkpoint suffix, a
+/// baseline-served cell adds nothing (the baseline run itself already
+/// counted) — so `ftsim_sim_cycles_total` divided by wall time is an
+/// honest per-worker throughput, not an as-if-cold figure.
+struct ObsHandles {
+    cells: [metrics::Counter; 4],
+    sim_cycles: metrics::Counter,
+    sim_instructions: metrics::Counter,
+    checkpoints_taken: metrics::Counter,
+    checkpoint_bytes: metrics::Counter,
+}
+
+fn obs() -> &'static ObsHandles {
+    static HANDLES: OnceLock<ObsHandles> = OnceLock::new();
+    HANDLES.get_or_init(|| ObsHandles {
+        cells: [
+            CellPath::Resumed,
+            CellPath::Baseline,
+            CellPath::Forked,
+            CellPath::Cold,
+        ]
+        .map(|p| metrics::counter("ftsim_cells_total", &[("path", p.name())])),
+        sim_cycles: metrics::counter("ftsim_sim_cycles_total", &[]),
+        sim_instructions: metrics::counter("ftsim_sim_instructions_total", &[]),
+        checkpoints_taken: metrics::counter("ftsim_checkpoints_taken_total", &[]),
+        checkpoint_bytes: metrics::counter("ftsim_checkpoint_bytes_total", &[]),
+    })
 }
 
 /// One flattened grid cell.
@@ -279,9 +339,40 @@ impl SweepPlan {
     /// paths produce byte-identical records — the plan changes what a
     /// record *costs*, never what it says.
     pub fn run_cell(&self, idx: usize) -> RunRecord {
+        self.run_cell_observed(idx).0
+    }
+
+    /// As [`SweepPlan::run_cell`], additionally reporting which execution
+    /// path produced the record and the cell's stage profile (empty
+    /// unless `FTSIM_PROFILE` / [`ftsim_core::profile::set_enabled`] is
+    /// on). The extras are observability only — the record itself is
+    /// byte-identical to what [`SweepPlan::run_cell`] returns.
+    ///
+    /// The profile is drained from this worker thread around the cell's
+    /// simulation; when this call is also the one that (lazily) computes
+    /// the family baseline, the baseline's cycles are attributed to this
+    /// cell's profile.
+    pub fn run_cell_observed(&self, idx: usize) -> (RunRecord, CellPath, StageProfile) {
         if let Some(prior) = &self.resumed[idx] {
-            return prior.clone();
+            obs().cells[CellPath::Resumed as usize].inc();
+            return (prior.clone(), CellPath::Resumed, StageProfile::default());
         }
+        profile::reset();
+        let (record, path, simulated) = self.run_cell_inner(idx);
+        let stage_profile = profile::take();
+        let m = obs();
+        m.cells[path as usize].inc();
+        m.sim_cycles.add(simulated.0);
+        m.sim_instructions.add(simulated.1);
+        (record, path, stage_profile)
+    }
+
+    /// The four-path cell execution; returns the record, the path taken
+    /// and `(cycles, instructions)` **actually simulated by this call**
+    /// (a fork's post-checkpoint suffix; zero for baseline-served cells —
+    /// the baseline run counts when it executes, inside
+    /// [`SweepPlan::baseline_guard`]).
+    fn run_cell_inner(&self, idx: usize) -> (RunRecord, CellPath, (u64, u64)) {
         let cell = &self.cells[idx];
         let record = cell_identity(&self.exp, cell);
 
@@ -291,10 +382,11 @@ impl SweepPlan {
             let (outcome, checkpoints) = baseline.as_ref().expect("guard fills the baseline");
             if cell.rate_pm == 0.0 {
                 // The baseline is this cell's simulation.
-                return match outcome {
+                let record = match outcome {
                     Ok(result) => record.fill_outcome(result),
                     Err(e) => record.fill_error(e.clone()),
                 };
+                return (record, CellPath::Baseline, (0, 0));
             }
             // Fork: newest checkpoint at or before the first possible
             // injection (horizon-capped by the planning pass, so every
@@ -320,7 +412,9 @@ impl SweepPlan {
                 let builder = self
                     .cell_builder(cell)
                     .injector(cell_injector(&self.exp, cell));
-                return match builder.build() {
+                let fork_cycle = cp.cycle();
+                let fork_retired = cp.retired_instructions();
+                let record = match builder.build() {
                     Ok(mut sim) => {
                         let draws = cp.draws();
                         let proc = sim.processor_mut();
@@ -333,6 +427,13 @@ impl SweepPlan {
                     }
                     Err(e) => record.fill_error(ftsim_core::SimError::Invalid(e).to_string()),
                 };
+                // The record's totals include the restored prefix; only
+                // the suffix beyond the checkpoint was simulated here.
+                let simulated = (
+                    record.cycles.saturating_sub(fork_cycle),
+                    record.retired_instructions.saturating_sub(fork_retired),
+                );
+                return (record, CellPath::Forked, simulated);
             }
             // No usable checkpoint (first fire precedes the first
             // snapshot): fall through to a cold run.
@@ -342,10 +443,12 @@ impl SweepPlan {
         if cell.rate_pm > 0.0 {
             builder = builder.injector(cell_injector(&self.exp, cell));
         }
-        match builder.run() {
+        let record = match builder.run() {
             Ok(result) => record.fill_outcome(&result),
             Err(e) => record.fill_error(e.to_string()),
-        }
+        };
+        let simulated = (record.cycles, record.retired_instructions);
+        (record, CellPath::Cold, simulated)
     }
 
     /// Runs every cell across `workers()` threads and returns records in
@@ -402,7 +505,7 @@ impl SweepPlan {
     /// Runs one family's fault-free baseline, collecting checkpoints.
     fn run_baseline(&self, f: &Family) -> Baseline {
         let builder = self.coordinate_builder(f.workload, f.budget_idx, f.model, f.budget);
-        match builder.build() {
+        let baseline: Baseline = match builder.build() {
             Ok(sim) => match f.snapshot_horizon {
                 // Faulty siblings exist: collect checkpoints for them.
                 Some(horizon) => {
@@ -418,7 +521,16 @@ impl SweepPlan {
                 Err(ftsim_core::SimError::Invalid(e).to_string()),
                 Vec::new(),
             ),
+        };
+        let m = obs();
+        if let Ok(result) = &baseline.0 {
+            m.sim_cycles.add(result.cycles);
+            m.sim_instructions.add(result.retired_instructions);
         }
+        m.checkpoints_taken.add(baseline.1.len() as u64);
+        m.checkpoint_bytes
+            .add(baseline.1.iter().map(Checkpoint::approx_bytes).sum());
+        baseline
     }
 
     fn cell_builder(&self, cell: &Cell) -> SimBuilder {

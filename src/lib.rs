@@ -95,6 +95,7 @@ pub use ftsim_faults as faults;
 pub use ftsim_isa as isa;
 pub use ftsim_mem as mem;
 pub use ftsim_model as model;
+pub use ftsim_obs as obs;
 pub use ftsim_predict as predict;
 pub use ftsim_stats as stats;
 pub use ftsim_workloads as workloads;
